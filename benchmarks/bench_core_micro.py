@@ -1,0 +1,102 @@
+"""Microbenchmarks of the core primitives.
+
+Not a paper figure: these time the building blocks so regressions in the
+hot paths (lifted propagation, per-candidate b/c, the exact QP solve, PLM
+construction) are visible in isolation.  All on the paper-scale 20x20
+map (m = 400).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.joint import EventQuantifier
+from repro.core.qp import SolverOptions, maximize_rank_one_simplex
+from repro.core.theorem import RankOneCondition, privacy_conditions
+from repro.core.two_world import TwoWorldModel
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+
+
+@pytest.fixture(scope="module")
+def setting(paper_synthetic):
+    scenario = paper_synthetic
+    event = scenario.presence_event(0, 9, 4, 8)
+    model = TwoWorldModel(scenario.chain, event, horizon=50)
+    lppm = PlanarLaplaceMechanism(scenario.grid, 0.5)
+    return scenario, event, model, lppm
+
+
+def test_bench_prior_vector(setting, benchmark):
+    _, event, _, _ = setting
+
+    def build():
+        scenario_model = TwoWorldModel(
+            setting[0].chain, event, horizon=50
+        )
+        return scenario_model.prior_vector()
+
+    a = benchmark(build)
+    assert a.shape == (400,)
+    assert np.all((a >= 0) & (a <= 1 + 1e-12))
+
+
+def test_bench_quantifier_step(setting, benchmark):
+    """One prepare + candidate + commit cycle at m = 400."""
+    scenario, event, model, lppm = setting
+    column = lppm.emission_column(17)
+    state = {"q": EventQuantifier(model), "t": 0}
+
+    def step():
+        if state["t"] >= 50:
+            state["q"] = EventQuantifier(model)
+            state["t"] = 0
+        state["t"] += 1
+        t = state["t"]
+        state["q"].prepare(t)
+        b, c = state["q"].candidate_bc(t, column)
+        state["q"].commit(t, column)
+        return b, c
+
+    b, c = benchmark(step)
+    assert b.shape == (400,)
+
+
+def test_bench_candidate_only(setting, benchmark):
+    """The halving loop's retry cost: candidate_bc without commit."""
+    scenario, event, model, lppm = setting
+    quantifier = EventQuantifier(model)
+    quantifier.prepare(1)
+    column = lppm.emission_column(3)
+    result = benchmark(lambda: quantifier.candidate_bc(1, column))
+    assert result[0].shape == (400,)
+
+
+def test_bench_exact_qp_solve(setting, benchmark):
+    """Full exact simplex solve of one Eq. (15) condition at m = 400."""
+    scenario, event, model, lppm = setting
+    quantifier = EventQuantifier(model)
+    quantifier.prepare(1)
+    b, c = quantifier.candidate_bc(1, lppm.emission_column(3))
+    a = quantifier.a_vector()
+    forward, _ = privacy_conditions(a, b, c, epsilon=0.5)
+    options = SolverOptions()
+    result = benchmark(lambda: maximize_rank_one_simplex(forward, options))
+    assert result.best_value is not None
+
+
+def test_bench_plm_emission_build(setting, benchmark):
+    scenario, _, _, _ = setting
+    matrix = benchmark(
+        lambda: PlanarLaplaceMechanism(scenario.grid, 1.0).emission_matrix()
+    )
+    assert matrix.shape == (400, 400)
+
+
+def test_bench_qp_scaling_in_m(benchmark):
+    """The solver's O(m^2) edge enumeration at m = 1000."""
+    rng = np.random.default_rng(0)
+    cond = RankOneCondition(
+        u=rng.uniform(size=1000), v=rng.normal(size=1000), w=rng.normal(size=1000)
+    )
+    options = SolverOptions()
+    result = benchmark(lambda: maximize_rank_one_simplex(cond, options))
+    assert result.n_evaluations >= 1000

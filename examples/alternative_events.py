@@ -1,0 +1,68 @@
+"""Scenario: indistinguishability between two *alternative* events.
+
+The paper defers this definition to future work (Section II-C):
+"Alternatively we can define privacy as indistinguishability between an
+event and an alternative event."  Concretely: the adversary knows the
+user ran an errand mid-day; the secret is *which* errand -- the clinic
+or the shopping mall.  We quantify, per released prefix, the ratio
+``Pr(trace | clinic visit) / Pr(trace | mall visit)`` under increasingly
+strict mechanisms, and check arbitrary-prior safety with the certificate
++ search of :class:`repro.core.EventPairAnalyzer`.
+
+Run:  python examples/alternative_events.py
+"""
+
+import numpy as np
+
+from repro import (
+    EventPairAnalyzer,
+    GridMap,
+    PlanarLaplaceMechanism,
+    PresenceEvent,
+    Region,
+    gaussian_kernel_transitions,
+)
+from repro.core.event_pair import PairStatus
+from repro.markov.simulate import sample_trajectory
+
+HORIZON = 12
+EPSILON = 0.5
+
+
+def main() -> None:
+    grid = GridMap(8, 8, cell_size_km=1.0)
+    chain = gaussian_kernel_transitions(grid, sigma=1.5)
+    pi = np.full(grid.n_cells, 1.0 / grid.n_cells)
+
+    clinic = Region.rectangle(grid, (0, 1), (0, 1))
+    mall = Region.rectangle(grid, (6, 7), (6, 7))
+    clinic_visit = PresenceEvent(clinic, start=5, end=8)
+    mall_visit = PresenceEvent(mall, start=5, end=8)
+    analyzer = EventPairAnalyzer(chain, clinic_visit, mall_visit, horizon=HORIZON)
+
+    rng = np.random.default_rng(6)
+    truth = sample_trajectory(chain, HORIZON, initial=pi, rng=rng)
+
+    print(f"secret: clinic visit vs mall visit during t=5..8  (eps = {EPSILON})")
+    print(f"{'alpha':>6} {'max |log ratio| (fixed pi)':>28} {'arbitrary-pi verdicts':>24}")
+    for alpha in (2.0, 0.5, 0.1, 0.02):
+        lppm = PlanarLaplaceMechanism(grid, alpha)
+        released = [lppm.perturb(u, rng) for u in truth]
+        columns = np.stack([lppm.emission_column(o) for o in released])
+        ratios = analyzer.ratio_fixed_prior(pi, columns)
+        worst = max(abs(float(np.log(r))) for r in ratios)
+        checks = analyzer.check_arbitrary_prior(columns, epsilon=EPSILON, seed=0)
+        tally = {status: 0 for status in PairStatus}
+        for check in checks:
+            tally[check.status] += 1
+        verdicts = "/".join(f"{tally[s]}{s.value[0].upper()}" for s in PairStatus)
+        print(f"{alpha:>6} {worst:>28.3f} {verdicts:>24}")
+    print(
+        "\nweaker mechanisms reveal which errand happened (large log-ratio, "
+        "violations); strict ones keep the two stories indistinguishable "
+        "(certified Safe). Verdict key: S=safe, V=violated, U=unknown."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Scenario: hide a commuting PATTERN (home -> office every morning).
+
+The paper's second motivating secret: "regularly commuting between
+Address 1 and Address 2 every morning and afternoon" -- from which the
+adversary infers which addresses are home and office.  The secret is a
+PATTERN event: the user is in the home block, then the office block, on
+consecutive morning timestamps.  We protect it with PriSTE on top of
+delta-location set privacy (Algorithm 3), the mechanism designed for
+exactly this kind of strongly correlated mobility.
+
+Run:  python examples/commuting_pattern.py
+"""
+
+import numpy as np
+
+from repro import (
+    GridMap,
+    PatternEvent,
+    PriSTEConfig,
+    PriSTEDeltaLocationSet,
+    Region,
+)
+from repro.core.two_world import TwoWorldModel
+from repro.markov.simulate import sample_trajectory
+from repro.markov.synthetic import biased_commute_transitions
+
+HORIZON = 16
+EPSILON = 0.5
+
+
+def main() -> None:
+    grid = GridMap(8, 8, cell_size_km=0.5)
+    home = grid.cell_index(1, 1)
+    office = grid.cell_index(6, 6)
+    chain = biased_commute_transitions(
+        grid, anchors=(home, office), sigma=1.0, anchor_pull=0.6
+    )
+
+    home_block = Region.disk(grid, home, radius_km=0.75)
+    office_block = Region.disk(grid, office, radius_km=0.75)
+
+    # The commute PATTERN per Definition II.3: consecutive regions, one
+    # per timestamp -- in the home block at t=5, in the office block at
+    # t=6 (half-km cells, so one hop covers the commute leg).
+    event = PatternEvent([home_block, office_block], start=5)
+    print(f"protecting commute PATTERN {event}")
+
+    pi = np.zeros(grid.n_cells)
+    pi[home] = 1.0
+    pi = 0.95 * pi + 0.05 / grid.n_cells
+
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    print(f"prior Pr(pattern) = {model.prior_probability(pi):.3f}")
+
+    priste = PriSTEDeltaLocationSet(
+        chain,
+        event,
+        grid,
+        alpha=2.0,
+        delta=0.1,
+        initial=pi,
+        config=PriSTEConfig(epsilon=EPSILON, prior_mode="fixed", prior=pi),
+        horizon=HORIZON,
+    )
+
+    rng = np.random.default_rng(11)
+    budgets = []
+    errors = []
+    for _ in range(5):
+        truth = sample_trajectory(chain, HORIZON, initial=pi, rng=rng)
+        log = priste.run(truth, rng=rng)
+        budgets.append(log.average_budget)
+        errors.append(log.euclidean_error_km(grid, truth))
+    print(f"average kept budget over 5 days: {np.mean(budgets):.3f} (base 2.0)")
+    print(f"average Euclidean error:         {np.mean(errors):.3f} km")
+    print("the released traces satisfy "
+          f"{EPSILON}-spatiotemporal event privacy for the commute pattern")
+
+
+if __name__ == "__main__":
+    main()

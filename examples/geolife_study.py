@@ -1,0 +1,64 @@
+"""Scenario: train on (Geolife-like) GPS data and audit an LPPM.
+
+End-to-end data pipeline: simulate Geolife-style commuter traces around
+Beijing (or load the real dataset by passing its root directory),
+discretize onto a km grid, train the Markov model exactly as the paper
+does, then *audit* how much spatiotemporal event privacy a fixed planar
+Laplace mechanism provides for a PRESENCE secret -- the Section III
+quantification question, before any calibration.
+
+Run:  python examples/geolife_study.py [GEOLIFE_ROOT]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import PlanarLaplaceMechanism, quantify_fixed_prior
+from repro.experiments.scenarios import geolife_scenario
+
+
+def main() -> None:
+    root = sys.argv[1] if len(sys.argv) > 1 else None
+    scenario = geolife_scenario(
+        root=root, n_users=6, n_days=3, cell_size_km=1.0, horizon=30, rng=0
+    )
+    grid, chain = scenario.grid, scenario.chain
+    print(f"data source: {scenario.source}")
+    print(f"grid: {grid.n_rows} x {grid.n_cols} cells of {grid.cell_size_km} km")
+    print(f"trained chain: pattern strength {chain.pattern_strength():.2f}")
+
+    # The secret: presence in the busiest block during timestamps 5..10.
+    visit_counts = np.zeros(grid.n_cells)
+    for trajectory in scenario.trajectories:
+        for cell in trajectory:
+            visit_counts[cell] += 1
+    busiest = int(np.argmax(visit_counts))
+    event = scenario.presence_event(
+        max(0, busiest - 1), min(grid.n_cells - 1, busiest + 1), 5, 10
+    )
+    print(f"auditing secret: {event}")
+
+    rng = np.random.default_rng(1)
+    print(f"{'alpha':>6} | {'realized eps (median/max over 20 walks)':>40}")
+    for alpha in (0.5, 1.0, 2.0, 4.0):
+        lppm = PlanarLaplaceMechanism(grid, alpha)
+        losses = []
+        for _ in range(20):
+            truth = scenario.sample_trajectory(rng)
+            released = [lppm.perturb(u, rng) for u in truth]
+            result = quantify_fixed_prior(
+                chain, event, lppm, released, scenario.initial,
+                horizon=scenario.horizon,
+            )
+            losses.append(result.epsilon)
+        losses = np.asarray(losses)
+        print(f"{alpha:>6} | median {np.median(losses):8.3f}   max {losses.max():8.3f}")
+    print(
+        "larger alpha (weaker location privacy) leaks more spatiotemporal "
+        "event privacy -- the gap PriSTE's calibration closes"
+    )
+
+
+if __name__ == "__main__":
+    main()

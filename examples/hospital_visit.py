@@ -1,0 +1,114 @@
+"""Scenario: hide a hospital visit from a location-based service.
+
+The paper's motivating example: "visited hospital in the last week".  A
+commuter shares her location with an LBS; an adversary knowing her
+mobility pattern runs optimal forward-backward inference on the released
+trace.  We compare what the adversary learns about the hospital-visit
+event under (a) a plain planar Laplace mechanism tuned for location
+privacy only, and (b) the same mechanism calibrated by PriSTE for
+spatiotemporal event privacy.
+
+Run:  python examples/hospital_visit.py
+"""
+
+import numpy as np
+
+from repro import (
+    GridMap,
+    PlanarLaplaceMechanism,
+    PresenceEvent,
+    PriSTE,
+    PriSTEConfig,
+    Region,
+)
+from repro.core.joint import joint_probability, observation_probability
+from repro.core.two_world import TwoWorldModel
+from repro.markov.simulate import sample_trajectory
+from repro.markov.synthetic import biased_commute_transitions
+
+HORIZON = 24  # one day, hourly samples
+EPSILON = 0.4
+
+
+def build_world():
+    """A 10x10 km city with home, office and a hospital block."""
+    grid = GridMap(10, 10, cell_size_km=1.0)
+    home = grid.cell_index(1, 1)
+    office = grid.cell_index(8, 8)
+    chain = biased_commute_transitions(
+        grid, anchors=(home, office), sigma=1.0, anchor_pull=0.55
+    )
+    hospital = Region.rectangle(grid, (4, 5), (0, 1))
+    return grid, chain, home, hospital
+
+
+def adversary_event_posterior(chain, event, emission_matrices, released, pi):
+    """Pr(EVENT | released trace) for an adversary knowing the chain."""
+    model = TwoWorldModel(chain, event, horizon=len(released))
+    columns = np.stack(
+        [matrix[:, o] for matrix, o in zip(emission_matrices, released)]
+    )
+    joint = joint_probability(model, pi, columns)
+    total = observation_probability(model, pi, columns)
+    return joint / total
+
+
+def main() -> None:
+    grid, chain, home, hospital = build_world()
+    pi = np.zeros(grid.n_cells)
+    pi[home] = 1.0
+    # A strictly positive prior keeps the event ratio well-defined while
+    # staying overwhelmingly "starts at home".
+    pi = 0.99 * pi + 0.01 / grid.n_cells
+
+    # Secret: present at the hospital block sometime mid-day (t = 9..14).
+    event = PresenceEvent(hospital, start=9, end=14)
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    print(f"prior Pr(hospital visit) = {model.prior_probability(pi):.3f}")
+
+    # A day that does include a hospital visit: force the walk through it.
+    rng = np.random.default_rng(4)
+    truth = None
+    for _ in range(400):
+        candidate = sample_trajectory(chain, HORIZON, initial=pi, rng=rng)
+        if event.ground_truth(candidate):
+            truth = candidate
+            break
+    if truth is None:
+        raise SystemExit("no visiting trajectory sampled; increase attempts")
+    print(f"ground truth: the user DID visit the hospital")
+
+    # (a) Location privacy only: fixed 1.0-PLM.
+    plain = PlanarLaplaceMechanism(grid, alpha=1.0)
+    released_plain = [plain.perturb(u, rng) for u in truth]
+    posterior_plain = adversary_event_posterior(
+        chain, event, [plain.emission_matrix()] * HORIZON, released_plain, pi
+    )
+
+    # (b) PriSTE-calibrated release of the same trajectory.
+    config = PriSTEConfig(epsilon=EPSILON, prior_mode="fixed", prior=pi)
+    priste = PriSTE(chain, event, plain, config, horizon=HORIZON)
+    log = priste.run(truth, rng=4)
+    matrices = [
+        PlanarLaplaceMechanism(grid, record.budget).emission_matrix()
+        for record in log.records
+    ]
+    posterior_priste = adversary_event_posterior(
+        chain, event, matrices, log.released_cells, pi
+    )
+
+    prior = model.prior_probability(pi)
+    print(f"adversary posterior, plain 1.0-PLM : {posterior_plain:.3f}")
+    print(f"adversary posterior, PriSTE        : {posterior_priste:.3f}")
+    print(
+        f"PriSTE kept the posterior within the epsilon-band of the prior: "
+        f"|log-odds shift| = "
+        f"{abs(np.log((posterior_priste / (1 - posterior_priste)) / (prior / (1 - prior)))):.3f}"
+        f" <= {EPSILON}"
+    )
+    print(f"utility cost: avg budget {log.average_budget:.3f} vs base 1.0; "
+          f"avg error {log.euclidean_error_km(grid, truth):.2f} km")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Scenario: audit LPPM families for event privacy and attack resistance.
+
+How much spatiotemporal event privacy do the classic LPPM families give
+for free?  We quantify the realized loss of planar Laplace, k-randomized
+response, the exponential mechanism, and spatial cloaking (with and
+without block noise) for the same PRESENCE secret, and measure the
+adversary's localization ability (expected error, top-1 accuracy) with
+the inference toolkit.  Deterministic cloaking — k-anonymous for
+location queries — leaks events that align with block boundaries
+completely, which is the paper's motivating gap.
+
+Run:  python examples/mechanism_audit.py
+"""
+
+import numpy as np
+
+from repro import (
+    CloakingMechanism,
+    ExponentialMechanism,
+    GridMap,
+    PlanarLaplaceMechanism,
+    PresenceEvent,
+    RandomizedResponseMechanism,
+    Region,
+    gaussian_kernel_transitions,
+    location_posteriors,
+    quantify_fixed_prior,
+)
+from repro.errors import ReproError
+from repro.markov.simulate import sample_trajectory
+from repro.metrics.privacy import expected_inference_error_km, top1_accuracy
+
+HORIZON = 20
+N_WALKS = 15
+
+
+def main() -> None:
+    grid = GridMap(8, 8, cell_size_km=1.0)
+    chain = gaussian_kernel_transitions(grid, sigma=1.0)
+    pi = np.full(grid.n_cells, 1.0 / grid.n_cells)
+    # Secret aligned with a cloaking block on purpose.
+    event = PresenceEvent(Region.rectangle(grid, (0, 1), (0, 1)), start=5, end=8)
+
+    mechanisms = {
+        "1.0-PLM": PlanarLaplaceMechanism(grid, 1.0),
+        "2.0-exponential": ExponentialMechanism.from_distance(grid, 2.0),
+        "ln(8)-kRR": RandomizedResponseMechanism(grid.n_cells, np.log(8.0)),
+        "cloaking k=4 (det.)": CloakingMechanism.k_anonymous(grid, k=4),
+        "cloaking k=4 (noisy)": CloakingMechanism.k_anonymous(
+            grid, k=4, flip_probability=0.35
+        ),
+    }
+
+    rng = np.random.default_rng(3)
+    walks = [sample_trajectory(chain, HORIZON, initial=pi, rng=rng) for _ in range(N_WALKS)]
+
+    header = f"{'mechanism':<22} {'event eps (max)':>16} {'adv err km':>11} {'top-1':>6}"
+    print(header)
+    print("-" * len(header))
+    for name, mechanism in mechanisms.items():
+        losses = []
+        errors = []
+        accuracy = []
+        for truth in walks:
+            released = [mechanism.perturb(u, rng) for u in truth]
+            try:
+                result = quantify_fixed_prior(
+                    chain, event, mechanism, released, pi, horizon=HORIZON
+                )
+                losses.append(result.epsilon)
+            except ReproError:
+                losses.append(float("inf"))
+            posteriors = location_posteriors(chain, pi, mechanism, released)
+            errors.append(expected_inference_error_km(posteriors, truth, grid))
+            accuracy.append(top1_accuracy(posteriors, truth))
+        worst = max(losses)
+        loss_label = f"{worst:.2f}" if np.isfinite(worst) else "inf"
+        print(
+            f"{name:<22} {loss_label:>16} {np.mean(errors):>11.2f} "
+            f"{np.mean(accuracy):>6.2f}"
+        )
+
+    print(
+        "\nDeterministic cloaking: strong k-anonymity for single queries, "
+        "*infinite* event-privacy loss when the secret aligns with a block "
+        "-- the gap PriSTE closes by calibrating a randomized mechanism."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""PriSTE: from location privacy to spatiotemporal event privacy.
+
+A from-scratch reproduction of Cao, Xiao, Xiong & Bai, *PriSTE: From
+Location Privacy to Spatiotemporal Event Privacy* (ICDE 2019).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        GridMap, Region, PresenceEvent, PlanarLaplaceMechanism,
+        PriSTE, PriSTEConfig, gaussian_kernel_transitions, sample_trajectory,
+    )
+
+    grid = GridMap(20, 20, cell_size_km=1.0)
+    chain = gaussian_kernel_transitions(grid, sigma=1.0)
+    event = PresenceEvent(Region.from_range(grid.n_cells, 0, 9), start=4, end=8)
+    lppm = PlanarLaplaceMechanism(grid, alpha=0.2)
+    priste = PriSTE(chain, event, lppm, PriSTEConfig(epsilon=0.5), horizon=50)
+
+    pi = np.full(grid.n_cells, 1.0 / grid.n_cells)
+    truth = sample_trajectory(chain, 50, initial=pi, rng=0)
+    log = priste.run(truth, rng=0)
+    print(log.average_budget, log.euclidean_error_km(grid, truth))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from .attacks import (
+    EventInferenceAttack,
+    location_posteriors,
+    viterbi_map_trajectory,
+)
+from .core.automaton_engine import AutomatonModel
+from .core.event_pair import EventPairAnalyzer
+from .core.joint import EventQuantifier
+from .core.priste import (
+    PriSTE,
+    PriSTEConfig,
+    PriSTEDeltaLocationSet,
+    ReleaseLog,
+    ReleaseRecord,
+)
+from .core.qp import SolveResult, SolverOptions, SolverStatus
+from .core.quantify import (
+    PrivacyCheck,
+    QuantificationResult,
+    quantify_fixed_prior,
+    verify_event_privacy,
+)
+from .core.theorem import RankOneCondition, privacy_conditions
+from .core.two_world import TwoWorldModel
+from .errors import ReproError
+from .events import (
+    PatternEvent,
+    PresenceEvent,
+    SpatiotemporalEvent,
+    compile_event,
+)
+from .geo import GridMap, Region
+from .io import load_json, save_json
+from .lppm import (
+    CloakingMechanism,
+    DeltaLocationSetMechanism,
+    ExponentialMechanism,
+    PlanarLaplaceMechanism,
+    RandomizedResponseMechanism,
+    UniformMechanism,
+)
+from .markov import (
+    TimeVaryingChain,
+    TransitionMatrix,
+    fit_initial_distribution,
+    fit_transition_matrix,
+    gaussian_kernel_transitions,
+    sample_trajectory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # geo
+    "GridMap",
+    "Region",
+    # markov
+    "TransitionMatrix",
+    "TimeVaryingChain",
+    "gaussian_kernel_transitions",
+    "fit_transition_matrix",
+    "fit_initial_distribution",
+    "sample_trajectory",
+    # events
+    "SpatiotemporalEvent",
+    "PresenceEvent",
+    "PatternEvent",
+    "compile_event",
+    # lppm
+    "PlanarLaplaceMechanism",
+    "DeltaLocationSetMechanism",
+    "UniformMechanism",
+    "RandomizedResponseMechanism",
+    "ExponentialMechanism",
+    "CloakingMechanism",
+    # attacks
+    "EventInferenceAttack",
+    "location_posteriors",
+    "viterbi_map_trajectory",
+    # io
+    "save_json",
+    "load_json",
+    # core
+    "TwoWorldModel",
+    "AutomatonModel",
+    "EventPairAnalyzer",
+    "EventQuantifier",
+    "RankOneCondition",
+    "privacy_conditions",
+    "SolverOptions",
+    "SolverStatus",
+    "SolveResult",
+    "quantify_fixed_prior",
+    "verify_event_privacy",
+    "QuantificationResult",
+    "PrivacyCheck",
+    "PriSTE",
+    "PriSTEConfig",
+    "PriSTEDeltaLocationSet",
+    "ReleaseLog",
+    "ReleaseRecord",
+]

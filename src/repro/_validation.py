@@ -1,0 +1,177 @@
+"""Shared validation helpers.
+
+These functions normalize user input into canonical numpy forms and raise
+:class:`repro.errors.ValidationError` with actionable messages.  They are
+used at the public boundaries of every subsystem so the numerical core can
+assume well-formed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .errors import ValidationError
+
+#: Default absolute tolerance for probability arithmetic.  Chosen to be
+#: loose enough for long products of row-stochastic matrices in float64.
+PROB_ATOL = 1e-9
+
+
+def as_float_array(values, name: str = "array") -> np.ndarray:
+    """Return ``values`` as a C-contiguous float64 numpy array."""
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not numeric: {exc}") from exc
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return np.ascontiguousarray(arr)
+
+
+def check_probability_vector(
+    vector, name: str = "probability vector", atol: float = PROB_ATOL
+) -> np.ndarray:
+    """Validate a 1-D distribution: non-negative entries summing to one."""
+    vec = as_float_array(vector, name)
+    if vec.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {vec.shape}")
+    if vec.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if np.any(vec < -atol):
+        raise ValidationError(f"{name} has negative entries (min={vec.min():.3g})")
+    total = float(vec.sum())
+    if abs(total - 1.0) > max(atol, atol * vec.size):
+        raise ValidationError(f"{name} sums to {total:.12g}, expected 1")
+    vec = np.clip(vec, 0.0, None)
+    return vec / vec.sum()
+
+
+def check_stochastic_matrix(
+    matrix, name: str = "transition matrix", atol: float = PROB_ATOL
+) -> np.ndarray:
+    """Validate a square row-stochastic matrix and renormalize rows."""
+    mat = as_float_array(matrix, name)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise ValidationError(f"{name} must be square 2-D, got shape {mat.shape}")
+    if np.any(mat < -atol):
+        raise ValidationError(f"{name} has negative entries (min={mat.min():.3g})")
+    row_sums = mat.sum(axis=1)
+    if np.any(np.abs(row_sums - 1.0) > max(atol, atol * mat.shape[1])):
+        worst = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValidationError(
+            f"{name} row {worst} sums to {row_sums[worst]:.12g}, expected 1"
+        )
+    mat = np.clip(mat, 0.0, None)
+    return mat / mat.sum(axis=1, keepdims=True)
+
+
+def check_emission_matrix(
+    matrix, n_states: int, name: str = "emission matrix", atol: float = PROB_ATOL
+) -> np.ndarray:
+    """Validate an emission matrix with ``n_states`` rows.
+
+    Rows are true locations, columns are outputs; each row is a
+    distribution over outputs.  The matrix need not be square: mechanisms
+    may restrict (δ-location set) or enlarge the output alphabet.
+    """
+    mat = as_float_array(matrix, name)
+    if mat.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got shape {mat.shape}")
+    if mat.shape[0] != n_states:
+        raise ValidationError(
+            f"{name} must have {n_states} rows (one per true location), "
+            f"got {mat.shape[0]}"
+        )
+    if np.any(mat < -atol):
+        raise ValidationError(f"{name} has negative entries (min={mat.min():.3g})")
+    row_sums = mat.sum(axis=1)
+    if np.any(np.abs(row_sums - 1.0) > max(atol, atol * mat.shape[1])):
+        worst = int(np.argmax(np.abs(row_sums - 1.0)))
+        raise ValidationError(
+            f"{name} row {worst} sums to {row_sums[worst]:.12g}, expected 1"
+        )
+    mat = np.clip(mat, 0.0, None)
+    return mat / mat.sum(axis=1, keepdims=True)
+
+
+def check_index(index: int, size: int, name: str = "index") -> int:
+    """Validate an integer index in ``[0, size)``."""
+    idx = int(index)
+    if idx != index:
+        raise ValidationError(f"{name} must be an integer, got {index!r}")
+    if not 0 <= idx < size:
+        raise ValidationError(f"{name}={idx} out of range [0, {size})")
+    return idx
+
+
+def check_timestamp(t: int, horizon: int | None = None, name: str = "timestamp") -> int:
+    """Validate a 1-based paper-style timestamp, optionally within a horizon."""
+    ts = int(t)
+    if ts != t or ts < 1:
+        raise ValidationError(f"{name} must be an integer >= 1, got {t!r}")
+    if horizon is not None and ts > horizon:
+        raise ValidationError(f"{name}={ts} exceeds horizon T={horizon}")
+    return ts
+
+
+def check_indicator_vector(
+    vector, size: int, name: str = "region indicator"
+) -> np.ndarray:
+    """Validate a 0/1 indicator vector of length ``size``."""
+    vec = as_float_array(vector, name)
+    if vec.shape != (size,):
+        raise ValidationError(f"{name} must have shape ({size},), got {vec.shape}")
+    if not np.all((vec == 0.0) | (vec == 1.0)):
+        raise ValidationError(f"{name} must contain only 0s and 1s")
+    return vec
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Validate a strictly positive finite scalar."""
+    val = float(value)
+    if not np.isfinite(val) or val <= 0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value!r}")
+    return val
+
+
+def check_non_negative(value: float, name: str = "value") -> float:
+    """Validate a non-negative finite scalar."""
+    val = float(value)
+    if not np.isfinite(val) or val < 0:
+        raise ValidationError(
+            f"{name} must be a non-negative finite number, got {value!r}"
+        )
+    return val
+
+
+def check_unit_interval(value: float, name: str = "value") -> float:
+    """Validate a scalar in ``[0, 1]``."""
+    val = float(value)
+    if not np.isfinite(val) or not 0.0 <= val <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return val
+
+
+def check_cell_sequence(cells: Sequence[int], size: int, name: str = "cells"):
+    """Validate a sequence of cell indices; returns a tuple of ints."""
+    out = []
+    for position, cell in enumerate(cells):
+        out.append(check_index(cell, size, f"{name}[{position}]"))
+    return tuple(out)
+
+
+def resolve_rng(rng=None) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh default generator), an integer seed, or an
+    existing generator.  The library never touches numpy's global RNG.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise ValidationError(f"rng must be None, an int seed or a Generator, got {rng!r}")

@@ -1,0 +1,31 @@
+"""Adversary toolkit: the inference attacks PriSTE defends against.
+
+The paper's threat model is "attackers who have knowledge of user's
+mobility pattern" running Bayesian inference on the released locations.
+This package makes that adversary concrete:
+
+* :class:`EventInferenceAttack` -- posterior belief about a
+  spatiotemporal event given a released trace (what Definition II.4
+  bounds relative to the prior),
+* :func:`location_posteriors` -- per-timestamp location inference
+  (forward-backward smoothing, Eqs. 10-12),
+* :func:`viterbi_map_trajectory` -- the most likely true trajectory
+  given the released one (MAP decoding).
+
+These are used by the examples to *show* the protection and by tests to
+validate the privacy semantics end to end.
+"""
+
+from .inference import (
+    EventInferenceAttack,
+    location_posteriors,
+    top_k_locations,
+    viterbi_map_trajectory,
+)
+
+__all__ = [
+    "EventInferenceAttack",
+    "location_posteriors",
+    "viterbi_map_trajectory",
+    "top_k_locations",
+]

@@ -1,0 +1,150 @@
+"""Command-line entry point: ``python -m repro.cli <experiment>``.
+
+Reproduces any of the paper's figures/tables from the shell.  Run with
+``--help`` for options; experiment names match DESIGN.md's index
+(``fig7`` .. ``fig14``, ``table3``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.runners import (
+    run_budget_over_time,
+    run_conservative_release_table,
+    run_runtime_scaling,
+    run_utility_sweep,
+)
+from .experiments.scenarios import geolife_scenario, synthetic_scenario
+
+
+def _fig_budget_over_time(args, window: tuple[int, int], label: str) -> str:
+    scenario = synthetic_scenario(horizon=args.horizon, sigma=args.sigma)
+    event = scenario.presence_event(0, 9, *window)
+    events = [event]
+    if args.second_window:
+        events.append(scenario.presence_event(0, 9, 16, 20))
+    fixed_alpha = [(f"eps={e}" , 0.2, e) for e in (0.1, 0.5, 1.0)]
+    result_a = run_budget_over_time(
+        scenario, events, fixed_alpha, n_runs=args.runs,
+        mechanism=args.mechanism, seed=args.seed,
+        label=f"{label} (a): 0.2-PLM, varying eps",
+    )
+    fixed_eps = [(f"alpha={a}", a, 0.5) for a in (0.1, 0.5, 1.0)]
+    result_b = run_budget_over_time(
+        scenario, events, fixed_eps, n_runs=args.runs,
+        mechanism=args.mechanism, seed=args.seed,
+        label=f"{label} (b): varying PLM, eps=0.5",
+    )
+    return result_a.to_text() + "\n\n" + result_b.to_text()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PriSTE experiment harness"
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "table3",
+        ],
+    )
+    parser.add_argument("--runs", type=int, default=10, help="runs per curve")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--horizon", type=int, default=50,
+        help="release horizon T (clamped to >= 21 so the paper's event "
+        "windows {4:8} and {16:20} fit)",
+    )
+    parser.add_argument("--sigma", type=float, default=1.0)
+    parser.add_argument(
+        "--geolife-root", default=None,
+        help="path to a real Geolife dataset (default: simulator substitute)",
+    )
+    args = parser.parse_args(argv)
+    args.horizon = max(args.horizon, 21)
+    args.mechanism = "geoind"
+    args.second_window = False
+
+    if args.experiment == "fig7":
+        print(_fig_budget_over_time(args, (4, 8), "Fig. 7 PRESENCE(S={1:10}, T={4:8})"))
+    elif args.experiment == "fig8":
+        print(_fig_budget_over_time(args, (16, 20), "Fig. 8 PRESENCE(S={1:10}, T={16:20})"))
+    elif args.experiment == "fig9":
+        args.second_window = True
+        print(_fig_budget_over_time(args, (4, 8), "Fig. 9 two PRESENCE events"))
+    elif args.experiment == "fig10":
+        args.mechanism = "delta"
+        args.horizon = min(args.horizon, 20)
+        print(_fig_budget_over_time(args, (4, 8), "Fig. 10 delta-location set"))
+    elif args.experiment == "fig11":
+        scenario = geolife_scenario(root=args.geolife_root, rng=args.seed)
+        result = run_utility_sweep(
+            scenario_for=lambda params: scenario,
+            events_for=lambda sc, params: [sc.presence_event(0, 9, 4, 8)],
+            curve_settings=[(f"{a}-PLM", {"alpha": a}) for a in (0.5, 1.0, 3.0, 5.0)],
+            epsilons=(0.1, 0.5, 1.0, 2.0),
+            n_runs=args.runs,
+            seed=args.seed,
+            label="Fig. 11 Geolife PRESENCE(S={1:10}, T={4:8})",
+        )
+        print(result.to_text())
+    elif args.experiment == "fig12":
+        scenario = geolife_scenario(root=args.geolife_root, rng=args.seed)
+        result = run_utility_sweep(
+            scenario_for=lambda params: scenario,
+            events_for=lambda sc, params: [sc.presence_event(0, 9, 4, 8)],
+            curve_settings=[
+                (f"delta={d}", {"alpha": 0.5, "mechanism": "delta", "delta": d})
+                for d in (0.1, 0.3, 0.5, 0.7)
+            ],
+            epsilons=(0.1, 1.0, 2.0, 3.0),
+            n_runs=args.runs,
+            seed=args.seed,
+            label="Fig. 12 Geolife, 0.5-PLM with delta-location set privacy",
+        )
+        print(result.to_text())
+    elif args.experiment == "fig13":
+        result = run_utility_sweep(
+            scenario_for=lambda params: synthetic_scenario(
+                sigma=params["sigma"], horizon=args.horizon
+            ),
+            events_for=lambda sc, params: [sc.presence_event(0, 9, 4, 8)],
+            curve_settings=[
+                (f"sigma={s}", {"alpha": 1.0, "sigma": s}) for s in (0.01, 0.1, 1.0, 10.0)
+            ],
+            epsilons=(0.1, 0.5, 1.0, 2.0),
+            n_runs=args.runs,
+            seed=args.seed,
+            label="Fig. 13 synthetic, 1-PLM, varying mobility pattern strength",
+        )
+        print(result.to_text())
+    elif args.experiment == "fig14":
+        scenario = synthetic_scenario(n_rows=8, n_cols=8, horizon=20)
+        by_length = run_runtime_scaling(
+            scenario, axis="length", values=(3, 5, 7, 9), fixed=5, seed=args.seed
+        )
+        by_width = run_runtime_scaling(
+            scenario, axis="width", values=(3, 5, 7, 9), fixed=5, seed=args.seed
+        )
+        print(by_length.to_text())
+        print()
+        print(by_width.to_text())
+    elif args.experiment == "table3":
+        scenario = synthetic_scenario(horizon=20)
+        event = scenario.presence_event(0, 9, 4, 8)
+        table, _ = run_conservative_release_table(
+            scenario, event,
+            thresholds=(0.01, 0.1, 1.0, 2.0, 5.0, None),
+            n_runs=max(1, args.runs // 2),
+            seed=args.seed,
+        )
+        print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Core engine: the paper's primary contribution.
+
+* :class:`TwoWorldModel` -- the lifted 2m-state Markov chain of Section
+  III (Eqs. 3-8) and the Lemma III.1 prior.
+* :class:`EventQuantifier` -- incremental computation of the Theorem IV.1
+  vectors ``a``, ``b``, ``c`` (Algorithm 2's ``A``/``B`` bookkeeping).
+* :mod:`repro.core.theorem` -- the Eq. (15)/(16) quadratic conditions.
+* :mod:`repro.core.qp` -- the quadratic-programming solver replacing IBM
+  CPLEX, exact over the probability simplex for the rank-1 forms the
+  theorem produces.
+* :class:`PriSTE` -- Algorithms 1/2 (with geo-indistinguishability) and
+  :class:`PriSTEDeltaLocationSet` -- Algorithm 3.
+* :mod:`repro.core.baseline` -- Appendix B's exponential enumeration.
+* :mod:`repro.core.automaton_engine` -- generalized engine for arbitrary
+  event expressions (extension; PRESENCE/PATTERN reduce to two worlds).
+"""
+
+from .automaton_engine import AutomatonModel
+from .baseline import (
+    enumerate_joint,
+    enumerate_prior,
+    pattern_joint_naive,
+    pattern_prior_naive,
+)
+from .event_pair import EventPairAnalyzer, PairCheckResult, PairStatus, pair_certificate
+from .forward_backward import backward_messages, forward_messages, smoothed_posteriors
+from .joint import EventQuantifier
+from .priste import (
+    PriSTE,
+    PriSTEConfig,
+    PriSTEDeltaLocationSet,
+    ReleaseLog,
+    ReleaseRecord,
+)
+from .qp import SolveResult, SolverOptions, SolverStatus
+from .quantify import (
+    PrivacyCheck,
+    QuantificationResult,
+    quantify_fixed_prior,
+    verify_event_privacy,
+)
+from .theorem import RankOneCondition, condition_value, privacy_conditions
+from .two_world import TwoWorldModel
+
+__all__ = [
+    "TwoWorldModel",
+    "EventQuantifier",
+    "forward_messages",
+    "backward_messages",
+    "smoothed_posteriors",
+    "RankOneCondition",
+    "privacy_conditions",
+    "condition_value",
+    "SolverOptions",
+    "SolverStatus",
+    "SolveResult",
+    "PriSTE",
+    "PriSTEConfig",
+    "PriSTEDeltaLocationSet",
+    "ReleaseLog",
+    "ReleaseRecord",
+    "QuantificationResult",
+    "PrivacyCheck",
+    "quantify_fixed_prior",
+    "verify_event_privacy",
+    "enumerate_prior",
+    "enumerate_joint",
+    "pattern_prior_naive",
+    "pattern_joint_naive",
+    "AutomatonModel",
+    "EventPairAnalyzer",
+    "PairCheckResult",
+    "PairStatus",
+    "pair_certificate",
+]

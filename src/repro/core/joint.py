@@ -1,0 +1,269 @@
+"""Joint probabilities of events and observations (Lemmas III.2 / III.3).
+
+:class:`EventQuantifier` is the pi-free, incremental form used by
+Algorithm 2: instead of a number it maintains *matrices* so that, at every
+timestamp and for every candidate perturbed location, the Theorem IV.1
+vectors ``a``, ``b``, ``c`` come out as functions of the (unknown,
+adversary-chosen) initial distribution ``pi``:
+
+* ``a[i] = Pr(EVENT | u_1 = s_i)``
+* ``b[i] = Pr(EVENT, o_1..o_t | u_1 = s_i)`` (Lemma III.2 / III.3)
+* ``c[i] = Pr(o_1..o_t | u_1 = s_i)``
+
+The implementation mirrors Algorithm 2's bookkeeping (lines 3-15 and
+21-25) with two refinements:
+
+* fronts are kept *collapsed* to pi-space, i.e. ``(m, 2m)`` matrices
+  ``L A`` rather than the paper's ``(2m, 2m)`` ``A``, halving the cost and
+  absorbing the ``start == 1`` initial-split extension for free;
+* the transition-propagation step (independent of the candidate output)
+  is separated from the cheap per-candidate step, so PriSTE's budget-
+  halving loop pays O(m^2) per retry instead of O(m^3);
+* fronts are renormalized each commit and the log of the factored-out
+  scale is tracked, so 50+ timestamp sequences cannot underflow.  The
+  returned ``b``/``c`` share one scale factor, which cancels in every
+  ratio and preserves the sign of the Theorem IV.1 conditions.
+
+Per the paper (Section III-C), the emission matrix may differ at every
+timestamp: each call takes the current emission column ``p~_{o_t}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_probability_vector
+from ..errors import QuantificationError
+from .two_world import TwoWorldModel
+
+class EventQuantifier:
+    """Incremental ``a``/``b``/``c`` computation for one event.
+
+    Protocol, per timestamp ``t = 1..T`` (1-based, in order):
+
+    1. :meth:`prepare` once -- propagates the committed state through
+       ``M_{t-1}`` (identity at ``t == 1``);
+    2. :meth:`candidate_bc` any number of times with candidate emission
+       columns (PriSTE's halving loop);
+    3. :meth:`commit` once with the emission column of the mechanism and
+       output actually released.
+    """
+
+    def __init__(self, model: TwoWorldModel):
+        self._model = model
+        m = model.n_states
+        self._m = m
+        # Phase 1 front: L A, shape (m, 2m).  Starts as the initial lift.
+        self._front: np.ndarray | None = model.initial_lift_matrix()
+        # Phase 2 fronts (t > end): event-true part and total.
+        self._front_true: np.ndarray | None = None
+        self._front_all: np.ndarray | None = None
+        self._committed_t = 0
+        self._prepared_t: int | None = None
+        self._prop: np.ndarray | None = None
+        self._prop_true: np.ndarray | None = None
+        self._prop_all: np.ndarray | None = None
+        self._log_scale = 0.0
+        self._tails = model.tail_vectors()
+        self._a = model.prior_vector()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> TwoWorldModel:
+        """The underlying two-world model."""
+        return self._model
+
+    @property
+    def committed_t(self) -> int:
+        """Last timestamp whose release has been committed (0 = none)."""
+        return self._committed_t
+
+    @property
+    def log_scale(self) -> float:
+        """Natural log of the positive factor divided out of ``b``/``c``.
+
+        The true joint probabilities are ``exp(log_scale)`` times the
+        values implied by :meth:`candidate_bc`'s output.
+        """
+        return self._log_scale
+
+    def a_vector(self) -> np.ndarray:
+        """Collapsed prior vector ``a`` (Eq. 17), unscaled."""
+        return self._a.copy()
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+    def prepare(self, t: int) -> None:
+        """Propagate committed state through ``M_{t-1}`` for timestamp t."""
+        if t != self._committed_t + 1:
+            raise QuantificationError(
+                f"prepare({t}) called out of order; committed through "
+                f"t={self._committed_t}"
+            )
+        if t > self._model.horizon:
+            raise QuantificationError(
+                f"t={t} beyond model horizon {self._model.horizon}"
+            )
+        if self._committed_t <= self._model.end and self._front is not None:
+            # Phase 1: single front, lifted transition (identity at t=1).
+            if t == 1:
+                self._prop = self._front
+            else:
+                self._prop = self._model.propagate_front(self._front, t - 1)
+        else:
+            # Phase 2: both fronts propagate through the (block-diagonal
+            # after the event) lifted matrix.
+            self._prop_true = self._model.propagate_front(self._front_true, t - 1)
+            self._prop_all = self._model.propagate_front(self._front_all, t - 1)
+        self._prepared_t = t
+
+    def _lift_column(self, ptilde) -> np.ndarray:
+        col = as_float_array(ptilde, "emission column")
+        if col.shape != (self._m,):
+            raise QuantificationError(
+                f"emission column must have shape ({self._m},), got {col.shape}"
+            )
+        if np.any(col < 0) or np.any(col > 1):
+            raise QuantificationError("emission probabilities must lie in [0, 1]")
+        return np.concatenate([col, col])
+
+    def candidate_bc(self, t: int, ptilde) -> tuple[np.ndarray, np.ndarray]:
+        """Scaled ``(b, c)`` if ``ptilde`` were the column released at t.
+
+        ``b[i] ~ Pr(EVENT, o_1..o_t | u_1 = s_i)`` and
+        ``c[i] ~ Pr(o_1..o_t | u_1 = s_i)``, both times the common factor
+        ``exp(-log_scale)``.
+        """
+        if self._prepared_t != t:
+            raise QuantificationError(
+                f"candidate_bc({t}) requires prepare({t}) first"
+            )
+        lifted = self._lift_column(ptilde)
+        if self._prop is not None:
+            # Lemma III.2: append the emission and the tail product.
+            tail = self._tails[t - 1] if t <= self._model.end else None
+            if tail is None:
+                raise QuantificationError(
+                    "internal error: phase 1 prepared beyond event end"
+                )
+            b = self._prop @ (lifted * tail)
+            c = self._prop @ lifted
+        else:
+            # Lemma III.3: the backward product hits the frozen end-front.
+            b = self._prop_true @ lifted
+            c = self._prop_all @ lifted
+        return b, c
+
+    def commit(self, t: int, ptilde) -> None:
+        """Fold the released emission column into the state (lines 21-25)."""
+        if self._prepared_t != t:
+            raise QuantificationError(f"commit({t}) requires prepare({t}) first")
+        lifted = self._lift_column(ptilde)
+        if self._prop is not None:
+            front = self._prop * lifted[None, :]
+            if t == self._model.end:
+                # Cross into phase 2: freeze the end-front, split it into
+                # the event-true part (true-world columns) and the total.
+                self._front_all = front
+                front_true = front.copy()
+                front_true[:, : self._m] = 0.0
+                self._front_true = front_true
+                self._front = None
+            else:
+                self._front = front
+        else:
+            self._front_true = self._prop_true * lifted[None, :]
+            self._front_all = self._prop_all * lifted[None, :]
+        self._rescale()
+        self._committed_t = t
+        self._prepared_t = None
+        self._prop = None
+        self._prop_true = None
+        self._prop_all = None
+
+    def _rescale(self) -> None:
+        # Normalize at every commit: b/c magnitudes then stay within a
+        # factor ~m of 1 regardless of sequence length, which keeps the
+        # solver's relative tolerance meaningful and rules out underflow.
+        reference = self._front if self._front is not None else self._front_all
+        peak = float(reference.max())
+        if 0.0 < peak and peak != 1.0:
+            if self._front is not None:
+                self._front = self._front / peak
+            else:
+                self._front_all = self._front_all / peak
+                self._front_true = self._front_true / peak
+            self._log_scale += float(np.log(peak))
+
+    # ------------------------------------------------------------------
+    # fixed-pi conveniences
+    # ------------------------------------------------------------------
+    def joint_probabilities(self, pi, b: np.ndarray, c: np.ndarray) -> tuple[float, float]:
+        """Unscaled-ratio form: ``(Pr(EVENT, o), Pr(o))`` times the scale.
+
+        Multiplying back ``exp(log_scale)`` recovers absolute values; most
+        callers only need ratios, which are scale-free.
+        """
+        dist = check_probability_vector(pi, "initial distribution")
+        if dist.size != self._m:
+            raise QuantificationError(
+                f"initial distribution has {dist.size} entries, map has {self._m}"
+            )
+        return float(dist @ b), float(dist @ c)
+
+
+def joint_probability(
+    model: TwoWorldModel, pi, emission_columns, upto_t: int | None = None
+) -> float:
+    """Absolute ``Pr(EVENT, o_1..o_t)`` for a fixed ``pi`` (Lemmas III.2/3).
+
+    ``emission_columns`` is a ``(T', m)`` array of released columns; ``t``
+    defaults to its length.  This non-incremental wrapper exists for tests
+    and one-off quantification; PriSTE uses :class:`EventQuantifier`.
+    """
+    cols = as_float_array(emission_columns, "emission columns")
+    if cols.ndim != 2 or cols.shape[1] != model.n_states:
+        raise QuantificationError(
+            f"emission columns must be (T', {model.n_states}), got {cols.shape}"
+        )
+    t_max = cols.shape[0] if upto_t is None else int(upto_t)
+    if not 1 <= t_max <= cols.shape[0]:
+        raise QuantificationError(
+            f"upto_t={upto_t} outside [1, {cols.shape[0]}]"
+        )
+    quantifier = EventQuantifier(model)
+    # Commit everything before t_max; the final timestamp stays a
+    # candidate so the returned (b, c) match the quantifier's log_scale
+    # (commits rescale, candidates do not).
+    for t in range(1, t_max):
+        quantifier.prepare(t)
+        quantifier.commit(t, cols[t - 1])
+    quantifier.prepare(t_max)
+    b, c = quantifier.candidate_bc(t_max, cols[t_max - 1])
+    joint_scaled, _ = quantifier.joint_probabilities(pi, b, c)
+    return float(joint_scaled * np.exp(quantifier.log_scale))
+
+
+def observation_probability(
+    model: TwoWorldModel, pi, emission_columns, upto_t: int | None = None
+) -> float:
+    """Absolute ``Pr(o_1..o_t)`` for a fixed ``pi``."""
+    cols = as_float_array(emission_columns, "emission columns")
+    if cols.ndim != 2 or cols.shape[1] != model.n_states:
+        raise QuantificationError(
+            f"emission columns must be (T', {model.n_states}), got {cols.shape}"
+        )
+    t_max = cols.shape[0] if upto_t is None else int(upto_t)
+    if not 1 <= t_max <= cols.shape[0]:
+        raise QuantificationError(f"upto_t={upto_t} outside [1, {cols.shape[0]}]")
+    quantifier = EventQuantifier(model)
+    for t in range(1, t_max):
+        quantifier.prepare(t)
+        quantifier.commit(t, cols[t - 1])
+    quantifier.prepare(t_max)
+    b, c = quantifier.candidate_bc(t_max, cols[t_max - 1])
+    _, total_scaled = quantifier.joint_probabilities(pi, b, c)
+    return float(total_scaled * np.exp(quantifier.log_scale))

@@ -1,0 +1,371 @@
+"""Quadratic-program solver for the Theorem IV.1 conditions.
+
+The paper checks Eqs. (15)/(16) with IBM CPLEX under a wall-clock
+threshold and *conservative release*: a location is only released when the
+conditions are proven to hold.  This module is the drop-in substitute
+(DESIGN.md §4).  It exposes the same trichotomy:
+
+* ``SAFE`` -- the maximum of the condition over the feasible set is
+  certified non-positive;
+* ``VIOLATED`` -- a feasible ``pi`` with positive value was found;
+* ``UNKNOWN`` -- the work/time budget ran out before either certificate
+  (PriSTE then treats the candidate as unreleasable, exactly like the
+  paper's conservative release).
+
+Exactness.  Every condition the theorem produces is rank-one:
+``f(pi) = (pi.u)(pi.v) + pi.w``.  Over the probability simplex the global
+maximum of such a function is attained on an *edge* (a pi supported on at
+most two coordinates): for any fixed value ``x = pi.u``, maximizing
+``f = pi.(x v + w)`` subject to ``pi.u = x, sum(pi) = 1, pi >= 0`` is a
+linear program with two equality constraints, whose basic optimal
+solutions have at most two non-zero entries; taking ``x`` at the optimum
+shows the optimizer itself can be chosen with support <= 2.  On an edge
+``pi = lam e_i + (1-lam) e_j`` the objective is a univariate quadratic in
+``lam`` -- maximized in closed form.  Enumerating all m(m-1)/2 edges plus
+the m vertices is therefore an *exact*, embarrassingly vectorizable
+O(m^2) algorithm; on this problem class the substitute is stronger than a
+generic QP solver.
+
+The paper's literal box feasible set (``0 <= pi <= 1`` without the sum
+constraint) is also supported, via multi-start projected gradient ascent
+with an interval-arithmetic upper bound for certification; see
+:mod:`repro.core.theorem` for why the simplex is the semantically
+consistent default.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_positive, resolve_rng
+from ..errors import SolverError
+from .theorem import RankOneCondition
+
+
+class SolverStatus(enum.Enum):
+    """Outcome of a condition check."""
+
+    SAFE = "safe"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Configuration of the condition solver.
+
+    Parameters
+    ----------
+    constraint:
+        ``"simplex"`` (default; exact) or ``"box"`` (the paper's literal
+        formulation; heuristic, may return UNKNOWN).
+    tolerance:
+        Values in ``(-tolerance, tolerance]`` count as zero -- guards
+        against float noise in long matrix products.
+    work_limit:
+        Maximum number of edge evaluations (simplex) or gradient steps
+        (box) before giving up with UNKNOWN.  ``None`` = unlimited.
+    time_limit_s:
+        Wall-clock threshold, the paper's conservative-release knob
+        (Table III).  ``None`` = unlimited.
+    n_starts:
+        Multi-start count for the box path.
+    seed:
+        RNG seed for the box path's random starts.
+    """
+
+    constraint: str = "simplex"
+    tolerance: float = 1e-9
+    work_limit: int | None = None
+    time_limit_s: float | None = None
+    n_starts: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.constraint not in ("simplex", "box"):
+            raise SolverError(
+                f"constraint must be 'simplex' or 'box', got {self.constraint!r}"
+            )
+        check_positive(self.tolerance, "tolerance")
+        if self.work_limit is not None and self.work_limit < 1:
+            raise SolverError(f"work_limit must be >= 1, got {self.work_limit!r}")
+        if self.time_limit_s is not None and self.time_limit_s <= 0:
+            raise SolverError(
+                f"time_limit_s must be positive, got {self.time_limit_s!r}"
+            )
+
+
+@dataclass
+class SolveResult:
+    """Result of maximizing one condition over the feasible set."""
+
+    status: SolverStatus
+    best_value: float
+    best_point: np.ndarray | None
+    n_evaluations: int
+    elapsed_s: float
+    exhausted: bool = field(default=True)
+
+    @property
+    def is_safe(self) -> bool:
+        """Whether the condition is certified to hold."""
+        return self.status is SolverStatus.SAFE
+
+
+# ----------------------------------------------------------------------
+# exact simplex path
+# ----------------------------------------------------------------------
+def _edge_maxima_block(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, rows: np.ndarray
+) -> tuple[float, tuple[int, int, float]]:
+    """Best edge value over pairs (i, j) for i in ``rows``, all j.
+
+    On edge ``pi = lam e_i + (1 - lam) e_j``::
+
+        f(lam) = A2 lam^2 + A1 lam + A0
+        A2 = (u_i - u_j)(v_i - v_j)
+        A1 = u_j (v_i - v_j) + v_j (u_i - u_j) + (w_i - w_j)
+        A0 = u_j v_j + w_j
+
+    Candidates: lam = 0, 1 and the stationary point when A2 < 0.
+    """
+    ui = u[rows][:, None]
+    vi = v[rows][:, None]
+    wi = w[rows][:, None]
+    uj = u[None, :]
+    vj = v[None, :]
+    wj = w[None, :]
+    du = ui - uj
+    dv = vi - vj
+    a2 = du * dv
+    a1 = uj * dv + vj * du + (wi - wj)
+    a0 = np.broadcast_to(uj * vj + wj, a2.shape)
+
+    best = np.array(a0, dtype=np.float64)  # lam = 0  (pi = e_j)
+    np.maximum(best, a2 + a1 + a0, out=best)  # lam = 1  (pi = e_i)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        lam_star = np.where(a2 < 0, -a1 / (2.0 * a2), np.nan)
+    interior = (lam_star > 0.0) & (lam_star < 1.0)
+    if np.any(interior):
+        lam_c = np.where(interior, lam_star, 0.0)
+        f_c = a2 * lam_c * lam_c + a1 * lam_c + a0
+        np.maximum(best, np.where(interior, f_c, -np.inf), out=best)
+
+    flat = int(np.argmax(best))
+    r, j = divmod(flat, best.shape[1])
+    i = int(rows[r])
+    value = float(best[r, j])
+    # Recover the maximizing lambda for the winning pair.
+    candidates = [(float(a0[r, j]), 0.0), (float(a2[r, j] + a1[r, j] + a0[r, j]), 1.0)]
+    if a2[r, j] < 0:
+        with np.errstate(over="ignore", divide="ignore"):
+            ls = float(-a1[r, j] / (2.0 * a2[r, j]))
+        if 0.0 < ls < 1.0:
+            candidates.append(
+                (float(a2[r, j] * ls * ls + a1[r, j] * ls + a0[r, j]), ls)
+            )
+    _, lam = max(candidates)
+    return value, (i, int(j), lam)
+
+
+def maximize_rank_one_simplex(
+    condition: RankOneCondition, options: SolverOptions
+) -> SolveResult:
+    """Exact maximization of a rank-one condition over the simplex.
+
+    Enumerates all edges in row blocks, respecting ``work_limit`` (edge
+    evaluations) and ``time_limit_s``.  If limits end the enumeration
+    early, the result is VIOLATED when a positive value was already found
+    and UNKNOWN otherwise.
+    """
+    u, v, w = condition.u, condition.v, condition.w
+    m = condition.n
+    t0 = time.perf_counter()
+    tol = options.tolerance
+
+    best_value = -np.inf
+    best_point: np.ndarray | None = None
+    n_evaluations = 0
+    exhausted = True
+
+    # Row blocks keep peak memory at block * m floats; with a work limit
+    # the block shrinks so the limit is respected at row granularity.
+    block = max(1, min(m, 65_536 // max(1, m)))
+    if options.work_limit is not None:
+        block = max(1, min(block, options.work_limit // max(1, m)))
+    rows_done = 0
+    while rows_done < m:
+        if options.time_limit_s is not None:
+            if time.perf_counter() - t0 > options.time_limit_s:
+                exhausted = False
+                break
+        if options.work_limit is not None and n_evaluations >= options.work_limit:
+            exhausted = False
+            break
+        rows = np.arange(rows_done, min(m, rows_done + block))
+        value, (i, j, lam) = _edge_maxima_block(u, v, w, rows)
+        n_evaluations += rows.size * m
+        if value > best_value:
+            best_value = value
+            point = np.zeros(m, dtype=np.float64)
+            if i == j:
+                point[i] = 1.0
+            else:
+                point[i] = lam
+                point[j] += 1.0 - lam
+            best_point = point
+        rows_done += rows.size
+        if best_value > tol and options.work_limit is None and options.time_limit_s is None:
+            # A violation certificate is enough; exhausting the rest only
+            # sharpens best_value.  Keep going only when limits are set so
+            # Table III's work accounting stays faithful.
+            break
+
+    elapsed = time.perf_counter() - t0
+    if best_value > tol:
+        status = SolverStatus.VIOLATED
+    elif exhausted:
+        status = SolverStatus.SAFE
+    else:
+        status = SolverStatus.UNKNOWN
+    return SolveResult(
+        status=status,
+        best_value=float(best_value),
+        best_point=best_point,
+        n_evaluations=n_evaluations,
+        elapsed_s=elapsed,
+        exhausted=exhausted,
+    )
+
+
+# ----------------------------------------------------------------------
+# heuristic box path (paper-literal feasible set)
+# ----------------------------------------------------------------------
+def _box_upper_bound(condition: RankOneCondition) -> float:
+    """Interval-arithmetic bound on ``(pi.u)(pi.v) + pi.w`` over the box."""
+    u, v, w = condition.u, condition.v, condition.w
+    u_range = (float(np.minimum(u, 0).sum()), float(np.maximum(u, 0).sum()))
+    v_range = (float(np.minimum(v, 0).sum()), float(np.maximum(v, 0).sum()))
+    corners = [x * y for x in u_range for y in v_range]
+    return max(corners) + float(np.maximum(w, 0).sum())
+
+
+def maximize_rank_one_box(
+    condition: RankOneCondition, options: SolverOptions
+) -> SolveResult:
+    """Heuristic maximization over the box ``[0, 1]^m``.
+
+    Projected gradient ascent from deterministic and random starts; SAFE
+    only when the interval bound certifies non-positivity, VIOLATED when
+    any ascent finds a positive value, otherwise UNKNOWN.  Kept for
+    comparison with the paper's literal formulation.
+    """
+    t0 = time.perf_counter()
+    tol = options.tolerance
+    u, v, w = condition.u, condition.v, condition.w
+    m = condition.n
+
+    bound = _box_upper_bound(condition)
+    if bound <= tol:
+        return SolveResult(
+            status=SolverStatus.SAFE,
+            best_value=bound,
+            best_point=None,
+            n_evaluations=1,
+            elapsed_s=time.perf_counter() - t0,
+        )
+
+    rng = resolve_rng(options.seed)
+
+    def objective(pi: np.ndarray) -> float:
+        return float((pi @ u) * (pi @ v) + pi @ w)
+
+    def gradient(pi: np.ndarray) -> np.ndarray:
+        return u * float(pi @ v) + v * float(pi @ u) + w
+
+    starts = [
+        np.zeros(m),
+        np.ones(m),
+        (w > 0).astype(np.float64),
+        (u * v > 0).astype(np.float64),
+    ]
+    for _ in range(max(0, options.n_starts - len(starts))):
+        starts.append(rng.uniform(size=m).round())
+
+    best_value = -np.inf
+    best_point: np.ndarray | None = None
+    n_evaluations = 0
+    max_steps = options.work_limit or 200
+    for start in starts:
+        pi = start.astype(np.float64).copy()
+        step = 1.0
+        value = objective(pi)
+        for _ in range(max_steps):
+            if options.time_limit_s is not None:
+                if time.perf_counter() - t0 > options.time_limit_s:
+                    break
+            candidate = np.clip(pi + step * gradient(pi), 0.0, 1.0)
+            candidate_value = objective(candidate)
+            n_evaluations += 1
+            if candidate_value > value + 1e-15:
+                pi, value = candidate, candidate_value
+                step *= 1.2
+            else:
+                step *= 0.5
+                if step < 1e-12:
+                    break
+        if value > best_value:
+            best_value = value
+            best_point = pi
+        if best_value > tol:
+            break
+
+    elapsed = time.perf_counter() - t0
+    status = SolverStatus.VIOLATED if best_value > tol else SolverStatus.UNKNOWN
+    return SolveResult(
+        status=status,
+        best_value=float(best_value),
+        best_point=best_point,
+        n_evaluations=n_evaluations,
+        elapsed_s=elapsed,
+        exhausted=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# front end
+# ----------------------------------------------------------------------
+def check_condition(
+    condition: RankOneCondition, options: SolverOptions | None = None
+) -> SolveResult:
+    """Check one Theorem IV.1 condition; see :class:`SolverOptions`."""
+    options = options or SolverOptions()
+    if options.constraint == "simplex":
+        return maximize_rank_one_simplex(condition, options)
+    return maximize_rank_one_box(condition, options)
+
+
+def check_conditions(
+    conditions, options: SolverOptions | None = None
+) -> tuple[SolverStatus, tuple[SolveResult, ...]]:
+    """Check several conditions; combined status is the worst individual.
+
+    VIOLATED dominates UNKNOWN dominates SAFE.  Evaluation short-circuits
+    on the first violation (PriSTE halves the budget either way).
+    """
+    options = options or SolverOptions()
+    results: list[SolveResult] = []
+    combined = SolverStatus.SAFE
+    for condition in conditions:
+        result = check_condition(condition, options)
+        results.append(result)
+        if result.status is SolverStatus.VIOLATED:
+            combined = SolverStatus.VIOLATED
+            break
+        if result.status is SolverStatus.UNKNOWN:
+            combined = SolverStatus.UNKNOWN
+    return combined, tuple(results)

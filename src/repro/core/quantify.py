@@ -1,0 +1,207 @@
+"""Quantifying epsilon-spatiotemporal event privacy of a given LPPM.
+
+Two entry points, matching the paper's Section III vs Section IV split:
+
+* :func:`quantify_fixed_prior` -- the Section III question: given a
+  concrete initial distribution ``pi``, an LPPM (emission matrices) and a
+  released observation sequence, what is the realized privacy loss
+  ``max_t |log Pr(o_1..t | EVENT) / Pr(o_1..t | not EVENT)|``?
+* :func:`verify_event_privacy` -- the Section IV question: does the
+  release satisfy epsilon-spatiotemporal event privacy for *arbitrary*
+  ``pi`` (Theorem IV.1, checked by the exact simplex solver)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive, check_probability_vector
+from ..errors import DegeneratePriorError, QuantificationError
+from ..lppm.base import LPPM
+from .joint import EventQuantifier
+from .qp import SolveResult, SolverOptions, SolverStatus, check_conditions
+from .theorem import likelihood_ratio, privacy_conditions
+from .two_world import TwoWorldModel
+
+
+def _emission_columns_from(lppm_or_matrices, observations, m: int) -> np.ndarray:
+    """Normalize (LPPM | matrix | per-t matrices) + outputs into columns."""
+    observations = [int(o) for o in observations]
+    if isinstance(lppm_or_matrices, LPPM):
+        matrices = [lppm_or_matrices.emission_matrix()] * len(observations)
+    else:
+        arr = np.asarray(lppm_or_matrices, dtype=np.float64)
+        if arr.ndim == 2:
+            matrices = [arr] * len(observations)
+        elif arr.ndim == 3:
+            if arr.shape[0] != len(observations):
+                raise QuantificationError(
+                    f"{arr.shape[0]} emission matrices for "
+                    f"{len(observations)} observations"
+                )
+            matrices = list(arr)
+        else:
+            raise QuantificationError(
+                f"emissions must be an LPPM, a 2-D or a 3-D array, got "
+                f"shape {arr.shape}"
+            )
+    columns = np.empty((len(observations), m), dtype=np.float64)
+    for t, (matrix, output) in enumerate(zip(matrices, observations)):
+        if matrix.shape[0] != m:
+            raise QuantificationError(
+                f"emission matrix at t={t + 1} has {matrix.shape[0]} rows, "
+                f"expected {m}"
+            )
+        if not 0 <= output < matrix.shape[1]:
+            raise QuantificationError(
+                f"observation {output} at t={t + 1} outside output range "
+                f"[0, {matrix.shape[1]})"
+            )
+        columns[t] = matrix[:, output]
+    return columns
+
+
+@dataclass(frozen=True)
+class QuantificationResult:
+    """Per-timestamp realized privacy loss for a fixed prior.
+
+    Attributes
+    ----------
+    prior_probability:
+        ``Pr(EVENT)`` under the supplied pi.
+    ratios:
+        ``Pr(o_1..t | EVENT) / Pr(o_1..t | not EVENT)`` per t.
+    epsilon:
+        The realized loss ``max_t |log ratio_t|``.
+    """
+
+    prior_probability: float
+    ratios: tuple[float, ...]
+    epsilon: float
+
+    @property
+    def log_ratios(self) -> tuple[float, ...]:
+        """Signed log ratios per timestamp."""
+        return tuple(float(np.log(r)) for r in self.ratios)
+
+
+def quantify_fixed_prior(
+    chain, event, lppm_or_matrices, observations, pi, horizon: int | None = None
+) -> QuantificationResult:
+    """Realized event-privacy loss of a released sequence, fixed ``pi``.
+
+    Parameters
+    ----------
+    chain:
+        Mobility model (transition matrix or time-varying chain).
+    event:
+        PRESENCE or PATTERN event.
+    lppm_or_matrices:
+        The mechanism: an :class:`~repro.lppm.base.LPPM`, one emission
+        matrix, or a ``(T', m, n_out)`` stack (one matrix per timestamp).
+    observations:
+        The released outputs ``o_1..o_T'``.
+    pi:
+        Initial distribution of the user's first location.
+    horizon:
+        Model horizon; defaults to ``max(len(observations), event.end)``.
+    """
+    observations = list(observations)
+    if not observations:
+        raise QuantificationError("need at least one observation")
+    t_total = len(observations)
+    if horizon is None:
+        horizon = max(t_total, event.end)
+    model = TwoWorldModel(chain, event, horizon)
+    m = model.n_states
+    dist = check_probability_vector(pi, "pi")
+    if dist.size != m:
+        raise QuantificationError(f"pi has {dist.size} entries, map has {m}")
+    columns = _emission_columns_from(lppm_or_matrices, observations, m)
+
+    a = model.prior_vector()
+    prior_true = float(dist @ a)
+    if prior_true <= 0.0 or prior_true >= 1.0:
+        raise DegeneratePriorError(
+            f"Pr(EVENT) = {prior_true:.6g} under this pi; the Definition II.4 "
+            "ratio is undefined"
+        )
+
+    quantifier = EventQuantifier(model)
+    ratios: list[float] = []
+    for t in range(1, t_total + 1):
+        quantifier.prepare(t)
+        b, c = quantifier.candidate_bc(t, columns[t - 1])
+        ratios.append(likelihood_ratio(a, b, c, dist))
+        quantifier.commit(t, columns[t - 1])
+    finite = [r for r in ratios if np.isfinite(r) and r > 0]
+    if len(finite) != len(ratios):
+        epsilon = float("inf")
+    else:
+        epsilon = max(abs(float(np.log(r))) for r in ratios)
+    return QuantificationResult(
+        prior_probability=prior_true, ratios=tuple(ratios), epsilon=epsilon
+    )
+
+
+@dataclass(frozen=True)
+class PrivacyCheck:
+    """Per-timestamp Theorem IV.1 verdicts for a released sequence."""
+
+    statuses: tuple[SolverStatus, ...]
+    results: tuple[tuple[SolveResult, ...], ...]
+
+    @property
+    def holds(self) -> bool:
+        """Whether every timestamp was certified SAFE."""
+        return all(status is SolverStatus.SAFE for status in self.statuses)
+
+    @property
+    def first_violation(self) -> int | None:
+        """1-based first timestamp with a VIOLATED verdict, if any."""
+        for t, status in enumerate(self.statuses, start=1):
+            if status is SolverStatus.VIOLATED:
+                return t
+        return None
+
+
+def verify_event_privacy(
+    chain,
+    event,
+    lppm_or_matrices,
+    observations,
+    epsilon: float,
+    horizon: int | None = None,
+    options: SolverOptions | None = None,
+) -> PrivacyCheck:
+    """Theorem IV.1 check of a released sequence for arbitrary ``pi``.
+
+    Returns one verdict per observation prefix; the sequence satisfies
+    epsilon-spatiotemporal event privacy (w.r.t. the modeled correlations)
+    iff every verdict is SAFE.
+    """
+    check_positive(epsilon, "epsilon")
+    observations = list(observations)
+    if not observations:
+        raise QuantificationError("need at least one observation")
+    t_total = len(observations)
+    if horizon is None:
+        horizon = max(t_total, event.end)
+    model = TwoWorldModel(chain, event, horizon)
+    columns = _emission_columns_from(lppm_or_matrices, observations, model.n_states)
+
+    quantifier = EventQuantifier(model)
+    a = quantifier.a_vector()
+    statuses: list[SolverStatus] = []
+    results: list[tuple[SolveResult, ...]] = []
+    for t in range(1, t_total + 1):
+        quantifier.prepare(t)
+        b, c = quantifier.candidate_bc(t, columns[t - 1])
+        conditions = privacy_conditions(a, b, c, epsilon)
+        status, detail = check_conditions(conditions, options)
+        statuses.append(status)
+        results.append(detail)
+        quantifier.commit(t, columns[t - 1])
+    return PrivacyCheck(statuses=tuple(statuses), results=tuple(results))

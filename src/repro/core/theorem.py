@@ -1,0 +1,206 @@
+"""Theorem IV.1: privacy conditions for arbitrary initial probability.
+
+Definition II.4 requires, for every observation prefix, both directions of
+
+``Pr(o_1..o_t | EVENT) <= e^eps Pr(o_1..o_t | not EVENT)``.
+
+Writing ``Pr(EVENT) = pi . a``, ``Pr(EVENT, o_1..o_t) = pi . b`` and
+``Pr(o_1..o_t) = pi . c`` (all in pi-space, via
+:class:`repro.core.two_world.TwoWorldModel.collapse` /
+:class:`repro.core.joint.EventQuantifier`), cross-multiplying with
+``sum(pi) = 1`` gives the paper's Eqs. (15) and (16):
+
+* Eq. (15): ``(e^eps - 1)(pi.a)(pi.b) - e^eps (pi.a)(pi.c) + pi.b <= 0``
+* Eq. (16): ``(e^eps - 1)(pi.a)(pi.b) + (pi.a)(pi.c) - e^eps pi.b <= 0``
+
+Both are *rank-one* quadratics ``(pi.u)(pi.v) + pi.w``: the quadratic
+matrix is the outer product of ``a`` with a combination of ``b`` and
+``c``.  :mod:`repro.core.qp` exploits this to solve the maximization
+exactly over the probability simplex.
+
+Constraint-set note (DESIGN.md §5): the paper states the maximization
+"under the constraints of 0 <= pi <= 1", but Eqs. (15)/(16) are derived
+with the normalization ``sum(pi) = 1`` folded in (the ``pi.b`` linear term
+carries no ``sum(pi)`` factor).  Over the bare box the normalization-free
+inequality is a *different* condition that even the uniform mechanism
+violates, so the semantically consistent feasible set -- and our default
+-- is the simplex.  The box variant remains available in the solver for
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive
+from ..errors import QuantificationError
+
+
+@dataclass(frozen=True)
+class RankOneCondition:
+    """The inequality ``(pi.u)(pi.v) + pi.w <= 0`` over distributions pi.
+
+    Attributes
+    ----------
+    u, v, w:
+        Length-``m`` coefficient vectors.
+    label:
+        Human-readable direction tag (for diagnostics).
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        u = as_float_array(self.u, "u")
+        v = as_float_array(self.v, "v")
+        w = as_float_array(self.w, "w")
+        if not (u.shape == v.shape == w.shape) or u.ndim != 1:
+            raise QuantificationError(
+                f"condition vectors must be equal-length 1-D, got "
+                f"{u.shape}, {v.shape}, {w.shape}"
+            )
+        object.__setattr__(self, "u", u)
+        object.__setattr__(self, "v", v)
+        object.__setattr__(self, "w", w)
+
+    @property
+    def n(self) -> int:
+        """Dimension ``m``."""
+        return self.u.size
+
+    def value(self, pi) -> float:
+        """Evaluate the left-hand side at a specific ``pi``."""
+        dist = as_float_array(pi, "pi")
+        if dist.shape != (self.n,):
+            raise QuantificationError(
+                f"pi must have shape ({self.n},), got {dist.shape}"
+            )
+        return float((dist @ self.u) * (dist @ self.v) + dist @ self.w)
+
+    def quadratic_matrix(self) -> np.ndarray:
+        """The (asymmetric) quadratic form matrix ``u v^T``."""
+        return np.outer(self.u, self.v)
+
+
+def privacy_conditions(
+    a, b, c, epsilon: float
+) -> tuple[RankOneCondition, RankOneCondition]:
+    """Build the Eq. (15)/(16) conditions from collapsed ``a, b, c``.
+
+    ``b`` and ``c`` may carry a common positive scale factor (see
+    :class:`repro.core.joint.EventQuantifier`); both conditions are
+    homogeneous of degree one in that factor, so their signs -- the only
+    thing the solver uses -- are unaffected.
+
+    Parameters
+    ----------
+    a, b, c:
+        pi-space vectors: prior, event-joint, total observation
+        probability per initial cell.
+    epsilon:
+        The epsilon of epsilon-spatiotemporal event privacy (> 0).
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    a = as_float_array(a, "a")
+    b = as_float_array(b, "b")
+    c = as_float_array(c, "c")
+    if not (a.shape == b.shape == c.shape) or a.ndim != 1:
+        raise QuantificationError(
+            f"a, b, c must be equal-length 1-D, got {a.shape}, {b.shape}, {c.shape}"
+        )
+    # Both conditions are homogeneous of degree one in the common scale of
+    # b and c (a product of per-timestamp emission probabilities that
+    # shrinks exponentially with t).  Normalize it out so the solver's
+    # tolerance is relative to the observation-probability scale rather
+    # than an absolute float threshold a long sequence would sink below.
+    scale = float(c.max())
+    if scale > 0.0:
+        b = b / scale
+        c = c / scale
+    e = float(np.exp(epsilon))
+    cond_forward = RankOneCondition(
+        u=a, v=(e - 1.0) * b - e * c, w=b, label="Pr(o|EVENT) <= e^eps Pr(o|~EVENT)"
+    )
+    cond_backward = RankOneCondition(
+        u=a, v=(e - 1.0) * b + c, w=-e * b, label="Pr(o|~EVENT) <= e^eps Pr(o|EVENT)"
+    )
+    return cond_forward, cond_backward
+
+
+def condition_value(a, b, c, epsilon: float, pi) -> tuple[float, float]:
+    """Both condition left-hand sides at a fixed ``pi`` (diagnostics)."""
+    forward, backward = privacy_conditions(a, b, c, epsilon)
+    return forward.value(pi), backward.value(pi)
+
+
+def sufficient_safe(a, b, c, epsilon: float, tolerance: float = 1e-9) -> bool:
+    """Cheap *sufficient* certificate for both Theorem IV.1 conditions.
+
+    For any initial distribution, ``Pr(o | EVENT)`` is a weighted average
+    of the per-start-cell conditionals ``r_i = b_i / a_i`` (weights
+    ``pi_i a_i``), and ``Pr(o | not EVENT)`` a weighted average of
+    ``q_i = (c_i - b_i) / (1 - a_i)``.  Hence
+
+        max_i r_i <= e^eps * min_j q_j   and
+        max_j q_j <= e^eps * min_i r_i
+
+    imply epsilon-spatiotemporal event privacy for *every* pi -- in O(m),
+    no quadratic program needed.  The converse does not hold (the exact
+    edge solver is tighter), so a ``False`` here means "not certified",
+    not "violated".  This is the fast path of the conservative-release
+    strategy: under a tight solver threshold a release can still be
+    proven safe by this bound.
+    """
+    check_positive(epsilon, "epsilon")
+    a = as_float_array(a, "a")
+    b = as_float_array(b, "b")
+    c = as_float_array(c, "c")
+    bound = float(np.exp(epsilon))
+    event_side = a > tolerance
+    negation_side = a < 1.0 - tolerance
+    if not event_side.any() or not negation_side.any():
+        # Pr(EVENT) is 0 or 1 for every pi: the Definition II.4 ratio is
+        # vacuous, both quadratic conditions reduce to 0 <= 0.
+        return True
+    if np.any(b[~event_side] > tolerance * max(1.0, float(c.max()))):
+        return False  # joint mass from a no-prior cell: numerically off
+    r = b[event_side] / a[event_side]
+    q = (c[negation_side] - b[negation_side]) / (1.0 - a[negation_side])
+    q = np.clip(q, 0.0, None)
+    r_min, r_max = float(r.min()), float(r.max())
+    q_min, q_max = float(q.min()), float(q.max())
+    if q_min <= 0.0 or r_min <= 0.0:
+        # An impossible observation on one side: cannot certify cheaply.
+        return bool(r_max <= 0.0 and q_max <= 0.0)
+    slack = 1.0 + tolerance
+    return bool(r_max <= bound * q_min * slack and q_max <= bound * r_min * slack)
+
+
+def likelihood_ratio(a, b, c, pi) -> float:
+    """``Pr(o | EVENT) / Pr(o | not EVENT)`` at a fixed ``pi``.
+
+    Scale-free in the common factor of ``b`` and ``c``.  Raises
+    :class:`QuantificationError` on degenerate priors (the ratio of
+    Definition II.4 is undefined when the event is almost-surely true or
+    false).
+    """
+    a = as_float_array(a, "a")
+    b = as_float_array(b, "b")
+    c = as_float_array(c, "c")
+    dist = as_float_array(pi, "pi")
+    prior_true = float(dist @ a)
+    prior_false = 1.0 - prior_true
+    joint_true = float(dist @ b)
+    joint_false = float(dist @ c) - joint_true
+    if prior_true <= 0 or prior_false <= 0:
+        raise QuantificationError(
+            f"degenerate prior: Pr(EVENT)={prior_true:.3g} under this pi"
+        )
+    if joint_false <= 0:
+        return float("inf") if joint_true > 0 else float("nan")
+    return (joint_true / prior_true) / (joint_false / prior_false)

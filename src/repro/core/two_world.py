@@ -1,0 +1,280 @@
+"""The two-possible-world lifted Markov chain (Section III-B).
+
+The user's ``m``-state chain is lifted to ``2m`` states: indices
+``0..m-1`` form the *false world* (EVENT is false so far) and ``m..2m-1``
+the *true world*.  The lifted transition matrices (Eqs. 3-8) re-route
+probability mass between the worlds so that, after the event window, the
+total mass in the true world *is* ``Pr(EVENT)`` (Lemma III.1):
+
+* PRESENCE: mass entering the region during the window is captured by the
+  true world and kept there forever (Eq. 4); outside the window both
+  worlds evolve independently (Eq. 5).
+* PATTERN: the split happens at the window start (Eq. 6); inside the
+  window, true-world mass falls back to the false world unless it keeps
+  following the pattern's regions (Eq. 7).
+
+Boundary extension (documented in DESIGN.md §5): the paper's construction
+assumes ``start > 1`` so the split is performed by transition matrix
+``M_{start-1}``.  When ``start == 1`` the membership of the *initial*
+location decides the worlds, so the initial distribution itself is split:
+``[pi * (1-s), pi * s]`` instead of ``[pi, 0]``.  Both cases are captured
+by the *initial lift matrix* ``L`` (m x 2m) with ``lifted_pi = pi @ L``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_probability_vector, check_timestamp
+from ..errors import EventError
+from ..events.events import PatternEvent, PresenceEvent, SpatiotemporalEvent
+from ..markov.transition import TimeVaryingChain, TransitionMatrix
+
+
+def _as_chain(chain) -> TimeVaryingChain:
+    if isinstance(chain, TimeVaryingChain):
+        return chain
+    if isinstance(chain, TransitionMatrix):
+        return TimeVaryingChain.homogeneous(chain)
+    return TimeVaryingChain.homogeneous(TransitionMatrix(np.asarray(chain)))
+
+
+class TwoWorldModel:
+    """Lifted chain for one PRESENCE or PATTERN event.
+
+    Parameters
+    ----------
+    chain:
+        The mobility model (:class:`TransitionMatrix`, raw array, or
+        :class:`TimeVaryingChain`).
+    event:
+        A :class:`PresenceEvent` or :class:`PatternEvent` on the same map.
+    horizon:
+        The release horizon ``T``; must cover the event window.
+    """
+
+    def __init__(self, chain, event: SpatiotemporalEvent, horizon: int):
+        self._chain = _as_chain(chain)
+        if not isinstance(event, (PresenceEvent, PatternEvent)):
+            raise EventError(
+                "TwoWorldModel supports PRESENCE and PATTERN events; use "
+                "repro.core.AutomatonModel for arbitrary expressions"
+            )
+        if event.n_cells != self._chain.n_states:
+            raise EventError(
+                f"event is on {event.n_cells} cells, chain has "
+                f"{self._chain.n_states} states"
+            )
+        self._event = event
+        self._horizon = check_timestamp(horizon, name="horizon")
+        if event.end > self._horizon:
+            raise EventError(
+                f"event ends at t={event.end}, beyond horizon T={self._horizon}"
+            )
+        self._tails: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def chain(self) -> TimeVaryingChain:
+        """The underlying mobility model."""
+        return self._chain
+
+    @property
+    def event(self) -> SpatiotemporalEvent:
+        """The protected event."""
+        return self._event
+
+    @property
+    def n_states(self) -> int:
+        """Number of map cells ``m``."""
+        return self._chain.n_states
+
+    @property
+    def horizon(self) -> int:
+        """Release horizon ``T``."""
+        return self._horizon
+
+    @property
+    def start(self) -> int:
+        """Event window start."""
+        return self._event.start
+
+    @property
+    def end(self) -> int:
+        """Event window end."""
+        return self._event.end
+
+    def true_selector(self) -> np.ndarray:
+        """The paper's ``[0, 1]`` vector: 1 on the true world."""
+        m = self.n_states
+        sel = np.zeros(2 * m, dtype=np.float64)
+        sel[m:] = 1.0
+        return sel
+
+    # ------------------------------------------------------------------
+    # lifted matrices (Eqs. 3-8)
+    # ------------------------------------------------------------------
+    def _region_indicator(self, t: int) -> np.ndarray:
+        return self._event.region_at(t).indicator()
+
+    def transition_blocks(
+        self, t: int
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        """The four m x m blocks ``(ff, ft, tf, tt)`` of the lifted ``M_t``.
+
+        Block layout follows Eq. (3): ``ff`` = false world to false world,
+        ``ft`` = false to true, ``tf`` = true to false, ``tt`` = true to
+        true.  Structurally-zero blocks are returned as ``None`` so hot
+        paths can skip the corresponding matrix products.
+        """
+        check_timestamp(t, name="t")
+        base = self._chain.array_at(t)
+        start, end = self.start, self.end
+
+        if isinstance(self._event, PresenceEvent):
+            if start - 1 <= t <= end - 1:
+                # Eq. (4): transitions into the region at time t+1 move to
+                # the true world; the true world absorbs.
+                region = self._region_indicator(max(t + 1, start))
+                masked_in = base * region[None, :]
+                return base - masked_in, masked_in, None, base
+            # Eq. (5): independent evolution in both worlds.
+            return base, None, None, base
+
+        if t == start - 1:
+            # Eq. (6): the split into worlds, by membership at `start`.
+            region = self._region_indicator(start)
+            masked_in = base * region[None, :]
+            return base - masked_in, masked_in, None, base
+        if start <= t <= end - 1:
+            # Eq. (7): true-world mass survives only if it continues into
+            # the region at time t+1; otherwise it falls back.
+            region = self._region_indicator(t + 1)
+            masked_in = base * region[None, :]
+            return base, None, base - masked_in, masked_in
+        # Eq. (8)
+        return base, None, None, base
+
+    def lifted_matrix(self, t: int) -> np.ndarray:
+        """The lifted ``M_t`` (2m x 2m) applied between timestamps t, t+1."""
+        ff, ft, tf, tt = self.transition_blocks(t)
+        m = self.n_states
+        lifted = np.zeros((2 * m, 2 * m), dtype=np.float64)
+        if ff is not None:
+            lifted[:m, :m] = ff
+        if ft is not None:
+            lifted[:m, m:] = ft
+        if tf is not None:
+            lifted[m:, :m] = tf
+        if tt is not None:
+            lifted[m:, m:] = tt
+        return lifted
+
+    def propagate_front(self, front: np.ndarray, t: int) -> np.ndarray:
+        """Right-multiply a ``(k, 2m)`` front matrix by the lifted ``M_t``.
+
+        Exploits the block structure (at most three non-zero m x m blocks)
+        so the cost is 2-3 m^3 products instead of a dense 2m x 2m one.
+        """
+        m = self.n_states
+        if front.ndim != 2 or front.shape[1] != 2 * m:
+            raise EventError(
+                f"front must have {2 * m} columns, got shape {front.shape}"
+            )
+        ff, ft, tf, tt = self.transition_blocks(t)
+        f0, f1 = front[:, :m], front[:, m:]
+        out = np.zeros_like(front)
+        if ff is not None:
+            out[:, :m] += f0 @ ff
+        if tf is not None:
+            out[:, :m] += f1 @ tf
+        if ft is not None:
+            out[:, m:] += f0 @ ft
+        if tt is not None:
+            out[:, m:] += f1 @ tt
+        return out
+
+    # ------------------------------------------------------------------
+    # initial lift (paper: [pi, 0]; extension for start == 1)
+    # ------------------------------------------------------------------
+    def initial_lift_matrix(self) -> np.ndarray:
+        """``L`` (m x 2m) with ``lifted initial = pi @ L``.
+
+        For ``start > 1`` this is ``[I, 0]`` (the paper's ``[pi, 0]``).
+        For ``start == 1`` the initial location itself decides the world:
+        ``L = [diag(1 - s_start), diag(s_start)]``.
+        """
+        m = self.n_states
+        lift = np.zeros((m, 2 * m), dtype=np.float64)
+        if self.start > 1:
+            lift[:, :m] = np.eye(m)
+        else:
+            region = self._region_indicator(self.start)
+            lift[:, :m] = np.diag(1.0 - region)
+            lift[:, m:] = np.diag(region)
+        return lift
+
+    def lift_initial(self, pi) -> np.ndarray:
+        """The lifted initial distribution (length 2m)."""
+        dist = check_probability_vector(pi, "initial distribution")
+        if dist.size != self.n_states:
+            raise EventError(
+                f"initial distribution has {dist.size} entries, map has "
+                f"{self.n_states} cells"
+            )
+        return dist @ self.initial_lift_matrix()
+
+    def collapse(self, lifted_vector) -> np.ndarray:
+        """Collapse a lifted column vector ``v`` to pi-space.
+
+        Returns the ``m``-vector ``L @ v`` so that
+        ``lifted_pi . v == pi . collapse(v)`` -- the form Theorem IV.1's
+        quadratic conditions need.
+        """
+        v = np.asarray(lifted_vector, dtype=np.float64).ravel()
+        if v.size != 2 * self.n_states:
+            raise EventError(
+                f"lifted vector has {v.size} entries, expected {2 * self.n_states}"
+            )
+        return self.initial_lift_matrix() @ v
+
+    # ------------------------------------------------------------------
+    # prior (Lemma III.1)
+    # ------------------------------------------------------------------
+    def tail_vectors(self) -> np.ndarray:
+        """``tail_t = prod_{i=t}^{end-1} M_i @ [0,1]^T`` for t = 1..end.
+
+        Row index ``t-1`` holds ``tail_t`` (length 2m); ``tail_end`` is the
+        bare true-world selector.  These are the suffix products Lemma
+        III.2 appends to the forward state, computed once by a backward
+        recurrence in O(end * m^2).
+        """
+        if self._tails is None:
+            end = self.end
+            m2 = 2 * self.n_states
+            tails = np.empty((end, m2), dtype=np.float64)
+            tails[end - 1] = self.true_selector()
+            for t in range(end - 1, 0, -1):
+                tails[t - 1] = self.lifted_matrix(t) @ tails[t]
+            tails.setflags(write=False)
+            self._tails = tails
+        return self._tails
+
+    def prior_vector(self) -> np.ndarray:
+        """Collapsed ``a``: ``a[i] = Pr(EVENT | u_1 = s_i)`` (length m).
+
+        Lemma III.1 in pi-free form: ``Pr(EVENT) = pi . prior_vector()``.
+        """
+        return self.collapse(self.tail_vectors()[0])
+
+    def prior_probability(self, pi) -> float:
+        """Lemma III.1: ``Pr(EVENT)`` under initial distribution ``pi``."""
+        dist = check_probability_vector(pi, "initial distribution")
+        if dist.size != self.n_states:
+            raise EventError(
+                f"initial distribution has {dist.size} entries, map has "
+                f"{self.n_states} cells"
+            )
+        return float(dist @ self.prior_vector())

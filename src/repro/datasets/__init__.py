@@ -1,0 +1,26 @@
+"""Data substrate: GPS traces, the Geolife substitute and discretization.
+
+The paper evaluates on the Geolife dataset (182 users, Beijing, lat/lon
+GPS tuples).  That dataset is not shipped here, so this package provides:
+
+* :class:`GPSTrace` / :class:`GPSPoint` -- raw trace containers,
+* :class:`GeolifeSimulator` -- a documented substitute generating
+  commute-anchored synthetic traces around Beijing (see DESIGN.md §4),
+* :func:`load_geolife_directory` -- a loader for the real dataset's PLT
+  format, used automatically when the data is available,
+* grid discretization turning traces into cell trajectories for training.
+"""
+
+from .discretize import discretize_trace, grid_for_traces
+from .geolife import GeolifeSimulator, load_geolife_directory, load_plt_file
+from .trace import GPSPoint, GPSTrace
+
+__all__ = [
+    "GPSPoint",
+    "GPSTrace",
+    "GeolifeSimulator",
+    "load_geolife_directory",
+    "load_plt_file",
+    "discretize_trace",
+    "grid_for_traces",
+]

@@ -1,0 +1,103 @@
+"""Discretizing GPS traces onto grid maps.
+
+The quantification pipeline consumes *cell trajectories*; these helpers
+build a km-scale grid covering a set of traces (local equirectangular
+projection around the traces' centroid) and map each GPS point to its cell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import DatasetError
+from ..geo.distance import EARTH_RADIUS_KM
+from ..geo.grid import GridMap
+from .trace import GPSTrace
+
+
+def _project_km(
+    latitude: float, longitude: float, ref_lat: float, ref_lon: float
+) -> tuple[float, float]:
+    """Local equirectangular projection to planar km around a reference.
+
+    Accurate to well under a cell width for city-scale extents, which is
+    all the grid discretization needs.
+    """
+    x = math.radians(longitude - ref_lon) * EARTH_RADIUS_KM * math.cos(
+        math.radians(ref_lat)
+    )
+    y = math.radians(latitude - ref_lat) * EARTH_RADIUS_KM
+    return x, y
+
+
+def grid_for_traces(
+    traces: Sequence[GPSTrace],
+    cell_size_km: float = 1.0,
+    max_cells: int = 10_000,
+) -> tuple[GridMap, tuple[float, float]]:
+    """Build a grid covering every trace; returns (grid, (ref_lat, ref_lon)).
+
+    The reference point anchors the projection used by
+    :func:`discretize_trace`; pass both results together.
+    """
+    if not traces:
+        raise DatasetError("grid_for_traces needs at least one trace")
+    if cell_size_km <= 0:
+        raise DatasetError(f"cell_size_km must be positive, got {cell_size_km!r}")
+
+    boxes = [trace.bounding_box() for trace in traces]
+    min_lat = min(b[0] for b in boxes)
+    min_lon = min(b[1] for b in boxes)
+    max_lat = max(b[2] for b in boxes)
+    max_lon = max(b[3] for b in boxes)
+    ref_lat = (min_lat + max_lat) / 2.0
+    ref_lon = (min_lon + max_lon) / 2.0
+
+    x_min, y_min = _project_km(min_lat, min_lon, ref_lat, ref_lon)
+    x_max, y_max = _project_km(max_lat, max_lon, ref_lat, ref_lon)
+    n_cols = max(1, int(math.ceil((x_max - x_min) / cell_size_km)) + 1)
+    n_rows = max(1, int(math.ceil((y_max - y_min) / cell_size_km)) + 1)
+    if n_rows * n_cols > max_cells:
+        raise DatasetError(
+            f"grid would have {n_rows * n_cols} cells (> max_cells={max_cells}); "
+            "increase cell_size_km"
+        )
+    grid = GridMap(
+        n_rows=n_rows,
+        n_cols=n_cols,
+        cell_size_km=cell_size_km,
+        origin_km=(x_min, y_min),
+    )
+    return grid, (ref_lat, ref_lon)
+
+
+def discretize_trace(
+    trace: GPSTrace,
+    grid: GridMap,
+    reference: tuple[float, float],
+    interval_s: float | None = None,
+) -> list[int]:
+    """Map a trace to a cell trajectory on ``grid``.
+
+    Parameters
+    ----------
+    trace:
+        The GPS trace.
+    grid:
+        Grid built by :func:`grid_for_traces` (or compatible).
+    reference:
+        The (lat, lon) projection anchor returned by
+        :func:`grid_for_traces`.
+    interval_s:
+        If given, the trace is resampled to this fixed interval first so
+        the output has one cell per model timestamp.
+    """
+    ref_lat, ref_lon = reference
+    if interval_s is not None:
+        trace = trace.resample(interval_s)
+    cells = []
+    for point in trace:
+        x, y = _project_km(point.latitude, point.longitude, ref_lat, ref_lon)
+        cells.append(grid.nearest_cell(x, y))
+    return cells

@@ -1,0 +1,131 @@
+"""GPS trace containers.
+
+A trace is a time-ordered sequence of (latitude, longitude, seconds)
+samples, mirroring Geolife's "series of tuples containing latitude,
+longitude and timestamp".  Traces support resampling to a fixed interval,
+which is how irregular GPS logs become the fixed-timestep trajectories the
+Markov model needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import DatasetError
+from ..geo.distance import haversine_km
+
+
+@dataclass(frozen=True, order=True)
+class GPSPoint:
+    """One GPS sample: position in degrees, time in seconds from epoch."""
+
+    time_s: float
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise DatasetError(f"latitude {self.latitude!r} out of [-90, 90]")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise DatasetError(f"longitude {self.longitude!r} out of [-180, 180]")
+
+    def distance_km(self, other: "GPSPoint") -> float:
+        """Great-circle distance to another point."""
+        return haversine_km(self.latitude, self.longitude, other.latitude, other.longitude)
+
+
+class GPSTrace:
+    """A time-sorted sequence of GPS points for a single user."""
+
+    def __init__(self, points: Sequence[GPSPoint], user_id: str = "user"):
+        if not points:
+            raise DatasetError("a trace needs at least one point")
+        self._points = tuple(sorted(points))
+        times = [p.time_s for p in self._points]
+        if len(set(times)) != len(times):
+            raise DatasetError("trace contains duplicate timestamps")
+        self.user_id = str(user_id)
+
+    # ------------------------------------------------------------------
+    # sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[GPSPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> GPSPoint:
+        return self._points[index]
+
+    @property
+    def points(self) -> tuple[GPSPoint, ...]:
+        """All points, time-ordered."""
+        return self._points
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds between first and last sample."""
+        return self._points[-1].time_s - self._points[0].time_s
+
+    def total_distance_km(self) -> float:
+        """Sum of great-circle leg lengths."""
+        return sum(
+            a.distance_km(b) for a, b in zip(self._points[:-1], self._points[1:])
+        )
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """(min_lat, min_lon, max_lat, max_lon) of the trace."""
+        lats = [p.latitude for p in self._points]
+        lons = [p.longitude for p in self._points]
+        return (min(lats), min(lons), max(lats), max(lons))
+
+    # ------------------------------------------------------------------
+    # resampling
+    # ------------------------------------------------------------------
+    def point_at(self, time_s: float) -> GPSPoint:
+        """Linearly interpolated position at an absolute time.
+
+        Clamps to the endpoints outside the trace's span.
+        """
+        times = [p.time_s for p in self._points]
+        if time_s <= times[0]:
+            return self._points[0]
+        if time_s >= times[-1]:
+            return self._points[-1]
+        hi = bisect.bisect_right(times, time_s)
+        lo = hi - 1
+        a, b = self._points[lo], self._points[hi]
+        span = b.time_s - a.time_s
+        w = (time_s - a.time_s) / span if span > 0 else 0.0
+        return GPSPoint(
+            time_s=time_s,
+            latitude=a.latitude + w * (b.latitude - a.latitude),
+            longitude=a.longitude + w * (b.longitude - a.longitude),
+        )
+
+    def resample(self, interval_s: float) -> "GPSTrace":
+        """Fixed-interval resampling by linear interpolation.
+
+        Produces one point every ``interval_s`` seconds from the first
+        sample to (at least) the last.  This is the standard preprocessing
+        step turning raw GPS logs into the per-timestamp locations
+        ``u_1..u_T`` of the paper's model.
+        """
+        if interval_s <= 0:
+            raise DatasetError(f"interval_s must be positive, got {interval_s!r}")
+        start = self._points[0].time_s
+        end = self._points[-1].time_s
+        n_samples = max(2, int((end - start) / interval_s) + 1)
+        sampled = [self.point_at(start + k * interval_s) for k in range(n_samples)]
+        # Interpolation preserves strictly increasing times by construction,
+        # except for degenerate single-point traces which clamp; dedupe those.
+        unique: list[GPSPoint] = []
+        seen: set[float] = set()
+        for point in sampled:
+            if point.time_s not in seen:
+                seen.add(point.time_s)
+                unique.append(point)
+        return GPSTrace(unique, user_id=self.user_id)

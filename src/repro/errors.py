@@ -1,0 +1,62 @@
+"""Exception hierarchy for the PriSTE reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can distinguish library failures from programming mistakes with a
+single ``except`` clause.  Subclasses are grouped by subsystem; the names
+mirror the packages that raise them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed structural validation (shape, range, stochasticity)."""
+
+
+class GridError(ReproError, ValueError):
+    """An operation on a :class:`repro.geo.GridMap` received bad indices."""
+
+
+class RegionError(ReproError, ValueError):
+    """A :class:`repro.geo.Region` was constructed or combined incorrectly."""
+
+
+class MarkovError(ReproError, ValueError):
+    """A Markov-model operation failed (non-stochastic matrix, bad fit)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """Trace loading, simulation or discretization failed."""
+
+
+class MechanismError(ReproError, ValueError):
+    """An LPPM was configured or queried inconsistently."""
+
+
+class EventError(ReproError, ValueError):
+    """A spatiotemporal event definition is malformed."""
+
+
+class QuantificationError(ReproError, ValueError):
+    """Privacy quantification hit a degenerate case.
+
+    The canonical example is a prior probability of zero for the event or
+    its negation, which makes the likelihood ratio of Definition II.4
+    undefined.
+    """
+
+
+class DegeneratePriorError(QuantificationError):
+    """``Pr(EVENT)`` or ``Pr(not EVENT)`` is zero for the supplied prior."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """The quadratic-programming solver failed to produce a usable answer."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """PriSTE budget calibration could not find a releasable output."""

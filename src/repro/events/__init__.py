@@ -1,0 +1,63 @@
+"""Spatiotemporal event formalism (Definitions II.1 - II.3).
+
+An event is a Boolean expression over ``(location, time)`` predicates
+``u_t = s_i``.  This package provides:
+
+* the expression AST (:class:`Predicate`, :class:`And`, :class:`Or`,
+  :class:`Not`) with ground-truth evaluation on trajectories,
+* the paper's two canonical event families :class:`PresenceEvent` and
+  :class:`PatternEvent`,
+* a compiler from *arbitrary* expressions to layered automata
+  (:func:`compile_event`), generalizing the paper's two-world method.
+"""
+
+from .builders import (
+    avoided,
+    commuted_between,
+    followed_route,
+    recurring_presence,
+    stayed,
+    visited,
+    visited_exactly_one,
+)
+from .compiler import CompiledEvent, compile_event
+from .events import PatternEvent, PresenceEvent, SpatiotemporalEvent
+from .expressions import (
+    And,
+    Expression,
+    FALSE,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+    all_of,
+    any_of,
+    at,
+    in_region,
+)
+
+__all__ = [
+    "Expression",
+    "Predicate",
+    "And",
+    "Or",
+    "Not",
+    "TRUE",
+    "FALSE",
+    "at",
+    "in_region",
+    "any_of",
+    "all_of",
+    "SpatiotemporalEvent",
+    "PresenceEvent",
+    "PatternEvent",
+    "CompiledEvent",
+    "compile_event",
+    "visited",
+    "stayed",
+    "avoided",
+    "followed_route",
+    "commuted_between",
+    "visited_exactly_one",
+    "recurring_presence",
+]

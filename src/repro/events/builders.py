@@ -1,0 +1,124 @@
+"""High-level event builders.
+
+The paper's Definitions II.2/II.3 assume consecutive windows "for
+simplicity" but note that "PRESENCE and PATTERN include the cases when
+the time T is not consecutive".  These builders construct such richer
+secrets directly as expressions; the automaton engine
+(:class:`repro.core.AutomatonModel`) evaluates them, and events that
+happen to be plain PRESENCE/PATTERN can still go through the faster
+two-world engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .._validation import check_timestamp
+from ..errors import EventError
+from ..geo.regions import Region
+from .expressions import Expression, all_of, any_of, in_region
+
+
+def _region_cells(region: Region | Iterable[int]) -> tuple[int, ...]:
+    if isinstance(region, Region):
+        if region.is_empty:
+            raise EventError("region must be non-empty")
+        return region.cells
+    cells = tuple(int(c) for c in region)
+    if not cells:
+        raise EventError("region must be non-empty")
+    return cells
+
+
+def visited(region: Region | Iterable[int], times: Sequence[int]) -> Expression:
+    """PRESENCE over an arbitrary (possibly non-consecutive) set of times.
+
+    ``visited(hospital, [3, 4, 9])`` is true iff the user is in the
+    region at timestamp 3, 4 *or* 9.
+    """
+    cells = _region_cells(region)
+    timestamps = sorted({check_timestamp(t, name="time") for t in times})
+    if not timestamps:
+        raise EventError("'times' must be non-empty")
+    return any_of(in_region(t, cells) for t in timestamps)
+
+
+def stayed(region: Region | Iterable[int], times: Sequence[int]) -> Expression:
+    """In the region at *every* listed timestamp (a dwell secret)."""
+    cells = _region_cells(region)
+    timestamps = sorted({check_timestamp(t, name="time") for t in times})
+    if not timestamps:
+        raise EventError("'times' must be non-empty")
+    return all_of(in_region(t, cells) for t in timestamps)
+
+
+def avoided(region: Region | Iterable[int], times: Sequence[int]) -> Expression:
+    """Never in the region during the listed timestamps."""
+    return ~visited(region, times)
+
+
+def followed_route(
+    regions: Sequence[Region | Iterable[int]], times: Sequence[int]
+) -> Expression:
+    """PATTERN over explicit (possibly non-consecutive) timestamps.
+
+    ``followed_route([home, office], [2, 7])`` is true iff the user is
+    in the home block at t=2 and the office block at t=7, whatever
+    happens in between.
+    """
+    if len(regions) != len(times):
+        raise EventError(
+            f"{len(regions)} regions but {len(times)} timestamps"
+        )
+    if not regions:
+        raise EventError("route must be non-empty")
+    timestamps = [check_timestamp(t, name="time") for t in times]
+    if sorted(timestamps) != timestamps or len(set(timestamps)) != len(timestamps):
+        raise EventError("route timestamps must be strictly increasing")
+    return all_of(
+        in_region(t, _region_cells(region)) for region, t in zip(regions, timestamps)
+    )
+
+
+def commuted_between(
+    place_a: Region | Iterable[int],
+    place_b: Region | Iterable[int],
+    morning: Sequence[int],
+    afternoon: Sequence[int],
+) -> Expression:
+    """The paper's flagship secret: regular commuting between two places.
+
+    True iff the user is at ``place_a`` at some morning time, at
+    ``place_b`` at some afternoon time -- "regularly commuting between
+    Address 1 and Address 2 every morning and afternoon".
+    """
+    return visited(place_a, morning) & visited(place_b, afternoon)
+
+
+def visited_exactly_one(
+    region_a: Region | Iterable[int],
+    region_b: Region | Iterable[int],
+    times: Sequence[int],
+) -> Expression:
+    """Exactly one of two places visited in the window (an XOR secret)."""
+    a = visited(region_a, times)
+    b = visited(region_b, times)
+    return (a & ~b) | (~a & b)
+
+
+def recurring_presence(
+    region: Region | Iterable[int],
+    first: int,
+    period: int,
+    occurrences: int,
+) -> Expression:
+    """Presence at every ``first + k*period`` for ``k < occurrences``.
+
+    A periodic secret, e.g. "at the clinic every Monday morning": true
+    iff the user is in the region at *each* of the periodic timestamps.
+    """
+    check_timestamp(first, name="first")
+    if period < 1 or occurrences < 1:
+        raise EventError("period and occurrences must be >= 1")
+    times = [first + k * period for k in range(occurrences)]
+    return stayed(region, times)

@@ -1,0 +1,193 @@
+"""Compiling arbitrary event expressions into layered automata.
+
+This module generalizes the paper's two-possible-world trick (Section III)
+beyond PRESENCE and PATTERN: *any* Boolean expression over
+``(location, time)`` predicates compiles into a deterministic layered
+automaton whose states are the distinct residual expressions obtained by
+partially evaluating the event on location prefixes.  Lifting the Markov
+chain by automaton state (see :mod:`repro.core.automaton_engine`) then
+computes priors and joints for arbitrary events with the same
+linear-in-time structure as Lemma III.1.
+
+PRESENCE and PATTERN compile to automata with at most 2 live states per
+layer, recovering the paper's construction exactly (cross-validated in
+tests).  Pathological expressions can in principle generate exponentially
+many residuals; ``max_states`` guards against that.
+
+Key efficiency point: at each timestamp only the cells mentioned by some
+predicate at that timestamp can matter -- all unmentioned cells lead to
+the same residual -- so each layer stores one transition per *mentioned*
+cell plus a single default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EventError
+from .expressions import Expression, FALSE, TRUE
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Transitions consumed at one timestamp of the event window.
+
+    ``transitions[state][cell]`` is the next-state index for a mentioned
+    cell; unmentioned cells go to ``defaults[state]``.
+    """
+
+    t: int
+    transitions: tuple[dict, ...]
+    defaults: tuple[int, ...]
+    mentioned_cells: tuple[int, ...]
+
+    def next_state(self, state: int, cell: int) -> int:
+        """Next-state index after observing ``u_t = cell``."""
+        return self.transitions[state].get(int(cell), self.defaults[state])
+
+
+class CompiledEvent:
+    """A layered DFA equivalent to an event expression.
+
+    States at layer ``k`` are the distinct residual expressions after
+    fixing ``u_start .. u_{start+k-1}``.  Layer 0 has the single initial
+    state (the original expression); after the final layer every state is
+    the constant TRUE or FALSE.
+
+    Attributes
+    ----------
+    start, end:
+        The expression's inclusive 1-based time window.
+    layers:
+        One :class:`Layer` per timestamp ``start..end``.
+    n_states_per_layer:
+        State counts (layer 0 .. layer ``length``); the final layer has at
+        most 2 states.
+    accepting:
+        Boolean per final-layer state.
+    """
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        layers: tuple[Layer, ...],
+        states_per_layer: tuple[tuple[Expression, ...], ...],
+    ):
+        self.start = start
+        self.end = end
+        self.layers = layers
+        self._states_per_layer = states_per_layer
+        final = states_per_layer[-1]
+        for expr in final:
+            if expr not in (TRUE, FALSE):
+                raise EventError(
+                    "internal error: final layer contains unresolved residual"
+                )
+        self.accepting = tuple(expr == TRUE for expr in final)
+
+    @property
+    def length(self) -> int:
+        """Number of timestamps consumed by the automaton."""
+        return self.end - self.start + 1
+
+    @property
+    def n_states_per_layer(self) -> tuple[int, ...]:
+        return tuple(len(states) for states in self._states_per_layer)
+
+    @property
+    def max_states(self) -> int:
+        """Largest layer width (drives the lifted chain's size)."""
+        return max(self.n_states_per_layer)
+
+    def residual_at(self, layer: int, state: int) -> Expression:
+        """The residual expression identified with a state."""
+        return self._states_per_layer[layer][state]
+
+    def run(self, window_cells) -> bool:
+        """Evaluate the automaton on the cells of the event window.
+
+        ``window_cells[k]`` is the location at timestamp ``start + k``.
+        """
+        cells = list(window_cells)
+        if len(cells) != self.length:
+            raise EventError(
+                f"expected {self.length} window cells, got {len(cells)}"
+            )
+        state = 0
+        for layer, cell in zip(self.layers, cells):
+            state = layer.next_state(state, cell)
+        return self.accepting[state]
+
+
+def compile_event(expression: Expression, max_states: int = 4096) -> CompiledEvent:
+    """Compile an expression into a :class:`CompiledEvent`.
+
+    Parameters
+    ----------
+    expression:
+        Any non-constant expression (constants have no time window and no
+        privacy question to ask).
+    max_states:
+        Abort (raise :class:`EventError`) if any layer exceeds this many
+        distinct residuals.
+    """
+    if expression in (TRUE, FALSE):
+        raise EventError("cannot compile a constant expression")
+    start, end = expression.time_window()
+
+    # Cells mentioned per timestamp: only these can change the residual.
+    mentioned: dict[int, set[int]] = {t: set() for t in range(start, end + 1)}
+    for predicate in expression.predicates():
+        mentioned[predicate.t].add(predicate.cell)
+
+    current_states: list[Expression] = [expression]
+    states_per_layer: list[tuple[Expression, ...]] = [tuple(current_states)]
+    layers: list[Layer] = []
+
+    for t in range(start, end + 1):
+        cells = tuple(sorted(mentioned[t]))
+        # A sentinel cell index distinct from every mentioned cell stands
+        # in for "any unmentioned location at time t".
+        sentinel = (max(cells) + 1) if cells else 0
+
+        next_index: dict[tuple, int] = {}
+        next_states: list[Expression] = []
+
+        def intern(residual: Expression) -> int:
+            key = residual._key()
+            if key not in next_index:
+                next_index[key] = len(next_states)
+                next_states.append(residual)
+            return next_index[key]
+
+        transitions: list[dict] = []
+        defaults: list[int] = []
+        for state_expr in current_states:
+            table: dict[int, int] = {}
+            for cell in cells:
+                table[cell] = intern(state_expr.substitute({t: cell}))
+            defaults.append(intern(state_expr.substitute({t: sentinel})))
+            transitions.append(table)
+        if len(next_states) > max_states:
+            raise EventError(
+                f"event automaton exceeded max_states={max_states} at t={t}; "
+                "the expression is too entangled for exact compilation"
+            )
+        layers.append(
+            Layer(
+                t=t,
+                transitions=tuple(transitions),
+                defaults=tuple(defaults),
+                mentioned_cells=cells,
+            )
+        )
+        current_states = next_states
+        states_per_layer.append(tuple(current_states))
+
+    return CompiledEvent(
+        start=start,
+        end=end,
+        layers=tuple(layers),
+        states_per_layer=tuple(states_per_layer),
+    )

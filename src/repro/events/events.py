@@ -1,0 +1,209 @@
+"""PRESENCE and PATTERN events (Definitions II.2 and II.3).
+
+These are the two canonical event families the paper's engine supports
+directly: PRESENCE generalizes "single sensitive location", PATTERN
+generalizes "sensitive trajectory".  Both expose:
+
+* ``to_expression()`` -- the equivalent Boolean expression, used by the
+  naive baselines and the generic automaton engine,
+* ``ground_truth(trajectory)`` -- whether a concrete trajectory makes the
+  event true,
+* ``start`` / ``end`` / ``length`` / ``width`` -- the window geometry used
+  by the two-world construction and the runtime experiments (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from .._validation import check_timestamp
+from ..errors import EventError
+from ..geo.regions import Region
+from .expressions import Expression, all_of, in_region
+
+
+class SpatiotemporalEvent(abc.ABC):
+    """Common interface of PRESENCE and PATTERN events."""
+
+    @property
+    @abc.abstractmethod
+    def n_cells(self) -> int:
+        """Size ``m`` of the map the event lives on."""
+
+    @property
+    @abc.abstractmethod
+    def start(self) -> int:
+        """First timestamp of the event window (1-based, inclusive)."""
+
+    @property
+    @abc.abstractmethod
+    def end(self) -> int:
+        """Last timestamp of the event window (1-based, inclusive)."""
+
+    @abc.abstractmethod
+    def region_at(self, t: int) -> Region:
+        """The sensitive region in force at window timestamp ``t``."""
+
+    @abc.abstractmethod
+    def to_expression(self) -> Expression:
+        """The equivalent Boolean expression over predicates."""
+
+    @property
+    def length(self) -> int:
+        """The paper's *event length*: number of timestamps in the window."""
+        return self.end - self.start + 1
+
+    @property
+    def window(self) -> tuple[int, int]:
+        """(start, end) of the event."""
+        return self.start, self.end
+
+    def ground_truth(self, trajectory: Sequence[int]) -> bool:
+        """Whether the event is true on a concrete trajectory."""
+        if len(trajectory) < self.end:
+            raise EventError(
+                f"trajectory has {len(trajectory)} timestamps, event ends at "
+                f"t={self.end}"
+            )
+        return self.to_expression().evaluate(trajectory)
+
+
+class PresenceEvent(SpatiotemporalEvent):
+    """PRESENCE(S, T): the user appears in ``region`` at any t in [start, end].
+
+    Definition II.2.  Expression form:
+    ``OR over t in window, OR over cells in region of (u_t = cell)``.
+
+    Parameters
+    ----------
+    region:
+        The sensitive area (non-empty).
+    start, end:
+        Inclusive 1-based window.  The paper "assume[s] that the events are
+        defined in consecutive time"; non-consecutive windows can be
+        expressed with the raw expression AST and the automaton engine.
+    """
+
+    def __init__(self, region: Region, start: int, end: int):
+        if region.is_empty:
+            raise EventError("PRESENCE region must be non-empty")
+        start = check_timestamp(start, name="start")
+        end = check_timestamp(end, name="end")
+        if end < start:
+            raise EventError(f"end={end} precedes start={start}")
+        if region.width == region.n_cells:
+            raise EventError(
+                "PRESENCE region covers the whole map: the event is always true "
+                "and its negation has zero probability"
+            )
+        self._region = region
+        self._start = start
+        self._end = end
+
+    @property
+    def n_cells(self) -> int:
+        return self._region.n_cells
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    @property
+    def end(self) -> int:
+        return self._end
+
+    @property
+    def region(self) -> Region:
+        """The sensitive region (constant over the window)."""
+        return self._region
+
+    @property
+    def width(self) -> int:
+        """Number of cells in the region (the paper's *event width*)."""
+        return self._region.width
+
+    def region_at(self, t: int) -> Region:
+        t = check_timestamp(t, name="t")
+        if not self._start <= t <= self._end:
+            raise EventError(f"t={t} outside event window [{self._start}, {self._end}]")
+        return self._region
+
+    def to_expression(self) -> Expression:
+        from .expressions import any_of
+
+        return any_of(
+            in_region(t, self._region.cells)
+            for t in range(self._start, self._end + 1)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PRESENCE(cells={list(self._region.cells)}, "
+            f"T={{{self._start}:{self._end}}})"
+        )
+
+
+class PatternEvent(SpatiotemporalEvent):
+    """PATTERN(S, T): the user passes through ``regions`` sequentially.
+
+    Definition II.3.  ``regions[k]`` is the sensitive region at timestamp
+    ``start + k``; the event is true iff the user is inside *every*
+    region at its timestamp.  Expression form:
+    ``AND over k of (OR over cells in regions[k] of (u_{start+k} = cell))``.
+    """
+
+    def __init__(self, regions: Sequence[Region], start: int):
+        if not regions:
+            raise EventError("PATTERN needs at least one region")
+        sizes = {region.n_cells for region in regions}
+        if len(sizes) != 1:
+            raise EventError(f"PATTERN regions live on different maps: {sorted(sizes)}")
+        for k, region in enumerate(regions):
+            if region.is_empty:
+                raise EventError(f"PATTERN region {k} is empty: event is always false")
+        if all(region.width == region.n_cells for region in regions):
+            raise EventError(
+                "every PATTERN region covers the whole map: the event is always "
+                "true and its negation has zero probability"
+            )
+        self._regions = tuple(regions)
+        self._start = check_timestamp(start, name="start")
+
+    @property
+    def n_cells(self) -> int:
+        return self._regions[0].n_cells
+
+    @property
+    def start(self) -> int:
+        return self._start
+
+    @property
+    def end(self) -> int:
+        return self._start + len(self._regions) - 1
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """Per-timestamp regions, index 0 = timestamp ``start``."""
+        return self._regions
+
+    @property
+    def width(self) -> int:
+        """Maximum region size (the paper's *event width* knob)."""
+        return max(region.width for region in self._regions)
+
+    def region_at(self, t: int) -> Region:
+        t = check_timestamp(t, name="t")
+        if not self._start <= t <= self.end:
+            raise EventError(f"t={t} outside event window [{self._start}, {self.end}]")
+        return self._regions[t - self._start]
+
+    def to_expression(self) -> Expression:
+        return all_of(
+            in_region(self._start + k, region.cells)
+            for k, region in enumerate(self._regions)
+        )
+
+    def __repr__(self) -> str:
+        cells = [list(region.cells) for region in self._regions]
+        return f"PATTERN(regions={cells}, start={self._start})"

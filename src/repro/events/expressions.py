@@ -1,0 +1,345 @@
+"""Boolean expressions over (location, time) predicates.
+
+Definition II.1: "A spatiotemporal event ... is a set of (location, time)
+predicates, i.e. ``u_t = s_i``, under the Boolean operations."  The AST
+here is immutable and hashable; evaluation takes a trajectory (sequence of
+cells, index 0 = timestamp 1).  ``substitute`` performs the partial
+evaluation used by the automaton compiler.
+
+Operators are overloaded so events read like the paper's formulas::
+
+    expr = (at(3, 0) | at(3, 1)) & (at(4, 5))      # (u3=s0 v u3=s1) ^ u4=s5
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import total_ordering
+from typing import Iterable, Mapping, Sequence
+
+from .._validation import check_timestamp
+from ..errors import EventError
+
+
+class Expression(abc.ABC):
+    """Base class of the event expression AST.  Immutable and hashable."""
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def predicates(self) -> frozenset["Predicate"]:
+        """All atomic predicates appearing in the expression."""
+
+    def timestamps(self) -> tuple[int, ...]:
+        """Sorted timestamps mentioned by any predicate."""
+        return tuple(sorted({p.t for p in self.predicates()}))
+
+    def time_window(self) -> tuple[int, int]:
+        """(start, end) timestamps of the expression."""
+        times = self.timestamps()
+        if not times:
+            raise EventError("expression mentions no timestamps (constant)")
+        return times[0], times[-1]
+
+    @abc.abstractmethod
+    def _key(self) -> tuple:
+        """Canonical structural key (used for hashing and memoization)."""
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Expression) and self._key() == other._key()
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def evaluate(self, trajectory: Sequence[int]) -> bool:
+        """Ground truth on a full trajectory (index 0 = timestamp 1)."""
+
+    @abc.abstractmethod
+    def substitute(self, assignment: Mapping[int, int]) -> "Expression":
+        """Partially evaluate: fix ``u_t = cell`` for each (t, cell) pair.
+
+        Returns a simplified residual expression; all predicates at an
+        assigned timestamp resolve simultaneously (a user is at exactly
+        one location per timestamp).
+        """
+
+    # ------------------------------------------------------------------
+    # operators
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Expression") -> "Expression":
+        return And.of([self, other])
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or.of([self, other])
+
+    def __invert__(self) -> "Expression":
+        return Not.of(self)
+
+
+class _Constant(Expression):
+    """TRUE or FALSE."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, name, value):  # immutability
+        raise AttributeError("Expression nodes are immutable")
+
+    def predicates(self) -> frozenset["Predicate"]:
+        return frozenset()
+
+    def _key(self) -> tuple:
+        return ("const", self.value)
+
+    def evaluate(self, trajectory: Sequence[int]) -> bool:
+        return self.value
+
+    def substitute(self, assignment: Mapping[int, int]) -> "Expression":
+        return self
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+#: The always-true expression.
+TRUE = _Constant(True)
+#: The always-false expression (e.g. Fig. 1(a): same-time conjunction).
+FALSE = _Constant(False)
+
+
+@total_ordering
+class Predicate(Expression):
+    """Atomic predicate ``u_t = cell`` (1-based timestamp, 0-based cell)."""
+
+    __slots__ = ("t", "cell")
+
+    def __init__(self, t: int, cell: int):
+        object.__setattr__(self, "t", check_timestamp(t, name="t"))
+        if int(cell) != cell or cell < 0:
+            raise EventError(f"cell must be a non-negative integer, got {cell!r}")
+        object.__setattr__(self, "cell", int(cell))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expression nodes are immutable")
+
+    def predicates(self) -> frozenset["Predicate"]:
+        return frozenset({self})
+
+    def _key(self) -> tuple:
+        return ("pred", self.t, self.cell)
+
+    def __lt__(self, other: "Predicate") -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return (self.t, self.cell) < (other.t, other.cell)
+
+    def evaluate(self, trajectory: Sequence[int]) -> bool:
+        if self.t > len(trajectory):
+            raise EventError(
+                f"trajectory has {len(trajectory)} timestamps, predicate needs t={self.t}"
+            )
+        return int(trajectory[self.t - 1]) == self.cell
+
+    def substitute(self, assignment: Mapping[int, int]) -> Expression:
+        if self.t in assignment:
+            return TRUE if int(assignment[self.t]) == self.cell else FALSE
+        return self
+
+    def __repr__(self) -> str:
+        return f"(u{self.t}=s{self.cell})"
+
+
+class And(Expression):
+    """Conjunction of child expressions (flattened, deduplicated)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: tuple[Expression, ...]):
+        object.__setattr__(self, "children", children)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expression nodes are immutable")
+
+    @staticmethod
+    def of(children: Iterable[Expression]) -> Expression:
+        """Smart constructor: flattens, drops TRUE, short-circuits FALSE."""
+        flat: list[Expression] = []
+        seen: set = set()
+        stack = list(children)
+        while stack:
+            child = stack.pop(0)
+            if not isinstance(child, Expression):
+                raise EventError(f"And child is not an Expression: {child!r}")
+            if child == TRUE:
+                continue
+            if child == FALSE:
+                return FALSE
+            if isinstance(child, And):
+                stack = list(child.children) + stack
+                continue
+            key = child._key()
+            if key not in seen:
+                seen.add(key)
+                flat.append(child)
+        if not flat:
+            return TRUE
+        if len(flat) == 1:
+            return flat[0]
+        # Contradictory same-time predicates make the conjunction FALSE
+        # (Fig. 1(a): a user cannot be at two locations at once).
+        by_time: dict[int, int] = {}
+        for child in flat:
+            if isinstance(child, Predicate):
+                if child.t in by_time and by_time[child.t] != child.cell:
+                    return FALSE
+                by_time[child.t] = child.cell
+        flat.sort(key=lambda e: e._key())
+        return And(tuple(flat))
+
+    def predicates(self) -> frozenset[Predicate]:
+        out: set[Predicate] = set()
+        for child in self.children:
+            out |= child.predicates()
+        return frozenset(out)
+
+    def _key(self) -> tuple:
+        return ("and",) + tuple(c._key() for c in self.children)
+
+    def evaluate(self, trajectory: Sequence[int]) -> bool:
+        return all(child.evaluate(trajectory) for child in self.children)
+
+    def substitute(self, assignment: Mapping[int, int]) -> Expression:
+        return And.of([child.substitute(assignment) for child in self.children])
+
+    def __repr__(self) -> str:
+        return "(" + " ^ ".join(repr(c) for c in self.children) + ")"
+
+
+class Or(Expression):
+    """Disjunction of child expressions (flattened, deduplicated)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: tuple[Expression, ...]):
+        object.__setattr__(self, "children", children)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expression nodes are immutable")
+
+    @staticmethod
+    def of(children: Iterable[Expression]) -> Expression:
+        """Smart constructor: flattens, drops FALSE, short-circuits TRUE."""
+        flat: list[Expression] = []
+        seen: set = set()
+        stack = list(children)
+        while stack:
+            child = stack.pop(0)
+            if not isinstance(child, Expression):
+                raise EventError(f"Or child is not an Expression: {child!r}")
+            if child == FALSE:
+                continue
+            if child == TRUE:
+                return TRUE
+            if isinstance(child, Or):
+                stack = list(child.children) + stack
+                continue
+            key = child._key()
+            if key not in seen:
+                seen.add(key)
+                flat.append(child)
+        if not flat:
+            return FALSE
+        if len(flat) == 1:
+            return flat[0]
+        flat.sort(key=lambda e: e._key())
+        return Or(tuple(flat))
+
+    def predicates(self) -> frozenset[Predicate]:
+        out: set[Predicate] = set()
+        for child in self.children:
+            out |= child.predicates()
+        return frozenset(out)
+
+    def _key(self) -> tuple:
+        return ("or",) + tuple(c._key() for c in self.children)
+
+    def evaluate(self, trajectory: Sequence[int]) -> bool:
+        return any(child.evaluate(trajectory) for child in self.children)
+
+    def substitute(self, assignment: Mapping[int, int]) -> Expression:
+        return Or.of([child.substitute(assignment) for child in self.children])
+
+    def __repr__(self) -> str:
+        return "(" + " v ".join(repr(c) for c in self.children) + ")"
+
+
+class Not(Expression):
+    """Negation of a child expression."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Expression):
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Expression nodes are immutable")
+
+    @staticmethod
+    def of(child: Expression) -> Expression:
+        """Smart constructor: double negation and constants simplify."""
+        if not isinstance(child, Expression):
+            raise EventError(f"Not child is not an Expression: {child!r}")
+        if child == TRUE:
+            return FALSE
+        if child == FALSE:
+            return TRUE
+        if isinstance(child, Not):
+            return child.child
+        return Not(child)
+
+    def predicates(self) -> frozenset[Predicate]:
+        return self.child.predicates()
+
+    def _key(self) -> tuple:
+        return ("not", self.child._key())
+
+    def evaluate(self, trajectory: Sequence[int]) -> bool:
+        return not self.child.evaluate(trajectory)
+
+    def substitute(self, assignment: Mapping[int, int]) -> Expression:
+        return Not.of(self.child.substitute(assignment))
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"
+
+
+# ----------------------------------------------------------------------
+# convenience builders
+# ----------------------------------------------------------------------
+def at(t: int, cell: int) -> Predicate:
+    """The predicate ``u_t = cell``."""
+    return Predicate(t, cell)
+
+
+def in_region(t: int, cells: Iterable[int]) -> Expression:
+    """``u_t`` is in a region: the disjunction over the region's cells."""
+    return Or.of([Predicate(t, cell) for cell in cells])
+
+
+def any_of(expressions: Iterable[Expression]) -> Expression:
+    """Disjunction of several expressions."""
+    return Or.of(list(expressions))
+
+
+def all_of(expressions: Iterable[Expression]) -> Expression:
+    """Conjunction of several expressions."""
+    return And.of(list(expressions))

@@ -1,0 +1,47 @@
+"""Experiment harness reproducing the paper's evaluation (Section V).
+
+One runner per figure/table; each returns structured results and can
+print the same rows/series the paper reports.  The benchmarks in
+``benchmarks/`` are thin wrappers around these runners; the CLI
+(``python -m repro.cli``) exposes them interactively.
+
+Scenario builders:
+
+* :func:`synthetic_scenario` -- the paper's 20x20 Gaussian-kernel map
+  with 50-step trajectories.
+* :func:`geolife_scenario` -- Markov model trained on Geolife-like traces
+  (real Geolife if a local copy is supplied, simulator otherwise).
+"""
+
+from .report import format_series_table, format_table
+from .runners import (
+    BudgetOverTimeResult,
+    RuntimeScalingResult,
+    UtilitySweepResult,
+    run_budget_over_time,
+    run_conservative_release_table,
+    run_runtime_scaling,
+    run_utility_sweep,
+)
+from .scenarios import (
+    GeolifeScenario,
+    SyntheticScenario,
+    geolife_scenario,
+    synthetic_scenario,
+)
+
+__all__ = [
+    "SyntheticScenario",
+    "GeolifeScenario",
+    "synthetic_scenario",
+    "geolife_scenario",
+    "run_budget_over_time",
+    "run_utility_sweep",
+    "run_runtime_scaling",
+    "run_conservative_release_table",
+    "BudgetOverTimeResult",
+    "UtilitySweepResult",
+    "RuntimeScalingResult",
+    "format_table",
+    "format_series_table",
+]

@@ -1,0 +1,80 @@
+"""ASCII reporting for experiment results.
+
+The harness prints the same rows/series the paper reports, so a run's
+output can be compared side-by-side with the published tables and
+figures.  Everything returns strings (callers decide where they go).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A plain monospaced table with one header row."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """A table with one x column and one column per named series.
+
+    This is the textual analogue of the paper's line plots: each figure
+    panel becomes one table with the same x axis and one line per curve.
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for idx, x in enumerate(x_values):
+        row: list[object] = [x]
+        for values in series.values():
+            row.append(values[idx] if idx < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 50) -> str:
+    """A coarse unicode sparkline, for eyeballing per-timestamp budgets."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        # Downsample by averaging consecutive chunks.
+        chunks = np.array_split(arr, width)
+        arr = np.array([chunk.mean() for chunk in chunks])
+    lo, hi = float(arr.min()), float(arr.max())
+    ticks = "▁▂▃▄▅▆▇█"
+    if hi <= lo:
+        return ticks[0] * arr.size
+    scaled = (arr - lo) / (hi - lo)
+    return "".join(ticks[min(len(ticks) - 1, int(s * len(ticks)))] for s in scaled)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)

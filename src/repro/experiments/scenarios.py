@@ -1,0 +1,172 @@
+"""Scenario builders for the paper's two evaluation settings.
+
+Section V-A: "a map with 20*20 cells is generated.  Then, the transition
+probability from one cell to another is proportional to the two-
+dimensional Gaussian distribution with scale parameter sigma. ...  we
+produced trajectories with 50 timestamps"; and the Geolife dataset, whose
+"entire trajectory is used to train the transition matrix M".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import resolve_rng
+from ..datasets.discretize import discretize_trace, grid_for_traces
+from ..datasets.geolife import GeolifeSimulator, load_geolife_directory
+from ..errors import DatasetError
+from ..geo.grid import GridMap
+from ..geo.regions import Region
+from ..markov.simulate import sample_trajectory
+from ..markov.synthetic import gaussian_kernel_transitions
+from ..markov.training import fit_initial_distribution, fit_transition_matrix
+from ..markov.transition import TransitionMatrix
+
+
+@dataclass(frozen=True)
+class SyntheticScenario:
+    """The synthetic evaluation setting (20x20 Gaussian-kernel map)."""
+
+    grid: GridMap
+    chain: TransitionMatrix
+    initial: np.ndarray
+    horizon: int
+    sigma: float
+
+    def presence_event(self, first: int, last: int, start: int, end: int):
+        """PRESENCE over the paper's ``S = {first+1 : last+1}`` cell range."""
+        from ..events.events import PresenceEvent
+
+        region = Region.from_range(self.grid.n_cells, first, last)
+        return PresenceEvent(region, start=start, end=end)
+
+    def pattern_event(self, cell_ranges, start: int):
+        """PATTERN over a sequence of inclusive cell ranges."""
+        from ..events.events import PatternEvent
+
+        regions = [
+            Region.from_range(self.grid.n_cells, lo, hi) for lo, hi in cell_ranges
+        ]
+        return PatternEvent(regions, start=start)
+
+    def sample_trajectory(self, rng=None) -> list[int]:
+        """One true trajectory of ``horizon`` steps."""
+        return sample_trajectory(self.chain, self.horizon, initial=self.initial, rng=rng)
+
+
+def synthetic_scenario(
+    n_rows: int = 20,
+    n_cols: int = 20,
+    sigma: float = 1.0,
+    horizon: int = 50,
+    cell_size_km: float = 1.0,
+) -> SyntheticScenario:
+    """Build the paper's synthetic setting.
+
+    ``sigma`` is the mobility-pattern strength knob of Fig. 13 (smaller =
+    more significant pattern).  The initial distribution is uniform.
+    """
+    grid = GridMap(n_rows, n_cols, cell_size_km=cell_size_km)
+    chain = gaussian_kernel_transitions(grid, sigma)
+    initial = np.full(grid.n_cells, 1.0 / grid.n_cells)
+    return SyntheticScenario(
+        grid=grid, chain=chain, initial=initial, horizon=horizon, sigma=sigma
+    )
+
+
+@dataclass(frozen=True)
+class GeolifeScenario:
+    """The Geolife evaluation setting: a chain trained on GPS traces."""
+
+    grid: GridMap
+    chain: TransitionMatrix
+    initial: np.ndarray
+    horizon: int
+    trajectories: tuple[tuple[int, ...], ...]
+    source: str
+
+    def presence_event(self, first: int, last: int, start: int, end: int):
+        """PRESENCE over an inclusive cell range (paper's ``S={a:b}``)."""
+        from ..events.events import PresenceEvent
+
+        region = Region.from_range(self.grid.n_cells, first, last)
+        return PresenceEvent(region, start=start, end=end)
+
+    def sample_trajectory(self, rng=None) -> list[int]:
+        """A true trajectory: a training trace segment, or a chain sample.
+
+        Using real trace segments keeps the evaluation honest (the chain
+        is the *adversary's* model, the user walks the data); when no
+        segment is long enough the chain itself is sampled.
+        """
+        generator = resolve_rng(rng)
+        usable = [t for t in self.trajectories if len(t) >= self.horizon]
+        if usable:
+            trace = usable[int(generator.integers(len(usable)))]
+            offset = int(generator.integers(len(trace) - self.horizon + 1))
+            return list(trace[offset : offset + self.horizon])
+        return sample_trajectory(
+            self.chain, self.horizon, initial=self.initial, rng=generator
+        )
+
+
+def geolife_scenario(
+    root: str | None = None,
+    n_users: int = 8,
+    n_days: int = 4,
+    cell_size_km: float = 1.0,
+    interval_s: float = 300.0,
+    horizon: int = 50,
+    smoothing: float = 0.05,
+    max_cells: int = 900,
+    rng=None,
+) -> GeolifeScenario:
+    """Build the Geolife setting, from real data or the simulator.
+
+    Parameters
+    ----------
+    root:
+        Path to a real Geolife dataset root; ``None`` (the default in this
+        offline reproduction) uses :class:`GeolifeSimulator` (DESIGN.md
+        §4 documents the substitution).
+    n_users, n_days:
+        Simulator scale (ignored for real data).
+    cell_size_km, interval_s:
+        Discretization grid and resampling interval.
+    smoothing:
+        Dirichlet pseudo-count for the trained chain; keeps it ergodic.
+    """
+    generator = resolve_rng(rng)
+    if root is not None:
+        traces = load_geolife_directory(root, max_users=n_users)
+        source = f"geolife:{root}"
+    else:
+        simulator = GeolifeSimulator(interval_s=interval_s)
+        traces = simulator.simulate_users(n_users, n_days=n_days, rng=generator)
+        source = "geolife-simulator"
+    grid, reference = grid_for_traces(
+        traces, cell_size_km=cell_size_km, max_cells=max_cells
+    )
+    cell_trajectories = [
+        tuple(discretize_trace(trace, grid, reference, interval_s=interval_s))
+        for trace in traces
+    ]
+    cell_trajectories = [t for t in cell_trajectories if len(t) >= 2]
+    if not cell_trajectories:
+        raise DatasetError("no usable discretized trajectories")
+    chain = fit_transition_matrix(
+        cell_trajectories, grid.n_cells, smoothing=smoothing
+    )
+    initial = fit_initial_distribution(
+        cell_trajectories, grid.n_cells, smoothing=smoothing
+    )
+    return GeolifeScenario(
+        grid=grid,
+        chain=chain,
+        initial=initial,
+        horizon=horizon,
+        trajectories=tuple(cell_trajectories),
+        source=source,
+    )

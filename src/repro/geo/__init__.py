@@ -1,0 +1,24 @@
+"""Spatial substrate: grid maps, distances and region algebra.
+
+The paper discretizes space into ``m`` cells ``S = {s_1, ..., s_m}``; its
+synthetic evaluation uses a 20x20 grid and its Geolife evaluation a
+km-scale grid over Beijing.  This package provides:
+
+* :class:`GridMap` -- the discrete map with km geometry and cached
+  pairwise distances,
+* :class:`Region` -- immutable sets of cells with the 0/1 indicator
+  vectors ``s`` used by the two-world construction,
+* distance helpers (Euclidean on the plane, haversine on the sphere).
+"""
+
+from .distance import euclidean_distance, haversine_km, pairwise_euclidean
+from .grid import GridMap
+from .regions import Region
+
+__all__ = [
+    "GridMap",
+    "Region",
+    "euclidean_distance",
+    "haversine_km",
+    "pairwise_euclidean",
+]

@@ -1,0 +1,65 @@
+"""Distance functions used by grids, mechanisms and utility metrics.
+
+Planar Laplace noise and the paper's Euclidean-distance utility metric both
+operate in kilometres, so every function here returns kilometres.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..errors import ValidationError
+
+#: Mean Earth radius in kilometres (IUGG value), used by haversine.
+EARTH_RADIUS_KM = 6371.0088
+
+
+def euclidean_distance(p, q) -> float:
+    """Euclidean distance between two planar points (km in, km out)."""
+    pa = as_float_array(p, "p")
+    qa = as_float_array(q, "q")
+    if pa.shape != qa.shape or pa.ndim != 1:
+        raise ValidationError(
+            f"points must be 1-D with matching shapes, got {pa.shape} vs {qa.shape}"
+        )
+    return float(np.linalg.norm(pa - qa))
+
+
+def pairwise_euclidean(points) -> np.ndarray:
+    """Pairwise Euclidean distance matrix for an ``(n, d)`` point array."""
+    pts = as_float_array(points, "points")
+    if pts.ndim != 2:
+        raise ValidationError(f"points must be 2-D (n, d), got shape {pts.shape}")
+    diff = pts[:, None, :] - pts[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=-1))
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in km between two (lat, lon) points in degrees."""
+    for name, value in (("lat1", lat1), ("lat2", lat2)):
+        if not -90.0 <= float(value) <= 90.0:
+            raise ValidationError(f"{name} must be in [-90, 90], got {value!r}")
+    for name, value in (("lon1", lon1), ("lon2", lon2)):
+        if not -180.0 <= float(value) <= 180.0:
+            raise ValidationError(f"{name} must be in [-180, 180], got {value!r}")
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_km_arrays(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Vectorized haversine over equally-shaped coordinate arrays (degrees)."""
+    lat1 = np.radians(as_float_array(lat1, "lat1"))
+    lon1 = np.radians(as_float_array(lon1, "lon1"))
+    lat2 = np.radians(as_float_array(lat2, "lat2"))
+    lon2 = np.radians(as_float_array(lon2, "lon2"))
+    dphi = lat2 - lat1
+    dlam = lon2 - lon1
+    a = np.sin(dphi / 2) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(a)))

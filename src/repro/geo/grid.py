@@ -1,0 +1,195 @@
+"""Discrete grid map over the plane.
+
+A :class:`GridMap` is the domain ``S = {s_1, ..., s_m}`` of the paper: an
+``n_rows x n_cols`` lattice of square cells with a physical edge length in
+kilometres.  Cells are indexed row-major from 0 (the paper's 1-based
+``s_1..s_m`` maps to our 0-based ``0..m-1``).  The map owns the geometry
+used by Planar Laplace mechanisms (cell-centre coordinates and the pairwise
+distance matrix) and by the Euclidean-distance utility metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .._validation import check_index, check_positive
+from ..errors import GridError
+from .distance import pairwise_euclidean
+
+
+@dataclass(frozen=True)
+class GridMap:
+    """A rectangular grid of square cells with km geometry.
+
+    Parameters
+    ----------
+    n_rows, n_cols:
+        Lattice dimensions; ``m = n_rows * n_cols`` cells in total.
+    cell_size_km:
+        Edge length of each square cell, in kilometres.
+    origin_km:
+        Planar coordinates (x, y) of the *centre of cell 0* in kilometres.
+        Defaults to (0, 0); only offsets distances to external points.
+    """
+
+    n_rows: int
+    n_cols: int
+    cell_size_km: float = 1.0
+    origin_km: tuple[float, float] = (0.0, 0.0)
+    _distance_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if int(self.n_rows) != self.n_rows or self.n_rows < 1:
+            raise GridError(f"n_rows must be a positive integer, got {self.n_rows!r}")
+        if int(self.n_cols) != self.n_cols or self.n_cols < 1:
+            raise GridError(f"n_cols must be a positive integer, got {self.n_cols!r}")
+        check_positive(self.cell_size_km, "cell_size_km")
+        object.__setattr__(self, "n_rows", int(self.n_rows))
+        object.__setattr__(self, "n_cols", int(self.n_cols))
+        object.__setattr__(self, "cell_size_km", float(self.cell_size_km))
+        object.__setattr__(
+            self, "origin_km", (float(self.origin_km[0]), float(self.origin_km[1]))
+        )
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells ``m``."""
+        return self.n_rows * self.n_cols
+
+    def __len__(self) -> int:
+        return self.n_cells
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_cells))
+
+    def cell_index(self, row: int, col: int) -> int:
+        """Row-major cell index of lattice position ``(row, col)``."""
+        r = check_index(row, self.n_rows, "row")
+        c = check_index(col, self.n_cols, "col")
+        return r * self.n_cols + c
+
+    def cell_position(self, cell: int) -> tuple[int, int]:
+        """Lattice position ``(row, col)`` of a cell index."""
+        idx = check_index(cell, self.n_cells, "cell")
+        return divmod(idx, self.n_cols)
+
+    def contains_position(self, row: int, col: int) -> bool:
+        """Whether ``(row, col)`` lies on the lattice."""
+        return 0 <= row < self.n_rows and 0 <= col < self.n_cols
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    def cell_center_km(self, cell: int) -> tuple[float, float]:
+        """Planar (x, y) coordinates of a cell centre, in kilometres."""
+        row, col = self.cell_position(cell)
+        x0, y0 = self.origin_km
+        return (x0 + col * self.cell_size_km, y0 + row * self.cell_size_km)
+
+    @cached_property
+    def cell_centers_km(self) -> np.ndarray:
+        """``(m, 2)`` array of all cell-centre coordinates in kilometres."""
+        rows, cols = np.divmod(np.arange(self.n_cells), self.n_cols)
+        x0, y0 = self.origin_km
+        centers = np.empty((self.n_cells, 2), dtype=np.float64)
+        centers[:, 0] = x0 + cols * self.cell_size_km
+        centers[:, 1] = y0 + rows * self.cell_size_km
+        centers.setflags(write=False)
+        return centers
+
+    @cached_property
+    def distance_matrix_km(self) -> np.ndarray:
+        """``(m, m)`` Euclidean distance matrix between cell centres (km)."""
+        matrix = pairwise_euclidean(self.cell_centers_km)
+        matrix.setflags(write=False)
+        return matrix
+
+    def distance_km(self, cell_a: int, cell_b: int) -> float:
+        """Euclidean centre-to-centre distance between two cells (km)."""
+        a = check_index(cell_a, self.n_cells, "cell_a")
+        b = check_index(cell_b, self.n_cells, "cell_b")
+        return float(self.distance_matrix_km[a, b])
+
+    def nearest_cell(self, x_km: float, y_km: float) -> int:
+        """Cell whose centre is nearest to the planar point ``(x, y)`` km."""
+        deltas = self.cell_centers_km - np.array([x_km, y_km], dtype=np.float64)
+        return int(np.argmin((deltas * deltas).sum(axis=1)))
+
+    def snap_to_grid(self, x_km: float, y_km: float) -> tuple[int, float]:
+        """Nearest cell and the snapping distance in kilometres."""
+        cell = self.nearest_cell(x_km, y_km)
+        cx, cy = self.cell_center_km(cell)
+        dist = float(np.hypot(cx - x_km, cy - y_km))
+        return cell, dist
+
+    # ------------------------------------------------------------------
+    # neighbourhood structure (used by synthetic mobility models)
+    # ------------------------------------------------------------------
+    def neighbors(self, cell: int, diagonal: bool = True) -> tuple[int, ...]:
+        """Adjacent cells (4- or 8-neighbourhood) of ``cell``."""
+        row, col = self.cell_position(cell)
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        if diagonal:
+            offsets += [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+        out = []
+        for dr, dc in offsets:
+            r, c = row + dr, col + dc
+            if self.contains_position(r, c):
+                out.append(self.cell_index(r, c))
+        return tuple(sorted(out))
+
+    def cells_within_km(self, cell: int, radius_km: float) -> tuple[int, ...]:
+        """All cells whose centres lie within ``radius_km`` of ``cell``."""
+        idx = check_index(cell, self.n_cells, "cell")
+        radius = check_positive(radius_km, "radius_km")
+        mask = self.distance_matrix_km[idx] <= radius
+        return tuple(int(i) for i in np.nonzero(mask)[0])
+
+    def rectangle_cells(
+        self, row_range: tuple[int, int], col_range: tuple[int, int]
+    ) -> tuple[int, ...]:
+        """Cells of the closed lattice rectangle (inclusive index ranges)."""
+        r0, r1 = int(row_range[0]), int(row_range[1])
+        c0, c1 = int(col_range[0]), int(col_range[1])
+        if not (0 <= r0 <= r1 < self.n_rows):
+            raise GridError(f"row_range {row_range} invalid for {self.n_rows} rows")
+        if not (0 <= c0 <= c1 < self.n_cols):
+            raise GridError(f"col_range {col_range} invalid for {self.n_cols} cols")
+        return tuple(
+            self.cell_index(r, c)
+            for r in range(r0, r1 + 1)
+            for c in range(c0, c1 + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # error metrics
+    # ------------------------------------------------------------------
+    def trajectory_error_km(
+        self, true_cells: Sequence[int], released_cells: Sequence[int]
+    ) -> float:
+        """Mean Euclidean error in km between two equal-length cell paths.
+
+        This is the paper's utility metric: "the Euclidean distance between
+        the perturbed locations and the true locations" averaged over the
+        trajectory.
+        """
+        if len(true_cells) != len(released_cells):
+            raise GridError(
+                f"trajectories differ in length: {len(true_cells)} "
+                f"vs {len(released_cells)}"
+            )
+        if not true_cells:
+            raise GridError("trajectories must be non-empty")
+        total = 0.0
+        for u, o in zip(true_cells, released_cells):
+            total += self.distance_km(u, o)
+        return total / len(true_cells)

@@ -1,0 +1,185 @@
+"""Region algebra over grid cells.
+
+A region is the paper's ``s in {0,1}^{m x 1}`` indicator vector: the set of
+cells whose union forms a sensitive area (Definition II.2).  Regions are
+immutable, hashable and support set algebra, so PRESENCE/PATTERN events can
+be composed from rectangles, disks and ad-hoc cell sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .._validation import check_cell_sequence
+from ..errors import RegionError
+from .grid import GridMap
+
+
+@dataclass(frozen=True)
+class Region:
+    """An immutable set of cells on a fixed-size map.
+
+    Parameters
+    ----------
+    n_cells:
+        Size ``m`` of the map the region lives on.  Regions on different
+        maps cannot be combined.
+    cells:
+        The member cell indices (deduplicated, sorted).
+    """
+
+    n_cells: int
+    cells: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if int(self.n_cells) != self.n_cells or self.n_cells < 1:
+            raise RegionError(f"n_cells must be a positive integer, got {self.n_cells!r}")
+        object.__setattr__(self, "n_cells", int(self.n_cells))
+        validated = check_cell_sequence(self.cells, self.n_cells, "cells")
+        object.__setattr__(self, "cells", tuple(sorted(set(validated))))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_cells(cls, n_cells: int, cells: Iterable[int]) -> "Region":
+        """Region from an iterable of cell indices."""
+        return cls(n_cells=n_cells, cells=tuple(cells))
+
+    @classmethod
+    def from_indicator(cls, indicator) -> "Region":
+        """Region from a 0/1 indicator vector (the paper's ``s``)."""
+        vec = np.asarray(indicator, dtype=np.float64).ravel()
+        if not np.all((vec == 0.0) | (vec == 1.0)):
+            raise RegionError("indicator must contain only 0s and 1s")
+        cells = tuple(int(i) for i in np.nonzero(vec)[0])
+        return cls(n_cells=vec.size, cells=cells)
+
+    @classmethod
+    def from_range(cls, n_cells: int, first: int, last: int) -> "Region":
+        """Region of the inclusive index range ``first..last``.
+
+        Mirrors the paper's ``S = {1 : 10}`` notation (1-based inclusive);
+        this constructor is 0-based: ``Region.from_range(m, 0, 9)``.
+        """
+        if first > last:
+            raise RegionError(f"empty range: first={first} > last={last}")
+        return cls(n_cells=n_cells, cells=tuple(range(first, last + 1)))
+
+    @classmethod
+    def rectangle(
+        cls, grid: GridMap, row_range: tuple[int, int], col_range: tuple[int, int]
+    ) -> "Region":
+        """Axis-aligned lattice rectangle on ``grid``."""
+        return cls(
+            n_cells=grid.n_cells, cells=grid.rectangle_cells(row_range, col_range)
+        )
+
+    @classmethod
+    def disk(cls, grid: GridMap, center_cell: int, radius_km: float) -> "Region":
+        """All cells within ``radius_km`` of ``center_cell`` on ``grid``."""
+        return cls(n_cells=grid.n_cells, cells=grid.cells_within_km(center_cell, radius_km))
+
+    @classmethod
+    def full(cls, n_cells: int) -> "Region":
+        """The whole map."""
+        return cls(n_cells=n_cells, cells=tuple(range(n_cells)))
+
+    @classmethod
+    def empty(cls, n_cells: int) -> "Region":
+        """The empty region (always-false PRESENCE)."""
+        return cls(n_cells=n_cells, cells=())
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.cells)
+
+    def __contains__(self, cell: int) -> bool:
+        return int(cell) in self._cell_set
+
+    @property
+    def _cell_set(self) -> frozenset[int]:
+        return frozenset(self.cells)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the region contains no cells."""
+        return not self.cells
+
+    @property
+    def width(self) -> int:
+        """The paper's *event width*: the number of cells in the region."""
+        return len(self.cells)
+
+    def _check_compatible(self, other: "Region") -> None:
+        if self.n_cells != other.n_cells:
+            raise RegionError(
+                f"regions live on different maps ({self.n_cells} vs {other.n_cells} cells)"
+            )
+
+    def union(self, other: "Region") -> "Region":
+        """Cells in either region."""
+        self._check_compatible(other)
+        return Region(self.n_cells, tuple(self._cell_set | other._cell_set))
+
+    def intersection(self, other: "Region") -> "Region":
+        """Cells in both regions."""
+        self._check_compatible(other)
+        return Region(self.n_cells, tuple(self._cell_set & other._cell_set))
+
+    def difference(self, other: "Region") -> "Region":
+        """Cells in this region but not the other."""
+        self._check_compatible(other)
+        return Region(self.n_cells, tuple(self._cell_set - other._cell_set))
+
+    def complement(self) -> "Region":
+        """Cells not in this region."""
+        members = self._cell_set
+        return Region(
+            self.n_cells, tuple(c for c in range(self.n_cells) if c not in members)
+        )
+
+    def __or__(self, other: "Region") -> "Region":
+        return self.union(other)
+
+    def __and__(self, other: "Region") -> "Region":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Region") -> "Region":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------
+    # numeric views
+    # ------------------------------------------------------------------
+    def indicator(self) -> np.ndarray:
+        """The paper's ``s`` vector: 1 at member cells, 0 elsewhere."""
+        vec = np.zeros(self.n_cells, dtype=np.float64)
+        if self.cells:
+            vec[list(self.cells)] = 1.0
+        return vec
+
+    def mask(self) -> np.ndarray:
+        """Boolean membership mask of length ``m``."""
+        vec = np.zeros(self.n_cells, dtype=bool)
+        if self.cells:
+            vec[list(self.cells)] = True
+        return vec
+
+    def probability_mass(self, distribution) -> float:
+        """Total probability a distribution assigns to this region."""
+        dist = np.asarray(distribution, dtype=np.float64).ravel()
+        if dist.size != self.n_cells:
+            raise RegionError(
+                f"distribution has {dist.size} entries, region map has {self.n_cells}"
+            )
+        if self.is_empty:
+            return 0.0
+        return float(dist[list(self.cells)].sum())

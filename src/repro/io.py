@@ -1,0 +1,201 @@
+"""JSON serialization of models, events and release logs.
+
+A practical library needs its artifacts to survive a process: trained
+chains, event definitions and release logs round-trip through plain JSON
+(arrays as nested lists -- no pickle, no custom binary).  Emission
+matrices recorded in a log are included when present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from ._validation import as_float_array
+from .core.priste import ReleaseLog, ReleaseRecord
+from .errors import ValidationError
+from .events.events import PatternEvent, PresenceEvent, SpatiotemporalEvent
+from .geo.grid import GridMap
+from .geo.regions import Region
+from .markov.transition import TransitionMatrix
+
+_FORMAT_VERSION = 1
+
+
+def _check_kind(payload: dict, expected: str) -> None:
+    kind = payload.get("kind")
+    if kind != expected:
+        raise ValidationError(f"expected a {expected!r} payload, got {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# grids
+# ----------------------------------------------------------------------
+def grid_to_dict(grid: GridMap) -> dict:
+    """JSON-ready representation of a grid."""
+    return {
+        "kind": "grid",
+        "version": _FORMAT_VERSION,
+        "n_rows": grid.n_rows,
+        "n_cols": grid.n_cols,
+        "cell_size_km": grid.cell_size_km,
+        "origin_km": list(grid.origin_km),
+    }
+
+
+def grid_from_dict(payload: dict) -> GridMap:
+    """Inverse of :func:`grid_to_dict`."""
+    _check_kind(payload, "grid")
+    return GridMap(
+        n_rows=payload["n_rows"],
+        n_cols=payload["n_cols"],
+        cell_size_km=payload["cell_size_km"],
+        origin_km=tuple(payload["origin_km"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# chains
+# ----------------------------------------------------------------------
+def chain_to_dict(chain: TransitionMatrix) -> dict:
+    """JSON-ready representation of a transition matrix."""
+    return {
+        "kind": "chain",
+        "version": _FORMAT_VERSION,
+        "matrix": chain.matrix.tolist(),
+    }
+
+
+def chain_from_dict(payload: dict) -> TransitionMatrix:
+    """Inverse of :func:`chain_to_dict`."""
+    _check_kind(payload, "chain")
+    return TransitionMatrix(as_float_array(payload["matrix"], "matrix"))
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+def event_to_dict(event: SpatiotemporalEvent) -> dict:
+    """JSON-ready representation of a PRESENCE or PATTERN event."""
+    if isinstance(event, PresenceEvent):
+        return {
+            "kind": "event",
+            "version": _FORMAT_VERSION,
+            "type": "presence",
+            "n_cells": event.n_cells,
+            "cells": list(event.region.cells),
+            "start": event.start,
+            "end": event.end,
+        }
+    if isinstance(event, PatternEvent):
+        return {
+            "kind": "event",
+            "version": _FORMAT_VERSION,
+            "type": "pattern",
+            "n_cells": event.n_cells,
+            "regions": [list(region.cells) for region in event.regions],
+            "start": event.start,
+        }
+    raise ValidationError(f"cannot serialize event type {type(event).__name__}")
+
+
+def event_from_dict(payload: dict) -> SpatiotemporalEvent:
+    """Inverse of :func:`event_to_dict`."""
+    _check_kind(payload, "event")
+    n_cells = payload["n_cells"]
+    if payload["type"] == "presence":
+        return PresenceEvent(
+            Region.from_cells(n_cells, payload["cells"]),
+            start=payload["start"],
+            end=payload["end"],
+        )
+    if payload["type"] == "pattern":
+        return PatternEvent(
+            [Region.from_cells(n_cells, cells) for cells in payload["regions"]],
+            start=payload["start"],
+        )
+    raise ValidationError(f"unknown event type {payload['type']!r}")
+
+
+# ----------------------------------------------------------------------
+# release logs
+# ----------------------------------------------------------------------
+def release_log_to_dict(log: ReleaseLog) -> dict:
+    """JSON-ready representation of a release log."""
+    payload = {
+        "kind": "release_log",
+        "version": _FORMAT_VERSION,
+        "records": [
+            {
+                "t": record.t,
+                "true_cell": record.true_cell,
+                "released_cell": record.released_cell,
+                "budget": record.budget,
+                "n_attempts": record.n_attempts,
+                "conservative": record.conservative,
+                "forced_uniform": record.forced_uniform,
+                "elapsed_s": record.elapsed_s,
+            }
+            for record in log.records
+        ],
+    }
+    if log.emission_matrices is not None:
+        payload["emission_matrices"] = [
+            matrix.tolist() for matrix in log.emission_matrices
+        ]
+    return payload
+
+
+def release_log_from_dict(payload: dict) -> ReleaseLog:
+    """Inverse of :func:`release_log_to_dict`."""
+    _check_kind(payload, "release_log")
+    records = [ReleaseRecord(**entry) for entry in payload["records"]]
+    matrices = None
+    if "emission_matrices" in payload:
+        matrices = [
+            np.asarray(matrix, dtype=np.float64)
+            for matrix in payload["emission_matrices"]
+        ]
+    return ReleaseLog(records=records, emission_matrices=matrices)
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+_SERIALIZERS = {
+    GridMap: grid_to_dict,
+    TransitionMatrix: chain_to_dict,
+    PresenceEvent: event_to_dict,
+    PatternEvent: event_to_dict,
+    ReleaseLog: release_log_to_dict,
+}
+_DESERIALIZERS = {
+    "grid": grid_from_dict,
+    "chain": chain_from_dict,
+    "event": event_from_dict,
+    "release_log": release_log_from_dict,
+}
+
+
+def save_json(obj, path: str) -> None:
+    """Serialize a supported object to a JSON file."""
+    serializer = _SERIALIZERS.get(type(obj))
+    if serializer is None:
+        raise ValidationError(f"cannot serialize objects of type {type(obj).__name__}")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(serializer(obj), handle)
+
+
+def load_json(path: str):
+    """Load any object previously written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    kind = payload.get("kind")
+    deserializer = _DESERIALIZERS.get(kind)
+    if deserializer is None:
+        raise ValidationError(f"file {path!r} holds unknown kind {kind!r}")
+    return deserializer(payload)

@@ -1,0 +1,53 @@
+"""Location privacy preserving mechanisms (LPPMs).
+
+The paper models an LPPM as an *emission matrix* taking the true location
+as input and emitting a perturbed location (Section II-A).  This package
+implements:
+
+* :class:`LPPM` -- the mechanism interface (emission matrix, sampling,
+  budget rescaling for PriSTE's calibration loop),
+* :class:`PlanarLaplaceMechanism` -- the continuous planar Laplace of
+  Andres et al. (geo-indistinguishability) and its grid discretization,
+* :class:`DeltaLocationSetMechanism` -- Xiao & Xiong's delta-location set
+  restriction with Bayesian posterior update (Eq. 21),
+* :class:`UniformMechanism` -- the alpha -> 0 limit (no information),
+* :class:`RandomizedResponseMechanism` -- k-ary randomized response, an
+  alternative LPPM demonstrating that PriSTE is mechanism-agnostic,
+* geo-indistinguishability verification utilities.
+"""
+
+from .base import LPPM, EmissionModel, emission_column
+from .cloaking import CloakingMechanism, grid_blocks
+from .delta_location_set import (
+    DeltaLocationSetMechanism,
+    delta_location_set,
+    posterior_update,
+)
+from .exponential import ExponentialMechanism
+from .geo_ind import geo_indistinguishability_level, verify_geo_indistinguishability
+from .planar_laplace import (
+    ContinuousPlanarLaplace,
+    PlanarLaplaceMechanism,
+    planar_laplace_emission_matrix,
+)
+from .randomized_response import RandomizedResponseMechanism
+from .uniform import UniformMechanism
+
+__all__ = [
+    "LPPM",
+    "EmissionModel",
+    "emission_column",
+    "PlanarLaplaceMechanism",
+    "ContinuousPlanarLaplace",
+    "planar_laplace_emission_matrix",
+    "DeltaLocationSetMechanism",
+    "delta_location_set",
+    "posterior_update",
+    "UniformMechanism",
+    "RandomizedResponseMechanism",
+    "ExponentialMechanism",
+    "CloakingMechanism",
+    "grid_blocks",
+    "verify_geo_indistinguishability",
+    "geo_indistinguishability_level",
+]

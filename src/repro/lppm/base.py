@@ -1,0 +1,116 @@
+"""LPPM interface.
+
+An LPPM is, for quantification purposes, an emission matrix
+``E[i, j] = Pr(o = j | u = i)`` over the grid cells; for data release it is
+also a sampler.  PriSTE's calibration loop additionally needs to *rescale
+the privacy budget* of a mechanism (Algorithm 2 halves alpha until the
+event-privacy conditions hold), so mechanisms expose ``with_budget``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import check_emission_matrix, check_index, resolve_rng
+from ..errors import MechanismError
+
+
+class LPPM(abc.ABC):
+    """Abstract location privacy preserving mechanism on ``m`` cells."""
+
+    @property
+    @abc.abstractmethod
+    def n_states(self) -> int:
+        """Number of input cells ``m``."""
+
+    @property
+    @abc.abstractmethod
+    def budget(self) -> float:
+        """The mechanism's privacy budget (alpha for PLM; see subclasses).
+
+        PriSTE treats "smaller budget = stronger location privacy = less
+        information released" uniformly across mechanisms.
+        """
+
+    @abc.abstractmethod
+    def with_budget(self, budget: float) -> "LPPM":
+        """A copy of this mechanism with a different budget."""
+
+    @abc.abstractmethod
+    def emission_matrix(self) -> np.ndarray:
+        """``(m, n_outputs)`` row-stochastic matrix ``Pr(o | u)``."""
+
+    # ------------------------------------------------------------------
+    # derived behaviour
+    # ------------------------------------------------------------------
+    @property
+    def n_outputs(self) -> int:
+        """Size of the output alphabet (defaults to the emission width)."""
+        return self.emission_matrix().shape[1]
+
+    def perturb(self, true_cell: int, rng=None) -> int:
+        """Sample a perturbed output for ``true_cell``."""
+        cell = check_index(true_cell, self.n_states, "true_cell")
+        matrix = self.emission_matrix()
+        generator = resolve_rng(rng)
+        return int(generator.choice(matrix.shape[1], p=matrix[cell]))
+
+    def emission_column(self, output: int) -> np.ndarray:
+        """The paper's ``p~_{o_t}``: ``Pr(o | u = s_k)`` for each cell k.
+
+        This is the column of the emission matrix for a fixed observation,
+        the quantity that enters the forward-backward recursions.
+        """
+        matrix = self.emission_matrix()
+        out = check_index(output, matrix.shape[1], "output")
+        return matrix[:, out].copy()
+
+    def halved(self) -> "LPPM":
+        """The mechanism with half the budget (Algorithm 2, line 19)."""
+        return self.with_budget(self.budget / 2.0)
+
+
+def emission_column(emission_matrix, output: int, n_states: int) -> np.ndarray:
+    """Standalone ``p~_{o}`` extraction from a raw emission matrix."""
+    matrix = check_emission_matrix(emission_matrix, n_states)
+    out = check_index(output, matrix.shape[1], "output")
+    return matrix[:, out].copy()
+
+
+class EmissionModel(LPPM):
+    """An LPPM defined directly by a fixed emission matrix.
+
+    Useful for tests and for wrapping externally-computed mechanisms.  Its
+    ``budget`` is a nominal label: ``with_budget`` raises unless a
+    ``rescale`` callback is supplied, because an arbitrary matrix has no
+    canonical budget-scaling rule.
+    """
+
+    def __init__(self, matrix, budget: float = 1.0, rescale=None):
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2:
+            raise MechanismError(f"emission matrix must be 2-D, got shape {arr.shape}")
+        self._matrix = check_emission_matrix(arr, arr.shape[0])
+        self._budget = float(budget)
+        self._rescale = rescale
+
+    @property
+    def n_states(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def budget(self) -> float:
+        return self._budget
+
+    def with_budget(self, budget: float) -> "EmissionModel":
+        if self._rescale is None:
+            raise MechanismError(
+                "EmissionModel has no rescale rule; construct with rescale= "
+                "to allow budget changes"
+            )
+        return EmissionModel(self._rescale(budget), budget=budget, rescale=self._rescale)
+
+    def emission_matrix(self) -> np.ndarray:
+        return self._matrix.copy()

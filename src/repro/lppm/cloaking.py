@@ -1,0 +1,153 @@
+"""Spatial cloaking: report a coarse block instead of the exact cell.
+
+The oldest LPPM family in the paper's related work (Gruteser & Grunwald's
+spatiotemporal cloaking): the map is partitioned into blocks of at least
+``k`` cells and the user's block is reported.  Deterministic cloaking
+gives k-anonymity against location queries but -- as the PriSTE
+quantifier demonstrates -- essentially *no* plausible deniability for
+spatiotemporal events whose region aligns with block boundaries, which
+is exactly the paper's motivation for event-level privacy.  An optional
+``flip_probability`` adds randomized-response-style block noise, turning
+it into a calibratable mechanism.
+
+Outputs are block indices, so the emission matrix is rectangular
+(``m x n_blocks``); the quantification engine handles non-square
+emissions natively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_unit_interval
+from ..errors import MechanismError
+from ..geo.grid import GridMap
+from .base import LPPM
+
+
+def grid_blocks(grid: GridMap, block_rows: int, block_cols: int) -> list[tuple[int, ...]]:
+    """Partition a grid into rectangular blocks (last ones may be larger).
+
+    Returns one tuple of member cells per block, covering every cell
+    exactly once.
+    """
+    if block_rows < 1 or block_cols < 1:
+        raise MechanismError("block dimensions must be >= 1")
+    row_edges = list(range(0, grid.n_rows, block_rows))
+    col_edges = list(range(0, grid.n_cols, block_cols))
+    blocks = []
+    for r0 in row_edges:
+        r1 = min(grid.n_rows, r0 + block_rows) - 1
+        for c0 in col_edges:
+            c1 = min(grid.n_cols, c0 + block_cols) - 1
+            blocks.append(grid.rectangle_cells((r0, r1), (c0, c1)))
+    return blocks
+
+
+class CloakingMechanism(LPPM):
+    """Block-reporting mechanism with optional block-level noise.
+
+    Parameters
+    ----------
+    grid:
+        The map.
+    blocks:
+        A partition of the cells (e.g. from :func:`grid_blocks`).
+    flip_probability:
+        Probability of reporting a uniformly random *other* block
+        instead of the true one; 0 = deterministic cloaking.
+    """
+
+    def __init__(self, grid: GridMap, blocks, flip_probability: float = 0.0):
+        flat = [cell for block in blocks for cell in block]
+        if sorted(flat) != list(range(grid.n_cells)):
+            raise MechanismError("blocks must partition the grid's cells exactly")
+        self._grid = grid
+        self._blocks = [tuple(block) for block in blocks]
+        self._flip = check_unit_interval(flip_probability, "flip_probability")
+        if len(self._blocks) < 2 and self._flip > 0:
+            raise MechanismError("block noise needs at least two blocks")
+        self._block_of = np.empty(grid.n_cells, dtype=np.int64)
+        for index, block in enumerate(self._blocks):
+            for cell in block:
+                self._block_of[cell] = index
+
+    @classmethod
+    def k_anonymous(
+        cls, grid: GridMap, k: int, flip_probability: float = 0.0
+    ) -> "CloakingMechanism":
+        """Square-ish blocks of at least ``k`` cells each."""
+        if k < 1:
+            raise MechanismError(f"k must be >= 1, got {k!r}")
+        side = int(np.ceil(np.sqrt(k)))
+        mechanism = cls(
+            grid,
+            grid_blocks(grid, side, side),
+            flip_probability=flip_probability,
+        )
+        smallest = min(len(block) for block in mechanism._blocks)
+        if smallest < k:
+            raise MechanismError(
+                f"grid too small for k={k}: smallest block has {smallest} cells"
+            )
+        return mechanism
+
+    @property
+    def grid(self) -> GridMap:
+        """The underlying map."""
+        return self._grid
+
+    @property
+    def blocks(self) -> list[tuple[int, ...]]:
+        """The cloaking partition."""
+        return list(self._blocks)
+
+    @property
+    def n_states(self) -> int:
+        return self._grid.n_cells
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def budget(self) -> float:
+        """Log-ratio budget of the block-level randomized response.
+
+        ``inf`` for deterministic cloaking (flip = 0): no deniability.
+        """
+        if self._flip == 0.0:
+            return float("inf")
+        n = len(self._blocks)
+        truthful = 1.0 - self._flip
+        other = self._flip / (n - 1)
+        return float(np.log(truthful / other)) if truthful > other else 0.0
+
+    def with_budget(self, budget: float) -> "CloakingMechanism":
+        """Rescale block noise so the block-level log-ratio is ``budget``."""
+        if budget < 0:
+            raise MechanismError(f"budget must be >= 0, got {budget!r}")
+        n = len(self._blocks)
+        if n < 2:
+            raise MechanismError("cannot rescale a single-block mechanism")
+        # truthful / (flip / (n-1)) = e^budget  =>  solve for flip.
+        expb = float(np.exp(budget))
+        flip = (n - 1) / (expb + n - 1)
+        return CloakingMechanism(self._grid, self._blocks, flip_probability=flip)
+
+    def block_of(self, cell: int) -> int:
+        """The block index containing ``cell``."""
+        return int(self._block_of[int(cell)])
+
+    def emission_matrix(self) -> np.ndarray:
+        m = self._grid.n_cells
+        n = len(self._blocks)
+        matrix = np.zeros((m, n), dtype=np.float64)
+        for cell in range(m):
+            true_block = self._block_of[cell]
+            if self._flip == 0.0:
+                matrix[cell, true_block] = 1.0
+            else:
+                matrix[cell, :] = self._flip / (n - 1)
+                matrix[cell, true_block] = 1.0 - self._flip
+        return matrix

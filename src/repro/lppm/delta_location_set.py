@@ -1,0 +1,175 @@
+"""delta-location set privacy (Xiao & Xiong, CCS 2015) as an LPPM wrapper.
+
+The key idea the paper summarizes in Section IV-D: "hiding the true
+location in any impossible locations ... is a lost cause", so the output
+domain of the emission matrix is restricted to the *delta-location set* --
+the minimum set of cells whose prior probability mass is at least
+``1 - delta``.  A larger delta means a weaker (but higher-utility)
+guarantee.
+
+Following the paper's case study 2, the underlying mechanism is an
+alpha-PLM restricted to the set: probabilities outside the set are
+truncated and each row renormalized.  A true location that falls outside
+the set is mapped to its nearest in-set *surrogate* cell before
+perturbation (Xiao & Xiong's surrogate trick), keeping the emission matrix
+well-defined for every input.
+
+The Bayesian posterior update of Eq. (21) closes the loop between released
+outputs and the next timestamp's prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_emission_matrix,
+    check_index,
+    check_probability_vector,
+    check_unit_interval,
+)
+from ..errors import MechanismError
+from ..geo.grid import GridMap
+from .base import LPPM
+from .planar_laplace import planar_laplace_emission_matrix
+
+
+def delta_location_set(prior, delta: float) -> tuple[int, ...]:
+    """The minimum set of cells with prior mass >= 1 - delta.
+
+    Cells are added in decreasing prior order until the mass threshold is
+    reached; ties broken by cell index for determinism.  ``delta = 0``
+    returns every cell with positive prior.
+    """
+    delta = check_unit_interval(delta, "delta")
+    p = check_probability_vector(prior, "prior")
+    order = np.lexsort((np.arange(p.size), -p))
+    total = 0.0
+    chosen: list[int] = []
+    for idx in order:
+        if p[idx] <= 0.0:
+            break
+        chosen.append(int(idx))
+        total += float(p[idx])
+        if total >= 1.0 - delta - 1e-12:
+            break
+    if not chosen:
+        raise MechanismError("prior has no positive mass; delta-location set empty")
+    return tuple(sorted(chosen))
+
+
+def restrict_emission_matrix(
+    emission, member_cells: tuple[int, ...], grid: GridMap
+) -> np.ndarray:
+    """Restrict an ``(m, m)`` emission matrix's outputs to ``member_cells``.
+
+    Outputs outside the set get probability zero and rows renormalize.
+    Rows for true locations *outside* the set are replaced by the row of
+    the nearest in-set surrogate cell.
+    """
+    m = grid.n_cells
+    matrix = check_emission_matrix(emission, m).copy()
+    members = sorted(set(member_cells))
+    for cell in members:
+        check_index(cell, m, "member cell")
+    member_mask = np.zeros(m, dtype=bool)
+    member_mask[members] = True
+
+    surrogate = np.arange(m)
+    outside = np.nonzero(~member_mask)[0]
+    if outside.size:
+        sub = grid.distance_matrix_km[np.ix_(outside, members)]
+        surrogate[outside] = np.asarray(members)[np.argmin(sub, axis=1)]
+
+    restricted = matrix[surrogate]
+    restricted[:, ~member_mask] = 0.0
+    row_sums = restricted.sum(axis=1, keepdims=True)
+    if np.any(row_sums <= 0):
+        raise MechanismError(
+            "restriction removed all probability mass from a row; the base "
+            "mechanism assigns zero mass to the delta-location set"
+        )
+    return restricted / row_sums
+
+
+def posterior_update(prior, emission, output: int) -> np.ndarray:
+    """Bayes posterior over the true location given one released output.
+
+    Implements Eq. (21):
+    ``p+[i] = Pr(o | u = s_i) p-[i] / sum_j Pr(o | u = s_j) p-[j]``.
+    """
+    p_minus = check_probability_vector(prior, "prior")
+    matrix = check_emission_matrix(emission, p_minus.size)
+    out = check_index(output, matrix.shape[1], "output")
+    likelihood = matrix[:, out]
+    joint = likelihood * p_minus
+    total = joint.sum()
+    if total <= 0:
+        raise MechanismError(
+            f"output {out} has zero probability under the prior; cannot update"
+        )
+    return joint / total
+
+
+class DeltaLocationSetMechanism(LPPM):
+    """alpha-PLM restricted to the delta-location set of a given prior.
+
+    The mechanism is *prior-dependent*: Algorithm 3 reconstructs it at
+    every timestamp from the Markov-propagated posterior.  The ``budget``
+    is the underlying PLM's alpha, which is what PriSTE halves.
+    """
+
+    def __init__(self, grid: GridMap, alpha: float, prior, delta: float):
+        if alpha < 0:
+            raise MechanismError(f"alpha must be >= 0, got {alpha!r}")
+        self._grid = grid
+        self._alpha = float(alpha)
+        self._prior = check_probability_vector(prior, "prior")
+        if self._prior.size != grid.n_cells:
+            raise MechanismError(
+                f"prior has {self._prior.size} entries, grid has {grid.n_cells} cells"
+            )
+        self._delta = check_unit_interval(delta, "delta")
+        self._members = delta_location_set(self._prior, self._delta)
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def grid(self) -> GridMap:
+        """The underlying map."""
+        return self._grid
+
+    @property
+    def n_states(self) -> int:
+        return self._grid.n_cells
+
+    @property
+    def budget(self) -> float:
+        return self._alpha
+
+    @property
+    def delta(self) -> float:
+        """The delta-location set parameter."""
+        return self._delta
+
+    @property
+    def member_cells(self) -> tuple[int, ...]:
+        """Cells of the delta-location set (the restricted output domain)."""
+        return self._members
+
+    def with_budget(self, budget: float) -> "DeltaLocationSetMechanism":
+        return DeltaLocationSetMechanism(self._grid, budget, self._prior, self._delta)
+
+    def with_prior(self, prior) -> "DeltaLocationSetMechanism":
+        """Rebuild the mechanism for a new timestamp's prior."""
+        return DeltaLocationSetMechanism(self._grid, self._alpha, prior, self._delta)
+
+    def emission_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            base = planar_laplace_emission_matrix(self._grid, self._alpha)
+            self._matrix = restrict_emission_matrix(base, self._members, self._grid)
+            self._matrix.setflags(write=False)
+        return self._matrix
+
+    def posterior(self, output: int) -> np.ndarray:
+        """Eq. (21) posterior for this mechanism's own prior."""
+        return posterior_update(self._prior, self.emission_matrix(), output)

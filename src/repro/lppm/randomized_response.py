@@ -1,0 +1,57 @@
+"""k-ary randomized response over grid cells.
+
+A classical local-DP mechanism: report the true cell with probability
+``e^budget / (e^budget + m - 1)``, otherwise a uniformly random other cell.
+It satisfies ``budget``-local differential privacy on the cell domain
+(distance-oblivious, unlike planar Laplace).  Included to demonstrate that
+the PriSTE framework (Algorithm 1) is agnostic to the underlying LPPM --
+any mechanism exposing an emission matrix and a budget can be calibrated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import MechanismError
+from .base import LPPM
+
+
+class RandomizedResponseMechanism(LPPM):
+    """k-RR on ``m`` cells with local-DP budget ``budget`` (natural log)."""
+
+    def __init__(self, n_states: int, budget: float):
+        if int(n_states) != n_states or n_states < 2:
+            raise MechanismError(
+                f"n_states must be an integer >= 2, got {n_states!r}"
+            )
+        if budget < 0:
+            raise MechanismError(f"budget must be >= 0, got {budget!r}")
+        self._n_states = int(n_states)
+        self._budget = float(budget)
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    @property
+    def budget(self) -> float:
+        return self._budget
+
+    def with_budget(self, budget: float) -> "RandomizedResponseMechanism":
+        return RandomizedResponseMechanism(self._n_states, budget)
+
+    @property
+    def truth_probability(self) -> float:
+        """Probability of reporting the true cell."""
+        expb = math.exp(self._budget)
+        return expb / (expb + self._n_states - 1)
+
+    def emission_matrix(self) -> np.ndarray:
+        m = self._n_states
+        p_true = self.truth_probability
+        p_other = (1.0 - p_true) / (m - 1)
+        matrix = np.full((m, m), p_other, dtype=np.float64)
+        np.fill_diagonal(matrix, p_true)
+        return matrix

@@ -1,0 +1,42 @@
+"""Uniform mechanism: the alpha -> 0 limit of planar Laplace.
+
+Releases a uniformly random cell regardless of the true location.  It
+provides perfect location privacy (and trivially satisfies every
+epsilon-spatiotemporal event privacy level), which is why Algorithm 2's
+budget-halving loop is guaranteed to terminate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MechanismError
+from .base import LPPM
+
+
+class UniformMechanism(LPPM):
+    """Output uniform over all cells, independent of the input."""
+
+    def __init__(self, n_states: int):
+        if int(n_states) != n_states or n_states < 1:
+            raise MechanismError(f"n_states must be a positive integer, got {n_states!r}")
+        self._n_states = int(n_states)
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    @property
+    def budget(self) -> float:
+        """Always 0: no information about the true location is released."""
+        return 0.0
+
+    def with_budget(self, budget: float) -> "UniformMechanism":
+        if budget != 0.0:
+            raise MechanismError("UniformMechanism only supports budget 0")
+        return self
+
+    def emission_matrix(self) -> np.ndarray:
+        return np.full(
+            (self._n_states, self._n_states), 1.0 / self._n_states, dtype=np.float64
+        )

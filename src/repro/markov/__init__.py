@@ -1,0 +1,28 @@
+"""Mobility substrate: Markov chains over grid cells.
+
+The paper models temporal correlation between a user's consecutive
+locations with a first-order time-homogeneous Markov chain
+(``p_{t+1} = p_t M``).  This package provides the chain abstraction, the
+paper's synthetic Gaussian-kernel transition generator (pattern strength
+``sigma``), maximum-likelihood training from trajectories (the paper trains
+on Geolife with the R ``markovchain`` package) and trajectory simulation.
+"""
+
+from .highorder import HighOrderChain
+from .simulate import sample_initial_state, sample_trajectories, sample_trajectory
+from .synthetic import gaussian_kernel_transitions, lazy_random_walk_transitions
+from .training import fit_initial_distribution, fit_transition_matrix
+from .transition import TransitionMatrix, TimeVaryingChain
+
+__all__ = [
+    "TransitionMatrix",
+    "TimeVaryingChain",
+    "HighOrderChain",
+    "gaussian_kernel_transitions",
+    "lazy_random_walk_transitions",
+    "fit_transition_matrix",
+    "fit_initial_distribution",
+    "sample_trajectory",
+    "sample_trajectories",
+    "sample_initial_state",
+]

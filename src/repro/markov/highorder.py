@@ -1,0 +1,261 @@
+"""High-order Markov mobility models via state augmentation.
+
+The paper's footnote 2: "If the Markov model is high-ordered, i.e., the
+transition matrix has a larger state domain, our approach still works by
+applying the new matrix."  This module makes that concrete: an order-k
+chain over ``m`` cells becomes a first-order chain over the ``m^k``
+composite states ``(u_{t-k+1}, ..., u_t)``, and any PRESENCE/PATTERN
+event lifts to the composite domain by reading the *last* coordinate.
+The lifted objects plug directly into :class:`repro.core.TwoWorldModel`
+and PriSTE.
+
+Composite states are encoded base-``m``: the most recent location is the
+least-significant digit, so ``composite % m`` recovers ``u_t``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import check_probability_vector, check_non_negative
+from ..errors import MarkovError
+from ..events.events import PatternEvent, PresenceEvent, SpatiotemporalEvent
+from ..geo.regions import Region
+from .transition import TransitionMatrix
+
+
+class HighOrderChain:
+    """An order-``k`` Markov chain lifted to first order.
+
+    Parameters
+    ----------
+    matrix:
+        First-order transition matrix over the ``m^k`` composite states;
+        build with :meth:`fit` or :meth:`from_conditional`.
+    n_cells:
+        Base domain size ``m``.
+    order:
+        The model order ``k`` (>= 1; 1 reduces to a plain chain).
+    """
+
+    def __init__(self, matrix: TransitionMatrix, n_cells: int, order: int):
+        if order < 1:
+            raise MarkovError(f"order must be >= 1, got {order!r}")
+        if int(n_cells) != n_cells or n_cells < 1:
+            raise MarkovError(f"n_cells must be a positive integer, got {n_cells!r}")
+        expected = int(n_cells) ** int(order)
+        if matrix.n_states != expected:
+            raise MarkovError(
+                f"composite matrix has {matrix.n_states} states, expected "
+                f"{n_cells}^{order} = {expected}"
+            )
+        self._matrix = matrix
+        self._m = int(n_cells)
+        self._order = int(order)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        trajectories: Iterable[Sequence[int]],
+        n_cells: int,
+        order: int,
+        smoothing: float = 0.0,
+    ) -> "HighOrderChain":
+        """Maximum-likelihood order-``k`` fit from cell trajectories.
+
+        Counts transitions between consecutive k-grams.  ``smoothing``
+        adds a pseudo-count to every *consistent* composite transition
+        (the target k-gram must extend the source's suffix); composite
+        pairs that are structurally impossible stay at probability zero.
+        Rows never observed fall back to "stay at the last cell".
+        """
+        smoothing = check_non_negative(smoothing, "smoothing")
+        m = int(n_cells)
+        k = int(order)
+        size = m**k
+        counts = np.zeros((size, size), dtype=np.float64)
+        for trajectory in trajectories:
+            cells = [int(c) for c in trajectory]
+            for cell in cells:
+                if not 0 <= cell < m:
+                    raise MarkovError(f"cell {cell} out of range [0, {m})")
+            for i in range(len(cells) - k):
+                src = cls._encode_static(cells[i : i + k], m)
+                dst = cls._encode_static(cells[i + 1 : i + k + 1], m)
+                counts[src, dst] += 1.0
+        matrix = np.zeros_like(counts)
+        for src in range(size):
+            successors = cls._successors_static(src, m, k)
+            row = counts[src, successors] + smoothing
+            total = row.sum()
+            if total > 0:
+                matrix[src, successors] = row / total
+            else:
+                # Unseen history: self-loop on the last cell.
+                last = src % m
+                stay = cls._shift_static(src, last, m, k)
+                matrix[src, stay] = 1.0
+        return cls(TransitionMatrix(matrix), n_cells=m, order=k)
+
+    # ------------------------------------------------------------------
+    # encoding helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode_static(cells: Sequence[int], m: int) -> int:
+        code = 0
+        for cell in cells:
+            code = code * m + int(cell)
+        return code
+
+    @staticmethod
+    def _shift_static(composite: int, new_cell: int, m: int, k: int) -> int:
+        return (composite * m + int(new_cell)) % (m**k)
+
+    @staticmethod
+    def _successors_static(composite: int, m: int, k: int) -> np.ndarray:
+        base = (composite * m) % (m**k)
+        return base + np.arange(m)
+
+    def encode(self, cells: Sequence[int]) -> int:
+        """Composite index of a k-gram (most recent cell last)."""
+        cells = [int(c) for c in cells]
+        if len(cells) != self._order:
+            raise MarkovError(
+                f"need exactly {self._order} cells to encode, got {len(cells)}"
+            )
+        for cell in cells:
+            if not 0 <= cell < self._m:
+                raise MarkovError(f"cell {cell} out of range [0, {self._m})")
+        return self._encode_static(cells, self._m)
+
+    def decode(self, composite: int) -> tuple[int, ...]:
+        """The k-gram of a composite index."""
+        if not 0 <= int(composite) < self.n_composite_states:
+            raise MarkovError(f"composite {composite} out of range")
+        digits = []
+        value = int(composite)
+        for _ in range(self._order):
+            digits.append(value % self._m)
+            value //= self._m
+        return tuple(reversed(digits))
+
+    def last_cell(self, composite: int) -> int:
+        """The current location encoded in a composite state."""
+        return int(composite) % self._m
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """The model order k."""
+        return self._order
+
+    @property
+    def n_cells(self) -> int:
+        """The base domain size m."""
+        return self._m
+
+    @property
+    def n_composite_states(self) -> int:
+        """``m^k``."""
+        return self._m**self._order
+
+    @property
+    def matrix(self) -> TransitionMatrix:
+        """The first-order composite transition matrix."""
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    # lifting events and distributions
+    # ------------------------------------------------------------------
+    def lift_region(self, region: Region) -> Region:
+        """Composite region: states whose *current* cell is in ``region``."""
+        if region.n_cells != self._m:
+            raise MarkovError(
+                f"region lives on {region.n_cells} cells, chain has {self._m}"
+            )
+        members = set(region.cells)
+        cells = [
+            composite
+            for composite in range(self.n_composite_states)
+            if composite % self._m in members
+        ]
+        return Region.from_cells(self.n_composite_states, cells)
+
+    def lift_event(self, event: SpatiotemporalEvent) -> SpatiotemporalEvent:
+        """PRESENCE/PATTERN on cells -> same event on composite states.
+
+        Timestamps are unchanged: composite timestamp t carries the
+        history *ending* at location u_t, so "in region at t" means "the
+        composite state's last coordinate is in the region at t".
+        """
+        if isinstance(event, PresenceEvent):
+            return PresenceEvent(
+                self.lift_region(event.region), start=event.start, end=event.end
+            )
+        if isinstance(event, PatternEvent):
+            return PatternEvent(
+                [self.lift_region(region) for region in event.regions],
+                start=event.start,
+            )
+        raise MarkovError(
+            f"cannot lift event type {type(event).__name__}; lift its regions "
+            "manually via lift_region"
+        )
+
+    def lift_initial(self, pi, history=None) -> np.ndarray:
+        """Initial distribution over composite states.
+
+        ``pi`` is the distribution of the *current* cell.  With no
+        ``history``, the previous k-1 coordinates are set equal to the
+        current cell (the user has been dwelling); with ``history`` (a
+        tuple of k-1 cells) the distribution is placed on those exact
+        prefixes.
+        """
+        pi = check_probability_vector(pi, "pi")
+        if pi.size != self._m:
+            raise MarkovError(f"pi has {pi.size} entries, chain has {self._m} cells")
+        lifted = np.zeros(self.n_composite_states, dtype=np.float64)
+        if history is not None:
+            prefix = [int(c) for c in history]
+            if len(prefix) != self._order - 1:
+                raise MarkovError(
+                    f"history must have {self._order - 1} cells, got {len(prefix)}"
+                )
+            for cell in range(self._m):
+                lifted[self.encode(prefix + [cell])] += pi[cell]
+        else:
+            for cell in range(self._m):
+                lifted[self.encode([cell] * self._order)] += pi[cell]
+        return lifted
+
+    def lift_emission_matrix(self, emission) -> np.ndarray:
+        """Cell-level emission matrix -> composite-level (rows repeat).
+
+        ``Pr(o | composite)`` depends only on the current cell, so row
+        ``s`` of the lifted matrix is row ``last_cell(s)`` of the input.
+        """
+        matrix = np.asarray(emission, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self._m:
+            raise MarkovError(
+                f"emission must have {self._m} rows, got shape {matrix.shape}"
+            )
+        rows = np.arange(self.n_composite_states) % self._m
+        return matrix[rows]
+
+    def lift_trajectory(self, cells: Sequence[int]) -> list[int]:
+        """Cell trajectory -> composite trajectory (dwell-padded start)."""
+        cells = [int(c) for c in cells]
+        if not cells:
+            raise MarkovError("trajectory must be non-empty")
+        padded = [cells[0]] * (self._order - 1) + cells
+        return [
+            self.encode(padded[i : i + self._order])
+            for i in range(len(cells))
+        ]

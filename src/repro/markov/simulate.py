@@ -1,0 +1,93 @@
+"""Sampling trajectories from Markov mobility models.
+
+The paper "produced trajectories with 50 timestamps using such transition
+matrix to simulate movement of a user" -- these helpers do exactly that,
+for both homogeneous and time-varying chains, with explicit RNG control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_probability_vector, check_timestamp, resolve_rng
+from ..errors import MarkovError
+from .transition import TimeVaryingChain, TransitionMatrix
+
+
+def sample_initial_state(initial, rng=None) -> int:
+    """Draw a starting cell from an initial distribution."""
+    dist = check_probability_vector(initial, "initial distribution")
+    generator = resolve_rng(rng)
+    return int(generator.choice(dist.size, p=dist))
+
+
+def sample_trajectory(
+    chain: TransitionMatrix | TimeVaryingChain,
+    length: int,
+    initial=None,
+    start_state: int | None = None,
+    rng=None,
+) -> list[int]:
+    """Sample one trajectory of ``length`` cells from a chain.
+
+    Exactly one of ``initial`` (a distribution) or ``start_state`` (a fixed
+    cell) selects the first location.
+
+    Parameters
+    ----------
+    chain:
+        The mobility model; a bare :class:`TransitionMatrix` is treated as
+        time-homogeneous.
+    length:
+        Number of timestamps ``T`` (>= 1).
+    initial:
+        Distribution over the first location.
+    start_state:
+        Deterministic first location (mutually exclusive with ``initial``).
+    rng:
+        Seed, generator or ``None``.
+    """
+    check_timestamp(length, name="length")
+    if isinstance(chain, TransitionMatrix):
+        chain = TimeVaryingChain.homogeneous(chain)
+    generator = resolve_rng(rng)
+
+    if (initial is None) == (start_state is None):
+        raise MarkovError("provide exactly one of 'initial' or 'start_state'")
+    if start_state is not None:
+        if not 0 <= int(start_state) < chain.n_states:
+            raise MarkovError(
+                f"start_state {start_state} out of range [0, {chain.n_states})"
+            )
+        current = int(start_state)
+    else:
+        current = sample_initial_state(initial, generator)
+
+    trajectory = [current]
+    for t in range(1, length):
+        row = chain.array_at(t)[current]
+        current = int(generator.choice(chain.n_states, p=row))
+        trajectory.append(current)
+    return trajectory
+
+
+def sample_trajectories(
+    chain: TransitionMatrix | TimeVaryingChain,
+    n_trajectories: int,
+    length: int,
+    initial=None,
+    start_state: int | None = None,
+    rng=None,
+) -> list[list[int]]:
+    """Sample ``n_trajectories`` independent trajectories."""
+    if int(n_trajectories) != n_trajectories or n_trajectories < 1:
+        raise MarkovError(
+            f"n_trajectories must be a positive integer, got {n_trajectories!r}"
+        )
+    generator = resolve_rng(rng)
+    return [
+        sample_trajectory(
+            chain, length, initial=initial, start_state=start_state, rng=generator
+        )
+        for _ in range(int(n_trajectories))
+    ]

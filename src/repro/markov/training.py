@@ -1,0 +1,133 @@
+"""Fitting Markov models from discrete trajectories.
+
+The paper trains the transition matrix on the user's entire Geolife
+trajectory ("e.g. with R package 'markovchain'"), i.e. maximum-likelihood
+estimation from transition counts.  We add Dirichlet (additive) smoothing
+so that chains trained on short traces remain usable: an unsmoothed MLE row
+with no observations would be undefined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import check_non_negative
+from ..errors import MarkovError
+from .transition import TransitionMatrix
+
+
+def count_transitions(
+    trajectories: Iterable[Sequence[int]], n_states: int
+) -> np.ndarray:
+    """Transition count matrix from one or more trajectories.
+
+    Parameters
+    ----------
+    trajectories:
+        Iterable of cell-index sequences (each of length >= 2 to contribute).
+    n_states:
+        Number of cells ``m``.
+    """
+    if int(n_states) != n_states or n_states < 1:
+        raise MarkovError(f"n_states must be a positive integer, got {n_states!r}")
+    counts = np.zeros((n_states, n_states), dtype=np.float64)
+    saw_any = False
+    for trajectory in trajectories:
+        cells = list(trajectory)
+        for cell in cells:
+            if not 0 <= int(cell) < n_states:
+                raise MarkovError(f"cell {cell} out of range [0, {n_states})")
+        for src, dst in zip(cells[:-1], cells[1:]):
+            counts[int(src), int(dst)] += 1.0
+            saw_any = True
+    if not saw_any:
+        raise MarkovError("no transitions observed: every trajectory has length < 2")
+    return counts
+
+
+def fit_transition_matrix(
+    trajectories: Iterable[Sequence[int]],
+    n_states: int,
+    smoothing: float = 0.0,
+) -> TransitionMatrix:
+    """Maximum-likelihood transition matrix with optional smoothing.
+
+    Parameters
+    ----------
+    trajectories:
+        Iterable of cell-index sequences.
+    n_states:
+        Number of cells ``m``.
+    smoothing:
+        Dirichlet pseudo-count added to every (i, j) pair.  ``0`` gives the
+        plain MLE; rows with no outgoing observations then fall back to a
+        self-loop so the matrix stays stochastic (a row that was never left
+        carries no evidence about where the user goes next).
+    """
+    smoothing = check_non_negative(smoothing, "smoothing")
+    counts = count_transitions(trajectories, n_states) + smoothing
+    row_sums = counts.sum(axis=1)
+    matrix = np.zeros_like(counts)
+    for state in range(n_states):
+        if row_sums[state] > 0:
+            matrix[state] = counts[state] / row_sums[state]
+        else:
+            matrix[state, state] = 1.0
+    return TransitionMatrix(matrix)
+
+
+def fit_initial_distribution(
+    trajectories: Iterable[Sequence[int]],
+    n_states: int,
+    smoothing: float = 0.0,
+) -> np.ndarray:
+    """Empirical distribution of trajectory starting cells.
+
+    With ``smoothing > 0`` every cell receives a pseudo-count, which keeps
+    the prior strictly positive -- useful because a zero prior on the event
+    region makes Definition II.4's ratio degenerate.
+    """
+    smoothing = check_non_negative(smoothing, "smoothing")
+    counts = np.full(n_states, smoothing, dtype=np.float64)
+    saw_any = False
+    for trajectory in trajectories:
+        cells = list(trajectory)
+        if not cells:
+            continue
+        first = int(cells[0])
+        if not 0 <= first < n_states:
+            raise MarkovError(f"cell {first} out of range [0, {n_states})")
+        counts[first] += 1.0
+        saw_any = True
+    if not saw_any and smoothing == 0.0:
+        raise MarkovError("no non-empty trajectories and no smoothing")
+    return counts / counts.sum()
+
+
+def log_likelihood(
+    trajectory: Sequence[int],
+    chain: TransitionMatrix,
+    initial=None,
+) -> float:
+    """Log-likelihood of a trajectory under a chain (natural log).
+
+    Returns ``-inf`` if the trajectory uses a zero-probability transition.
+    ``initial`` defaults to ignoring the first-state probability (pure
+    transition likelihood), matching how goodness-of-fit is usually
+    compared across chains trained on the same data.
+    """
+    cells = [int(c) for c in trajectory]
+    if len(cells) < 2:
+        raise MarkovError("trajectory must have at least 2 points")
+    total = 0.0
+    if initial is not None:
+        p0 = float(np.asarray(initial, dtype=np.float64)[cells[0]])
+        total += np.log(p0) if p0 > 0 else -np.inf
+    for src, dst in zip(cells[:-1], cells[1:]):
+        p = float(chain.matrix[src, dst])
+        if p <= 0.0:
+            return float("-inf")
+        total += float(np.log(p))
+    return total

@@ -1,0 +1,33 @@
+"""Utility metrics and aggregation helpers for the experiments.
+
+The paper evaluates utility with two metrics (Section V-A): the privacy
+budget alpha the PLM ends up using (per timestamp and averaged) and the
+Euclidean distance between perturbed and true locations, both aggregated
+over repeated runs.
+"""
+
+from .privacy import (
+    event_advantage,
+    expected_inference_error_km,
+    max_event_advantage,
+    posterior_entropy_bits,
+    top1_accuracy,
+)
+from .utility import (
+    RunAggregate,
+    aggregate_logs,
+    average_budget_over_time,
+    mean_and_std,
+)
+
+__all__ = [
+    "RunAggregate",
+    "aggregate_logs",
+    "average_budget_over_time",
+    "mean_and_std",
+    "expected_inference_error_km",
+    "posterior_entropy_bits",
+    "top1_accuracy",
+    "event_advantage",
+    "max_event_advantage",
+]

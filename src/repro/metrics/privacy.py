@@ -1,0 +1,99 @@
+"""Adversary-side privacy metrics.
+
+Complements the paper's utility metrics with the attacker-centric view
+used throughout the location-privacy literature (Shokri et al.'s
+"Quantifying Location Privacy", cited as the paper's [24]): expected
+inference error, posterior entropy, and the event-level advantage that
+epsilon-spatiotemporal event privacy bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..errors import ValidationError
+from ..geo.grid import GridMap
+
+
+def expected_inference_error_km(
+    posteriors, true_cells, grid: GridMap
+) -> float:
+    """Adversary's expected localization error in km.
+
+    ``sum_t sum_c posterior_t[c] * d(c, u_t) / T`` -- the expected
+    distance between the adversary's belief and the truth, the standard
+    "correctness" metric of location privacy.
+    """
+    arr = as_float_array(posteriors, "posteriors")
+    cells = [int(c) for c in true_cells]
+    if arr.ndim != 2 or arr.shape[0] != len(cells):
+        raise ValidationError(
+            f"posteriors {arr.shape} do not match {len(cells)} true cells"
+        )
+    if arr.shape[1] != grid.n_cells:
+        raise ValidationError(
+            f"posteriors have {arr.shape[1]} columns, grid has {grid.n_cells} cells"
+        )
+    distances = grid.distance_matrix_km
+    total = 0.0
+    for t, cell in enumerate(cells):
+        total += float(arr[t] @ distances[:, cell])
+    return total / len(cells)
+
+
+def posterior_entropy_bits(posteriors) -> np.ndarray:
+    """Shannon entropy (bits) of each per-timestamp posterior.
+
+    High entropy = the adversary remains uncertain (more privacy).
+    """
+    arr = as_float_array(posteriors, "posteriors")
+    if arr.ndim != 2:
+        raise ValidationError(f"posteriors must be 2-D, got {arr.shape}")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        logs = np.where(arr > 0, np.log2(arr), 0.0)
+    return -(arr * logs).sum(axis=1)
+
+
+def top1_accuracy(posteriors, true_cells) -> float:
+    """Fraction of timestamps where the MAP cell equals the truth."""
+    arr = as_float_array(posteriors, "posteriors")
+    cells = [int(c) for c in true_cells]
+    if arr.ndim != 2 or arr.shape[0] != len(cells):
+        raise ValidationError(
+            f"posteriors {arr.shape} do not match {len(cells)} true cells"
+        )
+    hits = sum(int(np.argmax(arr[t])) == cell for t, cell in enumerate(cells))
+    return hits / len(cells)
+
+
+def event_advantage(prior: float, posterior: float) -> float:
+    """The adversary's advantage on the event: |posterior - prior|.
+
+    Definition II.4's guarantee bounds the *odds ratio* by e^epsilon,
+    which caps this advantage at
+    ``prior * (e^eps - 1) * (1 - prior) / (1 - prior + prior * e^eps)``
+    (see :func:`max_event_advantage`).
+    """
+    for name, value in (("prior", prior), ("posterior", posterior)):
+        if not 0.0 <= value <= 1.0:
+            raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return abs(posterior - prior)
+
+
+def max_event_advantage(prior: float, epsilon: float) -> float:
+    """Largest |posterior - prior| permitted by the epsilon guarantee.
+
+    With prior odds ``o = p / (1-p)``, the posterior odds are bounded in
+    ``[o e^-eps, o e^eps]``; converting back gives the advantage cap.
+    """
+    if not 0.0 < prior < 1.0:
+        raise ValidationError(f"prior must be in (0, 1), got {prior!r}")
+    if epsilon < 0:
+        raise ValidationError(f"epsilon must be >= 0, got {epsilon!r}")
+    odds = prior / (1.0 - prior)
+    up = odds * np.exp(epsilon)
+    down = odds * np.exp(-epsilon)
+    upper = up / (1.0 + up)
+    lower = down / (1.0 + down)
+    return float(max(upper - prior, prior - lower))

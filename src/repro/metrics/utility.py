@@ -1,0 +1,92 @@
+"""Aggregating release logs into the paper's utility metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.priste import ReleaseLog
+from ..errors import ValidationError
+from ..geo.grid import GridMap
+
+
+def mean_and_std(values) -> tuple[float, float]:
+    """Mean and (population) standard deviation of a sequence."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValidationError("mean_and_std needs at least one value")
+    return float(arr.mean()), float(arr.std())
+
+
+def average_budget_over_time(logs: Sequence[ReleaseLog]) -> tuple[np.ndarray, np.ndarray]:
+    """Per-timestamp mean and std of released budgets across runs.
+
+    This is the quantity plotted on the y-axis of Figs. 7-10 ("ave.
+    budgets of noisy trajectories").
+    """
+    if not logs:
+        raise ValidationError("need at least one release log")
+    lengths = {len(log) for log in logs}
+    if len(lengths) != 1:
+        raise ValidationError(f"logs have mixed lengths: {sorted(lengths)}")
+    stacked = np.stack([log.budgets for log in logs])
+    return stacked.mean(axis=0), stacked.std(axis=0)
+
+
+@dataclass(frozen=True)
+class RunAggregate:
+    """Aggregate utility of repeated PriSTE runs on the same setting.
+
+    Attributes
+    ----------
+    mean_budget, std_budget:
+        Budget averaged over timestamps then over runs (Figs. 11-13 left).
+    mean_error_km, std_error_km:
+        Euclidean error in km averaged likewise (Figs. 11-13 right).
+    mean_conservative:
+        Average count of conservative-release timestamps (Table III).
+    mean_runtime_s:
+        Average wall-clock per run (Table III).
+    n_runs:
+        Number of aggregated runs.
+    """
+
+    mean_budget: float
+    std_budget: float
+    mean_error_km: float
+    std_error_km: float
+    mean_conservative: float
+    mean_runtime_s: float
+    n_runs: int
+
+
+def aggregate_logs(
+    logs: Sequence[ReleaseLog],
+    grid: GridMap,
+    true_trajectories: Sequence[Sequence[int]],
+) -> RunAggregate:
+    """Collapse release logs + ground truth into a :class:`RunAggregate`."""
+    if not logs:
+        raise ValidationError("need at least one release log")
+    if len(logs) != len(true_trajectories):
+        raise ValidationError(
+            f"{len(logs)} logs but {len(true_trajectories)} true trajectories"
+        )
+    budgets = [log.average_budget for log in logs]
+    errors = [
+        log.euclidean_error_km(grid, truth)
+        for log, truth in zip(logs, true_trajectories)
+    ]
+    mean_budget, std_budget = mean_and_std(budgets)
+    mean_error, std_error = mean_and_std(errors)
+    return RunAggregate(
+        mean_budget=mean_budget,
+        std_budget=std_budget,
+        mean_error_km=mean_error,
+        std_error_km=std_error,
+        mean_conservative=float(np.mean([log.n_conservative for log in logs])),
+        mean_runtime_s=float(np.mean([log.total_elapsed_s for log in logs])),
+        n_runs=len(logs),
+    )

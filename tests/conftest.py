@@ -1,0 +1,82 @@
+"""Shared fixtures: small maps, chains and events used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.geo.grid import GridMap
+from repro.geo.regions import Region
+from repro.markov.synthetic import gaussian_kernel_transitions
+from repro.markov.transition import TransitionMatrix
+
+#: The paper's Example III.1 / Appendix C transition matrix.
+PAPER_M = np.array(
+    [
+        [0.1, 0.2, 0.7],
+        [0.4, 0.1, 0.5],
+        [0.0, 0.1, 0.9],
+    ]
+)
+
+
+@pytest.fixture
+def paper_chain() -> TransitionMatrix:
+    """The 3-state chain of the paper's worked examples."""
+    return TransitionMatrix(PAPER_M)
+
+
+@pytest.fixture
+def paper_presence() -> PresenceEvent:
+    """Example III.1: PRESENCE at {s1, s2} during t = 3..4."""
+    return PresenceEvent(Region.from_cells(3, [0, 1]), start=3, end=4)
+
+
+@pytest.fixture
+def paper_pattern() -> PatternEvent:
+    """A small PATTERN on the 3-state map."""
+    return PatternEvent(
+        [
+            Region.from_cells(3, [0, 1]),
+            Region.from_cells(3, [1, 2]),
+            Region.from_cells(3, [0]),
+        ],
+        start=2,
+    )
+
+
+@pytest.fixture
+def grid5() -> GridMap:
+    """A 5x5 km grid."""
+    return GridMap(5, 5, cell_size_km=1.0)
+
+
+@pytest.fixture
+def chain5(grid5) -> TransitionMatrix:
+    """Gaussian-kernel chain on the 5x5 grid."""
+    return gaussian_kernel_transitions(grid5, sigma=1.0)
+
+
+@pytest.fixture
+def uniform5(grid5) -> np.ndarray:
+    """Uniform initial distribution on the 5x5 grid."""
+    return np.full(grid5.n_cells, 1.0 / grid5.n_cells)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+def random_chain(n_states: int, rng: np.random.Generator) -> TransitionMatrix:
+    """A random strictly-positive chain (helper, not a fixture)."""
+    raw = rng.uniform(0.05, 1.0, size=(n_states, n_states))
+    return TransitionMatrix(raw / raw.sum(axis=1, keepdims=True))
+
+
+def random_emission(n_states: int, rng: np.random.Generator) -> np.ndarray:
+    """A random strictly-positive emission matrix (helper)."""
+    raw = rng.uniform(0.05, 1.0, size=(n_states, n_states))
+    return raw / raw.sum(axis=1, keepdims=True)

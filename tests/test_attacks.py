@@ -1,0 +1,135 @@
+"""Unit tests for the adversary toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.inference import (
+    EventBelief,
+    EventInferenceAttack,
+    location_posteriors,
+    top_k_locations,
+    viterbi_map_trajectory,
+)
+from repro.errors import QuantificationError
+from repro.events.events import PresenceEvent
+from repro.events.expressions import at, in_region
+from repro.geo.regions import Region
+from repro.lppm.uniform import UniformMechanism
+
+from conftest import random_chain, random_emission
+
+
+class TestEventBelief:
+    def test_log_odds_shift(self):
+        belief = EventBelief(prior=0.2, posterior=0.5)
+        expected = abs(np.log((0.5 / 0.5) / (0.2 / 0.8)))
+        assert belief.log_odds_shift == pytest.approx(expected)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(QuantificationError):
+            EventBelief(prior=0.0, posterior=0.5).log_odds_shift
+
+
+class TestEventInference:
+    def test_uniform_release_no_update(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        attack = EventInferenceAttack(chain, event, horizon=4)
+        assert attack.engine == "two-world"
+        pi = np.array([0.3, 0.3, 0.4])
+        belief = attack.infer(pi, UniformMechanism(3), [0, 1, 2, 0])
+        assert belief.posterior == pytest.approx(belief.prior, rel=1e-9)
+        assert belief.log_odds_shift == pytest.approx(0.0, abs=1e-9)
+
+    def test_noiseless_release_resolves_event(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=1, end=2)
+        attack = EventInferenceAttack(chain, event, horizon=2)
+        pi = np.array([1 / 3, 1 / 3, 1 / 3])
+        belief = attack.infer(pi, np.eye(3), [0, 1])  # saw the region
+        assert belief.posterior == pytest.approx(1.0)
+        belief = attack.infer(pi, np.eye(3), [1, 2])  # avoided it
+        assert belief.posterior == pytest.approx(0.0, abs=1e-12)
+
+    def test_expression_uses_automaton_engine(self, rng):
+        chain = random_chain(3, rng)
+        attack = EventInferenceAttack(
+            chain, in_region(1, [0]) & ~in_region(2, [0]), horizon=3
+        )
+        assert attack.engine == "automaton"
+        pi = np.array([0.3, 0.3, 0.4])
+        belief = attack.infer(pi, UniformMechanism(3), [0, 1, 2])
+        assert belief.posterior == pytest.approx(belief.prior, rel=1e-9)
+
+    def test_engines_agree_on_presence(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0, 1]), start=2, end=3)
+        pi = np.array([0.25, 0.25, 0.5])
+        fast = EventInferenceAttack(chain, event, horizon=4)
+        general = EventInferenceAttack(chain, event.to_expression(), horizon=4)
+        a = fast.infer(pi, emission, [0, 1, 2, 0])
+        b = general.infer(pi, emission, [0, 1, 2, 0])
+        assert a.posterior == pytest.approx(b.posterior, rel=1e-10)
+
+
+class TestLocationPosteriors:
+    def test_shape_and_normalization(self, rng):
+        chain = random_chain(4, rng)
+        emission = random_emission(4, rng)
+        pi = np.full(4, 0.25)
+        posteriors = location_posteriors(chain, pi, emission, [0, 3, 2])
+        assert posteriors.shape == (3, 4)
+        assert np.allclose(posteriors.sum(axis=1), 1.0)
+
+    def test_top_k(self):
+        posteriors = np.array([[0.6, 0.3, 0.1], [0.2, 0.2, 0.6]])
+        top = top_k_locations(posteriors, k=2)
+        assert top[0][0] == (0, pytest.approx(0.6))
+        assert top[1][0] == (2, pytest.approx(0.6))
+
+    def test_top_k_rejects_1d(self):
+        with pytest.raises(QuantificationError):
+            top_k_locations(np.array([0.5, 0.5]))
+
+
+class TestViterbi:
+    def test_noiseless_recovers_truth(self, paper_chain):
+        pi = np.array([1.0, 0.0, 0.0])
+        truth = [0, 2, 2, 1]
+        path = viterbi_map_trajectory(paper_chain, pi, np.eye(3), truth)
+        assert path == truth
+
+    def test_map_beats_noisy_observation(self, paper_chain):
+        """With an impossible observed transition, Viterbi repairs it."""
+        # Transition 2 -> 0 is impossible; observing [2, 0] through a
+        # noisy mechanism must decode to a feasible path.
+        noisy = np.full((3, 3), 0.1) + 0.7 * np.eye(3)
+        pi = np.array([0.1, 0.1, 0.8])
+        path = viterbi_map_trajectory(paper_chain, pi, noisy, [2, 0])
+        assert paper_chain.matrix[path[0], path[1]] > 0
+
+    def test_path_probability_is_maximal_small_case(self, rng):
+        """Exhaustive check on a 3-state, 3-step instance."""
+        import itertools
+
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        pi = np.array([0.3, 0.3, 0.4])
+        observations = [0, 2, 1]
+        path = viterbi_map_trajectory(chain, pi, emission, observations)
+
+        def score(cells):
+            p = pi[cells[0]] * emission[cells[0], observations[0]]
+            for t, (a, b) in enumerate(zip(cells[:-1], cells[1:]), start=1):
+                p *= chain.matrix[a, b] * emission[b, observations[t]]
+            return p
+
+        best = max(itertools.product(range(3), repeat=3), key=score)
+        assert score(tuple(path)) == pytest.approx(score(best))
+
+    def test_impossible_trace_rejected(self, paper_chain):
+        pi = np.array([0.0, 0.0, 1.0])
+        with pytest.raises(QuantificationError):
+            # From state 2, state 0 is unreachable and emission identity.
+            viterbi_map_trajectory(paper_chain, pi, np.eye(3), [0])

@@ -1,0 +1,111 @@
+"""Unit tests for the generalized automaton engine (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.automaton_engine import AutomatonModel
+from repro.core.baseline import enumerate_joint, enumerate_prior
+from repro.core.joint import joint_probability
+from repro.core.two_world import TwoWorldModel
+from repro.errors import EventError
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.events.expressions import at, in_region
+from repro.geo.regions import Region
+
+from conftest import random_chain, random_emission
+
+
+def _columns(emission, observations):
+    return np.stack([emission[:, o] for o in observations])
+
+
+class TestAgreementWithTwoWorld:
+    """PRESENCE/PATTERN must agree exactly with the paper's construction."""
+
+    @pytest.mark.parametrize("start,end", [(1, 2), (2, 4), (3, 3)])
+    def test_presence_prior(self, rng, start, end):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0, 2]), start=start, end=end)
+        two_world = TwoWorldModel(chain, event, horizon=5)
+        automaton = AutomatonModel(chain, event, horizon=5)
+        assert np.allclose(automaton.prior_vector(), two_world.prior_vector())
+
+    @pytest.mark.parametrize("start", [1, 2])
+    def test_pattern_joints(self, rng, start):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        event = PatternEvent(
+            [Region.from_cells(3, [0, 1]), Region.from_cells(3, [1, 2])],
+            start=start,
+        )
+        two_world = TwoWorldModel(chain, event, horizon=5)
+        automaton = AutomatonModel(chain, event, horizon=5)
+        pi = np.array([0.3, 0.4, 0.3])
+        cols = _columns(emission, [0, 1, 2, 0, 1])
+        for upto in range(1, 6):
+            fast = joint_probability(two_world, pi, cols, upto_t=upto)
+            general = automaton.joint_probability(pi, cols, upto_t=upto)
+            assert general == pytest.approx(fast, rel=1e-10), f"t={upto}"
+
+
+class TestArbitraryEvents:
+    """Events outside PRESENCE/PATTERN, checked against full enumeration."""
+
+    def _check(self, rng, expression, horizon=4):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        model = AutomatonModel(chain, expression, horizon=horizon)
+        pi = np.array([0.25, 0.35, 0.4])
+        assert model.prior_probability(pi) == pytest.approx(
+            enumerate_prior(chain, expression, pi), abs=1e-12
+        )
+        cols = _columns(emission, [0, 2, 1, 0][:horizon])
+        for upto in range(1, horizon + 1):
+            general = model.joint_probability(pi, cols, upto_t=upto)
+            slow = enumerate_joint(chain, expression, pi, cols, upto_t=upto)
+            assert general == pytest.approx(slow, abs=1e-12), f"t={upto}"
+
+    def test_negated_presence(self, rng):
+        event = PresenceEvent(Region.from_cells(3, [1]), start=2, end=3)
+        self._check(rng, ~event.to_expression())
+
+    def test_conditional_visit(self, rng):
+        # "at region at t=1 but NOT at t=3" -- Fig. 1-style combination.
+        self._check(rng, in_region(1, [0, 1]) & ~in_region(3, [0, 1]))
+
+    def test_disjunction_of_trajectories(self, rng):
+        expr = (at(1, 0) & at(2, 1)) | (at(1, 2) & at(2, 2))
+        self._check(rng, expr)
+
+    def test_gap_window(self, rng):
+        self._check(rng, at(1, 0) & at(3, 2))
+
+    def test_exactly_one_visit(self, rng):
+        visits = [in_region(t, [0]) for t in (1, 2, 3)]
+        exactly_one = (
+            (visits[0] & ~visits[1] & ~visits[2])
+            | (~visits[0] & visits[1] & ~visits[2])
+            | (~visits[0] & ~visits[1] & visits[2])
+        )
+        self._check(rng, exactly_one)
+
+
+class TestValidation:
+    def test_rejects_event_beyond_horizon(self, paper_chain):
+        with pytest.raises(EventError):
+            AutomatonModel(paper_chain, at(5, 0), horizon=3)
+
+    def test_rejects_unknown_cells(self, paper_chain):
+        with pytest.raises(EventError):
+            AutomatonModel(paper_chain, at(1, 7), horizon=3)
+
+    def test_rejects_garbage(self, paper_chain):
+        with pytest.raises(EventError):
+            AutomatonModel(paper_chain, 42, horizon=3)
+
+    def test_accepts_precompiled(self, paper_chain):
+        from repro.events.compiler import compile_event
+
+        compiled = compile_event(at(1, 0))
+        model = AutomatonModel(paper_chain, compiled, horizon=3)
+        assert model.start == model.end == 1

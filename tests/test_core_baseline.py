@@ -1,0 +1,105 @@
+"""Unit tests for the naive enumeration baselines (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import (
+    enumerate_joint,
+    enumerate_prior,
+    pattern_joint_naive,
+    pattern_prior_naive,
+)
+from repro.errors import QuantificationError
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.events.expressions import at
+from repro.geo.regions import Region
+
+from conftest import random_chain, random_emission
+
+
+class TestEnumeratePrior:
+    def test_single_predicate_equals_marginal(self, paper_chain):
+        pi = np.array([0.2, 0.5, 0.3])
+        prior = enumerate_prior(paper_chain, at(2, 0), pi)
+        marginal = (pi @ paper_chain.matrix)[0]
+        assert prior == pytest.approx(marginal)
+
+    def test_negation_complements(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=1, end=3)
+        pi = np.array([0.3, 0.4, 0.3])
+        expr = event.to_expression()
+        total = enumerate_prior(chain, expr, pi) + enumerate_prior(chain, ~expr, pi)
+        assert total == pytest.approx(1.0)
+
+    def test_accepts_event_objects(self, paper_chain, paper_presence):
+        pi = np.array([0.2, 0.5, 0.3])
+        assert enumerate_prior(paper_chain, paper_presence, pi) > 0
+
+    def test_rejects_garbage(self, paper_chain):
+        with pytest.raises(QuantificationError):
+            enumerate_prior(paper_chain, "not an event", [0.5, 0.25, 0.25])
+
+
+class TestPatternNaive:
+    def test_matches_generic_enumeration(self, rng):
+        chain = random_chain(3, rng)
+        pattern = PatternEvent(
+            [Region.from_cells(3, [0, 1]), Region.from_cells(3, [2])], start=2
+        )
+        pi = np.array([0.25, 0.25, 0.5])
+        fast = pattern_prior_naive(chain, pattern, pi)
+        slow = enumerate_prior(chain, pattern, pi)
+        assert fast == pytest.approx(slow)
+
+    def test_joint_matches_windowed_enumeration(self, rng):
+        """Algorithm 4's joint equals a window-only generic enumeration."""
+        chain = random_chain(3, rng)
+        pattern = PatternEvent(
+            [Region.from_cells(3, [0, 1]), Region.from_cells(3, [1, 2])], start=2
+        )
+        pi = np.array([0.4, 0.2, 0.4])
+        emission = random_emission(3, rng)
+        observations = [1, 2]
+        window_cols = np.stack([emission[:, o] for o in observations])
+        fast = pattern_joint_naive(chain, pattern, pi, window_cols)
+
+        # Generic check: emissions outside the window contribute factor 1.
+        full_cols = np.ones((pattern.end, 3))
+        full_cols[pattern.start - 1 :] = window_cols
+        slow = enumerate_joint(chain, pattern, pi, full_cols)
+        assert fast == pytest.approx(slow)
+
+    def test_requires_pattern(self, paper_chain, paper_presence):
+        with pytest.raises(QuantificationError):
+            pattern_prior_naive(paper_chain, paper_presence, [0.4, 0.3, 0.3])
+
+    def test_joint_shape_checked(self, paper_chain, paper_pattern):
+        with pytest.raises(QuantificationError):
+            pattern_joint_naive(
+                paper_chain, paper_pattern, [0.4, 0.3, 0.3], np.ones((1, 3))
+            )
+
+
+class TestEnumerateJoint:
+    def test_sums_to_observation_probability(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [1]), start=2, end=3)
+        pi = np.array([0.5, 0.3, 0.2])
+        observations = [0, 2, 1]
+        cols = np.stack([emission[:, o] for o in observations])
+        expr = event.to_expression()
+        with_event = enumerate_joint(chain, expr, pi, cols)
+        without = enumerate_joint(chain, ~expr, pi, cols)
+        # forward likelihood
+        from repro.core.forward_backward import sequence_likelihood
+
+        assert with_event + without == pytest.approx(
+            sequence_likelihood(chain, pi, cols)
+        )
+
+    def test_upto_t_validated(self, paper_chain, paper_presence):
+        cols = np.ones((2, 3)) / 3
+        with pytest.raises(QuantificationError):
+            enumerate_joint(paper_chain, paper_presence, [0.4, 0.3, 0.3], cols, upto_t=5)

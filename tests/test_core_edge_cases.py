@@ -1,0 +1,168 @@
+"""Edge-case and failure-injection tests across the core engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import enumerate_joint, enumerate_prior
+from repro.core.joint import EventQuantifier, joint_probability
+from repro.core.priste import PriSTE, PriSTEConfig
+from repro.core.quantify import quantify_fixed_prior
+from repro.core.two_world import TwoWorldModel
+from repro.errors import EventError, QuantificationError, ValidationError
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.transition import TimeVaryingChain, TransitionMatrix
+
+from conftest import random_chain, random_emission
+
+
+class TestWindowBoundaries:
+    """Events touching the ends of the horizon."""
+
+    def test_event_ending_at_horizon(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [1]), start=3, end=4)
+        model = TwoWorldModel(chain, event, horizon=4)  # end == horizon
+        pi = np.array([0.4, 0.3, 0.3])
+        emission = random_emission(3, rng)
+        cols = np.stack([emission[:, o] for o in [0, 1, 2, 0]])
+        fast = joint_probability(model, pi, cols)
+        slow = enumerate_joint(chain, event, pi, cols)
+        assert fast == pytest.approx(slow, rel=1e-10)
+
+    def test_single_timestamp_event_at_start_one(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [2]), start=1, end=1)
+        model = TwoWorldModel(chain, event, horizon=3)
+        pi = np.array([0.2, 0.3, 0.5])
+        # Pr(EVENT) is just pi's mass on the region at t=1.
+        assert model.prior_probability(pi) == pytest.approx(0.5)
+
+    def test_whole_horizon_event(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=1, end=4)
+        model = TwoWorldModel(chain, event, horizon=4)
+        pi = np.array([0.1, 0.6, 0.3])
+        assert model.prior_probability(pi) == pytest.approx(
+            enumerate_prior(chain, event, pi), abs=1e-12
+        )
+
+    def test_pattern_single_region_at_one(self, rng):
+        chain = random_chain(3, rng)
+        event = PatternEvent([Region.from_cells(3, [1, 2])], start=1)
+        model = TwoWorldModel(chain, event, horizon=2)
+        pi = np.array([0.25, 0.25, 0.5])
+        assert model.prior_probability(pi) == pytest.approx(0.75)
+
+
+class TestDegenerateChains:
+    def test_deterministic_cycle_chain(self):
+        cycle = TransitionMatrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        model = TwoWorldModel(cycle, event, horizon=4)
+        # From cell 1, the cycle hits 0 at t=3: event true; from 2, hits 0
+        # at t=2: true; from 0, visits 1 then 2: false.
+        assert np.allclose(model.prior_vector(), [0.0, 1.0, 1.0])
+
+    def test_absorbing_chain(self):
+        absorbing = TransitionMatrix([[1.0, 0.0], [0.5, 0.5]])
+        event = PresenceEvent(Region.from_cells(2, [0]), start=2, end=4)
+        model = TwoWorldModel(absorbing, event, horizon=4)
+        # From 0: stays in 0: true.  From 1: reaches 0 unless it stays in
+        # 1 for all three window steps: 1 - 0.5^3.
+        assert np.allclose(model.prior_vector(), [1.0, 1.0 - 0.125])
+
+    def test_time_varying_joint_against_enumeration(self, rng):
+        matrices = [random_chain(3, rng) for _ in range(4)]
+        chain = TimeVaryingChain(matrices)
+        event = PatternEvent(
+            [Region.from_cells(3, [0, 1]), Region.from_cells(3, [2])], start=2
+        )
+        model = TwoWorldModel(chain, event, horizon=4)
+        pi = np.array([0.3, 0.3, 0.4])
+        emission = random_emission(3, rng)
+        cols = np.stack([emission[:, o] for o in [2, 0, 1, 2]])
+        for t in range(1, 5):
+            fast = joint_probability(model, pi, cols, upto_t=t)
+            slow = enumerate_joint(chain, event, pi, cols, upto_t=t)
+            assert fast == pytest.approx(slow, rel=1e-10), f"t={t}"
+
+
+class TestQuantifierMisuse:
+    def test_double_commit_rejected(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        quantifier = EventQuantifier(TwoWorldModel(chain, event, horizon=3))
+        col = np.full(3, 0.3)
+        quantifier.prepare(1)
+        quantifier.commit(1, col)
+        with pytest.raises(QuantificationError):
+            quantifier.commit(1, col)
+
+    def test_skip_prepare_rejected(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        quantifier = EventQuantifier(TwoWorldModel(chain, event, horizon=3))
+        with pytest.raises(QuantificationError):
+            quantifier.prepare(3)
+
+
+class TestPriSTEFailureInjection:
+    def test_mismatched_lppm_size(self, grid5, chain5):
+        from repro.geo.grid import GridMap
+
+        event = PresenceEvent(Region.from_range(25, 0, 4), start=2, end=3)
+        wrong_grid = GridMap(3, 3)
+        with pytest.raises(QuantificationError):
+            PriSTE(
+                chain5,
+                event,
+                PlanarLaplaceMechanism(wrong_grid, 0.5),
+                PriSTEConfig(epsilon=0.5),
+                horizon=5,
+            )
+
+    def test_quantify_rejects_nan_emissions(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        bad = np.full((3, 3), np.nan)
+        with pytest.raises(ValidationError):
+            quantify_fixed_prior(chain, event, bad, [0, 1], [0.4, 0.3, 0.3])
+
+    def test_event_horizon_mismatch_reported(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=4, end=6)
+        with pytest.raises(EventError):
+            quantify_fixed_prior(
+                chain, event, np.full((2, 3), 1 / 3), [0, 1],
+                [0.4, 0.3, 0.3], horizon=2,
+            )
+
+
+class TestNumericalStress:
+    def test_near_zero_emission_columns(self, rng):
+        """Sequences through almost-impossible observations stay finite."""
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        model = TwoWorldModel(chain, event, horizon=5)
+        quantifier = EventQuantifier(model)
+        tiny = np.array([1e-12, 1e-14, 1e-13])
+        for t in range(1, 6):
+            quantifier.prepare(t)
+            b, c = quantifier.candidate_bc(t, tiny)
+            assert np.all(np.isfinite(b)) and np.all(np.isfinite(c))
+            quantifier.commit(t, tiny)
+        assert np.isfinite(quantifier.log_scale)
+
+    def test_one_hot_pi_every_vertex(self, rng):
+        """Every vertex prior gives a valid probability decomposition."""
+        chain = random_chain(4, rng)
+        event = PresenceEvent(Region.from_cells(4, [1, 2]), start=2, end=3)
+        model = TwoWorldModel(chain, event, horizon=4)
+        a = model.prior_vector()
+        for i in range(4):
+            pi = np.zeros(4)
+            pi[i] = 1.0
+            assert model.prior_probability(pi) == pytest.approx(a[i])
+            assert 0.0 <= a[i] <= 1.0

@@ -1,0 +1,115 @@
+"""Unit tests for the generic forward-backward substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.forward_backward import (
+    backward_messages,
+    filtered_posteriors,
+    forward_messages,
+    sequence_likelihood,
+    smoothed_posteriors,
+)
+from repro.errors import QuantificationError
+
+from conftest import random_chain, random_emission
+
+
+def _columns(emission, observations):
+    return np.stack([emission[:, o] for o in observations])
+
+
+class TestForward:
+    def test_first_message(self, paper_chain, rng):
+        emission = random_emission(3, rng)
+        pi = np.array([0.2, 0.5, 0.3])
+        alphas = forward_messages(paper_chain, pi, _columns(emission, [1]))
+        assert np.allclose(alphas[0], pi * emission[:, 1])
+
+    def test_likelihood_matches_enumeration(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        pi = np.array([0.3, 0.3, 0.4])
+        observations = [0, 2, 1]
+        cols = _columns(emission, observations)
+        total = 0.0
+        import itertools
+
+        for cells in itertools.product(range(3), repeat=3):
+            p = pi[cells[0]]
+            for a, b in zip(cells[:-1], cells[1:]):
+                p *= chain.matrix[a, b]
+            for t, cell in enumerate(cells):
+                p *= emission[cell, observations[t]]
+            total += p
+        assert sequence_likelihood(chain, pi, cols) == pytest.approx(total)
+
+    def test_emission_shape_checked(self, paper_chain):
+        with pytest.raises(QuantificationError):
+            forward_messages(paper_chain, [0.5, 0.25, 0.25], np.ones((2, 4)))
+
+
+class TestBackward:
+    def test_final_is_ones(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        betas = backward_messages(chain, _columns(emission, [0, 1, 2]))
+        assert np.allclose(betas[-1], 1.0)
+
+    def test_alpha_beta_product_constant(self, rng):
+        """sum_k alpha_t[k] beta_t[k] = Pr(o_1..o_T) for every t."""
+        chain = random_chain(4, rng)
+        emission = random_emission(4, rng)
+        pi = np.full(4, 0.25)
+        cols = _columns(emission, [0, 3, 1, 2, 0])
+        alphas = forward_messages(chain, pi, cols)
+        betas = backward_messages(chain, cols)
+        products = (alphas * betas).sum(axis=1)
+        assert np.allclose(products, products[0])
+        assert products[0] == pytest.approx(sequence_likelihood(chain, pi, cols))
+
+
+class TestPosteriors:
+    def test_rows_are_distributions(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        pi = np.array([0.2, 0.3, 0.5])
+        cols = _columns(emission, [0, 1, 2, 1])
+        smoothed = smoothed_posteriors(chain, pi, cols)
+        filtered = filtered_posteriors(chain, pi, cols)
+        assert np.allclose(smoothed.sum(axis=1), 1.0)
+        assert np.allclose(filtered.sum(axis=1), 1.0)
+
+    def test_final_smoothed_equals_filtered(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        pi = np.array([0.2, 0.3, 0.5])
+        cols = _columns(emission, [0, 1, 2])
+        smoothed = smoothed_posteriors(chain, pi, cols)
+        filtered = filtered_posteriors(chain, pi, cols)
+        assert np.allclose(smoothed[-1], filtered[-1])
+
+    def test_noiseless_emission_recovers_truth(self, paper_chain):
+        identity = np.eye(3)
+        pi = np.array([1 / 3, 1 / 3, 1 / 3])
+        observations = [0, 2, 2]
+        cols = _columns(identity, observations)
+        smoothed = smoothed_posteriors(paper_chain, pi, cols)
+        for t, cell in enumerate(observations):
+            assert smoothed[t, cell] == pytest.approx(1.0)
+
+    def test_impossible_sequence_rejected(self, paper_chain):
+        identity = np.eye(3)
+        # Transition 2 -> 0 has probability 0 in the paper chain.
+        cols = _columns(identity, [2, 0])
+        with pytest.raises(QuantificationError):
+            smoothed_posteriors(paper_chain, [1 / 3, 1 / 3, 1 / 3], cols)
+
+    def test_time_varying_chain_supported(self, paper_chain, rng):
+        from repro.markov.transition import TimeVaryingChain, TransitionMatrix
+
+        chain = TimeVaryingChain([paper_chain, TransitionMatrix(np.eye(3))])
+        emission = random_emission(3, rng)
+        cols = _columns(emission, [0, 1, 2])
+        smoothed = smoothed_posteriors(chain, [0.4, 0.3, 0.3], cols)
+        assert smoothed.shape == (3, 3)

@@ -1,0 +1,221 @@
+"""Unit tests for the PriSTE framework (Algorithms 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.priste import (
+    PriSTE,
+    PriSTEConfig,
+    PriSTEDeltaLocationSet,
+    ReleaseLog,
+    ReleaseRecord,
+)
+from repro.core.qp import SolverOptions
+from repro.core.quantify import quantify_fixed_prior, verify_event_privacy
+from repro.errors import CalibrationError, QuantificationError
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+
+
+@pytest.fixture
+def setting(grid5, chain5, uniform5):
+    event = PresenceEvent(Region.from_range(grid5.n_cells, 0, 4), start=3, end=5)
+    return grid5, chain5, uniform5, event
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            PriSTEConfig(epsilon=0.0)
+        with pytest.raises(CalibrationError):
+            PriSTEConfig(epsilon=0.5, decay=1.0)
+        with pytest.raises(CalibrationError):
+            PriSTEConfig(epsilon=0.5, max_calibrations=0)
+        with pytest.raises(CalibrationError):
+            PriSTEConfig(epsilon=0.5, prior_mode="other")
+        with pytest.raises(CalibrationError):
+            PriSTEConfig(epsilon=0.5, prior_mode="fixed")  # prior missing
+
+
+class TestAlgorithm2:
+    def test_worst_case_release_satisfies_epsilon(self, setting):
+        grid, chain, pi, event = setting
+        epsilon = 0.5
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 1.0),
+            PriSTEConfig(epsilon=epsilon), horizon=8,
+        )
+        truth = sample_trajectory(chain, 8, initial=pi, rng=1)
+        log = priste.run(truth, rng=1)
+        assert len(log) == 8
+        # Post-hoc verification with the actually-used budgets.
+        mats = np.stack(
+            [PlanarLaplaceMechanism(grid, r.budget).emission_matrix() for r in log.records]
+        )
+        check = verify_event_privacy(
+            chain, event, mats, log.released_cells, epsilon, horizon=8
+        )
+        assert check.holds
+        # And the fixed-pi realized loss is within epsilon.
+        realized = quantify_fixed_prior(
+            chain, event, mats, log.released_cells, pi, horizon=8
+        )
+        assert realized.epsilon <= epsilon + 1e-6
+
+    def test_fixed_prior_release_satisfies_epsilon_at_that_prior(self, setting):
+        grid, chain, pi, event = setting
+        epsilon = 0.3
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 1.0),
+            PriSTEConfig(epsilon=epsilon, prior_mode="fixed", prior=pi), horizon=8,
+        )
+        truth = sample_trajectory(chain, 8, initial=pi, rng=2)
+        log = priste.run(truth, rng=2)
+        mats = np.stack(
+            [PlanarLaplaceMechanism(grid, r.budget).emission_matrix() for r in log.records]
+        )
+        realized = quantify_fixed_prior(
+            chain, event, mats, log.released_cells, pi, horizon=8
+        )
+        assert realized.epsilon <= epsilon + 1e-6
+
+    def test_budgets_never_exceed_base(self, setting):
+        grid, chain, pi, event = setting
+        alpha = 0.7
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, alpha),
+            PriSTEConfig(epsilon=0.5, prior_mode="fixed", prior=pi), horizon=6,
+        )
+        log = priste.run(sample_trajectory(chain, 6, initial=pi, rng=3), rng=3)
+        assert np.all(log.budgets <= alpha + 1e-12)
+
+    def test_looser_epsilon_keeps_more_budget(self, setting):
+        grid, chain, pi, event = setting
+        truth = sample_trajectory(chain, 8, initial=pi, rng=4)
+        budgets = {}
+        for epsilon in (0.1, 2.0):
+            priste = PriSTE(
+                chain, event, PlanarLaplaceMechanism(grid, 0.5),
+                PriSTEConfig(epsilon=epsilon, prior_mode="fixed", prior=pi),
+                horizon=8,
+            )
+            budgets[epsilon] = priste.run(truth, rng=4).average_budget
+        assert budgets[2.0] >= budgets[0.1]
+
+    def test_multiple_events_stricter(self, setting):
+        grid, chain, pi, event = setting
+        second = PresenceEvent(Region.from_range(grid.n_cells, 20, 24), start=6, end=7)
+        truth = sample_trajectory(chain, 8, initial=pi, rng=5)
+        single = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 0.5),
+            PriSTEConfig(epsilon=0.3, prior_mode="fixed", prior=pi), horizon=8,
+        ).run(truth, rng=5)
+        double = PriSTE(
+            chain, [event, second], PlanarLaplaceMechanism(grid, 0.5),
+            PriSTEConfig(epsilon=0.3, prior_mode="fixed", prior=pi), horizon=8,
+        ).run(truth, rng=5)
+        assert double.average_budget <= single.average_budget + 1e-9
+
+    def test_trajectory_validation(self, setting):
+        grid, chain, pi, event = setting
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 0.5),
+            PriSTEConfig(epsilon=0.5, prior_mode="fixed", prior=pi), horizon=6,
+        )
+        with pytest.raises(QuantificationError):
+            priste.run([])
+        with pytest.raises(QuantificationError):
+            priste.run([0] * 7)  # beyond horizon
+        with pytest.raises(QuantificationError):
+            priste.run([99])  # bad cell
+
+    def test_requires_event(self, setting):
+        grid, chain, pi, _ = setting
+        with pytest.raises(QuantificationError):
+            PriSTE(
+                chain, [], PlanarLaplaceMechanism(grid, 0.5),
+                PriSTEConfig(epsilon=0.5), horizon=6,
+            )
+
+    def test_reproducible_with_seed(self, setting):
+        grid, chain, pi, event = setting
+        truth = sample_trajectory(chain, 6, initial=pi, rng=6)
+        runs = []
+        for _ in range(2):
+            priste = PriSTE(
+                chain, event, PlanarLaplaceMechanism(grid, 0.5),
+                PriSTEConfig(epsilon=0.5, prior_mode="fixed", prior=pi), horizon=6,
+            )
+            runs.append(priste.run(truth, rng=42).released_cells)
+        assert runs[0] == runs[1]
+
+
+class TestAlgorithm3:
+    def test_releases_within_delta_location_sets(self, setting):
+        grid, chain, pi, event = setting
+        priste = PriSTEDeltaLocationSet(
+            chain, event, grid, alpha=1.0, delta=0.3, initial=pi,
+            config=PriSTEConfig(epsilon=0.5, prior_mode="fixed", prior=pi),
+            horizon=6,
+        )
+        truth = sample_trajectory(chain, 6, initial=pi, rng=7)
+        log = priste.run(truth, rng=7)
+        assert len(log) == 6
+        assert all(0 <= c < grid.n_cells for c in log.released_cells)
+
+    def test_fixed_prior_guarantee_holds(self, setting):
+        """Exact post-hoc verification via recorded emission matrices."""
+        grid, chain, pi, event = setting
+        epsilon = 0.5
+        priste = PriSTEDeltaLocationSet(
+            chain, event, grid, alpha=1.0, delta=0.3, initial=pi,
+            config=PriSTEConfig(
+                epsilon=epsilon, prior_mode="fixed", prior=pi,
+                record_emissions=True,
+            ),
+            horizon=6,
+        )
+        truth = sample_trajectory(chain, 6, initial=pi, rng=8)
+        log = priste.run(truth, rng=8)
+        assert np.all(log.budgets > 0)
+        assert log.average_budget <= 1.0
+        assert len(log.emission_matrices) == 6
+        realized = quantify_fixed_prior(
+            chain, event, log.emission_stack(), log.released_cells, pi,
+            horizon=6,
+        )
+        assert realized.epsilon <= epsilon + 1e-6
+
+    def test_emission_recording_off_by_default(self, setting):
+        grid, chain, pi, event = setting
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 0.5),
+            PriSTEConfig(epsilon=0.5, prior_mode="fixed", prior=pi), horizon=6,
+        )
+        log = priste.run(sample_trajectory(chain, 6, initial=pi, rng=9), rng=9)
+        assert log.emission_matrices is None
+        with pytest.raises(QuantificationError):
+            log.emission_stack()
+
+
+class TestReleaseLog:
+    def _log(self):
+        records = [
+            ReleaseRecord(1, 0, 1, 0.5, 1, False, False, 0.1),
+            ReleaseRecord(2, 1, 1, 0.25, 2, True, False, 0.2),
+        ]
+        return ReleaseLog(records=records)
+
+    def test_aggregates(self):
+        log = self._log()
+        assert log.average_budget == pytest.approx(0.375)
+        assert log.n_conservative == 1
+        assert log.total_elapsed_s == pytest.approx(0.3)
+        assert log.released_cells == [1, 1]
+
+    def test_error_km(self, grid5):
+        log = self._log()
+        err = log.euclidean_error_km(grid5, [0, 1])
+        assert err == pytest.approx(grid5.distance_km(0, 1) / 2)

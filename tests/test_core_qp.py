@@ -1,0 +1,166 @@
+"""Unit tests for the box/simplex QP solver (the CPLEX substitute)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.qp import (
+    SolverOptions,
+    SolverStatus,
+    check_condition,
+    check_conditions,
+    maximize_rank_one_box,
+    maximize_rank_one_simplex,
+)
+from repro.core.theorem import RankOneCondition
+from repro.errors import SolverError
+
+
+def _brute_force_simplex_max(cond: RankOneCondition, grid: int = 60) -> float:
+    """Dense grid search over the simplex (3-dim instances only)."""
+    best = -np.inf
+    for i, j in itertools.product(range(grid + 1), repeat=2):
+        if i + j > grid:
+            continue
+        pi = np.array([i, j, grid - i - j], dtype=np.float64) / grid
+        best = max(best, cond.value(pi))
+    return best
+
+
+def _random_condition(rng, n=3) -> RankOneCondition:
+    return RankOneCondition(
+        u=rng.normal(size=n), v=rng.normal(size=n), w=rng.normal(size=n)
+    )
+
+
+class TestExactSimplexSolver:
+    def test_matches_grid_search(self, rng):
+        for _ in range(30):
+            cond = _random_condition(rng)
+            result = maximize_rank_one_simplex(cond, SolverOptions())
+            grid_max = _brute_force_simplex_max(cond)
+            # The solver is exact; the grid is a lower bound with small
+            # discretization error.
+            assert result.best_value >= grid_max - 1e-9
+            assert result.best_value <= grid_max + 0.05
+
+    def test_best_point_achieves_value(self, rng):
+        for _ in range(20):
+            cond = _random_condition(rng, n=5)
+            result = maximize_rank_one_simplex(cond, SolverOptions())
+            assert result.best_point is not None
+            assert result.best_point.sum() == pytest.approx(1.0)
+            assert np.all(result.best_point >= 0)
+            assert cond.value(result.best_point) == pytest.approx(
+                result.best_value, abs=1e-12
+            )
+
+    def test_support_at_most_two(self, rng):
+        for _ in range(20):
+            cond = _random_condition(rng, n=6)
+            result = maximize_rank_one_simplex(cond, SolverOptions())
+            assert np.count_nonzero(result.best_point) <= 2
+
+    def test_safe_instance(self):
+        # f(pi) = -(pi.1)^2 + 0 is always -1 on the simplex.
+        cond = RankOneCondition(u=np.ones(3), v=-np.ones(3), w=np.zeros(3))
+        result = maximize_rank_one_simplex(cond, SolverOptions())
+        assert result.status is SolverStatus.SAFE
+        assert result.best_value == pytest.approx(-1.0)
+
+    def test_violated_instance(self):
+        cond = RankOneCondition(u=np.ones(2), v=np.ones(2), w=np.zeros(2))
+        result = maximize_rank_one_simplex(cond, SolverOptions())
+        assert result.status is SolverStatus.VIOLATED
+        assert result.best_value == pytest.approx(1.0)
+
+    def test_interior_edge_maximum_found(self):
+        # u = (1, -1), v = (1, -1), w = 0: on the edge pi = (lam, 1-lam),
+        # f = (2 lam - 1)^2 -> max 1 at vertices; flip v's sign to make the
+        # interior lam = 1/2 the *minimum* and vertices the max.  Use a
+        # concave case instead: u = (1, -1), v = (-1, 1): f = -(2lam-1)^2,
+        # maximum 0 at lam = 1/2 -- an interior edge point.
+        cond = RankOneCondition(
+            u=np.array([1.0, -1.0]), v=np.array([-1.0, 1.0]), w=np.zeros(2)
+        )
+        result = maximize_rank_one_simplex(cond, SolverOptions(tolerance=1e-12))
+        assert result.best_value == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(result.best_point, [0.5, 0.5])
+
+    def test_work_limit_gives_unknown(self):
+        rng = np.random.default_rng(5)
+        # A large safe instance that cannot be certified in one row block.
+        n = 50
+        cond = RankOneCondition(
+            u=rng.uniform(size=n), v=-rng.uniform(0.5, 1.0, size=n), w=np.zeros(n)
+        )
+        options = SolverOptions(work_limit=n)  # one row only
+        result = maximize_rank_one_simplex(cond, options)
+        assert result.status is SolverStatus.UNKNOWN
+        assert not result.exhausted
+
+    def test_work_limit_still_reports_violation(self):
+        cond = RankOneCondition(u=np.ones(50), v=np.ones(50), w=np.zeros(50))
+        options = SolverOptions(work_limit=50)
+        result = maximize_rank_one_simplex(cond, options)
+        assert result.status is SolverStatus.VIOLATED
+
+
+class TestBoxSolver:
+    def test_interval_bound_certifies_negative(self):
+        cond = RankOneCondition(
+            u=np.array([0.5, 0.5]), v=np.array([-1.0, -1.0]), w=np.array([-0.1, -0.1])
+        )
+        result = maximize_rank_one_box(cond, SolverOptions(constraint="box"))
+        assert result.status is SolverStatus.SAFE
+
+    def test_finds_violation(self):
+        cond = RankOneCondition(u=np.ones(3), v=np.ones(3), w=np.zeros(3))
+        result = maximize_rank_one_box(cond, SolverOptions(constraint="box"))
+        assert result.status is SolverStatus.VIOLATED
+        # Box maximum is (3)(3) = 9 at pi = 1.
+        assert result.best_value >= 8.9
+
+    def test_unknown_when_ambiguous(self):
+        # Slightly positive interval bound but actually safe: stays UNKNOWN.
+        cond = RankOneCondition(
+            u=np.array([1.0, -1.0]),
+            v=np.array([1.0, -1.0]),
+            w=np.array([-2.0, -2.0]),
+        )
+        result = maximize_rank_one_box(cond, SolverOptions(constraint="box"))
+        assert result.status in (SolverStatus.UNKNOWN, SolverStatus.SAFE)
+
+
+class TestFrontEnd:
+    def test_dispatch_simplex(self):
+        cond = RankOneCondition(u=np.ones(2), v=-np.ones(2), w=np.zeros(2))
+        assert check_condition(cond).status is SolverStatus.SAFE
+
+    def test_dispatch_box(self):
+        cond = RankOneCondition(u=np.ones(2), v=-np.ones(2), w=-np.ones(2))
+        result = check_condition(cond, SolverOptions(constraint="box"))
+        assert result.status is SolverStatus.SAFE
+
+    def test_check_conditions_combined(self):
+        safe = RankOneCondition(u=np.ones(2), v=-np.ones(2), w=np.zeros(2))
+        violated = RankOneCondition(u=np.ones(2), v=np.ones(2), w=np.zeros(2))
+        status, results = check_conditions([safe, violated])
+        assert status is SolverStatus.VIOLATED
+        assert len(results) == 2
+
+    def test_check_conditions_short_circuits(self):
+        violated = RankOneCondition(u=np.ones(2), v=np.ones(2), w=np.zeros(2))
+        safe = RankOneCondition(u=np.ones(2), v=-np.ones(2), w=np.zeros(2))
+        status, results = check_conditions([violated, safe])
+        assert status is SolverStatus.VIOLATED
+        assert len(results) == 1  # stopped at the first violation
+
+    def test_options_validation(self):
+        with pytest.raises(SolverError):
+            SolverOptions(constraint="polytope")
+        with pytest.raises(SolverError):
+            SolverOptions(work_limit=0)
+        with pytest.raises(SolverError):
+            SolverOptions(time_limit_s=0.0)

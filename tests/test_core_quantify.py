@@ -1,0 +1,137 @@
+"""Unit tests for privacy quantification and verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.qp import SolverStatus
+from repro.core.quantify import quantify_fixed_prior, verify_event_privacy
+from repro.errors import DegeneratePriorError, QuantificationError
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.lppm.uniform import UniformMechanism
+
+from conftest import random_chain, random_emission
+
+
+class TestQuantifyFixedPrior:
+    def test_uniform_mechanism_zero_loss(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        pi = np.array([0.3, 0.3, 0.4])
+        result = quantify_fixed_prior(
+            chain, event, UniformMechanism(3), [0, 1, 2, 0], pi
+        )
+        assert result.epsilon == pytest.approx(0.0, abs=1e-12)
+        assert all(r == pytest.approx(1.0) for r in result.ratios)
+
+    def test_identity_mechanism_reveals_event(self, rng):
+        """A noiseless release inside the region certainly reveals PRESENCE."""
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        pi = np.array([1 / 3, 1 / 3, 1 / 3])
+        identity = np.eye(3)
+        result = quantify_fixed_prior(chain, event, identity, [1, 0], pi)
+        assert result.epsilon == float("inf")
+
+    def test_ratio_consistency_with_lemmas(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [1]), start=2, end=3)
+        pi = np.array([0.25, 0.5, 0.25])
+        observations = [0, 2, 1, 0]
+        result = quantify_fixed_prior(chain, event, emission, observations, pi)
+
+        from repro.core.joint import joint_probability, observation_probability
+        from repro.core.two_world import TwoWorldModel
+
+        model = TwoWorldModel(chain, event, horizon=4)
+        cols = np.stack([emission[:, o] for o in observations])
+        prior = model.prior_probability(pi)
+        for t, ratio in enumerate(result.ratios, start=1):
+            joint = joint_probability(model, pi, cols, upto_t=t)
+            total = observation_probability(model, pi, cols, upto_t=t)
+            expected = (joint / prior) / ((total - joint) / (1 - prior))
+            assert ratio == pytest.approx(expected, rel=1e-9)
+
+    def test_epsilon_is_max_abs_log_ratio(self, rng):
+        chain = random_chain(3, rng)
+        emission = random_emission(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [2]), start=2, end=2)
+        pi = np.array([0.4, 0.3, 0.3])
+        result = quantify_fixed_prior(chain, event, emission, [0, 1, 2], pi)
+        assert result.epsilon == pytest.approx(
+            max(abs(np.log(r)) for r in result.ratios)
+        )
+
+    def test_degenerate_prior_rejected(self, paper_chain):
+        # Event at t=1 on a region the prior avoids entirely.
+        event = PresenceEvent(Region.from_cells(3, [0]), start=1, end=1)
+        pi = np.array([0.0, 0.5, 0.5])
+        with pytest.raises(DegeneratePriorError):
+            quantify_fixed_prior(
+                paper_chain, event, UniformMechanism(3), [0], pi
+            )
+
+    def test_requires_observations(self, paper_chain, paper_presence):
+        with pytest.raises(QuantificationError):
+            quantify_fixed_prior(
+                paper_chain, paper_presence, UniformMechanism(3), [], [0.4, 0.3, 0.3]
+            )
+
+    def test_per_timestep_matrices(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        pi = np.array([0.3, 0.3, 0.4])
+        mats = np.stack([random_emission(3, rng) for _ in range(3)])
+        result = quantify_fixed_prior(chain, event, mats, [0, 1, 2], pi)
+        assert len(result.ratios) == 3
+
+    def test_matrix_count_mismatch(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        mats = np.stack([random_emission(3, rng) for _ in range(2)])
+        with pytest.raises(QuantificationError):
+            quantify_fixed_prior(chain, event, mats, [0, 1, 2], [0.3, 0.3, 0.4])
+
+
+class TestVerifyEventPrivacy:
+    def test_uniform_mechanism_always_safe(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        check = verify_event_privacy(
+            chain, event, UniformMechanism(3), [0, 1, 2, 0], epsilon=0.1
+        )
+        assert check.holds
+        assert check.first_violation is None
+
+    def test_identity_mechanism_violates(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=1, end=2)
+        check = verify_event_privacy(
+            chain, event, np.eye(3), [0, 1], epsilon=1.0, horizon=3
+        )
+        assert not check.holds
+        assert check.first_violation is not None
+
+    def test_worst_case_stricter_than_fixed(self, rng):
+        """A sequence safe for uniform pi can fail the arbitrary-pi check."""
+        chain = random_chain(4, rng)
+        emission = random_emission(4, rng)
+        event = PresenceEvent(Region.from_cells(4, [0]), start=2, end=3)
+        pi = np.full(4, 0.25)
+        observations = [0, 1, 2, 3]
+        epsilon = 1.0
+        fixed = quantify_fixed_prior(chain, event, emission, observations, pi)
+        check = verify_event_privacy(chain, event, emission, observations, epsilon)
+        if check.holds:
+            # Soundness direction: arbitrary-pi safe implies fixed-pi safe.
+            assert fixed.epsilon <= epsilon + 1e-9
+
+    def test_statuses_per_prefix(self, rng):
+        chain = random_chain(3, rng)
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=2)
+        check = verify_event_privacy(
+            chain, event, UniformMechanism(3), [0, 0, 0], epsilon=0.5
+        )
+        assert len(check.statuses) == 3
+        assert all(s is SolverStatus.SAFE for s in check.statuses)

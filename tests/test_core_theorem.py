@@ -1,0 +1,141 @@
+"""Unit tests for Theorem IV.1 conditions and certificates."""
+
+import numpy as np
+import pytest
+
+from repro.core.theorem import (
+    RankOneCondition,
+    condition_value,
+    likelihood_ratio,
+    privacy_conditions,
+    sufficient_safe,
+)
+from repro.errors import QuantificationError
+
+
+class TestRankOneCondition:
+    def test_value(self):
+        cond = RankOneCondition(
+            u=np.array([1.0, 0.0]), v=np.array([0.0, 1.0]), w=np.array([0.1, -0.1])
+        )
+        pi = np.array([0.5, 0.5])
+        # (0.5)(0.5) + 0 = 0.25
+        assert cond.value(pi) == pytest.approx(0.25)
+
+    def test_quadratic_matrix(self):
+        cond = RankOneCondition(
+            u=np.array([1.0, 2.0]), v=np.array([3.0, 4.0]), w=np.zeros(2)
+        )
+        assert np.allclose(cond.quadratic_matrix(), [[3.0, 4.0], [6.0, 8.0]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QuantificationError):
+            RankOneCondition(u=np.ones(2), v=np.ones(3), w=np.ones(2))
+
+    def test_value_shape_checked(self):
+        cond = RankOneCondition(u=np.ones(2), v=np.ones(2), w=np.ones(2))
+        with pytest.raises(QuantificationError):
+            cond.value(np.ones(3))
+
+
+class TestPrivacyConditions:
+    def test_sign_matches_ratio(self):
+        """Condition <= 0 at a pi iff the Definition II.4 ratio holds there."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = rng.uniform(0.05, 0.95, size=4)
+            c = rng.uniform(0.1, 1.0, size=4)
+            b = c * a * rng.uniform(0.3, 1.0, size=4)
+            epsilon = rng.uniform(0.1, 1.5)
+            pi = rng.dirichlet(np.ones(4))
+            forward, backward = privacy_conditions(a, b, c, epsilon)
+            ratio = likelihood_ratio(a, b, c, pi)
+            bound = np.exp(epsilon)
+            assert (forward.value(pi) <= 1e-12) == (ratio <= bound * (1 + 1e-9))
+            assert (backward.value(pi) <= 1e-12) == (
+                1.0 / ratio <= bound * (1 + 1e-9)
+            )
+
+    def test_scale_invariance_of_sign(self):
+        a = np.array([0.3, 0.6, 0.1])
+        b = np.array([0.02, 0.05, 0.01])
+        c = np.array([0.08, 0.07, 0.09])
+        pi = np.array([0.2, 0.3, 0.5])
+        for scale in (1.0, 1e-30, 1e30):
+            forward, backward = privacy_conditions(a, b * scale, c * scale, 0.5)
+            f, g = forward.value(pi), backward.value(pi)
+            base_f, base_g = condition_value(a, b, c, 0.5, pi)
+            assert np.sign(f) == np.sign(base_f)
+            assert np.sign(g) == np.sign(base_g)
+
+    def test_rejects_non_positive_epsilon(self):
+        vec = np.array([0.5, 0.5])
+        with pytest.raises(Exception):
+            privacy_conditions(vec, vec, vec, 0.0)
+
+
+class TestLikelihoodRatio:
+    def test_uniform_mechanism_ratio_one(self):
+        a = np.array([0.4, 0.2, 0.7])
+        kappa = 0.1
+        b = kappa * a
+        c = np.full(3, kappa)
+        pi = np.array([0.3, 0.3, 0.4])
+        assert likelihood_ratio(a, b, c, pi) == pytest.approx(1.0)
+
+    def test_degenerate_prior_rejected(self):
+        a = np.zeros(3)
+        with pytest.raises(QuantificationError):
+            likelihood_ratio(a, a, np.ones(3), np.array([1 / 3, 1 / 3, 1 / 3]))
+
+    def test_infinite_ratio(self):
+        a = np.array([0.5, 0.5])
+        b = np.array([0.1, 0.1])
+        c = b.copy()  # no mass on the negation side
+        assert likelihood_ratio(a, b, c, np.array([0.5, 0.5])) == float("inf")
+
+
+class TestSufficientSafe:
+    def test_uniform_mechanism_certified(self):
+        a = np.array([0.4, 0.2, 0.7])
+        kappa = 0.3
+        assert sufficient_safe(a, kappa * a, np.full(3, kappa), epsilon=0.1)
+
+    def test_spread_conditionals_not_certified(self):
+        a = np.array([0.5, 0.5])
+        b = np.array([0.05, 0.30])  # r = 0.1 vs 0.6
+        c = np.array([0.30, 0.40])  # q = 0.5 vs 0.2
+        assert not sufficient_safe(a, b, c, epsilon=0.5)
+        assert sufficient_safe(a, b, c, epsilon=2.0)
+
+    def test_certificate_implies_ratio_bound(self):
+        """Whenever the certificate passes, every pi satisfies the bound."""
+        rng = np.random.default_rng(1)
+        certified = 0
+        for _ in range(200):
+            a = rng.uniform(0.05, 0.95, size=3)
+            c = rng.uniform(0.2, 1.0, size=3)
+            b = c * a * rng.uniform(0.7, 1.0, size=3)
+            epsilon = rng.uniform(0.3, 2.0)
+            if not sufficient_safe(a, b, c, epsilon):
+                continue
+            certified += 1
+            for _ in range(20):
+                pi = rng.dirichlet(np.ones(3))
+                ratio = likelihood_ratio(a, b, c, pi)
+                assert ratio <= np.exp(epsilon) * (1 + 1e-6)
+                assert 1.0 / ratio <= np.exp(epsilon) * (1 + 1e-6)
+        assert certified > 0  # the test exercised the certified branch
+
+    def test_degenerate_event_certified(self):
+        # Pr(EVENT) = 0 under every pi: vacuous, certified.
+        a = np.zeros(3)
+        b = np.zeros(3)
+        c = np.array([0.5, 0.5, 0.5])
+        assert sufficient_safe(a, b, c, epsilon=0.1)
+
+    def test_certain_event_certified(self):
+        a = np.ones(3)
+        b = np.array([0.5, 0.5, 0.5])
+        c = b.copy()
+        assert sufficient_safe(a, b, c, epsilon=0.1)

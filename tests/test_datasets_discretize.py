@@ -1,0 +1,68 @@
+"""Unit tests for trace discretization."""
+
+import pytest
+
+from repro.datasets.discretize import _project_km, discretize_trace, grid_for_traces
+from repro.datasets.trace import GPSPoint, GPSTrace
+from repro.errors import DatasetError
+
+
+def _line_trace(n_points: int = 5, step_deg: float = 0.01) -> GPSTrace:
+    points = [
+        GPSPoint(60.0 * k, 39.9 + step_deg * k, 116.4) for k in range(n_points)
+    ]
+    return GPSTrace(points)
+
+
+class TestProjection:
+    def test_reference_maps_to_origin(self):
+        assert _project_km(39.9, 116.4, 39.9, 116.4) == (0.0, 0.0)
+
+    def test_one_degree_north_is_111km(self):
+        x, y = _project_km(40.9, 116.4, 39.9, 116.4)
+        assert x == pytest.approx(0.0)
+        assert y == pytest.approx(111.19, rel=1e-2)
+
+
+class TestGridForTraces:
+    def test_covers_trace(self):
+        trace = _line_trace()
+        grid, ref = grid_for_traces([trace], cell_size_km=0.5)
+        cells = discretize_trace(trace, grid, ref)
+        assert len(cells) == len(trace)
+        assert all(0 <= c < grid.n_cells for c in cells)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            grid_for_traces([])
+
+    def test_rejects_oversized_grid(self):
+        trace = _line_trace(n_points=3, step_deg=1.0)
+        with pytest.raises(DatasetError, match="max_cells"):
+            grid_for_traces([trace], cell_size_km=0.1, max_cells=100)
+
+    def test_rejects_bad_cell_size(self):
+        with pytest.raises(DatasetError):
+            grid_for_traces([_line_trace()], cell_size_km=0.0)
+
+
+class TestDiscretize:
+    def test_monotone_path_gives_monotone_cells(self):
+        trace = _line_trace(n_points=6, step_deg=0.02)
+        grid, ref = grid_for_traces([trace], cell_size_km=1.0)
+        cells = discretize_trace(trace, grid, ref)
+        rows = [grid.cell_position(c)[0] for c in cells]
+        assert rows == sorted(rows)
+
+    def test_resampling_changes_length(self):
+        trace = _line_trace(n_points=5)  # 60 s sampling
+        grid, ref = grid_for_traces([trace], cell_size_km=1.0)
+        coarse = discretize_trace(trace, grid, ref, interval_s=120.0)
+        assert len(coarse) == 3
+
+    def test_stationary_trace_single_cell(self):
+        points = [GPSPoint(60.0 * k, 39.9, 116.4) for k in range(4)]
+        trace = GPSTrace(points)
+        grid, ref = grid_for_traces([trace], cell_size_km=1.0)
+        cells = discretize_trace(trace, grid, ref)
+        assert len(set(cells)) == 1

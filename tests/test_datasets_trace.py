@@ -1,0 +1,78 @@
+"""Unit tests for GPS trace containers."""
+
+import pytest
+
+from repro.datasets.trace import GPSPoint, GPSTrace
+from repro.errors import DatasetError
+
+
+def _trace(points):
+    return GPSTrace([GPSPoint(t, lat, lon) for t, lat, lon in points])
+
+
+class TestGPSPoint:
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            GPSPoint(0.0, 91.0, 0.0)
+        with pytest.raises(DatasetError):
+            GPSPoint(0.0, 0.0, -181.0)
+
+    def test_distance_symmetry(self):
+        a = GPSPoint(0.0, 39.9, 116.4)
+        b = GPSPoint(1.0, 40.0, 116.5)
+        assert a.distance_km(b) == pytest.approx(b.distance_km(a))
+
+    def test_ordering_by_time(self):
+        assert GPSPoint(1.0, 0, 0) < GPSPoint(2.0, 0, 0)
+
+
+class TestGPSTrace:
+    def test_sorts_points(self):
+        trace = _trace([(10, 0, 0), (5, 1, 1)])
+        assert trace[0].time_s == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            GPSTrace([])
+
+    def test_rejects_duplicate_times(self):
+        with pytest.raises(DatasetError):
+            _trace([(0, 0, 0), (0, 1, 1)])
+
+    def test_duration_and_distance(self):
+        trace = _trace([(0, 0.0, 0.0), (60, 1.0, 0.0)])
+        assert trace.duration_s == 60
+        assert trace.total_distance_km() == pytest.approx(111.19, rel=1e-2)
+
+    def test_bounding_box(self):
+        trace = _trace([(0, 1.0, 2.0), (1, -1.0, 5.0)])
+        assert trace.bounding_box() == (-1.0, 2.0, 1.0, 5.0)
+
+
+class TestInterpolation:
+    def test_midpoint(self):
+        trace = _trace([(0, 0.0, 0.0), (10, 1.0, 2.0)])
+        mid = trace.point_at(5.0)
+        assert mid.latitude == pytest.approx(0.5)
+        assert mid.longitude == pytest.approx(1.0)
+
+    def test_clamps_outside(self):
+        trace = _trace([(0, 0.0, 0.0), (10, 1.0, 2.0)])
+        assert trace.point_at(-5.0).latitude == 0.0
+        assert trace.point_at(15.0).latitude == 1.0
+
+    def test_resample_interval(self):
+        trace = _trace([(0, 0.0, 0.0), (100, 1.0, 0.0)])
+        resampled = trace.resample(10.0)
+        times = [p.time_s for p in resampled]
+        assert times == [10.0 * k for k in range(11)]
+
+    def test_resample_preserves_endpoints(self):
+        trace = _trace([(0, 0.0, 0.0), (100, 1.0, 0.0)])
+        resampled = trace.resample(30.0)
+        assert resampled[0].latitude == 0.0
+
+    def test_resample_rejects_bad_interval(self):
+        trace = _trace([(0, 0.0, 0.0), (10, 1.0, 0.0)])
+        with pytest.raises(DatasetError):
+            trace.resample(0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the high-level event builders."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.builders import (
+    avoided,
+    commuted_between,
+    followed_route,
+    recurring_presence,
+    stayed,
+    visited,
+    visited_exactly_one,
+)
+from repro.geo.regions import Region
+
+
+class TestVisited:
+    def test_non_consecutive_times(self):
+        expr = visited([0, 1], times=[1, 4])
+        assert expr.evaluate([0, 9, 9, 9]) is True
+        assert expr.evaluate([9, 9, 9, 1]) is True
+        assert expr.evaluate([9, 0, 0, 9]) is False  # visits at wrong times
+
+    def test_accepts_region_objects(self):
+        region = Region.from_cells(5, [2, 3])
+        expr = visited(region, times=[2])
+        assert expr.evaluate([0, 3]) is True
+
+    def test_dedupes_times(self):
+        expr = visited([0], times=[2, 2, 2])
+        assert expr.timestamps() == (2,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EventError):
+            visited([], times=[1])
+        with pytest.raises(EventError):
+            visited([0], times=[])
+
+
+class TestStayedAvoided:
+    def test_stayed_requires_all(self):
+        expr = stayed([0, 1], times=[1, 3])
+        assert expr.evaluate([0, 9, 1]) is True
+        assert expr.evaluate([0, 9, 9]) is False
+
+    def test_avoided_is_negation(self):
+        region = [0, 1]
+        times = [1, 2]
+        a = avoided(region, times)
+        v = visited(region, times)
+        for trajectory in ([0, 9], [9, 9], [9, 1]):
+            assert a.evaluate(trajectory) == (not v.evaluate(trajectory))
+
+
+class TestFollowedRoute:
+    def test_route_with_gap(self):
+        expr = followed_route([[0], [5]], times=[1, 3])
+        assert expr.evaluate([0, 9, 5]) is True
+        assert expr.evaluate([0, 5, 9]) is False
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(EventError):
+            followed_route([[0]], times=[1, 2])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(EventError):
+            followed_route([[0], [1]], times=[3, 3])
+        with pytest.raises(EventError):
+            followed_route([[0], [1]], times=[3, 2])
+
+
+class TestCommute:
+    def test_flagship_secret(self):
+        home, office = [0], [8]
+        expr = commuted_between(home, office, morning=[1, 2], afternoon=[5, 6])
+        assert expr.evaluate([0, 9, 9, 9, 8, 9]) is True
+        assert expr.evaluate([0, 9, 9, 9, 9, 9]) is False  # never at office
+        assert expr.evaluate([9, 9, 9, 9, 8, 9]) is False  # never at home
+
+    def test_window_spans_both_periods(self):
+        expr = commuted_between([0], [1], morning=[2], afternoon=[7])
+        assert expr.time_window() == (2, 7)
+
+
+class TestExactlyOne:
+    def test_xor_semantics(self):
+        expr = visited_exactly_one([0], [5], times=[1, 2])
+        assert expr.evaluate([0, 9]) is True
+        assert expr.evaluate([5, 9]) is True
+        assert expr.evaluate([0, 5]) is False  # both
+        assert expr.evaluate([9, 9]) is False  # neither
+
+
+class TestRecurring:
+    def test_periodic_timestamps(self):
+        expr = recurring_presence([0], first=2, period=3, occurrences=3)
+        assert expr.timestamps() == (2, 5, 8)
+        trajectory = [9] * 8
+        for t in (2, 5, 8):
+            trajectory[t - 1] = 0
+        assert expr.evaluate(trajectory) is True
+        trajectory[4] = 9  # miss one occurrence
+        assert expr.evaluate(trajectory) is False
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(EventError):
+            recurring_presence([0], first=1, period=0, occurrences=2)
+
+
+class TestBuildersWorkWithEngines:
+    def test_automaton_handles_builder_events(self, paper_chain):
+        import numpy as np
+
+        from repro.core.automaton_engine import AutomatonModel
+        from repro.core.baseline import enumerate_prior
+
+        expr = commuted_between([0], [2], morning=[1, 2], afternoon=[3, 4])
+        model = AutomatonModel(paper_chain, expr, horizon=4)
+        pi = np.array([0.5, 0.3, 0.2])
+        assert model.prior_probability(pi) == pytest.approx(
+            enumerate_prior(paper_chain, expr, pi), abs=1e-12
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for the event-to-automaton compiler."""
+
+import itertools
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.compiler import compile_event
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.events.expressions import FALSE, TRUE, at, in_region
+from repro.geo.regions import Region
+
+
+def _exhaustive_check(expression, n_cells: int):
+    """The automaton must agree with direct evaluation on every window path."""
+    compiled = compile_event(expression)
+    start, end = compiled.start, compiled.end
+    for window in itertools.product(range(n_cells), repeat=compiled.length):
+        trajectory = [0] * (start - 1) + list(window)
+        assert compiled.run(window) == expression.evaluate(trajectory), (
+            expression,
+            window,
+        )
+
+
+class TestCompileBasics:
+    def test_single_predicate(self):
+        compiled = compile_event(at(2, 1))
+        assert compiled.start == compiled.end == 2
+        assert compiled.length == 1
+        assert compiled.run([1]) is True
+        assert compiled.run([0]) is False
+
+    def test_rejects_constants(self):
+        with pytest.raises(EventError):
+            compile_event(TRUE)
+        with pytest.raises(EventError):
+            compile_event(FALSE)
+
+    def test_run_length_checked(self):
+        compiled = compile_event(at(1, 0) | at(2, 0))
+        with pytest.raises(EventError):
+            compiled.run([0])
+
+    def test_max_states_guard(self):
+        # A parity-like expression over many timestamps stays small, but an
+        # artificial limit of 1 state must trip.
+        expr = at(1, 0) | at(2, 0)
+        with pytest.raises(EventError, match="max_states"):
+            compile_event(expr, max_states=1)
+
+
+class TestTwoStateEquivalences:
+    def test_presence_compiles_to_two_worlds(self):
+        event = PresenceEvent(Region.from_cells(4, [1, 2]), start=2, end=5)
+        compiled = compile_event(event.to_expression())
+        # Residuals are only "already true" / "not yet": <= 2 live states.
+        assert compiled.max_states <= 2
+
+    def test_pattern_compiles_to_two_worlds(self):
+        event = PatternEvent(
+            [Region.from_cells(4, [0, 1]), Region.from_cells(4, [2, 3])], start=3
+        )
+        compiled = compile_event(event.to_expression())
+        assert compiled.max_states <= 2
+
+
+class TestExhaustiveAgreement:
+    def test_presence(self):
+        event = PresenceEvent(Region.from_cells(3, [0, 2]), start=2, end=4)
+        _exhaustive_check(event.to_expression(), 3)
+
+    def test_pattern(self):
+        event = PatternEvent(
+            [Region.from_cells(3, [0, 1]), Region.from_cells(3, [2])], start=1
+        )
+        _exhaustive_check(event.to_expression(), 3)
+
+    def test_negated_presence(self):
+        event = PresenceEvent(Region.from_cells(3, [1]), start=1, end=3)
+        _exhaustive_check(~event.to_expression(), 3)
+
+    def test_fig1e_mixed(self):
+        expr = (in_region(1, [0, 1]) & in_region(2, [1, 2])) | at(3, 0)
+        _exhaustive_check(expr, 3)
+
+    def test_xor_style(self):
+        # "visited at t=1 but not at t=2" -- not PRESENCE or PATTERN.
+        expr = in_region(1, [0]) & ~in_region(2, [0])
+        _exhaustive_check(expr, 3)
+
+    def test_three_way_alternation(self):
+        expr = (at(1, 0) & at(3, 2)) | (at(2, 1) & ~at(3, 0))
+        _exhaustive_check(expr, 3)
+
+    def test_gap_in_window(self):
+        # Predicates at t=1 and t=3 only; t=2 is unconstrained.
+        expr = at(1, 0) & at(3, 1)
+        _exhaustive_check(expr, 3)
+
+
+class TestLayerStructure:
+    def test_unmentioned_cells_share_default(self):
+        expr = at(1, 0) | at(2, 5)
+        compiled = compile_event(expr)
+        layer = compiled.layers[0]
+        assert layer.mentioned_cells == (0,)
+        # Cells 1..4 all use the default transition.
+        assert layer.next_state(0, 3) == layer.next_state(0, 4) == layer.defaults[0]
+
+    def test_final_layer_boolean(self):
+        compiled = compile_event(at(1, 0))
+        assert set(compiled.accepting) == {True, False}
+
+    def test_residual_inspection(self):
+        expr = at(1, 0) & at(2, 1)
+        compiled = compile_event(expr)
+        assert compiled.residual_at(0, 0) == expr

@@ -1,0 +1,106 @@
+"""Unit tests for PRESENCE and PATTERN event classes."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.geo.regions import Region
+
+
+class TestPresence:
+    def test_window(self):
+        event = PresenceEvent(Region.from_cells(5, [0, 1]), start=2, end=4)
+        assert event.window == (2, 4)
+        assert event.length == 3
+        assert event.width == 2
+
+    def test_expression_matches_definition(self):
+        event = PresenceEvent(Region.from_cells(3, [0, 1]), start=3, end=4)
+        # Example II.1: (u3=s1) v (u3=s2) v (u4=s1) v (u4=s2)
+        expr = event.to_expression()
+        assert len(expr.predicates()) == 4
+
+    def test_ground_truth(self):
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        assert event.ground_truth([2, 0, 2]) is True
+        assert event.ground_truth([0, 2, 2]) is False  # visit outside window
+
+    def test_ground_truth_short_trajectory(self):
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        with pytest.raises(EventError):
+            event.ground_truth([0, 1])
+
+    def test_region_at_inside_window_only(self):
+        event = PresenceEvent(Region.from_cells(3, [0]), start=2, end=3)
+        assert event.region_at(2).cells == (0,)
+        with pytest.raises(EventError):
+            event.region_at(1)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(EventError):
+            PresenceEvent(Region.empty(3), start=1, end=1)
+
+    def test_rejects_full_map(self):
+        with pytest.raises(EventError, match="whole map"):
+            PresenceEvent(Region.full(3), start=1, end=1)
+
+    def test_rejects_reversed_window(self):
+        with pytest.raises(EventError):
+            PresenceEvent(Region.from_cells(3, [0]), start=4, end=2)
+
+
+class TestPattern:
+    def _regions(self):
+        return [
+            Region.from_cells(4, [0, 1]),
+            Region.from_cells(4, [2]),
+            Region.from_cells(4, [1, 3]),
+        ]
+
+    def test_window(self):
+        event = PatternEvent(self._regions(), start=2)
+        assert event.window == (2, 4)
+        assert event.length == 3
+        assert event.width == 2
+
+    def test_region_at(self):
+        event = PatternEvent(self._regions(), start=2)
+        assert event.region_at(3).cells == (2,)
+
+    def test_ground_truth_requires_all(self):
+        event = PatternEvent(self._regions(), start=2)
+        assert event.ground_truth([9 % 4, 0, 2, 3]) is True
+        assert event.ground_truth([0, 0, 0, 3]) is False
+
+    def test_expression_structure(self):
+        # Example II.2: ((u2=s1) v (u2=s2)) ^ ((u3=s2) v (u3=s3))
+        regions = [Region.from_cells(3, [0, 1]), Region.from_cells(3, [1, 2])]
+        event = PatternEvent(regions, start=2)
+        assert len(event.to_expression().predicates()) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(EventError):
+            PatternEvent([], start=1)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(EventError):
+            PatternEvent([Region.empty(3)], start=1)
+
+    def test_rejects_mixed_maps(self):
+        with pytest.raises(EventError):
+            PatternEvent(
+                [Region.from_cells(3, [0]), Region.from_cells(4, [0])], start=1
+            )
+
+    def test_rejects_all_full_regions(self):
+        with pytest.raises(EventError):
+            PatternEvent([Region.full(3), Region.full(3)], start=1)
+
+    def test_single_region_pattern_equals_presence_semantics(self):
+        region = Region.from_cells(3, [1])
+        pattern = PatternEvent([region], start=2)
+        presence = PresenceEvent(region, start=2, end=2)
+        for trajectory in ([0, 1, 0], [0, 0, 1], [1, 0, 0]):
+            assert pattern.ground_truth(trajectory) == presence.ground_truth(
+                trajectory
+            )

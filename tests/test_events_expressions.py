@@ -1,0 +1,155 @@
+"""Unit tests for the event expression AST."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.events.expressions import (
+    And,
+    FALSE,
+    Not,
+    Or,
+    Predicate,
+    TRUE,
+    all_of,
+    any_of,
+    at,
+    in_region,
+)
+
+
+class TestPredicate:
+    def test_evaluate(self):
+        pred = at(2, 1)
+        assert pred.evaluate([0, 1, 2]) is True
+        assert pred.evaluate([0, 0, 2]) is False
+
+    def test_evaluate_short_trajectory(self):
+        with pytest.raises(EventError):
+            at(5, 0).evaluate([0, 1])
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            at(0, 1)
+        with pytest.raises(EventError):
+            at(1, -1)
+
+    def test_substitute(self):
+        pred = at(2, 1)
+        assert pred.substitute({2: 1}) == TRUE
+        assert pred.substitute({2: 0}) == FALSE
+        assert pred.substitute({1: 1}) == pred
+
+    def test_equality_and_hash(self):
+        assert at(1, 2) == at(1, 2)
+        assert at(1, 2) != at(1, 3)
+        assert len({at(1, 2), at(1, 2)}) == 1
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        expr = And.of([at(1, 0), And.of([at(2, 0), at(3, 0)])])
+        assert len(expr.children) == 3
+
+    def test_and_short_circuits_false(self):
+        assert And.of([at(1, 0), FALSE]) == FALSE
+
+    def test_and_drops_true(self):
+        assert And.of([at(1, 0), TRUE]) == at(1, 0)
+
+    def test_and_same_time_conflict_is_false(self):
+        # Fig. 1(a): (u1 = s1) ^ (u1 = s2) is always false.
+        assert And.of([at(1, 0), at(1, 1)]) == FALSE
+
+    def test_or_flattens_and_dedupes(self):
+        expr = Or.of([at(1, 0), Or.of([at(1, 0), at(1, 1)])])
+        assert len(expr.children) == 2
+
+    def test_or_short_circuits_true(self):
+        assert Or.of([at(1, 0), TRUE]) == TRUE
+
+    def test_or_empty_is_false(self):
+        assert Or.of([]) == FALSE
+        assert And.of([]) == TRUE
+
+    def test_not_simplifications(self):
+        assert Not.of(TRUE) == FALSE
+        assert Not.of(Not.of(at(1, 0))) == at(1, 0)
+
+    def test_operators(self):
+        expr = (at(1, 0) | at(1, 1)) & at(2, 5)
+        assert expr.evaluate([0, 5]) is True
+        assert expr.evaluate([2, 5]) is False
+        assert (~at(1, 0)).evaluate([1]) is True
+
+    def test_canonical_order_makes_equal(self):
+        assert (at(1, 0) | at(1, 1)) == (at(1, 1) | at(1, 0))
+
+
+class TestStructure:
+    def test_predicates_collected(self):
+        expr = (at(1, 0) | at(2, 1)) & ~at(3, 2)
+        assert expr.predicates() == {at(1, 0), at(2, 1), at(3, 2)}
+
+    def test_time_window(self):
+        expr = at(4, 0) | at(2, 1)
+        assert expr.time_window() == (2, 4)
+        assert expr.timestamps() == (2, 4)
+
+    def test_constant_has_no_window(self):
+        with pytest.raises(EventError):
+            TRUE.time_window()
+
+    def test_substitute_resolves_all_at_time(self):
+        expr = at(1, 0) | at(1, 1)
+        assert expr.substitute({1: 2}) == FALSE
+        assert expr.substitute({1: 1}) == TRUE
+
+    def test_immutable(self):
+        pred = at(1, 0)
+        with pytest.raises(AttributeError):
+            pred.t = 5
+
+
+class TestBuilders:
+    def test_in_region(self):
+        expr = in_region(3, [0, 2, 4])
+        assert expr.evaluate([9, 9, 2]) is True
+        assert expr.evaluate([9, 9, 1]) is False
+
+    def test_in_region_empty_is_false(self):
+        assert in_region(1, []) == FALSE
+
+    def test_any_all(self):
+        exprs = [at(1, 0), at(2, 0)]
+        assert any_of(exprs).evaluate([0, 1]) is True
+        assert all_of(exprs).evaluate([0, 1]) is False
+
+
+class TestFig1Examples:
+    """The six Boolean combinations from the paper's Fig. 1."""
+
+    def test_a_same_time_and_is_false(self):
+        assert (at(1, 0) & at(1, 1)) == FALSE
+
+    def test_b_sensitive_area(self):
+        event = at(1, 0) | at(1, 1)
+        assert event.evaluate([1, 5]) is True
+
+    def test_c_trajectory(self):
+        event = at(1, 0) & at(2, 0)
+        assert event.evaluate([0, 0]) is True
+        assert event.evaluate([0, 1]) is False
+
+    def test_d_visit_either_time(self):
+        event = at(1, 0) | at(2, 0)
+        assert event.evaluate([1, 0]) is True
+
+    def test_e_trajectory_pattern(self):
+        event = (at(1, 0) | at(1, 1)) & (at(2, 0) | at(2, 1))
+        assert event.evaluate([1, 0]) is True
+        assert event.evaluate([1, 2]) is False
+
+    def test_f_presence(self):
+        event = (at(1, 0) | at(1, 1)) | (at(2, 0) | at(2, 1))
+        assert event.evaluate([2, 1]) is True
+        assert event.evaluate([2, 2]) is False

@@ -1,0 +1,153 @@
+"""Tests for the experiment harness (runners, reporters, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.report import format_series_table, format_table, sparkline
+from repro.experiments.runners import (
+    run_budget_over_time,
+    run_conservative_release_table,
+    run_runtime_scaling,
+    run_utility_sweep,
+)
+from repro.experiments.scenarios import synthetic_scenario
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return synthetic_scenario(n_rows=4, n_cols=4, sigma=1.0, horizon=8)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text
+        assert "2.5000" in text
+
+    def test_series_table(self):
+        text = format_series_table("eps", [0.1, 0.5], {"curve": [1.0, 2.0]})
+        assert "curve" in text
+        assert text.count("\n") >= 3
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+
+
+class TestBudgetOverTime(object):
+    def test_curves_shape_and_ordering(self, tiny_scenario):
+        event = tiny_scenario.presence_event(0, 3, 3, 5)
+        result = run_budget_over_time(
+            tiny_scenario,
+            event,
+            settings=[("eps=0.1", 0.5, 0.1), ("eps=2", 0.5, 2.0)],
+            n_runs=3,
+            seed=0,
+        )
+        assert set(result.curves) == {"eps=0.1", "eps=2"}
+        for curve in result.curves.values():
+            assert curve.shape == (8,)
+            assert np.all(curve <= 0.5 + 1e-12)
+        # Looser epsilon keeps at least as much budget on average.
+        assert result.curves["eps=2"].mean() >= result.curves["eps=0.1"].mean()
+        text = result.to_text()
+        assert "eps=0.1" in text
+
+    def test_delta_mechanism(self, tiny_scenario):
+        event = tiny_scenario.presence_event(0, 3, 3, 5)
+        result = run_budget_over_time(
+            tiny_scenario,
+            event,
+            settings=[("d", 1.0, 1.0)],
+            n_runs=2,
+            mechanism="delta",
+            delta=0.3,
+            seed=0,
+        )
+        assert "d" in result.curves
+
+    def test_rejects_bad_mechanism(self, tiny_scenario):
+        event = tiny_scenario.presence_event(0, 3, 3, 5)
+        with pytest.raises(Exception):
+            run_budget_over_time(
+                tiny_scenario, event, settings=[("x", 1.0, 1.0)],
+                n_runs=1, mechanism="bogus",
+            )
+
+
+class TestUtilitySweep:
+    def test_budget_increases_with_epsilon(self, tiny_scenario):
+        result = run_utility_sweep(
+            scenario_for=lambda params: tiny_scenario,
+            events_for=lambda sc, params: [sc.presence_event(0, 3, 3, 5)],
+            curve_settings=[("0.5-PLM", {"alpha": 0.5})],
+            epsilons=(0.1, 2.0),
+            n_runs=3,
+            seed=0,
+        )
+        budgets = result.budget_series["0.5-PLM"]
+        assert budgets[1] >= budgets[0]
+        assert len(result.error_series["0.5-PLM"]) == 2
+        assert "ave. PLM budget" in result.to_text()
+
+
+class TestRuntimeScaling:
+    def test_baseline_grows_faster(self):
+        scenario = synthetic_scenario(n_rows=3, n_cols=3, horizon=12)
+        result = run_runtime_scaling(
+            scenario, axis="length", values=(2, 8), fixed=3, n_events=2, seed=0
+        )
+        assert len(result.baseline_s) == 2
+        # Exponential vs linear: from length 2 to 8 the baseline must blow
+        # up far more than PriSTE (3^8 vs 3^2 trajectories enumerated) --
+        # robust to wall-clock noise because the contrast is ~2 orders of
+        # magnitude.
+        baseline_growth = result.baseline_s[-1] / result.baseline_s[0]
+        priste_growth = result.priste_s[-1] / result.priste_s[0]
+        assert baseline_growth > 5 * priste_growth
+        assert result.speedup_at_max() == pytest.approx(
+            result.baseline_s[-1] / result.priste_s[-1]
+        )
+
+    def test_width_axis(self):
+        scenario = synthetic_scenario(n_rows=3, n_cols=3, horizon=10)
+        result = run_runtime_scaling(
+            scenario, axis="width", values=(2, 4), fixed=2, n_events=2, seed=0
+        )
+        assert len(result.priste_s) == 2
+
+    def test_rejects_bad_axis(self):
+        scenario = synthetic_scenario(n_rows=3, n_cols=3, horizon=10)
+        with pytest.raises(Exception):
+            run_runtime_scaling(scenario, axis="area", values=(2,))
+
+
+class TestConservativeRelease:
+    def test_table_structure(self, tiny_scenario):
+        event = tiny_scenario.presence_event(0, 3, 3, 5)
+        table, rows = run_conservative_release_table(
+            tiny_scenario, event, thresholds=(0.01, None), n_runs=2,
+            work_unit=400, seed=0,
+        )
+        assert len(rows) == 2
+        assert rows[-1]["threshold"] == "none"
+        assert "conservative" in table
+        # Unlimited solving never falls back to conservative release.
+        assert rows[-1]["# conservative release"] == 0
+
+
+class TestCLI:
+    def test_fig13_smoke(self, capsys):
+        code = cli_main(["fig13", "--runs", "1", "--horizon", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sigma=0.01" in out
+
+    def test_fig14_smoke(self, capsys):
+        # Covered more cheaply by TestRuntimeScaling; here just the wiring.
+        code = cli_main(["fig7", "--runs", "1", "--horizon", "6"])
+        assert code == 0
+        assert "0.2-PLM" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Unit tests for distance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.geo.distance import (
+    EARTH_RADIUS_KM,
+    euclidean_distance,
+    haversine_km,
+    haversine_km_arrays,
+    pairwise_euclidean,
+)
+
+
+class TestEuclidean:
+    def test_basic(self):
+        assert euclidean_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert euclidean_distance([1, 2], [1, 2]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            euclidean_distance([0, 0], [1, 2, 3])
+
+    def test_pairwise(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 1.0]])
+        dist = pairwise_euclidean(pts)
+        assert dist.shape == (3, 3)
+        assert dist[0, 1] == pytest.approx(5.0)
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+    def test_pairwise_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            pairwise_euclidean([1.0, 2.0])
+
+
+class TestHaversine:
+    def test_same_point(self):
+        assert haversine_km(39.9, 116.4, 39.9, 116.4) == 0.0
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.19 km on the IUGG sphere.
+        expected = np.pi * EARTH_RADIUS_KM / 180.0
+        assert haversine_km(0.0, 0.0, 1.0, 0.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_symmetry(self):
+        a = haversine_km(39.9, 116.4, 40.1, 116.2)
+        b = haversine_km(40.1, 116.2, 39.9, 116.4)
+        assert a == pytest.approx(b)
+
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValidationError):
+            haversine_km(91.0, 0.0, 0.0, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValidationError):
+            haversine_km(0.0, 181.0, 0.0, 0.0)
+
+    def test_array_version_matches_scalar(self):
+        lats1 = np.array([39.9, 40.0])
+        lons1 = np.array([116.4, 116.5])
+        lats2 = np.array([39.95, 40.1])
+        lons2 = np.array([116.45, 116.3])
+        arr = haversine_km_arrays(lats1, lons1, lats2, lons2)
+        for k in range(2):
+            scalar = haversine_km(lats1[k], lons1[k], lats2[k], lons2[k])
+            assert arr[k] == pytest.approx(scalar)

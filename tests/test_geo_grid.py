@@ -1,0 +1,132 @@
+"""Unit tests for GridMap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.geo.grid import GridMap
+
+
+class TestConstruction:
+    def test_basic(self):
+        grid = GridMap(4, 5, cell_size_km=0.5)
+        assert grid.n_cells == 20
+        assert len(grid) == 20
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(GridError):
+            GridMap(0, 5)
+
+    def test_rejects_negative_cell_size(self):
+        with pytest.raises(Exception):
+            GridMap(2, 2, cell_size_km=-1.0)
+
+    def test_iteration(self):
+        assert list(GridMap(2, 2)) == [0, 1, 2, 3]
+
+
+class TestIndexing:
+    def test_row_major(self):
+        grid = GridMap(3, 4)
+        assert grid.cell_index(0, 0) == 0
+        assert grid.cell_index(1, 0) == 4
+        assert grid.cell_index(2, 3) == 11
+
+    def test_roundtrip(self):
+        grid = GridMap(3, 4)
+        for cell in grid:
+            row, col = grid.cell_position(cell)
+            assert grid.cell_index(row, col) == cell
+
+    def test_out_of_range(self):
+        grid = GridMap(3, 4)
+        with pytest.raises(Exception):
+            grid.cell_position(12)
+        with pytest.raises(Exception):
+            grid.cell_index(3, 0)
+
+
+class TestGeometry:
+    def test_centers(self):
+        grid = GridMap(2, 2, cell_size_km=2.0, origin_km=(10.0, 20.0))
+        assert grid.cell_center_km(0) == (10.0, 20.0)
+        assert grid.cell_center_km(1) == (12.0, 20.0)
+        assert grid.cell_center_km(2) == (10.0, 22.0)
+
+    def test_distance_matrix_symmetric_zero_diag(self):
+        grid = GridMap(3, 3, cell_size_km=1.5)
+        dist = grid.distance_matrix_km
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+    def test_adjacent_distance_is_cell_size(self):
+        grid = GridMap(3, 3, cell_size_km=1.5)
+        assert grid.distance_km(0, 1) == pytest.approx(1.5)
+        assert grid.distance_km(0, 3) == pytest.approx(1.5)
+        assert grid.distance_km(0, 4) == pytest.approx(1.5 * np.sqrt(2))
+
+    def test_nearest_cell(self):
+        grid = GridMap(3, 3, cell_size_km=1.0)
+        assert grid.nearest_cell(0.1, 0.1) == 0
+        assert grid.nearest_cell(2.1, 1.9) == 8
+
+    def test_snap_to_grid(self):
+        grid = GridMap(3, 3, cell_size_km=1.0)
+        cell, dist = grid.snap_to_grid(0.4, 0.0)
+        assert cell == 0
+        assert dist == pytest.approx(0.4)
+
+
+class TestNeighbors:
+    def test_corner_four(self):
+        grid = GridMap(3, 3)
+        assert grid.neighbors(0, diagonal=False) == (1, 3)
+
+    def test_corner_eight(self):
+        grid = GridMap(3, 3)
+        assert grid.neighbors(0, diagonal=True) == (1, 3, 4)
+
+    def test_center_eight(self):
+        grid = GridMap(3, 3)
+        assert grid.neighbors(4) == (0, 1, 2, 3, 5, 6, 7, 8)
+
+    def test_cells_within_km(self):
+        grid = GridMap(3, 3, cell_size_km=1.0)
+        assert set(grid.cells_within_km(4, 1.0)) == {1, 3, 4, 5, 7}
+
+    def test_single_cell_grid_has_no_neighbors(self):
+        grid = GridMap(1, 1)
+        assert grid.neighbors(0) == ()
+
+
+class TestRectangle:
+    def test_rectangle_cells(self):
+        grid = GridMap(3, 4)
+        cells = grid.rectangle_cells((0, 1), (1, 2))
+        assert cells == (1, 2, 5, 6)
+
+    def test_rectangle_rejects_bad_range(self):
+        grid = GridMap(3, 4)
+        with pytest.raises(GridError):
+            grid.rectangle_cells((0, 3), (0, 0))
+
+
+class TestTrajectoryError:
+    def test_zero_for_identical(self):
+        grid = GridMap(3, 3)
+        assert grid.trajectory_error_km([0, 1, 2], [0, 1, 2]) == 0.0
+
+    def test_average(self):
+        grid = GridMap(1, 3, cell_size_km=2.0)
+        # errors: 0 km, 2 km -> mean 1 km
+        assert grid.trajectory_error_km([0, 1], [0, 2]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(GridError):
+            grid.trajectory_error_km([0], [0, 1])
+
+    def test_empty_rejected(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(GridError):
+            grid.trajectory_error_km([], [])

@@ -1,0 +1,98 @@
+"""Unit tests for Region algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RegionError
+from repro.geo.grid import GridMap
+from repro.geo.regions import Region
+
+
+class TestConstruction:
+    def test_dedup_and_sort(self):
+        region = Region(9, (3, 1, 3, 2))
+        assert region.cells == (1, 2, 3)
+
+    def test_from_indicator_roundtrip(self):
+        region = Region.from_cells(5, [0, 4])
+        again = Region.from_indicator(region.indicator())
+        assert again == region
+
+    def test_from_indicator_rejects_non_binary(self):
+        with pytest.raises(RegionError):
+            Region.from_indicator([0.5, 0.5])
+
+    def test_from_range(self):
+        assert Region.from_range(10, 2, 4).cells == (2, 3, 4)
+
+    def test_from_range_empty_rejected(self):
+        with pytest.raises(RegionError):
+            Region.from_range(10, 4, 2)
+
+    def test_rectangle(self):
+        grid = GridMap(3, 3)
+        region = Region.rectangle(grid, (0, 0), (0, 2))
+        assert region.cells == (0, 1, 2)
+
+    def test_disk(self):
+        grid = GridMap(3, 3, cell_size_km=1.0)
+        region = Region.disk(grid, 4, 1.0)
+        assert set(region.cells) == {1, 3, 4, 5, 7}
+
+    def test_out_of_range_cell(self):
+        with pytest.raises(Exception):
+            Region(4, (4,))
+
+    def test_full_and_empty(self):
+        assert len(Region.full(4)) == 4
+        assert Region.empty(4).is_empty
+
+
+class TestSetAlgebra:
+    def test_union_intersection_difference(self):
+        a = Region.from_cells(6, [0, 1, 2])
+        b = Region.from_cells(6, [2, 3])
+        assert (a | b).cells == (0, 1, 2, 3)
+        assert (a & b).cells == (2,)
+        assert (a - b).cells == (0, 1)
+
+    def test_complement(self):
+        a = Region.from_cells(4, [1, 2])
+        assert a.complement().cells == (0, 3)
+
+    def test_incompatible_maps_rejected(self):
+        with pytest.raises(RegionError):
+            Region.from_cells(4, [0]) | Region.from_cells(5, [0])
+
+    def test_membership(self):
+        region = Region.from_cells(5, [2])
+        assert 2 in region
+        assert 3 not in region
+
+    def test_hashable(self):
+        assert len({Region.from_cells(4, [1]), Region.from_cells(4, [1])}) == 1
+
+
+class TestNumericViews:
+    def test_indicator(self):
+        region = Region.from_cells(4, [1, 3])
+        assert region.indicator().tolist() == [0.0, 1.0, 0.0, 1.0]
+
+    def test_mask(self):
+        region = Region.from_cells(3, [0])
+        assert region.mask().tolist() == [True, False, False]
+
+    def test_probability_mass(self):
+        region = Region.from_cells(4, [0, 1])
+        dist = np.array([0.1, 0.2, 0.3, 0.4])
+        assert region.probability_mass(dist) == pytest.approx(0.3)
+
+    def test_probability_mass_empty(self):
+        assert Region.empty(3).probability_mass([0.2, 0.3, 0.5]) == 0.0
+
+    def test_probability_mass_size_mismatch(self):
+        with pytest.raises(RegionError):
+            Region.from_cells(3, [0]).probability_mass([0.5, 0.5])
+
+    def test_width(self):
+        assert Region.from_cells(9, [1, 5, 7]).width == 3

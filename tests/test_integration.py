@@ -1,0 +1,160 @@
+"""Integration tests: end-to-end pipelines across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PlanarLaplaceMechanism,
+    PresenceEvent,
+    PriSTE,
+    PriSTEConfig,
+    PriSTEDeltaLocationSet,
+    Region,
+    quantify_fixed_prior,
+    sample_trajectory,
+    verify_event_privacy,
+)
+from repro.experiments.scenarios import geolife_scenario, synthetic_scenario
+from repro.metrics.utility import aggregate_logs, average_budget_over_time
+
+
+class TestSyntheticPipeline:
+    def test_full_loop_small(self):
+        scenario = synthetic_scenario(n_rows=6, n_cols=6, sigma=1.0, horizon=12)
+        event = scenario.presence_event(0, 5, 4, 6)
+        config = PriSTEConfig(
+            epsilon=0.5, prior_mode="fixed", prior=scenario.initial
+        )
+        priste = PriSTE(
+            scenario.chain,
+            event,
+            PlanarLaplaceMechanism(scenario.grid, 0.5),
+            config,
+            scenario.horizon,
+        )
+        truth = scenario.sample_trajectory(rng=0)
+        log = priste.run(truth, rng=0)
+        assert len(log) == 12
+        # The guarantee the fixed mode promises: realized loss <= epsilon.
+        mats = np.stack(
+            [
+                PlanarLaplaceMechanism(scenario.grid, r.budget).emission_matrix()
+                for r in log.records
+            ]
+        )
+        result = quantify_fixed_prior(
+            scenario.chain, event, mats, log.released_cells,
+            scenario.initial, horizon=scenario.horizon,
+        )
+        assert result.epsilon <= 0.5 + 1e-6
+
+    def test_aggregation_over_runs(self):
+        scenario = synthetic_scenario(n_rows=5, n_cols=5, horizon=8)
+        event = scenario.presence_event(0, 4, 3, 5)
+        config = PriSTEConfig(
+            epsilon=1.0, prior_mode="fixed", prior=scenario.initial
+        )
+        priste = PriSTE(
+            scenario.chain, event,
+            PlanarLaplaceMechanism(scenario.grid, 0.5), config, scenario.horizon,
+        )
+        rng = np.random.default_rng(0)
+        truths = [scenario.sample_trajectory(rng) for _ in range(3)]
+        logs = [priste.run(t, rng) for t in truths]
+        means, stds = average_budget_over_time(logs)
+        assert means.shape == (8,)
+        aggregate = aggregate_logs(logs, scenario.grid, truths)
+        assert aggregate.n_runs == 3
+        assert aggregate.mean_budget > 0
+        assert aggregate.mean_error_km >= 0
+
+    def test_delta_location_set_pipeline(self):
+        scenario = synthetic_scenario(n_rows=5, n_cols=5, horizon=8)
+        event = scenario.presence_event(0, 4, 3, 5)
+        priste = PriSTEDeltaLocationSet(
+            scenario.chain, event, scenario.grid,
+            alpha=1.0, delta=0.3, initial=scenario.initial,
+            config=PriSTEConfig(
+                epsilon=1.0, prior_mode="fixed", prior=scenario.initial
+            ),
+            horizon=scenario.horizon,
+        )
+        truth = scenario.sample_trajectory(rng=1)
+        log = priste.run(truth, rng=1)
+        assert len(log) == 8
+
+
+class TestGeolifePipeline:
+    def test_scenario_builds_and_runs(self):
+        scenario = geolife_scenario(
+            n_users=2, n_days=1, cell_size_km=2.0, horizon=10, rng=0
+        )
+        assert scenario.chain.n_states == scenario.grid.n_cells
+        assert scenario.source == "geolife-simulator"
+        truth = scenario.sample_trajectory(rng=0)
+        assert len(truth) == 10
+        event = scenario.presence_event(0, min(5, scenario.grid.n_cells - 2), 3, 5)
+        config = PriSTEConfig(
+            epsilon=1.0, prior_mode="fixed", prior=scenario.initial
+        )
+        priste = PriSTE(
+            scenario.chain, event,
+            PlanarLaplaceMechanism(scenario.grid, 1.0), config, scenario.horizon,
+        )
+        log = priste.run(truth, rng=0)
+        assert len(log) == 10
+
+    def test_trajectories_reused_from_traces(self):
+        scenario = geolife_scenario(
+            n_users=2, n_days=2, cell_size_km=2.0, horizon=5, rng=1
+        )
+        truth = scenario.sample_trajectory(rng=0)
+        # The sampled trajectory must be a contiguous segment of a trace.
+        found = any(
+            tuple(truth) == trace[k : k + 5]
+            for trace in scenario.trajectories
+            for k in range(max(0, len(trace) - 4))
+        )
+        assert found
+
+
+class TestWorstCaseSoundness:
+    def test_worst_case_bounds_every_prior(self):
+        """A worst-case-mode release is safe under adversarial priors."""
+        scenario = synthetic_scenario(n_rows=4, n_cols=4, horizon=6)
+        event = scenario.presence_event(0, 3, 3, 4)
+        epsilon = 0.8
+        priste = PriSTE(
+            scenario.chain, event,
+            PlanarLaplaceMechanism(scenario.grid, 1.0),
+            PriSTEConfig(epsilon=epsilon), scenario.horizon,
+        )
+        truth = scenario.sample_trajectory(rng=2)
+        log = priste.run(truth, rng=2)
+        mats = np.stack(
+            [
+                PlanarLaplaceMechanism(scenario.grid, r.budget).emission_matrix()
+                for r in log.records
+            ]
+        )
+        check = verify_event_privacy(
+            scenario.chain, event, mats, log.released_cells, epsilon,
+            horizon=scenario.horizon,
+        )
+        assert check.holds
+        # Spot-check sharp priors concentrated on two random cells.
+        rng = np.random.default_rng(3)
+        a = None
+        for _ in range(10):
+            pi = np.zeros(scenario.grid.n_cells)
+            i, j = rng.choice(scenario.grid.n_cells, size=2, replace=False)
+            lam = rng.uniform(0.05, 0.95)
+            pi[i], pi[j] = lam, 1 - lam
+            try:
+                realized = quantify_fixed_prior(
+                    scenario.chain, event, mats, log.released_cells, pi,
+                    horizon=scenario.horizon,
+                )
+            except Exception:
+                continue
+            assert realized.epsilon <= epsilon + 1e-6

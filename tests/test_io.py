@@ -1,0 +1,113 @@
+"""Unit tests for JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.priste import ReleaseLog, ReleaseRecord
+from repro.errors import ValidationError
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.geo.grid import GridMap
+from repro.geo.regions import Region
+from repro.io import (
+    chain_from_dict,
+    chain_to_dict,
+    event_from_dict,
+    event_to_dict,
+    grid_from_dict,
+    grid_to_dict,
+    load_json,
+    release_log_from_dict,
+    release_log_to_dict,
+    save_json,
+)
+from repro.markov.transition import TransitionMatrix
+
+
+class TestGridRoundtrip:
+    def test_roundtrip(self):
+        grid = GridMap(3, 5, cell_size_km=0.7, origin_km=(1.0, -2.0))
+        again = grid_from_dict(grid_to_dict(grid))
+        assert again == grid
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            grid_from_dict({"kind": "chain"})
+
+
+class TestChainRoundtrip:
+    def test_roundtrip(self, paper_chain):
+        again = chain_from_dict(chain_to_dict(paper_chain))
+        assert np.allclose(again.matrix, paper_chain.matrix)
+
+
+class TestEventRoundtrip:
+    def test_presence(self):
+        event = PresenceEvent(Region.from_cells(9, [1, 2]), start=2, end=4)
+        again = event_from_dict(event_to_dict(event))
+        assert isinstance(again, PresenceEvent)
+        assert again.region == event.region
+        assert again.window == event.window
+
+    def test_pattern(self):
+        event = PatternEvent(
+            [Region.from_cells(9, [0]), Region.from_cells(9, [3, 4])], start=3
+        )
+        again = event_from_dict(event_to_dict(event))
+        assert isinstance(again, PatternEvent)
+        assert again.regions == event.regions
+        assert again.start == event.start
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValidationError):
+            event_from_dict({"kind": "event", "type": "mystery", "n_cells": 3})
+
+
+class TestReleaseLogRoundtrip:
+    def _log(self, with_emissions: bool) -> ReleaseLog:
+        records = [
+            ReleaseRecord(1, 0, 2, 0.5, 1, False, False, 0.01),
+            ReleaseRecord(2, 1, 1, 0.25, 3, True, False, 0.02),
+        ]
+        matrices = None
+        if with_emissions:
+            matrices = [np.eye(3), np.full((3, 3), 1 / 3)]
+        return ReleaseLog(records=records, emission_matrices=matrices)
+
+    def test_roundtrip_without_emissions(self):
+        log = self._log(with_emissions=False)
+        again = release_log_from_dict(release_log_to_dict(log))
+        assert again.records == log.records
+        assert again.emission_matrices is None
+
+    def test_roundtrip_with_emissions(self):
+        log = self._log(with_emissions=True)
+        again = release_log_from_dict(release_log_to_dict(log))
+        assert len(again.emission_matrices) == 2
+        assert np.allclose(again.emission_matrices[0], np.eye(3))
+        assert np.allclose(again.emission_stack(), log.emission_stack())
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, paper_chain):
+        path = str(tmp_path / "artifacts" / "chain.json")
+        save_json(paper_chain, path)
+        again = load_json(path)
+        assert np.allclose(again.matrix, paper_chain.matrix)
+
+    def test_each_kind_dispatches(self, tmp_path):
+        grid = GridMap(2, 2)
+        event = PresenceEvent(Region.from_cells(4, [0]), start=1, end=1)
+        for name, obj in (("g", grid), ("e", event)):
+            path = str(tmp_path / f"{name}.json")
+            save_json(obj, path)
+            assert type(load_json(path)) is type(obj)
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            save_json(object(), str(tmp_path / "x.json"))
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "widget"}')
+        with pytest.raises(ValidationError):
+            load_json(str(path))

@@ -1,0 +1,131 @@
+"""Unit tests for delta-location set privacy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.lppm.delta_location_set import (
+    DeltaLocationSetMechanism,
+    delta_location_set,
+    posterior_update,
+    restrict_emission_matrix,
+)
+from repro.lppm.planar_laplace import planar_laplace_emission_matrix
+
+
+class TestDeltaLocationSet:
+    def test_keeps_high_probability_cells(self):
+        prior = np.array([0.5, 0.3, 0.15, 0.05])
+        assert delta_location_set(prior, 0.2) == (0, 1)
+        assert delta_location_set(prior, 0.05) == (0, 1, 2)
+
+    def test_delta_zero_keeps_support(self):
+        prior = np.array([0.5, 0.5, 0.0])
+        assert delta_location_set(prior, 0.0) == (0, 1)
+
+    def test_delta_large_keeps_minimum(self):
+        prior = np.array([0.9, 0.1])
+        assert delta_location_set(prior, 0.95) == (0,)
+
+    def test_minimality(self):
+        prior = np.array([0.4, 0.3, 0.2, 0.1])
+        cells = delta_location_set(prior, 0.25)
+        # {0.4, 0.3} covers 0.7 < 0.75; need three cells.
+        assert cells == (0, 1, 2)
+
+    def test_deterministic_tie_break(self):
+        prior = np.full(4, 0.25)
+        assert delta_location_set(prior, 0.5) == (0, 1)
+
+
+class TestRestriction:
+    def test_outputs_restricted(self, grid5):
+        base = planar_laplace_emission_matrix(grid5, 1.0)
+        members = (0, 1, 2)
+        restricted = restrict_emission_matrix(base, members, grid5)
+        assert np.allclose(restricted[:, 3:], 0.0)
+        assert np.allclose(restricted.sum(axis=1), 1.0)
+
+    def test_surrogate_for_outside_rows(self, grid5):
+        base = planar_laplace_emission_matrix(grid5, 1.0)
+        members = (0,)
+        restricted = restrict_emission_matrix(base, members, grid5)
+        # Every row collapses to point mass on cell 0.
+        assert np.allclose(restricted[:, 0], 1.0)
+
+    def test_preserves_relative_probabilities_inside(self, grid5):
+        base = planar_laplace_emission_matrix(grid5, 1.0)
+        members = (0, 1, 5)
+        restricted = restrict_emission_matrix(base, members, grid5)
+        expected = base[0, 1] / base[0, 5]
+        assert restricted[0, 1] / restricted[0, 5] == pytest.approx(expected)
+
+
+class TestPosteriorUpdate:
+    def test_eq21_manual(self):
+        prior = np.array([0.5, 0.5])
+        emission = np.array([[0.9, 0.1], [0.4, 0.6]])
+        post = posterior_update(prior, emission, 0)
+        expected = np.array([0.45, 0.2])
+        expected /= expected.sum()
+        assert np.allclose(post, expected)
+
+    def test_impossible_output_rejected(self):
+        prior = np.array([1.0, 0.0])
+        emission = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(MechanismError):
+            posterior_update(prior, emission, 1)
+
+    def test_posterior_sharpens_with_certainty(self):
+        prior = np.array([0.5, 0.5])
+        emission = np.array([[1.0, 0.0], [0.0, 1.0]])
+        post = posterior_update(prior, emission, 0)
+        assert post.tolist() == [1.0, 0.0]
+
+
+class TestMechanism:
+    def test_member_cells_from_prior(self, grid5):
+        prior = np.zeros(grid5.n_cells)
+        prior[3] = 0.6
+        prior[7] = 0.4
+        # 1 - delta = 0.55: cell 3 alone covers it.
+        mech = DeltaLocationSetMechanism(grid5, 1.0, prior, delta=0.45)
+        assert mech.member_cells == (3,)
+        # 1 - delta = 0.7: both cells are needed.
+        both = DeltaLocationSetMechanism(grid5, 1.0, prior, delta=0.3)
+        assert both.member_cells == (3, 7)
+
+    def test_emission_supported_on_set(self, grid5, uniform5):
+        mech = DeltaLocationSetMechanism(grid5, 1.0, uniform5, delta=0.5)
+        matrix = mech.emission_matrix()
+        outside = [c for c in range(grid5.n_cells) if c not in mech.member_cells]
+        assert np.allclose(matrix[:, outside], 0.0)
+
+    def test_with_budget_keeps_set(self, grid5, uniform5):
+        mech = DeltaLocationSetMechanism(grid5, 1.0, uniform5, delta=0.5)
+        half = mech.with_budget(0.5)
+        assert half.member_cells == mech.member_cells
+        assert half.budget == 0.5
+
+    def test_with_prior_rebuilds_set(self, grid5):
+        prior_a = np.zeros(grid5.n_cells)
+        prior_a[0] = 1.0
+        mech = DeltaLocationSetMechanism(grid5, 1.0, prior_a, delta=0.1)
+        prior_b = np.zeros(grid5.n_cells)
+        prior_b[24] = 1.0
+        assert mech.with_prior(prior_b).member_cells == (24,)
+
+    def test_posterior_consistent_with_eq21(self, grid5, uniform5):
+        mech = DeltaLocationSetMechanism(grid5, 1.0, uniform5, delta=0.3)
+        output = mech.member_cells[0]
+        post = mech.posterior(output)
+        manual = posterior_update(uniform5, mech.emission_matrix(), output)
+        assert np.allclose(post, manual)
+
+    def test_larger_delta_smaller_set(self, grid5):
+        rng = np.random.default_rng(0)
+        prior = rng.uniform(size=grid5.n_cells)
+        prior /= prior.sum()
+        small = DeltaLocationSetMechanism(grid5, 1.0, prior, delta=0.1)
+        large = DeltaLocationSetMechanism(grid5, 1.0, prior, delta=0.6)
+        assert len(large.member_cells) <= len(small.member_cells)

@@ -1,0 +1,147 @@
+"""Unit tests for the exponential and cloaking mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.geo.grid import GridMap
+from repro.lppm.cloaking import CloakingMechanism, grid_blocks
+from repro.lppm.exponential import ExponentialMechanism
+from repro.lppm.planar_laplace import planar_laplace_emission_matrix
+
+
+class TestExponentialMechanism:
+    def test_rows_stochastic(self, grid5):
+        mech = ExponentialMechanism.from_distance(grid5, budget=1.0)
+        matrix = mech.emission_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_distance_score_matches_plm_at_half_budget(self, grid5):
+        """exp(budget * (-d) / 2) == exp(-(budget/2) d): PLM with alpha = b/2."""
+        mech = ExponentialMechanism.from_distance(grid5, budget=1.0)
+        plm = planar_laplace_emission_matrix(grid5, 0.5)
+        assert np.allclose(mech.emission_matrix(), plm)
+
+    def test_zero_budget_uniform(self, grid5):
+        mech = ExponentialMechanism.from_distance(grid5, budget=0.0)
+        assert np.allclose(mech.emission_matrix(), 1.0 / grid5.n_cells)
+
+    def test_custom_score_prefers_high_quality(self):
+        scores = np.array([[1.0, 0.0], [0.0, 1.0]])
+        mech = ExponentialMechanism(scores, budget=4.0)
+        matrix = mech.emission_matrix()
+        assert matrix[0, 0] > matrix[0, 1]
+        assert matrix[1, 1] > matrix[1, 0]
+
+    def test_rectangular_outputs(self):
+        scores = np.zeros((3, 5))
+        mech = ExponentialMechanism(scores, budget=1.0)
+        assert mech.n_states == 3
+        assert mech.n_outputs == 5
+
+    def test_sensitivity(self):
+        scores = np.array([[0.0, 2.0], [1.0, 0.0]])
+        assert ExponentialMechanism(scores, 1.0).sensitivity == pytest.approx(2.0)
+
+    def test_with_budget(self, grid5):
+        mech = ExponentialMechanism.from_distance(grid5, budget=2.0)
+        assert mech.halved().budget == pytest.approx(1.0)
+
+    def test_rejects_negative_budget(self, grid5):
+        with pytest.raises(MechanismError):
+            ExponentialMechanism.from_distance(grid5, budget=-1.0)
+
+
+class TestGridBlocks:
+    def test_partition_exact(self):
+        grid = GridMap(4, 4)
+        blocks = grid_blocks(grid, 2, 2)
+        assert len(blocks) == 4
+        flat = sorted(cell for block in blocks for cell in block)
+        assert flat == list(range(16))
+
+    def test_uneven_blocks_absorb_remainder(self):
+        grid = GridMap(5, 5)
+        blocks = grid_blocks(grid, 2, 2)
+        flat = sorted(cell for block in blocks for cell in block)
+        assert flat == list(range(25))
+        assert max(len(block) for block in blocks) >= 4
+
+
+class TestCloaking:
+    def test_deterministic_emission(self):
+        grid = GridMap(4, 4)
+        mech = CloakingMechanism(grid, grid_blocks(grid, 2, 2))
+        matrix = mech.emission_matrix()
+        assert matrix.shape == (16, 4)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert set(np.unique(matrix)) == {0.0, 1.0}
+
+    def test_block_of(self):
+        grid = GridMap(4, 4)
+        mech = CloakingMechanism(grid, grid_blocks(grid, 2, 2))
+        assert mech.block_of(0) == mech.block_of(1) == mech.block_of(4)
+        assert mech.block_of(0) != mech.block_of(2)
+
+    def test_k_anonymous_sizes(self):
+        grid = GridMap(6, 6)
+        mech = CloakingMechanism.k_anonymous(grid, k=4)
+        assert all(len(block) >= 4 for block in mech.blocks)
+
+    def test_k_too_large_rejected(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(MechanismError):
+            CloakingMechanism.k_anonymous(grid, k=9)
+
+    def test_noisy_cloaking_budget_roundtrip(self):
+        grid = GridMap(4, 4)
+        mech = CloakingMechanism(
+            grid, grid_blocks(grid, 2, 2), flip_probability=0.3
+        )
+        rescaled = mech.with_budget(1.0)
+        assert rescaled.budget == pytest.approx(1.0)
+
+    def test_deterministic_budget_is_infinite(self):
+        grid = GridMap(4, 4)
+        mech = CloakingMechanism(grid, grid_blocks(grid, 2, 2))
+        assert mech.budget == float("inf")
+
+    def test_rejects_non_partition(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(MechanismError):
+            CloakingMechanism(grid, [(0, 1), (1, 2, 3)])  # overlap
+
+    def test_deterministic_cloaking_fails_event_privacy(self, rng):
+        """The paper's motivation: cloaking leaks aligned events exactly."""
+        from repro.core.quantify import quantify_fixed_prior
+        from repro.events.events import PresenceEvent
+        from repro.geo.regions import Region
+        from repro.markov.synthetic import gaussian_kernel_transitions
+
+        grid = GridMap(4, 4)
+        chain = gaussian_kernel_transitions(grid, 1.0)
+        mech = CloakingMechanism(grid, grid_blocks(grid, 2, 2))
+        # The event region IS block 0 -- cloaking reveals it verbatim.
+        event = PresenceEvent(Region.from_cells(16, [0, 1, 4, 5]), start=1, end=1)
+        pi = np.full(16, 1 / 16)
+        released = [mech.block_of(0)]
+        result = quantify_fixed_prior(chain, event, mech.emission_matrix(), released, pi)
+        assert result.epsilon == float("inf")
+
+    def test_noisy_cloaking_bounded_loss(self, rng):
+        from repro.core.quantify import quantify_fixed_prior
+        from repro.events.events import PresenceEvent
+        from repro.geo.regions import Region
+        from repro.markov.synthetic import gaussian_kernel_transitions
+
+        grid = GridMap(4, 4)
+        chain = gaussian_kernel_transitions(grid, 1.0)
+        mech = CloakingMechanism(
+            grid, grid_blocks(grid, 2, 2), flip_probability=0.4
+        )
+        event = PresenceEvent(Region.from_cells(16, [0, 1, 4, 5]), start=1, end=1)
+        pi = np.full(16, 1 / 16)
+        result = quantify_fixed_prior(
+            chain, event, mech.emission_matrix(), [mech.block_of(0)], pi
+        )
+        assert np.isfinite(result.epsilon)

@@ -1,0 +1,94 @@
+"""Unit tests for the remaining mechanisms and the LPPM interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.lppm.base import EmissionModel, emission_column
+from repro.lppm.geo_ind import geo_indistinguishability_level
+from repro.lppm.randomized_response import RandomizedResponseMechanism
+from repro.lppm.uniform import UniformMechanism
+
+
+class TestUniform:
+    def test_emission_uniform(self):
+        mech = UniformMechanism(4)
+        assert np.allclose(mech.emission_matrix(), 0.25)
+
+    def test_budget_zero(self):
+        assert UniformMechanism(4).budget == 0.0
+
+    def test_with_budget_only_zero(self):
+        mech = UniformMechanism(4)
+        assert mech.with_budget(0.0) is mech
+        with pytest.raises(MechanismError):
+            mech.with_budget(0.5)
+
+    def test_perfectly_private(self):
+        mech = UniformMechanism(4)
+        distances = np.ones((4, 4)) - np.eye(4)
+        assert geo_indistinguishability_level(mech.emission_matrix(), distances) == 0.0
+
+
+class TestRandomizedResponse:
+    def test_truth_probability(self):
+        mech = RandomizedResponseMechanism(4, budget=np.log(3.0))
+        # e^b / (e^b + k - 1) = 3 / 6
+        assert mech.truth_probability == pytest.approx(0.5)
+
+    def test_emission_rows(self):
+        mech = RandomizedResponseMechanism(5, budget=1.0)
+        matrix = mech.emission_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert np.all(np.diag(matrix) > matrix[0, 1])
+
+    def test_local_dp_ratio(self):
+        budget = 0.8
+        mech = RandomizedResponseMechanism(6, budget=budget)
+        matrix = mech.emission_matrix()
+        ratio = matrix.max(axis=0) / matrix.min(axis=0)
+        assert np.all(ratio <= np.exp(budget) + 1e-12)
+
+    def test_budget_zero_uniform(self):
+        mech = RandomizedResponseMechanism(4, budget=0.0)
+        assert np.allclose(mech.emission_matrix(), 0.25)
+
+    def test_with_budget(self):
+        mech = RandomizedResponseMechanism(4, budget=2.0)
+        assert mech.halved().budget == pytest.approx(1.0)
+
+    def test_rejects_small_domain(self):
+        with pytest.raises(MechanismError):
+            RandomizedResponseMechanism(1, budget=1.0)
+
+
+class TestEmissionModel:
+    def test_wraps_matrix(self):
+        matrix = [[0.7, 0.3], [0.2, 0.8]]
+        mech = EmissionModel(matrix, budget=1.5)
+        assert mech.n_states == 2
+        assert mech.budget == 1.5
+        assert np.allclose(mech.emission_matrix(), matrix)
+
+    def test_with_budget_requires_rescale(self):
+        mech = EmissionModel([[1.0]], budget=1.0)
+        with pytest.raises(MechanismError):
+            mech.with_budget(0.5)
+
+    def test_with_budget_via_rescale(self):
+        def rescale(budget):
+            p = 0.5 + budget / 4.0
+            return [[p, 1 - p], [1 - p, p]]
+
+        mech = EmissionModel(rescale(1.0), budget=1.0, rescale=rescale)
+        smaller = mech.with_budget(0.5)
+        assert smaller.emission_matrix()[0, 0] == pytest.approx(0.625)
+
+    def test_emission_column_helper(self):
+        col = emission_column([[0.7, 0.3], [0.2, 0.8]], 1, 2)
+        assert col.tolist() == pytest.approx([0.3, 0.8])
+
+    def test_perturb_distribution(self, rng):
+        mech = EmissionModel([[0.9, 0.1], [0.1, 0.9]])
+        hits = sum(mech.perturb(0, rng) == 0 for _ in range(2000))
+        assert hits / 2000 == pytest.approx(0.9, abs=0.03)

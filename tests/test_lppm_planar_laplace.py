@@ -1,0 +1,126 @@
+"""Unit tests for the planar Laplace mechanism (continuous and discrete)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MechanismError
+from repro.geo.grid import GridMap
+from repro.lppm.geo_ind import (
+    geo_indistinguishability_level,
+    verify_geo_indistinguishability,
+)
+from repro.lppm.planar_laplace import (
+    ContinuousPlanarLaplace,
+    PlanarLaplaceMechanism,
+    planar_laplace_emission_matrix,
+)
+
+
+class TestDiscreteEmission:
+    def test_rows_stochastic(self, grid5):
+        matrix = planar_laplace_emission_matrix(grid5, 0.7)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_diagonal_dominant(self, grid5):
+        matrix = planar_laplace_emission_matrix(grid5, 2.0)
+        assert np.all(np.diag(matrix) >= matrix.max(axis=1) - 1e-12)
+
+    def test_alpha_zero_is_uniform(self, grid5):
+        matrix = planar_laplace_emission_matrix(grid5, 0.0)
+        assert np.allclose(matrix, 1.0 / grid5.n_cells)
+
+    def test_exact_ratio_structure(self):
+        grid = GridMap(1, 3, cell_size_km=1.0)
+        alpha = 0.5
+        matrix = planar_laplace_emission_matrix(grid, alpha)
+        # Unnormalized weights are exp(-alpha d); the ratio of two entries
+        # in the same column equals exp(alpha (d2 - d1)) after removing
+        # the row normalizers.
+        z = np.exp(-alpha * grid.distance_matrix_km).sum(axis=1)
+        lhs = matrix[0, 0] * z[0]
+        rhs = matrix[1, 0] * z[1] * np.exp(alpha * 1.0)
+        assert lhs == pytest.approx(rhs)
+
+    def test_satisfies_geo_ind(self, grid5):
+        alpha = 0.8
+        matrix = planar_laplace_emission_matrix(grid5, alpha)
+        # The discrete PLM satisfies 2*alpha-geo-ind in the worst case
+        # (numerator and denominator normalizers differ); empirically the
+        # level is below that bound and above ~alpha.
+        level = geo_indistinguishability_level(matrix, grid5.distance_matrix_km)
+        assert level <= 2 * alpha + 1e-9
+        assert verify_geo_indistinguishability(
+            matrix, grid5.distance_matrix_km, 2 * alpha
+        )
+
+    def test_rejects_negative_alpha(self, grid5):
+        with pytest.raises(MechanismError):
+            planar_laplace_emission_matrix(grid5, -0.1)
+
+
+class TestMechanismObject:
+    def test_budget_and_halving(self, grid5):
+        lppm = PlanarLaplaceMechanism(grid5, 0.8)
+        assert lppm.budget == 0.8
+        assert lppm.alpha == 0.8
+        assert lppm.halved().budget == pytest.approx(0.4)
+
+    def test_with_budget_returns_new(self, grid5):
+        lppm = PlanarLaplaceMechanism(grid5, 0.8)
+        other = lppm.with_budget(0.1)
+        assert other.budget == 0.1
+        assert lppm.budget == 0.8
+
+    def test_perturb_in_range(self, grid5):
+        lppm = PlanarLaplaceMechanism(grid5, 1.0)
+        for _ in range(10):
+            assert 0 <= lppm.perturb(7, rng=0) < grid5.n_cells
+
+    def test_perturb_matches_emission_empirically(self, grid5, rng):
+        lppm = PlanarLaplaceMechanism(grid5, 1.0)
+        matrix = lppm.emission_matrix()
+        counts = np.zeros(grid5.n_cells)
+        n = 8000
+        for _ in range(n):
+            counts[lppm.perturb(12, rng)] += 1
+        assert np.allclose(counts / n, matrix[12], atol=0.02)
+
+    def test_emission_column(self, grid5):
+        lppm = PlanarLaplaceMechanism(grid5, 1.0)
+        col = lppm.emission_column(3)
+        assert np.allclose(col, lppm.emission_matrix()[:, 3])
+
+
+class TestContinuous:
+    def test_inverse_cdf_monotone(self):
+        sampler = ContinuousPlanarLaplace(alpha=1.0)
+        radii = [sampler.inverse_radius_cdf(p) for p in (0.1, 0.5, 0.9)]
+        assert radii == sorted(radii)
+        assert radii[0] > 0
+
+    def test_inverse_cdf_roundtrip(self):
+        # C(r) = 1 - (1 + alpha r) exp(-alpha r)
+        alpha = 0.7
+        sampler = ContinuousPlanarLaplace(alpha)
+        for p in (0.2, 0.5, 0.95):
+            r = sampler.inverse_radius_cdf(p)
+            c = 1 - (1 + alpha * r) * np.exp(-alpha * r)
+            assert c == pytest.approx(p, abs=1e-10)
+
+    def test_inverse_cdf_bounds(self):
+        sampler = ContinuousPlanarLaplace(1.0)
+        assert sampler.inverse_radius_cdf(0.0) == 0.0
+        with pytest.raises(MechanismError):
+            sampler.inverse_radius_cdf(1.0)
+
+    def test_mean_radius(self, rng):
+        # E[r] = 2 / alpha for the planar Laplace radial distribution.
+        alpha = 2.0
+        sampler = ContinuousPlanarLaplace(alpha)
+        radii = [np.hypot(*sampler.sample_noise(rng)) for _ in range(4000)]
+        assert np.mean(radii) == pytest.approx(2.0 / alpha, rel=0.05)
+
+    def test_perturb_cell_snaps(self, grid5, rng):
+        sampler = ContinuousPlanarLaplace(alpha=5.0)
+        cell = sampler.perturb_cell(grid5, 12, rng)
+        assert 0 <= cell < grid5.n_cells

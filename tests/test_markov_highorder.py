@@ -1,0 +1,165 @@
+"""Unit tests for high-order Markov support (paper footnote 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.two_world import TwoWorldModel
+from repro.errors import MarkovError
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.markov.highorder import HighOrderChain
+
+
+def _order2_process(rng, n_steps=6000):
+    """A process where the next cell depends on the last *two* cells."""
+    m = 3
+    conditional = rng.uniform(0.05, 1.0, size=(m, m, m))
+    conditional /= conditional.sum(axis=2, keepdims=True)
+    cells = [0, 1]
+    for _ in range(n_steps):
+        probs = conditional[cells[-2], cells[-1]]
+        cells.append(int(rng.choice(m, p=probs)))
+    return cells, conditional
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self, rng):
+        chain = HighOrderChain.fit([[0, 1, 2, 0, 1]], n_cells=3, order=2, smoothing=0.1)
+        for composite in range(chain.n_composite_states):
+            assert chain.encode(chain.decode(composite)) == composite
+
+    def test_last_cell(self):
+        chain = HighOrderChain.fit([[0, 1, 2, 0]], n_cells=3, order=2, smoothing=0.1)
+        assert chain.last_cell(chain.encode([2, 1])) == 1
+
+    def test_encode_validation(self):
+        chain = HighOrderChain.fit([[0, 1, 0]], n_cells=2, order=2, smoothing=0.1)
+        with pytest.raises(MarkovError):
+            chain.encode([0])
+        with pytest.raises(MarkovError):
+            chain.encode([0, 5])
+
+
+class TestFit:
+    def test_composite_rows_stochastic(self, rng):
+        cells, _ = _order2_process(rng, n_steps=500)
+        chain = HighOrderChain.fit([cells], n_cells=3, order=2, smoothing=0.01)
+        assert np.allclose(chain.matrix.matrix.sum(axis=1), 1.0)
+
+    def test_impossible_composite_transitions_zero(self, rng):
+        cells, _ = _order2_process(rng, n_steps=500)
+        chain = HighOrderChain.fit([cells], n_cells=3, order=2, smoothing=0.5)
+        matrix = chain.matrix.matrix
+        # Transition (a, b) -> (c, d) requires c == b.
+        for src in range(9):
+            _, b = chain.decode(src)
+            for dst in range(9):
+                c, _ = chain.decode(dst)
+                if c != b:
+                    assert matrix[src, dst] == 0.0
+
+    def test_recovers_conditional(self, rng):
+        cells, conditional = _order2_process(rng)
+        chain = HighOrderChain.fit([cells], n_cells=3, order=2)
+        for a in range(3):
+            for b in range(3):
+                src = chain.encode([a, b])
+                for c in range(3):
+                    dst = chain.encode([b, c])
+                    assert chain.matrix.matrix[src, dst] == pytest.approx(
+                        conditional[a, b, c], abs=0.06
+                    )
+
+    def test_order1_matches_plain_fit(self, rng):
+        from repro.markov.training import fit_transition_matrix
+
+        cells, _ = _order2_process(rng, n_steps=800)
+        high = HighOrderChain.fit([cells], n_cells=3, order=1)
+        plain = fit_transition_matrix([cells], 3)
+        assert np.allclose(high.matrix.matrix, plain.matrix)
+
+    def test_order2_fits_better_than_order1(self, rng):
+        """On a genuinely order-2 process, order 2 has higher likelihood."""
+        cells, _ = _order2_process(rng)
+        train, test = cells[:4000], cells[4000:]
+        order1 = HighOrderChain.fit([train], n_cells=3, order=1, smoothing=0.1)
+        order2 = HighOrderChain.fit([train], n_cells=3, order=2, smoothing=0.1)
+
+        def log_likelihood(chain):
+            composite = chain.lift_trajectory(test)
+            total = 0.0
+            for src, dst in zip(composite[:-1], composite[1:]):
+                p = chain.matrix.matrix[src, dst]
+                total += np.log(p) if p > 0 else -np.inf
+            return total
+
+        assert log_likelihood(order2) > log_likelihood(order1)
+
+
+class TestLifting:
+    def test_lift_region_membership(self):
+        chain = HighOrderChain.fit([[0, 1, 2, 0]], n_cells=3, order=2, smoothing=0.1)
+        region = Region.from_cells(3, [1])
+        lifted = chain.lift_region(region)
+        for composite in lifted.cells:
+            assert chain.last_cell(composite) == 1
+        assert len(lifted) == 3  # one per predecessor cell
+
+    def test_lift_initial_dwell(self):
+        chain = HighOrderChain.fit([[0, 1, 0, 1]], n_cells=2, order=2, smoothing=0.1)
+        pi = np.array([0.3, 0.7])
+        lifted = chain.lift_initial(pi)
+        assert lifted[chain.encode([0, 0])] == pytest.approx(0.3)
+        assert lifted[chain.encode([1, 1])] == pytest.approx(0.7)
+        assert lifted.sum() == pytest.approx(1.0)
+
+    def test_lift_initial_with_history(self):
+        chain = HighOrderChain.fit([[0, 1, 0, 1]], n_cells=2, order=2, smoothing=0.1)
+        pi = np.array([0.5, 0.5])
+        lifted = chain.lift_initial(pi, history=[1])
+        assert lifted[chain.encode([1, 0])] == pytest.approx(0.5)
+        assert lifted[chain.encode([1, 1])] == pytest.approx(0.5)
+
+    def test_lift_emission_rows_repeat(self):
+        chain = HighOrderChain.fit([[0, 1, 0, 1]], n_cells=2, order=2, smoothing=0.1)
+        emission = np.array([[0.9, 0.1], [0.2, 0.8]])
+        lifted = chain.lift_emission_matrix(emission)
+        assert lifted.shape == (4, 2)
+        for composite in range(4):
+            assert np.allclose(lifted[composite], emission[composite % 2])
+
+    def test_lifted_event_through_two_world(self, rng):
+        """Footnote 2 end-to-end: quantify a PRESENCE under an order-2 model."""
+        cells, _ = _order2_process(rng, n_steps=3000)
+        chain = HighOrderChain.fit([cells], n_cells=3, order=2, smoothing=0.05)
+        event = PresenceEvent(Region.from_cells(3, [2]), start=2, end=3)
+        lifted_event = chain.lift_event(event)
+        model = TwoWorldModel(chain.matrix, lifted_event, horizon=4)
+        pi = np.array([0.4, 0.3, 0.3])
+        prior = model.prior_probability(chain.lift_initial(pi))
+        assert 0.0 < prior < 1.0
+
+        # Cross-check against direct simulation of the composite chain.
+        sim_rng = np.random.default_rng(0)
+        hits = 0
+        n = 4000
+        matrix = chain.matrix.matrix
+        lifted_pi = chain.lift_initial(pi)
+        for _ in range(n):
+            state = int(sim_rng.choice(lifted_pi.size, p=lifted_pi))
+            trajectory = [chain.last_cell(state)]
+            for _ in range(3):
+                state = int(sim_rng.choice(lifted_pi.size, p=matrix[state]))
+                trajectory.append(chain.last_cell(state))
+            if event.ground_truth(trajectory):
+                hits += 1
+        assert prior == pytest.approx(hits / n, abs=0.03)
+
+    def test_lift_trajectory(self):
+        chain = HighOrderChain.fit([[0, 1, 0, 1]], n_cells=2, order=2, smoothing=0.1)
+        composite = chain.lift_trajectory([0, 1, 1])
+        assert composite == [
+            chain.encode([0, 0]),
+            chain.encode([0, 1]),
+            chain.encode([1, 1]),
+        ]

@@ -1,0 +1,77 @@
+"""Unit tests for trajectory simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovError
+from repro.markov.simulate import (
+    sample_initial_state,
+    sample_trajectories,
+    sample_trajectory,
+)
+from repro.markov.transition import TimeVaryingChain, TransitionMatrix
+
+
+class TestSampleInitialState:
+    def test_deterministic_distribution(self):
+        assert sample_initial_state([0.0, 1.0, 0.0], rng=0) == 1
+
+    def test_seeded_reproducible(self):
+        a = sample_initial_state([0.3, 0.3, 0.4], rng=42)
+        b = sample_initial_state([0.3, 0.3, 0.4], rng=42)
+        assert a == b
+
+
+class TestSampleTrajectory:
+    def test_length_and_range(self, paper_chain):
+        traj = sample_trajectory(paper_chain, 10, start_state=0, rng=0)
+        assert len(traj) == 10
+        assert all(0 <= c < 3 for c in traj)
+        assert traj[0] == 0
+
+    def test_respects_support(self):
+        # A deterministic cycle must be followed exactly.
+        chain = TransitionMatrix([[0, 1, 0], [0, 0, 1], [1, 0, 0]])
+        traj = sample_trajectory(chain, 6, start_state=0, rng=0)
+        assert traj == [0, 1, 2, 0, 1, 2]
+
+    def test_requires_exactly_one_start_spec(self, paper_chain):
+        with pytest.raises(MarkovError):
+            sample_trajectory(paper_chain, 5, rng=0)
+        with pytest.raises(MarkovError):
+            sample_trajectory(
+                paper_chain, 5, initial=[1, 0, 0], start_state=0, rng=0
+            )
+
+    def test_rejects_bad_start_state(self, paper_chain):
+        with pytest.raises(MarkovError):
+            sample_trajectory(paper_chain, 5, start_state=3, rng=0)
+
+    def test_time_varying(self, paper_chain):
+        identity = TransitionMatrix(np.eye(3))
+        chain = TimeVaryingChain([identity, identity])
+        traj = sample_trajectory(chain, 3, start_state=2, rng=0)
+        assert traj == [2, 2, 2]
+
+    def test_empirical_first_step(self, paper_chain):
+        rng = np.random.default_rng(0)
+        hits = np.zeros(3)
+        for _ in range(4000):
+            traj = sample_trajectory(paper_chain, 2, start_state=0, rng=rng)
+            hits[traj[1]] += 1
+        assert np.allclose(hits / 4000, [0.1, 0.2, 0.7], atol=0.03)
+
+
+class TestSampleTrajectories:
+    def test_count(self, paper_chain):
+        trajs = sample_trajectories(paper_chain, 4, 5, start_state=0, rng=0)
+        assert len(trajs) == 4
+        assert all(len(t) == 5 for t in trajs)
+
+    def test_independent_draws_differ(self, paper_chain):
+        trajs = sample_trajectories(paper_chain, 8, 12, start_state=0, rng=0)
+        assert len({tuple(t) for t in trajs}) > 1
+
+    def test_rejects_zero_count(self, paper_chain):
+        with pytest.raises(MarkovError):
+            sample_trajectories(paper_chain, 0, 5, start_state=0)

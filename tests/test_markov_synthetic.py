@@ -1,0 +1,113 @@
+"""Unit tests for synthetic transition generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovError
+from repro.geo.grid import GridMap
+from repro.markov.synthetic import (
+    biased_commute_transitions,
+    gaussian_kernel_transitions,
+    lazy_random_walk_transitions,
+)
+
+
+class TestGaussianKernel:
+    def test_rows_stochastic(self):
+        grid = GridMap(4, 4)
+        chain = gaussian_kernel_transitions(grid, sigma=1.0)
+        assert np.allclose(chain.matrix.sum(axis=1), 1.0)
+
+    def test_small_sigma_concentrates(self):
+        grid = GridMap(5, 5)
+        tight = gaussian_kernel_transitions(grid, sigma=0.3)
+        loose = gaussian_kernel_transitions(grid, sigma=10.0)
+        # From the centre, a tight kernel keeps more mass on itself.
+        assert tight.matrix[12, 12] > loose.matrix[12, 12]
+
+    def test_sigma_order_matches_pattern_strength(self):
+        grid = GridMap(5, 5)
+        strengths = [
+            gaussian_kernel_transitions(grid, sigma).pattern_strength()
+            for sigma in (0.1, 1.0, 10.0)
+        ]
+        assert strengths[0] > strengths[1] > strengths[2]
+
+    def test_large_sigma_near_uniform(self):
+        grid = GridMap(3, 3)
+        chain = gaussian_kernel_transitions(grid, sigma=1000.0)
+        assert np.allclose(chain.matrix, 1.0 / 9.0, atol=1e-4)
+
+    def test_tiny_sigma_no_underflow(self):
+        grid = GridMap(5, 5)
+        chain = gaussian_kernel_transitions(grid, sigma=0.01)
+        assert np.all(np.isfinite(chain.matrix))
+        assert np.allclose(chain.matrix.sum(axis=1), 1.0)
+        # Essentially a self-loop chain.
+        assert chain.matrix[12, 12] == pytest.approx(1.0, abs=1e-6)
+
+    def test_ergodic(self):
+        grid = GridMap(4, 4)
+        assert gaussian_kernel_transitions(grid, 1.0).is_ergodic
+
+    def test_km_distance_unit(self):
+        grid = GridMap(3, 3, cell_size_km=2.0)
+        by_cells = gaussian_kernel_transitions(grid, 1.0, distance_unit="cells")
+        by_km = gaussian_kernel_transitions(grid, 2.0, distance_unit="km")
+        assert np.allclose(by_cells.matrix, by_km.matrix)
+
+    def test_rejects_bad_unit(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(MarkovError):
+            gaussian_kernel_transitions(grid, 1.0, distance_unit="miles")
+
+    def test_rejects_non_positive_sigma(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(Exception):
+            gaussian_kernel_transitions(grid, 0.0)
+
+
+class TestLazyRandomWalk:
+    def test_rows_stochastic(self):
+        grid = GridMap(4, 4)
+        chain = lazy_random_walk_transitions(grid, stay_probability=0.3)
+        assert np.allclose(chain.matrix.sum(axis=1), 1.0)
+
+    def test_stay_probability(self):
+        grid = GridMap(3, 3)
+        chain = lazy_random_walk_transitions(grid, stay_probability=0.4)
+        assert chain.matrix[4, 4] == pytest.approx(0.4)
+
+    def test_support_is_neighborhood(self):
+        grid = GridMap(3, 3)
+        chain = lazy_random_walk_transitions(grid, 0.2, diagonal=False)
+        assert chain.matrix[0, 8] == 0.0
+        assert chain.matrix[0, 1] > 0.0
+
+    def test_single_cell_grid(self):
+        grid = GridMap(1, 1)
+        chain = lazy_random_walk_transitions(grid)
+        assert chain.matrix[0, 0] == pytest.approx(1.0)
+
+
+class TestBiasedCommute:
+    def test_rows_stochastic(self):
+        grid = GridMap(4, 4)
+        chain = biased_commute_transitions(grid, anchors=(0, 15), anchor_pull=0.5)
+        assert np.allclose(chain.matrix.sum(axis=1), 1.0)
+
+    def test_anchor_is_absorbing_ish(self):
+        grid = GridMap(4, 4)
+        chain = biased_commute_transitions(grid, anchors=(0,), anchor_pull=1.0)
+        assert chain.matrix[0, 0] == pytest.approx(1.0)
+
+    def test_pull_moves_toward_anchor(self):
+        grid = GridMap(1, 5, cell_size_km=1.0)
+        chain = biased_commute_transitions(grid, anchors=(0,), anchor_pull=1.0, sigma=1.0)
+        # From cell 4, the pull step moves strictly left.
+        assert chain.matrix[4, 3] == pytest.approx(1.0)
+
+    def test_rejects_no_anchor(self):
+        grid = GridMap(2, 2)
+        with pytest.raises(MarkovError):
+            biased_commute_transitions(grid, anchors=())

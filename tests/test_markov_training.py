@@ -1,0 +1,99 @@
+"""Unit tests for Markov training (MLE + smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovError
+from repro.markov.training import (
+    count_transitions,
+    fit_initial_distribution,
+    fit_transition_matrix,
+    log_likelihood,
+)
+from repro.markov.transition import TransitionMatrix
+
+
+class TestCounts:
+    def test_single_trajectory(self):
+        counts = count_transitions([[0, 1, 1, 2]], 3)
+        assert counts[0, 1] == 1
+        assert counts[1, 1] == 1
+        assert counts[1, 2] == 1
+        assert counts.sum() == 3
+
+    def test_multiple_trajectories(self):
+        counts = count_transitions([[0, 1], [0, 1], [1, 0]], 2)
+        assert counts[0, 1] == 2
+        assert counts[1, 0] == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(MarkovError):
+            count_transitions([[0, 5]], 3)
+
+    def test_rejects_all_short(self):
+        with pytest.raises(MarkovError):
+            count_transitions([[0], [1]], 3)
+
+
+class TestFit:
+    def test_mle(self):
+        chain = fit_transition_matrix([[0, 1, 0, 1, 0, 2]], 3)
+        # From 0: two transitions to 1, one to 2.
+        assert chain.matrix[0, 1] == pytest.approx(2 / 3)
+        assert chain.matrix[0, 2] == pytest.approx(1 / 3)
+
+    def test_unvisited_state_self_loops(self):
+        chain = fit_transition_matrix([[0, 1, 0]], 3)
+        assert chain.matrix[2, 2] == 1.0
+
+    def test_smoothing_fills_zeros(self):
+        chain = fit_transition_matrix([[0, 1, 0]], 3, smoothing=0.1)
+        assert np.all(chain.matrix > 0)
+        assert np.allclose(chain.matrix.sum(axis=1), 1.0)
+
+    def test_smoothing_limits_to_uniform(self):
+        chain = fit_transition_matrix([[0, 1]], 2, smoothing=1e9)
+        assert np.allclose(chain.matrix, 0.5, atol=1e-6)
+
+    def test_recovers_generating_chain(self, rng):
+        truth = TransitionMatrix([[0.8, 0.2], [0.3, 0.7]])
+        state = 0
+        trajectory = [state]
+        for _ in range(20000):
+            state = int(rng.choice(2, p=truth.matrix[state]))
+            trajectory.append(state)
+        fitted = fit_transition_matrix([trajectory], 2)
+        assert np.allclose(fitted.matrix, truth.matrix, atol=0.02)
+
+
+class TestInitialDistribution:
+    def test_counts_first_cells(self):
+        pi = fit_initial_distribution([[0, 1], [0, 2], [1, 0]], 3)
+        assert pi.tolist() == pytest.approx([2 / 3, 1 / 3, 0.0])
+
+    def test_smoothing(self):
+        pi = fit_initial_distribution([[0, 1]], 3, smoothing=1.0)
+        assert np.all(pi > 0)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_rejects_empty_without_smoothing(self):
+        with pytest.raises(MarkovError):
+            fit_initial_distribution([], 3)
+
+
+class TestLogLikelihood:
+    def test_matches_manual(self, paper_chain):
+        ll = log_likelihood([0, 1, 2], paper_chain)
+        assert ll == pytest.approx(np.log(0.2) + np.log(0.5))
+
+    def test_with_initial(self, paper_chain):
+        pi = np.array([0.5, 0.25, 0.25])
+        ll = log_likelihood([1, 0], paper_chain, initial=pi)
+        assert ll == pytest.approx(np.log(0.25) + np.log(0.4))
+
+    def test_impossible_transition(self, paper_chain):
+        assert log_likelihood([2, 0], paper_chain) == float("-inf")
+
+    def test_rejects_short(self, paper_chain):
+        with pytest.raises(MarkovError):
+            log_likelihood([0], paper_chain)

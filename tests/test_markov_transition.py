@@ -1,0 +1,126 @@
+"""Unit tests for TransitionMatrix and TimeVaryingChain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovError, ValidationError
+from repro.markov.transition import TimeVaryingChain, TransitionMatrix
+
+
+class TestValidation:
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValidationError):
+            TransitionMatrix([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            TransitionMatrix([[1.0, 0.0]])
+
+    def test_matrix_is_read_only(self, paper_chain):
+        with pytest.raises(ValueError):
+            paper_chain.matrix[0, 0] = 0.5
+
+
+class TestDynamics:
+    def test_step(self, paper_chain):
+        out = paper_chain.step([1.0, 0.0, 0.0])
+        assert out.tolist() == pytest.approx([0.1, 0.2, 0.7])
+
+    def test_step_preserves_mass(self, paper_chain):
+        out = paper_chain.step([0.2, 0.3, 0.5])
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_power_zero_is_identity(self, paper_chain):
+        assert np.allclose(paper_chain.power(0), np.eye(3))
+
+    def test_power_two(self, paper_chain):
+        assert np.allclose(paper_chain.power(2), paper_chain.matrix @ paper_chain.matrix)
+
+    def test_propagate(self, paper_chain):
+        pi = np.array([1.0, 0.0, 0.0])
+        marginals = paper_chain.propagate(pi, 3)
+        assert marginals.shape == (3, 3)
+        assert np.allclose(marginals[0], pi)
+        assert np.allclose(marginals[2], pi @ paper_chain.power(2))
+
+    def test_step_size_mismatch(self, paper_chain):
+        with pytest.raises(MarkovError):
+            paper_chain.step([0.5, 0.5])
+
+
+class TestStructure:
+    def test_paper_chain_ergodic(self, paper_chain):
+        assert paper_chain.is_irreducible
+        assert paper_chain.is_aperiodic
+        assert paper_chain.is_ergodic
+
+    def test_stationary_is_fixed_point(self, paper_chain):
+        pi = paper_chain.stationary_distribution
+        assert np.allclose(pi @ paper_chain.matrix, pi)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_reducible_chain_detected(self):
+        chain = TransitionMatrix([[1.0, 0.0], [0.0, 1.0]])
+        assert not chain.is_irreducible
+        with pytest.raises(MarkovError):
+            _ = chain.stationary_distribution
+
+    def test_periodic_chain_detected(self):
+        chain = TransitionMatrix([[0.0, 1.0], [1.0, 0.0]])
+        assert chain.is_irreducible
+        assert not chain.is_aperiodic
+
+    def test_entropy_rate_uniform(self):
+        chain = TransitionMatrix(np.full((4, 4), 0.25))
+        assert chain.entropy_rate() == pytest.approx(2.0)
+        assert chain.pattern_strength() == pytest.approx(0.0)
+
+    def test_pattern_strength_deterministic_cycle(self):
+        chain = TransitionMatrix([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        assert chain.entropy_rate() == pytest.approx(0.0)
+        assert chain.pattern_strength() == pytest.approx(1.0)
+
+    def test_mixing_time(self, paper_chain):
+        steps = paper_chain.mixing_time_bound(tolerance=1e-3)
+        assert 1 <= steps <= 100
+
+    def test_mixing_time_fails_for_periodic(self):
+        chain = TransitionMatrix([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(MarkovError):
+            chain.mixing_time_bound(max_steps=50)
+
+
+class TestTimeVaryingChain:
+    def test_homogeneous(self, paper_chain):
+        chain = TimeVaryingChain.homogeneous(paper_chain)
+        assert chain.is_homogeneous
+        assert chain.matrix_at(1) is paper_chain
+        assert chain.matrix_at(99) is paper_chain
+
+    def test_time_varying_lookup(self, paper_chain):
+        other = TransitionMatrix(np.eye(3))
+        chain = TimeVaryingChain([paper_chain, other])
+        assert chain.matrix_at(1) is paper_chain
+        assert chain.matrix_at(2) is other
+        with pytest.raises(MarkovError):
+            chain.matrix_at(3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MarkovError):
+            TimeVaryingChain([])
+
+    def test_rejects_mixed_sizes(self, paper_chain):
+        with pytest.raises(MarkovError):
+            TimeVaryingChain([paper_chain, TransitionMatrix(np.eye(2))])
+
+    def test_propagate_matches_manual(self, paper_chain):
+        identity = TransitionMatrix(np.eye(3))
+        chain = TimeVaryingChain([paper_chain, identity])
+        pi = np.array([0.5, 0.5, 0.0])
+        out = chain.propagate(pi, 3)
+        assert np.allclose(out[1], pi @ paper_chain.matrix)
+        assert np.allclose(out[2], out[1])  # identity step
+
+    def test_raw_array_accepted(self):
+        chain = TimeVaryingChain([np.eye(2)])
+        assert chain.n_states == 2

@@ -1,0 +1,126 @@
+"""Unit tests for utility and privacy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.priste import ReleaseLog, ReleaseRecord
+from repro.errors import ValidationError
+from repro.geo.grid import GridMap
+from repro.metrics.privacy import (
+    event_advantage,
+    expected_inference_error_km,
+    max_event_advantage,
+    posterior_entropy_bits,
+    top1_accuracy,
+)
+from repro.metrics.utility import (
+    aggregate_logs,
+    average_budget_over_time,
+    mean_and_std,
+)
+
+
+def _log(budgets, released, elapsed=0.1):
+    records = [
+        ReleaseRecord(
+            t=t + 1,
+            true_cell=0,
+            released_cell=cell,
+            budget=budget,
+            n_attempts=1,
+            conservative=False,
+            forced_uniform=False,
+            elapsed_s=elapsed,
+        )
+        for t, (budget, cell) in enumerate(zip(budgets, released))
+    ]
+    return ReleaseLog(records=records)
+
+
+class TestUtilityAggregation:
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    def test_mean_and_std_empty(self):
+        with pytest.raises(ValidationError):
+            mean_and_std([])
+
+    def test_average_budget_over_time(self):
+        logs = [_log([0.1, 0.2], [0, 1]), _log([0.3, 0.4], [1, 0])]
+        means, stds = average_budget_over_time(logs)
+        assert means.tolist() == pytest.approx([0.2, 0.3])
+        assert stds.tolist() == pytest.approx([0.1, 0.1])
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            average_budget_over_time([_log([0.1], [0]), _log([0.1, 0.2], [0, 1])])
+
+    def test_aggregate_logs(self):
+        grid = GridMap(1, 3, cell_size_km=1.0)
+        logs = [_log([0.5, 0.5], [0, 1])]
+        truths = [[0, 0]]
+        aggregate = aggregate_logs(logs, grid, truths)
+        assert aggregate.mean_budget == pytest.approx(0.5)
+        assert aggregate.mean_error_km == pytest.approx(0.5)
+        assert aggregate.n_runs == 1
+
+    def test_aggregate_count_mismatch(self):
+        grid = GridMap(1, 3)
+        with pytest.raises(ValidationError):
+            aggregate_logs([_log([0.5], [0])], grid, [[0], [1]])
+
+
+class TestPrivacyMetrics:
+    def test_expected_inference_error_perfect_attacker(self):
+        grid = GridMap(1, 3, cell_size_km=1.0)
+        posteriors = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        assert expected_inference_error_km(posteriors, [0, 1], grid) == 0.0
+
+    def test_expected_inference_error_uniform(self):
+        grid = GridMap(1, 2, cell_size_km=2.0)
+        posteriors = np.array([[0.5, 0.5]])
+        # Half the mass sits 2 km away.
+        assert expected_inference_error_km(posteriors, [0], grid) == pytest.approx(1.0)
+
+    def test_entropy(self):
+        posteriors = np.array([[0.5, 0.5], [1.0, 0.0]])
+        entropy = posterior_entropy_bits(posteriors)
+        assert entropy.tolist() == pytest.approx([1.0, 0.0])
+
+    def test_top1_accuracy(self):
+        posteriors = np.array([[0.9, 0.1], [0.4, 0.6]])
+        assert top1_accuracy(posteriors, [0, 0]) == 0.5
+        assert top1_accuracy(posteriors, [0, 1]) == 1.0
+
+    def test_event_advantage(self):
+        assert event_advantage(0.2, 0.7) == pytest.approx(0.5)
+        with pytest.raises(ValidationError):
+            event_advantage(-0.1, 0.5)
+
+    def test_max_event_advantage_zero_epsilon(self):
+        assert max_event_advantage(0.3, 0.0) == pytest.approx(0.0)
+
+    def test_max_event_advantage_monotone_in_epsilon(self):
+        small = max_event_advantage(0.3, 0.5)
+        large = max_event_advantage(0.3, 2.0)
+        assert large > small
+
+    def test_max_event_advantage_bounds_posterior(self):
+        """Any posterior within the odds band respects the cap."""
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            prior = rng.uniform(0.05, 0.95)
+            epsilon = rng.uniform(0.1, 2.0)
+            odds = prior / (1 - prior)
+            factor = np.exp(rng.uniform(-epsilon, epsilon))
+            posterior = odds * factor / (1 + odds * factor)
+            cap = max_event_advantage(prior, epsilon)
+            assert abs(posterior - prior) <= cap + 1e-12
+
+    def test_max_event_advantage_validation(self):
+        with pytest.raises(ValidationError):
+            max_event_advantage(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            max_event_advantage(0.5, -1.0)

@@ -1,0 +1,166 @@
+"""Property-based tests: the fast engines equal exhaustive enumeration.
+
+These are the core correctness guarantees of the reproduction: for random
+small chains, events and emissions, Lemma III.1 (prior), Lemmas III.2/III.3
+(joints) and the generalized automaton engine must agree exactly with the
+exponential-time oracle of Appendix B.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.automaton_engine import AutomatonModel
+from repro.core.baseline import enumerate_joint, enumerate_prior
+from repro.core.joint import joint_probability
+from repro.core.two_world import TwoWorldModel
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.events.expressions import And, Not, Or, Predicate
+from repro.geo.regions import Region
+from repro.markov.transition import TransitionMatrix
+
+N_STATES = 3
+HORIZON = 4
+
+
+@st.composite
+def chains(draw):
+    raw = draw(
+        st.lists(
+            st.lists(
+                st.floats(0.05, 1.0, allow_nan=False), min_size=N_STATES, max_size=N_STATES
+            ),
+            min_size=N_STATES,
+            max_size=N_STATES,
+        )
+    )
+    matrix = np.asarray(raw)
+    return TransitionMatrix(matrix / matrix.sum(axis=1, keepdims=True))
+
+
+@st.composite
+def distributions(draw):
+    raw = draw(
+        st.lists(st.floats(0.05, 1.0, allow_nan=False), min_size=N_STATES, max_size=N_STATES)
+    )
+    vec = np.asarray(raw)
+    return vec / vec.sum()
+
+
+@st.composite
+def regions(draw):
+    cells = draw(
+        st.lists(st.integers(0, N_STATES - 1), min_size=1, max_size=N_STATES - 1, unique=True)
+    )
+    return Region.from_cells(N_STATES, cells)
+
+
+@st.composite
+def presence_events(draw):
+    start = draw(st.integers(1, HORIZON))
+    end = draw(st.integers(start, HORIZON))
+    return PresenceEvent(draw(regions()), start=start, end=end)
+
+
+@st.composite
+def pattern_events(draw):
+    length = draw(st.integers(1, 3))
+    start = draw(st.integers(1, HORIZON - length + 1))
+    return PatternEvent([draw(regions()) for _ in range(length)], start=start)
+
+
+@st.composite
+def emission_columns(draw):
+    rows = draw(
+        st.lists(
+            st.floats(0.01, 1.0, allow_nan=False),
+            min_size=N_STATES * HORIZON,
+            max_size=N_STATES * HORIZON,
+        )
+    )
+    return np.asarray(rows).reshape(HORIZON, N_STATES)
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        return Predicate(draw(st.integers(1, HORIZON)), draw(st.integers(0, N_STATES - 1)))
+    kind = draw(st.sampled_from(["pred", "and", "or", "not"]))
+    if kind == "pred":
+        return Predicate(draw(st.integers(1, HORIZON)), draw(st.integers(0, N_STATES - 1)))
+    if kind == "not":
+        return Not.of(draw(expressions(depth=depth - 1)))
+    children = [draw(expressions(depth=depth - 1)) for _ in range(2)]
+    return (And.of if kind == "and" else Or.of)(children)
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=chains(), event=presence_events(), pi=distributions())
+def test_presence_prior_equals_enumeration(chain, event, pi):
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    fast = model.prior_probability(pi)
+    slow = enumerate_prior(chain, event, pi)
+    assert abs(fast - slow) < 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=chains(), event=pattern_events(), pi=distributions())
+def test_pattern_prior_equals_enumeration(chain, event, pi):
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    fast = model.prior_probability(pi)
+    slow = enumerate_prior(chain, event, pi)
+    assert abs(fast - slow) < 1e-10
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chain=chains(),
+    event=presence_events(),
+    pi=distributions(),
+    cols=emission_columns(),
+    upto=st.integers(1, HORIZON),
+)
+def test_presence_joint_equals_enumeration(chain, event, pi, cols, upto):
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    fast = joint_probability(model, pi, cols, upto_t=upto)
+    slow = enumerate_joint(chain, event, pi, cols, upto_t=upto)
+    assert abs(fast - slow) < 1e-10
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    chain=chains(),
+    event=pattern_events(),
+    pi=distributions(),
+    cols=emission_columns(),
+    upto=st.integers(1, HORIZON),
+)
+def test_pattern_joint_equals_enumeration(chain, event, pi, cols, upto):
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    fast = joint_probability(model, pi, cols, upto_t=upto)
+    slow = enumerate_joint(chain, event, pi, cols, upto_t=upto)
+    assert abs(fast - slow) < 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=chains(), expr=expressions(), pi=distributions(), cols=emission_columns())
+def test_automaton_engine_equals_enumeration(chain, expr, pi, cols):
+    from repro.events.expressions import FALSE, TRUE
+
+    if expr in (TRUE, FALSE):
+        return  # constants carry no time window
+    model = AutomatonModel(chain, expr, horizon=HORIZON)
+    assert abs(model.prior_probability(pi) - enumerate_prior(chain, expr, pi)) < 1e-10
+    upto = HORIZON
+    fast = model.joint_probability(pi, cols, upto_t=upto)
+    slow = enumerate_joint(chain, expr, pi, cols, upto_t=upto)
+    assert abs(fast - slow) < 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=chains(), event=presence_events(), pi=distributions())
+def test_event_and_negation_partition(chain, event, pi):
+    """Pr(EVENT) + Pr(not EVENT) = 1 exactly."""
+    model = TwoWorldModel(chain, event, horizon=HORIZON)
+    prior = model.prior_probability(pi)
+    complement = enumerate_prior(chain, ~event.to_expression(), pi)
+    assert abs(prior + complement - 1.0) < 1e-10

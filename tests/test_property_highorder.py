@@ -1,0 +1,96 @@
+"""Property-based tests for high-order chain lifting invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.markov.highorder import HighOrderChain
+
+M = 3
+
+
+@st.composite
+def trajectories(draw):
+    length = draw(st.integers(5, 30))
+    return draw(st.lists(st.integers(0, M - 1), min_size=length, max_size=length))
+
+
+@st.composite
+def chains(draw):
+    order = draw(st.integers(1, 2))
+    trajectory = draw(trajectories())
+    return HighOrderChain.fit([trajectory], n_cells=M, order=order, smoothing=0.05)
+
+
+@st.composite
+def distributions(draw):
+    raw = draw(st.lists(st.floats(0.05, 1.0, allow_nan=False), min_size=M, max_size=M))
+    vec = np.asarray(raw)
+    return vec / vec.sum()
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain=chains())
+def test_composite_matrix_structurally_valid(chain):
+    """Rows stochastic; only suffix-consistent transitions allowed."""
+    matrix = chain.matrix.matrix
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    if chain.order == 1:
+        return
+    for src in range(chain.n_composite_states):
+        suffix = chain.decode(src)[1:]
+        for dst in np.nonzero(matrix[src] > 0)[0]:
+            assert chain.decode(int(dst))[:-1] == suffix
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain=chains(), pi=distributions())
+def test_lift_initial_preserves_cell_marginal(chain, pi):
+    lifted = chain.lift_initial(pi)
+    assert abs(lifted.sum() - 1.0) < 1e-12
+    marginal = np.zeros(M)
+    for composite, mass in enumerate(lifted):
+        marginal[chain.last_cell(composite)] += mass
+    assert np.allclose(marginal, pi)
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain=chains(), data=st.data())
+def test_lift_region_exact_membership(chain, data):
+    cells = data.draw(
+        st.lists(st.integers(0, M - 1), min_size=1, max_size=M - 1, unique=True)
+    )
+    region = Region.from_cells(M, cells)
+    lifted = chain.lift_region(region)
+    for composite in range(chain.n_composite_states):
+        assert (composite in lifted) == (chain.last_cell(composite) in region)
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=chains(), data=st.data())
+def test_lift_trajectory_tracks_cells(chain, data):
+    cells = data.draw(st.lists(st.integers(0, M - 1), min_size=1, max_size=10))
+    composite = chain.lift_trajectory(cells)
+    assert len(composite) == len(cells)
+    for state, cell in zip(composite, cells):
+        assert chain.last_cell(state) == cell
+    # Consecutive composite states are suffix-consistent.
+    for src, dst in zip(composite[:-1], composite[1:]):
+        if chain.order > 1:
+            assert chain.decode(dst)[:-1] == chain.decode(src)[1:]
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=chains(), pi=distributions(), data=st.data())
+def test_lifted_event_prior_in_unit_interval(chain, pi, data):
+    from repro.core.two_world import TwoWorldModel
+
+    cells = data.draw(
+        st.lists(st.integers(0, M - 1), min_size=1, max_size=M - 1, unique=True)
+    )
+    event = PresenceEvent(Region.from_cells(M, cells), start=2, end=3)
+    lifted_event = chain.lift_event(event)
+    model = TwoWorldModel(chain.matrix, lifted_event, horizon=4)
+    prior = model.prior_probability(chain.lift_initial(pi))
+    assert -1e-12 <= prior <= 1.0 + 1e-12

@@ -1,0 +1,73 @@
+"""Property-based tests for mechanism invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.grid import GridMap
+from repro.lppm.delta_location_set import delta_location_set
+from repro.lppm.planar_laplace import planar_laplace_emission_matrix
+from repro.lppm.randomized_response import RandomizedResponseMechanism
+
+
+@st.composite
+def grids(draw):
+    rows = draw(st.integers(1, 4))
+    cols = draw(st.integers(1, 4))
+    size = draw(st.floats(0.1, 5.0, allow_nan=False))
+    return GridMap(rows, cols, cell_size_km=size)
+
+
+@st.composite
+def priors(draw):
+    n = draw(st.integers(2, 12))
+    raw = draw(st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n))
+    vec = np.asarray(raw)
+    if vec.sum() == 0:
+        vec = np.ones(n)
+    return vec / vec.sum()
+
+
+@settings(max_examples=60, deadline=None)
+@given(grid=grids(), alpha=st.floats(0.0, 5.0, allow_nan=False))
+def test_plm_emission_is_stochastic(grid, alpha):
+    matrix = planar_laplace_emission_matrix(grid, alpha)
+    assert matrix.shape == (grid.n_cells, grid.n_cells)
+    assert np.all(matrix >= 0)
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(grid=grids(), alpha=st.floats(0.01, 5.0, allow_nan=False))
+def test_plm_monotone_in_distance(grid, alpha):
+    """Within a row, closer outputs never have lower probability."""
+    matrix = planar_laplace_emission_matrix(grid, alpha)
+    distances = grid.distance_matrix_km
+    for row in range(grid.n_cells):
+        order = np.argsort(distances[row])
+        probs = matrix[row, order]
+        assert np.all(np.diff(probs) <= 1e-12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(prior=priors(), delta=st.floats(0.0, 0.99, allow_nan=False))
+def test_delta_location_set_covers_mass(prior, delta):
+    cells = delta_location_set(prior, delta)
+    mass = prior[list(cells)].sum()
+    assert mass >= 1.0 - delta - 1e-9
+    # Minimality: dropping the least-probable member breaks coverage.
+    if len(cells) > 1:
+        weakest = min(cells, key=lambda c: prior[c])
+        rest = [c for c in cells if c != weakest]
+        assert prior[rest].sum() < 1.0 - delta + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(2, 20),
+    budget=st.floats(0.0, 5.0, allow_nan=False),
+)
+def test_randomized_response_local_dp(n, budget):
+    matrix = RandomizedResponseMechanism(n, budget).emission_matrix()
+    assert np.allclose(matrix.sum(axis=1), 1.0)
+    ratio = matrix.max(axis=0) / matrix.min(axis=0)
+    assert np.all(ratio <= np.exp(budget) * (1 + 1e-9))

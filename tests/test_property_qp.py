@@ -1,0 +1,86 @@
+"""Property-based tests for the exact simplex solver.
+
+Soundness: the reported maximum dominates every sampled feasible point and
+is itself attained at a reported feasible point.  These two properties
+together pin the solver to the true global maximum up to sampling.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.qp import SolverOptions, SolverStatus, maximize_rank_one_simplex
+from repro.core.theorem import RankOneCondition, sufficient_safe
+
+
+@st.composite
+def conditions(draw, n_min=2, n_max=6):
+    n = draw(st.integers(n_min, n_max))
+    vals = st.floats(-2.0, 2.0, allow_nan=False)
+    u = np.asarray(draw(st.lists(vals, min_size=n, max_size=n)))
+    v = np.asarray(draw(st.lists(vals, min_size=n, max_size=n)))
+    w = np.asarray(draw(st.lists(vals, min_size=n, max_size=n)))
+    return RankOneCondition(u=u, v=v, w=w)
+
+
+@st.composite
+def simplex_points(draw, n):
+    raw = draw(st.lists(st.floats(0.01, 1.0, allow_nan=False), min_size=n, max_size=n))
+    vec = np.asarray(raw)
+    return vec / vec.sum()
+
+
+@settings(max_examples=80, deadline=None)
+@given(cond=conditions(), data=st.data())
+def test_solver_dominates_random_points(cond, data):
+    result = maximize_rank_one_simplex(cond, SolverOptions())
+    for _ in range(25):
+        pi = data.draw(simplex_points(cond.n))
+        assert cond.value(pi) <= result.best_value + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(cond=conditions())
+def test_best_point_feasible_and_consistent(cond):
+    result = maximize_rank_one_simplex(cond, SolverOptions())
+    pi = result.best_point
+    assert pi is not None
+    assert np.all(pi >= -1e-12)
+    assert abs(pi.sum() - 1.0) < 1e-9
+    assert abs(cond.value(pi) - result.best_value) < 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(cond=conditions())
+def test_status_consistent_with_value(cond):
+    options = SolverOptions()
+    result = maximize_rank_one_simplex(cond, options)
+    if result.status is SolverStatus.SAFE:
+        assert result.best_value <= options.tolerance
+    elif result.status is SolverStatus.VIOLATED:
+        assert result.best_value > options.tolerance
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_sufficient_certificate_never_contradicts_solver(data):
+    """If the O(m) certificate says SAFE, the exact solver must agree."""
+    from repro.core.theorem import privacy_conditions
+
+    n = data.draw(st.integers(2, 5))
+    a = np.asarray(
+        data.draw(st.lists(st.floats(0.05, 0.95), min_size=n, max_size=n))
+    )
+    c = np.asarray(data.draw(st.lists(st.floats(0.1, 1.0), min_size=n, max_size=n)))
+    factors = np.asarray(
+        data.draw(st.lists(st.floats(0.2, 1.0), min_size=n, max_size=n))
+    )
+    b = c * a * factors
+    epsilon = data.draw(st.floats(0.1, 2.0))
+    if not sufficient_safe(a, b, c, epsilon):
+        return
+    for cond in privacy_conditions(a, b, c, epsilon):
+        result = maximize_rank_one_simplex(cond, SolverOptions())
+        assert result.status is SolverStatus.SAFE, (
+            cond.label,
+            result.best_value,
+        )

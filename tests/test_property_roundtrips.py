@@ -1,0 +1,112 @@
+"""Property-based round-trip and consistency tests for auxiliary modules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.events.events import PatternEvent, PresenceEvent
+from repro.geo.grid import GridMap
+from repro.geo.regions import Region
+from repro.io import (
+    chain_from_dict,
+    chain_to_dict,
+    event_from_dict,
+    event_to_dict,
+    grid_from_dict,
+    grid_to_dict,
+)
+from repro.markov.transition import TransitionMatrix
+
+N_CELLS = 6
+
+
+@st.composite
+def grids(draw):
+    return GridMap(
+        n_rows=draw(st.integers(1, 6)),
+        n_cols=draw(st.integers(1, 6)),
+        cell_size_km=draw(st.floats(0.1, 10.0, allow_nan=False)),
+        origin_km=(
+            draw(st.floats(-100, 100, allow_nan=False)),
+            draw(st.floats(-100, 100, allow_nan=False)),
+        ),
+    )
+
+
+@st.composite
+def chains(draw):
+    n = draw(st.integers(2, 5))
+    raw = np.asarray(
+        draw(
+            st.lists(
+                st.lists(st.floats(0.01, 1.0, allow_nan=False), min_size=n, max_size=n),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return TransitionMatrix(raw / raw.sum(axis=1, keepdims=True))
+
+
+@st.composite
+def regions(draw):
+    cells = draw(
+        st.lists(st.integers(0, N_CELLS - 1), min_size=1, max_size=N_CELLS - 1, unique=True)
+    )
+    return Region.from_cells(N_CELLS, cells)
+
+
+@st.composite
+def presence_events(draw):
+    start = draw(st.integers(1, 5))
+    return PresenceEvent(draw(regions()), start=start, end=draw(st.integers(start, 6)))
+
+
+@st.composite
+def pattern_events(draw):
+    length = draw(st.integers(1, 3))
+    return PatternEvent(
+        [draw(regions()) for _ in range(length)], start=draw(st.integers(1, 4))
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(grid=grids())
+def test_grid_roundtrip(grid):
+    assert grid_from_dict(grid_to_dict(grid)) == grid
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain=chains())
+def test_chain_roundtrip(chain):
+    again = chain_from_dict(chain_to_dict(chain))
+    assert np.allclose(again.matrix, chain.matrix)
+
+
+@settings(max_examples=50, deadline=None)
+@given(event=presence_events())
+def test_presence_roundtrip(event):
+    again = event_from_dict(event_to_dict(event))
+    assert again.region == event.region
+    assert again.window == event.window
+
+
+@settings(max_examples=50, deadline=None)
+@given(event=pattern_events())
+def test_pattern_roundtrip(event):
+    again = event_from_dict(event_to_dict(event))
+    assert again.regions == event.regions
+    assert again.start == event.start
+
+
+@settings(max_examples=40, deadline=None)
+@given(event=presence_events(), data=st.data())
+def test_expression_consistency_after_roundtrip(event, data):
+    """The round-tripped event evaluates identically on random paths."""
+    again = event_from_dict(event_to_dict(event))
+    for _ in range(10):
+        trajectory = data.draw(
+            st.lists(
+                st.integers(0, N_CELLS - 1), min_size=event.end, max_size=event.end
+            )
+        )
+        assert again.ground_truth(trajectory) == event.ground_truth(trajectory)

@@ -1,0 +1,153 @@
+"""Unit tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_float_array,
+    check_emission_matrix,
+    check_index,
+    check_indicator_vector,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+    check_stochastic_matrix,
+    check_timestamp,
+    check_unit_interval,
+    resolve_rng,
+)
+from repro.errors import ValidationError
+
+
+class TestAsFloatArray:
+    def test_accepts_lists(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            as_float_array([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            as_float_array([float("inf")])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            as_float_array(["a", "b"])
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        vec = check_probability_vector([0.25, 0.25, 0.5])
+        assert vec.sum() == pytest.approx(1.0)
+
+    def test_renormalizes_tiny_drift(self):
+        vec = check_probability_vector([0.5, 0.5 + 1e-12])
+        assert vec.sum() == pytest.approx(1.0, abs=1e-15)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_probability_vector([1.2, -0.2])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError, match="sums to"):
+            check_probability_vector([0.3, 0.3])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            check_probability_vector([[1.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            check_probability_vector([])
+
+
+class TestStochasticMatrix:
+    def test_valid(self):
+        mat = check_stochastic_matrix([[0.5, 0.5], [0.1, 0.9]])
+        assert mat.shape == (2, 2)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_stochastic_matrix([[0.5, 0.5]])
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValidationError, match="row 1"):
+            check_stochastic_matrix([[0.5, 0.5], [0.5, 0.1]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_stochastic_matrix([[1.5, -0.5], [0.5, 0.5]])
+
+
+class TestEmissionMatrix:
+    def test_non_square_allowed(self):
+        mat = check_emission_matrix([[0.5, 0.25, 0.25], [0.1, 0.1, 0.8]], 2)
+        assert mat.shape == (2, 3)
+
+    def test_row_count_enforced(self):
+        with pytest.raises(ValidationError, match="rows"):
+            check_emission_matrix([[1.0]], 2)
+
+
+class TestScalars:
+    def test_check_index(self):
+        assert check_index(2, 5) == 2
+
+    def test_check_index_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_index(5, 5)
+
+    def test_check_index_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            check_index(1.5, 5)
+
+    def test_check_timestamp_one_based(self):
+        assert check_timestamp(1) == 1
+        with pytest.raises(ValidationError):
+            check_timestamp(0)
+
+    def test_check_timestamp_horizon(self):
+        with pytest.raises(ValidationError, match="horizon"):
+            check_timestamp(11, horizon=10)
+
+    def test_check_positive(self):
+        assert check_positive(0.5) == 0.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0) == 0.0
+        with pytest.raises(ValidationError):
+            check_non_negative(-1e-9)
+
+    def test_check_unit_interval(self):
+        assert check_unit_interval(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_unit_interval(1.5)
+
+    def test_indicator_vector(self):
+        vec = check_indicator_vector([0, 1, 0], 3)
+        assert vec.tolist() == [0.0, 1.0, 0.0]
+        with pytest.raises(ValidationError):
+            check_indicator_vector([0, 0.5, 1], 3)
+
+
+class TestResolveRng:
+    def test_seed(self):
+        a = resolve_rng(7).integers(1000)
+        b = resolve_rng(7).integers(1000)
+        assert a == b
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            resolve_rng("seed")

@@ -1,0 +1,92 @@
+"""SessionManager throughput: the streaming engine's hot path.
+
+Not a paper figure: tracks the multi-session fan-out added by
+``repro.engine`` -- sessions/sec and steps/sec at 10 / 100 / 1000
+concurrent sessions, plus the shared verdict-cache hit rate.  The
+trajectories are chain samples, so sessions overlap statistically and
+the cache sees realistic (not adversarial, not identical) traffic.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionBuilder, SessionManager
+from repro.experiments.report import format_table
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+
+HORIZON = 12
+SESSION_COUNTS = (10, 100, 1000)
+
+
+@pytest.fixture(scope="module")
+def engine_setting():
+    from repro.experiments.scenarios import synthetic_scenario
+
+    scenario = synthetic_scenario(n_rows=8, n_cols=8, sigma=1.0, horizon=HORIZON)
+    event = scenario.presence_event(0, 9, 4, 8)
+    builder = (
+        SessionBuilder()
+        .with_grid(scenario.grid)
+        .with_chain(scenario.chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+        .with_epsilon(0.4)
+        .with_fixed_prior(scenario.initial)
+        .with_horizon(HORIZON)
+    )
+    return scenario, builder
+
+
+def _drive_fleet(scenario, builder, n_sessions: int, seed: int):
+    """Open, fully step and finish ``n_sessions`` sessions; return stats."""
+    rng = np.random.default_rng(seed)
+    trajectories = {
+        f"u{i}": sample_trajectory(
+            scenario.chain, HORIZON, initial=scenario.initial, rng=rng
+        )
+        for i in range(n_sessions)
+    }
+    manager = SessionManager(builder)
+    t0 = time.perf_counter()
+    for i, name in enumerate(trajectories):
+        manager.open(name, rng=seed + i)
+    for t in range(HORIZON):
+        manager.step_all({name: traj[t] for name, traj in trajectories.items()})
+    logs = manager.finish_all()
+    elapsed = time.perf_counter() - t0
+    stats = manager.cache_stats()
+    assert len(logs) == n_sessions
+    assert all(len(log) == HORIZON for log in logs.values())
+    return elapsed, stats
+
+
+def test_bench_session_manager_throughput(engine_setting, save_result, benchmark):
+    scenario, builder = engine_setting
+    rows = []
+    for n_sessions in SESSION_COUNTS:
+        elapsed, stats = _drive_fleet(scenario, builder, n_sessions, seed=0)
+        steps = n_sessions * HORIZON
+        rows.append(
+            [
+                n_sessions,
+                round(elapsed, 4),
+                round(n_sessions / elapsed, 1),
+                round(steps / elapsed, 1),
+                round(stats.hit_rate, 4) if stats else "off",
+            ]
+        )
+    table = format_table(
+        ["sessions", "wall s", "sessions/s", "steps/s", "cache hit rate"],
+        rows,
+        title=(
+            f"SessionManager throughput (8x8 map, T={HORIZON}, "
+            "0.5-PLM, eps=0.4 fixed prior)"
+        ),
+    )
+    save_result("bench_engine_sessions", table)
+
+    # The timed representative unit: one full 100-session fleet.
+    benchmark(lambda: _drive_fleet(scenario, builder, 100, seed=1))

@@ -1,9 +1,10 @@
 """PriSTE: from location privacy to spatiotemporal event privacy.
 
 A from-scratch reproduction of Cao, Xiao, Xiong & Bai, *PriSTE: From
-Location Privacy to Spatiotemporal Event Privacy* (ICDE 2019).
+Location Privacy to Spatiotemporal Event Privacy* (ICDE 2019), grown
+into a streaming release engine.
 
-Quickstart::
+Batch quickstart::
 
     import numpy as np
     from repro import (
@@ -22,8 +23,23 @@ Quickstart::
     log = priste.run(truth, rng=0)
     print(log.average_budget, log.euclidean_error_km(grid, truth))
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-reproduced tables and figures.
+Streaming quickstart (the online form of Algorithm 1; see
+:mod:`repro.engine`)::
+
+    from repro import SessionBuilder
+
+    session = (
+        SessionBuilder()
+        .with_grid(grid).with_chain(chain).protecting(event)
+        .with_mechanism(lppm).with_epsilon(0.5).with_horizon(50)
+        .build(rng=0)
+    )
+    for cell in truth:
+        record = session.step(cell)   # one release per location fix
+    log = session.finish()            # the same ReleaseLog as above
+
+The README documents the full surface, including ``SessionManager``
+fan-out, checkpoint/restore and the ``repro stream`` CLI.
 """
 
 from .attacks import (
@@ -50,6 +66,19 @@ from .core.quantify import (
 )
 from .core.theorem import RankOneCondition, privacy_conditions
 from .core.two_world import TwoWorldModel
+from .engine import (
+    BinarySearchCalibration,
+    BudgetHalving,
+    CalibrationStrategy,
+    EngineConfig,
+    LinearDecay,
+    ReleaseSession,
+    SessionBuilder,
+    SessionManager,
+    SessionState,
+    VerdictCache,
+    stack_release_logs,
+)
 from .errors import ReproError
 from .events import (
     PatternEvent,
@@ -76,7 +105,7 @@ from .markov import (
     sample_trajectory,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -129,4 +158,16 @@ __all__ = [
     "PriSTEDeltaLocationSet",
     "ReleaseLog",
     "ReleaseRecord",
+    # engine (streaming sessions)
+    "BinarySearchCalibration",
+    "BudgetHalving",
+    "CalibrationStrategy",
+    "EngineConfig",
+    "LinearDecay",
+    "ReleaseSession",
+    "SessionBuilder",
+    "SessionManager",
+    "SessionState",
+    "VerdictCache",
+    "stack_release_logs",
 ]

@@ -1,15 +1,32 @@
-"""Command-line entry point: ``python -m repro.cli <experiment>``.
+"""Command-line entry point: ``repro <experiment>`` / ``repro stream``.
 
-Reproduces any of the paper's figures/tables from the shell.  Run with
-``--help`` for options; experiment names match DESIGN.md's index
-(``fig7`` .. ``fig14``, ``table3``).
+Two modes:
+
+* ``repro fig7`` .. ``fig14``, ``table3`` -- reproduce one of the
+  paper's figures/tables (run with ``--help`` for options);
+* ``repro stream`` -- the online service loop: read JSON-lines location
+  fixes from stdin, drive one :class:`~repro.engine.SessionManager`, and
+  write one JSON release record per fix to stdout.
+
+Stream protocol (one JSON object per line)::
+
+    {"session": "u1", "cell": 17}     -> release for session "u1"
+    {"session": "u1", "op": "finish"} -> seal "u1", emit its summary
+    {"op": "finish"}                  -> seal every open session
+
+Sessions are opened on first sight, seeded deterministically from
+``--seed`` and the session name so replays reproduce.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import zlib
 
+from .engine import SessionBuilder, SessionManager
+from .errors import ReproError
 from .experiments.runners import (
     run_budget_over_time,
     run_conservative_release_table,
@@ -17,6 +34,7 @@ from .experiments.runners import (
     run_utility_sweep,
 )
 from .experiments.scenarios import geolife_scenario, synthetic_scenario
+from .lppm.planar_laplace import PlanarLaplaceMechanism
 
 
 def _fig_budget_over_time(args, window: tuple[int, int], label: str) -> str:
@@ -40,10 +58,171 @@ def _fig_budget_over_time(args, window: tuple[int, int], label: str) -> str:
     return result_a.to_text() + "\n\n" + result_b.to_text()
 
 
+def _stream_manager(args) -> SessionManager:
+    """Build the shared engine from the stream flags."""
+    scenario = synthetic_scenario(
+        n_rows=args.rows, n_cols=args.cols, sigma=args.sigma, horizon=args.horizon
+    )
+    builder = (
+        SessionBuilder()
+        .with_grid(scenario.grid)
+        .with_chain(scenario.chain)
+        .protecting(
+            scenario.presence_event(
+                args.event_cells[0], args.event_cells[1],
+                args.event_window[0], args.event_window[1],
+            )
+        )
+        .with_epsilon(args.epsilon)
+        .with_horizon(args.horizon)
+        .with_calibration(args.calibration)
+    )
+    if args.prior_mode == "fixed":
+        builder.with_fixed_prior(scenario.initial)
+    if args.mechanism == "delta":
+        builder.with_delta_location_set(args.alpha, args.delta, scenario.initial)
+    else:
+        builder.with_mechanism(PlanarLaplaceMechanism(scenario.grid, args.alpha))
+    return SessionManager(builder, cache_size=args.cache_size)
+
+
+def _session_seed(base_seed: int, name: str) -> int:
+    """Deterministic per-session seed: replays reproduce releases."""
+    return (base_seed << 32) ^ zlib.crc32(name.encode())
+
+
+def _finish_line(manager: SessionManager, name: str) -> dict:
+    log = manager.finish(name)
+    return {
+        "session": name,
+        "op": "finished",
+        "n_released": len(log),
+        "average_budget": round(log.average_budget, 6) if len(log) else None,
+        "n_conservative": log.n_conservative,
+    }
+
+
+def _stream_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro stream",
+        description="Streaming release service over stdin/stdout JSON lines",
+    )
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="base mechanism budget (PLM alpha, 1/km)")
+    parser.add_argument("--mechanism", choices=["geoind", "delta"], default="geoind")
+    parser.add_argument("--delta", type=float, default=0.2,
+                        help="delta-location set parameter (mechanism=delta)")
+    parser.add_argument("--rows", type=int, default=10)
+    parser.add_argument("--cols", type=int, default=10)
+    parser.add_argument("--sigma", type=float, default=1.0)
+    parser.add_argument("--horizon", type=int, default=50)
+    parser.add_argument("--event-cells", type=int, nargs=2, default=(0, 9),
+                        metavar=("FIRST", "LAST"))
+    parser.add_argument("--event-window", type=int, nargs=2, default=(4, 8),
+                        metavar=("START", "END"))
+    parser.add_argument("--prior-mode", choices=["worst_case", "fixed"],
+                        default="fixed")
+    parser.add_argument("--calibration", default="halving",
+                        choices=["halving", "linear", "binary-search"])
+    parser.add_argument("--cache-size", type=int, default=131_072,
+                        help="shared verdict-cache capacity (0 disables)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="non-negative base seed for per-session RNGs")
+    args = parser.parse_args(argv)
+    if args.seed < 0:
+        parser.error(f"--seed must be non-negative, got {args.seed}")
+
+    try:
+        manager = _stream_manager(args)
+    except ReproError as error:
+        parser.error(str(error))
+    incarnations: dict[str, int] = {}
+    for line_no, line in enumerate(sys.stdin, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+            if not isinstance(message, dict):
+                raise ValueError(
+                    f"expected a JSON object, got {type(message).__name__}"
+                )
+            if message.get("op") == "finish":
+                names = (
+                    [str(message["session"])]
+                    if "session" in message
+                    else list(manager.session_ids)
+                )
+                for name in names:
+                    print(json.dumps(_finish_line(manager, name)), flush=True)
+                    incarnations[name] = incarnations.get(name, 0) + 1
+                continue
+            name = str(message["session"])
+            cell = int(message["cell"])  # validate before opening a session
+            if name not in manager:
+                # Salt the seed with the incarnation count: a client that
+                # keeps streaming after finishing gets a fresh RNG stream,
+                # not a replay of its first log's noise.
+                seed_name = name
+                if incarnations.get(name):
+                    seed_name = f"{name}#{incarnations[name]}"
+                manager.open(name, rng=_session_seed(args.seed, seed_name))
+            record = manager.step(name, cell)
+            print(
+                json.dumps(
+                    {
+                        "session": name,
+                        "t": record.t,
+                        "true_cell": record.true_cell,
+                        "released_cell": record.released_cell,
+                        "budget": round(record.budget, 6),
+                        "n_attempts": record.n_attempts,
+                        "conservative": record.conservative,
+                    }
+                ),
+                flush=True,
+            )
+        except KeyError as error:
+            print(
+                json.dumps({"error": f"missing field {error}", "line": line_no}),
+                file=sys.stderr,
+                flush=True,
+            )
+        except (TypeError, ValueError, ReproError) as error:
+            print(
+                json.dumps({"error": str(error), "line": line_no}),
+                file=sys.stderr,
+                flush=True,
+            )
+    for name in list(manager.session_ids):
+        print(json.dumps(_finish_line(manager, name)), flush=True)
+    stats = manager.cache_stats()
+    if stats is not None:
+        print(
+            json.dumps(
+                {
+                    "op": "cache-stats",
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "hit_rate": round(stats.hit_rate, 4),
+                }
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stream":
+        return _stream_main(argv[1:])
     parser = argparse.ArgumentParser(
-        prog="repro", description="PriSTE experiment harness"
+        prog="repro",
+        description="PriSTE experiment harness",
+        epilog="Streaming mode: `repro stream --help` (JSON lines on stdin/stdout).",
     )
     parser.add_argument(
         "experiment",

@@ -30,6 +30,8 @@ timestamp: each call takes the current emission column ``p~_{o_t}``.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from .._validation import as_float_array, check_probability_vector
@@ -157,6 +159,19 @@ class EventQuantifier:
             c = self._prop_all @ lifted
         return b, c
 
+    def abort_prepare(self) -> None:
+        """Discard a prepared (uncommitted) timestamp, if any.
+
+        :meth:`prepare` never mutates the committed fronts, so dropping
+        the propagated copies rolls the quantifier back to the last
+        committed boundary -- used by the engine to keep a session
+        checkpointable after a failed step.
+        """
+        self._prepared_t = None
+        self._prop = None
+        self._prop_true = None
+        self._prop_all = None
+
     def commit(self, t: int, ptilde) -> None:
         """Fold the released emission column into the state (lines 21-25)."""
         if self._prepared_t != t:
@@ -197,6 +212,94 @@ class EventQuantifier:
                 self._front_all = self._front_all / peak
                 self._front_true = self._front_true / peak
             self._log_scale += float(np.log(peak))
+
+    # ------------------------------------------------------------------
+    # checkpointing (repro.engine session suspend/resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of the committed state (not valid mid-timestamp).
+
+        Only the between-timestamps state is captured: call it after
+        :meth:`commit` (or before the first :meth:`prepare`), never
+        between :meth:`prepare` and :meth:`commit`.
+        """
+        if self._prepared_t is not None:
+            raise QuantificationError(
+                "state_dict() is only valid between timestamps; "
+                f"t={self._prepared_t} is prepared but not committed"
+            )
+
+        def pack(array: np.ndarray | None):
+            return None if array is None else array.tolist()
+
+        return {
+            "front": pack(self._front),
+            "front_true": pack(self._front_true),
+            "front_all": pack(self._front_all),
+            "committed_t": self._committed_t,
+            "log_scale": self._log_scale,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+
+        def unpack(value):
+            if value is None:
+                return None
+            array = np.asarray(value, dtype=np.float64)
+            if array.shape != (self._m, 2 * self._m):
+                raise QuantificationError(
+                    f"front must have shape ({self._m}, {2 * self._m}), "
+                    f"got {array.shape}"
+                )
+            return array
+
+        front = unpack(state["front"])
+        front_true = unpack(state["front_true"])
+        front_all = unpack(state["front_all"])
+        if (front is None) == (front_all is None):
+            raise QuantificationError(
+                "exactly one of front (phase 1) and front_all (phase 2) "
+                "must be present"
+            )
+        if (front_true is None) != (front_all is None):
+            raise QuantificationError(
+                "front_true and front_all must be present together"
+            )
+        self._front = front
+        self._front_true = front_true
+        self._front_all = front_all
+        self._committed_t = int(state["committed_t"])
+        self._log_scale = float(state["log_scale"])
+        self._prepared_t = None
+        self._prop = None
+        self._prop_true = None
+        self._prop_all = None
+
+    def prepared_digest(self) -> bytes:
+        """Digest of everything a candidate verdict depends on at ``t``.
+
+        Covers the prepared (post-:meth:`prepare`) fronts, the phase-1
+        tail vector and the prior vector ``a`` -- together with a
+        candidate emission column these determine the Theorem IV.1
+        vectors ``(a, b, c)`` exactly, which is what makes verdict
+        caching keyed on this digest sound.
+        """
+        t = self._prepared_t
+        if t is None:
+            raise QuantificationError("prepared_digest() requires prepare(t) first")
+        h = hashlib.blake2b(digest_size=16)
+        h.update(t.to_bytes(8, "little"))
+        if self._prop is not None:
+            h.update(b"p1")
+            h.update(np.ascontiguousarray(self._prop).tobytes())
+            h.update(np.ascontiguousarray(self._tails[t - 1]).tobytes())
+        else:
+            h.update(b"p2")
+            h.update(np.ascontiguousarray(self._prop_true).tobytes())
+            h.update(np.ascontiguousarray(self._prop_all).tobytes())
+        h.update(np.ascontiguousarray(self._a).tobytes())
+        return h.digest()
 
     # ------------------------------------------------------------------
     # fixed-pi conveniences

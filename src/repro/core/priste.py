@@ -1,4 +1,4 @@
-"""The PriSTE framework: Algorithms 1, 2 and 3.
+"""The PriSTE framework: Algorithms 1, 2 and 3 (batch front end).
 
 Algorithm 1 (the framework): at every timestamp, generate a perturbed
 location with the LPPM, check epsilon-spatiotemporal event privacy
@@ -24,27 +24,51 @@ conditions within its work/time threshold (UNKNOWN), the candidate is not
 released and the budget is halved -- potentially over-perturbing, never
 unsound.  Such timestamps are flagged in the release log, feeding the
 Table III experiment.
+
+The per-timestamp loop itself lives in :mod:`repro.engine`: this module
+is now the batch-shaped front end, driving one
+:class:`~repro.engine.ReleaseSession` over a whole trajectory.  The
+streaming API is strictly more general (incremental ``step``, checkpoint
+and resume, pluggable calibration, multi-session fan-out); ``run`` here
+reproduces the original batch behaviour bit-for-bit, including the old
+release logs.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from .._validation import check_positive, check_probability_vector, resolve_rng
+from ..engine.cache import VerdictCache
+from ..engine.calibration import BudgetHalving
+from ..engine.config import EngineConfig
+from ..engine.providers import (
+    DeltaLocationSetProvider,
+    MechanismProvider,
+    StaticMechanismProvider,
+)
+from ..engine.records import ReleaseLog, ReleaseRecord
+from ..engine.session import EngineCore, ReleaseSession
 from ..errors import CalibrationError, QuantificationError
 from ..events.events import SpatiotemporalEvent
 from ..geo.grid import GridMap
 from ..lppm.base import LPPM
-from ..lppm.delta_location_set import DeltaLocationSetMechanism, posterior_update
-from ..lppm.uniform import UniformMechanism
-from .joint import EventQuantifier
-from .qp import SolverOptions, SolverStatus, check_conditions
-from .theorem import privacy_conditions, sufficient_safe
-from .two_world import TwoWorldModel
+from ..lppm.delta_location_set import DeltaLocationSetMechanism
+from .qp import SolverOptions
+
+__all__ = [
+    "PriSTE",
+    "PriSTEConfig",
+    "PriSTEDeltaLocationSet",
+    "ReleaseLog",
+    "ReleaseRecord",
+    "MechanismProvider",
+    "StaticMechanismProvider",
+    "DeltaLocationSetProvider",
+]
 
 
 @dataclass(frozen=True)
@@ -108,159 +132,6 @@ class PriSTEConfig:
             )
 
 
-@dataclass(frozen=True)
-class ReleaseRecord:
-    """One released location and how it was calibrated."""
-
-    t: int
-    true_cell: int
-    released_cell: int
-    budget: float
-    n_attempts: int
-    conservative: bool
-    forced_uniform: bool
-    elapsed_s: float
-
-
-@dataclass
-class ReleaseLog:
-    """The full output of one PriSTE run.
-
-    ``emission_matrices`` is populated only when the run's config sets
-    ``record_emissions=True``: one ``(m, n_outputs)`` matrix per
-    timestamp, the *actually used* mechanism (essential for exact
-    post-hoc verification of Algorithm 3, whose mechanism depends on the
-    evolving posterior and cannot be reconstructed from the budget
-    alone).
-    """
-
-    records: list[ReleaseRecord] = field(default_factory=list)
-    emission_matrices: list[np.ndarray] | None = None
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    @property
-    def released_cells(self) -> list[int]:
-        """The released trajectory ``o_1..o_T``."""
-        return [record.released_cell for record in self.records]
-
-    @property
-    def budgets(self) -> np.ndarray:
-        """Final budget used at each timestamp."""
-        return np.array([record.budget for record in self.records])
-
-    @property
-    def average_budget(self) -> float:
-        """The paper's primary utility metric (higher = better)."""
-        return float(self.budgets.mean())
-
-    @property
-    def n_conservative(self) -> int:
-        """Timestamps where an UNKNOWN verdict forced extra perturbation."""
-        return sum(1 for record in self.records if record.conservative)
-
-    @property
-    def total_elapsed_s(self) -> float:
-        """Total wall-clock spent calibrating and releasing."""
-        return sum(record.elapsed_s for record in self.records)
-
-    def euclidean_error_km(self, grid: GridMap, true_cells: Sequence[int]) -> float:
-        """Average km error vs the true trajectory (lower = better)."""
-        return grid.trajectory_error_km(list(true_cells), self.released_cells)
-
-    def emission_stack(self) -> np.ndarray:
-        """The recorded per-timestamp emission matrices as one array.
-
-        Requires the run to have used ``record_emissions=True`` and every
-        mechanism to share an output alphabet; raises otherwise.
-        """
-        if self.emission_matrices is None:
-            raise QuantificationError(
-                "emissions were not recorded; set "
-                "PriSTEConfig(record_emissions=True)"
-            )
-        shapes = {matrix.shape for matrix in self.emission_matrices}
-        if len(shapes) != 1:
-            raise QuantificationError(
-                f"mechanisms used different output alphabets: {sorted(shapes)}"
-            )
-        return np.stack(self.emission_matrices)
-
-
-class MechanismProvider(Protocol):
-    """Strategy giving PriSTE its per-timestamp base mechanism."""
-
-    def base_mechanism(self, t: int) -> LPPM:
-        """The mechanism to start calibration from at timestamp ``t``."""
-        ...
-
-    def after_release(self, t: int, mechanism: LPPM, released_cell: int) -> None:
-        """Hook after a release (posterior bookkeeping etc.)."""
-        ...
-
-
-class StaticMechanismProvider:
-    """Algorithm 2's provider: the same base LPPM at every timestamp."""
-
-    def __init__(self, lppm: LPPM):
-        self._lppm = lppm
-
-    def base_mechanism(self, t: int) -> LPPM:
-        return self._lppm
-
-    def after_release(self, t: int, mechanism: LPPM, released_cell: int) -> None:
-        return None
-
-
-class DeltaLocationSetProvider:
-    """Algorithm 3's provider: rebuild the mechanism from the posterior.
-
-    Maintains ``p+_{t-1}``; at each timestamp computes the Markov prior
-    ``p-_t = p+_{t-1} M`` (line 2), constructs the delta-location set
-    mechanism on it (lines 3-4), and updates the posterior with Eq. (21)
-    after the release (line 8).
-    """
-
-    def __init__(self, grid: GridMap, chain, alpha: float, delta: float, initial):
-        self._grid = grid
-        from ..markov.transition import TimeVaryingChain, TransitionMatrix
-
-        if isinstance(chain, TimeVaryingChain):
-            self._chain = chain
-        elif isinstance(chain, TransitionMatrix):
-            self._chain = TimeVaryingChain.homogeneous(chain)
-        else:
-            self._chain = TimeVaryingChain.homogeneous(
-                TransitionMatrix(np.asarray(chain))
-            )
-        self._alpha = check_positive(alpha, "alpha")
-        self._delta = float(delta)
-        self._posterior = check_probability_vector(initial, "initial distribution")
-        self._current_prior: np.ndarray | None = None
-
-    @property
-    def posterior(self) -> np.ndarray:
-        """``p+_{t-1}``: the adversary's posterior after the last release."""
-        return self._posterior.copy()
-
-    def base_mechanism(self, t: int) -> LPPM:
-        if t == 1:
-            prior = self._posterior
-        else:
-            prior = self._posterior @ self._chain.array_at(t - 1)
-        self._current_prior = prior
-        return DeltaLocationSetMechanism(self._grid, self._alpha, prior, self._delta)
-
-    def after_release(self, t: int, mechanism: LPPM, released_cell: int) -> None:
-        if self._current_prior is None:
-            raise QuantificationError("after_release called before base_mechanism")
-        self._posterior = posterior_update(
-            self._current_prior, mechanism.emission_matrix(), released_cell
-        )
-        self._current_prior = None
-
-
 class PriSTE:
     """Algorithms 1 / 2: PriSTE with an arbitrary budget-scalable LPPM.
 
@@ -297,10 +168,29 @@ class PriSTE:
         self._config = config
         self._horizon = int(horizon)
         self._provider: MechanismProvider = StaticMechanismProvider(lppm)
-        self._models = [
-            TwoWorldModel(chain, event, self._horizon) for event in self._events
-        ]
-        self._n_states = self._models[0].n_states
+        # One shared core: two-world models are built once here and
+        # reused by every run()'s session.  The factory honours the
+        # EngineConfig contract (fresh instance per call when stateful,
+        # via _new_session_provider); run() separately threads its one
+        # long-lived provider through every call, preserving the
+        # historical semantics of Algorithm 3's posterior carrying over
+        # between consecutive run() calls on one PriSTE object.
+        self._core = EngineCore(
+            EngineConfig(
+                chain=chain,
+                events=tuple(self._events),
+                horizon=self._horizon,
+                epsilon=config.epsilon,
+                provider_factory=lambda: self._new_session_provider(),
+                calibration=BudgetHalving(config.decay),
+                max_calibrations=config.max_calibrations,
+                solver=config.solver,
+                prior_mode=config.prior_mode,
+                prior=config.prior,
+                record_emissions=config.record_emissions,
+            )
+        )
+        self._n_states = self._core.n_states
         if lppm.n_states != self._n_states:
             raise QuantificationError(
                 f"LPPM has {lppm.n_states} states, chain has {self._n_states}"
@@ -320,10 +210,28 @@ class PriSTE:
         """The protected events."""
         return list(self._events)
 
+    def _new_session_provider(self) -> MechanismProvider:
+        """Provider for an independent session() (fresh when stateful)."""
+        return self._provider
+
+    def session(self, rng=None, cache: VerdictCache | None = None) -> ReleaseSession:
+        """A fresh streaming session over this instance's configuration.
+
+        The session shares this object's two-world models but gets its
+        own mechanism-provider state, so concurrent sessions are
+        isolated.  ``run`` is equivalent to stepping one of these
+        through a whole trajectory -- except that ``run`` deliberately
+        keeps the historical behaviour of sharing Algorithm 3's
+        posterior across consecutive calls on one instance.
+        """
+        return ReleaseSession(self._core, rng=rng, cache=cache)
+
     # ------------------------------------------------------------------
-    # the framework loop (Algorithm 1 / 2)
+    # the framework loop (Algorithm 1 / 2), batch form
     # ------------------------------------------------------------------
-    def run(self, trajectory: Sequence[int], rng=None) -> ReleaseLog:
+    def run(
+        self, trajectory: Sequence[int], rng=None, cache: VerdictCache | None = None
+    ) -> ReleaseLog:
         """Release a perturbed trajectory satisfying the privacy checks.
 
         Parameters
@@ -332,6 +240,11 @@ class PriSTE:
             The user's true cells ``u_1..u_T`` (length <= horizon).
         rng:
             Seed or generator for the mechanism sampling.
+        cache:
+            Optional shared :class:`~repro.engine.VerdictCache`.  Off by
+            default: with work/time limits configured, cached UNKNOWN
+            verdicts are conservative rather than bit-for-bit identical
+            to a fresh solve (see the cache docs).
         """
         cells = [int(c) for c in trajectory]
         if not 1 <= len(cells) <= self._horizon:
@@ -344,112 +257,12 @@ class PriSTE:
                     f"cell {cell} out of range [0, {self._n_states})"
                 )
         generator = resolve_rng(rng)
-        quantifiers = [EventQuantifier(model) for model in self._models]
-        a_vectors = [quantifier.a_vector() for quantifier in quantifiers]
-        log = ReleaseLog(
-            emission_matrices=[] if self._config.record_emissions else None
+        session = ReleaseSession(
+            self._core, rng=generator, cache=cache, _provider=self._provider
         )
-
-        for t, true_cell in enumerate(cells, start=1):
-            t_start = time.perf_counter()
-            for quantifier in quantifiers:
-                quantifier.prepare(t)
-
-            mechanism = self._provider.base_mechanism(t)
-            released_cell: int | None = None
-            released_column: np.ndarray | None = None
-            conservative = False
-            forced_uniform = False
-            attempts = 0
-
-            while True:
-                attempts += 1
-                if attempts > self._config.max_calibrations:
-                    # Guaranteed-safe fallback: the uniform mechanism
-                    # releases no information about the true location, so
-                    # the conditions hold analytically -- release without
-                    # asking the (possibly work-limited) solver.
-                    mechanism = UniformMechanism(self._n_states)
-                    forced_uniform = True
-                    released_cell = int(mechanism.perturb(true_cell, generator))
-                    released_column = mechanism.emission_column(released_cell)
-                    break
-                candidate = int(mechanism.perturb(true_cell, generator))
-                column = mechanism.emission_column(candidate)
-                verdict = self._check_all(quantifiers, a_vectors, t, column)
-                if verdict is SolverStatus.SAFE:
-                    released_cell = candidate
-                    released_column = column
-                    break
-                if verdict is SolverStatus.UNKNOWN:
-                    conservative = True
-                mechanism = mechanism.with_budget(
-                    mechanism.budget * self._config.decay
-                )
-
-            for quantifier in quantifiers:
-                quantifier.commit(t, released_column)
-            if log.emission_matrices is not None:
-                log.emission_matrices.append(mechanism.emission_matrix())
-            self._provider.after_release(t, mechanism, released_cell)
-            log.records.append(
-                ReleaseRecord(
-                    t=t,
-                    true_cell=true_cell,
-                    released_cell=released_cell,
-                    budget=float(mechanism.budget),
-                    n_attempts=attempts,
-                    conservative=conservative,
-                    forced_uniform=forced_uniform,
-                    elapsed_s=time.perf_counter() - t_start,
-                )
-            )
-        return log
-
-    def _check_all(self, quantifiers, a_vectors, t: int, column) -> SolverStatus:
-        """Worst verdict across all events for one candidate column."""
-        worst = SolverStatus.SAFE
-        for quantifier, a in zip(quantifiers, a_vectors):
-            b, c = quantifier.candidate_bc(t, column)
-            if self._config.prior_mode == "fixed":
-                status = self._fixed_prior_verdict(a, b, c)
-            elif sufficient_safe(
-                a, b, c, self._config.epsilon, self._config.solver.tolerance
-            ):
-                # O(m) certificate: provably safe for every pi without
-                # touching the quadratic program (conservative-release
-                # fast path).
-                status = SolverStatus.SAFE
-            else:
-                conditions = privacy_conditions(a, b, c, self._config.epsilon)
-                status, _ = check_conditions(conditions, self._config.solver)
-            if status is SolverStatus.VIOLATED:
-                return SolverStatus.VIOLATED
-            if status is SolverStatus.UNKNOWN:
-                worst = SolverStatus.UNKNOWN
-        return worst
-
-    def _fixed_prior_verdict(self, a, b, c) -> SolverStatus:
-        """Definition II.4 ratio check at the configured concrete prior."""
-        pi = self._config.prior
-        prior_true = float(pi @ a)
-        joint_true = float(pi @ b)
-        joint_false = float(pi @ c) - joint_true
-        if not 0.0 < prior_true < 1.0:
-            raise QuantificationError(
-                f"Pr(EVENT) = {prior_true:.6g} under the configured prior; "
-                "the Definition II.4 ratio is undefined"
-            )
-        if joint_true <= 0.0 and joint_false <= 0.0:
-            return SolverStatus.SAFE  # observation impossible either way
-        if joint_true <= 0.0 or joint_false <= 0.0:
-            return SolverStatus.VIOLATED  # one side certain, infinite ratio
-        ratio = (joint_true / prior_true) / (joint_false / (1.0 - prior_true))
-        bound = float(np.exp(self._config.epsilon))
-        tol = 1.0 + self._config.solver.tolerance
-        if ratio <= bound * tol and 1.0 / ratio <= bound * tol:
-            return SolverStatus.SAFE
-        return SolverStatus.VIOLATED
+        for cell in cells:
+            session.step(cell)
+        return session.finish()
 
 
 class PriSTEDeltaLocationSet(PriSTE):
@@ -475,6 +288,19 @@ class PriSTEDeltaLocationSet(PriSTE):
             grid, check_positive(alpha, "alpha"), initial, delta
         )
         super().__init__(chain, events, placeholder, config, horizon)
+        self._grid = grid
+        self._alpha = float(alpha)
+        self._delta = float(delta)
+        self._initial = initial
         self._set_provider(
             DeltaLocationSetProvider(grid, chain, alpha, delta, initial)
+        )
+
+    def _new_session_provider(self) -> MechanismProvider:
+        # The provider is stateful (tracks the adversary posterior):
+        # every independent session needs its own, started from the
+        # initial distribution -- sharing run()'s instance would let
+        # concurrent sessions corrupt each other's posterior.
+        return DeltaLocationSetProvider(
+            self._grid, self._chain, self._alpha, self._delta, self._initial
         )

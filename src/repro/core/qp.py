@@ -98,6 +98,25 @@ class SolverOptions:
                 f"time_limit_s must be positive, got {self.time_limit_s!r}"
             )
 
+    def fingerprint(self) -> bytes:
+        """Stable byte identity of everything that can change a verdict.
+
+        Used by :class:`repro.engine.VerdictCache` to namespace cached
+        verdicts: two option sets with equal fingerprints produce the
+        same SAFE/VIOLATED answers (UNKNOWN additionally depends on
+        wall-clock when ``time_limit_s`` is set; see the cache docs).
+        """
+        return repr(
+            (
+                self.constraint,
+                self.tolerance,
+                self.work_limit,
+                self.time_limit_s,
+                self.n_starts,
+                self.seed,
+            )
+        ).encode()
+
 
 @dataclass
 class SolveResult:

@@ -27,8 +27,12 @@ from .two_world import TwoWorldModel
 
 
 def _emission_columns_from(lppm_or_matrices, observations, m: int) -> np.ndarray:
-    """Normalize (LPPM | matrix | per-t matrices) + outputs into columns."""
+    """Normalize (LPPM | matrix | per-t matrices | log) + outputs into columns."""
     observations = [int(o) for o in observations]
+    if hasattr(lppm_or_matrices, "emission_stack"):
+        # A ReleaseLog (or anything log-shaped) recorded with
+        # record_emissions=True: verify exactly what was used.
+        lppm_or_matrices = lppm_or_matrices.emission_stack()
     if isinstance(lppm_or_matrices, LPPM):
         matrices = [lppm_or_matrices.emission_matrix()] * len(observations)
     else:
@@ -100,7 +104,9 @@ def quantify_fixed_prior(
         PRESENCE or PATTERN event.
     lppm_or_matrices:
         The mechanism: an :class:`~repro.lppm.base.LPPM`, one emission
-        matrix, or a ``(T', m, n_out)`` stack (one matrix per timestamp).
+        matrix, a ``(T', m, n_out)`` stack (one matrix per timestamp), or
+        a :class:`~repro.engine.ReleaseLog` recorded with
+        ``record_emissions=True`` (its stack is used).
     observations:
         The released outputs ``o_1..o_T'``.
     pi:

@@ -1,0 +1,118 @@
+"""LRU cache of solver verdicts, shared across streaming sessions.
+
+The Theorem IV.1 verdict for one candidate column is a pure function of
+
+* the quantifier's prepared front state (which encodes the chain, the
+  event and the committed release history),
+* the candidate emission column,
+* the privacy parameters (epsilon, prior mode / prior) and the solver
+  options.
+
+:class:`VerdictCache` keys on digests of exactly those inputs, so a hit
+is sound by construction: sessions with the same configuration that reach
+the same front state (e.g. many users at their first timestamps, or the
+halving ladder re-sampling an output it already tried) skip the quadratic
+program entirely.
+
+One caveat: with ``work_limit``/``time_limit_s`` set, an UNKNOWN verdict
+depends on the solver's budget and (for wall-clock limits) on machine
+load; caching it is *conservative* -- never unsound -- but can keep a
+timestamp conservative where a fresh solve might have certified SAFE.
+The legacy batch wrappers therefore default to no cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.qp import SolverStatus
+from ..errors import ValidationError
+
+
+def digest_array(array: np.ndarray) -> bytes:
+    """Stable digest of an array's contents (dtype/shape-sensitive)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(array.dtype).encode())
+    h.update(str(array.shape).encode())
+    h.update(np.ascontiguousarray(array).tobytes())
+    return h.digest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`VerdictCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class VerdictCache:
+    """Bounded LRU mapping verdict keys to :class:`SolverStatus`.
+
+    Keys are opaque byte strings built by the session from the config
+    fingerprint, the prepared-front digest and the candidate-column
+    digest; the cache itself only handles storage and accounting.
+    """
+
+    def __init__(self, maxsize: int = 131_072):
+        if maxsize < 1:
+            raise ValidationError(f"maxsize must be >= 1, got {maxsize!r}")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[bytes, SolverStatus] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        """Capacity bound."""
+        return self._maxsize
+
+    def lookup(self, key: bytes) -> SolverStatus | None:
+        """The cached verdict for ``key``, refreshing its recency."""
+        status = self._entries.get(key)
+        if status is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return status
+
+    def store(self, key: bytes, status: SolverStatus) -> None:
+        """Insert/refresh a verdict, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = status
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self._maxsize,
+        )

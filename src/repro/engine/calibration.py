@@ -1,0 +1,226 @@
+"""Pluggable calibration strategies for the Algorithm 1 release loop.
+
+Algorithm 1 leaves the "calibrate the LPPM" step abstract; Algorithm 2
+instantiates it as per-timestamp budget halving.  The engine factors that
+choice out behind :class:`CalibrationStrategy` so the halving schedule,
+a linear decay, or a binary search over the budget can be swapped in
+without touching the release loop.
+
+Protocol, per timestamp: the engine calls :meth:`CalibrationStrategy.begin`
+with the base budget of the provider's mechanism, obtaining a stateful
+:class:`CalibrationSchedule`.  After every *failed* privacy check it asks
+:meth:`~CalibrationSchedule.after_failure` for the next budget to try;
+after a *passed* check it asks :meth:`~CalibrationSchedule.after_success`,
+which either accepts the candidate (``None``) or proposes another budget
+to probe (the engine then re-samples and re-checks).  A proposed budget
+``<= 0`` makes the engine fall back to the uniform mechanism, the
+guaranteed-safe alpha -> 0 limit.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..errors import CalibrationError
+
+
+@runtime_checkable
+class CalibrationSchedule(Protocol):
+    """Per-timestamp budget schedule (stateful within one timestamp)."""
+
+    def after_failure(self, budget: float) -> float:
+        """Next budget to try after the check failed at ``budget``."""
+        ...
+
+    def after_success(self, budget: float) -> float | None:
+        """``None`` to release the safe candidate, or a budget to probe."""
+        ...
+
+
+@runtime_checkable
+class CalibrationStrategy(Protocol):
+    """Factory of per-timestamp schedules; stateless across timestamps."""
+
+    def begin(self, base_budget: float) -> CalibrationSchedule:
+        """Start a fresh schedule from the timestamp's base budget."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Algorithm 2: geometric decay (the paper's halving)
+# ----------------------------------------------------------------------
+class _GeometricSchedule:
+    def __init__(self, decay: float):
+        self._decay = decay
+
+    def after_failure(self, budget: float) -> float:
+        return budget * self._decay
+
+    def after_success(self, budget: float) -> float | None:
+        return None
+
+
+class BudgetHalving:
+    """Algorithm 2's schedule: multiply the budget by ``decay`` per retry.
+
+    ``decay = 0.5`` is the paper's halving; the paper notes the factor is
+    "a tunable parameter that provides a trade-off between efficiency and
+    utility".  This is the engine default and reproduces the legacy
+    ``PriSTE.run`` bit-for-bit.
+    """
+
+    def __init__(self, decay: float = 0.5):
+        if not 0.0 < decay < 1.0:
+            raise CalibrationError(f"decay must be in (0, 1), got {decay!r}")
+        self.decay = float(decay)
+
+    def begin(self, base_budget: float) -> _GeometricSchedule:
+        return _GeometricSchedule(self.decay)
+
+    def __repr__(self) -> str:
+        return f"BudgetHalving(decay={self.decay!r})"
+
+
+# ----------------------------------------------------------------------
+# linear decay
+# ----------------------------------------------------------------------
+class _LinearSchedule:
+    def __init__(self, step: float):
+        self._step = step
+
+    def after_failure(self, budget: float) -> float:
+        return budget - self._step
+
+    def after_success(self, budget: float) -> float | None:
+        return None
+
+
+class LinearDecay:
+    """Subtract ``step_fraction * base`` per retry instead of halving.
+
+    Decays slower than halving near the base budget (higher utility when
+    the conditions almost hold) but reaches the uniform fallback after at
+    most ``ceil(1 / step_fraction)`` failed checks, bounding worst-case
+    solver work per timestamp.
+    """
+
+    def __init__(self, step_fraction: float = 0.1):
+        if not 0.0 < step_fraction <= 1.0:
+            raise CalibrationError(
+                f"step_fraction must be in (0, 1], got {step_fraction!r}"
+            )
+        self.step_fraction = float(step_fraction)
+
+    def begin(self, base_budget: float) -> _LinearSchedule:
+        return _LinearSchedule(self.step_fraction * base_budget)
+
+    def __repr__(self) -> str:
+        return f"LinearDecay(step_fraction={self.step_fraction!r})"
+
+
+# ----------------------------------------------------------------------
+# binary search for the largest safe budget
+# ----------------------------------------------------------------------
+class _BinarySearchSchedule:
+    def __init__(self, base: float, max_probes: int, rel_tol: float):
+        self._lo = 0.0  # largest budget verified safe so far
+        self._hi = base  # smallest budget seen to fail
+        self._base = base
+        self._probes_left = max_probes
+        self._rel_tol = rel_tol
+        self._saw_failure = False
+        self._final = False  # probe budget spent: converge, don't bisect
+
+    def _exhausted(self) -> bool:
+        return (
+            self._probes_left <= 0
+            or self._hi - self._lo <= self._rel_tol * self._base
+        )
+
+    def after_failure(self, budget: float) -> float:
+        self._saw_failure = True
+        self._hi = min(self._hi, budget)
+        if self._final:
+            # Even the bracket floor failed for its fresh candidate:
+            # give up on this timestamp (0 = uniform fallback).
+            return 0.0
+        self._probes_left -= 1
+        if self._exhausted():
+            # One last try at the largest budget already verified safe
+            # (for an earlier candidate); 0 when nothing ever passed.
+            self._final = True
+            return self._lo
+        return (self._lo + self._hi) / 2.0
+
+    def after_success(self, budget: float) -> float | None:
+        if not self._saw_failure or self._final:
+            # Base passed untouched, or the convergence retry passed:
+            # release immediately.
+            return None
+        self._lo = max(self._lo, budget)
+        self._probes_left -= 1
+        if self._exhausted():
+            return None
+        return (self._lo + self._hi) / 2.0
+
+
+class BinarySearchCalibration:
+    """Bisect for (approximately) the largest safe budget per timestamp.
+
+    After the first failure the schedule keeps a bracket
+    ``[largest safe, smallest failed]`` and probes its midpoint, spending
+    at most ``max_probes`` bisection checks (plus at most two
+    convergence checks: a final retry at the bracket floor, then the
+    uniform fallback if even that fails).  Compared to halving it trades
+    extra solver calls for a tighter final budget (better utility at the
+    same epsilon).  Note the privacy check is per *sampled candidate*,
+    so a budget accepted here was verified safe for the candidate
+    actually released -- the guarantee is identical to halving's.
+    """
+
+    def __init__(self, max_probes: int = 8, rel_tol: float = 0.05):
+        if max_probes < 1:
+            raise CalibrationError(f"max_probes must be >= 1, got {max_probes!r}")
+        if rel_tol <= 0.0:
+            raise CalibrationError(f"rel_tol must be positive, got {rel_tol!r}")
+        self.max_probes = int(max_probes)
+        self.rel_tol = float(rel_tol)
+
+    def begin(self, base_budget: float) -> _BinarySearchSchedule:
+        return _BinarySearchSchedule(base_budget, self.max_probes, self.rel_tol)
+
+    def __repr__(self) -> str:
+        return (
+            f"BinarySearchCalibration(max_probes={self.max_probes!r}, "
+            f"rel_tol={self.rel_tol!r})"
+        )
+
+
+_NAMED = {
+    "halving": BudgetHalving,
+    "budget-halving": BudgetHalving,
+    "linear": LinearDecay,
+    "linear-decay": LinearDecay,
+    "binary-search": BinarySearchCalibration,
+}
+
+
+def resolve_strategy(strategy) -> CalibrationStrategy:
+    """Accept a strategy instance or one of the registered names.
+
+    Names: ``"halving"``/``"budget-halving"``, ``"linear"``/
+    ``"linear-decay"``, ``"binary-search"``.
+    """
+    if isinstance(strategy, str):
+        try:
+            return _NAMED[strategy]()
+        except KeyError:
+            raise CalibrationError(
+                f"unknown calibration strategy {strategy!r}; "
+                f"known names: {sorted(_NAMED)}"
+            ) from None
+    if isinstance(strategy, CalibrationStrategy):
+        return strategy
+    raise CalibrationError(
+        f"expected a CalibrationStrategy or a name, got {type(strategy).__name__}"
+    )

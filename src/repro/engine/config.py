@@ -1,0 +1,307 @@
+"""Engine configuration and the fluent session builder.
+
+:class:`EngineConfig` is the engine-native counterpart of the legacy
+:class:`repro.PriSTEConfig`: it carries the full release setting (chain,
+events, horizon, privacy parameters, calibration strategy, solver
+options and a mechanism-provider factory) as one immutable value, so a
+config can be shared by any number of sessions and managers.
+
+:class:`SessionBuilder` is the ergonomic way to assemble one::
+
+    session = (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(grid, 0.5))
+        .with_epsilon(0.5)
+        .with_fixed_prior(pi)
+        .with_horizon(50)
+        .build(rng=0)
+    )
+    record = session.step(true_cell)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import check_positive, check_probability_vector
+from ..errors import CalibrationError, SessionError
+from ..events.events import SpatiotemporalEvent
+from ..geo.grid import GridMap
+from ..lppm.base import LPPM
+from ..core.qp import SolverOptions
+from .calibration import BudgetHalving, CalibrationStrategy, resolve_strategy
+from .providers import (
+    DeltaLocationSetProvider,
+    MechanismProvider,
+    StaticMechanismProvider,
+)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a :class:`~repro.engine.session.ReleaseSession` needs.
+
+    Parameters
+    ----------
+    chain:
+        The user's mobility model (also the adversary's knowledge).
+    events:
+        The protected events; all must hold simultaneously at every
+        timestamp (Fig. 9).
+    horizon:
+        Release horizon ``T``.
+    epsilon:
+        The epsilon of epsilon-spatiotemporal event privacy to enforce.
+    provider_factory:
+        Zero-argument callable returning the session's
+        :class:`~repro.engine.providers.MechanismProvider`.  Stateful
+        providers (Algorithm 3) must return a fresh instance per call;
+        the stateless Algorithm 2 provider may be shared.
+    calibration:
+        The budget schedule (default: the paper's halving).
+    max_calibrations:
+        Rounds before falling back to the uniform mechanism, the
+        guaranteed-safe limit of every decay schedule.
+    solver:
+        QP solver options; ``time_limit_s``/``work_limit`` implement the
+        conservative-release threshold of Table III.
+    prior_mode / prior:
+        ``"worst_case"`` enforces Theorem IV.1 for arbitrary initial
+        distributions; ``"fixed"`` checks the Definition II.4 ratio at
+        the concrete ``prior`` (see :class:`repro.PriSTEConfig` for the
+        full discussion).
+    record_emissions:
+        Keep the actually-used emission matrix per timestamp in the log.
+    grid:
+        Optional map, for error metrics and provider conveniences.
+    """
+
+    chain: object
+    events: tuple[SpatiotemporalEvent, ...]
+    horizon: int
+    epsilon: float
+    provider_factory: Callable[[], MechanismProvider]
+    calibration: CalibrationStrategy = field(default_factory=BudgetHalving)
+    max_calibrations: int = 60
+    solver: SolverOptions = field(default_factory=SolverOptions)
+    prior_mode: str = "worst_case"
+    prior: np.ndarray | None = None
+    record_emissions: bool = False
+    grid: GridMap | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.epsilon, "epsilon")
+        if not self.events:
+            raise SessionError("the engine needs at least one event")
+        object.__setattr__(self, "events", tuple(self.events))
+        if int(self.horizon) < 1:
+            raise SessionError(f"horizon must be >= 1, got {self.horizon!r}")
+        object.__setattr__(self, "horizon", int(self.horizon))
+        if self.max_calibrations < 1:
+            raise CalibrationError(
+                f"max_calibrations must be >= 1, got {self.max_calibrations!r}"
+            )
+        if self.prior_mode not in ("worst_case", "fixed"):
+            raise CalibrationError(
+                f"prior_mode must be 'worst_case' or 'fixed', got {self.prior_mode!r}"
+            )
+        if self.prior_mode == "fixed":
+            if self.prior is None:
+                raise CalibrationError("prior_mode='fixed' requires a prior")
+            object.__setattr__(
+                self, "prior", check_probability_vector(self.prior, "prior")
+            )
+
+    def fingerprint(self) -> bytes:
+        """Byte identity of the parameters a cached verdict depends on.
+
+        The chain and events are *not* included -- their influence is
+        already captured exactly by the quantifier's prepared-front
+        digest that shares the cache key.
+        """
+        prior_bytes = b"" if self.prior is None else self.prior.tobytes()
+        return b"|".join(
+            [
+                repr(float(self.epsilon)).encode(),
+                self.prior_mode.encode(),
+                prior_bytes,
+                self.solver.fingerprint(),
+            ]
+        )
+
+
+class SessionBuilder:
+    """Fluent assembly of an :class:`EngineConfig` and its sessions.
+
+    Every ``with_*`` method returns the builder, so configuration chains;
+    :meth:`build_config` produces the immutable config, :meth:`build` a
+    ready session.  The builder itself is reusable: building does not
+    consume it.
+    """
+
+    def __init__(self) -> None:
+        self._grid: GridMap | None = None
+        self._chain = None
+        self._events: list[SpatiotemporalEvent] = []
+        self._horizon: int | None = None
+        self._epsilon: float | None = None
+        self._calibration: CalibrationStrategy = BudgetHalving()
+        self._max_calibrations = 60
+        self._solver = SolverOptions()
+        self._prior_mode = "worst_case"
+        self._prior: np.ndarray | None = None
+        self._record_emissions = False
+        # ("static", lppm) | ("delta", alpha, delta, initial) | ("factory", fn)
+        self._provider_spec: tuple | None = None
+
+    # -- setting ---------------------------------------------------------
+    def with_grid(self, grid: GridMap) -> "SessionBuilder":
+        """The cell map (needed by delta-location-set providers)."""
+        self._grid = grid
+        return self
+
+    def with_chain(self, chain) -> "SessionBuilder":
+        """The mobility model."""
+        self._chain = chain
+        return self
+
+    def protecting(
+        self, *events: SpatiotemporalEvent | Sequence[SpatiotemporalEvent]
+    ) -> "SessionBuilder":
+        """Add one or more protected events (cumulative)."""
+        for entry in events:
+            if isinstance(entry, SpatiotemporalEvent):
+                self._events.append(entry)
+            else:
+                self._events.extend(entry)
+        return self
+
+    def with_horizon(self, horizon: int) -> "SessionBuilder":
+        """Release horizon ``T``."""
+        self._horizon = int(horizon)
+        return self
+
+    # -- privacy ---------------------------------------------------------
+    def with_epsilon(self, epsilon: float) -> "SessionBuilder":
+        """The event-privacy level to enforce."""
+        self._epsilon = float(epsilon)
+        return self
+
+    def with_fixed_prior(self, prior) -> "SessionBuilder":
+        """Check the Definition II.4 ratio at this concrete prior."""
+        self._prior_mode = "fixed"
+        self._prior = np.asarray(prior, dtype=np.float64)
+        return self
+
+    def with_worst_case_prior(self) -> "SessionBuilder":
+        """Enforce Theorem IV.1 for arbitrary priors (the default)."""
+        self._prior_mode = "worst_case"
+        self._prior = None
+        return self
+
+    # -- mechanism -------------------------------------------------------
+    def with_mechanism(self, lppm: LPPM) -> "SessionBuilder":
+        """Algorithm 2: one budget-scalable base mechanism (shared)."""
+        self._provider_spec = ("static", lppm)
+        return self
+
+    def with_delta_location_set(
+        self, alpha: float, delta: float, initial
+    ) -> "SessionBuilder":
+        """Algorithm 3: per-timestamp posterior-restricted mechanisms."""
+        self._provider_spec = ("delta", float(alpha), float(delta), initial)
+        return self
+
+    def with_provider_factory(
+        self, factory: Callable[[], MechanismProvider]
+    ) -> "SessionBuilder":
+        """Custom provider; called once per session."""
+        self._provider_spec = ("factory", factory)
+        return self
+
+    # -- calibration / solver --------------------------------------------
+    def with_calibration(self, strategy) -> "SessionBuilder":
+        """A :class:`CalibrationStrategy` instance or registered name."""
+        self._calibration = resolve_strategy(strategy)
+        return self
+
+    def with_max_calibrations(self, n: int) -> "SessionBuilder":
+        """Rounds before the uniform fallback."""
+        self._max_calibrations = int(n)
+        return self
+
+    def with_solver(self, options: SolverOptions) -> "SessionBuilder":
+        """QP solver options (conservative-release knobs)."""
+        self._solver = options
+        return self
+
+    def recording_emissions(self, record: bool = True) -> "SessionBuilder":
+        """Keep per-timestamp emission matrices in the release log."""
+        self._record_emissions = bool(record)
+        return self
+
+    # -- building --------------------------------------------------------
+    def build_config(self) -> EngineConfig:
+        """Validate and freeze the accumulated configuration."""
+        if self._chain is None:
+            raise SessionError("SessionBuilder needs with_chain(...)")
+        if not self._events:
+            raise SessionError("SessionBuilder needs protecting(event, ...)")
+        if self._horizon is None:
+            raise SessionError("SessionBuilder needs with_horizon(...)")
+        if self._epsilon is None:
+            raise SessionError("SessionBuilder needs with_epsilon(...)")
+        if self._provider_spec is None:
+            raise SessionError(
+                "SessionBuilder needs a mechanism: with_mechanism(...), "
+                "with_delta_location_set(...) or with_provider_factory(...)"
+            )
+        factory = self._resolve_provider_factory()
+        return EngineConfig(
+            chain=self._chain,
+            events=tuple(self._events),
+            horizon=self._horizon,
+            epsilon=self._epsilon,
+            provider_factory=factory,
+            calibration=self._calibration,
+            max_calibrations=self._max_calibrations,
+            solver=self._solver,
+            prior_mode=self._prior_mode,
+            prior=self._prior,
+            record_emissions=self._record_emissions,
+            grid=self._grid,
+        )
+
+    def _resolve_provider_factory(self) -> Callable[[], MechanismProvider]:
+        kind = self._provider_spec[0]
+        if kind == "static":
+            # Stateless: one shared instance also shares its mechanism
+            # ladder memo across every session built from this config.
+            provider = StaticMechanismProvider(self._provider_spec[1])
+            return lambda: provider
+        if kind == "delta":
+            if self._grid is None:
+                raise SessionError(
+                    "with_delta_location_set(...) requires with_grid(...)"
+                )
+            _, alpha, delta, initial = self._provider_spec
+            grid, chain = self._grid, self._chain
+            return lambda: DeltaLocationSetProvider(grid, chain, alpha, delta, initial)
+        return self._provider_spec[1]
+
+    def build(self, rng=None, session_id: str | None = None):
+        """A fresh :class:`~repro.engine.session.ReleaseSession`."""
+        from .session import ReleaseSession
+
+        return ReleaseSession(self.build_config(), rng=rng, session_id=session_id)
+
+
+def config_with(config: EngineConfig, **overrides) -> EngineConfig:
+    """A copy of ``config`` with fields replaced (dataclass ``replace``)."""
+    return replace(config, **overrides)

@@ -1,0 +1,189 @@
+"""Multi-session fan-out: one engine serving many concurrent streams.
+
+:class:`SessionManager` drives any number of :class:`ReleaseSession`\\ s
+over one shared :class:`~repro.engine.session.EngineCore`, which buys
+
+* the two-world models built once, not per session (the dominant
+  per-session start-up cost);
+* one :class:`~repro.engine.cache.VerdictCache` of solver verdicts keyed
+  on (front digest, emission-column digest, config fingerprint), so any
+  session reaching a state another session already checked skips the
+  quadratic program entirely -- e.g. a million users all at their first
+  timestamps share a handful of verdicts;
+* a shared mechanism ladder for Algorithm 2 (the static provider
+  memoizes every rescaled budget's emission matrix).
+
+Typical service loop::
+
+    manager = SessionManager(builder)
+    manager.open("user-1", rng=1)
+    manager.open("user-2", rng=2)
+    records = manager.step_all({"user-1": 17, "user-2": 3})
+    log = manager.finish("user-1")
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SessionError
+from .cache import CacheStats, VerdictCache
+from .config import EngineConfig, SessionBuilder
+from .records import ReleaseLog, ReleaseRecord
+from .session import EngineCore, ReleaseSession, SessionState
+
+
+class SessionManager:
+    """Owns a fleet of sessions sharing models, cache and mechanisms.
+
+    Parameters
+    ----------
+    config:
+        An :class:`EngineConfig` or a :class:`SessionBuilder` (built
+        immediately).
+    cache_size:
+        Capacity of the shared verdict cache; ``0`` disables caching
+        (every check hits the solver, as the legacy batch API does).
+    """
+
+    def __init__(
+        self, config: EngineConfig | SessionBuilder, cache_size: int = 131_072
+    ):
+        if isinstance(config, SessionBuilder):
+            config = config.build_config()
+        cache = VerdictCache(cache_size) if cache_size > 0 else None
+        self._core = EngineCore(config, cache=cache)
+        self._sessions: dict[str, ReleaseSession] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        """The shared engine configuration."""
+        return self._core.config
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Open sessions, in creation order."""
+        return list(self._sessions)
+
+    def open(self, session_id: str | None = None, rng=None) -> str:
+        """Create a session; returns its id (fresh UUID when omitted)."""
+        session = ReleaseSession(self._core, rng=rng, session_id=session_id)
+        if session.session_id in self._sessions:
+            raise SessionError(f"session {session.session_id!r} already open")
+        self._sessions[session.session_id] = session
+        return session.session_id
+
+    def session(self, session_id: str) -> ReleaseSession:
+        """The live session object (advanced use; prefer the manager API)."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"no open session {session_id!r}") from None
+
+    def finish(self, session_id: str) -> ReleaseLog:
+        """Seal a session, drop it from the fleet, return its log."""
+        return self._sessions.pop(self._require(session_id)).finish()
+
+    def finish_all(self) -> dict[str, ReleaseLog]:
+        """Seal every open session; logs keyed by session id."""
+        logs = {sid: session.finish() for sid, session in self._sessions.items()}
+        self._sessions.clear()
+        return logs
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, session_id: str, true_cell: int) -> ReleaseRecord:
+        """Release one location for one session."""
+        return self._sessions[self._require(session_id)].step(true_cell)
+
+    def step_all(self, true_cells: Mapping[str, int]) -> dict[str, ReleaseRecord]:
+        """Release one location for many sessions in one call.
+
+        Sessions are stepped in the mapping's order; the shared verdict
+        cache and mechanism ladder turn the fan-out into mostly cache
+        hits when sessions are statistically similar.
+
+        The whole batch is validated (ids open, horizons not exceeded,
+        cells in range) before any session steps, so a bad entry raises
+        without advancing anyone -- the call is safe to retry.
+        """
+        n_states = self._core.n_states
+        batch: list[tuple[ReleaseSession, int]] = []
+        for sid, cell in true_cells.items():
+            session = self._sessions[self._require(sid)]
+            if session.t > session.horizon:
+                raise SessionError(
+                    f"session {sid!r} exhausted its horizon T={session.horizon}"
+                )
+            cell = int(cell)
+            if not 0 <= cell < n_states:
+                raise SessionError(
+                    f"cell {cell} for session {sid!r} out of range [0, {n_states})"
+                )
+            batch.append((session, cell))
+        return {
+            session.session_id: session.step(cell) for session, cell in batch
+        }
+
+    def peek_budget(self, session_id: str) -> float:
+        """Budget the session's next step would start calibrating from."""
+        return self._sessions[self._require(session_id)].peek_budget()
+
+    def released_columns(self, session_ids: Iterable[str] | None = None) -> np.ndarray:
+        """Latest released cell per session as one integer vector.
+
+        ``-1`` for sessions that have not stepped yet; a cheap bulk read
+        for monitoring dashboards (O(n_sessions), no record copies).
+        """
+        ids = list(self._sessions) if session_ids is None else list(session_ids)
+        out = np.full(len(ids), -1, dtype=np.int64)
+        for i, sid in enumerate(ids):
+            records = self._sessions[self._require(sid)]._records
+            if records:
+                out[i] = records[-1].released_cell
+        return out
+
+    # ------------------------------------------------------------------
+    # suspend / resume
+    # ------------------------------------------------------------------
+    def checkpoint(self, session_id: str) -> SessionState:
+        """Snapshot a session without closing it."""
+        return self._sessions[self._require(session_id)].to_state()
+
+    def suspend(self, session_id: str) -> SessionState:
+        """Snapshot a session and evict it from the fleet."""
+        state = self.checkpoint(session_id)
+        del self._sessions[session_id]
+        return state
+
+    def resume(self, state: SessionState) -> str:
+        """Re-open a suspended session from its state."""
+        if state.session_id in self._sessions:
+            raise SessionError(f"session {state.session_id!r} already open")
+        session = ReleaseSession.from_state(self._core, state)
+        self._sessions[session.session_id] = session
+        return session.session_id
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> CacheStats | None:
+        """Shared verdict-cache counters (``None`` when disabled)."""
+        return None if self._core.cache is None else self._core.cache.stats()
+
+    def _require(self, session_id: str) -> str:
+        if session_id not in self._sessions:
+            raise SessionError(f"no open session {session_id!r}")
+        return session_id

@@ -1,0 +1,146 @@
+"""Release records and logs: the engine's output types.
+
+These used to live in :mod:`repro.core.priste`; they moved down into the
+engine layer so that both the streaming API (:class:`ReleaseSession`)
+and the legacy batch API (:class:`repro.PriSTE`) share one definition.
+The old import path keeps working via a re-export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import QuantificationError
+from ..geo.grid import GridMap
+
+
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """One released location and how it was calibrated."""
+
+    t: int
+    true_cell: int
+    released_cell: int
+    budget: float
+    n_attempts: int
+    conservative: bool
+    forced_uniform: bool
+    elapsed_s: float
+
+    def to_json(self) -> dict:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "t": self.t,
+            "true_cell": self.true_cell,
+            "released_cell": self.released_cell,
+            "budget": self.budget,
+            "n_attempts": self.n_attempts,
+            "conservative": self.conservative,
+            "forced_uniform": self.forced_uniform,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ReleaseRecord":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            t=int(data["t"]),
+            true_cell=int(data["true_cell"]),
+            released_cell=int(data["released_cell"]),
+            budget=float(data["budget"]),
+            n_attempts=int(data["n_attempts"]),
+            conservative=bool(data["conservative"]),
+            forced_uniform=bool(data["forced_uniform"]),
+            elapsed_s=float(data["elapsed_s"]),
+        )
+
+
+@dataclass
+class ReleaseLog:
+    """The full output of one PriSTE run / one finished session.
+
+    ``emission_matrices`` is populated only when the run's config sets
+    ``record_emissions=True``: one ``(m, n_outputs)`` matrix per
+    timestamp, the *actually used* mechanism (essential for exact
+    post-hoc verification of Algorithm 3, whose mechanism depends on the
+    evolving posterior and cannot be reconstructed from the budget
+    alone).
+    """
+
+    records: list[ReleaseRecord] = field(default_factory=list)
+    emission_matrices: list[np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def released_cells(self) -> list[int]:
+        """The released trajectory ``o_1..o_T``."""
+        return [record.released_cell for record in self.records]
+
+    @property
+    def true_cells(self) -> list[int]:
+        """The true trajectory ``u_1..u_T`` the log was produced from."""
+        return [record.true_cell for record in self.records]
+
+    @property
+    def budgets(self) -> np.ndarray:
+        """Final budget used at each timestamp."""
+        return np.array([record.budget for record in self.records])
+
+    @property
+    def average_budget(self) -> float:
+        """The paper's primary utility metric (higher = better)."""
+        return float(self.budgets.mean())
+
+    @property
+    def n_conservative(self) -> int:
+        """Timestamps where an UNKNOWN verdict forced extra perturbation."""
+        return sum(1 for record in self.records if record.conservative)
+
+    @property
+    def total_elapsed_s(self) -> float:
+        """Total wall-clock spent calibrating and releasing."""
+        return sum(record.elapsed_s for record in self.records)
+
+    def euclidean_error_km(self, grid: GridMap, true_cells: Sequence[int]) -> float:
+        """Average km error vs the true trajectory (lower = better)."""
+        return grid.trajectory_error_km(list(true_cells), self.released_cells)
+
+    def emission_stack(self) -> np.ndarray:
+        """The recorded per-timestamp emission matrices as one array.
+
+        Requires the run to have used ``record_emissions=True`` and every
+        mechanism to share an output alphabet; raises otherwise.
+        """
+        if self.emission_matrices is None:
+            raise QuantificationError(
+                "emissions were not recorded; set "
+                "PriSTEConfig(record_emissions=True)"
+            )
+        shapes = {matrix.shape for matrix in self.emission_matrices}
+        if len(shapes) != 1:
+            raise QuantificationError(
+                f"mechanisms used different output alphabets: {sorted(shapes)}"
+            )
+        return np.stack(self.emission_matrices)
+
+
+def stack_release_logs(logs: Sequence[ReleaseLog]) -> np.ndarray:
+    """Vectorized emission-stack construction over many finished logs.
+
+    Returns a ``(n_logs, T, m, n_outputs)`` array; every log must have
+    recorded emissions, the same length and the same alphabet.
+    """
+    if not logs:
+        raise QuantificationError("need at least one release log to stack")
+    stacks = [log.emission_stack() for log in logs]
+    shapes = {stack.shape for stack in stacks}
+    if len(shapes) != 1:
+        raise QuantificationError(
+            f"logs have incompatible emission stacks: {sorted(shapes)}"
+        )
+    return np.stack(stacks)

@@ -1,0 +1,471 @@
+"""The streaming release session: Algorithm 1 one timestamp at a time.
+
+The paper's framework is inherently online -- at every timestamp it
+calibrates the LPPM, checks epsilon-spatiotemporal-event privacy and
+releases one location -- but the original reproduction only exposed the
+batch ``PriSTE.run(trajectory)``.  :class:`ReleaseSession` is the
+incremental form::
+
+    session = builder.build(rng=0)
+    record = session.step(true_cell)      # one release
+    session.peek_budget()                 # budget the next step starts from
+    state = session.to_state()            # suspend ...
+    session = ReleaseSession.from_state(config, state)   # ... resume
+    log = session.finish()                # the familiar ReleaseLog
+
+Driven to the end of a trajectory with the default halving calibration,
+a session reproduces the legacy batch run bit-for-bit (same RNG
+consumption, same verdicts, same records); ``PriSTE.run`` is now a thin
+wrapper doing exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+
+import numpy as np
+
+from .._validation import resolve_rng
+from ..core.joint import EventQuantifier
+from ..core.qp import SolverStatus, check_conditions
+from ..core.theorem import privacy_conditions, sufficient_safe
+from ..core.two_world import TwoWorldModel
+from ..errors import QuantificationError, SessionError
+from ..lppm.uniform import UniformMechanism
+from .cache import VerdictCache, digest_array
+from .config import EngineConfig
+from .providers import MechanismProvider
+from .records import ReleaseLog, ReleaseRecord
+
+
+class EngineCore:
+    """Shared, immutable machinery behind one or more sessions.
+
+    Building the two-world models is the expensive part of session
+    start-up (O(m^2) per event); a core builds them once and every
+    session created from it -- all of a :class:`SessionManager`'s fleet,
+    or every ``run()`` of a legacy wrapper -- reuses them.  The optional
+    verdict cache lives here too, so sessions sharing a core share hits.
+    """
+
+    def __init__(self, config: EngineConfig, cache: VerdictCache | None = None):
+        self.config = config
+        self.models = [
+            TwoWorldModel(config.chain, event, config.horizon)
+            for event in config.events
+        ]
+        self.n_states = self.models[0].n_states
+        self.a_vectors = [model.prior_vector() for model in self.models]
+        self.cache = cache
+        self.config_fingerprint = config.fingerprint()
+
+    def new_provider(self) -> MechanismProvider:
+        """A provider for one new session (fresh when stateful)."""
+        return self.config.provider_factory()
+
+    def new_quantifiers(self) -> list[EventQuantifier]:
+        """Fresh incremental quantifiers over the shared models."""
+        return [EventQuantifier(model) for model in self.models]
+
+
+class SessionState:
+    """A suspended session: everything needed to resume it elsewhere.
+
+    Produced by :meth:`ReleaseSession.to_state`; JSON-serializable via
+    :meth:`to_json`/:meth:`from_json`, so sessions can be parked in a
+    database between a user's location fixes.
+    """
+
+    def __init__(
+        self,
+        committed_t: int,
+        records: list[ReleaseRecord],
+        quantifiers: list[dict],
+        provider: dict,
+        rng: dict,
+        emissions: list[np.ndarray] | None,
+        session_id: str,
+    ):
+        self.committed_t = committed_t
+        self.records = records
+        self.quantifiers = quantifiers
+        self.provider = provider
+        self.rng = rng
+        self.emissions = emissions
+        self.session_id = session_id
+
+    def to_json(self) -> dict:
+        """Plain-dict form, safe for ``json.dumps``."""
+        return {
+            "committed_t": self.committed_t,
+            "records": [record.to_json() for record in self.records],
+            "quantifiers": self.quantifiers,
+            "provider": self.provider,
+            "rng": self.rng,
+            "emissions": (
+                None
+                if self.emissions is None
+                else [matrix.tolist() for matrix in self.emissions]
+            ),
+            "session_id": self.session_id,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SessionState":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            committed_t=int(data["committed_t"]),
+            records=[ReleaseRecord.from_json(r) for r in data["records"]],
+            quantifiers=list(data["quantifiers"]),
+            provider=dict(data["provider"]),
+            rng=dict(data["rng"]),
+            emissions=(
+                None
+                if data["emissions"] is None
+                else [np.asarray(m, dtype=np.float64) for m in data["emissions"]]
+            ),
+            session_id=str(data["session_id"]),
+        )
+
+
+def _rng_state(generator: np.random.Generator) -> dict:
+    return generator.bit_generator.state
+
+
+def _rng_from_state(state: dict) -> np.random.Generator:
+    name = state["bit_generator"]
+    try:
+        bit_generator = getattr(np.random, name)()
+    except AttributeError:
+        raise SessionError(f"unknown bit generator {name!r} in session state")
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
+class ReleaseSession:
+    """One user's online release stream under Algorithm 1.
+
+    Parameters
+    ----------
+    config:
+        An :class:`EngineConfig` (or a prebuilt :class:`EngineCore` when
+        many sessions share models, as :class:`SessionManager` does).
+    rng:
+        Seed or generator for mechanism sampling; the session owns its
+        generator so interleaved sessions stay independently
+        reproducible.
+    session_id:
+        Optional stable identifier (defaults to a fresh UUID hex).
+    cache:
+        Verdict cache override; defaults to the core's shared cache.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | EngineCore,
+        rng=None,
+        session_id: str | None = None,
+        cache: VerdictCache | None = None,
+        _provider: MechanismProvider | None = None,
+    ):
+        core = config if isinstance(config, EngineCore) else EngineCore(config)
+        self._core = core
+        self._config = core.config
+        self._provider = _provider if _provider is not None else core.new_provider()
+        self._quantifiers = core.new_quantifiers()
+        self._generator = resolve_rng(rng)
+        self._cache = cache if cache is not None else core.cache
+        self._records: list[ReleaseRecord] = []
+        self._emissions: list[np.ndarray] | None = (
+            [] if self._config.record_emissions else None
+        )
+        self._finished = False
+        self.session_id = session_id or uuid.uuid4().hex
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        """The immutable engine configuration."""
+        return self._config
+
+    @property
+    def t(self) -> int:
+        """The next timestamp :meth:`step` would release (1-based)."""
+        return len(self._records) + 1
+
+    @property
+    def horizon(self) -> int:
+        """Release horizon ``T``."""
+        return self._config.horizon
+
+    @property
+    def records(self) -> list[ReleaseRecord]:
+        """Records released so far (copy)."""
+        return list(self._records)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has sealed the session."""
+        return self._finished
+
+    def peek_budget(self) -> float:
+        """Budget the next step's calibration would start from.
+
+        Side-effect free: neither the provider state nor the RNG moves.
+        """
+        self._ensure_open()
+        if self.t > self._config.horizon:
+            raise SessionError(
+                f"session exhausted its horizon T={self._config.horizon}"
+            )
+        return self._provider.base_budget(self.t)
+
+    # ------------------------------------------------------------------
+    # the framework loop, one timestamp per call
+    # ------------------------------------------------------------------
+    def step(self, true_cell: int) -> ReleaseRecord:
+        """Calibrate, check and release one location (Algorithm 1).
+
+        Raises :class:`SessionError` past the horizon or after
+        :meth:`finish`, :class:`QuantificationError` for a cell outside
+        the map.
+        """
+        self._ensure_open()
+        t = self.t
+        if t > self._config.horizon:
+            raise SessionError(
+                f"step({true_cell}) at t={t} exceeds horizon "
+                f"T={self._config.horizon}; call finish()"
+            )
+        cell = int(true_cell)
+        if not 0 <= cell < self._core.n_states:
+            raise QuantificationError(
+                f"cell {cell} out of range [0, {self._core.n_states})"
+            )
+
+        t_start = time.perf_counter()
+        rng_checkpoint = self._generator.bit_generator.state
+        for quantifier in self._quantifiers:
+            quantifier.prepare(t)
+        try:
+            digests = (
+                [quantifier.prepared_digest() for quantifier in self._quantifiers]
+                if self._cache is not None
+                else None
+            )
+
+            mechanism = self._provider.base_mechanism(t)
+            schedule = self._config.calibration.begin(float(mechanism.budget))
+            released_cell: int | None = None
+            released_column: np.ndarray | None = None
+            conservative = False
+            forced_uniform = False
+            attempts = 0
+
+            while True:
+                attempts += 1
+                if attempts > self._config.max_calibrations:
+                    mechanism, released_cell, released_column = (
+                        self._uniform_release(cell)
+                    )
+                    forced_uniform = True
+                    break
+                candidate = int(mechanism.perturb(cell, self._generator))
+                column = mechanism.emission_column(candidate)
+                verdict = self._check_all(t, column, digests)
+                if verdict is SolverStatus.SAFE:
+                    next_budget = schedule.after_success(float(mechanism.budget))
+                    if next_budget is None:
+                        released_cell = candidate
+                        released_column = column
+                        break
+                else:
+                    if verdict is SolverStatus.UNKNOWN:
+                        conservative = True
+                    next_budget = schedule.after_failure(float(mechanism.budget))
+                if next_budget <= 0.0:
+                    # The schedule bottomed out: take the guaranteed-safe
+                    # uniform limit without asking the solver.
+                    mechanism, released_cell, released_column = (
+                        self._uniform_release(cell)
+                    )
+                    forced_uniform = True
+                    break
+                mechanism = self._provider.scaled(mechanism, next_budget)
+        except BaseException:
+            # Roll back to the committed boundary (fronts and RNG) so a
+            # failed attempt (solver error, provider error, interrupt)
+            # leaves the session steppable, checkpointable, and
+            # deterministic on retry.
+            for quantifier in self._quantifiers:
+                quantifier.abort_prepare()
+            self._generator.bit_generator.state = rng_checkpoint
+            raise
+
+        for quantifier in self._quantifiers:
+            quantifier.commit(t, released_column)
+        if self._emissions is not None:
+            self._emissions.append(mechanism.emission_matrix())
+        self._provider.after_release(t, mechanism, released_cell)
+        record = ReleaseRecord(
+            t=t,
+            true_cell=cell,
+            released_cell=released_cell,
+            budget=float(mechanism.budget),
+            n_attempts=attempts,
+            conservative=conservative,
+            forced_uniform=forced_uniform,
+            elapsed_s=time.perf_counter() - t_start,
+        )
+        self._records.append(record)
+        return record
+
+    def _uniform_release(self, cell: int):
+        """Guaranteed-safe fallback: the uniform mechanism.
+
+        It releases no information about the true location, so the
+        conditions hold analytically -- no solver call needed.
+        """
+        mechanism = UniformMechanism(self._core.n_states)
+        released_cell = int(mechanism.perturb(cell, self._generator))
+        return mechanism, released_cell, mechanism.emission_column(released_cell)
+
+    def finish(self) -> ReleaseLog:
+        """Seal the session and return its release log."""
+        self._ensure_open()
+        self._finished = True
+        return ReleaseLog(records=self._records, emission_matrices=self._emissions)
+
+    def _ensure_open(self) -> None:
+        if self._finished:
+            raise SessionError(f"session {self.session_id!r} is finished")
+
+    # ------------------------------------------------------------------
+    # privacy checks (with optional verdict caching)
+    # ------------------------------------------------------------------
+    def _check_all(self, t, column, digests) -> SolverStatus:
+        """Worst verdict across all events for one candidate column."""
+        worst = SolverStatus.SAFE
+        cache = self._cache
+        column_digest = digest_array(column) if cache is not None else None
+        for index, (quantifier, a) in enumerate(
+            zip(self._quantifiers, self._core.a_vectors)
+        ):
+            if cache is not None:
+                key = b"|".join(
+                    [
+                        self._core.config_fingerprint,
+                        index.to_bytes(2, "little"),
+                        digests[index],
+                        column_digest,
+                    ]
+                )
+                status = cache.lookup(key)
+                if status is None:
+                    status = self._check_one(quantifier, a, t, column)
+                    cache.store(key, status)
+            else:
+                status = self._check_one(quantifier, a, t, column)
+            if status is SolverStatus.VIOLATED:
+                return SolverStatus.VIOLATED
+            if status is SolverStatus.UNKNOWN:
+                worst = SolverStatus.UNKNOWN
+        return worst
+
+    def _check_one(self, quantifier, a, t, column) -> SolverStatus:
+        config = self._config
+        b, c = quantifier.candidate_bc(t, column)
+        if config.prior_mode == "fixed":
+            return self._fixed_prior_verdict(a, b, c)
+        if sufficient_safe(a, b, c, config.epsilon, config.solver.tolerance):
+            # O(m) certificate: provably safe for every pi without
+            # touching the quadratic program (conservative-release
+            # fast path).
+            return SolverStatus.SAFE
+        conditions = privacy_conditions(a, b, c, config.epsilon)
+        status, _ = check_conditions(conditions, config.solver)
+        return status
+
+    def _fixed_prior_verdict(self, a, b, c) -> SolverStatus:
+        """Definition II.4 ratio check at the configured concrete prior."""
+        config = self._config
+        pi = config.prior
+        prior_true = float(pi @ a)
+        joint_true = float(pi @ b)
+        joint_false = float(pi @ c) - joint_true
+        if not 0.0 < prior_true < 1.0:
+            raise QuantificationError(
+                f"Pr(EVENT) = {prior_true:.6g} under the configured prior; "
+                "the Definition II.4 ratio is undefined"
+            )
+        if joint_true <= 0.0 and joint_false <= 0.0:
+            return SolverStatus.SAFE  # observation impossible either way
+        if joint_true <= 0.0 or joint_false <= 0.0:
+            return SolverStatus.VIOLATED  # one side certain, infinite ratio
+        ratio = (joint_true / prior_true) / (joint_false / (1.0 - prior_true))
+        bound = float(np.exp(config.epsilon))
+        tol = 1.0 + config.solver.tolerance
+        if ratio <= bound * tol and 1.0 / ratio <= bound * tol:
+            return SolverStatus.SAFE
+        return SolverStatus.VIOLATED
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def to_state(self) -> SessionState:
+        """Snapshot the session between steps (suspend)."""
+        self._ensure_open()
+        return SessionState(
+            committed_t=len(self._records),
+            records=list(self._records),
+            quantifiers=[q.state_dict() for q in self._quantifiers],
+            provider=self._provider.state_dict(),
+            rng=_rng_state(self._generator),
+            emissions=None if self._emissions is None else list(self._emissions),
+            session_id=self.session_id,
+        )
+
+    @classmethod
+    def from_state(
+        cls,
+        config: EngineConfig | EngineCore,
+        state: SessionState,
+        cache: VerdictCache | None = None,
+    ) -> "ReleaseSession":
+        """Rebuild a suspended session (resume).
+
+        ``config`` must match the one the state was produced under; the
+        engine cannot verify that beyond shape checks, so treat the pair
+        as a unit when parking sessions externally.
+        """
+        session = cls(config, session_id=state.session_id, cache=cache)
+        if len(state.quantifiers) != len(session._quantifiers):
+            raise SessionError(
+                f"state has {len(state.quantifiers)} quantifiers, config "
+                f"defines {len(session._quantifiers)} events"
+            )
+        if state.committed_t != len(state.records):
+            raise SessionError(
+                f"state committed_t={state.committed_t} disagrees with "
+                f"{len(state.records)} records"
+            )
+        if state.committed_t > session._config.horizon:
+            raise SessionError(
+                f"state is at t={state.committed_t}, beyond horizon "
+                f"{session._config.horizon}"
+            )
+        for quantifier, qstate in zip(session._quantifiers, state.quantifiers):
+            quantifier.load_state_dict(qstate)
+        session._provider.load_state_dict(state.provider)
+        session._generator = _rng_from_state(state.rng)
+        session._records = list(state.records)
+        if session._emissions is not None:
+            if state.emissions is None:
+                raise SessionError(
+                    "config records emissions but the state has none"
+                )
+            session._emissions = list(state.emissions)
+        return session

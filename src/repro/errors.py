@@ -60,3 +60,13 @@ class SolverError(ReproError, RuntimeError):
 
 class CalibrationError(ReproError, RuntimeError):
     """PriSTE budget calibration could not find a releasable output."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """A streaming release session was configured or driven incorrectly.
+
+    Raised by :mod:`repro.engine` for lifecycle misuse: stepping past the
+    horizon or after ``finish()``, building a session from an incomplete
+    :class:`~repro.engine.SessionBuilder`, or restoring a corrupt
+    checkpoint.
+    """

@@ -29,6 +29,7 @@ from ..core.baseline import pattern_joint_naive, pattern_prior_naive
 from ..core.joint import EventQuantifier, joint_probability
 from ..core.priste import PriSTE, PriSTEConfig, PriSTEDeltaLocationSet, ReleaseLog
 from ..core.qp import SolverOptions
+from ..engine import VerdictCache
 from ..core.two_world import TwoWorldModel
 from ..errors import ValidationError
 from ..events.events import PatternEvent, SpatiotemporalEvent
@@ -132,7 +133,11 @@ def run_budget_over_time(
             prior=scenario.initial if prior_mode == "fixed" else None,
         )
         priste = _build_priste(scenario, events, alpha, config, mechanism, delta)
-        logs = [priste.run(trajectory, rng) for trajectory in trajectories]
+        # One verdict cache per curve: all runs share chain/event/epsilon
+        # and unlimited solver options, so hits are exact (not merely
+        # conservative) and repeated early-timestamp checks are free.
+        cache = VerdictCache()
+        logs = [priste.run(trajectory, rng, cache=cache) for trajectory in trajectories]
         means, stds = average_budget_over_time(logs)
         result.curves[name] = means
         result.deviations[name] = stds
@@ -213,7 +218,8 @@ def run_utility_sweep(
                 params.get("mechanism", "geoind"),
                 params.get("delta", 0.2),
             )
-            logs = [priste.run(trajectory, rng) for trajectory in trajectories]
+            cache = VerdictCache()  # per-setting: exact hits, shared across runs
+            logs = [priste.run(trajectory, rng, cache=cache) for trajectory in trajectories]
             aggregate = aggregate_logs(logs, scenario.grid, trajectories)
             budgets.append(round(aggregate.mean_budget, 4))
             errors.append(round(aggregate.mean_error_km, 4))

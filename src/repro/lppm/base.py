@@ -5,6 +5,10 @@ An LPPM is, for quantification purposes, an emission matrix
 also a sampler.  PriSTE's calibration loop additionally needs to *rescale
 the privacy budget* of a mechanism (Algorithm 2 halves alpha until the
 event-privacy conditions hold), so mechanisms expose ``with_budget``.
+
+The *mechanism provider* protocol -- which base mechanism the release
+loop starts from at each timestamp -- lives in the engine layer; see
+:mod:`repro.engine.providers`.
 """
 
 from __future__ import annotations
@@ -56,6 +60,32 @@ class LPPM(abc.ABC):
         matrix = self.emission_matrix()
         generator = resolve_rng(rng)
         return int(generator.choice(matrix.shape[1], p=matrix[cell]))
+
+    def perturb_many(self, true_cells, rng=None) -> np.ndarray:
+        """Vectorized sampling: one perturbed output per input cell.
+
+        Uses inverse-CDF sampling over the emission rows, so it draws a
+        different RNG stream than repeated :meth:`perturb` calls --
+        intended for bulk load generation (benchmarks, simulators), not
+        for reproducing a per-call sampling sequence.
+        """
+        cells = np.asarray(true_cells, dtype=np.int64)
+        if cells.ndim != 1:
+            raise MechanismError(
+                f"true_cells must be 1-D, got shape {cells.shape}"
+            )
+        if cells.size and (cells.min() < 0 or cells.max() >= self.n_states):
+            raise MechanismError(
+                f"true_cells must lie in [0, {self.n_states})"
+            )
+        generator = resolve_rng(rng)
+        cdf = np.cumsum(self.emission_matrix()[cells], axis=1)
+        # Normalize so the last entry is exactly 1.0: float rounding in
+        # the row sum must not let a draw overflow the CDF (argmax of an
+        # all-False row would silently return output 0).
+        cdf /= cdf[:, -1:]
+        draws = generator.uniform(size=cells.size)
+        return (draws[:, None] < cdf).argmax(axis=1)
 
     def emission_column(self, output: int) -> np.ndarray:
         """The paper's ``p~_{o_t}``: ``Pr(o | u = s_k)`` for each cell k.

@@ -1,0 +1,92 @@
+"""The ``repro stream`` JSON-lines service loop."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+BASE_ARGS = ["stream", "--rows", "5", "--cols", "5", "--horizon", "10", "--seed", "3"]
+
+
+def run_stream(monkeypatch, capsys, lines, args=()):
+    monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+    code = cli_main(BASE_ARGS + list(args))
+    captured = capsys.readouterr()
+    return code, [json.loads(l) for l in captured.out.splitlines()], captured.err
+
+
+class TestStream:
+    def test_happy_path_and_summary(self, monkeypatch, capsys):
+        code, out, _ = run_stream(
+            monkeypatch,
+            capsys,
+            ['{"session":"u1","cell":3}', '{"session":"u1","cell":4}',
+             '{"op":"finish"}'],
+        )
+        assert code == 0
+        assert [o.get("t") for o in out[:2]] == [1, 2]
+        assert out[2]["op"] == "finished"
+        assert out[2]["n_released"] == 2
+
+    def test_bad_lines_do_not_kill_the_service(self, monkeypatch, capsys):
+        code, out, err = run_stream(
+            monkeypatch,
+            capsys,
+            [
+                '{"session":"u1","cell":3}',
+                "not json",
+                "[1, 2]",                       # valid JSON, not an object
+                '{"session":"u1","cell":null}',  # non-numeric cell
+                '{"cell":5}',                    # missing session
+                '{"session":"u1","cell":999}',   # out of range
+                '{"session":"ghost","op":"finish"}',
+                '{"session":"u1","cell":4}',
+            ],
+        )
+        assert code == 0
+        records = [o for o in out if "t" in o]
+        assert [r["t"] for r in records] == [1, 2]  # service kept going
+        assert len(err.splitlines()) >= 6  # one error line per bad input
+
+    def test_malformed_message_opens_no_phantom_session(self, monkeypatch, capsys):
+        code, out, err = run_stream(
+            monkeypatch,
+            capsys,
+            ['{"session":"u1","cell":3}', '{"session":"phantom"}', '{"op":"finish"}'],
+        )
+        assert code == 0
+        assert "missing field 'cell'" in err
+        finished = [o["session"] for o in out if o.get("op") == "finished"]
+        assert finished == ["u1"]  # no summary for a session never stepped
+
+    def test_reopened_session_gets_fresh_noise(self, monkeypatch, capsys):
+        # Stream two full incarnations of the same session name: their
+        # RNG streams must differ (the seed is salted per incarnation).
+        cells = [0, 1, 2, 3, 4, 5]
+        lines = [json.dumps({"session": "u", "cell": c}) for c in cells]
+        script = (
+            lines + ['{"session":"u","op":"finish"}']
+            + lines + ['{"session":"u","op":"finish"}']
+        )
+        code, out, _ = run_stream(monkeypatch, capsys, script)
+        assert code == 0
+        records = [o for o in out if "t" in o]
+        first = [r["released_cell"] for r in records[: len(cells)]]
+        second = [r["released_cell"] for r in records[len(cells) :]]
+        assert first != second
+
+    def test_bad_config_is_a_clean_error(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["stream", "--rows", "5", "--cols", "5", "--horizon", "3"])
+        assert excinfo.value.code == 2  # argparse error, not a traceback
+        assert "beyond horizon" in capsys.readouterr().err
+
+    def test_negative_seed_rejected_at_parse_time(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(BASE_ARGS[:-1] + ["-1"])  # --seed -1
+        assert excinfo.value.code == 2
+        assert "--seed must be non-negative" in capsys.readouterr().err

@@ -1,0 +1,205 @@
+"""Calibration-strategy plug-ins for the streaming engine."""
+
+import pytest
+
+from repro.core.quantify import quantify_fixed_prior
+from repro.engine import (
+    BinarySearchCalibration,
+    BudgetHalving,
+    LinearDecay,
+    SessionBuilder,
+    resolve_strategy,
+)
+from repro.errors import CalibrationError
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+
+
+@pytest.fixture
+def setting(grid5, chain5, uniform5):
+    event = PresenceEvent(Region.from_range(grid5.n_cells, 0, 4), start=3, end=5)
+    return grid5, chain5, uniform5, event
+
+
+def builder_for(grid, chain, pi, event, strategy, alpha=2.0, epsilon=0.2):
+    """A deliberately tight setting so calibration actually kicks in."""
+    return (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(grid, alpha))
+        .with_epsilon(epsilon)
+        .with_fixed_prior(pi)
+        .with_horizon(8)
+        .with_calibration(strategy)
+    )
+
+
+class TestResolution:
+    def test_names_resolve(self):
+        assert isinstance(resolve_strategy("halving"), BudgetHalving)
+        assert isinstance(resolve_strategy("budget-halving"), BudgetHalving)
+        assert isinstance(resolve_strategy("linear"), LinearDecay)
+        assert isinstance(resolve_strategy("binary-search"), BinarySearchCalibration)
+
+    def test_instances_pass_through(self):
+        strategy = LinearDecay(0.25)
+        assert resolve_strategy(strategy) is strategy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CalibrationError):
+            resolve_strategy("quadratic")
+        with pytest.raises(CalibrationError):
+            resolve_strategy(42)
+
+    def test_parameter_validation(self):
+        with pytest.raises(CalibrationError):
+            BudgetHalving(decay=1.0)
+        with pytest.raises(CalibrationError):
+            LinearDecay(step_fraction=0.0)
+        with pytest.raises(CalibrationError):
+            BinarySearchCalibration(max_probes=0)
+
+
+class TestSchedules:
+    def test_halving_sequence(self):
+        schedule = BudgetHalving(0.5).begin(1.0)
+        assert schedule.after_failure(1.0) == pytest.approx(0.5)
+        assert schedule.after_failure(0.5) == pytest.approx(0.25)
+        assert schedule.after_success(0.25) is None
+
+    def test_linear_sequence_hits_zero(self):
+        schedule = LinearDecay(0.25).begin(1.0)
+        budget = 1.0
+        seen = []
+        for _ in range(5):
+            budget = schedule.after_failure(budget)
+            seen.append(budget)
+        assert seen == pytest.approx([0.75, 0.5, 0.25, 0.0, -0.25])
+
+    def test_binary_search_accepts_base_immediately(self):
+        schedule = BinarySearchCalibration().begin(1.0)
+        assert schedule.after_success(1.0) is None
+
+    def test_binary_search_brackets(self):
+        schedule = BinarySearchCalibration(max_probes=10).begin(1.0)
+        assert schedule.after_failure(1.0) == pytest.approx(0.5)
+        # success below a failure probes upward inside the bracket
+        probe = schedule.after_success(0.5)
+        assert probe == pytest.approx(0.75)
+        # another failure narrows from above
+        probe = schedule.after_failure(0.75)
+        assert 0.5 < probe < 0.75
+
+    def test_binary_search_respects_probe_budget(self):
+        schedule = BinarySearchCalibration(max_probes=2).begin(1.0)
+        schedule.after_failure(1.0)
+        assert schedule.after_success(0.5) is None
+
+    def test_binary_search_terminates_under_constant_failure(self):
+        # Nothing is ever safe: the schedule must stop proposing positive
+        # budgets after ~max_probes failures (then the engine goes
+        # uniform), not bisect forever.
+        schedule = BinarySearchCalibration(max_probes=3).begin(1.0)
+        budget = 1.0
+        for attempt in range(1, 10):
+            budget = schedule.after_failure(budget)
+            if budget <= 0.0:
+                break
+        assert budget == 0.0
+        assert attempt <= 5  # max_probes bisections + bounded convergence
+
+    def test_binary_search_retries_bracket_floor_before_uniform(self):
+        schedule = BinarySearchCalibration(max_probes=3).begin(1.0)
+        assert schedule.after_failure(1.0) == pytest.approx(0.5)
+        assert schedule.after_success(0.5) == pytest.approx(0.75)
+        # Probes spent: the next failure retries the verified floor ...
+        assert schedule.after_failure(0.75) == pytest.approx(0.5)
+        # ... which releases on success,
+        assert schedule.after_success(0.5) is None
+        # or bottoms out to uniform on failure.
+        schedule2 = BinarySearchCalibration(max_probes=3).begin(1.0)
+        schedule2.after_failure(1.0)
+        schedule2.after_success(0.5)
+        schedule2.after_failure(0.75)
+        assert schedule2.after_failure(0.5) == 0.0
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    [BudgetHalving(0.5), LinearDecay(0.2), BinarySearchCalibration(max_probes=6)],
+    ids=["halving", "linear", "binary-search"],
+)
+class TestStrategiesEndToEnd:
+    def test_releases_satisfy_epsilon(self, setting, strategy):
+        grid, chain, pi, event = setting
+        epsilon = 0.2
+        session = (
+            builder_for(grid, chain, pi, event, strategy, epsilon=epsilon)
+            .recording_emissions()
+            .build(rng=21)
+        )
+        truth = sample_trajectory(chain, 8, initial=pi, rng=21)
+        for cell in truth:
+            record = session.step(cell)
+            assert 0.0 <= record.budget <= 2.0 + 1e-12
+        log = session.finish()
+        realized = quantify_fixed_prior(
+            chain, event, log, log.released_cells, pi, horizon=8
+        )
+        assert realized.epsilon <= epsilon + 1e-6
+
+    def test_calibration_engages(self, setting, strategy):
+        grid, chain, pi, event = setting
+        session = builder_for(grid, chain, pi, event, strategy).build(rng=22)
+        truth = sample_trajectory(chain, 8, initial=pi, rng=22)
+        attempts = [session.step(cell).n_attempts for cell in truth]
+        # The tight epsilon must force at least one multi-attempt timestamp.
+        assert max(attempts) > 1
+
+
+class TestUniformFallback:
+    def test_linear_decay_bottoms_out_to_uniform(self, setting, monkeypatch):
+        grid, chain, pi, event = setting
+        # Force every check to fail so the schedule reaches budget <= 0:
+        # with step_fraction=0.5 that takes 2 failures, far below
+        # max_calibrations, proving the <=0 path (not the attempt cap)
+        # triggered the uniform release.
+        from repro.core.qp import SolverStatus
+        from repro.engine import session as session_module
+
+        monkeypatch.setattr(
+            session_module.ReleaseSession,
+            "_check_one",
+            lambda self, *args: SolverStatus.VIOLATED,
+        )
+        session = builder_for(
+            grid, chain, pi, event, LinearDecay(0.5)
+        ).build(rng=23)
+        record = session.step(0)
+        assert record.forced_uniform
+        assert record.budget == 0.0
+        assert record.n_attempts == 2
+
+    def test_halving_falls_back_at_max_calibrations(self, setting, monkeypatch):
+        grid, chain, pi, event = setting
+        from repro.core.qp import SolverStatus
+        from repro.engine import session as session_module
+
+        monkeypatch.setattr(
+            session_module.ReleaseSession,
+            "_check_one",
+            lambda self, *args: SolverStatus.UNKNOWN,
+        )
+        session = (
+            builder_for(grid, chain, pi, event, BudgetHalving(0.5))
+            .with_max_calibrations(4)
+            .build(rng=24)
+        )
+        record = session.step(0)
+        assert record.forced_uniform
+        assert record.conservative
+        assert record.n_attempts == 5

@@ -1,0 +1,195 @@
+"""SessionManager fan-out, the shared verdict cache and suspend/resume."""
+
+import pytest
+
+from repro.engine import SessionBuilder, SessionManager, stack_release_logs
+from repro.errors import QuantificationError, SessionError
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+
+
+@pytest.fixture
+def setting(grid5, chain5, uniform5):
+    event = PresenceEvent(Region.from_range(grid5.n_cells, 0, 4), start=3, end=5)
+    return grid5, chain5, uniform5, event
+
+
+def builder_for(grid, chain, pi, event, record=False):
+    builder = (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(grid, 0.8))
+        .with_epsilon(0.4)
+        .with_fixed_prior(pi)
+        .with_horizon(8)
+    )
+    return builder.recording_emissions() if record else builder
+
+
+def strip(records):
+    return [
+        (r.t, r.true_cell, r.released_cell, r.budget, r.n_attempts,
+         r.conservative, r.forced_uniform)
+        for r in records
+    ]
+
+
+class TestFanOut:
+    def test_manager_matches_standalone_sessions(self, setting):
+        grid, chain, pi, event = setting
+        builder = builder_for(grid, chain, pi, event)
+        trajectories = {
+            f"u{i}": sample_trajectory(chain, 8, initial=pi, rng=100 + i)
+            for i in range(4)
+        }
+
+        manager = SessionManager(builder)
+        for name in trajectories:
+            manager.open(name, rng=hash(name) % 1000)
+        for t in range(8):
+            manager.step_all({n: traj[t] for n, traj in trajectories.items()})
+        managed = manager.finish_all()
+
+        for name, trajectory in trajectories.items():
+            solo = builder.build(rng=hash(name) % 1000)
+            for cell in trajectory:
+                solo.step(cell)
+            assert strip(solo.finish().records) == strip(managed[name].records)
+
+    def test_cache_accumulates_hits_without_changing_releases(self, setting):
+        grid, chain, pi, event = setting
+        builder = builder_for(grid, chain, pi, event)
+        trajectory = sample_trajectory(chain, 8, initial=pi, rng=0)
+
+        cached = SessionManager(builder, cache_size=4096)
+        uncached = SessionManager(builder, cache_size=0)
+        assert uncached.cache_stats() is None
+        # Identical sessions stepped in lockstep: every verdict after the
+        # first session's is a cache hit.
+        for manager in (cached, uncached):
+            for i in range(3):
+                manager.open(f"u{i}", rng=7)
+        for t in range(8):
+            step = {f"u{i}": trajectory[t] for i in range(3)}
+            cached.step_all(step)
+            uncached.step_all(step)
+        stats = cached.cache_stats()
+        assert stats.hits > 0
+        assert stats.hit_rate > 0.5
+        cached_logs = cached.finish_all()
+        uncached_logs = uncached.finish_all()
+        for name in cached_logs:
+            assert strip(cached_logs[name].records) == strip(
+                uncached_logs[name].records
+            )
+
+    def test_released_columns_tracks_latest(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        manager.open("a", rng=1)
+        manager.open("b", rng=2)
+        latest = manager.released_columns()
+        assert latest.tolist() == [-1, -1]
+        record = manager.step("a", 3)
+        latest = manager.released_columns(["a", "b"])
+        assert latest.tolist() == [record.released_cell, -1]
+
+    def test_stacked_logs(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event, record=True))
+        for i in range(3):
+            manager.open(f"u{i}", rng=i)
+        for t in range(4):
+            manager.step_all({f"u{i}": (t + i) % grid.n_cells for i in range(3)})
+        logs = manager.finish_all()
+        stacked = stack_release_logs(list(logs.values()))
+        assert stacked.shape == (3, 4, grid.n_cells, grid.n_cells)
+
+
+class TestLifecycle:
+    def test_open_requires_unique_id(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        manager.open("dup", rng=0)
+        with pytest.raises(SessionError):
+            manager.open("dup", rng=1)
+
+    def test_unknown_session_raises(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        for operation in (
+            lambda: manager.step("ghost", 0),
+            lambda: manager.finish("ghost"),
+            lambda: manager.peek_budget("ghost"),
+            lambda: manager.checkpoint("ghost"),
+        ):
+            with pytest.raises(SessionError):
+                operation()
+
+    def test_finish_evicts(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        manager.open("one", rng=0)
+        manager.step("one", 0)
+        log = manager.finish("one")
+        assert len(log) == 1
+        assert "one" not in manager
+        assert len(manager) == 0
+
+    def test_suspend_resume_round_trip(self, setting):
+        grid, chain, pi, event = setting
+        builder = builder_for(grid, chain, pi, event)
+        trajectory = sample_trajectory(chain, 8, initial=pi, rng=5)
+
+        reference = builder.build(rng=5)
+        for cell in trajectory:
+            reference.step(cell)
+
+        manager = SessionManager(builder)
+        manager.open("user", rng=5)
+        for cell in trajectory[:4]:
+            manager.step("user", cell)
+        state = manager.suspend("user")
+        assert "user" not in manager
+        manager.resume(state)
+        for cell in trajectory[4:]:
+            manager.step("user", cell)
+        assert strip(manager.finish("user").records) == strip(
+            reference.finish().records
+        )
+
+    def test_resume_conflicts_with_open_session(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        manager.open("user", rng=0)
+        state = manager.checkpoint("user")
+        with pytest.raises(SessionError):
+            manager.resume(state)
+
+    def test_step_errors_propagate(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        manager.open("user", rng=0)
+        with pytest.raises(QuantificationError):
+            manager.step("user", grid.n_cells + 5)
+
+    def test_step_all_is_atomic_on_bad_batch(self, setting):
+        grid, chain, pi, event = setting
+        manager = SessionManager(builder_for(grid, chain, pi, event))
+        manager.open("good", rng=0)
+        # Unknown id after a valid entry: nobody steps, safe to retry.
+        with pytest.raises(SessionError):
+            manager.step_all({"good": 1, "ghost": 2})
+        assert manager.session("good").t == 1
+        # Out-of-range cell after a valid entry: same guarantee.
+        manager.open("good2", rng=1)
+        with pytest.raises(SessionError):
+            manager.step_all({"good": 1, "good2": grid.n_cells})
+        assert manager.session("good").t == 1
+        assert manager.session("good2").t == 1
+        record = manager.step_all({"good": 1})["good"]
+        assert record.t == 1

@@ -1,0 +1,344 @@
+"""Streaming engine: session equivalence, checkpointing, lifecycle."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.priste import PriSTE, PriSTEConfig, PriSTEDeltaLocationSet
+from repro.core.quantify import quantify_fixed_prior
+from repro.engine import (
+    ReleaseSession,
+    SessionBuilder,
+    SessionState,
+)
+from repro.errors import QuantificationError, SessionError
+from repro.events.events import PresenceEvent
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+
+
+@pytest.fixture
+def setting(grid5, chain5, uniform5):
+    event = PresenceEvent(Region.from_range(grid5.n_cells, 0, 4), start=3, end=5)
+    return grid5, chain5, uniform5, event
+
+
+def strip(records):
+    """Records minus wall-clock, for exact comparison."""
+    return [
+        (r.t, r.true_cell, r.released_cell, r.budget, r.n_attempts,
+         r.conservative, r.forced_uniform)
+        for r in records
+    ]
+
+
+def geoind_builder(grid, chain, pi, event, alpha=1.0, epsilon=0.5, horizon=8):
+    return (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(grid, alpha))
+        .with_epsilon(epsilon)
+        .with_fixed_prior(pi)
+        .with_horizon(horizon)
+    )
+
+
+class TestStreamingBatchEquivalence:
+    def test_geoind_worst_case(self, setting):
+        grid, chain, pi, event = setting
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 1.0),
+            PriSTEConfig(epsilon=0.5), horizon=8,
+        )
+        truth = sample_trajectory(chain, 8, initial=pi, rng=1)
+        batch = priste.run(truth, rng=1)
+
+        session = (
+            SessionBuilder()
+            .with_chain(chain)
+            .protecting(event)
+            .with_mechanism(PlanarLaplaceMechanism(grid, 1.0))
+            .with_epsilon(0.5)
+            .with_horizon(8)
+            .build(rng=1)
+        )
+        for cell in truth:
+            session.step(cell)
+        streamed = session.finish()
+        assert strip(streamed.records) == strip(batch.records)
+
+    def test_geoind_fixed_prior(self, setting):
+        grid, chain, pi, event = setting
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 0.5),
+            PriSTEConfig(epsilon=0.3, prior_mode="fixed", prior=pi), horizon=8,
+        )
+        truth = sample_trajectory(chain, 8, initial=pi, rng=2)
+        batch = priste.run(truth, rng=2)
+
+        session = geoind_builder(
+            grid, chain, pi, event, alpha=0.5, epsilon=0.3
+        ).build(rng=2)
+        for cell in truth:
+            session.step(cell)
+        assert strip(session.finish().records) == strip(batch.records)
+
+    def test_delta_location_set(self, setting):
+        grid, chain, pi, event = setting
+        config = PriSTEConfig(
+            epsilon=0.5, prior_mode="fixed", prior=pi, record_emissions=True
+        )
+        priste = PriSTEDeltaLocationSet(
+            chain, event, grid, alpha=1.0, delta=0.3, initial=pi,
+            config=config, horizon=6,
+        )
+        truth = sample_trajectory(chain, 6, initial=pi, rng=8)
+        batch = priste.run(truth, rng=8)
+
+        session = (
+            SessionBuilder()
+            .with_grid(grid)
+            .with_chain(chain)
+            .protecting(event)
+            .with_delta_location_set(1.0, 0.3, pi)
+            .with_epsilon(0.5)
+            .with_fixed_prior(pi)
+            .with_horizon(6)
+            .recording_emissions()
+            .build(rng=8)
+        )
+        for cell in truth:
+            session.step(cell)
+        streamed = session.finish()
+        assert strip(streamed.records) == strip(batch.records)
+        np.testing.assert_array_equal(
+            streamed.emission_stack(), batch.emission_stack()
+        )
+
+    def test_priste_session_method_matches_run(self, setting):
+        grid, chain, pi, event = setting
+        priste = PriSTE(
+            chain, event, PlanarLaplaceMechanism(grid, 0.5),
+            PriSTEConfig(epsilon=0.4, prior_mode="fixed", prior=pi), horizon=6,
+        )
+        truth = sample_trajectory(chain, 6, initial=pi, rng=3)
+        batch = priste.run(truth, rng=3)
+        session = priste.session(rng=3)
+        for cell in truth:
+            session.step(cell)
+        assert strip(session.finish().records) == strip(batch.records)
+
+
+class TestCheckpointRestore:
+    def _drive(self, session, cells):
+        for cell in cells:
+            session.step(cell)
+        return session
+
+    def test_round_trip_mid_trajectory(self, setting):
+        grid, chain, pi, event = setting
+        builder = geoind_builder(grid, chain, pi, event)
+        config = builder.build_config()
+        truth = sample_trajectory(chain, 8, initial=pi, rng=4)
+
+        reference = self._drive(builder.build(rng=4), truth).finish()
+
+        session = builder.build(rng=4)
+        self._drive(session, truth[:3])
+        state = session.to_state()
+        # JSON round trip: the state survives serialization to a store.
+        state = SessionState.from_json(json.loads(json.dumps(state.to_json())))
+        resumed = ReleaseSession.from_state(config, state)
+        assert resumed.t == 4
+        self._drive(resumed, truth[3:])
+        assert strip(resumed.finish().records) == strip(reference.records)
+
+    def test_delta_posterior_survives_round_trip(self, setting):
+        grid, chain, pi, event = setting
+        builder = (
+            SessionBuilder()
+            .with_grid(grid)
+            .with_chain(chain)
+            .protecting(event)
+            .with_delta_location_set(1.0, 0.3, pi)
+            .with_epsilon(0.5)
+            .with_fixed_prior(pi)
+            .with_horizon(6)
+        )
+        config = builder.build_config()
+        truth = sample_trajectory(chain, 6, initial=pi, rng=5)
+        reference = self._drive(builder.build(rng=5), truth).finish()
+
+        session = builder.build(rng=5)
+        self._drive(session, truth[:2])
+        state = SessionState.from_json(
+            json.loads(json.dumps(session.to_state().to_json()))
+        )
+        resumed = ReleaseSession.from_state(config, state)
+        self._drive(resumed, truth[2:])
+        assert strip(resumed.finish().records) == strip(reference.records)
+
+    def test_checkpoint_keeps_session_usable(self, setting):
+        grid, chain, pi, event = setting
+        builder = geoind_builder(grid, chain, pi, event)
+        truth = sample_trajectory(chain, 8, initial=pi, rng=6)
+        session = builder.build(rng=6)
+        session.step(truth[0])
+        session.to_state()  # snapshot is non-destructive
+        record = session.step(truth[1])
+        assert record.t == 2
+
+    def test_mismatched_state_rejected(self, setting):
+        grid, chain, pi, event = setting
+        builder = geoind_builder(grid, chain, pi, event)
+        session = builder.build(rng=0)
+        session.step(0)
+        state = session.to_state()
+        state.records = []  # committed_t now disagrees
+        with pytest.raises(SessionError):
+            ReleaseSession.from_state(builder.build_config(), state)
+
+
+class TestSessionLifecycle:
+    def test_peek_budget_is_side_effect_free(self, setting):
+        grid, chain, pi, event = setting
+        builder = geoind_builder(grid, chain, pi, event, alpha=0.7)
+        truth = sample_trajectory(chain, 8, initial=pi, rng=7)
+
+        plain = builder.build(rng=7)
+        peeked = builder.build(rng=7)
+        assert peeked.peek_budget() == pytest.approx(0.7)
+        for cell in truth:
+            plain.step(cell)
+            peeked.peek_budget()
+            peeked.step(cell)
+        assert strip(plain.records) == strip(peeked.records)
+
+    def test_step_past_horizon_raises(self, setting):
+        grid, chain, pi, event = setting
+        session = geoind_builder(grid, chain, pi, event, horizon=5).build(rng=0)
+        for _ in range(5):
+            session.step(0)
+        with pytest.raises(SessionError):
+            session.step(0)
+
+    def test_bad_cell_raises(self, setting):
+        grid, chain, pi, event = setting
+        session = geoind_builder(grid, chain, pi, event).build(rng=0)
+        with pytest.raises(QuantificationError):
+            session.step(99)
+
+    def test_finished_session_is_sealed(self, setting):
+        grid, chain, pi, event = setting
+        session = geoind_builder(grid, chain, pi, event).build(rng=0)
+        session.step(0)
+        session.finish()
+        assert session.finished
+        for operation in (
+            lambda: session.step(0),
+            session.finish,
+            session.peek_budget,
+            session.to_state,
+        ):
+            with pytest.raises(SessionError):
+                operation()
+
+    def test_builder_requires_all_parts(self, setting):
+        grid, chain, pi, event = setting
+        with pytest.raises(SessionError):
+            SessionBuilder().build_config()
+        with pytest.raises(SessionError):
+            SessionBuilder().with_chain(chain).protecting(event).build_config()
+        with pytest.raises(SessionError):
+            # delta without a grid
+            (
+                SessionBuilder()
+                .with_chain(chain)
+                .protecting(event)
+                .with_epsilon(0.5)
+                .with_horizon(5)
+                .with_delta_location_set(1.0, 0.3, pi)
+                .build_config()
+            )
+
+    def test_delta_sessions_are_isolated(self, setting):
+        grid, chain, pi, event = setting
+        config = PriSTEConfig(epsilon=0.5, prior_mode="fixed", prior=pi)
+        priste = PriSTEDeltaLocationSet(
+            chain, event, grid, alpha=1.0, delta=0.3, initial=pi,
+            config=config, horizon=6,
+        )
+        truth = sample_trajectory(chain, 6, initial=pi, rng=11)
+        # Two interleaved sessions with the same seed must behave like
+        # two independent users: each provider posterior is private.
+        first, second = priste.session(rng=11), priste.session(rng=11)
+        for cell in truth:
+            first.step(cell)
+            second.step(cell)
+        assert strip(first.finish().records) == strip(second.finish().records)
+        # And neither a session nor a resumed checkpoint of one must
+        # perturb the batch API's posterior.
+        resumed = ReleaseSession.from_state(
+            priste._core, priste.session(rng=13).to_state()
+        )
+        resumed.step(truth[0])
+        fresh = PriSTEDeltaLocationSet(
+            chain, event, grid, alpha=1.0, delta=0.3, initial=pi,
+            config=config, horizon=6,
+        )
+        assert strip(priste.run(truth, rng=12).records) == strip(
+            fresh.run(truth, rng=12).records
+        )
+
+    def test_failed_step_keeps_session_checkpointable(self, setting, monkeypatch):
+        grid, chain, pi, event = setting
+        builder = geoind_builder(grid, chain, pi, event)
+        truth = sample_trajectory(chain, 8, initial=pi, rng=13)
+        reference = builder.build(rng=13)
+        for cell in truth:
+            reference.step(cell)
+
+        session = builder.build(rng=13)
+        for cell in truth[:3]:
+            session.step(cell)
+        # A solver blow-up mid-step must roll back to the committed
+        # boundary: the session stays steppable and checkpointable.
+        from repro.engine import session as session_module
+
+        def boom(self, *args):
+            raise RuntimeError("solver died")
+
+        monkeypatch.setattr(session_module.ReleaseSession, "_check_one", boom)
+        with pytest.raises(RuntimeError):
+            session.step(truth[3])
+        monkeypatch.undo()
+
+        state = session.to_state()  # would raise before the rollback fix
+        resumed = ReleaseSession.from_state(builder.build_config(), state)
+        for cell in truth[3:]:
+            resumed.step(cell)
+        assert strip(resumed.finish().records) == strip(reference.records)
+
+    def test_quantify_accepts_release_log(self, setting):
+        grid, chain, pi, event = setting
+        session = (
+            geoind_builder(grid, chain, pi, event, epsilon=0.4)
+            .recording_emissions()
+            .build(rng=9)
+        )
+        truth = sample_trajectory(chain, 8, initial=pi, rng=9)
+        for cell in truth:
+            session.step(cell)
+        log = session.finish()
+        direct = quantify_fixed_prior(
+            chain, event, log, log.released_cells, pi, horizon=8
+        )
+        via_stack = quantify_fixed_prior(
+            chain, event, log.emission_stack(), log.released_cells, pi, horizon=8
+        )
+        assert direct.epsilon == pytest.approx(via_stack.epsilon)
+        assert direct.epsilon <= 0.4 + 1e-6

@@ -1,0 +1,179 @@
+"""`repro serve` under load: sustained steps/sec and latency percentiles.
+
+Not a paper figure: tracks the serving layer added over the session
+engine.  A load generator opens 10 / 100 / 1000 / 5000 concurrent
+sessions against an in-process :class:`~repro.service.ReleaseServer`
+(real localhost TCP, worker pool on), drives every session with
+chain-sampled fixes, and reports
+
+* sustained steps/sec across the whole fleet,
+* client-observed per-step latency p50/p99,
+* the event loop's worst scheduling lag during the run (a direct
+  starvation probe: offloaded steps should leave the loop responsive),
+* the shared verdict-cache hit rate.
+
+Results go to ``results/bench_service_load.txt`` (human table) and
+``results/bench_service_load.json`` (the shared machine-readable
+schema, uploaded as a CI artifact).
+"""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionBuilder, SessionManager
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import synthetic_scenario
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+from repro.service import AsyncServiceClient, ReleaseServer, ServerConfig
+
+HORIZON = 12
+#: (concurrent sessions, steps per session) -- quick mode
+LOADS = ((10, 12), (100, 12), (1000, 4), (5000, 2))
+#: full-size steps at paper scale
+LOADS_PAPER = ((10, 12), (100, 12), (1000, 12), (5000, 6))
+MAX_CONNECTIONS = 32
+
+
+@pytest.fixture(scope="module")
+def service_setting():
+    scenario = synthetic_scenario(n_rows=6, n_cols=6, sigma=1.0, horizon=HORIZON)
+    event = scenario.presence_event(0, 9, 4, 8)
+    builder = (
+        SessionBuilder()
+        .with_grid(scenario.grid)
+        .with_chain(scenario.chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+        .with_epsilon(0.4)
+        .with_fixed_prior(scenario.initial)
+        .with_horizon(HORIZON)
+    )
+    return scenario, builder
+
+
+async def _loop_lag_probe(interval: float, out: dict):
+    """Measure worst event-loop scheduling lag until cancelled."""
+    loop = asyncio.get_running_loop()
+    while True:
+        before = loop.time()
+        await asyncio.sleep(interval)
+        lag = loop.time() - before - interval
+        if lag > out["max_lag_s"]:
+            out["max_lag_s"] = lag
+
+
+async def _drive_load(scenario, builder, n_sessions: int, n_steps: int, seed: int):
+    """One load point: open, step concurrently, finish, drain."""
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        sample_trajectory(
+            scenario.chain, n_steps, initial=scenario.initial, rng=rng
+        )
+        for _ in range(n_sessions)
+    ]
+    server = ReleaseServer(
+        SessionManager(builder),
+        config=ServerConfig(
+            max_sessions=n_sessions + 8, max_resident=n_sessions + 8
+        ),
+    )
+    await server.start()
+    clients = [
+        await AsyncServiceClient.connect("127.0.0.1", server.port)
+        for _ in range(min(n_sessions, MAX_CONNECTIONS))
+    ]
+    by_session = [clients[i % len(clients)] for i in range(n_sessions)]
+
+    lag = {"max_lag_s": 0.0}
+    probe = asyncio.get_running_loop().create_task(_loop_lag_probe(0.02, lag))
+    latencies: list[float] = []
+
+    async def open_one(i: int):
+        await by_session[i].open(f"u{i}", seed=seed + i)
+
+    async def step_one(i: int, t: int):
+        start = time.perf_counter()
+        await by_session[i].step(f"u{i}", int(trajectories[i][t]))
+        latencies.append(time.perf_counter() - start)
+
+    await asyncio.gather(*[open_one(i) for i in range(n_sessions)])
+    wall_start = time.perf_counter()
+    for t in range(n_steps):
+        await asyncio.gather(*[step_one(i, t) for i in range(n_sessions)])
+    wall = time.perf_counter() - wall_start
+    probe.cancel()
+
+    stats = await clients[0].stats()
+    await asyncio.gather(*[c.finish(f"u{i}") for i, c in enumerate(by_session)])
+    for client in clients:
+        await client.close()
+    await server.drain()
+
+    assert stats["sessions"]["open"] == n_sessions
+    assert len(latencies) == n_sessions * n_steps
+    samples = np.asarray(latencies)
+    cache = stats["verdict_cache"]
+    return {
+        "sessions": n_sessions,
+        "steps": int(samples.size),
+        "wall_s": round(wall, 4),
+        "steps_per_s": round(samples.size / wall, 1),
+        "p50_ms": round(float(np.percentile(samples, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
+        "max_loop_lag_ms": round(lag["max_lag_s"] * 1e3, 3),
+        "cache_hit_rate": cache["hit_rate"] if cache else None,
+    }
+
+
+def test_bench_service_load(service_setting, save_result, save_json, request):
+    scenario, builder = service_setting
+    loads = (
+        LOADS_PAPER if request.config.getoption("--paper-scale") else LOADS
+    )
+    rows = []
+    for n_sessions, n_steps in loads:
+        rows.append(
+            asyncio.run(
+                _drive_load(scenario, builder, n_sessions, n_steps, seed=0)
+            )
+        )
+
+    # the acceptance bar: 1000+ concurrent sessions, loop never starved
+    big = [row for row in rows if row["sessions"] >= 1000]
+    assert big, "load points must include >= 1000 concurrent sessions"
+    for row in big:
+        assert row["steps_per_s"] > 0
+        # "no starvation": the loop was schedulable well under a step's
+        # p99 while thousands of sessions were in flight
+        assert row["max_loop_lag_ms"] < 1000.0
+
+    columns = [
+        "sessions", "steps", "wall_s", "steps_per_s",
+        "p50_ms", "p99_ms", "max_loop_lag_ms", "cache_hit_rate",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"repro serve load (6x6 map, T={HORIZON}, 0.5-PLM, eps=0.4 "
+            "fixed prior, worker pool, localhost TCP)"
+        ),
+    )
+    save_result("bench_service_load", table)
+    save_json(
+        "bench_service_load",
+        params={
+            "rows_cols": [6, 6],
+            "horizon": HORIZON,
+            "epsilon": 0.4,
+            "alpha": 0.5,
+            "prior_mode": "fixed",
+            "connections_max": MAX_CONNECTIONS,
+            "loads": [list(load) for load in loads],
+        },
+        rows=rows,
+    )

@@ -12,6 +12,7 @@ in every result header); pass ``--paper-scale`` for full-size runs.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -46,6 +47,39 @@ def save_result():
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+#: The one JSON shape every bench writes, so the perf trajectory across
+#: PRs stays machine-readable: {"benchmark", "schema", "params", "rows"}
+#: with rows a list of flat dicts sharing one key set.
+RESULTS_JSON_SCHEMA = 1
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist a benchmark's machine-readable results.
+
+    ``_save(name, params, rows)`` writes ``results/<name>.json`` as
+    ``{"benchmark": name, "schema": RESULTS_JSON_SCHEMA, "params": ...,
+    "rows": [...]}`` -- flat JSON-safe dicts only.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, params: dict, rows: list[dict]) -> str:
+        payload = {
+            "benchmark": name,
+            "schema": RESULTS_JSON_SCHEMA,
+            "params": params,
+            "rows": rows,
+        }
+        path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"[json results saved to {path}]")
         return path
 
     return _save

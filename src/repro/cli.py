@@ -1,12 +1,19 @@
-"""Command-line entry point: ``repro <experiment>`` / ``repro stream``.
+"""Command-line entry point: ``repro <experiment>`` / ``stream`` / ``serve``.
 
-Two modes:
+Three modes:
 
 * ``repro fig7`` .. ``fig14``, ``table3`` -- reproduce one of the
   paper's figures/tables (run with ``--help`` for options);
-* ``repro stream`` -- the online service loop: read JSON-lines location
-  fixes from stdin, drive one :class:`~repro.engine.SessionManager`, and
-  write one JSON release record per fix to stdout.
+* ``repro stream`` -- the single-process service loop: read JSON-lines
+  location fixes from stdin, drive one
+  :class:`~repro.engine.SessionManager`, and write one JSON release
+  record per fix to stdout.  With ``--checkpoint-dir`` a SIGINT
+  checkpoints every open session to disk and exits 0; the next
+  invocation with the same directory resumes them mid-trajectory.
+* ``repro serve`` -- the concurrent network service: an asyncio TCP
+  server (:mod:`repro.service`) multiplexing many client connections
+  onto one shared manager, with admission control, a worker pool and
+  idle-session eviction to a pluggable store.
 
 Stream protocol (one JSON object per line)::
 
@@ -58,8 +65,32 @@ def _fig_budget_over_time(args, window: tuple[int, int], label: str) -> str:
     return result_a.to_text() + "\n\n" + result_b.to_text()
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The release-setting flags shared by ``stream`` and ``serve``."""
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--alpha", type=float, default=0.5,
+                        help="base mechanism budget (PLM alpha, 1/km)")
+    parser.add_argument("--mechanism", choices=["geoind", "delta"], default="geoind")
+    parser.add_argument("--delta", type=float, default=0.2,
+                        help="delta-location set parameter (mechanism=delta)")
+    parser.add_argument("--rows", type=int, default=10)
+    parser.add_argument("--cols", type=int, default=10)
+    parser.add_argument("--sigma", type=float, default=1.0)
+    parser.add_argument("--horizon", type=int, default=50)
+    parser.add_argument("--event-cells", type=int, nargs=2, default=(0, 9),
+                        metavar=("FIRST", "LAST"))
+    parser.add_argument("--event-window", type=int, nargs=2, default=(4, 8),
+                        metavar=("START", "END"))
+    parser.add_argument("--prior-mode", choices=["worst_case", "fixed"],
+                        default="fixed")
+    parser.add_argument("--calibration", default="halving",
+                        choices=["halving", "linear", "binary-search"])
+    parser.add_argument("--cache-size", type=int, default=131_072,
+                        help="shared verdict-cache capacity (0 disables)")
+
+
 def _stream_manager(args) -> SessionManager:
-    """Build the shared engine from the stream flags."""
+    """Build the shared engine from the stream/serve flags."""
     scenario = synthetic_scenario(
         n_rows=args.rows, n_cols=args.cols, sigma=args.sigma, horizon=args.horizon
     )
@@ -107,28 +138,13 @@ def _stream_main(argv: list[str]) -> int:
         prog="repro stream",
         description="Streaming release service over stdin/stdout JSON lines",
     )
-    parser.add_argument("--epsilon", type=float, default=0.5)
-    parser.add_argument("--alpha", type=float, default=0.5,
-                        help="base mechanism budget (PLM alpha, 1/km)")
-    parser.add_argument("--mechanism", choices=["geoind", "delta"], default="geoind")
-    parser.add_argument("--delta", type=float, default=0.2,
-                        help="delta-location set parameter (mechanism=delta)")
-    parser.add_argument("--rows", type=int, default=10)
-    parser.add_argument("--cols", type=int, default=10)
-    parser.add_argument("--sigma", type=float, default=1.0)
-    parser.add_argument("--horizon", type=int, default=50)
-    parser.add_argument("--event-cells", type=int, nargs=2, default=(0, 9),
-                        metavar=("FIRST", "LAST"))
-    parser.add_argument("--event-window", type=int, nargs=2, default=(4, 8),
-                        metavar=("START", "END"))
-    parser.add_argument("--prior-mode", choices=["worst_case", "fixed"],
-                        default="fixed")
-    parser.add_argument("--calibration", default="halving",
-                        choices=["halving", "linear", "binary-search"])
-    parser.add_argument("--cache-size", type=int, default=131_072,
-                        help="shared verdict-cache capacity (0 disables)")
+    _add_engine_flags(parser)
     parser.add_argument("--seed", type=int, default=0,
                         help="non-negative base seed for per-session RNGs")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for SIGINT checkpoints: interrupted "
+                        "sessions are saved here and resumed (and the files "
+                        "consumed) by the next invocation")
     args = parser.parse_args(argv)
     if args.seed < 0:
         parser.error(f"--seed must be non-negative, got {args.seed}")
@@ -137,7 +153,70 @@ def _stream_main(argv: list[str]) -> int:
         manager = _stream_manager(args)
     except ReproError as error:
         parser.error(str(error))
+
+    store = None
     incarnations: dict[str, int] = {}
+    if args.checkpoint_dir is not None:
+        import os
+
+        from .service.store import DirectorySessionStore
+
+        store = DirectorySessionStore(args.checkpoint_dir)
+        # Incarnation counts checkpoint alongside the sessions: without
+        # them, a resumed service re-opening a finished session would
+        # replay an earlier incarnation's seed (and so its noise).
+        incarnations_path = os.path.join(store.root, "_incarnations.json")
+        try:
+            with open(incarnations_path, "r", encoding="utf-8") as handle:
+                incarnations = {
+                    str(k): int(v) for k, v in json.load(handle).items()
+                }
+            os.remove(incarnations_path)
+        except FileNotFoundError:
+            pass
+        resumed = []
+        for sid in sorted(store.ids()):
+            state = store.get(sid)
+            if state is None:
+                continue
+            try:
+                manager.resume(state)
+            except ReproError as error:
+                print(
+                    json.dumps({"error": f"cannot resume {sid!r}: {error}"}),
+                    file=sys.stderr, flush=True,
+                )
+                continue
+            store.delete(sid)
+            resumed.append(sid)
+        if resumed:
+            print(
+                json.dumps({"op": "resumed", "sessions": resumed}),
+                file=sys.stderr, flush=True,
+            )
+
+    try:
+        _stream_loop(manager, args, incarnations)
+    except KeyboardInterrupt:
+        if store is None:
+            raise
+        names = list(manager.session_ids)
+        for name in names:
+            store.put(manager.checkpoint(name))
+        if incarnations:
+            with open(incarnations_path, "w", encoding="utf-8") as handle:
+                json.dump(incarnations, handle)
+        print(
+            json.dumps({"op": "checkpointed", "sessions": sorted(names)}),
+            file=sys.stderr, flush=True,
+        )
+        return 0
+    return 0
+
+
+def _stream_loop(
+    manager: SessionManager, args, incarnations: dict[str, int]
+) -> None:
     for line_no, line in enumerate(sys.stdin, start=1):
         line = line.strip()
         if not line:
@@ -210,7 +289,90 @@ def _stream_main(argv: list[str]) -> int:
             ),
             file=sys.stderr,
         )
-    return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    import asyncio
+
+    from .service.server import ReleaseServer, ServerConfig
+    from .service.store import resolve_store
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Concurrent JSONL/TCP release service over one engine",
+    )
+    _add_engine_flags(parser)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7733,
+                        help="TCP port (0 picks an ephemeral port; the bound "
+                        "port is announced on the 'serving' stdout line)")
+    parser.add_argument("--max-sessions", type=int, default=10_000,
+                        help="open-session admission cap (typed 'busy' beyond)")
+    parser.add_argument("--max-resident", type=int, default=1_024,
+                        help="sessions kept in memory; least-recently-used "
+                        "idle sessions beyond this are checkpointed to the "
+                        "store and restored on demand")
+    parser.add_argument("--pending-per-connection", type=int, default=32,
+                        help="in-flight requests per connection before the "
+                        "server stops reading (TCP backpressure)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="step worker threads (default: CPU cores, "
+                        "capped; 0 runs steps inline on the event loop)")
+    parser.add_argument("--store", choices=["memory", "dir", "sqlite"],
+                        default="memory",
+                        help="suspended-session store backend")
+    parser.add_argument("--store-path", default=None,
+                        help="directory (store=dir) or database file "
+                        "(store=sqlite)")
+    args = parser.parse_args(argv)
+    for name in ("max_sessions", "max_resident", "pending_per_connection"):
+        if getattr(args, name) < 1:
+            parser.error(f"--{name.replace('_', '-')} must be >= 1")
+    if args.workers is not None and args.workers < 0:
+        parser.error("--workers must be >= 0")
+
+    try:
+        manager = _stream_manager(args)
+        store = resolve_store(args.store, args.store_path)
+    except ReproError as error:
+        parser.error(str(error))
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_resident=args.max_resident,
+        max_pending_per_connection=args.pending_per_connection,
+        workers=args.workers,
+    )
+
+    async def _serve() -> int:
+        server = ReleaseServer(manager, store=store, config=config)
+        await server.start()
+        print(
+            json.dumps(
+                {
+                    "op": "serving",
+                    "host": config.host,
+                    "port": server.port,
+                    "max_sessions": config.max_sessions,
+                    "max_resident": config.max_resident,
+                    "store": args.store,
+                }
+            ),
+            flush=True,
+        )
+        try:
+            server.install_signal_handlers()
+        except NotImplementedError:  # non-Unix event loops
+            pass
+        summary = await server.wait_drained()
+        print(json.dumps({"op": "drained", **summary}), flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    finally:
+        store.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -219,10 +381,13 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "stream":
         return _stream_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PriSTE experiment harness",
-        epilog="Streaming mode: `repro stream --help` (JSON lines on stdin/stdout).",
+        epilog="Streaming modes: `repro stream --help` (JSON lines on "
+        "stdin/stdout) and `repro serve --help` (concurrent TCP service).",
     )
     parser.add_argument(
         "experiment",

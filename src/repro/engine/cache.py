@@ -19,11 +19,18 @@ depends on the solver's budget and (for wall-clock limits) on machine
 load; caching it is *conservative* -- never unsound -- but can keep a
 timestamp conservative where a fresh solve might have certified SAFE.
 The legacy batch wrappers therefore default to no cache.
+
+The cache is thread-safe: the serving layer (:mod:`repro.service`) steps
+different sessions on a worker pool, so lookups, stores and the stats
+counters are guarded by one lock.  A concurrent miss on the same key
+means both threads solve and both store -- wasted work, never a wrong
+answer, since the verdict is a pure function of the key.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -72,12 +79,14 @@ class VerdictCache:
             raise ValidationError(f"maxsize must be >= 1, got {maxsize!r}")
         self._maxsize = int(maxsize)
         self._entries: OrderedDict[bytes, SolverStatus] = OrderedDict()
+        self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def maxsize(self) -> int:
@@ -86,33 +95,37 @@ class VerdictCache:
 
     def lookup(self, key: bytes) -> SolverStatus | None:
         """The cached verdict for ``key``, refreshing its recency."""
-        status = self._entries.get(key)
-        if status is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return status
+        with self._lock:
+            status = self._entries.get(key)
+            if status is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return status
 
     def store(self, key: bytes, status: SolverStatus) -> None:
         """Insert/refresh a verdict, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = status
-        if len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = status
+            if len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
-        """Current hit/miss/eviction counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            maxsize=self._maxsize,
-        )
+        """One atomic snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )

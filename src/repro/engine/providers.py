@@ -20,6 +20,7 @@ Beyond the original protocol, providers now also expose
 
 from __future__ import annotations
 
+import threading
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -68,11 +69,19 @@ class StaticMechanismProvider:
     memo valuable: the calibration ladder ``alpha, alpha/2, alpha/4, ...``
     repeats across timestamps and sessions, and each rescaled mechanism
     (with its lazily computed emission matrix) is constructed only once.
+
+    The memo is guarded by a lock so sessions stepped concurrently on a
+    worker pool (:mod:`repro.service`) share one mechanism object per
+    budget.  Only the cheap ``with_budget`` construction happens under
+    the lock; the heavy emission-matrix computation stays lazy, and a
+    concurrent first touch of the same mechanism at worst computes the
+    identical matrix twice.
     """
 
     def __init__(self, lppm: LPPM):
         self._lppm = lppm
         self._ladder: dict[float, LPPM] = {}
+        self._ladder_lock = threading.Lock()
 
     def base_mechanism(self, t: int) -> LPPM:
         return self._lppm
@@ -81,10 +90,11 @@ class StaticMechanismProvider:
         return float(self._lppm.budget)
 
     def scaled(self, mechanism: LPPM, budget: float) -> LPPM:
-        scaled = self._ladder.get(budget)
-        if scaled is None:
-            scaled = mechanism.with_budget(budget)
-            self._ladder[budget] = scaled
+        with self._ladder_lock:
+            scaled = self._ladder.get(budget)
+            if scaled is None:
+                scaled = mechanism.with_budget(budget)
+                self._ladder[budget] = scaled
         return scaled
 
     def after_release(self, t: int, mechanism: LPPM, released_cell: int) -> None:

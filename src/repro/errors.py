@@ -70,3 +70,25 @@ class SessionError(ReproError, RuntimeError):
     :class:`~repro.engine.SessionBuilder`, or restoring a corrupt
     checkpoint.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The network serving layer (:mod:`repro.service`) failed.
+
+    Base class for faults that belong to the service itself rather than
+    to the engine it fronts: transport problems, store corruption, a
+    server that went away mid-request.
+    """
+
+
+class ServiceBusyError(ServiceError):
+    """Admission control rejected a request (capacity reached).
+
+    The canonical backpressure signal: opening a session beyond the
+    server's ``max_sessions`` cap gets this as a typed reply instead of
+    a hang, so clients can retry elsewhere or later.
+    """
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A service frame was malformed or used an unsupported version."""

@@ -1,0 +1,85 @@
+"""Concurrent network serving layer over the streaming session engine.
+
+The paper's release loop is an online, per-user service; this package is
+the layer that exposes it to many concurrent clients.  The stack, top to
+bottom::
+
+    CLI (`repro serve`)            -- flags -> engine config + server knobs
+      -> repro.service             -- this package: the network layer
+           protocol.py            -- versioned JSONL frames + typed errors
+           server.py              -- asyncio TCP server: admission control,
+                                     per-connection backpressure, graceful
+                                     drain on SIGINT/SIGTERM
+           executor.py            -- worker-pool offload of the CPU-bound
+                                     calibrate-and-check step, with strict
+                                     per-session ordering
+           store.py               -- pluggable SessionStore (memory / JSON
+                                     directory / SQLite): idle sessions are
+                                     evicted via the engine's JSON
+                                     checkpoint and restored on demand, so
+                                     open-session count is decoupled from
+                                     resident memory
+           metrics.py             -- counters + latency histograms behind
+                                     the `stats` op
+           client.py              -- async + sync clients
+      -> repro.engine              -- SessionManager fan-out, ReleaseSession,
+                                     shared VerdictCache + mechanism ladder
+      -> repro.core                -- two-world models, Theorem IV.1, QP
+
+    (stdlib only: asyncio, sqlite3, threading -- no new dependencies.)
+
+Many connections multiplex onto one shared
+:class:`~repro.engine.SessionManager`; different sessions step in
+parallel on the worker pool while each individual session's steps stay
+strictly ordered, so a server-mediated release stream is bit-identical
+to driving the manager directly under the same seeds.
+"""
+
+from .client import AsyncServiceClient, ServiceClient
+from .executor import SessionExecutor
+from .metrics import LatencyHistogram, ServiceMetrics
+from .protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    decode_frame,
+    encode_frame,
+    error_code_for,
+    error_frame,
+    exception_for,
+    ok_frame,
+    parse_reply,
+    parse_request,
+)
+from .server import ReleaseServer, ServerConfig
+from .store import (
+    DirectorySessionStore,
+    MemorySessionStore,
+    SessionStore,
+    SQLiteSessionStore,
+    resolve_store,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "DirectorySessionStore",
+    "LatencyHistogram",
+    "MemorySessionStore",
+    "PROTOCOL_VERSION",
+    "ReleaseServer",
+    "Request",
+    "SQLiteSessionStore",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceMetrics",
+    "SessionExecutor",
+    "SessionStore",
+    "decode_frame",
+    "encode_frame",
+    "error_code_for",
+    "error_frame",
+    "exception_for",
+    "ok_frame",
+    "parse_reply",
+    "parse_request",
+    "resolve_store",
+]

@@ -1,0 +1,211 @@
+"""Clients for the serving layer: asyncio-native and plain-socket sync.
+
+:class:`AsyncServiceClient` pipelines: many coroutines may issue
+requests on one connection concurrently; a background reader matches
+replies to futures by correlation id.  :class:`ServiceClient` is the
+blocking counterpart for scripts and shells -- one request in flight at
+a time, replies therefore in order.
+
+Both raise the server's *typed* exceptions: an admission rejection
+arrives as :class:`~repro.errors.ServiceBusyError`, lifecycle misuse as
+:class:`~repro.errors.SessionError`, and so on (see
+:mod:`repro.service.protocol`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+
+from ..errors import ServiceError
+from .protocol import MAX_FRAME_BYTES, Request, parse_reply
+
+_ENVELOPE_KEYS = ("v", "id", "ok", "op")
+
+
+def _payload(frame: dict) -> dict:
+    """A reply frame minus the protocol envelope."""
+    return {k: v for k, v in frame.items() if k not in _ENVELOPE_KEYS}
+
+
+class AsyncServiceClient:
+    """Pipelined asyncio client for one server connection."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[object, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+        """Open a connection and start the reply reader."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ServiceError("connection closed by server")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                frame: dict | None = None
+                failure: BaseException | None = None
+                try:
+                    frame = parse_reply(line)
+                except Exception as exc:  # typed server error or protocol
+                    failure = exc
+                request_id = (
+                    frame.get("id")
+                    if frame is not None
+                    else getattr(failure, "request_id", None)
+                )
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue
+                if failure is not None:
+                    future.set_exception(failure)
+                else:
+                    future.set_result(frame)
+        except (ConnectionError, asyncio.CancelledError) as exc:
+            error = exc if isinstance(exc, ConnectionError) else error
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ServiceError(str(error)))
+            self._pending.clear()
+
+    async def request(self, request: Request) -> dict:
+        """Send one frame and await its matched reply payload."""
+        if request.request_id is None:
+            request = Request(
+                op=request.op,
+                request_id=next(self._ids),
+                session=request.session,
+                cell=request.cell,
+                seed=request.seed,
+                extra=request.extra,
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = future
+        async with self._write_lock:
+            self._writer.write(request.to_frame())
+            await self._writer.drain()
+        return _payload(await future)
+
+    # -- convenience ops -------------------------------------------------
+    async def open(self, session: str | None = None, seed: int | None = None) -> str:
+        """Open a session; returns its id."""
+        reply = await self.request(Request(op="open", session=session, seed=seed))
+        return reply["session"]
+
+    async def step(self, session: str, cell: int) -> dict:
+        """Release one location; returns the release record."""
+        return await self.request(Request(op="step", session=session, cell=cell))
+
+    async def peek_budget(self, session: str) -> float:
+        """The budget the session's next step starts calibrating from."""
+        reply = await self.request(Request(op="peek_budget", session=session))
+        return float(reply["budget"])
+
+    async def finish(self, session: str) -> dict:
+        """Seal a session; returns its summary."""
+        return await self.request(Request(op="finish", session=session))
+
+    async def checkpoint(self, session: str) -> dict:
+        """Snapshot a session server-side; returns {session, t, state}."""
+        return await self.request(Request(op="checkpoint", session=session))
+
+    async def stats(self) -> dict:
+        """Server metrics snapshot."""
+        return await self.request(Request(op="stats"))
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class ServiceClient:
+    """Blocking client: one request at a time over a plain socket."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    def request(self, request: Request) -> dict:
+        """Send one frame, block for its reply, return the payload."""
+        if request.request_id is None:
+            request = Request(
+                op=request.op,
+                request_id=next(self._ids),
+                session=request.session,
+                cell=request.cell,
+                seed=request.seed,
+                extra=request.extra,
+            )
+        self._file.write(request.to_frame())
+        self._file.flush()
+        line = self._file.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ServiceError("connection closed by server")
+        return _payload(parse_reply(line))
+
+    # -- convenience ops (mirror the async client) -----------------------
+    def open(self, session: str | None = None, seed: int | None = None) -> str:
+        """Open a session; returns its id."""
+        return self.request(Request(op="open", session=session, seed=seed))["session"]
+
+    def step(self, session: str, cell: int) -> dict:
+        """Release one location; returns the release record."""
+        return self.request(Request(op="step", session=session, cell=cell))
+
+    def peek_budget(self, session: str) -> float:
+        """The budget the session's next step starts calibrating from."""
+        return float(self.request(Request(op="peek_budget", session=session))["budget"])
+
+    def finish(self, session: str) -> dict:
+        """Seal a session; returns its summary."""
+        return self.request(Request(op="finish", session=session))
+
+    def checkpoint(self, session: str) -> dict:
+        """Snapshot a session server-side; returns {session, t, state}."""
+        return self.request(Request(op="checkpoint", session=session))
+
+    def stats(self) -> dict:
+        """Server metrics snapshot."""
+        return self.request(Request(op="stats"))
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

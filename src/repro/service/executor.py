@@ -1,0 +1,114 @@
+"""Worker-pool offload with strict per-session ordering.
+
+The calibrate-and-check step is CPU-bound (linear algebra + the QP
+solver); run on the event loop it would serialize every client behind
+the slowest step and starve the loop.  :class:`SessionExecutor` pushes
+each step onto a ``ThreadPoolExecutor`` -- numpy/scipy release the GIL
+in their kernels, so different sessions genuinely overlap -- while a
+per-session async lock guarantees that operations *on one session*
+never run concurrently or out of order (the session owns a stateful RNG
+and quantifier fronts; ordering is what makes server-mediated streams
+bit-identical to direct ones).
+
+The same per-session lock also serializes lifecycle operations (open,
+finish, evict, restore) against in-flight steps of that session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: the machine's cores, capped."""
+    return min(32, os.cpu_count() or 4)
+
+
+class _KeyedLocks:
+    """Per-key asyncio locks that free themselves when unused."""
+
+    def __init__(self):
+        self._locks: dict[str, list] = {}  # key -> [lock, holders+waiters]
+
+    @contextlib.asynccontextmanager
+    async def hold(self, key: str):
+        entry = self._locks.get(key)
+        if entry is None:
+            entry = self._locks[key] = [asyncio.Lock(), 0]
+        entry[1] += 1
+        try:
+            async with entry[0]:
+                yield
+        finally:
+            entry[1] -= 1
+            if entry[1] == 0:
+                self._locks.pop(key, None)
+
+    def is_idle(self, key: str) -> bool:
+        """True when no task holds or awaits the key's lock."""
+        return key not in self._locks
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+
+class SessionExecutor:
+    """Run session-touching callables off the event loop, in order.
+
+    Parameters
+    ----------
+    workers:
+        Thread-pool size; ``0`` runs callables inline on the event loop
+        (useful for debugging and for tests that want single-threaded
+        determinism of *scheduling*, not just results).
+    """
+
+    def __init__(self, workers: int | None = None):
+        self._workers = default_workers() if workers is None else int(workers)
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="repro-step"
+            )
+            if self._workers > 0
+            else None
+        )
+        self._locks = _KeyedLocks()
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count (0 = inline)."""
+        return self._workers
+
+    def session_idle(self, session_id: str) -> bool:
+        """True when no request currently touches ``session_id``."""
+        return self._locks.is_idle(session_id)
+
+    async def run(self, session_id: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` under the session's lock, on the pool."""
+        async with self._locks.hold(session_id):
+            if self._pool is None:
+                return fn()
+            return await asyncio.get_running_loop().run_in_executor(
+                self._pool, fn
+            )
+
+    async def run_inline(self, session_id: str, fn: Callable[[], T]) -> T:
+        """Run a cheap ``fn`` under the session's lock, on the loop.
+
+        For operations that only touch dicts and small objects (open,
+        peek, evict bookkeeping) the pool round-trip costs more than the
+        work.
+        """
+        async with self._locks.hold(session_id):
+            return fn()
+
+    def shutdown(self) -> None:
+        """Stop the pool (waits for running steps)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)

@@ -1,0 +1,152 @@
+"""Service observability: counters and latency histograms.
+
+Everything here is updated from worker-pool threads *and* the event
+loop, so :class:`ServiceMetrics` guards its state with one lock and
+hands out plain-dict snapshots (the ``stats`` op's payload).
+
+The histogram is a fixed log-spaced bucket array rather than a sample
+reservoir: constant memory regardless of traffic, and percentile reads
+(p50/p99) resolve to a bucket's upper bound -- at the configured 16
+buckets per decade that is a <= ~15% overestimate, plenty for a
+latency dashboard and never an *under*-estimate.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import Counter
+
+#: Histogram range: 10 microseconds .. ~17 minutes, 16 buckets/decade.
+_FLOOR_S = 1e-5
+_BUCKETS_PER_DECADE = 16
+_N_BUCKETS = 8 * _BUCKETS_PER_DECADE
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram (seconds).
+
+    Not thread-safe on its own; :class:`ServiceMetrics` serializes
+    access.  Standalone use (the load benchmark) is single-threaded.
+    """
+
+    def __init__(self):
+        self._counts = [0] * _N_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        if seconds <= _FLOOR_S:
+            return 0
+        index = int(math.log10(seconds / _FLOOR_S) * _BUCKETS_PER_DECADE)
+        return min(index, _N_BUCKETS - 1)
+
+    @staticmethod
+    def _upper_bound(index: int) -> float:
+        return _FLOOR_S * 10.0 ** ((index + 1) / _BUCKETS_PER_DECADE)
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        seconds = float(seconds)
+        self._counts[self._bucket(seconds)] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Returns the upper bound of the bucket holding the q-th
+        observation, clamped to the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self._count:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank:
+                if index == _N_BUCKETS - 1:
+                    return self._max  # overflow bucket: no finite bound
+                return min(self._upper_bound(index), self._max)
+        return self._max
+
+    def snapshot(self) -> dict:
+        """Summary dict in milliseconds (the wire/report unit)."""
+        return {
+            "count": self._count,
+            "mean_ms": round(self.mean * 1e3, 4),
+            "p50_ms": round(self.quantile(0.50) * 1e3, 4),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 4),
+            "max_ms": round(self._max * 1e3, 4),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters + histograms behind the ``stats`` op."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._requests: Counter[str] = Counter()
+        self._errors: Counter[str] = Counter()
+        self._sessions = Counter(
+            opened=0, finished=0, evicted=0, restored=0
+        )
+        self._releases = Counter(conservative=0, forced_uniform=0)
+        self._step_latency = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_request(self, op: str) -> None:
+        """Count one incoming request by op."""
+        with self._lock:
+            self._requests[op] += 1
+
+    def record_error(self, code: str) -> None:
+        """Count one error reply by wire code."""
+        with self._lock:
+            self._errors[code] += 1
+
+    def record_session_event(self, event: str, n: int = 1) -> None:
+        """Count a lifecycle event: opened/finished/evicted/restored."""
+        with self._lock:
+            self._sessions[event] += n
+
+    def record_step(self, seconds: float, record) -> None:
+        """Count one completed release with its latency."""
+        with self._lock:
+            self._step_latency.record(seconds)
+            if record.conservative:
+                self._releases["conservative"] += 1
+            if record.forced_uniform:
+                self._releases["forced_uniform"] += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One atomic plain-dict snapshot (JSON-safe)."""
+        with self._lock:
+            return {
+                "requests": dict(self._requests),
+                "errors": dict(self._errors),
+                "sessions": dict(self._sessions),
+                "releases": dict(self._releases),
+                "step_latency": self._step_latency.snapshot(),
+            }

@@ -1,0 +1,235 @@
+"""The service wire protocol: versioned JSONL frames.
+
+One frame per line, UTF-8 JSON, newline-terminated.  Requests carry a
+protocol version ``v``, a client-chosen correlation id ``id`` (echoed
+verbatim in the reply, so clients may pipeline and match out-of-order
+replies), an ``op`` and the op's arguments::
+
+    {"v": 1, "id": 7, "op": "open", "session": "u1", "seed": 42}
+    {"v": 1, "id": 8, "op": "step", "session": "u1", "cell": 17}
+
+Replies are either ``ok`` frames carrying the op's payload or typed
+error frames::
+
+    {"v": 1, "id": 8, "ok": true, "op": "step", "t": 1, ...}
+    {"v": 1, "id": 9, "ok": false, "error": {"code": "busy", "message": "..."}}
+
+Error codes are a closed vocabulary mapped one-to-one onto the
+:mod:`repro.errors` hierarchy (see :data:`ERROR_CODES`), so a client can
+re-raise the exact exception type the server caught --
+:func:`error_code_for` and :func:`exception_for` are inverses.
+
+Ops
+---
+``open``
+    ``session`` (optional name), ``seed`` (optional int) -> the session
+    id.  Rejected with ``busy`` at the server's open-session cap.
+``step``
+    ``session``, ``cell`` -> one release record (the engine's
+    :meth:`~repro.engine.ReleaseRecord.to_json` form).
+``peek_budget``
+    ``session`` -> the budget the next step would calibrate from.
+``finish``
+    ``session`` -> the sealed log's summary.
+``checkpoint``
+    ``session`` -> the session's JSON state (also persisted server-side).
+``stats``
+    -> server metrics snapshot (see :mod:`repro.service.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..errors import (
+    CalibrationError,
+    MechanismError,
+    ProtocolError,
+    QuantificationError,
+    ReproError,
+    ServiceBusyError,
+    ServiceError,
+    SessionError,
+    SolverError,
+    ValidationError,
+)
+
+PROTOCOL_VERSION = 1
+
+#: Maximum bytes in one frame; longer lines are a protocol error.
+MAX_FRAME_BYTES = 1 << 20
+
+OPS = frozenset({"open", "step", "peek_budget", "finish", "checkpoint", "stats"})
+
+#: Ops that address one session and therefore require a ``session`` field.
+SESSION_OPS = frozenset({"step", "peek_budget", "finish", "checkpoint"})
+
+#: code -> exception type; the wire vocabulary of failures.  Order of
+#: :data:`_CODES_BY_TYPE` below decides how server-side exceptions map
+#: back (most-derived first).
+ERROR_CODES: dict[str, type[ReproError]] = {
+    "busy": ServiceBusyError,
+    "protocol": ProtocolError,
+    "session": SessionError,
+    "quantification": QuantificationError,
+    "calibration": CalibrationError,
+    "solver": SolverError,
+    "mechanism": MechanismError,
+    "validation": ValidationError,
+    "service": ServiceError,
+    "internal": ReproError,
+}
+
+_CODES_BY_TYPE: tuple[tuple[type[BaseException], str], ...] = tuple(
+    (exc_type, code) for code, exc_type in ERROR_CODES.items()
+)
+
+
+def error_code_for(error: BaseException) -> str:
+    """The wire code for an exception (``internal`` for anything else)."""
+    for exc_type, code in _CODES_BY_TYPE:
+        if isinstance(error, exc_type):
+            return code
+    return "internal"
+
+
+def exception_for(code: str, message: str) -> ReproError:
+    """Rebuild the server-side exception from an error frame (client side)."""
+    return ERROR_CODES.get(code, ReproError)(message)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, validated request frame."""
+
+    op: str
+    request_id: object = None
+    session: str | None = None
+    cell: int | None = None
+    seed: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    def to_frame(self) -> bytes:
+        """Encode back to wire form (used by the clients)."""
+        frame: dict = {"v": PROTOCOL_VERSION, "id": self.request_id, "op": self.op}
+        if self.session is not None:
+            frame["session"] = self.session
+        if self.cell is not None:
+            frame["cell"] = self.cell
+        if self.seed is not None:
+            frame["seed"] = self.seed
+        frame.update(self.extra)
+        return encode_frame(frame)
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One JSON object as a newline-terminated wire frame."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes | str) -> dict:
+    """Parse one wire line into a dict, raising :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame of {len(line)} bytes exceeds the {MAX_FRAME_BYTES} limit"
+            )
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"frame is not UTF-8: {error}") from None
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    return frame
+
+
+def parse_request(line: bytes | str) -> Request:
+    """Decode and validate one request frame.
+
+    Raises :class:`ProtocolError` for malformed frames.  The offending
+    frame's ``id`` (when present) is attached as ``error.request_id`` so
+    the server can still correlate the error reply.
+    """
+    frame = decode_frame(line)
+    request_id = frame.get("id")
+    try:
+        version = frame.get("v")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version!r}; "
+                f"this server speaks v{PROTOCOL_VERSION}"
+            )
+        op = frame.get("op")
+        if op not in OPS:
+            raise ProtocolError(
+                f"unknown op {op!r}; expected one of {sorted(OPS)}"
+            )
+        session = frame.get("session")
+        if session is not None:
+            session = str(session)
+            if not session:
+                raise ProtocolError("session id must be a non-empty string")
+        elif op in SESSION_OPS:
+            raise ProtocolError(f"op {op!r} requires a 'session' field")
+        cell = frame.get("cell")
+        if op == "step":
+            if not isinstance(cell, int) or isinstance(cell, bool):
+                raise ProtocolError(
+                    f"op 'step' requires an integer 'cell', got {cell!r}"
+                )
+        else:
+            cell = None
+        seed = frame.get("seed")
+        if seed is not None:
+            if op != "open":
+                raise ProtocolError(f"'seed' is only valid for op 'open', not {op!r}")
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ProtocolError(f"'seed' must be an integer, got {seed!r}")
+    except ProtocolError as error:
+        error.request_id = request_id  # type: ignore[attr-defined]
+        raise
+    return Request(op=op, request_id=request_id, session=session, cell=cell, seed=seed)
+
+
+def ok_frame(request_id: object, op: str, payload: dict) -> bytes:
+    """A success reply carrying ``payload``."""
+    frame = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True, "op": op}
+    frame.update(payload)
+    return encode_frame(frame)
+
+
+def error_frame(request_id: object, error: BaseException) -> bytes:
+    """A typed error reply for ``error``."""
+    return encode_frame(
+        {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "ok": False,
+            "error": {"code": error_code_for(error), "message": str(error)},
+        }
+    )
+
+
+def parse_reply(line: bytes | str) -> dict:
+    """Decode a reply frame (client side); raises on error replies.
+
+    Returns the payload dict of ``ok`` frames; re-raises the server's
+    typed exception for error frames (with the frame's ``id`` attached
+    as ``error.request_id`` so pipelining clients can still match it).
+    """
+    frame = decode_frame(line)
+    if frame.get("ok"):
+        return frame
+    error = frame.get("error")
+    if not isinstance(error, dict):
+        raise ProtocolError(f"reply is neither ok nor a typed error: {frame!r}")
+    exception = exception_for(str(error.get("code")), str(error.get("message")))
+    exception.request_id = frame.get("id")  # type: ignore[attr-defined]
+    raise exception

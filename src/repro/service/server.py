@@ -1,0 +1,448 @@
+"""The asyncio TCP server multiplexing clients onto one SessionManager.
+
+Concurrency model
+-----------------
+* One reader coroutine per connection; each request frame becomes its
+  own task, so slow steps never block other requests (replies carry the
+  request's ``id`` and may return out of order -- clients match on it).
+* A per-connection pending-request semaphore: past
+  ``max_pending_per_connection`` in-flight requests the reader simply
+  stops reading, which surfaces to the client as TCP backpressure.
+* A global open-session cap (``max_sessions``): ``open`` beyond it gets
+  a typed ``busy`` error instead of a hang.
+* CPU-bound work (step, restore, suspend) runs on the
+  :class:`~repro.service.executor.SessionExecutor` worker pool under a
+  per-session lock; all fleet bookkeeping (the LRU table, admission,
+  eviction choice) happens on the event-loop thread only.
+* Past ``max_resident`` resident sessions, least-recently-used idle
+  sessions are suspended through the engine's JSON checkpoint into the
+  :class:`~repro.service.store.SessionStore` and restored transparently
+  on their next request -- open-session count is decoupled from memory.
+
+Graceful drain: on ``request_drain()`` (wired to SIGINT/SIGTERM by the
+CLI) the server stops accepting, lets in-flight requests finish,
+checkpoints every resident session into the store and resolves
+:meth:`wait_drained` with a summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import uuid
+from dataclasses import dataclass
+
+from ..engine.manager import SessionManager
+from ..errors import ProtocolError, ReproError, ServiceBusyError, SessionError
+from .executor import SessionExecutor
+from .metrics import ServiceMetrics
+from .protocol import (
+    MAX_FRAME_BYTES,
+    Request,
+    error_code_for,
+    error_frame,
+    ok_frame,
+    parse_request,
+)
+from .store import MemorySessionStore, SessionStore
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Serving knobs, orthogonal to the engine configuration."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port off `server.port`
+    max_sessions: int = 10_000
+    max_resident: int = 1_024
+    max_pending_per_connection: int = 32
+    workers: int | None = None  # None = cores (capped); 0 = inline
+
+
+class ReleaseServer:
+    """Serve one shared :class:`SessionManager` over JSONL/TCP."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        store: SessionStore | None = None,
+        config: ServerConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+    ):
+        self._manager = manager
+        self._store = store if store is not None else MemorySessionStore()
+        self._config = config if config is not None else ServerConfig()
+        self._metrics = metrics if metrics is not None else ServiceMetrics()
+        self._executor = SessionExecutor(self._config.workers)
+        # Admission registry: every open session id, resident or
+        # suspended (order irrelevant).
+        self._open: dict[str, None] = {}
+        # Resident sessions only, in LRU order (insertion + touch moves):
+        # eviction scans this, so its cost tracks max_resident, not the
+        # total open-session count.
+        self._resident_lru: dict[str, None] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
+        self._drain_summary: dict = {}
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The server's metrics sink."""
+        return self._metrics
+
+    @property
+    def store(self) -> SessionStore:
+        """The suspended-session store."""
+        return self._store
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        # Adopt sessions a previous incarnation parked in a durable
+        # store: they count as open (admission) and restore on demand.
+        for sid in self._store.ids():
+            self._open.setdefault(sid, None)
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self._config.host,
+            port=self._config.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        """Drain on SIGINT/SIGTERM (call from within the event loop)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, self.request_drain)
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (idempotent, callable from handlers)."""
+        if self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(self.drain())
+
+    async def wait_drained(self) -> dict:
+        """Block until the drain completes; returns its summary."""
+        await self._drained.wait()
+        return self._drain_summary
+
+    async def drain(self) -> dict:
+        """Stop accepting, finish in-flight work, checkpoint sessions."""
+        if self._drained.is_set():
+            return self._drain_summary
+        self._draining.set()
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await asyncio.gather(*self._request_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        checkpointed = 0
+        for sid in list(self._manager.session_ids):
+            self._store.put(self._manager.suspend(sid))
+            checkpointed += 1
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._writers.clear()
+        self._executor.shutdown()
+        self._drain_summary = {
+            "sessions_checkpointed": checkpointed,
+            "sessions_open": len(self._open),
+        }
+        self._drained.set()
+        return self._drain_summary
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        pending_slots = asyncio.Semaphore(self._config.max_pending_per_connection)
+        pending: set[asyncio.Task] = set()
+        eof = False
+        try:
+            while True:
+                await pending_slots.acquire()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Over-long frame: the stream cannot be re-synced.
+                    pending_slots.release()
+                    error = ProtocolError(
+                        f"frame exceeds the {MAX_FRAME_BYTES}-byte limit"
+                    )
+                    self._metrics.record_error("protocol")
+                    await self._write(writer, write_lock, error_frame(None, error))
+                    eof = True
+                    break
+                if not line:
+                    pending_slots.release()
+                    eof = True
+                    break
+                if not line.strip():
+                    pending_slots.release()
+                    continue
+                request_task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock, pending_slots)
+                )
+                pending.add(request_task)
+                request_task.add_done_callback(pending.discard)
+                self._request_tasks.add(request_task)
+                request_task.add_done_callback(self._request_tasks.discard)
+        except asyncio.CancelledError:
+            # Drain: in-flight request tasks are awaited by drain(),
+            # which also closes the writer after their replies flush.
+            return
+        except ConnectionError:
+            eof = True
+        finally:
+            self._conn_tasks.discard(task)
+            if eof:
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+                self._writers.discard(writer)
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        pending_slots: asyncio.Semaphore,
+    ) -> None:
+        try:
+            try:
+                request = parse_request(line)
+            except ProtocolError as error:
+                self._metrics.record_error("protocol")
+                reply = error_frame(getattr(error, "request_id", None), error)
+                await self._write(writer, write_lock, reply)
+                return
+            self._metrics.record_request(request.op)
+            try:
+                payload = await self._dispatch(request)
+                reply = ok_frame(request.request_id, request.op, payload)
+            except ReproError as error:
+                self._metrics.record_error(error_code_for(error))
+                reply = error_frame(request.request_id, error)
+            except Exception as error:  # noqa: BLE001 - last-resort boundary
+                self._metrics.record_error("internal")
+                reply = error_frame(request.request_id, error)
+            await self._write(writer, write_lock, reply)
+        finally:
+            pending_slots.release()
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, write_lock: asyncio.Lock, data: bytes
+    ) -> None:
+        async with write_lock:
+            if writer.is_closing():
+                return
+            with contextlib.suppress(ConnectionError):
+                writer.write(data)
+                await writer.drain()
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request) -> dict:
+        if request.op == "open":
+            return await self._op_open(request)
+        if request.op == "step":
+            return await self._op_step(request)
+        if request.op == "peek_budget":
+            return await self._op_peek(request)
+        if request.op == "finish":
+            return await self._op_finish(request)
+        if request.op == "checkpoint":
+            return await self._op_checkpoint(request)
+        return self._op_stats()
+
+    async def _op_open(self, request: Request) -> dict:
+        if self._draining.is_set():
+            raise ServiceBusyError("server is draining; not accepting sessions")
+        sid = request.session or uuid.uuid4().hex
+        if sid in self._open:
+            raise SessionError(f"session {sid!r} already open")
+        if len(self._open) >= self._config.max_sessions:
+            raise ServiceBusyError(
+                f"open-session cap reached ({self._config.max_sessions}); "
+                "finish sessions or retry later"
+            )
+        await self._executor.run_inline(
+            sid, lambda: self._manager.open(sid, rng=request.seed)
+        )
+        self._touch(sid)
+        self._metrics.record_session_event("opened")
+        await self._maybe_evict()
+        return {"session": sid, "horizon": self._manager.config.horizon}
+
+    async def _op_step(self, request: Request) -> dict:
+        sid, cell = request.session, request.cell
+        assert sid is not None and cell is not None
+
+        def _step():
+            restored = self._restore_if_suspended(sid)
+            return restored, self._manager.step(sid, cell)
+
+        restored, record = await self._executor.run(sid, _step)
+        if restored:
+            self._metrics.record_session_event("restored")
+        self._metrics.record_step(record.elapsed_s, record)
+        self._touch(sid)
+        await self._maybe_evict()
+        return record.to_json()
+
+    async def _op_peek(self, request: Request) -> dict:
+        sid = request.session
+        assert sid is not None
+
+        def _peek():
+            restored = self._restore_if_suspended(sid)
+            return restored, self._manager.peek_budget(sid)
+
+        restored, budget = await self._executor.run(sid, _peek)
+        if restored:
+            self._metrics.record_session_event("restored")
+        self._touch(sid)
+        await self._maybe_evict()
+        return {"session": sid, "budget": budget}
+
+    async def _op_finish(self, request: Request) -> dict:
+        sid = request.session
+        assert sid is not None
+
+        def _finish():
+            restored = self._restore_if_suspended(sid)
+            log = self._manager.finish(sid)
+            self._store.delete(sid)
+            return restored, log
+
+        restored, log = await self._executor.run(sid, _finish)
+        if restored:
+            self._metrics.record_session_event("restored")
+        self._open.pop(sid, None)
+        self._resident_lru.pop(sid, None)
+        self._metrics.record_session_event("finished")
+        return {
+            "session": sid,
+            "n_released": len(log),
+            "average_budget": log.average_budget if len(log) else None,
+            "n_conservative": log.n_conservative,
+        }
+
+    async def _op_checkpoint(self, request: Request) -> dict:
+        sid = request.session
+        assert sid is not None
+
+        def _checkpoint():
+            restored = self._restore_if_suspended(sid)
+            state = self._manager.checkpoint(sid)
+            self._store.put(state)
+            return restored, state
+
+        restored, state = await self._executor.run(sid, _checkpoint)
+        if restored:
+            self._metrics.record_session_event("restored")
+        self._touch(sid)
+        return {
+            "session": sid,
+            "t": state.committed_t,
+            "state": state.to_json(),
+        }
+
+    def _op_stats(self) -> dict:
+        snapshot = self._metrics.snapshot()
+        snapshot["sessions"].update(
+            open=len(self._open),
+            resident=len(self._manager),
+            stored=len(self._store),
+        )
+        cache = self._manager.cache_stats()
+        snapshot["verdict_cache"] = (
+            None
+            if cache is None
+            else {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 6),
+                "size": cache.size,
+                "evictions": cache.evictions,
+            }
+        )
+        snapshot["server"] = {
+            "draining": self._draining.is_set(),
+            "connections": len(self._writers),
+            "workers": self._executor.workers,
+            "max_sessions": self._config.max_sessions,
+            "max_resident": self._config.max_resident,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # residency management
+    # ------------------------------------------------------------------
+    def _restore_if_suspended(self, sid: str) -> bool:
+        """Bring a suspended session back under its executor lock.
+
+        Runs on a worker thread; only touches the (thread-safe) store
+        and the manager entry for ``sid``, which the per-session lock
+        protects.
+        """
+        if sid in self._manager:
+            return False
+        state = self._store.get(sid)
+        if state is None:
+            raise SessionError(f"no open session {sid!r}")
+        self._manager.resume(state)
+        self._store.delete(sid)
+        return True
+
+    def _touch(self, sid: str) -> None:
+        """Mark a session resident and most-recently-used (loop thread)."""
+        self._open.setdefault(sid, None)
+        self._resident_lru.pop(sid, None)
+        self._resident_lru[sid] = None
+
+    async def _maybe_evict(self) -> None:
+        """Suspend LRU idle sessions past the residency cap."""
+        while len(self._manager) > self._config.max_resident:
+            victim = None
+            for sid in self._resident_lru:
+                if sid in self._manager and self._executor.session_idle(sid):
+                    victim = sid
+                    break
+            if victim is None:
+                return  # everything resident is busy; try after next op
+
+            def _suspend(sid=victim):
+                if sid not in self._manager:
+                    return False  # raced with finish/evict; nothing to do
+                self._store.put(self._manager.suspend(sid))
+                return True
+
+            evicted = await self._executor.run(victim, _suspend)
+            self._resident_lru.pop(victim, None)
+            if evicted:
+                self._metrics.record_session_event("evicted")

@@ -1,0 +1,241 @@
+"""Pluggable persistence for suspended sessions.
+
+The server decouples *open* sessions from *resident* sessions: past a
+residency cap it suspends idle sessions through the engine's JSON
+checkpoint (:meth:`~repro.engine.ReleaseSession.to_state`) into a
+:class:`SessionStore`, and transparently restores them on their next
+request.  Three backends, all stdlib:
+
+* :class:`MemorySessionStore` -- a dict of serialized states.  Bounds
+  nothing by itself but keeps evicted sessions off the engine's hot
+  structures; the default.
+* :class:`DirectorySessionStore` -- one JSON file per session.  Survives
+  restarts; also the format behind ``repro stream --checkpoint-dir``.
+* :class:`SQLiteSessionStore` -- a single-file database for fleets where
+  a million tiny files would hurt.
+
+Every backend round-trips ``SessionState.to_json()`` verbatim, so a
+session restored from any store continues bit-identically.  All methods
+are thread-safe: stores are touched from worker-pool threads.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import sqlite3
+import threading
+
+from ..engine.session import SessionState
+from ..errors import ServiceError, ValidationError
+
+
+class SessionStore(abc.ABC):
+    """Keyed persistence of suspended :class:`SessionState` snapshots."""
+
+    @abc.abstractmethod
+    def put(self, state: SessionState) -> None:
+        """Persist (insert or replace) one suspended session."""
+
+    @abc.abstractmethod
+    def get(self, session_id: str) -> SessionState | None:
+        """Load a suspended session, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def delete(self, session_id: str) -> None:
+        """Drop a session (no-op when absent)."""
+
+    @abc.abstractmethod
+    def ids(self) -> list[str]:
+        """All stored session ids."""
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __contains__(self, session_id: str) -> bool:
+        return self.get(session_id) is not None
+
+    def close(self) -> None:
+        """Release backend resources (default: nothing to do)."""
+
+
+class MemorySessionStore(SessionStore):
+    """In-process store of JSON-serialized states.
+
+    States are stored as JSON strings, not live objects: a put/get
+    round-trip always exercises the same serialization path as the
+    durable backends, so switching backends cannot change behaviour.
+    """
+
+    def __init__(self):
+        self._states: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def put(self, state: SessionState) -> None:
+        payload = json.dumps(state.to_json())
+        with self._lock:
+            self._states[state.session_id] = payload
+
+    def get(self, session_id: str) -> SessionState | None:
+        with self._lock:
+            payload = self._states.get(session_id)
+        if payload is None:
+            return None
+        return SessionState.from_json(json.loads(payload))
+
+    def delete(self, session_id: str) -> None:
+        with self._lock:
+            self._states.pop(session_id, None)
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._states)
+
+
+class DirectorySessionStore(SessionStore):
+    """One ``<hex(session_id)>.json`` file per suspended session.
+
+    File names are the hex encoding of the UTF-8 session id: reversible
+    (so :meth:`ids` needs no index) and safe for arbitrary id strings.
+    Writes go through a temp file + ``os.replace`` so a crash mid-write
+    never leaves a torn checkpoint.
+    """
+
+    _SUFFIX = ".json"
+
+    def __init__(self, root: str):
+        self._root = str(root)
+        os.makedirs(self._root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    @property
+    def root(self) -> str:
+        """The backing directory."""
+        return self._root
+
+    def _path(self, session_id: str) -> str:
+        return os.path.join(
+            self._root, session_id.encode().hex() + self._SUFFIX
+        )
+
+    def put(self, state: SessionState) -> None:
+        path = self._path(state.session_id)
+        payload = json.dumps(state.to_json())
+        with self._lock:
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+
+    def get(self, session_id: str) -> SessionState | None:
+        path = self._path(session_id)
+        with self._lock:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = handle.read()
+            except FileNotFoundError:
+                return None
+        try:
+            return SessionState.from_json(json.loads(payload))
+        except (ValueError, KeyError, TypeError) as error:
+            raise ServiceError(
+                f"corrupt session checkpoint {path!r}: {error}"
+            ) from error
+
+    def delete(self, session_id: str) -> None:
+        with self._lock:
+            try:
+                os.remove(self._path(session_id))
+            except FileNotFoundError:
+                pass
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            names = os.listdir(self._root)
+        out = []
+        for name in names:
+            if not name.endswith(self._SUFFIX):
+                continue
+            try:
+                out.append(bytes.fromhex(name[: -len(self._SUFFIX)]).decode())
+            except ValueError:
+                continue  # foreign file in the directory; not ours
+        return out
+
+
+class SQLiteSessionStore(SessionStore):
+    """All suspended sessions in one SQLite file (or ``:memory:``)."""
+
+    def __init__(self, path: str):
+        self._path = str(path)
+        # One shared connection; sqlite3 serializes at C level but we
+        # still hold a lock so multi-statement operations stay atomic.
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        self._lock = threading.Lock()
+        with self._lock:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS sessions ("
+                " session_id TEXT PRIMARY KEY,"
+                " state TEXT NOT NULL)"
+            )
+            self._conn.commit()
+
+    def put(self, state: SessionState) -> None:
+        payload = json.dumps(state.to_json())
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO sessions (session_id, state) VALUES (?, ?)",
+                (state.session_id, payload),
+            )
+            self._conn.commit()
+
+    def get(self, session_id: str) -> SessionState | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT state FROM sessions WHERE session_id = ?", (session_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return SessionState.from_json(json.loads(row[0]))
+        except (ValueError, KeyError, TypeError) as error:
+            raise ServiceError(
+                f"corrupt session row {session_id!r} in {self._path!r}: {error}"
+            ) from error
+
+    def delete(self, session_id: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM sessions WHERE session_id = ?", (session_id,)
+            )
+            self._conn.commit()
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute("SELECT session_id FROM sessions").fetchall()
+        return [row[0] for row in rows]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+def resolve_store(kind: str, path: str | None = None) -> SessionStore:
+    """Build a store from CLI-ish ``(kind, path)`` settings.
+
+    ``memory`` needs no path; ``dir`` and ``sqlite`` require one.
+    """
+    if kind == "memory":
+        return MemorySessionStore()
+    if kind == "dir":
+        if not path:
+            raise ValidationError("store 'dir' requires a directory path")
+        return DirectorySessionStore(path)
+    if kind == "sqlite":
+        if not path:
+            raise ValidationError("store 'sqlite' requires a database path")
+        return SQLiteSessionStore(path)
+    raise ValidationError(
+        f"unknown store kind {kind!r}; expected 'memory', 'dir' or 'sqlite'"
+    )

@@ -1,0 +1,99 @@
+"""`repro serve` as a real OS process: announce, serve, drain on SIGINT."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import SessionError
+from repro.service import ServiceClient
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0", "--rows", "4", "--cols", "4", "--horizon", "6",
+            "--event-window", "2", "4",
+            "--store", "dir", "--store-path", str(tmp_path / "sessions"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        banner = json.loads(line)
+        assert banner["op"] == "serving"
+        yield proc, banner
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+
+class TestServeProcess:
+    def test_serve_announce_drive_and_drain(self, serve_process, tmp_path):
+        proc, banner = serve_process
+        with ServiceClient("127.0.0.1", banner["port"]) as client:
+            for i in range(5):
+                client.open(f"u{i}", seed=i)
+            for t in range(3):
+                for i in range(5):
+                    record = client.step(f"u{i}", (t + i) % 16)
+                    assert record["t"] == t + 1
+            client.finish("u4")
+            with pytest.raises(SessionError):
+                client.step("u4", 0)
+            stats = client.stats()
+            assert stats["sessions"]["open"] == 4
+            assert stats["step_latency"]["count"] == 15
+
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        drained = json.loads(out.strip().splitlines()[-1])
+        assert drained["op"] == "drained"
+        assert drained["sessions_checkpointed"] == 4
+        # the open sessions really were parked on disk
+        assert len(list((tmp_path / "sessions").glob("*.json"))) == 4
+
+    def test_second_instance_resumes_from_store(self, serve_process, tmp_path):
+        proc, banner = serve_process
+        with ServiceClient("127.0.0.1", banner["port"]) as client:
+            client.open("carry", seed=1)
+            first = client.step("carry", 3)
+        proc.send_signal(signal.SIGINT)
+        proc.communicate(timeout=30)
+        assert proc.returncode == 0
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc2 = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--rows", "4", "--cols", "4", "--horizon", "6",
+                "--event-window", "2", "4",
+                "--store", "dir", "--store-path", str(tmp_path / "sessions"),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner2 = json.loads(proc2.stdout.readline())
+            with ServiceClient("127.0.0.1", banner2["port"]) as client:
+                record = client.step("carry", 5)  # adopted, no open needed
+                assert record["t"] == first["t"] + 1
+        finally:
+            proc2.send_signal(signal.SIGINT)
+            proc2.communicate(timeout=30)
+            assert proc2.returncode == 0

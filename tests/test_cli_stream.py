@@ -90,3 +90,114 @@ class TestStream:
             cli_main(BASE_ARGS[:-1] + ["-1"])  # --seed -1
         assert excinfo.value.code == 2
         assert "--seed must be non-negative" in capsys.readouterr().err
+
+
+class _InterruptedStdin:
+    """Stdin that delivers some lines, then a SIGINT (KeyboardInterrupt)."""
+
+    def __init__(self, lines):
+        self._lines = lines
+
+    def __iter__(self):
+        yield from self._lines
+        raise KeyboardInterrupt
+
+
+class TestStreamCheckpoint:
+    """``--checkpoint-dir``: SIGINT suspends, the next run resumes."""
+
+    CELLS = [0, 1, 2, 3, 4, 5]
+
+    def _lines(self, cells, finish=False):
+        out = [json.dumps({"session": "u", "cell": c}) for c in cells]
+        if finish:
+            out.append('{"op":"finish"}')
+        return out
+
+    def test_sigint_checkpoints_and_resume_is_bit_identical(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        args = ["--checkpoint-dir", str(tmp_path)]
+        # the uninterrupted reference
+        code, reference, _ = run_stream(
+            monkeypatch, capsys, self._lines(self.CELLS, finish=True)
+        )
+        assert code == 0
+
+        # interrupted after 3 fixes: exit 0, checkpoint on disk
+        monkeypatch.setattr(
+            "sys.stdin", _InterruptedStdin(self._lines(self.CELLS[:3]))
+        )
+        code = cli_main(BASE_ARGS + args)
+        captured = capsys.readouterr()
+        assert code == 0
+        first = [json.loads(l) for l in captured.out.splitlines()]
+        assert json.loads(captured.err.splitlines()[-1]) == {
+            "op": "checkpointed",
+            "sessions": ["u"],
+        }
+        assert list(tmp_path.glob("*.json"))
+
+        # resumed run: picks up mid-trajectory, consumes the checkpoint
+        code, second, err = run_stream(
+            monkeypatch, capsys, self._lines(self.CELLS[3:], finish=True), args
+        )
+        assert code == 0
+        assert '"resumed"' in err
+        assert not list(tmp_path.glob("*.json"))
+        assert first + second == reference
+
+    def test_incarnation_counts_survive_checkpoint_resume(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        # finish 'u', stream it again, interrupt, resume, finish,
+        # stream a third incarnation: every incarnation's noise must
+        # match the uninterrupted reference (seed salting continues
+        # counting across the SIGINT instead of resetting).
+        args = ["--checkpoint-dir", str(tmp_path)]
+        script_head = self._lines([0, 1], finish=True) + self._lines([2])
+        script_tail = self._lines([3], finish=True) + self._lines(
+            [4, 5], finish=True
+        )
+        code, reference, _ = run_stream(
+            monkeypatch, capsys, script_head + script_tail
+        )
+        assert code == 0
+
+        monkeypatch.setattr("sys.stdin", _InterruptedStdin(script_head))
+        assert cli_main(BASE_ARGS + args) == 0
+        captured = capsys.readouterr()
+        first = [json.loads(l) for l in captured.out.splitlines()]
+        assert (tmp_path / "_incarnations.json").exists()
+
+        code, second, _ = run_stream(monkeypatch, capsys, script_tail, args)
+        assert code == 0
+        assert first + second == reference
+        assert not (tmp_path / "_incarnations.json").exists()
+
+    def test_sigint_without_checkpoint_dir_still_raises(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", _InterruptedStdin(self._lines([0, 1])))
+        with pytest.raises(KeyboardInterrupt):
+            cli_main(BASE_ARGS)
+
+    def test_resume_with_mismatched_config_is_an_error_line(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        args = ["--checkpoint-dir", str(tmp_path)]
+        monkeypatch.setattr(
+            "sys.stdin", _InterruptedStdin(self._lines(self.CELLS[:2]))
+        )
+        assert cli_main(BASE_ARGS + args) == 0
+        capsys.readouterr()
+
+        # same checkpoint dir, but a horizon the parked state has already
+        # passed: the resume is rejected as an error line, the service
+        # keeps going, and the stale checkpoint file survives untouched
+        monkeypatch.setattr("sys.stdin", io.StringIO('{"op":"finish"}\n'))
+        code = cli_main(
+            BASE_ARGS + args + ["--event-window", "1", "1", "--horizon", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "cannot resume" in captured.err
+        assert list(tmp_path.glob("*.json"))

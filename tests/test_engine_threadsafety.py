@@ -1,0 +1,116 @@
+"""Thread-safety of the engine state shared across the worker pool.
+
+The serving layer steps different sessions on a thread pool, so the two
+pieces of state shared *between* sessions -- the verdict cache and the
+static provider's mechanism ladder -- must tolerate concurrent access.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.qp import SolverStatus
+from repro.engine import StaticMechanismProvider, VerdictCache
+from repro.geo.grid import GridMap
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+
+
+def small_grid() -> GridMap:
+    return GridMap(4, 4, cell_size_km=1.0)
+
+
+N_THREADS = 8
+OPS_PER_THREAD = 2_000
+
+
+class TestVerdictCacheThreadSafety:
+    def test_concurrent_lookup_store_accounting_is_exact(self):
+        cache = VerdictCache(maxsize=64)
+        barrier = threading.Barrier(N_THREADS)
+
+        def hammer(worker: int):
+            barrier.wait()
+            for i in range(OPS_PER_THREAD):
+                # Overlapping key space across workers: plenty of
+                # contention on the same OrderedDict entries.
+                key = f"k{(worker + i) % 96}".encode()
+                if cache.lookup(key) is None:
+                    cache.store(key, SolverStatus.SAFE)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            list(pool.map(hammer, range(N_THREADS)))
+
+        stats = cache.stats()
+        assert stats.hits + stats.misses == N_THREADS * OPS_PER_THREAD
+        assert stats.size <= stats.maxsize
+        assert len(cache) == stats.size
+
+    def test_stats_snapshot_is_atomic_under_writers(self):
+        cache = VerdictCache(maxsize=32)
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                key = f"w{i % 80}".encode()
+                cache.lookup(key)
+                cache.store(key, SolverStatus.UNKNOWN)
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(500):
+                stats = cache.stats()
+                # Counters never run backwards and never tear: a torn
+                # read would show size above the bound.
+                assert 0 <= stats.size <= stats.maxsize
+                assert stats.hits >= 0 and stats.misses >= 0
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_clear_is_safe_under_concurrent_stores(self):
+        cache = VerdictCache(maxsize=128)
+
+        def churn(_):
+            for i in range(500):
+                cache.store(f"c{i}".encode(), SolverStatus.SAFE)
+                if i % 100 == 0:
+                    cache.clear()
+
+        with ThreadPoolExecutor(4) as pool:
+            list(pool.map(churn, range(4)))
+        assert len(cache) <= 128
+
+
+class TestLadderThreadSafety:
+    def test_concurrent_scaled_returns_one_object_per_budget(self):
+        grid = small_grid()
+        provider = StaticMechanismProvider(PlanarLaplaceMechanism(grid, 1.0))
+        base = provider.base_mechanism(1)
+        budgets = [1.0 / 2**k for k in range(1, 7)]
+        barrier = threading.Barrier(N_THREADS)
+
+        def ladder(_):
+            barrier.wait()
+            return [provider.scaled(base, b) for b in budgets]
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            results = list(pool.map(ladder, range(N_THREADS)))
+
+        for per_budget in zip(*results):
+            first = per_budget[0]
+            assert all(mech is first for mech in per_budget)
+        assert [round(m.budget, 9) for m in results[0]] == [
+            round(b, 9) for b in budgets
+        ]
+
+    def test_scaled_memo_still_returns_correct_budgets(self):
+        grid = small_grid()
+        provider = StaticMechanismProvider(PlanarLaplaceMechanism(grid, 0.8))
+        base = provider.base_mechanism(1)
+        half = provider.scaled(base, 0.4)
+        assert half.budget == pytest.approx(0.4)
+        assert provider.scaled(base, 0.4) is half

@@ -1,0 +1,107 @@
+"""Service metrics: histogram percentiles and thread-safe counters."""
+
+import threading
+from dataclasses import dataclass
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+
+@dataclass
+class FakeRecord:
+    conservative: bool = False
+    forced_uniform: bool = False
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_quantiles_never_underestimate(self):
+        histogram = LatencyHistogram()
+        values = [0.001 * (i + 1) for i in range(100)]  # 1ms .. 100ms
+        for value in values:
+            histogram.record(value)
+        values.sort()
+        for q in (0.5, 0.9, 0.99):
+            exact = values[min(int(q * len(values)), len(values) - 1)]
+            estimate = histogram.quantile(q)
+            assert estimate >= exact * 0.999
+            # log buckets: bounded overestimate (<= one bucket width)
+            assert estimate <= exact * 1.25
+
+    def test_quantile_clamped_to_observed_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.005)
+        assert histogram.quantile(1.0) == pytest.approx(0.005)
+        assert histogram.quantile(0.5) == pytest.approx(0.005)
+
+    def test_extremes_land_in_edge_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e-9)   # below floor
+        histogram.record(1e9)    # above ceiling
+        assert histogram.count == 2
+        assert histogram.quantile(1.0) == pytest.approx(1e9)
+
+    def test_mean_and_snapshot(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.010)
+        histogram.record(0.030)
+        assert histogram.mean == pytest.approx(0.020)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 2
+        assert snapshot["mean_ms"] == pytest.approx(20.0)
+        assert snapshot["p99_ms"] >= snapshot["p50_ms"] > 0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("step")
+        metrics.record_request("step")
+        metrics.record_request("open")
+        metrics.record_error("busy")
+        metrics.record_session_event("opened")
+        metrics.record_session_event("evicted", 3)
+        metrics.record_step(0.002, FakeRecord(conservative=True))
+        metrics.record_step(0.004, FakeRecord(forced_uniform=True))
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == {"step": 2, "open": 1}
+        assert snapshot["errors"] == {"busy": 1}
+        assert snapshot["sessions"]["opened"] == 1
+        assert snapshot["sessions"]["evicted"] == 3
+        assert snapshot["releases"] == {"conservative": 1, "forced_uniform": 1}
+        assert snapshot["step_latency"]["count"] == 2
+
+    def test_snapshot_is_a_copy(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("stats")
+        snapshot = metrics.snapshot()
+        snapshot["requests"]["stats"] = 99
+        assert metrics.snapshot()["requests"]["stats"] == 1
+
+    def test_thread_safe_recording_loses_nothing(self):
+        metrics = ServiceMetrics()
+        n_threads, per_thread = 8, 2_000
+
+        def hammer():
+            for _ in range(per_thread):
+                metrics.record_request("step")
+                metrics.record_step(0.001, FakeRecord())
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"]["step"] == n_threads * per_thread
+        assert snapshot["step_latency"]["count"] == n_threads * per_thread

@@ -1,0 +1,140 @@
+"""The service wire protocol: framing, validation, typed errors."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    QuantificationError,
+    ReproError,
+    ServiceBusyError,
+    SessionError,
+    ValidationError,
+)
+from repro.service.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    Request,
+    decode_frame,
+    encode_frame,
+    error_code_for,
+    error_frame,
+    exception_for,
+    ok_frame,
+    parse_reply,
+    parse_request,
+)
+
+
+def frame(**fields) -> bytes:
+    payload = {"v": PROTOCOL_VERSION, "id": 1}
+    payload.update(fields)
+    return encode_frame(payload)
+
+
+class TestParseRequest:
+    def test_step_roundtrip(self):
+        request = parse_request(frame(op="step", session="u1", cell=17))
+        assert request.op == "step"
+        assert request.session == "u1"
+        assert request.cell == 17
+        assert request.request_id == 1
+        again = parse_request(request.to_frame())
+        assert again == request
+
+    def test_open_with_seed(self):
+        request = parse_request(frame(op="open", session="u1", seed=42))
+        assert request.seed == 42
+
+    def test_open_without_session_is_fine(self):
+        request = parse_request(frame(op="open"))
+        assert request.session is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            b"not json\n",
+            b"[1, 2]\n",
+            frame(op="warp"),
+            frame(op="step", session="u1"),            # missing cell
+            frame(op="step", session="u1", cell="x"),  # non-int cell
+            frame(op="step", session="u1", cell=True), # bool is not an int
+            frame(op="step", cell=1),                  # missing session
+            frame(op="step", session="", cell=1),      # empty session
+            frame(op="open", seed="abc"),              # non-int seed
+            frame(op="step", session="u", cell=1, seed=2),  # seed on step
+        ],
+    )
+    def test_malformed_frames_raise_protocol_error(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_request(bad)
+
+    def test_wrong_version_rejected_with_id_attached(self):
+        line = encode_frame({"v": 99, "id": 7, "op": "stats"})
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        assert excinfo.value.request_id == 7
+        assert "version" in str(excinfo.value)
+
+    def test_oversized_frame_rejected(self):
+        line = frame(op="open", session="x" * (1 << 21))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            parse_request(line)
+
+    def test_non_session_ops_ignore_cell(self):
+        request = parse_request(frame(op="stats", cell=5))
+        assert request.cell is None
+
+
+class TestErrorMapping:
+    def test_code_and_exception_are_inverses(self):
+        for code, exc_type in ERROR_CODES.items():
+            rebuilt = exception_for(code, "msg")
+            assert isinstance(rebuilt, exc_type)
+            assert error_code_for(rebuilt) == code
+
+    def test_most_derived_type_wins(self):
+        assert error_code_for(ServiceBusyError("x")) == "busy"
+        assert error_code_for(SessionError("x")) == "session"
+        assert error_code_for(QuantificationError("x")) == "quantification"
+        assert error_code_for(ValidationError("x")) == "validation"
+        assert error_code_for(ReproError("x")) == "internal"
+
+    def test_foreign_exception_is_internal(self):
+        assert error_code_for(RuntimeError("boom")) == "internal"
+        assert isinstance(exception_for("nonsense", "m"), ReproError)
+
+
+class TestReplies:
+    def test_ok_frame_carries_payload(self):
+        reply = parse_reply(ok_frame(3, "step", {"t": 1, "released_cell": 4}))
+        assert reply["id"] == 3
+        assert reply["op"] == "step"
+        assert reply["released_cell"] == 4
+
+    def test_error_frame_reraises_typed_exception(self):
+        line = error_frame(9, ServiceBusyError("cap reached"))
+        with pytest.raises(ServiceBusyError, match="cap reached") as excinfo:
+            parse_reply(line)
+        assert excinfo.value.request_id == 9
+
+    def test_error_frame_is_json_with_code(self):
+        payload = json.loads(error_frame(None, SessionError("gone")))
+        assert payload["ok"] is False
+        assert payload["error"]["code"] == "session"
+
+    def test_garbage_reply_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse_reply(b'{"v":1,"id":1}\n')
+
+    def test_decode_frame_requires_object(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"3\n")
+
+
+class TestRequestDataclass:
+    def test_extra_fields_ride_along(self):
+        request = Request(op="stats", request_id=5, extra={"verbose": True})
+        payload = json.loads(request.to_frame())
+        assert payload["verbose"] is True

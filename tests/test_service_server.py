@@ -1,0 +1,413 @@
+"""End-to-end tests of the serving layer over localhost TCP.
+
+The load-bearing guarantees:
+
+* server-mediated release streams are **bit-identical** to driving the
+  ``SessionManager`` directly under the same seeds -- including when the
+  residency cap forces eviction/restore round-trips through each
+  ``SessionStore`` backend and steps run on the worker pool;
+* admission control answers with a typed ``busy`` error, never a hang;
+* a graceful drain checkpoints every open session into the store, from
+  which a fresh engine can continue the streams exactly.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionBuilder, SessionManager
+from repro.errors import ServiceBusyError, SessionError
+from repro.events.events import PresenceEvent
+from repro.geo.grid import GridMap
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+from repro.markov.synthetic import gaussian_kernel_transitions
+from repro.service import (
+    AsyncServiceClient,
+    DirectorySessionStore,
+    MemorySessionStore,
+    ReleaseServer,
+    ServerConfig,
+    ServiceClient,
+    SQLiteSessionStore,
+)
+
+HORIZON = 6
+N_CELLS = 16
+
+
+def make_builder() -> SessionBuilder:
+    grid = GridMap(4, 4, cell_size_km=1.0)
+    chain = gaussian_kernel_transitions(grid, sigma=1.0)
+    initial = np.full(N_CELLS, 1.0 / N_CELLS)
+    return (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(PresenceEvent(Region.from_range(N_CELLS, 0, 5), start=2, end=4))
+        .with_mechanism(PlanarLaplaceMechanism(grid, 0.5))
+        .with_epsilon(0.5)
+        .with_fixed_prior(initial)
+        .with_horizon(HORIZON)
+    )
+
+
+def make_trajectories(n_sessions: int, seed: int = 7) -> dict[str, list[int]]:
+    chain = make_builder().build_config().chain
+    initial = np.full(N_CELLS, 1.0 / N_CELLS)
+    rng = np.random.default_rng(seed)
+    return {
+        f"u{i}": [
+            int(c)
+            for c in sample_trajectory(chain, HORIZON, initial=initial, rng=rng)
+        ]
+        for i in range(n_sessions)
+    }
+
+
+def direct_records(trajectories: dict[str, list[int]]) -> dict[str, list[dict]]:
+    """The reference: the same streams driven straight on a manager."""
+    manager = SessionManager(make_builder())
+    for i, name in enumerate(trajectories):
+        manager.open(name, rng=1000 + i)
+    out = {
+        name: [manager.step(name, cell).to_json() for cell in trajectory]
+        for name, trajectory in trajectories.items()
+    }
+    manager.finish_all()
+    return out
+
+
+def make_store(kind: str, tmp_path):
+    if kind == "memory":
+        return MemorySessionStore()
+    if kind == "dir":
+        return DirectorySessionStore(str(tmp_path / "sessions"))
+    return SQLiteSessionStore(str(tmp_path / "sessions.db"))
+
+
+async def start_server(store=None, **overrides) -> ReleaseServer:
+    config = ServerConfig(**overrides)
+    server = ReleaseServer(SessionManager(make_builder()), store=store, config=config)
+    await server.start()
+    return server
+
+
+def strip_elapsed(record: dict) -> dict:
+    """Release records minus wall-clock (identical math, not identical time)."""
+    return {k: v for k, v in record.items() if k != "elapsed_s"}
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("kind", ["memory", "dir", "sqlite"])
+    def test_served_releases_bit_identical_with_eviction(self, kind, tmp_path):
+        """8 sessions through a 3-resident server == direct runs.
+
+        ``max_resident=3`` forces constant evict/restore churn through
+        the store backend; the worker pool runs steps concurrently.
+        """
+        trajectories = make_trajectories(8)
+        reference = direct_records(trajectories)
+
+        async def run():
+            store = make_store(kind, tmp_path)
+            server = await start_server(store=store, max_resident=3, workers=4)
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            for i, name in enumerate(trajectories):
+                assert await client.open(name, seed=1000 + i) == name
+            served = {name: [] for name in trajectories}
+            for t in range(HORIZON):
+                records = await asyncio.gather(
+                    *[
+                        client.step(name, trajectory[t])
+                        for name, trajectory in trajectories.items()
+                    ]
+                )
+                for name, record in zip(trajectories, records):
+                    served[name].append(record)
+            stats = await client.stats()
+            # the eviction LRU tracks residents only: suspended sessions
+            # must not be rescanned on every eviction pass
+            assert set(server._resident_lru) <= set(server._manager.session_ids)
+            assert len(server._open) == len(trajectories)
+            await client.close()
+            await server.drain()
+            store.close()
+            return served, stats
+
+        served, stats = asyncio.run(run())
+        for name, expected in reference.items():
+            actual = [strip_elapsed(record) for record in served[name]]
+            assert actual == [strip_elapsed(record) for record in expected]
+        # the residency cap was really under pressure
+        assert stats["sessions"]["evicted"] > 0
+        assert stats["sessions"]["restored"] > 0
+        assert stats["sessions"]["resident"] <= 3
+
+    def test_finish_summary_matches_direct_log(self):
+        trajectories = make_trajectories(2)
+
+        async def run():
+            server = await start_server()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            for i, name in enumerate(trajectories):
+                await client.open(name, seed=1000 + i)
+            for t in range(HORIZON):
+                for name, trajectory in trajectories.items():
+                    await client.step(name, trajectory[t])
+            summaries = {
+                name: await client.finish(name) for name in trajectories
+            }
+            await client.close()
+            await server.drain()
+            return summaries
+
+        summaries = asyncio.run(run())
+        manager = SessionManager(make_builder())
+        for i, (name, trajectory) in enumerate(trajectories.items()):
+            manager.open(name, rng=1000 + i)
+            for cell in trajectory:
+                manager.step(name, cell)
+            log = manager.finish(name)
+            assert summaries[name]["n_released"] == len(log)
+            assert summaries[name]["average_budget"] == pytest.approx(
+                log.average_budget
+            )
+            assert summaries[name]["n_conservative"] == log.n_conservative
+
+
+class TestAdmissionAndErrors:
+    def test_opens_beyond_cap_get_typed_busy_error_not_a_hang(self):
+        async def run():
+            server = await start_server(max_sessions=2)
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("a", seed=1)
+            await client.open("b", seed=2)
+            with pytest.raises(ServiceBusyError, match="cap"):
+                await asyncio.wait_for(client.open("c", seed=3), timeout=5.0)
+            # existing sessions still serve
+            record = await client.step("a", 0)
+            assert record["t"] == 1
+            # finishing frees a slot
+            await client.finish("b")
+            assert await client.open("c", seed=3) == "c"
+            await client.close()
+            await server.drain()
+
+        asyncio.run(run())
+
+    def test_unknown_session_and_double_open_are_session_errors(self):
+        async def run():
+            server = await start_server()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            with pytest.raises(SessionError, match="no open session"):
+                await client.step("ghost", 0)
+            await client.open("a", seed=1)
+            with pytest.raises(SessionError, match="already open"):
+                await client.open("a", seed=1)
+            await client.close()
+            await server.drain()
+
+        asyncio.run(run())
+
+    def test_step_past_horizon_is_a_session_error(self):
+        async def run():
+            server = await start_server()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("a", seed=1)
+            for t in range(HORIZON):
+                await client.step("a", 0)
+            with pytest.raises(SessionError, match="horizon"):
+                await client.step("a", 0)
+            await client.close()
+            await server.drain()
+
+        asyncio.run(run())
+
+    def test_malformed_frames_get_error_replies_and_connection_survives(self):
+        async def run():
+            server = await start_server()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"not json at all\n")
+            writer.write(b'{"v": 99, "id": 5, "op": "stats"}\n')
+            writer.write(b'{"v": 1, "id": 6, "op": "stats"}\n')
+            await writer.drain()
+            replies = [json.loads(await reader.readline()) for _ in range(3)]
+            writer.close()
+            await writer.wait_closed()
+            await server.drain()
+            return replies
+
+        replies = asyncio.run(run())
+        by_id = {reply.get("id"): reply for reply in replies}
+        assert by_id[None]["error"]["code"] == "protocol"
+        assert by_id[5]["error"]["code"] == "protocol"
+        assert by_id[6]["ok"] is True
+
+
+class TestDrainAndRestart:
+    def test_drain_checkpoints_sessions_and_a_new_engine_continues(self, tmp_path):
+        trajectories = make_trajectories(3)
+        reference = direct_records(trajectories)
+        split = 3  # steps before the drain
+
+        async def serve_first_half(store):
+            server = await start_server(store=store, workers=2)
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            for i, name in enumerate(trajectories):
+                await client.open(name, seed=1000 + i)
+            served = {name: [] for name in trajectories}
+            for t in range(split):
+                for name, trajectory in trajectories.items():
+                    served[name].append(await client.step(name, trajectory[t]))
+            await client.close()
+            summary = await server.drain()
+            return served, summary
+
+        store = DirectorySessionStore(str(tmp_path / "drain"))
+        served, summary = asyncio.run(serve_first_half(store))
+        assert summary["sessions_checkpointed"] == 3
+        assert sorted(store.ids()) == sorted(trajectories)
+
+        # a brand-new manager picks the streams up from the store
+        manager = SessionManager(make_builder())
+        for name, trajectory in trajectories.items():
+            manager.resume(store.get(name))
+            for t in range(split, HORIZON):
+                served[name].append(manager.step(name, trajectory[t]).to_json())
+        for name, expected in reference.items():
+            assert [strip_elapsed(r) for r in served[name]] == [
+                strip_elapsed(r) for r in expected
+            ]
+
+    def test_open_while_draining_is_busy(self):
+        async def run():
+            server = await start_server()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("a", seed=1)
+            server._draining.set()  # drain decided, sockets still up
+            with pytest.raises(ServiceBusyError, match="draining"):
+                await client.open("b", seed=2)
+            server._draining.clear()
+            await client.close()
+            await server.drain()
+
+        asyncio.run(run())
+
+    def test_durable_store_sessions_are_adopted_on_restart(self, tmp_path):
+        store_path = str(tmp_path / "fleet.db")
+        trajectories = make_trajectories(2)
+
+        async def first():
+            store = SQLiteSessionStore(store_path)
+            server = await start_server(store=store)
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            for i, name in enumerate(trajectories):
+                await client.open(name, seed=1000 + i)
+                await client.step(name, trajectories[name][0])
+            await client.close()
+            await server.drain()
+            store.close()
+
+        async def second():
+            store = SQLiteSessionStore(store_path)
+            server = await start_server(store=store)
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            # no open needed: the store's sessions were adopted
+            records = {
+                name: await client.step(name, trajectories[name][1])
+                for name in trajectories
+            }
+            with pytest.raises(SessionError, match="already open"):
+                await client.open(next(iter(trajectories)), seed=0)
+            await client.close()
+            await server.drain()
+            store.close()
+            return records
+
+        asyncio.run(first())
+        records = asyncio.run(second())
+        reference = direct_records(trajectories)
+        for name in trajectories:
+            assert strip_elapsed(records[name]) == strip_elapsed(reference[name][1])
+
+
+class TestCheckpointOpAndStats:
+    def test_checkpoint_returns_state_and_persists(self):
+        async def run():
+            server = await start_server()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("a", seed=5)
+            await client.step("a", 1)
+            reply = await client.checkpoint("a")
+            stored = server.store.get("a")
+            await client.close()
+            await server.drain()
+            return reply, stored
+
+        reply, stored = asyncio.run(run())
+        assert reply["t"] == 1
+        assert reply["state"]["session_id"] == "a"
+        assert stored is not None
+        assert stored.to_json() == reply["state"]
+
+    def test_stats_shape(self):
+        async def run():
+            server = await start_server()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("a", seed=5)
+            await client.step("a", 1)
+            stats = await client.stats()
+            await client.close()
+            await server.drain()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["sessions"]["open"] == 1
+        assert stats["sessions"]["resident"] == 1
+        assert stats["requests"]["step"] == 1
+        assert stats["step_latency"]["count"] == 1
+        assert stats["step_latency"]["p99_ms"] > 0
+        assert stats["verdict_cache"]["hits"] + stats["verdict_cache"]["misses"] > 0
+        assert stats["server"]["draining"] is False
+
+
+class TestSyncClient:
+    def test_sync_client_round_trip_against_threaded_server(self):
+        started = threading.Event()
+        box: dict = {}
+
+        def run_server():
+            async def go():
+                server = await start_server()
+                box["server"] = server
+                box["loop"] = asyncio.get_running_loop()
+                started.set()
+                await server.wait_drained()
+
+            asyncio.run(go())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+        server = box["server"]
+
+        with ServiceClient("127.0.0.1", server.port) as client:
+            assert client.open("sync-u", seed=9) == "sync-u"
+            record = client.step("sync-u", 2)
+            assert record["t"] == 1
+            assert client.peek_budget("sync-u") > 0
+            stats = client.stats()
+            assert stats["sessions"]["open"] == 1
+            summary = client.finish("sync-u")
+            assert summary["n_released"] == 1
+            with pytest.raises(SessionError):
+                client.step("sync-u", 0)
+
+        box["loop"].call_soon_threadsafe(server.request_drain)
+        thread.join(timeout=10)
+        assert not thread.is_alive()

@@ -1,0 +1,209 @@
+"""SessionStore backends: round-trip fidelity, atomicity, resolution."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionBuilder
+from repro.errors import ServiceError, ValidationError
+from repro.geo.grid import GridMap
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.synthetic import gaussian_kernel_transitions
+from repro.service.store import (
+    DirectorySessionStore,
+    MemorySessionStore,
+    SQLiteSessionStore,
+    resolve_store,
+)
+
+BACKENDS = ("memory", "dir", "sqlite")
+
+
+def make_store(kind: str, tmp_path):
+    if kind == "memory":
+        return MemorySessionStore()
+    if kind == "dir":
+        return DirectorySessionStore(str(tmp_path / "sessions"))
+    return SQLiteSessionStore(str(tmp_path / "sessions.db"))
+
+
+@pytest.fixture(scope="module")
+def session_factory():
+    from repro.events.events import PresenceEvent
+    from repro.geo.regions import Region
+
+    grid = GridMap(4, 4, cell_size_km=1.0)
+    chain = gaussian_kernel_transitions(grid, sigma=1.0)
+    initial = np.full(grid.n_cells, 1.0 / grid.n_cells)
+    return (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(
+            PresenceEvent(Region.from_range(grid.n_cells, 0, 5), start=2, end=4)
+        )
+        .with_mechanism(PlanarLaplaceMechanism(grid, 0.5))
+        .with_epsilon(0.5)
+        .with_fixed_prior(initial)
+        .with_horizon(8)
+    )
+
+
+def stepped_state(builder, session_id: str, n_steps: int = 3, seed: int = 0):
+    session = builder.build(rng=seed, session_id=session_id)
+    for cell in range(n_steps):
+        session.step(cell)
+    return session.to_state()
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestBackends:
+    def test_put_get_roundtrip_is_exact(self, kind, tmp_path, session_factory):
+        store = make_store(kind, tmp_path)
+        state = stepped_state(session_factory, "user a/1", n_steps=3)
+        store.put(state)
+        loaded = store.get("user a/1")
+        assert loaded is not None
+        assert loaded.to_json() == state.to_json()
+        store.close()
+
+    def test_roundtripped_state_resumes_bit_identically(
+        self, kind, tmp_path, session_factory
+    ):
+        from repro.engine import ReleaseSession
+
+        store = make_store(kind, tmp_path)
+        reference = session_factory.build(rng=11, session_id="ref")
+        for cell in (0, 1, 2):
+            reference.step(cell)
+        store.put(reference.to_state())
+        resumed = ReleaseSession.from_state(
+            session_factory.build_config(), store.get("ref")
+        )
+        for cell in (3, 4):
+            expected = reference.step(cell).to_json()
+            actual = resumed.step(cell).to_json()
+            expected.pop("elapsed_s"), actual.pop("elapsed_s")
+            assert expected == actual
+        store.close()
+
+    def test_get_absent_returns_none(self, kind, tmp_path, session_factory):
+        store = make_store(kind, tmp_path)
+        assert store.get("ghost") is None
+        assert "ghost" not in store
+        store.close()
+
+    def test_delete_and_ids(self, kind, tmp_path, session_factory):
+        store = make_store(kind, tmp_path)
+        for name in ("a", "b", "c"):
+            store.put(stepped_state(session_factory, name, n_steps=1))
+        assert sorted(store.ids()) == ["a", "b", "c"]
+        assert len(store) == 3
+        store.delete("b")
+        store.delete("b")  # idempotent
+        assert sorted(store.ids()) == ["a", "c"]
+        store.close()
+
+    def test_put_replaces(self, kind, tmp_path, session_factory):
+        store = make_store(kind, tmp_path)
+        store.put(stepped_state(session_factory, "u", n_steps=1))
+        newer = stepped_state(session_factory, "u", n_steps=4)
+        store.put(newer)
+        assert store.get("u").committed_t == 4
+        assert len(store) == 1
+        store.close()
+
+    def test_concurrent_puts_do_not_corrupt(self, kind, tmp_path, session_factory):
+        store = make_store(kind, tmp_path)
+        states = [
+            stepped_state(session_factory, f"s{i}", n_steps=1, seed=i)
+            for i in range(8)
+        ]
+
+        def put_all(offset):
+            for state in states[offset::2]:
+                store.put(state)
+
+        threads = [threading.Thread(target=put_all, args=(k,)) for k in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == 8
+        for i in range(8):
+            assert store.get(f"s{i}").session_id == f"s{i}"
+        store.close()
+
+
+class TestDirectoryStore:
+    def test_filenames_are_reversible_for_odd_ids(self, tmp_path, session_factory):
+        store = DirectorySessionStore(str(tmp_path))
+        odd = "../we ird/é漢?*"
+        store.put(stepped_state(session_factory, odd, n_steps=1))
+        assert store.ids() == [odd]
+        assert store.get(odd) is not None
+        # the file lives inside the root, nothing escaped upward
+        (name,) = os.listdir(tmp_path)
+        assert name.endswith(".json")
+
+    def test_foreign_files_are_ignored(self, tmp_path, session_factory):
+        store = DirectorySessionStore(str(tmp_path))
+        (tmp_path / "README.txt").write_text("not a session")
+        (tmp_path / "zz-not-hex.json").write_text("{}")
+        store.put(stepped_state(session_factory, "u", n_steps=1))
+        assert store.ids() == ["u"]
+
+    def test_corrupt_checkpoint_is_a_typed_error(self, tmp_path, session_factory):
+        store = DirectorySessionStore(str(tmp_path))
+        store.put(stepped_state(session_factory, "u", n_steps=1))
+        (path,) = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+        (tmp_path / path).write_text('{"truncated": true}')
+        with pytest.raises(ServiceError, match="corrupt"):
+            store.get("u")
+
+
+class TestSQLiteStore:
+    def test_survives_reopen(self, tmp_path, session_factory):
+        path = str(tmp_path / "fleet.db")
+        store = SQLiteSessionStore(path)
+        store.put(stepped_state(session_factory, "durable", n_steps=2))
+        store.close()
+        reopened = SQLiteSessionStore(path)
+        assert reopened.get("durable").committed_t == 2
+        reopened.close()
+
+    def test_corrupt_row_is_a_typed_error(self, tmp_path, session_factory):
+        path = str(tmp_path / "fleet.db")
+        store = SQLiteSessionStore(path)
+        store.put(stepped_state(session_factory, "u", n_steps=1))
+        store._conn.execute(
+            "UPDATE sessions SET state = ? WHERE session_id = ?", ("{}", "u")
+        )
+        store._conn.commit()
+        with pytest.raises(ServiceError, match="corrupt"):
+            store.get("u")
+        store.close()
+
+
+class TestResolveStore:
+    def test_kinds(self, tmp_path):
+        assert isinstance(resolve_store("memory"), MemorySessionStore)
+        assert isinstance(
+            resolve_store("dir", str(tmp_path / "d")), DirectorySessionStore
+        )
+        sqlite_store = resolve_store("sqlite", str(tmp_path / "s.db"))
+        assert isinstance(sqlite_store, SQLiteSessionStore)
+        sqlite_store.close()
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_store("dir")
+        with pytest.raises(ValidationError):
+            resolve_store("sqlite", "")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown store"):
+            resolve_store("redis", "x")

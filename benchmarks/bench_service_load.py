@@ -35,6 +35,9 @@ HORIZON = 12
 LOADS = ((10, 12), (100, 12), (1000, 4), (5000, 2))
 #: full-size steps at paper scale
 LOADS_PAPER = ((10, 12), (100, 12), (1000, 12), (5000, 6))
+#: load points re-run with the micro-batching window enabled
+BATCHED_LOADS = ((100, 12), (1000, 4))
+BATCH_WINDOW_MS = 2.0
 MAX_CONNECTIONS = 32
 
 
@@ -66,7 +69,14 @@ async def _loop_lag_probe(interval: float, out: dict):
             out["max_lag_s"] = lag
 
 
-async def _drive_load(scenario, builder, n_sessions: int, n_steps: int, seed: int):
+async def _drive_load(
+    scenario,
+    builder,
+    n_sessions: int,
+    n_steps: int,
+    seed: int,
+    batch_window_ms: float = 0.0,
+):
     """One load point: open, step concurrently, finish, drain."""
     rng = np.random.default_rng(seed)
     trajectories = [
@@ -78,7 +88,9 @@ async def _drive_load(scenario, builder, n_sessions: int, n_steps: int, seed: in
     server = ReleaseServer(
         SessionManager(builder),
         config=ServerConfig(
-            max_sessions=n_sessions + 8, max_resident=n_sessions + 8
+            max_sessions=n_sessions + 8,
+            max_resident=n_sessions + 8,
+            batch_window_ms=batch_window_ms,
         ),
     )
     await server.start()
@@ -117,7 +129,9 @@ async def _drive_load(scenario, builder, n_sessions: int, n_steps: int, seed: in
     assert len(latencies) == n_sessions * n_steps
     samples = np.asarray(latencies)
     cache = stats["verdict_cache"]
+    batching = stats.get("batching")
     return {
+        "mode": "batched" if batch_window_ms > 0 else "direct",
         "sessions": n_sessions,
         "steps": int(samples.size),
         "wall_s": round(wall, 4),
@@ -126,6 +140,7 @@ async def _drive_load(scenario, builder, n_sessions: int, n_steps: int, seed: in
         "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
         "max_loop_lag_ms": round(lag["max_lag_s"] * 1e3, 3),
         "cache_hit_rate": cache["hit_rate"] if cache else None,
+        "mean_batch": batching["mean_batch"] if batching else None,
     }
 
 
@@ -141,6 +156,19 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
                 _drive_load(scenario, builder, n_sessions, n_steps, seed=0)
             )
         )
+    for n_sessions, n_steps in BATCHED_LOADS:
+        rows.append(
+            asyncio.run(
+                _drive_load(
+                    scenario,
+                    builder,
+                    n_sessions,
+                    n_steps,
+                    seed=0,
+                    batch_window_ms=BATCH_WINDOW_MS,
+                )
+            )
+        )
 
     # the acceptance bar: 1000+ concurrent sessions, loop never starved
     big = [row for row in rows if row["sessions"] >= 1000]
@@ -152,15 +180,16 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
         assert row["max_loop_lag_ms"] < 1000.0
 
     columns = [
-        "sessions", "steps", "wall_s", "steps_per_s",
-        "p50_ms", "p99_ms", "max_loop_lag_ms", "cache_hit_rate",
+        "mode", "sessions", "steps", "wall_s", "steps_per_s",
+        "p50_ms", "p99_ms", "max_loop_lag_ms", "cache_hit_rate", "mean_batch",
     ]
     table = format_table(
         columns,
         [[row[c] for c in columns] for row in rows],
         title=(
             f"repro serve load (6x6 map, T={HORIZON}, 0.5-PLM, eps=0.4 "
-            "fixed prior, worker pool, localhost TCP)"
+            "fixed prior, worker pool, localhost TCP; batched = "
+            f"--batch-window-ms {BATCH_WINDOW_MS})"
         ),
     )
     save_result("bench_service_load", table)
@@ -174,6 +203,8 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
             "prior_mode": "fixed",
             "connections_max": MAX_CONNECTIONS,
             "loads": [list(load) for load in loads],
+            "batched_loads": [list(load) for load in BATCHED_LOADS],
+            "batch_window_ms": BATCH_WINDOW_MS,
         },
         rows=rows,
     )

@@ -318,6 +318,11 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="step worker threads (default: CPU cores, "
                         "capped; 0 runs steps inline on the event loop)")
+    parser.add_argument("--batch-window-ms", type=float, default=0.0,
+                        help="micro-batching window for concurrent step "
+                        "requests: steps arriving within the window are "
+                        "coalesced into one batched engine call "
+                        "(bit-identical streams; 0 disables)")
     parser.add_argument("--store", choices=["memory", "dir", "sqlite"],
                         default="memory",
                         help="suspended-session store backend")
@@ -330,6 +335,8 @@ def _serve_main(argv: list[str]) -> int:
             parser.error(f"--{name.replace('_', '-')} must be >= 1")
     if args.workers is not None and args.workers < 0:
         parser.error("--workers must be >= 0")
+    if args.batch_window_ms < 0:
+        parser.error("--batch-window-ms must be >= 0")
 
     try:
         manager = _stream_manager(args)
@@ -343,6 +350,7 @@ def _serve_main(argv: list[str]) -> int:
         max_resident=args.max_resident,
         max_pending_per_connection=args.pending_per_connection,
         workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
     )
 
     async def _serve() -> int:

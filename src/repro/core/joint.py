@@ -146,17 +146,62 @@ class EventQuantifier:
         lifted = self._lift_column(ptilde)
         if self._prop is not None:
             # Lemma III.2: append the emission and the tail product.
+            # Both reductions hit the same front, so they are fused into
+            # one (m, 2m) @ (2m, 2) product -- the front streams through
+            # memory once instead of twice.
             tail = self._tails[t - 1] if t <= self._model.end else None
             if tail is None:
                 raise QuantificationError(
                     "internal error: phase 1 prepared beyond event end"
                 )
-            b = self._prop @ (lifted * tail)
-            c = self._prop @ lifted
+            stacked = np.empty((2 * self._m, 2), dtype=np.float64)
+            np.multiply(lifted, tail, out=stacked[:, 0])
+            stacked[:, 1] = lifted
+            bc = self._prop @ stacked
+            b = np.ascontiguousarray(bc[:, 0])
+            c = np.ascontiguousarray(bc[:, 1])
         else:
             # Lemma III.3: the backward product hits the frozen end-front.
             b = self._prop_true @ lifted
             c = self._prop_all @ lifted
+        return b, c
+
+    def candidate_bc_many(self, t: int, columns) -> tuple[np.ndarray, np.ndarray]:
+        """Scaled ``(B, C)``, each ``(N, m)``, for N candidate columns.
+
+        Row ``n`` matches :meth:`candidate_bc`'s output for
+        ``columns[n]`` up to BLAS summation order (a few ulps: the
+        one-matmul lift and the per-column product accumulate the same
+        dot products in different block orders).  Hot paths that must
+        stay bitwise-reproducible against per-candidate stepping -- the
+        engine's batched verdict rounds -- therefore call
+        :meth:`candidate_bc` per candidate and batch at the solver
+        layer instead; this bulk form is for screening and audit
+        workloads where N is large and ulps are irrelevant.
+        """
+        if self._prepared_t != t:
+            raise QuantificationError(
+                f"candidate_bc_many({t}) requires prepare({t}) first"
+            )
+        cols = as_float_array(columns, "emission columns")
+        if cols.ndim != 2 or cols.shape[1] != self._m:
+            raise QuantificationError(
+                f"emission columns must be (N, {self._m}), got {cols.shape}"
+            )
+        if np.any(cols < 0) or np.any(cols > 1):
+            raise QuantificationError("emission probabilities must lie in [0, 1]")
+        lifted = np.concatenate([cols, cols], axis=1)
+        if self._prop is not None:
+            tail = self._tails[t - 1] if t <= self._model.end else None
+            if tail is None:
+                raise QuantificationError(
+                    "internal error: phase 1 prepared beyond event end"
+                )
+            b = (lifted * tail[None, :]) @ self._prop.T
+            c = lifted @ self._prop.T
+        else:
+            b = lifted @ self._prop_true.T
+            c = lifted @ self._prop_all.T
         return b, c
 
     def abort_prepare(self) -> None:
@@ -316,6 +361,90 @@ class EventQuantifier:
                 f"initial distribution has {dist.size} entries, map has {self._m}"
             )
         return float(dist @ b), float(dist @ c)
+
+
+#: Element budget per stacked propagate in :func:`prepare_many`.  Each
+#: front is ``m x 2m`` (``2 m^2`` floats): stacking amortizes per-call
+#: block dispatch, which dominates for small maps, but costs a copy of
+#: every front, which dominates for large ones -- so the stack size
+#: adapts as ``budget // (2 m^2)`` fronts (at least 1, i.e. no copy).
+_PREPARE_STACK_ELEMENTS = 65_536
+
+
+def prepare_many(quantifiers, t: int) -> None:
+    """Batched :meth:`EventQuantifier.prepare` across one shared model.
+
+    All quantifiers must wrap the *same* :class:`TwoWorldModel` object
+    and be committed through ``t - 1`` (the same-phase invariant the
+    engine's ``step_many`` guarantees for sessions at one timestamp).
+    Their committed fronts are stacked in cache-sized groups
+    (``_PREPARE_STACK_ELEMENTS``) and pushed through the lifted
+    transition ``M_{t-1}`` as stacked matmuls; every quantifier then
+    holds a row-slice view of the stacked result that is bit-identical
+    to what its own ``prepare(t)`` would have produced, since the
+    matmul computes each output row independently.  On maps large
+    enough that copying fronts into a stack costs more than the saved
+    dispatch, the group degenerates to single fronts (no copy).
+    """
+    qs = list(quantifiers)
+    if not qs:
+        return
+    model = qs[0]._model
+    for quantifier in qs:
+        if quantifier._model is not model:
+            raise QuantificationError(
+                "prepare_many requires quantifiers over one shared model"
+            )
+        if t != quantifier._committed_t + 1:
+            raise QuantificationError(
+                f"prepare_many({t}) called out of order; a quantifier is "
+                f"committed through t={quantifier._committed_t}"
+            )
+    if t > model.horizon:
+        raise QuantificationError(f"t={t} beyond model horizon {model.horizon}")
+    if len(qs) == 1 or t == 1:
+        # t == 1 aliases the committed front with no matmul; replicate
+        # exactly rather than stack.
+        for quantifier in qs:
+            quantifier.prepare(t)
+        return
+    m = model.n_states
+    phase1 = qs[0]._committed_t <= model.end and qs[0]._front is not None
+    stack = max(1, _PREPARE_STACK_ELEMENTS // (2 * m * m))
+    if stack == 1:
+        for quantifier in qs:
+            quantifier.prepare(t)
+        return
+    for g0 in range(0, len(qs), stack):
+        group = qs[g0 : g0 + stack]
+        if len(group) == 1:
+            group[0].prepare(t)
+            continue
+        if phase1:
+            stacked = np.concatenate(
+                [quantifier._front for quantifier in group], axis=0
+            )
+            out = model.propagate_front(stacked, t - 1)
+            for index, quantifier in enumerate(group):
+                quantifier._prop = out[index * m : (index + 1) * m]
+                quantifier._prop_true = None
+                quantifier._prop_all = None
+                quantifier._prepared_t = t
+        else:
+            stacked = np.concatenate(
+                [quantifier._front_true for quantifier in group]
+                + [quantifier._front_all for quantifier in group],
+                axis=0,
+            )
+            out = model.propagate_front(stacked, t - 1)
+            half = len(group) * m
+            for index, quantifier in enumerate(group):
+                quantifier._prop = None
+                quantifier._prop_true = out[index * m : (index + 1) * m]
+                quantifier._prop_all = out[
+                    half + index * m : half + (index + 1) * m
+                ]
+                quantifier._prepared_t = t
 
 
 def joint_probability(

@@ -21,10 +21,31 @@ linear program with two equality constraints, whose basic optimal
 solutions have at most two non-zero entries; taking ``x`` at the optimum
 shows the optimizer itself can be chosen with support <= 2.  On an edge
 ``pi = lam e_i + (1-lam) e_j`` the objective is a univariate quadratic in
-``lam`` -- maximized in closed form.  Enumerating all m(m-1)/2 edges plus
-the m vertices is therefore an *exact*, embarrassingly vectorizable
-O(m^2) algorithm; on this problem class the substitute is stronger than a
-generic QP solver.
+``lam``, maximized in closed form, so enumerating the ``m`` vertices plus
+the ``m(m-1)/2`` edges is an *exact* O(m^2) algorithm; on this problem
+class the substitute is stronger than a generic QP solver.
+
+The enumeration is organised as one *stacked kernel*
+(:func:`solve_conditions_batch`) that packs K conditions into ``(K, m)``
+coefficient arrays and sweeps ``(K, rows, m)`` blocks of the
+upper-triangular edge set with preallocated scratch buffers:
+
+* the ``m`` vertex values ``u_i v_i + w_i`` are scanned first in O(m),
+  which alone witnesses many violations;
+* each edge block only evaluates the *interior* stationary point
+  (``f* = f(e_j) - a1^2 / (4 a2)`` where ``a2 < 0`` and
+  ``0 < lam* < 1``), since both endpoints are vertices already covered;
+* only unordered pairs ``i < j`` are enumerated -- the edge quadratic is
+  symmetric under swapping endpoints, so the classic all-ordered-pairs
+  sweep does every edge twice;
+* a condition whose running best exceeds the tolerance stops early (a
+  violation certificate needs no sharper maximum) unless limits are set
+  or :attr:`SolverOptions.exhaustive` asks for the true global maximum.
+
+The scalar :func:`maximize_rank_one_simplex` is the K=1 wrapper of the
+same kernel, so looping it and calling the batch front end produce
+bit-identical statuses, best values and evaluation counts -- the
+property the streaming engine's batched verdict pipeline relies on.
 
 The paper's literal box feasible set (``0 <= pi <= 1`` without the sum
 constraint) is also supported, via multi-start projected gradient ascent
@@ -67,11 +88,17 @@ class SolverOptions:
         Values in ``(-tolerance, tolerance]`` count as zero -- guards
         against float noise in long matrix products.
     work_limit:
-        Maximum number of edge evaluations (simplex) or gradient steps
-        (box) before giving up with UNKNOWN.  ``None`` = unlimited.
+        Maximum number of vertex/edge evaluations (simplex) or gradient
+        steps (box) before giving up with UNKNOWN.  ``None`` = unlimited.
     time_limit_s:
         Wall-clock threshold, the paper's conservative-release knob
         (Table III).  ``None`` = unlimited.
+    exhaustive:
+        When True the simplex path always enumerates every vertex and
+        edge (subject to the limits), so ``best_value`` is the global
+        maximum even for violated conditions.  The default False stops
+        at the first violation certificate, which is all a verdict
+        needs; statuses are identical either way.
     n_starts:
         Multi-start count for the box path.
     seed:
@@ -82,6 +109,7 @@ class SolverOptions:
     tolerance: float = 1e-9
     work_limit: int | None = None
     time_limit_s: float | None = None
+    exhaustive: bool = False
     n_starts: int = 16
     seed: int = 0
 
@@ -112,6 +140,7 @@ class SolverOptions:
                 self.tolerance,
                 self.work_limit,
                 self.time_limit_s,
+                self.exhaustive,
                 self.n_starts,
                 self.seed,
             )
@@ -136,129 +165,213 @@ class SolveResult:
 
 
 # ----------------------------------------------------------------------
-# exact simplex path
+# exact simplex path: the stacked vertex + upper-triangle edge kernel
 # ----------------------------------------------------------------------
-def _edge_maxima_block(
-    u: np.ndarray, v: np.ndarray, w: np.ndarray, rows: np.ndarray
-) -> tuple[float, tuple[int, int, float]]:
-    """Best edge value over pairs (i, j) for i in ``rows``, all j.
 
-    On edge ``pi = lam e_i + (1 - lam) e_j``::
+#: Target elements per (rows x columns) edge block of one condition.
+#: Small enough that the no-limits early exit fires after a fraction of
+#: the triangle; large enough that per-block numpy overhead stays low.
+_BLOCK_ELEMENTS = 8_192
 
-        f(lam) = A2 lam^2 + A1 lam + A0
-        A2 = (u_i - u_j)(v_i - v_j)
-        A1 = u_j (v_i - v_j) + v_j (u_i - u_j) + (w_i - w_j)
-        A0 = u_j v_j + w_j
+#: Target elements per scratch buffer; bounds the conditions-per-chunk
+#: so the six float + two bool buffers stay cache-friendly at any K.
+_SCRATCH_ELEMENTS = 131_072
 
-    Candidates: lam = 0, 1 and the stationary point when A2 < 0.
+#: Conditions per kernel call when :func:`check_conditions_batch` honors
+#: the sequential front end's stop-at-first-violation contract.
+_SHORT_CIRCUIT_CHUNK = 16
+
+
+def _triangle_block_evals(r0: int, r1: int, m: int) -> int:
+    """Unordered pairs (i, j), i < j, contributed by rows r0 <= i < r1."""
+    nb = r1 - r0
+    return nb * (m - 1) - (r0 + r1 - 1) * nb // 2
+
+
+def _solve_rank_one_simplex_stack(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray, options: SolverOptions
+) -> list[SolveResult]:
+    """Exact simplex maximization of K stacked rank-one conditions.
+
+    ``U``, ``V``, ``W`` are ``(K, m)``; returns one :class:`SolveResult`
+    per row.  Every condition follows the identical vertex-scan /
+    block-schedule / early-exit path a K=1 call would take, which is
+    what makes the batch bit-identical to the scalar loop.
     """
-    ui = u[rows][:, None]
-    vi = v[rows][:, None]
-    wi = w[rows][:, None]
-    uj = u[None, :]
-    vj = v[None, :]
-    wj = w[None, :]
-    du = ui - uj
-    dv = vi - vj
-    a2 = du * dv
-    a1 = uj * dv + vj * du + (wi - wj)
-    a0 = np.broadcast_to(uj * vj + wj, a2.shape)
+    K, m = U.shape
+    t0 = time.perf_counter()
+    tol = options.tolerance
+    work_limit = options.work_limit
+    time_limit = options.time_limit_s
+    limited = work_limit is not None or time_limit is not None
+    # With limits set, keep enumerating after a violation so the work
+    # accounting of the conservative-release threshold stays faithful;
+    # without limits a violation certificate ends the condition's sweep
+    # (unless the caller asked for the exhaustive global maximum).
+    allow_exit = not limited and not options.exhaustive
 
-    best = np.array(a0, dtype=np.float64)  # lam = 0  (pi = e_j)
-    np.maximum(best, a2 + a1 + a0, out=best)  # lam = 1  (pi = e_i)
-    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-        lam_star = np.where(a2 < 0, -a1 / (2.0 * a2), np.nan)
-    interior = (lam_star > 0.0) & (lam_star < 1.0)
-    if np.any(interior):
-        lam_c = np.where(interior, lam_star, 0.0)
-        f_c = a2 * lam_c * lam_c + a1 * lam_c + a0
-        np.maximum(best, np.where(interior, f_c, -np.inf), out=best)
+    # Vertex scan: f(e_j) = u_j v_j + w_j, all K conditions in two passes.
+    ev = U * V + W
+    best_value = ev.max(axis=1)
+    best_vertex = ev.argmax(axis=1)
+    best_edge_i = np.full(K, -1, dtype=np.int64)
+    best_edge_j = np.full(K, -1, dtype=np.int64)
+    n_evals = np.full(K, m, dtype=np.int64)
+    exhausted = np.ones(K, dtype=bool)
+    done = np.zeros(K, dtype=bool)
+    if allow_exit:
+        done |= best_value > tol
 
-    flat = int(np.argmax(best))
-    r, j = divmod(flat, best.shape[1])
-    i = int(rows[r])
-    value = float(best[r, j])
-    # Recover the maximizing lambda for the winning pair.
-    candidates = [(float(a0[r, j]), 0.0), (float(a2[r, j] + a1[r, j] + a0[r, j]), 1.0)]
-    if a2[r, j] < 0:
-        with np.errstate(over="ignore", divide="ignore"):
-            ls = float(-a1[r, j] / (2.0 * a2[r, j]))
-        if 0.0 < ls < 1.0:
-            candidates.append(
-                (float(a2[r, j] * ls * ls + a1[r, j] * ls + a0[r, j]), ls)
+    if m > 1 and not done.all():
+        bs = max(1, min(m - 1, _BLOCK_ELEMENTS // m))
+        if work_limit is not None:
+            bs = max(1, min(bs, work_limit // m))
+        width = m - 1
+        chunk_k = max(1, min(K, _SCRATCH_ELEMENTS // (bs * width)))
+        shape = (chunk_k, bs, width)
+        s_du = np.empty(shape)
+        s_dv = np.empty(shape)
+        s_a2 = np.empty(shape)
+        s_a1 = np.empty(shape)
+        s_t = np.empty(shape)
+        s_val = np.empty(shape)
+        s_m1 = np.empty(shape, dtype=bool)
+        s_m2 = np.empty(shape, dtype=bool)
+        # Rows below the first of a block see columns j <= i; this mask
+        # kills that lower-triangular corner (row-relative ri >= 1 is
+        # invalid at column offsets jj <= ri - 1).
+        corner = (
+            np.tril(np.ones((bs - 1, min(bs - 1, width)), dtype=bool))
+            if bs > 1
+            else None
+        )
+
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            for c0 in range(0, K, chunk_k):
+                chunk = np.arange(c0, min(K, c0 + chunk_k))
+                alive = chunk[~done[chunk]]
+                for r0 in range(0, m - 1, bs):
+                    if alive.size == 0:
+                        break
+                    if time_limit is not None:
+                        if time.perf_counter() - t0 > time_limit:
+                            exhausted[alive] = False
+                            alive = alive[:0]
+                            break
+                    if work_limit is not None:
+                        over = n_evals[alive] >= work_limit
+                        if over.any():
+                            exhausted[alive[over]] = False
+                            alive = alive[~over]
+                            if alive.size == 0:
+                                break
+                    r1 = min(m - 1, r0 + bs)
+                    nb = r1 - r0
+                    w = m - 1 - r0
+                    A = alive.size
+                    Ua, Va, Wa = U[alive], V[alive], W[alive]
+                    ui = Ua[:, r0:r1, None]
+                    vi = Va[:, r0:r1, None]
+                    wi = Wa[:, r0:r1, None]
+                    uj = Ua[:, None, r0 + 1 :]
+                    vj = Va[:, None, r0 + 1 :]
+                    wj = Wa[:, None, r0 + 1 :]
+                    du = np.subtract(ui, uj, out=s_du[:A, :nb, :w])
+                    dv = np.subtract(vi, vj, out=s_dv[:A, :nb, :w])
+                    a2 = np.multiply(du, dv, out=s_a2[:A, :nb, :w])
+                    a1 = np.multiply(vj, du, out=s_a1[:A, :nb, :w])
+                    t = np.multiply(uj, dv, out=s_t[:A, :nb, :w])
+                    np.add(a1, t, out=a1)
+                    np.subtract(wi, wj, out=t)
+                    np.add(a1, t, out=a1)
+                    # Interior stationary point exists iff the quadratic
+                    # is concave (a2 < 0) and 0 < lam* < 1, which without
+                    # division is a1 > 0 and a1 + 2 a2 < 0.
+                    mask = np.less(a2, 0.0, out=s_m1[:A, :nb, :w])
+                    m2 = np.greater(a1, 0.0, out=s_m2[:A, :nb, :w])
+                    np.logical_and(mask, m2, out=mask)
+                    np.multiply(a2, 2.0, out=t)
+                    np.add(t, a1, out=t)
+                    np.less(t, 0.0, out=m2)
+                    np.logical_and(mask, m2, out=mask)
+                    # f(lam*) = f(e_j) - a1^2 / (4 a2)
+                    val = np.multiply(a1, a1, out=s_val[:A, :nb, :w])
+                    np.multiply(a2, 4.0, out=t)
+                    np.divide(val, t, out=val)
+                    np.subtract(ev[alive][:, None, r0 + 1 :], val, out=val)
+                    np.logical_not(mask, out=mask)
+                    np.copyto(val, -np.inf, where=mask)
+                    if nb > 1:
+                        cw = min(nb - 1, w)
+                        np.copyto(
+                            val[:, 1:nb, :cw], -np.inf, where=corner[: nb - 1, :cw]
+                        )
+                    n_evals[alive] += _triangle_block_evals(r0, r1, m)
+                    block_best = val.max(axis=(1, 2))
+                    improved = block_best > best_value[alive]
+                    for pos in np.flatnonzero(improved):
+                        k = int(alive[pos])
+                        flat = int(np.argmax(val[pos]))
+                        ri, jj = divmod(flat, w)
+                        best_value[k] = float(block_best[pos])
+                        best_edge_i[k] = r0 + ri
+                        best_edge_j[k] = r0 + 1 + jj
+                    if allow_exit:
+                        exiting = best_value[alive] > tol
+                        if exiting.any():
+                            done[alive[exiting]] = True
+                            alive = alive[~exiting]
+
+    elapsed = time.perf_counter() - t0
+    results: list[SolveResult] = []
+    for k in range(K):
+        value = float(best_value[k])
+        point = np.zeros(m, dtype=np.float64)
+        i = int(best_edge_i[k])
+        if i < 0:
+            point[int(best_vertex[k])] = 1.0
+        else:
+            j = int(best_edge_j[k])
+            du_k = U[k, i] - U[k, j]
+            dv_k = V[k, i] - V[k, j]
+            a2_k = du_k * dv_k
+            a1_k = V[k, j] * du_k + U[k, j] * dv_k + (W[k, i] - W[k, j])
+            lam = -a1_k / (2.0 * a2_k)
+            point[i] = lam
+            point[j] = 1.0 - lam
+        if value > tol:
+            status = SolverStatus.VIOLATED
+        elif exhausted[k]:
+            status = SolverStatus.SAFE
+        else:
+            status = SolverStatus.UNKNOWN
+        results.append(
+            SolveResult(
+                status=status,
+                best_value=value,
+                best_point=point,
+                n_evaluations=int(n_evals[k]),
+                elapsed_s=elapsed,
+                exhausted=bool(exhausted[k]),
             )
-    _, lam = max(candidates)
-    return value, (i, int(j), lam)
+        )
+    return results
 
 
 def maximize_rank_one_simplex(
     condition: RankOneCondition, options: SolverOptions
 ) -> SolveResult:
-    """Exact maximization of a rank-one condition over the simplex.
+    """Exact maximization of one rank-one condition over the simplex.
 
-    Enumerates all edges in row blocks, respecting ``work_limit`` (edge
-    evaluations) and ``time_limit_s``.  If limits end the enumeration
-    early, the result is VIOLATED when a positive value was already found
-    and UNKNOWN otherwise.
+    The K=1 wrapper of the stacked kernel: scans the vertices, then
+    enumerates the upper-triangular edge set in row blocks, respecting
+    ``work_limit`` (vertex/edge evaluations) and ``time_limit_s``.  If
+    limits end the enumeration early, the result is VIOLATED when a
+    positive value was already found and UNKNOWN otherwise.
     """
-    u, v, w = condition.u, condition.v, condition.w
-    m = condition.n
-    t0 = time.perf_counter()
-    tol = options.tolerance
-
-    best_value = -np.inf
-    best_point: np.ndarray | None = None
-    n_evaluations = 0
-    exhausted = True
-
-    # Row blocks keep peak memory at block * m floats; with a work limit
-    # the block shrinks so the limit is respected at row granularity.
-    block = max(1, min(m, 65_536 // max(1, m)))
-    if options.work_limit is not None:
-        block = max(1, min(block, options.work_limit // max(1, m)))
-    rows_done = 0
-    while rows_done < m:
-        if options.time_limit_s is not None:
-            if time.perf_counter() - t0 > options.time_limit_s:
-                exhausted = False
-                break
-        if options.work_limit is not None and n_evaluations >= options.work_limit:
-            exhausted = False
-            break
-        rows = np.arange(rows_done, min(m, rows_done + block))
-        value, (i, j, lam) = _edge_maxima_block(u, v, w, rows)
-        n_evaluations += rows.size * m
-        if value > best_value:
-            best_value = value
-            point = np.zeros(m, dtype=np.float64)
-            if i == j:
-                point[i] = 1.0
-            else:
-                point[i] = lam
-                point[j] += 1.0 - lam
-            best_point = point
-        rows_done += rows.size
-        if best_value > tol and options.work_limit is None and options.time_limit_s is None:
-            # A violation certificate is enough; exhausting the rest only
-            # sharpens best_value.  Keep going only when limits are set so
-            # Table III's work accounting stays faithful.
-            break
-
-    elapsed = time.perf_counter() - t0
-    if best_value > tol:
-        status = SolverStatus.VIOLATED
-    elif exhausted:
-        status = SolverStatus.SAFE
-    else:
-        status = SolverStatus.UNKNOWN
-    return SolveResult(
-        status=status,
-        best_value=float(best_value),
-        best_point=best_point,
-        n_evaluations=n_evaluations,
-        elapsed_s=elapsed,
-        exhausted=exhausted,
-    )
+    return _solve_rank_one_simplex_stack(
+        condition.u[None, :], condition.v[None, :], condition.w[None, :], options
+    )[0]
 
 
 # ----------------------------------------------------------------------
@@ -374,7 +487,9 @@ def check_conditions(
     """Check several conditions; combined status is the worst individual.
 
     VIOLATED dominates UNKNOWN dominates SAFE.  Evaluation short-circuits
-    on the first violation (PriSTE halves the budget either way).
+    on the first violation (PriSTE halves the budget either way).  This
+    is the sequential reference; :func:`check_conditions_batch` is the
+    drop-in batched form with identical outputs.
     """
     options = options or SolverOptions()
     results: list[SolveResult] = []
@@ -387,4 +502,60 @@ def check_conditions(
             break
         if result.status is SolverStatus.UNKNOWN:
             combined = SolverStatus.UNKNOWN
+    return combined, tuple(results)
+
+
+def solve_conditions_batch(
+    conditions, options: SolverOptions | None = None
+) -> tuple[SolveResult, ...]:
+    """Solve every condition of a batch through the stacked kernel.
+
+    No cross-condition short-circuit: all K results come back, each
+    bit-identical to what :func:`check_condition` returns for it.  This
+    is the primitive the engine's batched verdict pipeline funnels a
+    whole calibration round's conditions (many sessions x events x two
+    directions) into.
+
+    Conditions of mixed dimension, or box-constrained options, fall back
+    to a per-condition loop with unchanged semantics.
+    """
+    options = options or SolverOptions()
+    conditions = list(conditions)
+    if not conditions:
+        return ()
+    sizes = {condition.n for condition in conditions}
+    if options.constraint != "simplex" or len(sizes) != 1:
+        return tuple(check_condition(condition, options) for condition in conditions)
+    U = np.stack([condition.u for condition in conditions])
+    V = np.stack([condition.v for condition in conditions])
+    W = np.stack([condition.w for condition in conditions])
+    return tuple(_solve_rank_one_simplex_stack(U, V, W, options))
+
+
+def check_conditions_batch(
+    conditions, options: SolverOptions | None = None
+) -> tuple[SolverStatus, tuple[SolveResult, ...]]:
+    """Batched drop-in for :func:`check_conditions`.
+
+    Packs the conditions into the stacked kernel in chunks of
+    ``_SHORT_CIRCUIT_CHUNK``, honouring the sequential contract: the
+    returned tuple stops at (and includes) the first VIOLATED condition,
+    later conditions are never reported, and every reported result is
+    bit-identical to the scalar loop's.  Conditions sharing a chunk with
+    the first violation may be solved speculatively; their results are
+    discarded, so the only difference from the loop is wasted work, not
+    output.
+    """
+    options = options or SolverOptions()
+    conditions = list(conditions)
+    results: list[SolveResult] = []
+    combined = SolverStatus.SAFE
+    for start in range(0, len(conditions), _SHORT_CIRCUIT_CHUNK):
+        chunk = conditions[start : start + _SHORT_CIRCUIT_CHUNK]
+        for result in solve_conditions_batch(chunk, options):
+            results.append(result)
+            if result.status is SolverStatus.VIOLATED:
+                return SolverStatus.VIOLATED, tuple(results)
+            if result.status is SolverStatus.UNKNOWN:
+                combined = SolverStatus.UNKNOWN
     return combined, tuple(results)

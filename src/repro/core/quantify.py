@@ -21,7 +21,7 @@ from .._validation import as_float_array, check_positive, check_probability_vect
 from ..errors import DegeneratePriorError, QuantificationError
 from ..lppm.base import LPPM
 from .joint import EventQuantifier
-from .qp import SolveResult, SolverOptions, SolverStatus, check_conditions
+from .qp import SolveResult, SolverOptions, SolverStatus, check_conditions_batch
 from .theorem import likelihood_ratio, privacy_conditions
 from .two_world import TwoWorldModel
 
@@ -206,7 +206,7 @@ def verify_event_privacy(
         quantifier.prepare(t)
         b, c = quantifier.candidate_bc(t, columns[t - 1])
         conditions = privacy_conditions(a, b, c, epsilon)
-        status, detail = check_conditions(conditions, options)
+        status, detail = check_conditions_batch(conditions, options)
         statuses.append(status)
         results.append(detail)
         quantifier.commit(t, columns[t - 1])

@@ -68,6 +68,22 @@ class RankOneCondition:
         object.__setattr__(self, "v", v)
         object.__setattr__(self, "w", w)
 
+    @classmethod
+    def _trusted(cls, u, v, w, label: str) -> "RankOneCondition":
+        """Construct from known-good equal-length 1-D float64 vectors.
+
+        Skips ``__post_init__`` validation for hot paths that build
+        conditions from arrays they just produced (the calibration loop
+        creates two per attempt per event).  Kept next to the dataclass
+        so the bypass evolves with the invariant it skips.
+        """
+        condition = object.__new__(cls)
+        object.__setattr__(condition, "u", u)
+        object.__setattr__(condition, "v", v)
+        object.__setattr__(condition, "w", w)
+        object.__setattr__(condition, "label", label)
+        return condition
+
     @property
     def n(self) -> int:
         """Dimension ``m``."""
@@ -123,11 +139,14 @@ def privacy_conditions(
         b = b / scale
         c = c / scale
     e = float(np.exp(epsilon))
-    cond_forward = RankOneCondition(
-        u=a, v=(e - 1.0) * b - e * c, w=b, label="Pr(o|EVENT) <= e^eps Pr(o|~EVENT)"
+    # The inputs were just validated; construct the conditions through
+    # the trusted path so the hot verdict loop does not re-validate the
+    # same six arrays on every calibration attempt.
+    cond_forward = RankOneCondition._trusted(
+        a, (e - 1.0) * b - e * c, b, "Pr(o|EVENT) <= e^eps Pr(o|~EVENT)"
     )
-    cond_backward = RankOneCondition(
-        u=a, v=(e - 1.0) * b + c, w=-e * b, label="Pr(o|~EVENT) <= e^eps Pr(o|EVENT)"
+    cond_backward = RankOneCondition._trusted(
+        a, (e - 1.0) * b + c, -e * b, "Pr(o|~EVENT) <= e^eps Pr(o|EVENT)"
     )
     return cond_forward, cond_backward
 

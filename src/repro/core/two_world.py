@@ -185,15 +185,27 @@ class TwoWorldModel:
             )
         ff, ft, tf, tt = self.transition_blocks(t)
         f0, f1 = front[:, :m], front[:, m:]
-        out = np.zeros_like(front)
+        # Write each gemm straight into the output halves: no 1MB-scale
+        # zero fill, and at most one temporary per half (only when two
+        # blocks feed it) instead of one per product.
+        out = np.empty_like(front)
+        left, right = out[:, :m], out[:, m:]
         if ff is not None:
-            out[:, :m] += f0 @ ff
-        if tf is not None:
-            out[:, :m] += f1 @ tf
+            np.matmul(f0, ff, out=left)
+            if tf is not None:
+                left += f1 @ tf
+        elif tf is not None:
+            np.matmul(f1, tf, out=left)
+        else:
+            left[:] = 0.0
         if ft is not None:
-            out[:, m:] += f0 @ ft
-        if tt is not None:
-            out[:, m:] += f1 @ tt
+            np.matmul(f0, ft, out=right)
+            if tt is not None:
+                right += f1 @ tt
+        elif tt is not None:
+            np.matmul(f1, tt, out=right)
+        else:
+            right[:] = 0.0
         return out
 
     # ------------------------------------------------------------------

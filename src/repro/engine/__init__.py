@@ -38,7 +38,12 @@ from .providers import (
     StaticMechanismProvider,
 )
 from .records import ReleaseLog, ReleaseRecord, stack_release_logs
-from .session import EngineCore, ReleaseSession, SessionState
+from .session import (
+    EngineCore,
+    ReleaseSession,
+    SessionState,
+    step_sessions_lockstep,
+)
 
 __all__ = [
     "BinarySearchCalibration",
@@ -63,4 +68,5 @@ __all__ = [
     "digest_array",
     "resolve_strategy",
     "stack_release_logs",
+    "step_sessions_lockstep",
 ]

@@ -32,7 +32,12 @@ from ..errors import SessionError
 from .cache import CacheStats, VerdictCache
 from .config import EngineConfig, SessionBuilder
 from .records import ReleaseLog, ReleaseRecord
-from .session import EngineCore, ReleaseSession, SessionState
+from .session import (
+    EngineCore,
+    ReleaseSession,
+    SessionState,
+    step_sessions_lockstep,
+)
 
 
 class SessionManager:
@@ -64,6 +69,11 @@ class SessionManager:
     def config(self) -> EngineConfig:
         """The shared engine configuration."""
         return self._core.config
+
+    @property
+    def n_states(self) -> int:
+        """Number of map cells ``m`` (valid cells are ``0..m-1``)."""
+        return self._core.n_states
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -108,6 +118,29 @@ class SessionManager:
         """Release one location for one session."""
         return self._sessions[self._require(session_id)].step(true_cell)
 
+    def validate_step(self, session_id: str, true_cell) -> int:
+        """Check one step request without executing it.
+
+        Raises :class:`SessionError` when the session is not open, has
+        exhausted its horizon, or the cell is outside the map; returns
+        the cell as an int.  Shared by :meth:`step_all`,
+        :meth:`step_many` and the service's step batcher so all entry
+        points reject a bad request identically.
+        """
+        session = self._sessions[self._require(session_id)]
+        if session.t > session.horizon:
+            raise SessionError(
+                f"session {session_id!r} exhausted its horizon "
+                f"T={session.horizon}"
+            )
+        cell = int(true_cell)
+        if not 0 <= cell < self._core.n_states:
+            raise SessionError(
+                f"cell {cell} for session {session_id!r} out of range "
+                f"[0, {self._core.n_states})"
+            )
+        return cell
+
     def step_all(self, true_cells: Mapping[str, int]) -> dict[str, ReleaseRecord]:
         """Release one location for many sessions in one call.
 
@@ -119,23 +152,56 @@ class SessionManager:
         cells in range) before any session steps, so a bad entry raises
         without advancing anyone -- the call is safe to retry.
         """
-        n_states = self._core.n_states
-        batch: list[tuple[ReleaseSession, int]] = []
+        batch = []
         for sid, cell in true_cells.items():
-            session = self._sessions[self._require(sid)]
-            if session.t > session.horizon:
-                raise SessionError(
-                    f"session {sid!r} exhausted its horizon T={session.horizon}"
-                )
-            cell = int(cell)
-            if not 0 <= cell < n_states:
-                raise SessionError(
-                    f"cell {cell} for session {sid!r} out of range [0, {n_states})"
-                )
-            batch.append((session, cell))
+            cell = self.validate_step(sid, cell)
+            batch.append((self._sessions[sid], cell))
         return {
             session.session_id: session.step(cell) for session, cell in batch
         }
+
+    def step_many(self, true_cells: Mapping[str, int]) -> dict[str, ReleaseRecord]:
+        """Release one location for many sessions as batched pipelines.
+
+        The batched counterpart of :meth:`step_all`: sessions at the
+        same timestamp (the common case -- a fleet driven in lockstep,
+        or a service micro-batching concurrent step requests) are
+        grouped into one :func:`~repro.engine.session.step_sessions_lockstep`
+        call, which propagates all their fronts through the shared
+        lifted chain in one stacked matmul and funnels each calibration
+        round's Theorem IV.1 checks into one batched solver call.
+        Sessions at distinct timestamps form separate groups, so mixed
+        fleets still batch within each phase.
+
+        Each session's records and release stream are bit-identical to
+        :meth:`step_all`'s (same RNG consumption, same verdicts); see
+        :func:`~repro.engine.session.step_sessions_lockstep` for the two
+        stream-invisible differences (verdict cache bypass, wall-clock
+        UNKNOWNs under ``time_limit_s``).
+
+        The whole batch is validated before any session steps; a bad
+        entry raises without advancing anyone.  A mid-flight error rolls
+        every session of the failing group back to its committed
+        boundary.
+        """
+        batch = []
+        for sid, cell in true_cells.items():
+            cell = self.validate_step(sid, cell)
+            batch.append((self._sessions[sid], cell))
+
+        groups: dict[int, list[tuple[ReleaseSession, int]]] = {}
+        for session, cell in batch:
+            groups.setdefault(session.t, []).append((session, cell))
+        records: dict[str, ReleaseRecord] = {}
+        for members in groups.values():
+            sessions = [session for session, _ in members]
+            cells = [cell for _, cell in members]
+            for session, record in zip(
+                sessions, step_sessions_lockstep(sessions, cells)
+            ):
+                records[session.session_id] = record
+        # Return in the caller's order, like step_all.
+        return {sid: records[sid] for sid in true_cells}
 
     def peek_budget(self, session_id: str) -> float:
         """Budget the session's next step would start calibrating from."""

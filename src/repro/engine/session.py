@@ -27,8 +27,8 @@ import uuid
 import numpy as np
 
 from .._validation import resolve_rng
-from ..core.joint import EventQuantifier
-from ..core.qp import SolverStatus, check_conditions
+from ..core.joint import EventQuantifier, prepare_many
+from ..core.qp import SolverStatus, solve_conditions_batch
 from ..core.theorem import privacy_conditions, sufficient_safe
 from ..core.two_world import TwoWorldModel
 from ..errors import QuantificationError, SessionError
@@ -37,6 +37,48 @@ from .cache import VerdictCache, digest_array
 from .config import EngineConfig
 from .providers import MechanismProvider
 from .records import ReleaseLog, ReleaseRecord
+
+
+def _combine_statuses(statuses) -> SolverStatus:
+    """Worst-of combination: VIOLATED dominates UNKNOWN dominates SAFE."""
+    worst = SolverStatus.SAFE
+    for status in statuses:
+        if status is SolverStatus.VIOLATED:
+            return SolverStatus.VIOLATED
+        if status is SolverStatus.UNKNOWN:
+            worst = SolverStatus.UNKNOWN
+    return worst
+
+
+def _solve_condition_pairs(pairs, options) -> list[SolverStatus]:
+    """Statuses for Eq. (15)/(16) condition pairs, batched in two waves.
+
+    Mirrors ``check_conditions``'s forward-first short-circuit at batch
+    scale: wave one solves every pair's forward condition in a single
+    stacked call; wave two solves backward conditions only for pairs
+    whose forward was not already VIOLATED.  Total solver work is
+    therefore identical to looping the sequential front end over the
+    pairs, and each status matches it exactly.
+    """
+    forward_results = solve_conditions_batch(
+        [pair[0] for pair in pairs], options
+    )
+    statuses: list[SolverStatus | None] = [None] * len(pairs)
+    pending: list[int] = []
+    for index, result in enumerate(forward_results):
+        if result.status is SolverStatus.VIOLATED:
+            statuses[index] = SolverStatus.VIOLATED
+        else:
+            pending.append(index)
+    if pending:
+        backward_results = solve_conditions_batch(
+            [pairs[index][1] for index in pending], options
+        )
+        for index, result in zip(pending, backward_results):
+            statuses[index] = _combine_statuses(
+                (forward_results[index].status, result.status)
+            )
+    return statuses
 
 
 class EngineCore:
@@ -59,6 +101,14 @@ class EngineCore:
         self.a_vectors = [model.prior_vector() for model in self.models]
         self.cache = cache
         self.config_fingerprint = config.fingerprint()
+        # Verdict-cache key prefixes, one per event: everything ahead of
+        # the per-step front digest is constant for the core's lifetime,
+        # so sessions concatenate instead of re-joining four parts per
+        # event per calibration attempt.
+        self.event_key_prefixes = [
+            self.config_fingerprint + b"|" + index.to_bytes(2, "little") + b"|"
+            for index in range(len(self.models))
+        ]
 
     def new_provider(self) -> MechanismProvider:
         """A provider for one new session (fresh when stateful)."""
@@ -141,6 +191,142 @@ def _rng_from_state(state: dict) -> np.random.Generator:
         raise SessionError(f"unknown bit generator {name!r} in session state")
     bit_generator.state = state
     return np.random.Generator(bit_generator)
+
+
+class _StepDriver:
+    """One session's Algorithm 1 state machine for a single timestamp.
+
+    Factors the calibrate-sample-check-release loop out of
+    :meth:`ReleaseSession.step` so the solo path and the lockstep batch
+    path (:func:`step_sessions_lockstep`) run the *same* transitions in
+    the same order -- same RNG consumption, same schedule calls, same
+    fallbacks -- which is what makes batched stepping bit-identical to
+    per-session stepping.
+    """
+
+    __slots__ = (
+        "session",
+        "t",
+        "cell",
+        "t_start",
+        "rng_checkpoint",
+        "mechanism",
+        "schedule",
+        "candidate",
+        "column",
+        "released_cell",
+        "released_column",
+        "conservative",
+        "forced_uniform",
+        "attempts",
+    )
+
+    def __init__(self, session: "ReleaseSession", true_cell: int):
+        session._ensure_open()
+        t = session.t
+        if t > session._config.horizon:
+            raise SessionError(
+                f"step({true_cell}) at t={t} exceeds horizon "
+                f"T={session._config.horizon}; call finish()"
+            )
+        cell = int(true_cell)
+        if not 0 <= cell < session._core.n_states:
+            raise QuantificationError(
+                f"cell {cell} out of range [0, {session._core.n_states})"
+            )
+        self.session = session
+        self.t = t
+        self.cell = cell
+        self.t_start = time.perf_counter()
+        self.rng_checkpoint = session._generator.bit_generator.state
+        self.mechanism = None
+        self.schedule = None
+        self.candidate: int | None = None
+        self.column: np.ndarray | None = None
+        self.released_cell: int | None = None
+        self.released_column: np.ndarray | None = None
+        self.conservative = False
+        self.forced_uniform = False
+        self.attempts = 0
+
+    def begin(self) -> None:
+        """Fetch the base mechanism and open the budget schedule."""
+        session = self.session
+        self.mechanism = session._provider.base_mechanism(self.t)
+        self.schedule = session._config.calibration.begin(float(self.mechanism.budget))
+
+    def next_candidate(self) -> np.ndarray | None:
+        """Sample the next candidate; ``None`` = released via fallback.
+
+        Advances the attempt counter; past ``max_calibrations`` the
+        session takes the guaranteed-safe uniform release and the step
+        is complete without a solver check.
+        """
+        session = self.session
+        self.attempts += 1
+        if self.attempts > session._config.max_calibrations:
+            self._release_uniform()
+            return None
+        self.candidate = int(self.mechanism.perturb(self.cell, session._generator))
+        self.column = self.mechanism.emission_column(self.candidate)
+        return self.column
+
+    def apply_verdict(self, verdict: SolverStatus) -> bool:
+        """Fold one check's verdict into the schedule; True = released."""
+        session = self.session
+        if verdict is SolverStatus.SAFE:
+            next_budget = self.schedule.after_success(float(self.mechanism.budget))
+            if next_budget is None:
+                self.released_cell = self.candidate
+                self.released_column = self.column
+                return True
+        else:
+            if verdict is SolverStatus.UNKNOWN:
+                self.conservative = True
+            next_budget = self.schedule.after_failure(float(self.mechanism.budget))
+        if next_budget <= 0.0:
+            # The schedule bottomed out: take the guaranteed-safe
+            # uniform limit without asking the solver.
+            self._release_uniform()
+            return True
+        self.mechanism = session._provider.scaled(self.mechanism, next_budget)
+        return False
+
+    def _release_uniform(self) -> None:
+        session = self.session
+        mechanism, released_cell, released_column = session._uniform_release(self.cell)
+        self.mechanism = mechanism
+        self.released_cell = released_cell
+        self.released_column = released_column
+        self.forced_uniform = True
+
+    def rollback(self) -> None:
+        """Undo all visible effects of the in-flight step (solo scope)."""
+        session = self.session
+        for quantifier in session._quantifiers:
+            quantifier.abort_prepare()
+        session._generator.bit_generator.state = self.rng_checkpoint
+
+    def commit(self) -> ReleaseRecord:
+        """Seal the release: fold fronts, notify the provider, record."""
+        session = self.session
+        for quantifier in session._quantifiers:
+            quantifier.commit(self.t, self.released_column)
+        if session._emissions is not None:
+            session._emissions.append(self.mechanism.emission_matrix())
+        session._provider.after_release(self.t, self.mechanism, self.released_cell)
+        record = ReleaseRecord(
+            t=self.t,
+            true_cell=self.cell,
+            released_cell=self.released_cell,
+            budget=float(self.mechanism.budget),
+            n_attempts=self.attempts,
+            conservative=self.conservative,
+            forced_uniform=self.forced_uniform,
+            elapsed_s=time.perf_counter() - self.t_start,
+        )
+        session._records.append(record)
+        return record
 
 
 class ReleaseSession:
@@ -233,95 +419,46 @@ class ReleaseSession:
         :meth:`finish`, :class:`QuantificationError` for a cell outside
         the map.
         """
-        self._ensure_open()
-        t = self.t
-        if t > self._config.horizon:
-            raise SessionError(
-                f"step({true_cell}) at t={t} exceeds horizon "
-                f"T={self._config.horizon}; call finish()"
-            )
-        cell = int(true_cell)
-        if not 0 <= cell < self._core.n_states:
-            raise QuantificationError(
-                f"cell {cell} out of range [0, {self._core.n_states})"
-            )
-
-        t_start = time.perf_counter()
-        rng_checkpoint = self._generator.bit_generator.state
+        driver = _StepDriver(self, true_cell)
+        t = driver.t
         for quantifier in self._quantifiers:
             quantifier.prepare(t)
         try:
-            digests = (
-                [quantifier.prepared_digest() for quantifier in self._quantifiers]
-                if self._cache is not None
-                else None
-            )
-
-            mechanism = self._provider.base_mechanism(t)
-            schedule = self._config.calibration.begin(float(mechanism.budget))
-            released_cell: int | None = None
-            released_column: np.ndarray | None = None
-            conservative = False
-            forced_uniform = False
-            attempts = 0
-
+            prefixes = self._step_key_prefixes()
+            driver.begin()
             while True:
-                attempts += 1
-                if attempts > self._config.max_calibrations:
-                    mechanism, released_cell, released_column = (
-                        self._uniform_release(cell)
-                    )
-                    forced_uniform = True
+                column = driver.next_candidate()
+                if column is None:
                     break
-                candidate = int(mechanism.perturb(cell, self._generator))
-                column = mechanism.emission_column(candidate)
-                verdict = self._check_all(t, column, digests)
-                if verdict is SolverStatus.SAFE:
-                    next_budget = schedule.after_success(float(mechanism.budget))
-                    if next_budget is None:
-                        released_cell = candidate
-                        released_column = column
-                        break
-                else:
-                    if verdict is SolverStatus.UNKNOWN:
-                        conservative = True
-                    next_budget = schedule.after_failure(float(mechanism.budget))
-                if next_budget <= 0.0:
-                    # The schedule bottomed out: take the guaranteed-safe
-                    # uniform limit without asking the solver.
-                    mechanism, released_cell, released_column = (
-                        self._uniform_release(cell)
-                    )
-                    forced_uniform = True
+                verdict = self._check_all(t, column, prefixes)
+                if driver.apply_verdict(verdict):
                     break
-                mechanism = self._provider.scaled(mechanism, next_budget)
         except BaseException:
             # Roll back to the committed boundary (fronts and RNG) so a
             # failed attempt (solver error, provider error, interrupt)
             # leaves the session steppable, checkpointable, and
             # deterministic on retry.
-            for quantifier in self._quantifiers:
-                quantifier.abort_prepare()
-            self._generator.bit_generator.state = rng_checkpoint
+            driver.rollback()
             raise
+        return driver.commit()
 
-        for quantifier in self._quantifiers:
-            quantifier.commit(t, released_column)
-        if self._emissions is not None:
-            self._emissions.append(mechanism.emission_matrix())
-        self._provider.after_release(t, mechanism, released_cell)
-        record = ReleaseRecord(
-            t=t,
-            true_cell=cell,
-            released_cell=released_cell,
-            budget=float(mechanism.budget),
-            n_attempts=attempts,
-            conservative=conservative,
-            forced_uniform=forced_uniform,
-            elapsed_s=time.perf_counter() - t_start,
-        )
-        self._records.append(record)
-        return record
+    def _step_key_prefixes(self) -> list[bytes] | None:
+        """Per-event verdict-cache key prefixes for the prepared step.
+
+        ``prefix + digest_array(column)`` is the full key: everything
+        but the candidate column -- config fingerprint, event index and
+        prepared-front digest -- is fixed for the whole timestamp, so it
+        is digested and concatenated once per step instead of once per
+        event per calibration attempt.
+        """
+        if self._cache is None:
+            return None
+        return [
+            prefix + quantifier.prepared_digest() + b"|"
+            for prefix, quantifier in zip(
+                self._core.event_key_prefixes, self._quantifiers
+            )
+        ]
 
     def _uniform_release(self, cell: int):
         """Guaranteed-safe fallback: the uniform mechanism.
@@ -346,48 +483,99 @@ class ReleaseSession:
     # ------------------------------------------------------------------
     # privacy checks (with optional verdict caching)
     # ------------------------------------------------------------------
-    def _check_all(self, t, column, digests) -> SolverStatus:
-        """Worst verdict across all events for one candidate column."""
-        worst = SolverStatus.SAFE
+    def _check_all(self, t, column, prefixes) -> SolverStatus:
+        """Worst verdict across all events for one candidate column.
+
+        Under a fixed prior every event is an O(m) ratio check, so the
+        per-event loop (with its early return on VIOLATED) is already
+        optimal.  Under the worst-case prior the per-event work is a
+        quadratic program: all events' Eq. (15)/(16) conditions are
+        assembled first and funnelled into *one* batched solver call,
+        instead of the former quantifier-by-quantifier loop.  Verdicts
+        are pure functions of the conditions, so the combined status is
+        identical either way; the only difference from the sequential
+        loop is that an early violation no longer spares the remaining
+        events' (cheaper) condition assembly.
+        """
+        if self._config.prior_mode == "fixed":
+            return self._check_all_fixed(t, column, prefixes)
         cache = self._cache
+        column_digest = digest_array(column) if cache is not None else None
+        n_events = len(self._quantifiers)
+        statuses: list[SolverStatus | None] = [None] * n_events
+        from_cache = [False] * n_events
+        pairs: list = []
+        pair_events: list[int] = []
+        for index in range(n_events):
+            if cache is not None:
+                status = cache.lookup(prefixes[index] + column_digest)
+                if status is not None:
+                    statuses[index] = status
+                    from_cache[index] = True
+                    continue
+            status, event_conditions = self._event_conditions(index, t, column)
+            if status is not None:
+                statuses[index] = status
+            else:
+                pairs.append(event_conditions)
+                pair_events.append(index)
+        if pairs:
+            for index, status in zip(
+                pair_events, _solve_condition_pairs(pairs, self._config.solver)
+            ):
+                statuses[index] = status
+        if cache is not None:
+            for index in range(n_events):
+                if not from_cache[index]:
+                    cache.store(prefixes[index] + column_digest, statuses[index])
+        return _combine_statuses(statuses)
+
+    def _check_all_fixed(self, t, column, prefixes) -> SolverStatus:
+        """Per-event Definition II.4 ratio checks at the fixed prior.
+
+        ``prefixes=None`` skips the verdict cache -- the lockstep batch
+        path passes None since the ratio check is cheaper than the
+        digesting a cache key needs.
+        """
+        worst = SolverStatus.SAFE
+        cache = self._cache if prefixes is not None else None
         column_digest = digest_array(column) if cache is not None else None
         for index, (quantifier, a) in enumerate(
             zip(self._quantifiers, self._core.a_vectors)
         ):
+            status = None
             if cache is not None:
-                key = b"|".join(
-                    [
-                        self._core.config_fingerprint,
-                        index.to_bytes(2, "little"),
-                        digests[index],
-                        column_digest,
-                    ]
-                )
-                status = cache.lookup(key)
-                if status is None:
-                    status = self._check_one(quantifier, a, t, column)
-                    cache.store(key, status)
-            else:
-                status = self._check_one(quantifier, a, t, column)
+                status = cache.lookup(prefixes[index] + column_digest)
+            if status is None:
+                b, c = quantifier.candidate_bc(t, column)
+                status = self._fixed_prior_verdict(a, b, c)
+                if cache is not None:
+                    cache.store(prefixes[index] + column_digest, status)
             if status is SolverStatus.VIOLATED:
                 return SolverStatus.VIOLATED
             if status is SolverStatus.UNKNOWN:
                 worst = SolverStatus.UNKNOWN
         return worst
 
-    def _check_one(self, quantifier, a, t, column) -> SolverStatus:
+    def _event_conditions(self, index, t, column):
+        """One event's verdict fast path or its solver conditions.
+
+        Returns ``(status, conditions)``: ``status`` is set when the
+        O(m) sufficient certificate already decides the event, else the
+        Eq. (15)/(16) :class:`RankOneCondition` pair to solve.  Shared
+        by the solo check and the lockstep batch assembly so both build
+        bit-identical conditions.
+        """
+        quantifier = self._quantifiers[index]
+        a = self._core.a_vectors[index]
         config = self._config
         b, c = quantifier.candidate_bc(t, column)
-        if config.prior_mode == "fixed":
-            return self._fixed_prior_verdict(a, b, c)
         if sufficient_safe(a, b, c, config.epsilon, config.solver.tolerance):
             # O(m) certificate: provably safe for every pi without
             # touching the quadratic program (conservative-release
             # fast path).
-            return SolverStatus.SAFE
-        conditions = privacy_conditions(a, b, c, config.epsilon)
-        status, _ = check_conditions(conditions, config.solver)
-        return status
+            return SolverStatus.SAFE, ()
+        return None, privacy_conditions(a, b, c, config.epsilon)
 
     def _fixed_prior_verdict(self, a, b, c) -> SolverStatus:
         """Definition II.4 ratio check at the configured concrete prior."""
@@ -469,3 +657,141 @@ class ReleaseSession:
                 )
             session._emissions = list(state.emissions)
         return session
+
+
+# ----------------------------------------------------------------------
+# lockstep batch stepping (SessionManager.step_many)
+# ----------------------------------------------------------------------
+def step_sessions_lockstep(
+    sessions: list[ReleaseSession], true_cells: list[int]
+) -> list[ReleaseRecord]:
+    """Step a same-phase group of sessions as one batched pipeline.
+
+    All sessions must share one :class:`EngineCore` and sit at the same
+    timestamp ``t``.  The group is driven through the three batched
+    layers:
+
+    1. *prepare* -- every event's fronts across all sessions propagate
+       through the shared lifted chain in one stacked matmul
+       (:func:`repro.core.joint.prepare_many`);
+    2. *calibration rounds* -- sessions advance in lockstep; each round
+       samples one candidate per still-calibrating session (from that
+       session's own RNG, in session order) and, under the worst-case
+       prior, funnels every session's Eq. (15)/(16) conditions into a
+       single batched solver call
+       (:func:`repro.core.qp.solve_conditions_batch`);
+    3. *commit* -- releases fold into the fronts session by session.
+
+    The per-session transition sequence is exactly
+    :meth:`ReleaseSession.step`'s (same RNG draws, same schedule calls,
+    same fallbacks), and solver verdicts are pure functions of the
+    assembled conditions, so the resulting records and release streams
+    are bit-identical to stepping each session on its own.  Two
+    deliberate differences, invisible in the stream:
+
+    * the shared verdict cache is bypassed -- bulk solving replaces
+      per-session memoization, and skipping the front digests is a
+      large part of the batched win;
+    * with ``time_limit_s`` set, wall-clock UNKNOWNs may fall
+      differently than under solo stepping (the same caveat the verdict
+      cache documents); deterministic configurations (the default, and
+      any ``work_limit``) are unaffected.
+
+    On any error during calibration every session in the group is
+    rolled back to its committed boundary (fronts and RNG), so the call
+    is all-or-nothing up to the commit phase.
+    """
+    if not sessions:
+        return []
+    if len(true_cells) != len(sessions):
+        raise SessionError(
+            f"{len(sessions)} sessions but {len(true_cells)} cells"
+        )
+    core = sessions[0]._core
+    for session in sessions:
+        if session._core is not core:
+            raise SessionError(
+                "step_sessions_lockstep requires sessions sharing one EngineCore"
+            )
+    t = sessions[0].t
+    for session in sessions:
+        if session.t != t:
+            raise SessionError(
+                "step_sessions_lockstep requires same-phase sessions; got "
+                f"t={session.t} and t={t}"
+            )
+
+    drivers = [
+        _StepDriver(session, cell) for session, cell in zip(sessions, true_cells)
+    ]
+    for index in range(len(core.models)):
+        prepare_many([session._quantifiers[index] for session in sessions], t)
+    try:
+        for driver in drivers:
+            driver.begin()
+        active = list(drivers)
+        while active:
+            # Sample this round's candidates in session order, so each
+            # session's RNG sees the same draw sequence as solo steps.
+            checking: list[_StepDriver] = []
+            remaining: list[_StepDriver] = []
+            for driver in active:
+                column = driver.next_candidate()
+                if column is not None:
+                    checking.append(driver)
+                # else: released via the max-calibrations uniform
+                # fallback; drops out of the round.
+            verdicts = _lockstep_verdicts(checking, t)
+            for driver, verdict in zip(checking, verdicts):
+                if not driver.apply_verdict(verdict):
+                    remaining.append(driver)
+            active = remaining
+    except BaseException:
+        for driver in drivers:
+            driver.rollback()
+        raise
+    return [driver.commit() for driver in drivers]
+
+
+def _lockstep_verdicts(
+    drivers: list[_StepDriver], t: int
+) -> list[SolverStatus]:
+    """One calibration round's verdicts, one batched solver call.
+
+    Fixed-prior sessions resolve with the per-event ratio loop (no
+    solver involved); worst-case sessions contribute their undecided
+    events' conditions to a single :func:`solve_conditions_batch` call
+    and recombine per event, then per session -- the same worst-of
+    combination the solo check applies.
+    """
+    verdicts: list[SolverStatus | None] = [None] * len(drivers)
+    pairs: list = []
+    # (driver position, per-event status list, event index -> pair slot)
+    assemblies: list[tuple[int, list, list[tuple[int, int]]]] = []
+    for position, driver in enumerate(drivers):
+        session = driver.session
+        if session._config.prior_mode == "fixed":
+            verdicts[position] = session._check_all_fixed(t, driver.column, None)
+            continue
+        statuses: list[SolverStatus | None] = [None] * len(session._quantifiers)
+        slots: list[tuple[int, int]] = []
+        for index in range(len(session._quantifiers)):
+            status, event_conditions = session._event_conditions(
+                index, t, driver.column
+            )
+            if status is not None:
+                statuses[index] = status
+            else:
+                slots.append((index, len(pairs)))
+                pairs.append(event_conditions)
+        assemblies.append((position, statuses, slots))
+    if pairs:
+        options = drivers[0].session._config.solver
+        pair_statuses = _solve_condition_pairs(pairs, options)
+    else:
+        pair_statuses = []
+    for position, statuses, slots in assemblies:
+        for index, slot in slots:
+            statuses[index] = pair_statuses[slot]
+        verdicts[position] = _combine_statuses(statuses)
+    return verdicts

@@ -12,7 +12,10 @@ bottom::
                                      drain on SIGINT/SIGTERM
            executor.py            -- worker-pool offload of the CPU-bound
                                      calibrate-and-check step, with strict
-                                     per-session ordering
+                                     per-session ordering; opt-in
+                                     micro-batching (--batch-window-ms)
+                                     coalescing concurrent steps onto the
+                                     engine's batched step_many pipeline
            store.py               -- pluggable SessionStore (memory / JSON
                                      directory / SQLite): idle sessions are
                                      evicted via the engine's JSON
@@ -36,7 +39,7 @@ to driving the manager directly under the same seeds.
 """
 
 from .client import AsyncServiceClient, ServiceClient
-from .executor import SessionExecutor
+from .executor import SessionExecutor, StepBatcher
 from .metrics import LatencyHistogram, ServiceMetrics
 from .protocol import (
     PROTOCOL_VERSION,
@@ -73,6 +76,7 @@ __all__ = [
     "ServiceMetrics",
     "SessionExecutor",
     "SessionStore",
+    "StepBatcher",
     "decode_frame",
     "encode_frame",
     "error_code_for",

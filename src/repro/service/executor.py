@@ -12,6 +12,12 @@ bit-identical to direct ones).
 
 The same per-session lock also serializes lifecycle operations (open,
 finish, evict, restore) against in-flight steps of that session.
+
+:class:`StepBatcher` adds opt-in micro-batching on top: concurrent step
+requests arriving within a small window coalesce into one
+:meth:`~repro.engine.SessionManager.step_many` call, which batches the
+linear algebra and solver work across sessions while the per-session
+locks keep each stream ordered and bit-identical.
 """
 
 from __future__ import annotations
@@ -108,7 +114,230 @@ class SessionExecutor:
         async with self._locks.hold(session_id):
             return fn()
 
+    @contextlib.asynccontextmanager
+    async def hold_many(self, session_ids, acquisition_gate: asyncio.Lock | None = None):
+        """Hold several sessions' locks at once (batched stepping).
+
+        Locks are acquired in sorted order, so any two holders that
+        overlap acquire their common sessions in the same global order
+        -- no deadlock regardless of how batches interleave with
+        single-session operations (which never acquire a second lock).
+
+        ``acquisition_gate`` serializes the *acquisition phase* across
+        batches: a later batch cannot start queueing on any lock until
+        the earlier batch holds all of its own, so two batches sharing
+        a session always apply their steps in flush order even when the
+        earlier batch is momentarily blocked on an unrelated contended
+        lock.  The gate is released before the work runs, so disjoint
+        batches still execute concurrently.
+        """
+        async with contextlib.AsyncExitStack() as stack:
+            if acquisition_gate is not None:
+                await acquisition_gate.acquire()
+            try:
+                for session_id in sorted(session_ids):
+                    await stack.enter_async_context(self._locks.hold(session_id))
+            finally:
+                if acquisition_gate is not None:
+                    acquisition_gate.release()
+            yield
+
+    async def run_batch(
+        self,
+        session_ids,
+        fn: Callable[[], T],
+        acquisition_gate: asyncio.Lock | None = None,
+    ) -> T:
+        """Run ``fn`` on the pool while holding every session's lock."""
+        async with self.hold_many(session_ids, acquisition_gate):
+            if self._pool is None:
+                return fn()
+            return await asyncio.get_running_loop().run_in_executor(
+                self._pool, fn
+            )
+
     def shutdown(self) -> None:
         """Stop the pool (waits for running steps)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+
+
+class StepBatcher:
+    """Coalesce concurrent step requests onto ``SessionManager.step_many``.
+
+    Opt-in (``--batch-window-ms``): the first step request of a batch
+    opens a collection window; requests landing within it join; when the
+    window closes, one worker-pool job steps the whole batch through the
+    engine's batched pipeline under every member session's lock.
+
+    Ordering and stream identity are preserved:
+
+    * a session appears at most once per batch -- a second request for a
+      session already collected flushes the open batch immediately and
+      seeds the next one;
+    * batches acquire their session locks under one acquisition gate
+      (see :meth:`SessionExecutor.hold_many`), so consecutive batches
+      touching the same session apply its steps strictly in flush
+      order, and :meth:`barrier` lets non-step operations on a session
+      wait for its pending batched step first;
+    * ``step_many`` itself is bit-identical to per-session stepping, so
+      a served stream looks exactly as it would without batching --
+      micro-batching only trades a bounded admission latency for
+      cross-session throughput.
+
+    Failures stay per-request: each member is validated (and restored
+    from the store) individually, so one bad session id or cell rejects
+    that request alone; only an engine-level error inside the shared
+    ``step_many`` call fails the whole batch.
+    """
+
+    def __init__(
+        self,
+        manager,
+        executor: SessionExecutor,
+        window_s: float,
+        restore: Callable[[str], bool] | None = None,
+    ):
+        self._manager = manager
+        self._executor = executor
+        self._window_s = float(window_s)
+        self._restore = restore
+        self._pending: dict[str, tuple[int, asyncio.Future]] = {}
+        # Newest in-flight (flushed but unresolved) step future per
+        # session; the acquisition gate orders batches, so awaiting the
+        # newest also waits out any older one for the same session.
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._window_task: asyncio.Task | None = None
+        self._flush_tasks: set[asyncio.Task] = set()
+        self._acquisition_gate = asyncio.Lock()
+        self._batches = 0
+        self._steps = 0
+        self._max_batch = 0
+
+    def stats(self) -> dict:
+        """Counters for the ``stats`` op."""
+        return {
+            "window_ms": self._window_s * 1e3,
+            "batches": self._batches,
+            "steps": self._steps,
+            "max_batch": self._max_batch,
+            "mean_batch": round(self._steps / self._batches, 3)
+            if self._batches
+            else None,
+        }
+
+    async def submit(self, session_id: str, cell: int):
+        """Queue one step; resolves to ``(restored, record)`` or raises."""
+        loop = asyncio.get_running_loop()
+        if session_id in self._pending:
+            # Same session twice in one window: close the batch so the
+            # two steps stay strictly ordered (the locks do the rest).
+            self._spawn_flush()
+        future: asyncio.Future = loop.create_future()
+        self._pending[session_id] = (int(cell), future)
+        if self._window_task is None:
+            self._window_task = loop.create_task(self._window())
+        return await future
+
+    async def barrier(self, session_id: str) -> None:
+        """Wait out a pending or in-flight batched step for ``session_id``.
+
+        Non-step operations (finish, checkpoint, peek) call this before
+        taking the session's lock, so a step still sitting in the open
+        collection window -- or flushed but not yet holding its locks --
+        cannot be overtaken by a later request for the same session.
+        The step's own outcome (or error) is delivered to its
+        submitter, not here.
+        """
+        entry = self._pending.get(session_id)
+        if entry is not None:
+            self._spawn_flush()
+            future = entry[1]
+        else:
+            future = self._inflight.get(session_id)
+            if future is None:
+                return
+        try:
+            await asyncio.shield(future)
+        except BaseException:  # noqa: BLE001 - outcome belongs to the submitter
+            pass
+
+    def _spawn_flush(self) -> None:
+        batch = self._pending
+        self._pending = {}
+        if self._window_task is not None:
+            self._window_task.cancel()
+            self._window_task = None
+        if not batch:
+            return
+        for sid, (_, future) in batch.items():
+            self._inflight[sid] = future
+
+            def _clear(done, sid=sid, future=future):
+                if self._inflight.get(sid) is future:
+                    del self._inflight[sid]
+
+            future.add_done_callback(_clear)
+        task = asyncio.get_running_loop().create_task(self._flush(batch))
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _window(self) -> None:
+        try:
+            await asyncio.sleep(self._window_s)
+        except asyncio.CancelledError:
+            return
+        self._window_task = None
+        self._spawn_flush()
+
+    async def _flush(self, batch: dict[str, tuple[int, asyncio.Future]]) -> None:
+        self._batches += 1
+        self._steps += len(batch)
+        self._max_batch = max(self._max_batch, len(batch))
+        manager = self._manager
+        restore = self._restore
+        cells = {sid: cell for sid, (cell, _) in batch.items()}
+
+        def _run():
+            errors: dict[str, BaseException] = {}
+            restored: dict[str, bool] = {}
+            valid: dict[str, int] = {}
+            for sid, cell in cells.items():
+                try:
+                    restored[sid] = bool(restore(sid)) if restore else False
+                    valid[sid] = manager.validate_step(sid, cell)
+                except Exception as error:  # noqa: BLE001 - isolate per member
+                    errors[sid] = error
+            # Step each same-timestamp group in its own call: a group's
+            # lockstep failure rolls that group back atomically, so its
+            # error is routed to exactly its members -- sessions in
+            # other groups keep their committed records instead of
+            # being told a step they completed failed.
+            groups: dict[int, dict[str, int]] = {}
+            for sid, cell in valid.items():
+                groups.setdefault(manager.session(sid).t, {})[sid] = cell
+            records: dict = {}
+            for group_cells in groups.values():
+                try:
+                    records.update(manager.step_many(group_cells))
+                except Exception as error:  # noqa: BLE001 - per-group atomic
+                    for sid in group_cells:
+                        errors[sid] = error
+            return records, errors, restored
+
+        try:
+            records, errors, restored = await self._executor.run_batch(
+                batch.keys(), _run, self._acquisition_gate
+            )
+        except BaseException as error:  # noqa: BLE001 - route to every waiter
+            for _, future in batch.values():
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for sid, (_, future) in batch.items():
+            if future.done():
+                continue
+            if sid in errors:
+                future.set_exception(errors[sid])
+            else:
+                future.set_result((restored.get(sid, False), records[sid]))

@@ -38,12 +38,26 @@ class TestExactSimplexSolver:
     def test_matches_grid_search(self, rng):
         for _ in range(30):
             cond = _random_condition(rng)
-            result = maximize_rank_one_simplex(cond, SolverOptions())
+            # exhaustive=True asks for the true global maximum (the
+            # default stops at the first violation certificate).
+            result = maximize_rank_one_simplex(cond, SolverOptions(exhaustive=True))
             grid_max = _brute_force_simplex_max(cond)
             # The solver is exact; the grid is a lower bound with small
             # discretization error.
             assert result.best_value >= grid_max - 1e-9
             assert result.best_value <= grid_max + 0.05
+
+    def test_default_early_exit_agrees_with_exhaustive_status(self, rng):
+        # The non-exhaustive default may stop at a smaller violation
+        # witness, but the status trichotomy must never differ.
+        for _ in range(30):
+            cond = _random_condition(rng, n=5)
+            quick = maximize_rank_one_simplex(cond, SolverOptions())
+            full = maximize_rank_one_simplex(cond, SolverOptions(exhaustive=True))
+            assert quick.status is full.status
+            assert quick.best_value <= full.best_value + 1e-12
+            if quick.status is SolverStatus.VIOLATED:
+                assert cond.value(quick.best_point) > 0
 
     def test_best_point_achieves_value(self, rng):
         for _ in range(20):

@@ -1,0 +1,160 @@
+"""Batched solver front ends vs the scalar loop: exact equivalence.
+
+The engine's batched verdict pipeline funnels many sessions' conditions
+into :func:`solve_conditions_batch` / :func:`check_conditions_batch`;
+its bit-identity guarantee rests on these returning exactly what the
+scalar :func:`check_condition` loop returns -- statuses, best values,
+best points, evaluation counts and the exhausted flag, including under
+work/time limits and for the K=1 degenerate case.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.qp import (
+    SolverOptions,
+    SolverStatus,
+    check_condition,
+    check_conditions,
+    check_conditions_batch,
+    solve_conditions_batch,
+)
+from repro.core.theorem import RankOneCondition
+
+
+def _random_conditions(rng, k, n, w_shift=0.0):
+    return [
+        RankOneCondition(
+            u=rng.normal(size=n), v=rng.normal(size=n), w=rng.normal(size=n) + w_shift
+        )
+        for _ in range(k)
+    ]
+
+
+def assert_result_equal(batch, scalar):
+    assert batch.status is scalar.status
+    assert batch.best_value == scalar.best_value
+    assert batch.n_evaluations == scalar.n_evaluations
+    assert batch.exhausted == scalar.exhausted
+    np.testing.assert_array_equal(batch.best_point, scalar.best_point)
+
+
+class TestSolveConditionsBatch:
+    @pytest.mark.parametrize("k", [1, 2, 7, 40])
+    @pytest.mark.parametrize("w_shift", [0.0, -4.0])
+    def test_matches_scalar_loop(self, rng, k, w_shift):
+        conditions = _random_conditions(rng, k, n=9, w_shift=w_shift)
+        options = SolverOptions()
+        batch = solve_conditions_batch(conditions, options)
+        assert len(batch) == k
+        for result, condition in zip(batch, conditions):
+            assert_result_equal(result, check_condition(condition, options))
+
+    def test_empty_batch(self):
+        assert solve_conditions_batch([]) == ()
+
+    def test_work_limit_equivalence(self, rng):
+        conditions = _random_conditions(rng, 12, n=30, w_shift=-3.0)
+        options = SolverOptions(work_limit=95)
+        batch = solve_conditions_batch(conditions, options)
+        for result, condition in zip(batch, conditions):
+            assert_result_equal(result, check_condition(condition, options))
+        # The limit actually binds for this size (30 + 435 > 95).
+        assert any(not result.exhausted for result in batch)
+        assert any(result.status is SolverStatus.UNKNOWN for result in batch)
+
+    def test_non_binding_time_limit_equivalence(self, rng):
+        # A huge wall-clock limit never fires but still disables the
+        # early exit, so both paths run the deterministic full sweep.
+        conditions = _random_conditions(rng, 8, n=12)
+        options = SolverOptions(time_limit_s=1e6)
+        batch = solve_conditions_batch(conditions, options)
+        for result, condition in zip(batch, conditions):
+            assert_result_equal(result, check_condition(condition, options))
+            assert result.exhausted
+
+    def test_exhaustive_equivalence(self, rng):
+        conditions = _random_conditions(rng, 10, n=8)
+        options = SolverOptions(exhaustive=True)
+        batch = solve_conditions_batch(conditions, options)
+        for result, condition in zip(batch, conditions):
+            assert_result_equal(result, check_condition(condition, options))
+
+    def test_mixed_sizes_fall_back(self, rng):
+        conditions = _random_conditions(rng, 3, n=5) + _random_conditions(
+            rng, 3, n=8
+        )
+        batch = solve_conditions_batch(conditions)
+        for result, condition in zip(batch, conditions):
+            assert_result_equal(result, check_condition(condition))
+
+    def test_box_constraint_falls_back(self, rng):
+        conditions = _random_conditions(rng, 4, n=5)
+        options = SolverOptions(constraint="box")
+        batch = solve_conditions_batch(conditions, options)
+        for result, condition in zip(batch, conditions):
+            scalar = check_condition(condition, options)
+            assert result.status is scalar.status
+            assert result.best_value == scalar.best_value
+
+
+class TestCheckConditionsBatch:
+    @pytest.mark.parametrize("w_shift", [0.0, -4.0])
+    def test_matches_sequential_front_end(self, rng, w_shift):
+        for _ in range(10):
+            conditions = _random_conditions(rng, 6, n=7, w_shift=w_shift)
+            combined_seq, results_seq = check_conditions(conditions)
+            combined_bat, results_bat = check_conditions_batch(conditions)
+            assert combined_bat is combined_seq
+            assert len(results_bat) == len(results_seq)
+            for batch, scalar in zip(results_bat, results_seq):
+                assert_result_equal(batch, scalar)
+
+    def test_truncates_at_first_violation(self):
+        violated = RankOneCondition(u=np.ones(3), v=np.ones(3), w=np.zeros(3))
+        safe = RankOneCondition(u=np.ones(3), v=-np.ones(3), w=np.zeros(3))
+        combined, results = check_conditions_batch([safe, violated, safe, safe])
+        assert combined is SolverStatus.VIOLATED
+        assert len(results) == 2
+        assert results[0].status is SolverStatus.SAFE
+        assert results[1].status is SolverStatus.VIOLATED
+
+    def test_violation_beyond_first_chunk(self, rng):
+        # 20 safe conditions, then a violated one: the batch must walk
+        # two chunks and stop exactly where the loop stops.
+        safe = _random_conditions(rng, 20, n=6, w_shift=-5.0)
+        violated = RankOneCondition(u=np.ones(6), v=np.ones(6), w=np.zeros(6))
+        conditions = safe + [violated] + safe[:3]
+        combined_seq, results_seq = check_conditions(conditions)
+        combined_bat, results_bat = check_conditions_batch(conditions)
+        assert combined_bat is combined_seq is SolverStatus.VIOLATED
+        assert len(results_bat) == len(results_seq) == 21
+
+    def test_empty(self):
+        combined, results = check_conditions_batch([])
+        assert combined is SolverStatus.SAFE
+        assert results == ()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_property_batch_equals_scalar(data):
+    n = data.draw(st.integers(2, 7))
+    k = data.draw(st.integers(1, 8))
+    vals = st.floats(-2.0, 2.0, allow_nan=False)
+    conditions = [
+        RankOneCondition(
+            u=np.asarray(data.draw(st.lists(vals, min_size=n, max_size=n))),
+            v=np.asarray(data.draw(st.lists(vals, min_size=n, max_size=n))),
+            w=np.asarray(data.draw(st.lists(vals, min_size=n, max_size=n))),
+        )
+        for _ in range(k)
+    ]
+    work_limit = data.draw(
+        st.one_of(st.none(), st.integers(1, n + n * (n - 1) // 2 + 5))
+    )
+    options = SolverOptions(work_limit=work_limit)
+    batch = solve_conditions_batch(conditions, options)
+    for result, condition in zip(batch, conditions):
+        assert_result_equal(result, check_condition(condition, options))

@@ -173,7 +173,7 @@ class TestUniformFallback:
 
         monkeypatch.setattr(
             session_module.ReleaseSession,
-            "_check_one",
+            "_check_all",
             lambda self, *args: SolverStatus.VIOLATED,
         )
         session = builder_for(
@@ -191,7 +191,7 @@ class TestUniformFallback:
 
         monkeypatch.setattr(
             session_module.ReleaseSession,
-            "_check_one",
+            "_check_all",
             lambda self, *args: SolverStatus.UNKNOWN,
         )
         session = (

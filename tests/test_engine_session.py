@@ -312,7 +312,7 @@ class TestSessionLifecycle:
         def boom(self, *args):
             raise RuntimeError("solver died")
 
-        monkeypatch.setattr(session_module.ReleaseSession, "_check_one", boom)
+        monkeypatch.setattr(session_module.ReleaseSession, "_check_all", boom)
         with pytest.raises(RuntimeError):
             session.step(truth[3])
         monkeypatch.undo()

@@ -1,0 +1,335 @@
+"""``SessionManager.step_many`` vs per-session stepping: bit-identity.
+
+The batched pipeline (stacked prepare, lockstep calibration rounds, one
+batched solver call per round) must produce release streams identical to
+``step_all``'s sequential per-session loop under fixed seeds -- same
+released cells, budgets, attempt counts and flags.  ``elapsed_s`` is
+wall-clock and excluded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.joint import EventQuantifier, prepare_many
+from repro.engine import SessionBuilder, SessionManager
+from repro.errors import QuantificationError, SessionError
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+
+
+def strip(records):
+    return [
+        (
+            r.t,
+            r.true_cell,
+            r.released_cell,
+            r.budget,
+            r.n_attempts,
+            r.conservative,
+            r.forced_uniform,
+        )
+        for r in records
+    ]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    from repro.experiments.scenarios import synthetic_scenario
+
+    scenario = synthetic_scenario(n_rows=6, n_cols=6, sigma=1.0, horizon=8)
+    event = scenario.presence_event(0, 9, 3, 5)
+    return scenario, event
+
+
+def make_builder(scenario, event, prior="worst", mechanism="plm", epsilon=0.4):
+    builder = (
+        SessionBuilder()
+        .with_grid(scenario.grid)
+        .with_chain(scenario.chain)
+        .protecting(event)
+        .with_epsilon(epsilon)
+        .with_horizon(8)
+    )
+    if prior == "fixed":
+        builder.with_fixed_prior(scenario.initial)
+    if mechanism == "delta":
+        builder.with_delta_location_set(0.5, 0.2, scenario.initial)
+    else:
+        builder.with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+    return builder
+
+
+def drive(builder, scenario, n_sessions, horizon, batched, cache_size=131_072):
+    rng = np.random.default_rng(7)
+    trajectories = {
+        f"u{i}": sample_trajectory(
+            scenario.chain, horizon, initial=scenario.initial, rng=rng
+        )
+        for i in range(n_sessions)
+    }
+    manager = SessionManager(builder, cache_size=cache_size)
+    for i, name in enumerate(trajectories):
+        manager.open(name, rng=100 + i)
+    step = manager.step_many if batched else manager.step_all
+    for t in range(horizon):
+        step({name: traj[t] for name, traj in trajectories.items()})
+    return {sid: strip(log.records) for sid, log in manager.finish_all().items()}
+
+
+class TestStepManyBitIdentity:
+    @pytest.mark.parametrize("prior", ["worst", "fixed"])
+    @pytest.mark.parametrize("mechanism", ["plm", "delta"])
+    def test_matches_step_all(self, setting, prior, mechanism):
+        scenario, event = setting
+        builder = make_builder(scenario, event, prior, mechanism)
+        sequential = drive(builder, scenario, 10, 8, batched=False)
+        batched = drive(builder, scenario, 10, 8, batched=True)
+        assert batched == sequential
+
+    def test_matches_without_cache(self, setting):
+        scenario, event = setting
+        builder = make_builder(scenario, event)
+        sequential = drive(builder, scenario, 8, 8, batched=False, cache_size=0)
+        batched = drive(builder, scenario, 8, 8, batched=True, cache_size=0)
+        assert batched == sequential
+
+    def test_multi_event_matches(self, setting):
+        scenario, event = setting
+        second = scenario.presence_event(20, 29, 6, 7)
+        builder = (
+            SessionBuilder()
+            .with_grid(scenario.grid)
+            .with_chain(scenario.chain)
+            .protecting(event, second)
+            .with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+            .with_epsilon(0.4)
+            .with_horizon(8)
+        )
+        sequential = drive(builder, scenario, 8, 8, batched=False)
+        batched = drive(builder, scenario, 8, 8, batched=True)
+        assert batched == sequential
+
+    def test_work_limit_matches(self, setting):
+        # The conservative-release setting: a binding work limit keeps
+        # verdicts deterministic, so batched stepping stays identical.
+        scenario, event = setting
+        from repro.core.qp import SolverOptions
+
+        builder = make_builder(scenario, event).with_solver(
+            SolverOptions(work_limit=200)
+        )
+        sequential = drive(builder, scenario, 8, 6, batched=False)
+        batched = drive(builder, scenario, 8, 6, batched=True)
+        assert batched == sequential
+        assert any(
+            any(entry[5] for entry in records) for records in sequential.values()
+        ), "work limit should force conservative releases somewhere"
+
+    def test_mixed_phase_fleet(self, setting):
+        # Sessions at different timestamps batch per phase group and
+        # still match their solo counterparts.
+        scenario, event = setting
+        builder = make_builder(scenario, event)
+        rng = np.random.default_rng(3)
+        trajectories = {
+            f"u{i}": sample_trajectory(
+                scenario.chain, 8, initial=scenario.initial, rng=rng
+            )
+            for i in range(6)
+        }
+        reference = SessionManager(builder)
+        staggered = SessionManager(builder)
+        for i, name in enumerate(trajectories):
+            reference.open(name, rng=50 + i)
+            staggered.open(name, rng=50 + i)
+        # Advance half the fleet two steps ahead on both managers.
+        ahead = list(trajectories)[:3]
+        for t in range(2):
+            for name in ahead:
+                reference.step(name, trajectories[name][t])
+                staggered.step(name, trajectories[name][t])
+        # Now step everyone together: two phase groups inside step_many.
+        for t in range(2, 6):
+            cells = {}
+            for name, trajectory in trajectories.items():
+                offset = t if name in ahead else t - 2
+                cells[name] = trajectory[offset]
+            for name, cell in cells.items():
+                reference.step(name, cell)
+            staggered.step_many(cells)
+        logs_ref = {s: strip(reference.finish(s).records) for s in list(reference.session_ids)}
+        logs_bat = {s: strip(staggered.finish(s).records) for s in list(staggered.session_ids)}
+        assert logs_bat == logs_ref
+
+    def test_single_session_group(self, setting):
+        scenario, event = setting
+        builder = make_builder(scenario, event)
+        sequential = drive(builder, scenario, 1, 8, batched=False)
+        batched = drive(builder, scenario, 1, 8, batched=True)
+        assert batched == sequential
+
+
+class TestStepManyValidation:
+    def test_bad_cell_rejects_whole_batch_without_stepping(self, setting):
+        scenario, event = setting
+        manager = SessionManager(make_builder(scenario, event))
+        manager.open("a", rng=1)
+        manager.open("b", rng=2)
+        with pytest.raises(SessionError):
+            manager.step_many({"a": 3, "b": 999})
+        assert manager.session("a").t == 1
+        assert manager.session("b").t == 1
+
+    def test_unknown_session_rejects(self, setting):
+        scenario, event = setting
+        manager = SessionManager(make_builder(scenario, event))
+        manager.open("a", rng=1)
+        with pytest.raises(SessionError):
+            manager.step_many({"a": 3, "ghost": 4})
+        assert manager.session("a").t == 1
+
+    def test_failed_group_rolls_back_every_session(self, setting, monkeypatch):
+        scenario, event = setting
+        builder = make_builder(scenario, event)
+        manager = SessionManager(builder)
+        reference = SessionManager(builder)
+        for i in range(4):
+            manager.open(f"u{i}", rng=10 + i)
+            reference.open(f"u{i}", rng=10 + i)
+        cells = {f"u{i}": i for i in range(4)}
+        manager.step_many(cells)
+        reference.step_many(cells)
+
+        from repro.engine import session as session_module
+
+        calls = {"n": 0}
+        original = session_module.ReleaseSession._event_conditions
+
+        def boom(self, *args):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("solver died mid-batch")
+            return original(self, *args)
+
+        monkeypatch.setattr(session_module.ReleaseSession, "_event_conditions", boom)
+        with pytest.raises(RuntimeError):
+            manager.step_many(cells)
+        monkeypatch.undo()
+        # Every session rolled back to t=2; a retry matches the
+        # untouched reference manager exactly.
+        assert all(manager.session(f"u{i}").t == 2 for i in range(4))
+        records = manager.step_many(cells)
+        expected = reference.step_many(cells)
+        assert {s: strip([r]) for s, r in records.items()} == {
+            s: strip([r]) for s, r in expected.items()
+        }
+
+    def test_resumed_sessions_batch_like_fresh_ones(self, setting):
+        scenario, event = setting
+        builder = make_builder(scenario, event)
+        rng = np.random.default_rng(11)
+        trajectories = {
+            f"u{i}": sample_trajectory(
+                scenario.chain, 6, initial=scenario.initial, rng=rng
+            )
+            for i in range(5)
+        }
+        reference = SessionManager(builder)
+        manager = SessionManager(builder)
+        for i, name in enumerate(trajectories):
+            reference.open(name, rng=30 + i)
+            manager.open(name, rng=30 + i)
+        for t in range(3):
+            cells = {n: tr[t] for n, tr in trajectories.items()}
+            reference.step_many(cells)
+            manager.step_many(cells)
+        # Suspend + resume half the fleet mid-trajectory.
+        for name in list(trajectories)[:2]:
+            manager.resume(manager.suspend(name))
+        for t in range(3, 6):
+            cells = {n: tr[t] for n, tr in trajectories.items()}
+            reference.step_many(cells)
+            manager.step_many(cells)
+        logs_ref = {s: strip(log.records) for s, log in reference.finish_all().items()}
+        logs_res = {s: strip(log.records) for s, log in manager.finish_all().items()}
+        assert logs_res == logs_ref
+
+
+class TestQuantifierBatchHelpers:
+    def test_prepare_many_matches_solo_prepare(self, setting):
+        scenario, event = setting
+        from repro.core.two_world import TwoWorldModel
+
+        model = TwoWorldModel(scenario.chain, event, 8)
+        rng = np.random.default_rng(5)
+        m = model.n_states
+
+        solo = [EventQuantifier(model) for _ in range(4)]
+        batch = [EventQuantifier(model) for _ in range(4)]
+        for t in range(1, 8):
+            for quantifier in solo:
+                quantifier.prepare(t)
+            prepare_many(batch, t)
+            probe = rng.uniform(0.0, 0.05, size=m)
+            for qs, qb in zip(solo, batch):
+                b1, c1 = qs.candidate_bc(t, probe)
+                b2, c2 = qb.candidate_bc(t, probe)
+                np.testing.assert_array_equal(b1, b2)
+                np.testing.assert_array_equal(c1, c2)
+                column = rng.uniform(0.0, 0.05, size=m)
+                qs.commit(t, column)
+                qb.commit(t, column)
+                assert qs.log_scale == qb.log_scale
+
+    def test_prepare_many_rejects_out_of_order(self, setting):
+        scenario, event = setting
+        from repro.core.two_world import TwoWorldModel
+
+        model = TwoWorldModel(scenario.chain, event, 8)
+        quantifiers = [EventQuantifier(model) for _ in range(2)]
+        with pytest.raises(QuantificationError):
+            prepare_many(quantifiers, 2)
+
+    def test_prepare_many_rejects_mixed_models(self, setting):
+        scenario, event = setting
+        from repro.core.two_world import TwoWorldModel
+
+        model_a = TwoWorldModel(scenario.chain, event, 8)
+        model_b = TwoWorldModel(scenario.chain, event, 8)
+        with pytest.raises(QuantificationError):
+            prepare_many([EventQuantifier(model_a), EventQuantifier(model_b)], 1)
+
+    def test_candidate_bc_many_matches_per_column(self, setting):
+        scenario, event = setting
+        from repro.core.two_world import TwoWorldModel
+
+        model = TwoWorldModel(scenario.chain, event, 8)
+        rng = np.random.default_rng(9)
+        m = model.n_states
+        quantifier = EventQuantifier(model)
+        for t in range(1, 8):
+            quantifier.prepare(t)
+            columns = rng.uniform(0.0, 0.05, size=(6, m))
+            B, C = quantifier.candidate_bc_many(t, columns)
+            assert B.shape == C.shape == (6, m)
+            for n in range(6):
+                b, c = quantifier.candidate_bc(t, columns[n])
+                np.testing.assert_allclose(b, B[n], rtol=1e-12, atol=1e-18)
+                np.testing.assert_allclose(c, C[n], rtol=1e-12, atol=1e-18)
+            quantifier.commit(t, columns[0])
+
+    def test_candidate_bc_many_validates(self, setting):
+        scenario, event = setting
+        from repro.core.two_world import TwoWorldModel
+
+        model = TwoWorldModel(scenario.chain, event, 8)
+        quantifier = EventQuantifier(model)
+        quantifier.prepare(1)
+        with pytest.raises(QuantificationError):
+            quantifier.candidate_bc_many(2, np.zeros((2, model.n_states)))
+        with pytest.raises(QuantificationError):
+            quantifier.candidate_bc_many(1, np.zeros((2, model.n_states + 1)))
+        with pytest.raises(QuantificationError):
+            quantifier.candidate_bc_many(
+                1, np.full((2, model.n_states), 1.5)
+            )

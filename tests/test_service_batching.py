@@ -1,0 +1,291 @@
+"""Micro-batched serving (``--batch-window-ms``): identity and ordering.
+
+A server with a batch window coalesces concurrent step requests onto
+``SessionManager.step_many``; the served release streams must stay
+bit-identical to an unbatched server and to driving the manager
+directly, per-session ordering must survive same-session bursts, and a
+bad request must fail alone without poisoning its batch.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import SessionBuilder, SessionManager
+from repro.errors import SessionError
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+from repro.service import AsyncServiceClient, ReleaseServer, ServerConfig
+
+
+def strip_json(record):
+    return tuple(
+        record[key]
+        for key in (
+            "t",
+            "true_cell",
+            "released_cell",
+            "budget",
+            "n_attempts",
+            "conservative",
+            "forced_uniform",
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def setting():
+    from repro.experiments.scenarios import synthetic_scenario
+
+    scenario = synthetic_scenario(n_rows=5, n_cols=5, sigma=1.0, horizon=8)
+    event = scenario.presence_event(0, 4, 3, 5)
+    builder = (
+        SessionBuilder()
+        .with_grid(scenario.grid)
+        .with_chain(scenario.chain)
+        .protecting(event)
+        .with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+        .with_epsilon(0.4)
+        .with_horizon(8)
+    )
+    return scenario, builder
+
+
+async def _serve_fleet(builder, scenario, n_sessions, n_steps, batch_window_ms):
+    rng = np.random.default_rng(0)
+    trajectories = [
+        sample_trajectory(scenario.chain, n_steps, initial=scenario.initial, rng=rng)
+        for _ in range(n_sessions)
+    ]
+    server = ReleaseServer(
+        SessionManager(builder),
+        config=ServerConfig(batch_window_ms=batch_window_ms, workers=2),
+    )
+    await server.start()
+    clients = [
+        await AsyncServiceClient.connect("127.0.0.1", server.port) for _ in range(4)
+    ]
+    by_session = [clients[i % len(clients)] for i in range(n_sessions)]
+    for i in range(n_sessions):
+        await by_session[i].open(f"u{i}", seed=1000 + i)
+    streams = {f"u{i}": [] for i in range(n_sessions)}
+    for t in range(n_steps):
+        records = await asyncio.gather(
+            *[
+                by_session[i].step(f"u{i}", int(trajectories[i][t]))
+                for i in range(n_sessions)
+            ]
+        )
+        for i, record in enumerate(records):
+            streams[f"u{i}"].append(strip_json(record))
+    stats = await clients[0].stats()
+    for client in clients:
+        await client.close()
+    await server.drain()
+    return streams, stats
+
+
+class TestBatchedServing:
+    def test_streams_bit_identical_to_unbatched(self, setting):
+        scenario, builder = setting
+        batched, stats = asyncio.run(_serve_fleet(builder, scenario, 8, 6, 5.0))
+        unbatched, _ = asyncio.run(_serve_fleet(builder, scenario, 8, 6, 0.0))
+        assert batched == unbatched
+        assert stats["batching"] is not None
+        assert stats["batching"]["steps"] == 8 * 6
+        assert stats["batching"]["max_batch"] >= 2, (
+            "concurrent requests should coalesce into multi-session batches"
+        )
+
+    def test_matches_direct_manager(self, setting):
+        scenario, builder = setting
+        served, _ = asyncio.run(_serve_fleet(builder, scenario, 6, 6, 5.0))
+        rng = np.random.default_rng(0)
+        trajectories = [
+            sample_trajectory(scenario.chain, 6, initial=scenario.initial, rng=rng)
+            for _ in range(6)
+        ]
+        manager = SessionManager(builder)
+        for i in range(6):
+            manager.open(f"u{i}", rng=1000 + i)
+        direct = {f"u{i}": [] for i in range(6)}
+        for t in range(6):
+            for i in range(6):
+                record = manager.step(f"u{i}", int(trajectories[i][t]))
+                direct[f"u{i}"].append(strip_json(record.to_json()))
+        assert served == direct
+
+    def test_same_session_burst_stays_ordered(self, setting):
+        scenario, builder = setting
+
+        async def run():
+            server = ReleaseServer(
+                SessionManager(builder),
+                config=ServerConfig(batch_window_ms=20.0, workers=2),
+            )
+            await server.start()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("u0", seed=5)
+            # Fire a burst of steps for one session without awaiting in
+            # between: each must land in its own batch, in order.
+            records = await asyncio.gather(
+                *[client.step("u0", cell) for cell in (3, 7, 1, 4)]
+            )
+            await client.close()
+            await server.drain()
+            return records
+
+        records = asyncio.run(run())
+        assert [record["t"] for record in records] == [1, 2, 3, 4]
+        assert [record["true_cell"] for record in records] == [3, 7, 1, 4]
+
+    def test_bad_request_fails_alone(self, setting):
+        scenario, builder = setting
+
+        async def run():
+            server = ReleaseServer(
+                SessionManager(builder),
+                config=ServerConfig(batch_window_ms=10.0, workers=2),
+            )
+            await server.start()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("good", seed=1)
+            results = await asyncio.gather(
+                client.step("good", 3),
+                client.step("ghost", 4),
+                return_exceptions=True,
+            )
+            await client.close()
+            await server.drain()
+            return results
+
+        good, ghost = asyncio.run(run())
+        assert good["t"] == 1
+        assert isinstance(ghost, SessionError)
+
+    def test_batched_step_restores_suspended_sessions(self, setting):
+        scenario, builder = setting
+
+        async def run():
+            server = ReleaseServer(
+                SessionManager(builder),
+                config=ServerConfig(
+                    batch_window_ms=10.0, workers=2, max_resident=2
+                ),
+            )
+            await server.start()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            for i in range(5):
+                await client.open(f"u{i}", seed=i)
+            # With max_resident=2, most sessions are evicted between
+            # rounds; batched steps must restore them transparently.
+            for t in range(3):
+                records = await asyncio.gather(
+                    *[client.step(f"u{i}", (t + i) % 25) for i in range(5)]
+                )
+                assert [record["t"] for record in records] == [t + 1] * 5
+            stats = await client.stats()
+            await client.close()
+            await server.drain()
+            return stats
+
+        stats = asyncio.run(run())
+        assert stats["sessions"]["restored"] > 0
+        assert stats["batching"]["batches"] >= 3
+
+
+class TestBatchOrderingUnderContention:
+    def test_same_session_batches_apply_in_flush_order(self, setting):
+        # Regression: batch 1 = {a, b} flushes while session a's lock is
+        # held elsewhere; batch 2 = {b} must NOT leapfrog it -- the
+        # acquisition gate serializes lock acquisition across batches.
+        scenario, builder = setting
+        from repro.service import SessionExecutor, StepBatcher
+
+        async def run():
+            manager = SessionManager(builder)
+            manager.open("a", rng=1)
+            manager.open("b", rng=2)
+            calls = []
+            original = manager.step_many
+
+            def spy(cells):
+                calls.append(dict(cells))
+                return original(cells)
+
+            manager.step_many = spy
+            executor = SessionExecutor(workers=0)
+            batcher = StepBatcher(manager, executor, window_s=0.01)
+            async with executor.hold_many(["a"]):
+                task_a = asyncio.ensure_future(batcher.submit("a", 1))
+                task_b1 = asyncio.ensure_future(batcher.submit("b", 1))
+                await asyncio.sleep(0)  # both land in batch 1
+                # Duplicate session: flushes batch 1, seeds batch 2.
+                task_b2 = asyncio.ensure_future(batcher.submit("b", 2))
+                # Batch 2's window expires while a's lock is still held;
+                # without the gate it would acquire b's lock first and
+                # apply b's second step before its first.
+                await asyncio.sleep(0.05)
+            (_, rec_a), (_, rec_b1), (_, rec_b2) = await asyncio.gather(
+                task_a, task_b1, task_b2
+            )
+            return calls, rec_a, rec_b1, rec_b2
+
+        calls, rec_a, rec_b1, rec_b2 = asyncio.run(run())
+        assert rec_a.t == 1 and rec_a.true_cell == 1
+        assert (rec_b1.t, rec_b1.true_cell) == (1, 1)
+        assert (rec_b2.t, rec_b2.true_cell) == (2, 2)
+        assert calls[0] == {"a": 1, "b": 1}
+        assert calls[1] == {"b": 2}
+
+    def test_finish_waits_for_pending_batched_step(self, setting):
+        # A pipelined step + finish on one session: the finish op's
+        # barrier must let the collected step complete first.
+        scenario, builder = setting
+
+        async def run():
+            server = ReleaseServer(
+                SessionManager(builder),
+                config=ServerConfig(batch_window_ms=30.0, workers=2),
+            )
+            await server.start()
+            client = await AsyncServiceClient.connect("127.0.0.1", server.port)
+            await client.open("u0", seed=3)
+            step_task = asyncio.ensure_future(client.step("u0", 4))
+            await asyncio.sleep(0)  # step parked in the open window
+            summary = await client.finish("u0")
+            record = await step_task
+            await client.close()
+            await server.drain()
+            return record, summary
+
+        record, summary = asyncio.run(run())
+        assert record["t"] == 1
+        assert summary["n_released"] == 1
+
+    def test_barrier_covers_flushed_but_unexecuted_batches(self, setting):
+        # Regression: after the window closes, the batch leaves
+        # _pending before its flush task has run; a barrier arriving in
+        # that gap must still wait for the step instead of letting a
+        # finish/checkpoint overtake it.
+        scenario, builder = setting
+        from repro.service import SessionExecutor, StepBatcher
+
+        async def run():
+            manager = SessionManager(builder)
+            manager.open("a", rng=1)
+            executor = SessionExecutor(workers=0)
+            batcher = StepBatcher(manager, executor, window_s=60.0)
+            step_task = asyncio.ensure_future(batcher.submit("a", 3))
+            await asyncio.sleep(0)  # request lands in the window
+            batcher._spawn_flush()  # window closes; flush task not yet run
+            assert "a" not in batcher._pending
+            await batcher.barrier("a")
+            t_after_barrier = manager.session("a").t
+            _, record = await step_task
+            return t_after_barrier, record
+
+        t_after_barrier, record = asyncio.run(run())
+        assert t_after_barrier == 2, "barrier returned before the step applied"
+        assert record.t == 1

@@ -12,18 +12,24 @@ chain-sampled fixes, and reports
   starvation probe: offloaded steps should leave the loop responsive),
 * the shared verdict-cache hit rate.
 
-Results go to ``results/bench_service_load.txt`` (human table) and
-``results/bench_service_load.json`` (the shared machine-readable
-schema, uploaded as a CI artifact).
+A second test sweeps the sharded backend (``--shards {0,2,4,8}``) at
+the 1000-session point with micro-batching on, recording how served
+throughput scales with shard processes over the single-process batched
+path.
+
+Results go to ``results/bench_service_load{,_sharded}.txt`` (human
+tables) and ``results/bench_service_load{,_sharded}.json`` (the shared
+machine-readable schema, uploaded as CI artifacts).
 """
 
 import asyncio
+import os
 import time
 
 import numpy as np
 import pytest
 
-from repro.engine import SessionBuilder, SessionManager
+from repro.engine import SessionBuilder, SessionManager, ShardPool
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import synthetic_scenario
 from repro.lppm.planar_laplace import PlanarLaplaceMechanism
@@ -39,6 +45,12 @@ LOADS_PAPER = ((10, 12), (100, 12), (1000, 12), (5000, 6))
 BATCHED_LOADS = ((100, 12), (1000, 4))
 BATCH_WINDOW_MS = 2.0
 MAX_CONNECTIONS = 32
+#: the shard sweep: 1000 concurrent sessions served by 0/2/4/8 shard
+#: processes (0 = the PR 3 in-process batched path, the baseline).
+#: Shard counts beyond the machine's cores are skipped -- they can only
+#: measure oversubscription.
+SHARD_SWEEP = (0, 2, 4, 8)
+SHARDED_SESSIONS, SHARDED_STEPS = 1000, 4
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +88,7 @@ async def _drive_load(
     n_steps: int,
     seed: int,
     batch_window_ms: float = 0.0,
+    shards: int = 0,
 ):
     """One load point: open, step concurrently, finish, drain."""
     rng = np.random.default_rng(seed)
@@ -85,8 +98,13 @@ async def _drive_load(
         )
         for _ in range(n_sessions)
     ]
+    engine = (
+        ShardPool(lambda: SessionManager(builder), shards)
+        if shards > 0
+        else SessionManager(builder)
+    )
     server = ReleaseServer(
-        SessionManager(builder),
+        engine,
         config=ServerConfig(
             max_sessions=n_sessions + 8,
             max_resident=n_sessions + 8,
@@ -130,8 +148,12 @@ async def _drive_load(
     samples = np.asarray(latencies)
     cache = stats["verdict_cache"]
     batching = stats.get("batching")
+    mode = "batched" if batch_window_ms > 0 else "direct"
+    if shards > 0:
+        mode = f"sharded-{shards}"
     return {
-        "mode": "batched" if batch_window_ms > 0 else "direct",
+        "mode": mode,
+        "shards": shards,
         "sessions": n_sessions,
         "steps": int(samples.size),
         "wall_s": round(wall, 4),
@@ -180,7 +202,7 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
         assert row["max_loop_lag_ms"] < 1000.0
 
     columns = [
-        "mode", "sessions", "steps", "wall_s", "steps_per_s",
+        "mode", "shards", "sessions", "steps", "wall_s", "steps_per_s",
         "p50_ms", "p99_ms", "max_loop_lag_ms", "cache_hit_rate", "mean_batch",
     ]
     table = format_table(
@@ -205,6 +227,94 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
             "loads": [list(load) for load in loads],
             "batched_loads": [list(load) for load in BATCHED_LOADS],
             "batch_window_ms": BATCH_WINDOW_MS,
+        },
+        rows=rows,
+    )
+
+
+def test_bench_service_load_sharded(service_setting, save_result, save_json):
+    """The shard sweep: 1000 sessions at 0 / 2 / 4 / 8 shard processes.
+
+    Every sharded point keeps the PR 3 micro-batching window on (that is
+    the production configuration: one collection window's steps fan out
+    as one RPC per shard and run on every shard in parallel), so the
+    sweep isolates exactly what sharding adds over the single-process
+    batched path.  On a >= 4-core runner the 4-shard point must sustain
+    >= 2x the unsharded batched throughput; shard counts beyond the core
+    count are skipped, not asserted.
+    """
+    scenario, builder = service_setting
+    cores = os.cpu_count() or 1
+    # Always run the 2-shard point (it exercises the RPC path even on a
+    # small box); larger counts only where the cores exist to feed them.
+    sweep = [n for n in SHARD_SWEEP if n <= max(cores, 2)]
+    rows = []
+    for shards in sweep:
+        rows.append(
+            asyncio.run(
+                _drive_load(
+                    scenario,
+                    builder,
+                    SHARDED_SESSIONS,
+                    SHARDED_STEPS,
+                    seed=0,
+                    batch_window_ms=BATCH_WINDOW_MS,
+                    shards=shards,
+                )
+            )
+        )
+    skipped = [n for n in SHARD_SWEEP if n not in sweep]
+    if skipped:
+        print(f"[skipped shard counts {skipped}: only {cores} cores]")
+
+    by_shards = {row["shards"]: row["steps_per_s"] for row in rows}
+    baseline = by_shards[0]
+    # Cross-run comparison: the per-PR throughput trajectory at the
+    # 1000-session point (seed's loop -> PR 3 batched -> sharded).
+    sharded_points = {n: v for n, v in by_shards.items() if n > 0}
+    best_shards = max(sharded_points, key=sharded_points.get)
+    comparison = (
+        f"1000-session throughput trajectory: PR 3 batched {baseline} steps/s"
+        f" -> sharded (N={best_shards}) {by_shards[best_shards]} steps/s"
+        f" ({by_shards[best_shards] / baseline:.2f}x) on {cores} cores"
+        " [seed had no serving layer; its single-stream engine loop is"
+        " benched in bench_engine_sessions.json]"
+    )
+    if cores >= 4 and 4 in by_shards:
+        assert by_shards[4] >= 2.0 * baseline, (
+            f"4 shards must sustain >= 2x the in-process batched path on a "
+            f">= 4-core machine: {by_shards[4]} vs {baseline} steps/s"
+        )
+
+    columns = [
+        "mode", "shards", "sessions", "steps", "wall_s", "steps_per_s",
+        "p50_ms", "p99_ms", "max_loop_lag_ms", "cache_hit_rate", "mean_batch",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"repro serve shard sweep ({SHARDED_SESSIONS} sessions, "
+            f"--batch-window-ms {BATCH_WINDOW_MS}, {cores} cores; "
+            "shards=0 is the PR 3 single-process batched path)"
+        ),
+    )
+    save_result("bench_service_load_sharded", table + "\n\n" + comparison)
+    save_json(
+        "bench_service_load_sharded",
+        params={
+            "rows_cols": [6, 6],
+            "horizon": HORIZON,
+            "epsilon": 0.4,
+            "alpha": 0.5,
+            "prior_mode": "fixed",
+            "connections_max": MAX_CONNECTIONS,
+            "sessions": SHARDED_SESSIONS,
+            "steps_per_session": SHARDED_STEPS,
+            "batch_window_ms": BATCH_WINDOW_MS,
+            "shard_sweep": list(sweep),
+            "cpu_count": cores,
+            "comparison": comparison,
         },
         rows=rows,
     )

@@ -12,8 +12,10 @@ Three modes:
   invocation with the same directory resumes them mid-trajectory.
 * ``repro serve`` -- the concurrent network service: an asyncio TCP
   server (:mod:`repro.service`) multiplexing many client connections
-  onto one shared manager, with admission control, a worker pool and
-  idle-session eviction to a pluggable store.
+  onto one shared execution backend, with admission control, a worker
+  pool and idle-session eviction to a pluggable store.  ``--shards N``
+  swaps the in-process backend for a pool of N worker processes (each
+  owning a full engine) for near-linear multi-core scaling.
 
 Stream protocol (one JSON object per line)::
 
@@ -28,6 +30,7 @@ Sessions are opened on first sight, seeded deterministically from
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 import zlib
@@ -317,7 +320,13 @@ def _serve_main(argv: list[str]) -> int:
                         "server stops reading (TCP backpressure)")
     parser.add_argument("--workers", type=int, default=None,
                         help="step worker threads (default: CPU cores, "
-                        "capped; 0 runs steps inline on the event loop)")
+                        "capped, divided by --shards when sharded; 0 runs "
+                        "steps inline on the event loop)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="shard worker processes, each owning a full "
+                        "engine; sessions route to shards by a stable hash "
+                        "of their id, so served streams stay bit-identical "
+                        "at any shard count (0 = in-process threads only)")
     parser.add_argument("--batch-window-ms", type=float, default=0.0,
                         help="micro-batching window for concurrent step "
                         "requests: steps arriving within the window are "
@@ -337,9 +346,23 @@ def _serve_main(argv: list[str]) -> int:
         parser.error("--workers must be >= 0")
     if args.batch_window_ms < 0:
         parser.error("--batch-window-ms must be >= 0")
+    if args.shards < 0:
+        parser.error("--shards must be >= 0")
+    if args.shards > 0 and args.workers == 0:
+        parser.error("--workers 0 (inline) is incompatible with --shards; "
+                     "shard RPCs must stay off the event loop")
 
     try:
-        manager = _stream_manager(args)
+        if args.shards > 0:
+            # Each shard worker builds its own full engine from the
+            # parsed flags (functools.partial over a module-level
+            # function, so the factory survives the `spawn` start
+            # method too).
+            from .engine.shard import ShardPool
+
+            engine = ShardPool(functools.partial(_stream_manager, args), args.shards)
+        else:
+            engine = _stream_manager(args)
         store = resolve_store(args.store, args.store_path)
     except ReproError as error:
         parser.error(str(error))
@@ -354,7 +377,7 @@ def _serve_main(argv: list[str]) -> int:
     )
 
     async def _serve() -> int:
-        server = ReleaseServer(manager, store=store, config=config)
+        server = ReleaseServer(engine, store=store, config=config)
         await server.start()
         print(
             json.dumps(
@@ -364,6 +387,7 @@ def _serve_main(argv: list[str]) -> int:
                     "port": server.port,
                     "max_sessions": config.max_sessions,
                     "max_resident": config.max_resident,
+                    "shards": args.shards,
                     "store": args.store,
                 }
             ),

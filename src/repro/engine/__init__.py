@@ -14,6 +14,10 @@ a time*; this package exposes exactly that shape:
 * :class:`SessionManager` -- many concurrent sessions over shared
   two-world models, a shared mechanism ladder and a :class:`VerdictCache`
   of solver verdicts;
+* :class:`ExecutionBackend` -- where a fleet's work runs:
+  :class:`InProcessBackend` (one manager, this process) or
+  :class:`ShardPool` (N worker processes with deterministic
+  session->shard routing, the multi-core serving path);
 * the mechanism-provider protocol (moved here from
   :mod:`repro.core.priste`, which still re-exports it).
 
@@ -21,6 +25,7 @@ The legacy batch API (:class:`repro.PriSTE`, ``run(trajectory)``) is a
 thin wrapper over a session and reproduces its old outputs bit-for-bit.
 """
 
+from .backend import ExecutionBackend, InProcessBackend, as_backend
 from .cache import CacheStats, VerdictCache, digest_array
 from .calibration import (
     BinarySearchCalibration,
@@ -44,6 +49,7 @@ from .session import (
     SessionState,
     step_sessions_lockstep,
 )
+from .shard import ShardPool, shard_for
 
 __all__ = [
     "BinarySearchCalibration",
@@ -54,6 +60,8 @@ __all__ = [
     "DeltaLocationSetProvider",
     "EngineConfig",
     "EngineCore",
+    "ExecutionBackend",
+    "InProcessBackend",
     "LinearDecay",
     "MechanismProvider",
     "ReleaseLog",
@@ -62,11 +70,14 @@ __all__ = [
     "SessionBuilder",
     "SessionManager",
     "SessionState",
+    "ShardPool",
     "StaticMechanismProvider",
     "VerdictCache",
+    "as_backend",
     "config_with",
     "digest_array",
     "resolve_strategy",
+    "shard_for",
     "stack_release_logs",
     "step_sessions_lockstep",
 ]

@@ -1,0 +1,581 @@
+"""Sharded multi-process execution: near-linear core scaling per machine.
+
+One Python process can keep roughly one core busy with engine work --
+the :class:`~repro.engine.session._StepDriver` state machine, RNG
+draws, cache-key digests and solver dispatch all contend on the GIL
+between the numpy kernels.  :class:`ShardPool` breaks that ceiling by
+spawning N worker processes, each owning a *full*
+:class:`~repro.engine.manager.SessionManager` (two-world models,
+mechanism ladder and verdict cache built once per worker), and routing
+every session to exactly one worker by a stable hash of its id:
+
+* **Deterministic routing** -- :func:`shard_for` is a keyed-less
+  blake2b hash, identical across processes, runs and machines, so the
+  same session id always lands on the same shard for a given shard
+  count (and re-routes consistently when a checkpoint taken under one
+  shard count is restored under another).
+* **RPC channel** -- one duplex pipe per worker carrying
+  length-prefixed pickle frames (``Connection.send_bytes`` prepends the
+  byte count; the payload is a ``(op, args)`` / ``(ok, result)``
+  pickle).  A lock per channel serializes request/response pairs; the
+  worker is single-threaded, so per-shard ordering is inherent.
+* **Batched dispatch** -- :meth:`ShardPool.step_batch` groups a wave of
+  steps by owning shard and sends *one* message per shard, each worker
+  stepping its slice through the engine's batched
+  :meth:`~repro.engine.manager.SessionManager.step_many` pipeline.
+  Records reassemble bit-identically to the in-process path: lockstep
+  stepping preserves each session's private RNG stream regardless of
+  how the fleet is partitioned.
+* **Crash containment** -- a worker that dies turns into typed
+  :class:`~repro.errors.ShardDownError`\\ s for exactly its sessions
+  (never a silent loss); the other shards keep serving, and
+  :meth:`shard_stats`/:meth:`suspend_all` report the casualties.
+
+Checkpoint, suspend and resume round-trip
+:class:`~repro.engine.session.SessionState` through the owning shard,
+so the serving layer's store-backed eviction and graceful drain work
+unchanged on top.
+
+Start method: ``fork`` where available (factories may be closures),
+falling back to ``spawn`` (factories must then be picklable --
+module-level callables or ``functools.partial`` over one).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping
+
+import multiprocessing
+
+from ..errors import ServiceError, ShardDownError
+from .backend import ExecutionBackend, step_batch_on_manager
+from .cache import CacheStats
+from .manager import SessionManager
+from .records import ReleaseLog, ReleaseRecord
+from .session import SessionState
+
+#: Seconds a freshly spawned worker gets to build its manager and report.
+SPAWN_TIMEOUT_S = 120.0
+#: Seconds a worker gets to exit after a shutdown frame before SIGTERM.
+SHUTDOWN_TIMEOUT_S = 10.0
+
+
+def shard_for(session_id: str, n_shards: int) -> int:
+    """The shard owning ``session_id``: a stable hash, mod ``n_shards``.
+
+    Uses blake2b rather than ``hash()`` so the routing is identical in
+    every process and run (``PYTHONHASHSEED`` never enters), which is
+    what lets a restarted pool -- even one with a different shard count
+    -- adopt checkpointed sessions consistently.
+    """
+    if n_shards < 1:
+        raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.blake2b(session_id.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % n_shards
+
+
+def _send(conn, payload) -> None:
+    """One length-prefixed pickle frame onto the channel."""
+    conn.send_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _recv(conn):
+    """The next frame off the channel (raises EOFError on hangup)."""
+    return pickle.loads(conn.recv_bytes())
+
+
+def default_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where supported (closures allowed), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_execute(manager: SessionManager, metrics, op: str, args):
+    """Dispatch one RPC op against the worker's private manager."""
+    if op == "step":
+        sid, cell = args
+        metrics.record_request("step")
+        manager.validate_step(sid, cell)
+        record = manager.step(sid, cell)
+        metrics.record_step(record.elapsed_s, record)
+        return record
+    if op == "step_batch":
+        records, errors = step_batch_on_manager(manager, args)
+        for record in records.values():
+            metrics.record_request("step")
+            metrics.record_step(record.elapsed_s, record)
+        for error in errors.values():
+            metrics.record_error(type(error).__name__)
+        return records, errors
+    if op == "open":
+        sid, seed = args
+        metrics.record_request("open")
+        manager.open(sid, rng=seed)
+        metrics.record_session_event("opened")
+        return None
+    if op == "peek_budget":
+        metrics.record_request("peek_budget")
+        return manager.peek_budget(args)
+    if op == "finish":
+        metrics.record_request("finish")
+        log = manager.finish(args)
+        metrics.record_session_event("finished")
+        return log
+    if op == "checkpoint":
+        metrics.record_request("checkpoint")
+        return manager.checkpoint(args)
+    if op == "suspend":
+        state = manager.suspend(args)
+        metrics.record_session_event("evicted")
+        return state
+    if op == "resume":
+        sid = manager.resume(args)
+        metrics.record_session_event("restored")
+        return sid
+    if op == "suspend_all":
+        states = [manager.suspend(sid) for sid in list(manager.session_ids)]
+        metrics.record_session_event("evicted", len(states))
+        return states
+    if op == "session_ids":
+        return manager.session_ids
+    if op == "cache_stats":
+        return manager.cache_stats()
+    if op == "stats":
+        cache = manager.cache_stats()
+        return {
+            "pid": os.getpid(),
+            "sessions": len(manager),
+            "metrics": metrics.dump(),
+            "verdict_cache": None
+            if cache is None
+            else {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 6),
+                "size": cache.size,
+                "evictions": cache.evictions,
+            },
+        }
+    if op == "ping":
+        return "pong"
+    raise ServiceError(f"unknown shard op {op!r}")
+
+
+def _shard_worker_main(
+    conn, factory: Callable[[], SessionManager], shard_index: int
+) -> None:
+    """A shard worker process: build one manager, answer RPCs until EOF.
+
+    The worker ignores SIGINT -- an interactive Ctrl+C hits the whole
+    process group, and the parent's graceful drain must still be able to
+    checkpoint every shard's sessions afterwards.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+    # Imported lazily so repro.engine never depends on repro.service at
+    # module-import time (the service imports the engine, not vice versa).
+    from ..service.metrics import ServiceMetrics
+
+    try:
+        manager = factory()
+    except BaseException as error:  # noqa: BLE001 - report, then die
+        try:
+            _send(conn, (False, _picklable(error)))
+        finally:
+            conn.close()
+        return
+    metrics = ServiceMetrics()
+    _send(
+        conn,
+        (
+            True,
+            {
+                "pid": os.getpid(),
+                "shard": shard_index,
+                "horizon": manager.config.horizon,
+                "n_states": manager.n_states,
+            },
+        ),
+    )
+    while True:
+        try:
+            op, args = _recv(conn)
+        except (EOFError, OSError):
+            break
+        if op == "shutdown":
+            try:
+                _send(conn, (True, None))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            reply = (True, _worker_execute(manager, metrics, op, args))
+        except Exception as error:  # noqa: BLE001 - errors travel the channel
+            reply = (False, _picklable(error))
+        try:
+            _send(conn, reply)
+        except (BrokenPipeError, OSError):
+            break
+        except Exception:  # noqa: BLE001 - unpicklable result
+            _send(
+                conn,
+                (False, ServiceError(f"shard op {op!r} produced an unpicklable reply")),
+            )
+    conn.close()
+
+
+def _picklable(error: BaseException) -> BaseException:
+    """The error itself when it pickles, else a faithful substitute."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:  # noqa: BLE001 - anything means "cannot travel"
+        return ServiceError(f"{type(error).__name__}: {error}")
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ShardHandle:
+    """Parent-side endpoint of one shard worker's RPC channel."""
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.pid: int | None = None
+        self._process = process
+        self._conn = conn
+        self._lock = threading.Lock()
+        self.alive = True
+
+    def call(self, op: str, args=None):
+        """One request/response round trip (thread-safe, serialized).
+
+        A broken channel or worker death marks the handle dead and
+        raises :class:`ShardDownError`; the error persists for every
+        later call, so a lost shard is loud, not silent.
+        """
+        with self._lock:
+            if not self.alive:
+                raise ShardDownError(
+                    f"shard {self.index} (pid {self.pid}) is down"
+                )
+            try:
+                _send(self._conn, (op, args))
+                ok, result = _recv(self._conn)
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+                self.alive = False
+                raise ShardDownError(
+                    f"shard {self.index} (pid {self.pid}) died during "
+                    f"{op!r}: {type(error).__name__}"
+                ) from error
+        if ok:
+            return result
+        raise result
+
+    def handshake(self, timeout_s: float) -> dict:
+        """Await the worker's ready frame; raises on failure/timeout."""
+        if not self._conn.poll(timeout_s):
+            self.alive = False
+            raise ServiceError(
+                f"shard {self.index} did not come up within {timeout_s:.0f}s"
+            )
+        try:
+            ok, info = _recv(self._conn)
+        except (EOFError, OSError) as error:
+            self.alive = False
+            raise ShardDownError(
+                f"shard {self.index} exited before its handshake"
+            ) from error
+        if not ok:
+            self.alive = False
+            raise info
+        self.pid = info["pid"]
+        return info
+
+    def shutdown(self, timeout_s: float = SHUTDOWN_TIMEOUT_S) -> None:
+        """Ask the worker to exit; escalate to SIGTERM if it lingers."""
+        with self._lock:
+            if self.alive:
+                self.alive = False
+                try:
+                    _send(self._conn, ("shutdown", None))
+                    _recv(self._conn)
+                except Exception:  # noqa: BLE001 - already going away
+                    pass
+        self._process.join(timeout_s)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout_s)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class ShardPool(ExecutionBackend):
+    """N shard workers behind the :class:`ExecutionBackend` surface.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one :class:`SessionManager`;
+        called once *inside each worker process*, so every shard owns
+        its own models, mechanism ladder and verdict cache.  Under the
+        ``spawn`` start method it must be picklable.
+    n_shards:
+        Worker process count (>= 1).
+    context:
+        Optional ``multiprocessing`` context override (tests use this
+        to force a start method).
+    """
+
+    remote = True
+
+    def __init__(
+        self,
+        factory: Callable[[], SessionManager],
+        n_shards: int,
+        context=None,
+        spawn_timeout_s: float = SPAWN_TIMEOUT_S,
+    ):
+        if n_shards < 1:
+            raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        ctx = context if context is not None else default_context()
+        self._handles: list[ShardHandle] = []
+        self._sessions: dict[str, int] = {}  # sid -> shard index
+        self._lock = threading.Lock()
+        self._closed = False
+        try:
+            for index in range(self.n_shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, factory, index),
+                    name=f"repro-shard-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._handles.append(ShardHandle(index, process, parent_conn))
+            infos = [
+                handle.handshake(spawn_timeout_s) for handle in self._handles
+            ]
+        except BaseException:
+            self.close()
+            raise
+        self._horizon = infos[0]["horizon"]
+        self._n_states = infos[0]["n_states"]
+        # One I/O thread per shard: batched dispatch sends one message
+        # to every shard concurrently and reassembles.  These threads
+        # only block on pipe reads -- engine CPU lives in the workers.
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="repro-shard-rpc"
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, session_id: str) -> int:
+        """The shard index owning ``session_id`` (pure, stable)."""
+        return shard_for(session_id, self.n_shards)
+
+    def _handle_for(self, session_id: str) -> ShardHandle:
+        return self._handles[self.shard_of(session_id)]
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend surface
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    def open(self, session_id: str, seed: int | None = None) -> None:
+        self._handle_for(session_id).call("open", (session_id, seed))
+        with self._lock:
+            self._sessions[session_id] = self.shard_of(session_id)
+
+    def contains(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._sessions
+
+    def resident_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def step(self, session_id: str, cell: int) -> ReleaseRecord:
+        return self._handle_for(session_id).call("step", (session_id, cell))
+
+    def step_batch(
+        self, cells: Mapping[str, int]
+    ) -> tuple[dict[str, ReleaseRecord], dict[str, BaseException]]:
+        """One wave of steps: at most one RPC per shard, in parallel."""
+        by_shard: dict[int, dict[str, int]] = {}
+        for sid, cell in cells.items():
+            by_shard.setdefault(self.shard_of(sid), {})[sid] = cell
+        records: dict[str, ReleaseRecord] = {}
+        errors: dict[str, BaseException] = {}
+        futures = {
+            shard: self._dispatch.submit(
+                self._handles[shard].call, "step_batch", shard_cells
+            )
+            for shard, shard_cells in by_shard.items()
+        }
+        for shard, future in futures.items():
+            try:
+                shard_records, shard_errors = future.result()
+            except Exception as error:  # noqa: BLE001 - ShardDown or transport
+                for sid in by_shard[shard]:
+                    errors[sid] = error
+                continue
+            records.update(shard_records)
+            errors.update(shard_errors)
+        return records, errors
+
+    def peek_budget(self, session_id: str) -> float:
+        return self._handle_for(session_id).call("peek_budget", session_id)
+
+    def finish(self, session_id: str) -> ReleaseLog:
+        log = self._handle_for(session_id).call("finish", session_id)
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        return log
+
+    def checkpoint(self, session_id: str) -> SessionState:
+        return self._handle_for(session_id).call("checkpoint", session_id)
+
+    def suspend(self, session_id: str) -> SessionState:
+        state = self._handle_for(session_id).call("suspend", session_id)
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        return state
+
+    def suspend_all(self) -> tuple[list[SessionState], list[str]]:
+        """Drain every shard (one RPC each); dead shards report losses."""
+        states: list[SessionState] = []
+        lost: list[str] = []
+        futures = [
+            (handle, self._dispatch.submit(handle.call, "suspend_all"))
+            for handle in self._handles
+        ]
+        for handle, future in futures:
+            try:
+                states.extend(future.result())
+            except ShardDownError:
+                with self._lock:
+                    lost.extend(
+                        sid
+                        for sid, shard in self._sessions.items()
+                        if shard == handle.index
+                    )
+        suspended = {state.session_id for state in states}
+        with self._lock:
+            for sid in list(self._sessions):
+                if sid in suspended or sid in lost:
+                    self._sessions.pop(sid, None)
+        return states, lost
+
+    def resume(self, state: SessionState) -> str:
+        sid = self._handle_for(state.session_id).call("resume", state)
+        with self._lock:
+            self._sessions[sid] = self.shard_of(sid)
+        return sid
+
+    def cache_stats(self) -> CacheStats | None:
+        """Verdict-cache counters summed across live shards."""
+        totals = None
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                stats = handle.call("cache_stats")
+            except ShardDownError:
+                continue
+            if stats is None:
+                continue
+            if totals is None:
+                totals = stats
+            else:
+                totals = CacheStats(
+                    hits=totals.hits + stats.hits,
+                    misses=totals.misses + stats.misses,
+                    evictions=totals.evictions + stats.evictions,
+                    size=totals.size + stats.size,
+                    maxsize=totals.maxsize + stats.maxsize,
+                )
+        return totals
+
+    def shard_stats(self) -> list[dict]:
+        """One observability row per shard (the ``stats`` op payload)."""
+        rows = []
+        for handle in self._handles:
+            if handle.alive:
+                try:
+                    rows.append(
+                        {"shard": handle.index, "alive": True, **handle.call("stats")}
+                    )
+                    continue
+                except ShardDownError:
+                    pass  # died just now; fall through to the dead row
+            with self._lock:
+                routed = sum(
+                    1 for shard in self._sessions.values() if shard == handle.index
+                )
+            rows.append(
+                {
+                    "shard": handle.index,
+                    "pid": handle.pid,
+                    "alive": False,
+                    "sessions": routed,
+                    "lost_sessions": routed,
+                }
+            )
+        return rows
+
+    def lost_session_ids(self) -> list[str]:
+        """Sessions currently routed to dead shards (unreachable)."""
+        dead = {h.index for h in self._handles if not h.alive}
+        with self._lock:
+            return [sid for sid, shard in self._sessions.items() if shard in dead]
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            handle.shutdown()
+        dispatch = getattr(self, "_dispatch", None)
+        if dispatch is not None:
+            dispatch.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: tests/benchmarks use close() or `with`
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass

@@ -90,5 +90,16 @@ class ServiceBusyError(ServiceError):
     """
 
 
+class ShardDownError(ServiceError):
+    """A shard worker process died; its sessions are unreachable.
+
+    Raised by the sharded execution backend (:mod:`repro.engine.shard`)
+    when the process owning a session's shard has exited or its RPC
+    channel broke.  Sessions routed to a dead shard keep raising this
+    typed error instead of silently disappearing; sessions on other
+    shards are unaffected.
+    """
+
+
 class ProtocolError(ServiceError, ValueError):
     """A service frame was malformed or used an unsupported version."""

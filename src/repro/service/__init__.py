@@ -15,7 +15,7 @@ bottom::
                                      per-session ordering; opt-in
                                      micro-batching (--batch-window-ms)
                                      coalescing concurrent steps onto the
-                                     engine's batched step_many pipeline
+                                     backend's batched step pipeline
            store.py               -- pluggable SessionStore (memory / JSON
                                      directory / SQLite): idle sessions are
                                      evicted via the engine's JSON
@@ -23,23 +23,40 @@ bottom::
                                      open-session count is decoupled from
                                      resident memory
            metrics.py             -- counters + latency histograms behind
-                                     the `stats` op
+                                     the `stats` op; mergeable dumps so
+                                     per-shard metrics aggregate
            client.py              -- async + sync clients
+      -> repro.engine.backend      -- ExecutionBackend: where fleet work
+                                     runs.  InProcessBackend (one
+                                     SessionManager, this process) or
+                                     ShardPool (`--shards N`: N worker
+                                     processes, each owning a full
+                                     manager, deterministic session->
+                                     shard routing, length-prefixed
+                                     pickle RPC, batched one-message-
+                                     per-shard dispatch, typed
+                                     `shard_down` crash containment)
       -> repro.engine              -- SessionManager fan-out, ReleaseSession,
                                      shared VerdictCache + mechanism ladder
       -> repro.core                -- two-world models, Theorem IV.1, QP
 
-    (stdlib only: asyncio, sqlite3, threading -- no new dependencies.)
+    (stdlib only: asyncio, sqlite3, threading, multiprocessing -- no new
+    dependencies.)
 
-Many connections multiplex onto one shared
-:class:`~repro.engine.SessionManager`; different sessions step in
-parallel on the worker pool while each individual session's steps stay
-strictly ordered, so a server-mediated release stream is bit-identical
-to driving the manager directly under the same seeds.
+Many connections multiplex onto one shared execution backend; different
+sessions step in parallel (worker threads in-process, shard processes
+with ``--shards``) while each individual session's steps stay strictly
+ordered, so a server-mediated release stream is bit-identical to
+driving the manager directly under the same seeds -- at any shard
+count.  Threads scale until one process saturates a couple of cores on
+the GIL's bookkeeping; shards scale with the machine because every
+shard owns its engine outright and the serving layer only routes.
 """
 
+from ..engine.backend import ExecutionBackend, InProcessBackend, as_backend
+from ..engine.shard import ShardPool, shard_for
 from .client import AsyncServiceClient, ServiceClient
-from .executor import SessionExecutor, StepBatcher
+from .executor import SessionExecutor, StepBatcher, default_workers
 from .metrics import LatencyHistogram, ServiceMetrics
 from .protocol import (
     PROTOCOL_VERSION,
@@ -65,6 +82,8 @@ from .store import (
 __all__ = [
     "AsyncServiceClient",
     "DirectorySessionStore",
+    "ExecutionBackend",
+    "InProcessBackend",
     "LatencyHistogram",
     "MemorySessionStore",
     "PROTOCOL_VERSION",
@@ -76,8 +95,11 @@ __all__ = [
     "ServiceMetrics",
     "SessionExecutor",
     "SessionStore",
+    "ShardPool",
     "StepBatcher",
+    "as_backend",
     "decode_frame",
+    "default_workers",
     "encode_frame",
     "error_code_for",
     "error_frame",
@@ -86,4 +108,5 @@ __all__ = [
     "parse_reply",
     "parse_request",
     "resolve_store",
+    "shard_for",
 ]

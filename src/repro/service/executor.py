@@ -31,9 +31,23 @@ from typing import Callable, TypeVar
 T = TypeVar("T")
 
 
-def default_workers() -> int:
-    """Worker count when unspecified: the machine's cores, capped."""
-    return min(32, os.cpu_count() or 4)
+def default_workers(shards: int = 0) -> int:
+    """Worker count when unspecified, aware of the shard layout.
+
+    In-process (``shards == 0``) the workers *are* the CPU concurrency:
+    one thread per core, capped.  With a sharded backend the engine CPU
+    moves into ``shards`` worker processes and the parent's threads
+    only wait on RPC replies, so spawning cores' worth of threads per
+    process would just oversubscribe the box with bookkeeping: the pool
+    shrinks so ``workers x shards`` stays near the core count (never
+    below 2 threads, so lifecycle ops don't serialize behind one slot).
+    Both numbers are reported by the ``stats`` op (``server.workers``,
+    ``server.shards``).
+    """
+    cores = os.cpu_count() or 4
+    if shards <= 0:
+        return min(32, cores)
+    return min(32, max(2, cores // shards))
 
 
 class _KeyedLocks:
@@ -73,10 +87,13 @@ class SessionExecutor:
         Thread-pool size; ``0`` runs callables inline on the event loop
         (useful for debugging and for tests that want single-threaded
         determinism of *scheduling*, not just results).
+    shards:
+        Shard-process count of the backend this executor fronts; only
+        shapes the *default* worker count (see :func:`default_workers`).
     """
 
-    def __init__(self, workers: int | None = None):
-        self._workers = default_workers() if workers is None else int(workers)
+    def __init__(self, workers: int | None = None, shards: int = 0):
+        self._workers = default_workers(shards) if workers is None else int(workers)
         self._pool = (
             ThreadPoolExecutor(
                 max_workers=self._workers, thread_name_prefix="repro-step"
@@ -163,12 +180,16 @@ class SessionExecutor:
 
 
 class StepBatcher:
-    """Coalesce concurrent step requests onto ``SessionManager.step_many``.
+    """Coalesce concurrent step requests onto one batched backend call.
 
     Opt-in (``--batch-window-ms``): the first step request of a batch
     opens a collection window; requests landing within it join; when the
     window closes, one worker-pool job steps the whole batch through the
-    engine's batched pipeline under every member session's lock.
+    execution backend's batched pipeline
+    (:meth:`~repro.engine.backend.ExecutionBackend.step_batch`) under
+    every member session's lock.  Accepts a
+    :class:`~repro.engine.SessionManager` (wrapped in-process) or any
+    :class:`~repro.engine.backend.ExecutionBackend`.
 
     Ordering and stream identity are preserved:
 
@@ -188,7 +209,13 @@ class StepBatcher:
     Failures stay per-request: each member is validated (and restored
     from the store) individually, so one bad session id or cell rejects
     that request alone; only an engine-level error inside the shared
-    ``step_many`` call fails the whole batch.
+    batched call fails that member's timestamp group.
+
+    With a sharded backend the flushed batch additionally fans out as
+    at most one RPC per shard (see
+    :meth:`repro.engine.shard.ShardPool.step_batch`), which is the
+    multi-core scaling path: one collection window's worth of steps
+    runs on every shard process in parallel.
     """
 
     def __init__(
@@ -198,7 +225,9 @@ class StepBatcher:
         window_s: float,
         restore: Callable[[str], bool] | None = None,
     ):
-        self._manager = manager
+        from ..engine.backend import as_backend
+
+        self._backend = as_backend(manager)
         self._executor = executor
         self._window_s = float(window_s)
         self._restore = restore
@@ -294,35 +323,26 @@ class StepBatcher:
         self._batches += 1
         self._steps += len(batch)
         self._max_batch = max(self._max_batch, len(batch))
-        manager = self._manager
+        backend = self._backend
         restore = self._restore
         cells = {sid: cell for sid, (cell, _) in batch.items()}
 
         def _run():
+            # Restore store-parked members individually, then hand the
+            # batch to the backend, which validates each member, groups
+            # by timestamp (and by shard when sharded) and isolates
+            # errors per member / per lockstep group.
             errors: dict[str, BaseException] = {}
             restored: dict[str, bool] = {}
-            valid: dict[str, int] = {}
+            todo: dict[str, int] = {}
             for sid, cell in cells.items():
                 try:
                     restored[sid] = bool(restore(sid)) if restore else False
-                    valid[sid] = manager.validate_step(sid, cell)
+                    todo[sid] = cell
                 except Exception as error:  # noqa: BLE001 - isolate per member
                     errors[sid] = error
-            # Step each same-timestamp group in its own call: a group's
-            # lockstep failure rolls that group back atomically, so its
-            # error is routed to exactly its members -- sessions in
-            # other groups keep their committed records instead of
-            # being told a step they completed failed.
-            groups: dict[int, dict[str, int]] = {}
-            for sid, cell in valid.items():
-                groups.setdefault(manager.session(sid).t, {})[sid] = cell
-            records: dict = {}
-            for group_cells in groups.values():
-                try:
-                    records.update(manager.step_many(group_cells))
-                except Exception as error:  # noqa: BLE001 - per-group atomic
-                    for sid in group_cells:
-                        errors[sid] = error
+            records, step_errors = backend.step_batch(todo)
+            errors.update(step_errors)
             return records, errors, restored
 
         try:

@@ -96,6 +96,34 @@ class LatencyHistogram:
             "max_ms": round(self._max * 1e3, 4),
         }
 
+    def state(self) -> dict:
+        """Raw mergeable state (bucket counts, not percentiles).
+
+        Unlike :meth:`snapshot`, this form can be summed across
+        processes without losing distribution shape -- shard workers
+        ship it over the RPC channel and the server merges via
+        :meth:`merge_state`.
+        """
+        return {
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        counts = state["counts"]
+        if len(counts) != _N_BUCKETS:
+            raise ValueError(
+                f"histogram state has {len(counts)} buckets, expected {_N_BUCKETS}"
+            )
+        for index, count in enumerate(counts):
+            self._counts[index] += int(count)
+        self._count += int(state["count"])
+        self._sum += float(state["sum"])
+        self._max = max(self._max, float(state["max"]))
+
 
 class ServiceMetrics:
     """Thread-safe counters + histograms behind the ``stats`` op."""
@@ -150,3 +178,39 @@ class ServiceMetrics:
                 "releases": dict(self._releases),
                 "step_latency": self._step_latency.snapshot(),
             }
+
+    # ------------------------------------------------------------------
+    # cross-process aggregation (the sharded backend)
+    # ------------------------------------------------------------------
+    def dump(self) -> dict:
+        """Mergeable raw state: counters + histogram bucket counts.
+
+        Shard workers return this from their ``stats`` RPC; unlike
+        :meth:`snapshot` it survives summation (percentiles recompute
+        from the merged buckets).
+        """
+        with self._lock:
+            return {
+                "requests": dict(self._requests),
+                "errors": dict(self._errors),
+                "sessions": dict(self._sessions),
+                "releases": dict(self._releases),
+                "step_latency": self._step_latency.state(),
+            }
+
+    def merge_dump(self, dump: dict) -> None:
+        """Fold another instance's :meth:`dump` into this one."""
+        with self._lock:
+            self._requests.update(Counter(dump.get("requests", {})))
+            self._errors.update(Counter(dump.get("errors", {})))
+            self._sessions.update(Counter(dump.get("sessions", {})))
+            self._releases.update(Counter(dump.get("releases", {})))
+            self._step_latency.merge_state(dump["step_latency"])
+
+    @classmethod
+    def aggregate(cls, dumps) -> "ServiceMetrics":
+        """One metrics instance merging many :meth:`dump` payloads."""
+        merged = cls()
+        for dump in dumps:
+            merged.merge_dump(dump)
+        return merged

@@ -51,6 +51,7 @@ from ..errors import (
     ServiceBusyError,
     ServiceError,
     SessionError,
+    ShardDownError,
     SolverError,
     ValidationError,
 )
@@ -70,6 +71,7 @@ SESSION_OPS = frozenset({"step", "peek_budget", "finish", "checkpoint"})
 #: back (most-derived first).
 ERROR_CODES: dict[str, type[ReproError]] = {
     "busy": ServiceBusyError,
+    "shard_down": ShardDownError,
     "protocol": ProtocolError,
     "session": SessionError,
     "quantification": QuantificationError,

@@ -1,4 +1,10 @@
-"""The asyncio TCP server multiplexing clients onto one SessionManager.
+"""The asyncio TCP server multiplexing clients onto one execution backend.
+
+The backend is either the in-process :class:`SessionManager` adapter
+(single process, worker-thread offload) or a
+:class:`~repro.engine.shard.ShardPool` of worker processes
+(``repro serve --shards N``), selected by the CLI; the server's
+admission, ordering, eviction and drain logic is identical for both.
 
 Concurrency model
 -----------------
@@ -33,8 +39,15 @@ import signal
 import uuid
 from dataclasses import dataclass
 
-from ..engine.manager import SessionManager
-from ..errors import ProtocolError, ReproError, ServiceBusyError, SessionError
+from ..engine.backend import as_backend
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServiceBusyError,
+    ServiceError,
+    SessionError,
+    ShardDownError,
+)
 from .executor import SessionExecutor, StepBatcher
 from .metrics import ServiceMetrics
 from .protocol import (
@@ -65,24 +78,59 @@ class ServerConfig:
     batch_window_ms: float = 0.0
 
 
+def _merge_cache_rows(rows: list[dict]) -> dict | None:
+    """Fleet-wide verdict-cache counters from per-shard stats rows."""
+    merged = {"hits": 0, "misses": 0, "size": 0, "evictions": 0}
+    seen = False
+    for row in rows:
+        cache = row.get("verdict_cache")
+        if cache is None:
+            continue
+        seen = True
+        for key in merged:
+            merged[key] += cache[key]
+    if not seen:
+        return None
+    total = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = round(merged["hits"] / total, 6) if total else 0.0
+    return merged
+
+
 class ReleaseServer:
-    """Serve one shared :class:`SessionManager` over JSONL/TCP."""
+    """Serve one shared execution backend over JSONL/TCP.
+
+    ``engine`` may be a :class:`~repro.engine.SessionManager` (wrapped
+    into the in-process backend, the historical single-process path) or
+    any :class:`~repro.engine.backend.ExecutionBackend` -- notably a
+    :class:`~repro.engine.shard.ShardPool`, which spreads the fleet
+    over N worker processes for near-linear core scaling.
+    """
 
     def __init__(
         self,
-        manager: SessionManager,
+        engine,
         store: SessionStore | None = None,
         config: ServerConfig | None = None,
         metrics: ServiceMetrics | None = None,
     ):
-        self._manager = manager
+        self._backend = as_backend(engine)
         self._store = store if store is not None else MemorySessionStore()
         self._config = config if config is not None else ServerConfig()
         self._metrics = metrics if metrics is not None else ServiceMetrics()
-        self._executor = SessionExecutor(self._config.workers)
+        if self._backend.remote and self._config.workers == 0:
+            # Inline execution would run blocking shard RPCs on the
+            # event loop; one RPC queued behind a shard's in-flight
+            # batch would stall every connection.
+            raise ServiceError(
+                "workers=0 (inline) is incompatible with a sharded backend; "
+                "use workers >= 1 or shards=0"
+            )
+        self._executor = SessionExecutor(
+            self._config.workers, shards=self._backend.n_shards
+        )
         self._batcher = (
             StepBatcher(
-                manager,
+                self._backend,
                 self._executor,
                 self._config.batch_window_ms / 1e3,
                 restore=self._restore_if_suspended,
@@ -163,19 +211,24 @@ class ReleaseServer:
         await asyncio.gather(*self._request_tasks, return_exceptions=True)
         if self._server is not None:
             await self._server.wait_closed()
-        checkpointed = 0
-        for sid in list(self._manager.session_ids):
-            self._store.put(self._manager.suspend(sid))
-            checkpointed += 1
+        # Round-trip every resident session's state out of its owning
+        # backend (shard workers included) into the store.  Sessions on
+        # a dead shard cannot be checkpointed; they are counted, never
+        # silently dropped.
+        states, lost = self._backend.suspend_all()
+        for state in states:
+            self._store.put(state)
         for writer in list(self._writers):
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
         self._writers.clear()
         self._executor.shutdown()
+        self._backend.close()
         self._drain_summary = {
-            "sessions_checkpointed": checkpointed,
+            "sessions_checkpointed": len(states),
             "sessions_open": len(self._open),
+            "sessions_lost": len(lost),
         }
         self._drained.set()
         return self._drain_summary
@@ -292,7 +345,7 @@ class ReleaseServer:
             return await self._op_finish(request)
         if request.op == "checkpoint":
             return await self._op_checkpoint(request)
-        return self._op_stats()
+        return await self._op_stats()
 
     async def _op_open(self, request: Request) -> dict:
         if self._draining.is_set():
@@ -305,13 +358,19 @@ class ReleaseServer:
                 f"open-session cap reached ({self._config.max_sessions}); "
                 "finish sessions or retry later"
             )
-        await self._executor.run_inline(
-            sid, lambda: self._manager.open(sid, rng=request.seed)
-        )
+        seed = request.seed
+        if self._backend.remote:
+            # An RPC can block behind the shard's in-flight batch;
+            # never run it on the event loop.
+            await self._executor.run(sid, lambda: self._backend.open(sid, seed))
+        else:
+            await self._executor.run_inline(
+                sid, lambda: self._backend.open(sid, seed)
+            )
         self._touch(sid)
         self._metrics.record_session_event("opened")
         await self._maybe_evict()
-        return {"session": sid, "horizon": self._manager.config.horizon}
+        return {"session": sid, "horizon": self._backend.horizon}
 
     async def _op_step(self, request: Request) -> dict:
         sid, cell = request.session, request.cell
@@ -323,11 +382,10 @@ class ReleaseServer:
 
             def _step():
                 restored = self._restore_if_suspended(sid)
-                # Same upfront validation the batched path applies, so
-                # both serving modes reject a bad request with the same
+                # The backend validates before stepping, so both
+                # serving modes reject a bad request with the same
                 # typed error code.
-                self._manager.validate_step(sid, cell)
-                return restored, self._manager.step(sid, cell)
+                return restored, self._backend.step(sid, cell)
 
             restored, record = await self._executor.run(sid, _step)
         if restored:
@@ -345,7 +403,7 @@ class ReleaseServer:
 
         def _peek():
             restored = self._restore_if_suspended(sid)
-            return restored, self._manager.peek_budget(sid)
+            return restored, self._backend.peek_budget(sid)
 
         restored, budget = await self._executor.run(sid, _peek)
         if restored:
@@ -362,7 +420,7 @@ class ReleaseServer:
 
         def _finish():
             restored = self._restore_if_suspended(sid)
-            log = self._manager.finish(sid)
+            log = self._backend.finish(sid)
             self._store.delete(sid)
             return restored, log
 
@@ -387,7 +445,7 @@ class ReleaseServer:
 
         def _checkpoint():
             restored = self._restore_if_suspended(sid)
-            state = self._manager.checkpoint(sid)
+            state = self._backend.checkpoint(sid)
             self._store.put(state)
             return restored, state
 
@@ -401,36 +459,67 @@ class ReleaseServer:
             "state": state.to_json(),
         }
 
-    def _op_stats(self) -> dict:
+    async def _op_stats(self) -> dict:
+        if self._backend.remote:
+            # Shard RPCs can wait behind an in-flight batch; gather the
+            # backend's numbers off the event loop.
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self._collect_stats
+            )
+        return self._collect_stats()
+
+    def _collect_stats(self) -> dict:
         snapshot = self._metrics.snapshot()
+        # One RPC round per shard: the per-shard rows already carry each
+        # worker's verdict-cache counters, so the aggregate is derived
+        # from them instead of a second cache_stats round trip.
+        shard_rows = self._backend.shard_stats()
         snapshot["sessions"].update(
             open=len(self._open),
-            resident=len(self._manager),
+            resident=self._backend.resident_count(),
             stored=len(self._store),
         )
-        cache = self._manager.cache_stats()
-        snapshot["verdict_cache"] = (
-            None
-            if cache is None
-            else {
-                "hits": cache.hits,
-                "misses": cache.misses,
-                "hit_rate": round(cache.hit_rate, 6),
-                "size": cache.size,
-                "evictions": cache.evictions,
-            }
-        )
+        if shard_rows is None:
+            cache = self._backend.cache_stats()
+            snapshot["verdict_cache"] = (
+                None
+                if cache is None
+                else {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "hit_rate": round(cache.hit_rate, 6),
+                    "size": cache.size,
+                    "evictions": cache.evictions,
+                }
+            )
+        else:
+            snapshot["verdict_cache"] = _merge_cache_rows(shard_rows)
         snapshot["server"] = {
             "draining": self._draining.is_set(),
             "connections": len(self._writers),
             "workers": self._executor.workers,
+            "shards": self._backend.n_shards,
             "max_sessions": self._config.max_sessions,
             "max_resident": self._config.max_resident,
         }
         snapshot["batching"] = (
             None if self._batcher is None else self._batcher.stats()
         )
+        snapshot["shards"] = self._shard_section(shard_rows)
         return snapshot
+
+    def _shard_section(self, rows: list[dict] | None) -> dict | None:
+        """Per-shard counters + their aggregate (``None`` in-process)."""
+        if rows is None:
+            return None
+        dumps = [row["metrics"] for row in rows if row.get("alive")]
+        aggregate = ServiceMetrics.aggregate(dumps).snapshot() if dumps else None
+        return {
+            "count": self._backend.n_shards,
+            "alive": sum(1 for row in rows if row.get("alive")),
+            "per_shard": rows,
+            "aggregate": aggregate,
+        }
 
     # ------------------------------------------------------------------
     # residency management
@@ -439,15 +528,17 @@ class ReleaseServer:
         """Bring a suspended session back under its executor lock.
 
         Runs on a worker thread; only touches the (thread-safe) store
-        and the manager entry for ``sid``, which the per-session lock
-        protects.
+        and the backend entry for ``sid``, which the per-session lock
+        protects.  With a sharded backend the state round-trips into
+        the owning shard -- routing is a pure hash of the id, so a
+        checkpoint taken under any shard count restores correctly.
         """
-        if sid in self._manager:
+        if self._backend.contains(sid):
             return False
         state = self._store.get(sid)
         if state is None:
             raise SessionError(f"no open session {sid!r}")
-        self._manager.resume(state)
+        self._backend.resume(state)
         self._store.delete(sid)
         return True
 
@@ -459,19 +550,27 @@ class ReleaseServer:
 
     async def _maybe_evict(self) -> None:
         """Suspend LRU idle sessions past the residency cap."""
-        while len(self._manager) > self._config.max_resident:
+        while self._backend.resident_count() > self._config.max_resident:
             victim = None
             for sid in self._resident_lru:
-                if sid in self._manager and self._executor.session_idle(sid):
+                if self._backend.contains(sid) and self._executor.session_idle(sid):
                     victim = sid
                     break
             if victim is None:
                 return  # everything resident is busy; try after next op
 
             def _suspend(sid=victim):
-                if sid not in self._manager:
+                if not self._backend.contains(sid):
                     return False  # raced with finish/evict; nothing to do
-                self._store.put(self._manager.suspend(sid))
+                try:
+                    self._store.put(self._backend.suspend(sid))
+                except ShardDownError:
+                    # The victim's shard died: it cannot be evicted (or
+                    # served), but that is the *victim's* loss -- never
+                    # an error for the unrelated request that happened
+                    # to trigger eviction.  Dropping it from the LRU
+                    # below keeps the scan from re-picking it.
+                    return False
                 return True
 
             evicted = await self._executor.run(victim, _suspend)

@@ -97,3 +97,49 @@ class TestServeProcess:
             proc2.send_signal(signal.SIGINT)
             proc2.communicate(timeout=30)
             assert proc2.returncode == 0
+
+
+class TestShardedServeProcess:
+    def test_sharded_serve_per_shard_stats_and_drain(self, tmp_path):
+        """``--shards 2``: real worker processes, per-shard counters."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--rows", "4", "--cols", "4", "--horizon", "6",
+                "--event-window", "2", "4", "--shards", "2",
+                "--store", "dir", "--store-path", str(tmp_path / "sessions"),
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            banner = json.loads(proc.stdout.readline())
+            assert banner["op"] == "serving"
+            assert banner["shards"] == 2
+            with ServiceClient("127.0.0.1", banner["port"]) as client:
+                for i in range(6):
+                    client.open(f"u{i}", seed=i)
+                for t in range(3):
+                    for i in range(6):
+                        record = client.step(f"u{i}", (t + i) % 16)
+                        assert record["t"] == t + 1
+                stats = client.stats()
+                assert stats["server"]["shards"] == 2
+                shards = stats["shards"]
+                assert shards["count"] == 2 and shards["alive"] == 2
+                assert (
+                    sum(r["metrics"]["requests"]["step"] for r in shards["per_shard"])
+                    == 18
+                )
+                assert shards["aggregate"]["step_latency"]["count"] == 18
+        finally:
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=30)
+            assert proc.returncode == 0, err
+        drained = json.loads(out.strip().splitlines()[-1])
+        assert drained["op"] == "drained"
+        assert drained["sessions_checkpointed"] == 6
+        assert drained["sessions_lost"] == 0
+        # all six sessions really were parked on disk, through the shards
+        assert len(list((tmp_path / "sessions").glob("*.json"))) == 6

@@ -1,0 +1,317 @@
+"""The sharded execution backend: routing, identity, crash containment.
+
+The load-bearing guarantees of :mod:`repro.engine.shard`:
+
+* session->shard routing is a *stable* hash -- identical across
+  processes, runs and machines, never salted;
+* a :class:`ShardPool` produces release streams bit-identical to a
+  single in-process :class:`SessionManager` under the same seeds, for
+  solo steps and for batched waves alike;
+* one worker's death surfaces as typed ``ShardDownError`` for exactly
+  its sessions while the other shards keep serving;
+* checkpoints round-trip through the owning shard and restore correctly
+  into a pool with a *different* shard count (routing re-derives from
+  the id alone).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    InProcessBackend,
+    SessionBuilder,
+    SessionManager,
+    ShardPool,
+    shard_for,
+)
+from repro.engine.backend import as_backend
+from repro.errors import ServiceError, SessionError, ShardDownError
+from repro.events.events import PresenceEvent
+from repro.geo.grid import GridMap
+from repro.geo.regions import Region
+from repro.lppm.planar_laplace import PlanarLaplaceMechanism
+from repro.markov.simulate import sample_trajectory
+from repro.markov.synthetic import gaussian_kernel_transitions
+
+HORIZON = 6
+N_CELLS = 16
+
+
+def make_builder() -> SessionBuilder:
+    grid = GridMap(4, 4, cell_size_km=1.0)
+    chain = gaussian_kernel_transitions(grid, sigma=1.0)
+    initial = np.full(N_CELLS, 1.0 / N_CELLS)
+    return (
+        SessionBuilder()
+        .with_grid(grid)
+        .with_chain(chain)
+        .protecting(PresenceEvent(Region.from_range(N_CELLS, 0, 5), start=2, end=4))
+        .with_mechanism(PlanarLaplaceMechanism(grid, 0.5))
+        .with_epsilon(0.5)
+        .with_fixed_prior(initial)
+        .with_horizon(HORIZON)
+    )
+
+
+def make_manager() -> SessionManager:
+    return SessionManager(make_builder())
+
+
+def make_trajectories(n_sessions: int, seed: int = 7) -> dict[str, list[int]]:
+    chain = make_builder().build_config().chain
+    initial = np.full(N_CELLS, 1.0 / N_CELLS)
+    rng = np.random.default_rng(seed)
+    return {
+        f"u{i}": [
+            int(c)
+            for c in sample_trajectory(chain, HORIZON, initial=initial, rng=rng)
+        ]
+        for i in range(n_sessions)
+    }
+
+
+def reference_records(trajectories: dict[str, list[int]]) -> dict[str, list[tuple]]:
+    """The same streams driven on one in-process manager."""
+    manager = make_manager()
+    for i, name in enumerate(trajectories):
+        manager.open(name, rng=1000 + i)
+    out = {
+        name: [strip(manager.step(name, cell)) for cell in trajectory]
+        for name, trajectory in trajectories.items()
+    }
+    manager.finish_all()
+    return out
+
+
+def strip(record) -> tuple:
+    """A release record minus wall-clock (identical math, not time)."""
+    return (
+        record.t,
+        record.true_cell,
+        record.released_cell,
+        record.budget,
+        record.n_attempts,
+        record.conservative,
+        record.forced_uniform,
+    )
+
+
+@pytest.fixture
+def pool():
+    with ShardPool(make_manager, 2) as pool:
+        yield pool
+
+
+class TestRouting:
+    def test_shard_for_is_stable_across_calls_and_processes(self):
+        # blake2b, not hash(): these values must never change, or
+        # checkpoints taken by one server version would re-route under
+        # the next.  (Frozen expectations, deliberately.)
+        assert [shard_for(f"u{i}", 4) for i in range(6)] == [3, 2, 2, 3, 2, 0]
+        assert shard_for("session-with-a-long-id", 7) == shard_for(
+            "session-with-a-long-id", 7
+        )
+
+    def test_shard_for_spreads_sessions(self):
+        counts = [0] * 4
+        for i in range(1000):
+            counts[shard_for(f"user-{i}", 4)] += 1
+        assert min(counts) > 150  # roughly uniform, no starved shard
+
+    def test_shard_for_rejects_bad_count(self):
+        with pytest.raises(ServiceError):
+            shard_for("u1", 0)
+
+    def test_pool_routes_where_shard_for_says(self, pool):
+        for i in range(8):
+            pool.open(f"u{i}", seed=i)
+        rows = pool.shard_stats()
+        expected = [0, 0]
+        for i in range(8):
+            expected[shard_for(f"u{i}", 2)] += 1
+        assert [row["sessions"] for row in rows] == expected
+
+
+class TestBitIdentity:
+    def test_solo_steps_match_in_process_manager(self, pool):
+        trajectories = make_trajectories(6)
+        reference = reference_records(trajectories)
+        for i, name in enumerate(trajectories):
+            pool.open(name, seed=1000 + i)
+        for name, trajectory in trajectories.items():
+            sharded = [strip(pool.step(name, cell)) for cell in trajectory]
+            assert sharded == reference[name]
+
+    def test_step_batch_matches_in_process_manager(self, pool):
+        trajectories = make_trajectories(6)
+        reference = reference_records(trajectories)
+        for i, name in enumerate(trajectories):
+            pool.open(name, seed=1000 + i)
+        streams = {name: [] for name in trajectories}
+        for t in range(HORIZON):
+            records, errors = pool.step_batch(
+                {name: trajectory[t] for name, trajectory in trajectories.items()}
+            )
+            assert errors == {}
+            for name, record in records.items():
+                streams[name].append(strip(record))
+        assert streams == reference
+
+    def test_finish_log_and_peek_match(self, pool):
+        trajectory = make_trajectories(1)["u0"]
+        pool.open("u0", seed=1000)
+        manager = make_manager()
+        manager.open("u0", rng=1000)
+        for cell in trajectory[:3]:
+            assert pool.peek_budget("u0") == manager.peek_budget("u0")
+            pool.step("u0", cell)
+            manager.step("u0", cell)
+        sharded_log = pool.finish("u0")
+        direct_log = manager.finish("u0")
+        assert [strip(r) for r in sharded_log.records] == [
+            strip(r) for r in direct_log.records
+        ]
+        assert sharded_log.average_budget == direct_log.average_budget
+        assert not pool.contains("u0")
+
+    def test_batch_isolates_bad_members(self, pool):
+        pool.open("u0", seed=1)
+        pool.open("u1", seed=2)
+        records, errors = pool.step_batch({"u0": 3, "u1": 999, "ghost": 0})
+        assert set(records) == {"u0"}
+        assert isinstance(errors["u1"], SessionError)
+        assert isinstance(errors["ghost"], SessionError)
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("restore_shards", [1, 3])
+    def test_restore_into_different_shard_count(self, restore_shards):
+        """Suspend under 2 shards, resume under N != 2, bit-identical."""
+        trajectories = make_trajectories(5)
+        reference = reference_records(trajectories)
+        split = HORIZON // 2
+        with ShardPool(make_manager, 2) as first:
+            for i, name in enumerate(trajectories):
+                first.open(name, seed=1000 + i)
+            streams = {
+                name: [strip(first.step(name, cell)) for cell in trajectory[:split]]
+                for name, trajectory in trajectories.items()
+            }
+            states, lost = first.suspend_all()
+            assert lost == []
+            assert sorted(s.session_id for s in states) == sorted(trajectories)
+            assert first.resident_count() == 0
+        with ShardPool(make_manager, restore_shards) as second:
+            for state in states:
+                assert second.resume(state) == state.session_id
+            for name, trajectory in trajectories.items():
+                streams[name].extend(
+                    strip(second.step(name, cell)) for cell in trajectory[split:]
+                )
+        assert streams == reference
+
+    def test_checkpoint_roundtrips_through_owning_shard(self, pool):
+        pool.open("u0", seed=5)
+        pool.step("u0", 3)
+        state = pool.checkpoint("u0")
+        assert state.session_id == "u0"
+        assert state.committed_t == 1
+        assert pool.contains("u0")  # checkpoint does not evict
+        # a suspend does evict, and the state resumes elsewhere
+        state = pool.suspend("u0")
+        assert not pool.contains("u0")
+        manager = make_manager()
+        manager.resume(state)
+        manager.step("u0", 4)  # continues without error
+
+
+class TestCrashContainment:
+    def test_dead_shard_raises_typed_error_others_serve(self, pool):
+        # Find two sessions on different shards.
+        on_zero = next(f"s{i}" for i in range(100) if shard_for(f"s{i}", 2) == 0)
+        on_one = next(f"s{i}" for i in range(100) if shard_for(f"s{i}", 2) == 1)
+        pool.open(on_zero, seed=1)
+        pool.open(on_one, seed=2)
+        pool._handles[0]._process.kill()
+        pool._handles[0]._process.join(10)
+
+        with pytest.raises(ShardDownError):
+            pool.step(on_zero, 3)
+        # ... and keeps raising: the loss is never silent
+        with pytest.raises(ShardDownError):
+            pool.peek_budget(on_zero)
+        assert pool.lost_session_ids() == [on_zero]
+        # the surviving shard is unaffected
+        record = pool.step(on_one, 3)
+        assert record.t == 1
+
+        rows = pool.shard_stats()
+        assert rows[0]["alive"] is False
+        assert rows[0]["lost_sessions"] == 1
+        assert rows[1]["alive"] is True
+
+    def test_batch_with_dead_shard_fails_only_its_members(self, pool):
+        members = {}
+        for i in range(100):
+            sid = f"s{i}"
+            members.setdefault(shard_for(sid, 2), []).append(sid)
+            if all(len(v) >= 2 for v in members.values()) and len(members) == 2:
+                break
+        cells = {}
+        for shard, sids in members.items():
+            for sid in sids[:2]:
+                pool.open(sid, seed=hash(sid) % 1000)
+                cells[sid] = 3
+        pool._handles[1]._process.kill()
+        pool._handles[1]._process.join(10)
+        records, errors = pool.step_batch(cells)
+        assert set(records) == set(members[0][:2])
+        assert set(errors) == set(members[1][:2])
+        assert all(isinstance(e, ShardDownError) for e in errors.values())
+
+    def test_suspend_all_reports_lost_sessions(self, pool):
+        on_zero = next(f"s{i}" for i in range(100) if shard_for(f"s{i}", 2) == 0)
+        on_one = next(f"s{i}" for i in range(100) if shard_for(f"s{i}", 2) == 1)
+        pool.open(on_zero, seed=1)
+        pool.open(on_one, seed=2)
+        pool._handles[1]._process.kill()
+        pool._handles[1]._process.join(10)
+        states, lost = pool.suspend_all()
+        assert [s.session_id for s in states] == [on_zero]
+        assert lost == [on_one]
+
+    def test_factory_failure_surfaces_at_spawn(self):
+        def bad_factory():
+            raise ValueError("no engine for you")
+
+        with pytest.raises(ValueError, match="no engine for you"):
+            ShardPool(bad_factory, 2)
+
+
+class TestBackendAdapter:
+    def test_as_backend_wraps_manager_and_passes_backends(self):
+        manager = make_manager()
+        backend = as_backend(manager)
+        assert isinstance(backend, InProcessBackend)
+        assert as_backend(backend) is backend
+        assert backend.n_shards == 0
+        assert backend.remote is False
+        assert backend.horizon == HORIZON
+        assert backend.n_states == N_CELLS
+
+    def test_as_backend_rejects_other_types(self):
+        with pytest.raises(SessionError):
+            as_backend(object())
+
+    def test_in_process_backend_round_trip(self):
+        backend = as_backend(make_manager())
+        backend.open("u0", seed=3)
+        assert backend.contains("u0")
+        record = backend.step("u0", 2)
+        assert record.t == 1
+        states, lost = backend.suspend_all()
+        assert lost == [] and len(states) == 1
+        assert backend.resident_count() == 0
+        backend.resume(states[0])
+        assert backend.session_ids() == ["u0"]
+        assert len(backend.finish("u0")) == 1

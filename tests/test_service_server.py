@@ -132,7 +132,7 @@ class TestEndToEndEquivalence:
             stats = await client.stats()
             # the eviction LRU tracks residents only: suspended sessions
             # must not be rescanned on every eviction pass
-            assert set(server._resident_lru) <= set(server._manager.session_ids)
+            assert set(server._resident_lru) <= set(server._backend.session_ids())
             assert len(server._open) == len(trajectories)
             await client.close()
             await server.drain()

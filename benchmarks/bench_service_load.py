@@ -34,6 +34,13 @@ from repro.experiments.report import format_table
 from repro.experiments.scenarios import synthetic_scenario
 from repro.lppm.planar_laplace import PlanarLaplaceMechanism
 from repro.markov.simulate import sample_trajectory
+from repro.scenario import (
+    ChainSpec,
+    EventSpec,
+    GridSpec,
+    MechanismSpec,
+    ScenarioSpec,
+)
 from repro.service import AsyncServiceClient, ReleaseServer, ServerConfig
 
 HORIZON = 12
@@ -51,6 +58,9 @@ MAX_CONNECTIONS = 32
 #: measure oversubscription.
 SHARD_SWEEP = (0, 2, 4, 8)
 SHARDED_SESSIONS, SHARDED_STEPS = 1000, 4
+#: the mixed-tenant point: 1000 sessions spread over K distinct specs
+#: (--mixed-scenarios K) vs the same fleet on one spec.
+MIXED_SESSIONS, MIXED_STEPS = 1000, 4
 
 
 @pytest.fixture(scope="module")
@@ -227,6 +237,155 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
             "loads": [list(load) for load in loads],
             "batched_loads": [list(load) for load in BATCHED_LOADS],
             "batch_window_ms": BATCH_WINDOW_MS,
+        },
+        rows=rows,
+    )
+
+
+def _tenant_spec(k: int) -> ScenarioSpec:
+    """Tenant ``k``'s spec: the bench setting at a distinct epsilon.
+
+    Epsilon steps of 0.01 keep solver work statistically identical
+    across tenants while guaranteeing distinct digests, so the mixed
+    point isolates the *interning* overhead (separate cores, ladders,
+    caches) rather than workload differences.
+    """
+    return ScenarioSpec(
+        grid=GridSpec(rows=6, cols=6),
+        chain=ChainSpec.gaussian(sigma=1.0),
+        events=(EventSpec.presence_range(0, 9, start=4, end=8),),
+        mechanism=MechanismSpec("planar_laplace", {"alpha": 0.5}),
+        epsilon=0.4 + 0.01 * k,
+        horizon=HORIZON,
+        prior_mode="fixed",
+    )
+
+
+async def _drive_mixed(n_sessions: int, n_steps: int, n_specs: int, seed: int):
+    """One mixed-tenant load point: sessions round-robin over K specs."""
+    specs = [_tenant_spec(k) for k in range(n_specs)]
+    compiled = specs[0].compile()
+    rng = np.random.default_rng(seed)
+    trajectories = [
+        sample_trajectory(
+            compiled.chain, n_steps, initial=compiled.initial, rng=rng
+        )
+        for _ in range(n_sessions)
+    ]
+    server = ReleaseServer(
+        SessionManager(specs[0]),
+        config=ServerConfig(
+            max_sessions=n_sessions + 8, max_resident=n_sessions + 8
+        ),
+        scenarios=specs,
+    )
+    await server.start()
+    clients = [
+        await AsyncServiceClient.connect("127.0.0.1", server.port)
+        for _ in range(min(n_sessions, MAX_CONNECTIONS))
+    ]
+    by_session = [clients[i % len(clients)] for i in range(n_sessions)]
+    spec_json = [spec.to_json() for spec in specs]
+    latencies: list[float] = []
+
+    async def open_one(i: int):
+        await by_session[i].open(
+            f"u{i}", seed=seed + i, scenario=spec_json[i % n_specs]
+        )
+
+    async def step_one(i: int, t: int):
+        start = time.perf_counter()
+        await by_session[i].step(f"u{i}", int(trajectories[i][t]))
+        latencies.append(time.perf_counter() - start)
+
+    await asyncio.gather(*[open_one(i) for i in range(n_sessions)])
+    wall_start = time.perf_counter()
+    for t in range(n_steps):
+        await asyncio.gather(*[step_one(i, t) for i in range(n_sessions)])
+    wall = time.perf_counter() - wall_start
+
+    stats = await clients[0].stats()
+    await asyncio.gather(*[c.finish(f"u{i}") for i, c in enumerate(by_session)])
+    for client in clients:
+        await client.close()
+    await server.drain()
+
+    counters = stats["scenarios"]["counters"]
+    for k, spec in enumerate(specs):
+        row = counters[spec.digest()]
+        expected = len(range(k, n_sessions, n_specs))
+        assert row["opened"] == expected, (k, row)
+        assert row["steps"] == expected * n_steps, (k, row)
+    samples = np.asarray(latencies)
+    cache = stats["verdict_cache"]
+    return {
+        "mode": f"mixed-{n_specs}",
+        "n_scenarios": n_specs,
+        "sessions": n_sessions,
+        "steps": int(samples.size),
+        "wall_s": round(wall, 4),
+        "steps_per_s": round(samples.size / wall, 1),
+        "p50_ms": round(float(np.percentile(samples, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
+        "cache_hit_rate": cache["hit_rate"] if cache else None,
+    }
+
+
+def test_bench_service_load_mixed(save_result, save_json, request):
+    """Mixed-tenant serving: K distinct specs across one 1000-session fleet.
+
+    The baseline is the *same* fleet with every session on one spec
+    (opened through the same inline-scenario path, so the comparison
+    isolates multi-core interning, not protocol differences).  Interning
+    shares models per digest, so K tenants should cost roughly K model
+    builds and K separate verdict caches -- the committed JSON shows the
+    throughput ratio staying near 1 (the ~10% band on a quiet machine);
+    the assertion bound is looser to keep noisy CI runners green.
+    """
+    n_specs = int(request.config.getoption("--mixed-scenarios"))
+    single = asyncio.run(_drive_mixed(MIXED_SESSIONS, MIXED_STEPS, 1, seed=0))
+    mixed = asyncio.run(_drive_mixed(MIXED_SESSIONS, MIXED_STEPS, n_specs, seed=0))
+    rows = [single, mixed]
+    ratio = round(mixed["steps_per_s"] / single["steps_per_s"], 3)
+    assert mixed["steps_per_s"] > 0
+    assert ratio >= 0.5, (
+        f"mixed-{n_specs} throughput collapsed to {ratio}x of single-scenario "
+        f"({mixed['steps_per_s']} vs {single['steps_per_s']} steps/s)"
+    )
+
+    columns = [
+        "mode", "n_scenarios", "sessions", "steps", "wall_s", "steps_per_s",
+        "p50_ms", "p99_ms", "cache_hit_rate",
+    ]
+    comparison = (
+        f"{MIXED_SESSIONS}-session throughput: single-scenario "
+        f"{single['steps_per_s']} steps/s -> {n_specs} mixed scenarios "
+        f"{mixed['steps_per_s']} steps/s ({ratio}x; interning shares models "
+        "per digest, so the gap is per-scenario cache warm-up, not per-session cost)"
+    )
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"repro serve mixed scenarios (6x6 map, T={HORIZON}, 0.5-PLM, "
+            f"eps=0.4+0.01k fixed prior, {MIXED_SESSIONS} sessions x "
+            f"{MIXED_STEPS} steps, inline-scenario opens)"
+        ),
+    )
+    save_result("bench_service_load_mixed", table + "\n\n" + comparison)
+    save_json(
+        "bench_service_load_mixed",
+        params={
+            "rows_cols": [6, 6],
+            "horizon": HORIZON,
+            "alpha": 0.5,
+            "prior_mode": "fixed",
+            "connections_max": MAX_CONNECTIONS,
+            "sessions": MIXED_SESSIONS,
+            "steps_per_session": MIXED_STEPS,
+            "mixed_scenarios": n_specs,
+            "throughput_ratio": ratio,
+            "comparison": comparison,
         },
         rows=rows,
     )

@@ -29,6 +29,13 @@ def pytest_addoption(parser):
         default=False,
         help="use the paper's run counts (slow) instead of quick defaults",
     )
+    parser.addoption(
+        "--mixed-scenarios",
+        type=int,
+        default=4,
+        help="distinct ScenarioSpecs in the mixed-tenant service load "
+        "benchmark (bench_service_load.py::test_bench_service_load_mixed)",
+    )
 
 
 @pytest.fixture(scope="session")

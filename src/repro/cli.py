@@ -10,6 +10,8 @@ Three modes:
   record per fix to stdout.  With ``--checkpoint-dir`` a SIGINT
   checkpoints every open session to disk and exits 0; the next
   invocation with the same directory resumes them mid-trajectory.
+  ``--scenario FILE`` swaps the flag-built setting for a declarative
+  :class:`~repro.scenario.ScenarioSpec` JSON file.
 * ``repro serve`` -- the concurrent network service: an asyncio TCP
   server (:mod:`repro.service`) multiplexing many client connections
   onto one shared execution backend, with admission control, a worker
@@ -35,7 +37,7 @@ import json
 import sys
 import zlib
 
-from .engine import SessionBuilder, SessionManager
+from .engine import SessionManager
 from .errors import ReproError
 from .experiments.runners import (
     run_budget_over_time,
@@ -44,7 +46,14 @@ from .experiments.runners import (
     run_utility_sweep,
 )
 from .experiments.scenarios import geolife_scenario, synthetic_scenario
-from .lppm.planar_laplace import PlanarLaplaceMechanism
+from .scenario import (
+    CalibrationSpec,
+    ChainSpec,
+    EventSpec,
+    GridSpec,
+    MechanismSpec,
+    ScenarioSpec,
+)
 
 
 def _fig_budget_over_time(args, window: tuple[int, int], label: str) -> str:
@@ -92,32 +101,44 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="shared verdict-cache capacity (0 disables)")
 
 
-def _stream_manager(args) -> SessionManager:
-    """Build the shared engine from the stream/serve flags."""
-    scenario = synthetic_scenario(
-        n_rows=args.rows, n_cols=args.cols, sigma=args.sigma, horizon=args.horizon
-    )
-    builder = (
-        SessionBuilder()
-        .with_grid(scenario.grid)
-        .with_chain(scenario.chain)
-        .protecting(
-            scenario.presence_event(
-                args.event_cells[0], args.event_cells[1],
-                args.event_window[0], args.event_window[1],
-            )
-        )
-        .with_epsilon(args.epsilon)
-        .with_horizon(args.horizon)
-        .with_calibration(args.calibration)
-    )
-    if args.prior_mode == "fixed":
-        builder.with_fixed_prior(scenario.initial)
+def _spec_from_flags(args) -> ScenarioSpec:
+    """The stream/serve engine flags as a declarative ScenarioSpec.
+
+    This is the flag surface's *definition*: stream and serve compile
+    the same spec a ``--scenario FILE`` could have carried, so the CLI
+    is a thin wrapper over :mod:`repro.scenario` and flag-built servers
+    intern models under a real spec digest.
+    """
     if args.mechanism == "delta":
-        builder.with_delta_location_set(args.alpha, args.delta, scenario.initial)
+        mechanism = MechanismSpec(
+            "delta_location_set", {"alpha": args.alpha, "delta": args.delta}
+        )
     else:
-        builder.with_mechanism(PlanarLaplaceMechanism(scenario.grid, args.alpha))
-    return SessionManager(builder, cache_size=args.cache_size)
+        mechanism = MechanismSpec("planar_laplace", {"alpha": args.alpha})
+    return ScenarioSpec(
+        grid=GridSpec(rows=args.rows, cols=args.cols),
+        chain=ChainSpec.gaussian(sigma=args.sigma),
+        events=(
+            EventSpec.presence_range(
+                args.event_cells[0], args.event_cells[1],
+                start=args.event_window[0], end=args.event_window[1],
+            ),
+        ),
+        mechanism=mechanism,
+        epsilon=args.epsilon,
+        horizon=args.horizon,
+        calibration=CalibrationSpec(args.calibration),
+        prior_mode=args.prior_mode,
+    )
+
+
+def _stream_manager(args) -> SessionManager:
+    """Build the shared engine from the stream/serve flags (or a file)."""
+    if getattr(args, "scenario", None):
+        spec = ScenarioSpec.from_file(args.scenario)
+    else:
+        spec = _spec_from_flags(args)
+    return SessionManager(spec, cache_size=args.cache_size)
 
 
 def _session_seed(base_seed: int, name: str) -> int:
@@ -142,6 +163,9 @@ def _stream_main(argv: list[str]) -> int:
         description="Streaming release service over stdin/stdout JSON lines",
     )
     _add_engine_flags(parser)
+    parser.add_argument("--scenario", default=None, metavar="FILE",
+                        help="JSON ScenarioSpec file defining the release "
+                        "setting (overrides the individual engine flags)")
     parser.add_argument("--seed", type=int, default=0,
                         help="non-negative base seed for per-session RNGs")
     parser.add_argument("--checkpoint-dir", default=None,
@@ -305,6 +329,14 @@ def _serve_main(argv: list[str]) -> int:
         description="Concurrent JSONL/TCP release service over one engine",
     )
     _add_engine_flags(parser)
+    parser.add_argument("--scenario", action="append", default=[],
+                        metavar="FILE", dest="scenario_files",
+                        help="JSON ScenarioSpec file to allowlist for inline "
+                        "'open' scenarios (repeatable); the flag-built "
+                        "engine stays the default setting")
+    parser.add_argument("--allow-any-scenario", action="store_true",
+                        help="admit any well-formed inline scenario instead "
+                        "of only the --scenario allowlist")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7733,
                         help="TCP port (0 picks an ephemeral port; the bound "
@@ -363,6 +395,7 @@ def _serve_main(argv: list[str]) -> int:
             engine = ShardPool(functools.partial(_stream_manager, args), args.shards)
         else:
             engine = _stream_manager(args)
+        scenarios = [ScenarioSpec.from_file(path) for path in args.scenario_files]
         store = resolve_store(args.store, args.store_path)
     except ReproError as error:
         parser.error(str(error))
@@ -377,7 +410,13 @@ def _serve_main(argv: list[str]) -> int:
     )
 
     async def _serve() -> int:
-        server = ReleaseServer(engine, store=store, config=config)
+        server = ReleaseServer(
+            engine,
+            store=store,
+            config=config,
+            scenarios=scenarios,
+            allow_any_scenario=args.allow_any_scenario,
+        )
         await server.start()
         print(
             json.dumps(
@@ -389,6 +428,8 @@ def _serve_main(argv: list[str]) -> int:
                     "max_resident": config.max_resident,
                     "shards": args.shards,
                     "store": args.store,
+                    "scenarios": len(scenarios),
+                    "allow_any_scenario": args.allow_any_scenario,
                 }
             ),
             flush=True,

@@ -44,6 +44,7 @@ from .providers import (
 )
 from .records import ReleaseLog, ReleaseRecord, stack_release_logs
 from .session import (
+    STATE_SCHEMA_VERSION,
     EngineCore,
     ReleaseSession,
     SessionState,
@@ -70,6 +71,7 @@ __all__ = [
     "SessionBuilder",
     "SessionManager",
     "SessionState",
+    "STATE_SCHEMA_VERSION",
     "ShardPool",
     "StaticMechanismProvider",
     "VerdictCache",

@@ -91,16 +91,24 @@ class ExecutionBackend(abc.ABC):
     @property
     @abc.abstractmethod
     def horizon(self) -> int:
-        """Release horizon ``T`` of the shared engine configuration."""
+        """Release horizon ``T`` of the *default* engine configuration."""
 
     @property
     @abc.abstractmethod
     def n_states(self) -> int:
-        """Number of map cells ``m``."""
+        """Number of map cells ``m`` of the *default* configuration."""
 
     @abc.abstractmethod
-    def open(self, session_id: str, seed: int | None = None) -> None:
-        """Create a session (deterministic under a fixed seed)."""
+    def open(
+        self, session_id: str, seed: int | None = None, scenario=None
+    ) -> int:
+        """Create a session (deterministic under a fixed seed).
+
+        ``scenario`` is an optional :class:`~repro.scenario.ScenarioSpec`
+        (or its JSON dict) selecting the session's release setting;
+        ``None`` uses the default configuration.  Returns the session's
+        horizon ``T`` (scenarios may differ from the default's).
+        """
 
     @abc.abstractmethod
     def contains(self, session_id: str) -> bool:
@@ -192,8 +200,11 @@ class InProcessBackend(ExecutionBackend):
     def n_states(self) -> int:
         return self._manager.n_states
 
-    def open(self, session_id: str, seed: int | None = None) -> None:
-        self._manager.open(session_id, rng=seed)
+    def open(
+        self, session_id: str, seed: int | None = None, scenario=None
+    ) -> int:
+        self._manager.open(session_id, rng=seed, scenario=scenario)
+        return self._manager.horizon_of(session_id)
 
     def contains(self, session_id: str) -> bool:
         return session_id in self._manager

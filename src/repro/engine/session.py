@@ -31,12 +31,19 @@ from ..core.joint import EventQuantifier, prepare_many
 from ..core.qp import SolverStatus, solve_conditions_batch
 from ..core.theorem import privacy_conditions, sufficient_safe
 from ..core.two_world import TwoWorldModel
-from ..errors import QuantificationError, SessionError
+from ..errors import CheckpointVersionError, QuantificationError, SessionError
 from ..lppm.uniform import UniformMechanism
 from .cache import VerdictCache, digest_array
 from .config import EngineConfig
 from .providers import MechanismProvider
 from .records import ReleaseLog, ReleaseRecord
+
+#: Version of the :class:`SessionState` JSON schema this build writes.
+#: v1 (PR 1) had no ``schema`` or ``scenario`` field; v2 added both.
+#: Restoring a state from a *newer* schema raises a typed
+#: :class:`~repro.errors.CheckpointVersionError` immediately, instead of
+#: a ``KeyError`` deep in the engine.
+STATE_SCHEMA_VERSION = 2
 
 
 def _combine_statuses(statuses) -> SolverStatus:
@@ -125,6 +132,15 @@ class SessionState:
     Produced by :meth:`ReleaseSession.to_state`; JSON-serializable via
     :meth:`to_json`/:meth:`from_json`, so sessions can be parked in a
     database between a user's location fixes.
+
+    ``scenario`` carries the session's scenario binding when the state
+    was checkpointed through a :class:`~repro.engine.SessionManager`
+    with a non-default scenario: a ``{"digest": ..., "spec": ...}`` dict
+    holding the spec's stable digest and its full JSON form, so *any*
+    process (a different shard worker, a restarted server with a
+    different shard count) can re-materialize the right models on
+    restore.  ``None`` means the restoring manager's default
+    configuration, which is the pre-scenario behaviour.
     """
 
     def __init__(
@@ -136,6 +152,7 @@ class SessionState:
         rng: dict,
         emissions: list[np.ndarray] | None,
         session_id: str,
+        scenario: dict | None = None,
     ):
         self.committed_t = committed_t
         self.records = records
@@ -144,10 +161,12 @@ class SessionState:
         self.rng = rng
         self.emissions = emissions
         self.session_id = session_id
+        self.scenario = scenario
 
     def to_json(self) -> dict:
         """Plain-dict form, safe for ``json.dumps``."""
         return {
+            "schema": STATE_SCHEMA_VERSION,
             "committed_t": self.committed_t,
             "records": [record.to_json() for record in self.records],
             "quantifiers": self.quantifiers,
@@ -159,11 +178,26 @@ class SessionState:
                 else [matrix.tolist() for matrix in self.emissions]
             ),
             "session_id": self.session_id,
+            "scenario": self.scenario,
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "SessionState":
-        """Inverse of :meth:`to_json`."""
+        """Inverse of :meth:`to_json`.
+
+        Accepts any schema version up to :data:`STATE_SCHEMA_VERSION`
+        (v1 states simply lack the newer fields); a state written by a
+        *newer* build raises :class:`CheckpointVersionError` before any
+        field is touched.
+        """
+        version = int(data.get("schema", 1))
+        if version > STATE_SCHEMA_VERSION:
+            raise CheckpointVersionError(
+                f"session state uses checkpoint schema v{version}; this "
+                f"build reads up to v{STATE_SCHEMA_VERSION} -- upgrade the "
+                "library to restore it"
+            )
+        scenario = data.get("scenario")
         return cls(
             committed_t=int(data["committed_t"]),
             records=[ReleaseRecord.from_json(r) for r in data["records"]],
@@ -176,6 +210,7 @@ class SessionState:
                 else [np.asarray(m, dtype=np.float64) for m in data["emissions"]]
             ),
             session_id=str(data["session_id"]),
+            scenario=None if scenario is None else dict(scenario),
         )
 
 

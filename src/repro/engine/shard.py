@@ -36,6 +36,13 @@ Checkpoint, suspend and resume round-trip
 so the serving layer's store-backed eviction and graceful drain work
 unchanged on top.
 
+Multi-tenancy: ``open`` RPCs carry an optional
+:class:`~repro.scenario.ScenarioSpec`, and checkpoints embed the spec
+plus its digest, so each worker's manager interns per-scenario models
+on demand and a state restored into *any* pool -- any shard count, any
+worker -- re-materializes the right models (see
+:meth:`~repro.engine.manager.SessionManager.resume`).
+
 Start method: ``fork`` where available (factories may be closures),
 falling back to ``spawn`` (factories must then be picklable --
 module-level callables or ``functools.partial`` over one).
@@ -117,11 +124,11 @@ def _worker_execute(manager: SessionManager, metrics, op: str, args):
             metrics.record_error(type(error).__name__)
         return records, errors
     if op == "open":
-        sid, seed = args
+        sid, seed, scenario = args
         metrics.record_request("open")
-        manager.open(sid, rng=seed)
+        manager.open(sid, rng=seed, scenario=scenario)
         metrics.record_session_event("opened")
-        return None
+        return manager.horizon_of(sid)
     if op == "peek_budget":
         metrics.record_request("peek_budget")
         return manager.peek_budget(args)
@@ -154,6 +161,7 @@ def _worker_execute(manager: SessionManager, metrics, op: str, args):
         return {
             "pid": os.getpid(),
             "sessions": len(manager),
+            "scenarios": manager.scenario_digests(),
             "metrics": metrics.dump(),
             "verdict_cache": None
             if cache is None
@@ -405,10 +413,23 @@ class ShardPool(ExecutionBackend):
     def n_states(self) -> int:
         return self._n_states
 
-    def open(self, session_id: str, seed: int | None = None) -> None:
-        self._handle_for(session_id).call("open", (session_id, seed))
+    def open(
+        self, session_id: str, seed: int | None = None, scenario=None
+    ) -> int:
+        """Open a session on its owning shard.
+
+        ``scenario`` (a :class:`~repro.scenario.ScenarioSpec` or its
+        JSON dict) travels in the RPC frame; the worker's manager
+        interns it by digest, so every shard builds each distinct
+        scenario's models at most once regardless of how sessions are
+        routed.  Returns the session's horizon.
+        """
+        horizon = self._handle_for(session_id).call(
+            "open", (session_id, seed, scenario)
+        )
         with self._lock:
             self._sessions[session_id] = self.shard_of(session_id)
+        return horizon
 
     def contains(self, session_id: str) -> bool:
         with self._lock:

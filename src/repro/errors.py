@@ -37,6 +37,16 @@ class MechanismError(ReproError, ValueError):
     """An LPPM was configured or queried inconsistently."""
 
 
+class UnknownMechanismError(MechanismError):
+    """A mechanism name failed to resolve in the LPPM registry.
+
+    Raised by :func:`repro.lppm.resolve_mechanism` when a name (or
+    alias) is not registered -- a typed miss instead of a silent
+    ``getattr``-style fallback, so a scenario referencing a mistyped
+    mechanism fails loudly at spec-compile time.
+    """
+
+
 class EventError(ReproError, ValueError):
     """A spatiotemporal event definition is malformed."""
 
@@ -69,6 +79,25 @@ class SessionError(ReproError, RuntimeError):
     horizon or after ``finish()``, building a session from an incomplete
     :class:`~repro.engine.SessionBuilder`, or restoring a corrupt
     checkpoint.
+    """
+
+
+class CheckpointVersionError(SessionError):
+    """A session checkpoint uses a schema newer than this build knows.
+
+    Raised when restoring a :class:`~repro.engine.SessionState` whose
+    ``schema`` field exceeds the library's
+    :data:`~repro.engine.session.STATE_SCHEMA_VERSION` -- a typed,
+    immediate rejection instead of a ``KeyError`` deep in the engine.
+    """
+
+
+class ScenarioError(ReproError, ValueError):
+    """A declarative :class:`~repro.scenario.ScenarioSpec` is invalid.
+
+    Raised by :mod:`repro.scenario` for malformed spec JSON, parameters
+    that cannot compile into an :class:`~repro.engine.EngineConfig`, or
+    a scenario rejected by a server's allowlist.
     """
 
 

@@ -33,6 +33,7 @@ from ..engine import VerdictCache
 from ..core.two_world import TwoWorldModel
 from ..errors import ValidationError
 from ..events.events import PatternEvent, SpatiotemporalEvent
+from ..lppm.registry import canonical_mechanism_name
 from ..geo.regions import Region
 from ..lppm.planar_laplace import PlanarLaplaceMechanism
 from ..metrics.utility import aggregate_logs, average_budget_over_time
@@ -71,10 +72,14 @@ def _build_priste(
     mechanism: str,
     delta: float,
 ):
-    if mechanism == "geoind":
+    # Resolve through the LPPM registry (aliases included) so a mistyped
+    # mechanism fails with the typed UnknownMechanismError and the list
+    # of registered names, not an ad-hoc string comparison.
+    name = canonical_mechanism_name(mechanism)
+    if name == "planar_laplace":
         lppm = PlanarLaplaceMechanism(scenario.grid, alpha)
         return PriSTE(scenario.chain, events, lppm, config, scenario.horizon)
-    if mechanism == "delta":
+    if name == "delta_location_set":
         return PriSTEDeltaLocationSet(
             scenario.chain,
             events,
@@ -85,7 +90,9 @@ def _build_priste(
             config,
             scenario.horizon,
         )
-    raise ValidationError(f"mechanism must be 'geoind' or 'delta', got {mechanism!r}")
+    raise ValidationError(
+        f"experiment runners support 'geoind' or 'delta' mechanisms, got {mechanism!r}"
+    )
 
 
 def run_budget_over_time(

@@ -20,9 +20,9 @@ from ..errors import DatasetError
 from ..geo.grid import GridMap
 from ..geo.regions import Region
 from ..markov.simulate import sample_trajectory
-from ..markov.synthetic import gaussian_kernel_transitions
 from ..markov.training import fit_initial_distribution, fit_transition_matrix
 from ..markov.transition import TransitionMatrix
+from ..scenario import ChainSpec, EventSpec, GridSpec, ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -55,6 +55,35 @@ class SyntheticScenario:
         """One true trajectory of ``horizon`` steps."""
         return sample_trajectory(self.chain, self.horizon, initial=self.initial, rng=rng)
 
+    def to_spec(
+        self, events, mechanism, epsilon: float, **overrides
+    ) -> ScenarioSpec:
+        """This setting as a portable :class:`~repro.scenario.ScenarioSpec`.
+
+        ``events`` is one :class:`~repro.scenario.EventSpec` or a
+        sequence of them, ``mechanism`` a
+        :class:`~repro.scenario.MechanismSpec`; remaining spec fields
+        (``calibration``, ``prior_mode``, ...) pass through as keyword
+        overrides.  The spec compiles to bit-identical grid/chain/initial
+        objects, so a session built from it reproduces one built from
+        this scenario directly.
+        """
+        if isinstance(events, EventSpec):
+            events = (events,)
+        return ScenarioSpec(
+            grid=GridSpec(
+                rows=self.grid.n_rows,
+                cols=self.grid.n_cols,
+                cell_size_km=self.grid.cell_size_km,
+            ),
+            chain=ChainSpec.gaussian(sigma=self.sigma),
+            events=tuple(events),
+            mechanism=mechanism,
+            epsilon=epsilon,
+            horizon=overrides.pop("horizon", self.horizon),
+            **overrides,
+        )
+
 
 def synthetic_scenario(
     n_rows: int = 20,
@@ -67,9 +96,15 @@ def synthetic_scenario(
 
     ``sigma`` is the mobility-pattern strength knob of Fig. 13 (smaller =
     more significant pattern).  The initial distribution is uniform.
+
+    Thin wrapper over the declarative layer: the grid and chain are
+    compiled from :class:`~repro.scenario.GridSpec` /
+    :class:`~repro.scenario.ChainSpec`, the same primitives a
+    ``--scenario FILE`` spec goes through, so both paths produce
+    bit-identical models.
     """
-    grid = GridMap(n_rows, n_cols, cell_size_km=cell_size_km)
-    chain = gaussian_kernel_transitions(grid, sigma)
+    grid = GridSpec(rows=n_rows, cols=n_cols, cell_size_km=cell_size_km).build()
+    chain = ChainSpec.gaussian(sigma=sigma).build(grid)
     initial = np.full(grid.n_cells, 1.0 / grid.n_cells)
     return SyntheticScenario(
         grid=grid, chain=chain, initial=initial, horizon=horizon, sigma=sigma
@@ -109,6 +144,35 @@ class GeolifeScenario:
             return list(trace[offset : offset + self.horizon])
         return sample_trajectory(
             self.chain, self.horizon, initial=self.initial, rng=generator
+        )
+
+    def to_spec(
+        self, events, mechanism, epsilon: float, **overrides
+    ) -> ScenarioSpec:
+        """This trained setting as a portable spec.
+
+        The fitted chain travels as an explicit matrix and the fitted
+        initial distribution as an explicit vector, so the spec is
+        self-contained: a server (or shard worker) compiles the same
+        models without access to the GPS traces.  The grid's km origin
+        is dropped -- distances (all the engine uses) are translation
+        invariant.
+        """
+        if isinstance(events, EventSpec):
+            events = (events,)
+        return ScenarioSpec(
+            grid=GridSpec(
+                rows=self.grid.n_rows,
+                cols=self.grid.n_cols,
+                cell_size_km=self.grid.cell_size_km,
+            ),
+            chain=ChainSpec.explicit(self.chain.matrix),
+            initial=tuple(float(v) for v in self.initial),
+            events=tuple(events),
+            mechanism=mechanism,
+            epsilon=epsilon,
+            horizon=overrides.pop("horizon", self.horizon),
+            **overrides,
         )
 
 

@@ -14,6 +14,11 @@ implements:
 * :class:`RandomizedResponseMechanism` -- k-ary randomized response, an
   alternative LPPM demonstrating that PriSTE is mechanism-agnostic,
 * geo-indistinguishability verification utilities.
+
+Every mechanism also carries a canonical registered *name* (see
+:data:`MECHANISMS` / :func:`resolve_mechanism`); declarative scenario
+specs and CLIs address mechanisms through the registry, and a miss is a
+typed :class:`~repro.errors.UnknownMechanismError`.
 """
 
 from .base import LPPM, EmissionModel, emission_column
@@ -31,9 +36,21 @@ from .planar_laplace import (
     planar_laplace_emission_matrix,
 )
 from .randomized_response import RandomizedResponseMechanism
+from .registry import (
+    MECHANISM_ALIASES,
+    MECHANISMS,
+    canonical_mechanism_name,
+    register_mechanism,
+    resolve_mechanism,
+)
 from .uniform import UniformMechanism
 
 __all__ = [
+    "MECHANISMS",
+    "MECHANISM_ALIASES",
+    "canonical_mechanism_name",
+    "register_mechanism",
+    "resolve_mechanism",
     "LPPM",
     "EmissionModel",
     "emission_column",

@@ -1,0 +1,89 @@
+"""Name-based registry of the library's LPPM implementations.
+
+Every mechanism class in :mod:`repro.lppm` has one canonical registered
+name, so layers that must refer to mechanisms as *data* -- the
+declarative :class:`~repro.scenario.ScenarioSpec`, the CLI, experiment
+configs -- resolve them through :func:`resolve_mechanism` instead of
+importing classes or dispatching on ad-hoc strings.  A lookup miss is a
+typed :class:`~repro.errors.UnknownMechanismError` (never a silent
+``getattr`` fallback), and the error lists every known name.
+
+The registry is intentionally append-only at import time; downstream
+code may add its own mechanisms with :func:`register_mechanism` before
+compiling specs that name them.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from ..errors import MechanismError, UnknownMechanismError
+from .base import LPPM, EmissionModel
+from .cloaking import CloakingMechanism
+from .delta_location_set import DeltaLocationSetMechanism
+from .exponential import ExponentialMechanism
+from .planar_laplace import PlanarLaplaceMechanism
+from .randomized_response import RandomizedResponseMechanism
+from .uniform import UniformMechanism
+
+#: Canonical name -> mechanism class.  One entry per LPPM in this
+#: package; scenario specs and CLIs address mechanisms by these names.
+MECHANISMS: dict[str, Type[LPPM]] = {
+    "planar_laplace": PlanarLaplaceMechanism,
+    "delta_location_set": DeltaLocationSetMechanism,
+    "uniform": UniformMechanism,
+    "randomized_response": RandomizedResponseMechanism,
+    "exponential": ExponentialMechanism,
+    "cloaking": CloakingMechanism,
+    "emission_model": EmissionModel,
+}
+
+#: Accepted alternate spellings -> canonical name (the CLI's historical
+#: ``--mechanism`` values among them).
+MECHANISM_ALIASES: dict[str, str] = {
+    "geoind": "planar_laplace",
+    "plm": "planar_laplace",
+    "delta": "delta_location_set",
+}
+
+
+def canonical_mechanism_name(name: str) -> str:
+    """The canonical registry name for ``name`` (resolving aliases).
+
+    Raises :class:`UnknownMechanismError` when neither a canonical name
+    nor an alias matches.
+    """
+    key = str(name)
+    key = MECHANISM_ALIASES.get(key, key)
+    if key not in MECHANISMS:
+        raise UnknownMechanismError(
+            f"unknown mechanism {name!r}; registered names: "
+            f"{sorted(MECHANISMS)} (aliases: {sorted(MECHANISM_ALIASES)})"
+        )
+    return key
+
+
+def resolve_mechanism(name: str) -> Type[LPPM]:
+    """The mechanism class registered under ``name`` (or an alias).
+
+    Raises :class:`UnknownMechanismError` on a miss.
+    """
+    return MECHANISMS[canonical_mechanism_name(name)]
+
+
+def register_mechanism(name: str, cls: Type[LPPM]) -> None:
+    """Register a new mechanism class under a canonical name.
+
+    Refuses to overwrite an existing registration (shadowing a built-in
+    mechanism would silently change what specs naming it compile to).
+    """
+    key = str(name)
+    if not key:
+        raise MechanismError("mechanism name must be non-empty")
+    if key in MECHANISMS or key in MECHANISM_ALIASES:
+        raise MechanismError(f"mechanism name {key!r} is already registered")
+    if not (isinstance(cls, type) and issubclass(cls, LPPM)):
+        raise MechanismError(
+            f"mechanism {key!r} must be an LPPM subclass, got {cls!r}"
+        )
+    MECHANISMS[key] = cls

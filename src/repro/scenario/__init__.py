@@ -1,0 +1,80 @@
+"""Declarative scenarios: release settings as first-class, portable data.
+
+Architecture
+------------
+Before this package, a "scenario" was a Python call-site: the synthetic
+and Geolife builders in :mod:`repro.experiments.scenarios`, the CLI's
+flag parsing, and every benchmark assembled grids, chains, events and
+mechanisms imperatively, and a server stamped its whole fleet from the
+one configuration fixed at startup.  This package turns that setting
+into *data*:
+
+* :class:`ScenarioSpec` -- a frozen, JSON-round-trippable description of
+  one complete release setting: grid layout (:class:`GridSpec`), Markov
+  model source (:class:`ChainSpec`: Gaussian-kernel synthetic, lazy
+  walk, trained-from-trace, or an explicit matrix), protected events
+  (:class:`EventSpec`, validated through the generic events compiler),
+  mechanism by LPPM-registry name (:class:`MechanismSpec`), calibration
+  schedule (:class:`CalibrationSpec`), epsilon, horizon, prior and
+  initial distribution.
+* :meth:`ScenarioSpec.compile` -- deterministic materialization into an
+  engine-native :class:`~repro.engine.EngineConfig` (plus the concrete
+  grid/chain/initial/events as :class:`CompiledScenario`).  The same
+  spec compiles to numerically identical models in any process.
+* :meth:`ScenarioSpec.digest` -- a stable blake2b identity of the
+  canonical JSON form.  The digest is the interning key everywhere:
+  :class:`~repro.engine.SessionManager` shares two-world models, the
+  mechanism ladder and the verdict cache between sessions whose specs
+  digest equal (the pre-existing single-config sharing is the degenerate
+  one-digest case); shard workers re-materialize models from the spec
+  carried in a checkpoint; the service reports per-digest counters.
+* :class:`ScenarioRegistry` -- the serving layer's admission gate:
+  digest allowlist plus a validated-spec LRU for inline ``open``
+  scenarios.
+
+Layering: this package depends only on the model layers (geo, markov,
+events, lppm) and on :mod:`repro.engine.config`; the engine's manager
+and the service import it lazily, so ``repro.engine`` never requires
+``repro.scenario`` at import time.
+
+Example
+-------
+::
+
+    spec = ScenarioSpec(
+        grid=GridSpec(rows=10, cols=10),
+        chain=ChainSpec.gaussian(sigma=1.0),
+        events=(EventSpec.presence_range(0, 9, start=4, end=8),),
+        mechanism=MechanismSpec("planar_laplace", {"alpha": 0.5}),
+        epsilon=0.5,
+        horizon=50,
+        prior_mode="fixed",
+    )
+    manager = SessionManager(spec)
+    manager.open("alice", rng=1)                      # the spec's scenario
+    manager.open("bob", rng=2, scenario=other_spec)   # a different tenant
+"""
+
+from .registry import ScenarioRegistry
+from .spec import (
+    CalibrationSpec,
+    ChainSpec,
+    CompiledScenario,
+    EventSpec,
+    GridSpec,
+    MechanismSpec,
+    ScenarioSpec,
+    spec_digest,
+)
+
+__all__ = [
+    "CalibrationSpec",
+    "ChainSpec",
+    "CompiledScenario",
+    "EventSpec",
+    "GridSpec",
+    "MechanismSpec",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "spec_digest",
+]

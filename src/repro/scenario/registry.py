@@ -1,0 +1,121 @@
+"""Scenario admission: allowlist plus a validated-spec LRU.
+
+The serving layer accepts scenario definitions from the network (the
+``open`` op's inline ``scenario`` object), so two concerns live here:
+
+* **Admission policy** -- an optional allowlist of spec digests.  A
+  server started with ``repro serve --scenario FILE`` admits exactly the
+  preloaded specs (any byte-identical re-submission matches by digest);
+  ``allow_any=True`` (``--allow-any-scenario``) opens the gate to
+  arbitrary well-formed specs.
+* **Validated-spec LRU** -- parsing and validating a spec payload is
+  pure overhead when the same scenario is opened thousands of times, so
+  admitted specs are cached keyed by the *raw payload's* canonical JSON.
+  The cache only memoizes validation; model interning (the expensive
+  part) happens per-digest inside :class:`~repro.engine.SessionManager`.
+
+Thread-safe: admission may run on the event loop or worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Iterable
+
+from ..errors import ScenarioError
+from .spec import ScenarioSpec, spec_digest
+
+
+class ScenarioRegistry:
+    """Admission gate for inline scenario specs.
+
+    Parameters
+    ----------
+    scenarios:
+        Specs preloaded at startup; their digests form the allowlist.
+    allow_any:
+        When True the allowlist is bypassed and any well-formed spec is
+        admitted (subject to the LRU bound on cached validations).
+    max_cached:
+        Validated-spec LRU capacity (evicted specs are simply
+        re-validated on their next submission).
+    """
+
+    def __init__(
+        self,
+        scenarios: Iterable[ScenarioSpec] = (),
+        allow_any: bool = False,
+        max_cached: int = 64,
+    ):
+        if max_cached < 1:
+            raise ScenarioError(f"max_cached must be >= 1, got {max_cached!r}")
+        self._allow_any = bool(allow_any)
+        self._allowlist: dict[str, ScenarioSpec] = {}
+        self._cache: OrderedDict[str, ScenarioSpec] = OrderedDict()
+        self._max_cached = int(max_cached)
+        self._lock = threading.Lock()
+        for spec in scenarios:
+            self.preload(spec)
+
+    def preload(self, spec: ScenarioSpec) -> str:
+        """Add a spec to the allowlist; returns its digest."""
+        if not isinstance(spec, ScenarioSpec):
+            spec = ScenarioSpec.from_json(spec)
+        digest = spec.digest()
+        with self._lock:
+            self._allowlist[digest] = spec
+        return digest
+
+    @property
+    def allow_any(self) -> bool:
+        """Whether arbitrary well-formed specs are admitted."""
+        return self._allow_any
+
+    def allowlisted(self) -> list[str]:
+        """Digests currently on the allowlist."""
+        with self._lock:
+            return list(self._allowlist)
+
+    def cached_count(self) -> int:
+        """Number of validated specs in the LRU."""
+        with self._lock:
+            return len(self._cache)
+
+    def admit(self, payload) -> ScenarioSpec:
+        """Validate one inline scenario payload and enforce the policy.
+
+        ``payload`` is the raw JSON object off the wire (or an already
+        constructed :class:`ScenarioSpec`).  Returns the validated spec;
+        raises :class:`~repro.errors.ScenarioError` for malformed specs
+        and for digests outside the allowlist.
+        """
+        if isinstance(payload, ScenarioSpec):
+            spec = payload
+            key = spec_digest(spec.to_json())
+        else:
+            try:
+                key = spec_digest(payload)
+            except (TypeError, ValueError) as error:
+                raise ScenarioError(
+                    f"scenario payload is not JSON-serializable: {error}"
+                ) from None
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    return cached
+            spec = ScenarioSpec.from_json(payload)
+        digest = spec.digest()
+        with self._lock:
+            if not self._allow_any and digest not in self._allowlist:
+                raise ScenarioError(
+                    f"scenario {digest} is not on this server's allowlist; "
+                    "preload it with --scenario FILE or start the server "
+                    "with --allow-any-scenario"
+                )
+            self._cache[key] = spec
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._max_cached:
+                self._cache.popitem(last=False)
+        return spec

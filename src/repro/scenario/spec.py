@@ -1,0 +1,790 @@
+"""The declarative scenario specification and its deterministic compiler.
+
+See :mod:`repro.scenario` for the architecture overview.  This module
+defines the frozen spec dataclasses (:class:`GridSpec`,
+:class:`ChainSpec`, :class:`EventSpec`, :class:`MechanismSpec`,
+:class:`CalibrationSpec`, :class:`ScenarioSpec`), their JSON round-trip,
+the stable :meth:`ScenarioSpec.digest`, and
+:meth:`ScenarioSpec.compile`, which materializes the spec into the
+engine-native :class:`~repro.engine.EngineConfig`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from ..engine.calibration import (
+    BinarySearchCalibration,
+    BudgetHalving,
+    LinearDecay,
+)
+from ..engine.config import EngineConfig, SessionBuilder
+from ..errors import ReproError, ScenarioError
+from ..events.compiler import compile_event
+from ..events.events import PatternEvent, PresenceEvent, SpatiotemporalEvent
+from ..geo.grid import GridMap
+from ..geo.regions import Region
+from ..lppm.base import LPPM
+from ..lppm.cloaking import grid_blocks
+from ..lppm.registry import canonical_mechanism_name, resolve_mechanism
+from ..markov.synthetic import (
+    gaussian_kernel_transitions,
+    lazy_random_walk_transitions,
+)
+from ..markov.training import fit_initial_distribution, fit_transition_matrix
+from ..markov.transition import TransitionMatrix
+
+#: Bytes of blake2b digest; 16 bytes = 32 hex chars, ample for identity.
+_DIGEST_SIZE = 16
+
+
+def _require(data: dict, key: str, context: str):
+    try:
+        return data[key]
+    except (KeyError, TypeError):
+        raise ScenarioError(f"{context} is missing required field {key!r}") from None
+
+
+def _canonical_json(payload: dict) -> str:
+    """The one serialization digests are computed over.
+
+    ``sort_keys`` + compact separators make the byte stream independent
+    of dict insertion order; ``repr``-faithful float formatting is
+    guaranteed by :func:`json.dumps` itself, so equal spec values hash
+    identically in every process and on every platform.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_digest(payload: dict) -> str:
+    """Stable hex digest of a spec's canonical JSON form.
+
+    blake2b, never ``hash()``: the digest keys model interning across
+    processes, shard workers and restarts, so ``PYTHONHASHSEED`` must
+    not enter.
+    """
+    return hashlib.blake2b(
+        _canonical_json(payload).encode(), digest_size=_DIGEST_SIZE
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridSpec:
+    """The map: a rectangular lattice of square cells."""
+
+    rows: int
+    cols: int
+    cell_size_km: float = 1.0
+
+    def __post_init__(self) -> None:
+        if int(self.rows) != self.rows or self.rows < 1:
+            raise ScenarioError(f"grid rows must be a positive integer, got {self.rows!r}")
+        if int(self.cols) != self.cols or self.cols < 1:
+            raise ScenarioError(f"grid cols must be a positive integer, got {self.cols!r}")
+        if not self.cell_size_km > 0:
+            raise ScenarioError(
+                f"grid cell_size_km must be positive, got {self.cell_size_km!r}"
+            )
+        object.__setattr__(self, "rows", int(self.rows))
+        object.__setattr__(self, "cols", int(self.cols))
+        object.__setattr__(self, "cell_size_km", float(self.cell_size_km))
+
+    def build(self) -> GridMap:
+        """The concrete :class:`~repro.geo.grid.GridMap`."""
+        return GridMap(self.rows, self.cols, cell_size_km=self.cell_size_km)
+
+    def to_json(self) -> dict:
+        return {"rows": self.rows, "cols": self.cols, "cell_size_km": self.cell_size_km}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GridSpec":
+        return cls(
+            rows=_require(data, "rows", "grid spec"),
+            cols=_require(data, "cols", "grid spec"),
+            cell_size_km=data.get("cell_size_km", 1.0),
+        )
+
+
+# ----------------------------------------------------------------------
+# mobility model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChainSpec:
+    """The Markov mobility model source.
+
+    Kinds
+    -----
+    ``gaussian``
+        The paper's synthetic generator: transition probability
+        proportional to a 2-D Gaussian kernel with scale ``sigma``.
+    ``lazy_walk``
+        Lazy nearest-neighbour random walk (``stay_probability``,
+        ``diagonal``).
+    ``trace``
+        Trained from discrete cell trajectories with Dirichlet
+        ``smoothing`` (the Geolife path, made portable data).
+    ``matrix``
+        An explicit row-stochastic matrix.
+    """
+
+    kind: str
+    sigma: float | None = None
+    distance_unit: str = "cells"
+    stay_probability: float | None = None
+    diagonal: bool = True
+    trajectories: tuple[tuple[int, ...], ...] | None = None
+    smoothing: float = 0.05
+    matrix: tuple[tuple[float, ...], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gaussian", "lazy_walk", "trace", "matrix"):
+            raise ScenarioError(
+                f"chain kind must be one of 'gaussian', 'lazy_walk', 'trace', "
+                f"'matrix'; got {self.kind!r}"
+            )
+        if self.kind == "gaussian":
+            if self.sigma is None or not self.sigma > 0:
+                raise ScenarioError(
+                    f"gaussian chain needs a positive sigma, got {self.sigma!r}"
+                )
+            object.__setattr__(self, "sigma", float(self.sigma))
+        if self.kind == "lazy_walk":
+            stay = 0.2 if self.stay_probability is None else self.stay_probability
+            if not 0.0 <= stay <= 1.0:
+                raise ScenarioError(
+                    f"stay_probability must lie in [0, 1], got {stay!r}"
+                )
+            object.__setattr__(self, "stay_probability", float(stay))
+        if self.kind == "trace":
+            if not self.trajectories:
+                raise ScenarioError("trace chain needs at least one trajectory")
+            object.__setattr__(
+                self,
+                "trajectories",
+                tuple(tuple(int(c) for c in t) for t in self.trajectories),
+            )
+            object.__setattr__(self, "smoothing", float(self.smoothing))
+        if self.kind == "matrix":
+            if self.matrix is None:
+                raise ScenarioError("matrix chain needs an explicit matrix")
+            object.__setattr__(
+                self,
+                "matrix",
+                tuple(tuple(float(v) for v in row) for row in self.matrix),
+            )
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def gaussian(cls, sigma: float, distance_unit: str = "cells") -> "ChainSpec":
+        return cls(kind="gaussian", sigma=sigma, distance_unit=distance_unit)
+
+    @classmethod
+    def lazy_walk(cls, stay_probability: float = 0.2, diagonal: bool = True) -> "ChainSpec":
+        return cls(kind="lazy_walk", stay_probability=stay_probability, diagonal=diagonal)
+
+    @classmethod
+    def from_traces(cls, trajectories, smoothing: float = 0.05) -> "ChainSpec":
+        return cls(kind="trace", trajectories=tuple(map(tuple, trajectories)), smoothing=smoothing)
+
+    @classmethod
+    def explicit(cls, matrix) -> "ChainSpec":
+        return cls(kind="matrix", matrix=tuple(map(tuple, np.asarray(matrix).tolist())))
+
+    # -- compilation -----------------------------------------------------
+    def build(self, grid: GridMap) -> TransitionMatrix:
+        """The concrete chain on ``grid`` (deterministic)."""
+        if self.kind == "gaussian":
+            return gaussian_kernel_transitions(
+                grid, self.sigma, distance_unit=self.distance_unit
+            )
+        if self.kind == "lazy_walk":
+            return lazy_random_walk_transitions(
+                grid, stay_probability=self.stay_probability, diagonal=self.diagonal
+            )
+        if self.kind == "trace":
+            for trajectory in self.trajectories:
+                for cell in trajectory:
+                    if not 0 <= cell < grid.n_cells:
+                        raise ScenarioError(
+                            f"trace cell {cell} outside the {grid.n_cells}-cell grid"
+                        )
+            return fit_transition_matrix(
+                [list(t) for t in self.trajectories],
+                grid.n_cells,
+                smoothing=self.smoothing,
+            )
+        matrix = np.asarray(self.matrix, dtype=np.float64)
+        if matrix.shape != (grid.n_cells, grid.n_cells):
+            raise ScenarioError(
+                f"chain matrix has shape {matrix.shape}, grid has "
+                f"{grid.n_cells} cells"
+            )
+        return TransitionMatrix(matrix)
+
+    def to_json(self) -> dict:
+        payload: dict = {"kind": self.kind}
+        if self.kind == "gaussian":
+            payload.update(sigma=self.sigma, distance_unit=self.distance_unit)
+        elif self.kind == "lazy_walk":
+            payload.update(
+                stay_probability=self.stay_probability, diagonal=self.diagonal
+            )
+        elif self.kind == "trace":
+            payload.update(
+                trajectories=[list(t) for t in self.trajectories],
+                smoothing=self.smoothing,
+            )
+        else:
+            payload.update(matrix=[list(row) for row in self.matrix])
+        return payload
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChainSpec":
+        kind = _require(data, "kind", "chain spec")
+        if kind == "gaussian":
+            return cls.gaussian(
+                _require(data, "sigma", "gaussian chain spec"),
+                distance_unit=data.get("distance_unit", "cells"),
+            )
+        if kind == "lazy_walk":
+            return cls.lazy_walk(
+                stay_probability=data.get("stay_probability", 0.2),
+                diagonal=bool(data.get("diagonal", True)),
+            )
+        if kind == "trace":
+            return cls.from_traces(
+                _require(data, "trajectories", "trace chain spec"),
+                smoothing=data.get("smoothing", 0.05),
+            )
+        if kind == "matrix":
+            return cls.explicit(_require(data, "matrix", "matrix chain spec"))
+        raise ScenarioError(f"unknown chain kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# protected events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EventSpec:
+    """One protected spatiotemporal event (PRESENCE or PATTERN).
+
+    Both kinds round-trip through JSON and build the engine-native
+    event objects; every built event is additionally compiled through
+    the generic events compiler (:func:`repro.events.compiler.compile_event`)
+    at spec-compile time, so malformed or pathologically entangled
+    definitions are rejected with a typed error before any model is
+    constructed.
+    """
+
+    kind: str
+    cells: tuple[int, ...] | None = None  # presence: the sensitive region
+    window: tuple[int, int] | None = None  # presence: inclusive (start, end)
+    regions: tuple[tuple[int, ...], ...] | None = None  # pattern: per-step regions
+    start: int | None = None  # pattern: first timestamp
+
+    def __post_init__(self) -> None:
+        if self.kind == "presence":
+            if not self.cells:
+                raise ScenarioError("presence event needs a non-empty 'cells' list")
+            if self.window is None or len(tuple(self.window)) != 2:
+                raise ScenarioError(
+                    "presence event needs a 2-element 'window' [start, end]"
+                )
+            object.__setattr__(self, "cells", tuple(int(c) for c in self.cells))
+            object.__setattr__(
+                self, "window", (int(self.window[0]), int(self.window[1]))
+            )
+        elif self.kind == "pattern":
+            if not self.regions:
+                raise ScenarioError("pattern event needs a non-empty 'regions' list")
+            if self.start is None:
+                raise ScenarioError("pattern event needs a 'start' timestamp")
+            object.__setattr__(
+                self,
+                "regions",
+                tuple(tuple(int(c) for c in region) for region in self.regions),
+            )
+            object.__setattr__(self, "start", int(self.start))
+        else:
+            raise ScenarioError(
+                f"event kind must be 'presence' or 'pattern', got {self.kind!r}"
+            )
+
+    @classmethod
+    def presence(cls, cells, start: int, end: int) -> "EventSpec":
+        return cls(kind="presence", cells=tuple(cells), window=(start, end))
+
+    @classmethod
+    def presence_range(cls, first: int, last: int, start: int, end: int) -> "EventSpec":
+        return cls.presence(range(int(first), int(last) + 1), start, end)
+
+    @classmethod
+    def pattern(cls, regions, start: int) -> "EventSpec":
+        return cls(kind="pattern", regions=tuple(map(tuple, regions)), start=start)
+
+    def build(self, n_cells: int) -> SpatiotemporalEvent:
+        """The engine-native event on an ``n_cells`` map."""
+        try:
+            if self.kind == "presence":
+                region = Region.from_cells(n_cells, self.cells)
+                return PresenceEvent(region, start=self.window[0], end=self.window[1])
+            regions = [
+                Region.from_cells(n_cells, region) for region in self.regions
+            ]
+            return PatternEvent(regions, start=self.start)
+        except ReproError as error:
+            raise ScenarioError(f"invalid {self.kind} event: {error}") from error
+
+    def to_json(self) -> dict:
+        if self.kind == "presence":
+            return {
+                "kind": "presence",
+                "cells": list(self.cells),
+                "window": list(self.window),
+            }
+        return {
+            "kind": "pattern",
+            "regions": [list(region) for region in self.regions],
+            "start": self.start,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "EventSpec":
+        kind = _require(data, "kind", "event spec")
+        if kind == "presence":
+            return cls(
+                kind="presence",
+                cells=tuple(_require(data, "cells", "presence event spec")),
+                window=tuple(_require(data, "window", "presence event spec")),
+            )
+        if kind == "pattern":
+            return cls(
+                kind="pattern",
+                regions=tuple(map(tuple, _require(data, "regions", "pattern event spec"))),
+                start=_require(data, "start", "pattern event spec"),
+            )
+        raise ScenarioError(f"unknown event kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# mechanism
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MechanismSpec:
+    """An LPPM by registry name plus its construction parameters.
+
+    ``name`` resolves through :mod:`repro.lppm.registry` (aliases
+    accepted, typed :class:`~repro.errors.UnknownMechanismError` on a
+    miss) and is canonicalized at construction so two spellings of the
+    same mechanism share one digest.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", canonical_mechanism_name(self.name))
+        try:
+            # Normalize to plain JSON types so construction-time values
+            # (tuples, numpy scalars) and a JSON round-trip compare and
+            # digest identically.
+            normalized = json.loads(_canonical_json(self.params))
+        except (TypeError, ValueError) as error:
+            raise ScenarioError(
+                f"mechanism params must be JSON-serializable: {error}"
+            ) from None
+        if not isinstance(normalized, dict):
+            raise ScenarioError(
+                f"mechanism params must be an object, got {type(self.params).__name__}"
+            )
+        object.__setattr__(self, "params", normalized)
+
+    def build(self, grid: GridMap, initial: np.ndarray) -> LPPM:
+        """Construct the named mechanism for ``grid``.
+
+        ``delta_location_set`` is handled by the caller (it is a
+        stateful provider, not a static mechanism); see
+        :meth:`ScenarioSpec.compile`.
+        """
+        cls = resolve_mechanism(self.name)
+        params = self.params
+        try:
+            if self.name == "planar_laplace":
+                return cls(grid, float(params["alpha"]))
+            if self.name == "uniform":
+                return cls(grid.n_cells)
+            if self.name == "randomized_response":
+                return cls(grid.n_cells, float(params["budget"]))
+            if self.name == "exponential":
+                if "scores" in params:
+                    return cls(np.asarray(params["scores"], dtype=np.float64),
+                               float(params["budget"]))
+                return cls.from_distance(grid, float(params["budget"]))
+            if self.name == "cloaking":
+                blocks = grid_blocks(
+                    grid,
+                    int(params.get("block_rows", 2)),
+                    int(params.get("block_cols", 2)),
+                )
+                return cls(
+                    grid, blocks,
+                    flip_probability=float(params.get("flip_probability", 0.0)),
+                )
+            if self.name == "emission_model":
+                return cls(
+                    np.asarray(params["matrix"], dtype=np.float64),
+                    budget=float(params.get("budget", 1.0)),
+                )
+        except KeyError as error:
+            raise ScenarioError(
+                f"mechanism {self.name!r} spec is missing parameter {error}"
+            ) from None
+        raise ScenarioError(
+            f"mechanism {self.name!r} has no declarative constructor; build "
+            "the LPPM directly and use SessionBuilder.with_mechanism"
+        )
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "MechanismSpec":
+        return cls(
+            name=_require(data, "name", "mechanism spec"),
+            params=dict(data.get("params", {})),
+        )
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+_CALIBRATIONS: dict[str, tuple] = {
+    # name -> (strategy class, accepted keyword parameters)
+    "halving": (BudgetHalving, ("decay",)),
+    "linear": (LinearDecay, ("step_fraction",)),
+    "binary-search": (BinarySearchCalibration, ("max_probes", "rel_tol")),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationSpec:
+    """A budget schedule by name plus its parameters."""
+
+    name: str = "halving"
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name not in _CALIBRATIONS:
+            raise ScenarioError(
+                f"unknown calibration {self.name!r}; known names: "
+                f"{sorted(_CALIBRATIONS)}"
+            )
+        _, accepted = _CALIBRATIONS[self.name]
+        unknown = set(self.params) - set(accepted)
+        if unknown:
+            raise ScenarioError(
+                f"calibration {self.name!r} does not accept {sorted(unknown)}; "
+                f"accepted parameters: {list(accepted)}"
+            )
+        object.__setattr__(
+            self, "params", {key: float(self.params[key]) for key in self.params}
+        )
+
+    def build(self):
+        cls, _ = _CALIBRATIONS[self.name]
+        params = dict(self.params)
+        if self.name == "binary-search" and "max_probes" in params:
+            params["max_probes"] = int(params["max_probes"])
+        return cls(**params)
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CalibrationSpec":
+        return cls(
+            name=data.get("name", "halving"), params=dict(data.get("params", {}))
+        )
+
+
+# ----------------------------------------------------------------------
+# the scenario
+# ----------------------------------------------------------------------
+class CompiledScenario:
+    """A :class:`ScenarioSpec` materialized into engine-native objects.
+
+    Carries the concrete grid, chain, initial distribution, events and
+    the :class:`~repro.engine.EngineConfig`, plus the spec and its
+    digest.  Compilation is deterministic: the same spec always
+    produces numerically identical models, in any process.
+    """
+
+    def __init__(self, spec, digest, grid, chain, initial, events, engine_config):
+        self.spec: ScenarioSpec = spec
+        self.digest: str = digest
+        self.grid: GridMap = grid
+        self.chain: TransitionMatrix = chain
+        self.initial: np.ndarray = initial
+        self.events: tuple[SpatiotemporalEvent, ...] = events
+        self.engine_config: EngineConfig = engine_config
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable release setting.
+
+    The unit of multi-tenancy: a spec compiles deterministically into an
+    :class:`~repro.engine.EngineConfig`, and its :meth:`digest` keys
+    model interning everywhere (manager cores, shard workers, the
+    service's per-scenario counters).
+
+    Fields
+    ------
+    grid, chain, events, mechanism, calibration:
+        See the component spec classes.
+    epsilon, horizon:
+        The privacy level and release horizon ``T``.
+    prior_mode / prior:
+        ``"worst_case"`` (Theorem IV.1, the engine default) or
+        ``"fixed"``; a fixed prior is either the literal string
+        ``"initial"`` (the compiled initial distribution) or an explicit
+        probability vector.
+    initial:
+        The initial location distribution: ``"uniform"``, ``"fit"``
+        (trace chains only: fitted from the trajectories) or an explicit
+        probability vector.
+    max_calibrations:
+        Calibration rounds before the uniform fallback.
+    """
+
+    grid: GridSpec
+    chain: ChainSpec
+    events: tuple[EventSpec, ...]
+    mechanism: MechanismSpec
+    epsilon: float
+    horizon: int
+    calibration: CalibrationSpec = field(default_factory=CalibrationSpec)
+    prior_mode: str = "worst_case"
+    prior: object = "initial"
+    initial: object = "uniform"
+    max_calibrations: int = 60
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ScenarioError("scenario needs at least one event")
+        object.__setattr__(self, "events", tuple(self.events))
+        if not self.epsilon > 0:
+            raise ScenarioError(f"epsilon must be positive, got {self.epsilon!r}")
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        if int(self.horizon) != self.horizon or self.horizon < 1:
+            raise ScenarioError(
+                f"horizon must be a positive integer, got {self.horizon!r}"
+            )
+        object.__setattr__(self, "horizon", int(self.horizon))
+        if self.prior_mode not in ("worst_case", "fixed"):
+            raise ScenarioError(
+                f"prior_mode must be 'worst_case' or 'fixed', got {self.prior_mode!r}"
+            )
+        object.__setattr__(self, "prior", self._normalize_dist(self.prior, ("initial",)))
+        object.__setattr__(
+            self, "initial", self._normalize_dist(self.initial, ("uniform", "fit"))
+        )
+        if self.initial == "fit" and self.chain.kind != "trace":
+            raise ScenarioError("initial='fit' requires a trace chain")
+        if int(self.max_calibrations) < 1:
+            raise ScenarioError(
+                f"max_calibrations must be >= 1, got {self.max_calibrations!r}"
+            )
+        object.__setattr__(self, "max_calibrations", int(self.max_calibrations))
+
+    @staticmethod
+    def _normalize_dist(value, keywords: tuple[str, ...]):
+        if isinstance(value, str):
+            if value not in keywords:
+                raise ScenarioError(
+                    f"distribution keyword must be one of {keywords}, got {value!r}"
+                )
+            return value
+        try:
+            return tuple(float(v) for v in value)
+        except (TypeError, ValueError):
+            raise ScenarioError(
+                f"distribution must be {keywords} or a number list, got {value!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form; ``from_json`` is its exact inverse."""
+        return {
+            "grid": self.grid.to_json(),
+            "chain": self.chain.to_json(),
+            "events": [event.to_json() for event in self.events],
+            "mechanism": self.mechanism.to_json(),
+            "epsilon": self.epsilon,
+            "horizon": self.horizon,
+            "calibration": self.calibration.to_json(),
+            "prior_mode": self.prior_mode,
+            "prior": list(self.prior) if isinstance(self.prior, tuple) else self.prior,
+            "initial": (
+                list(self.initial) if isinstance(self.initial, tuple) else self.initial
+            ),
+            "max_calibrations": self.max_calibrations,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json` (typed errors on malformed input)."""
+        if not isinstance(data, dict):
+            raise ScenarioError(
+                f"scenario spec must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(
+                f"scenario spec has unknown fields {sorted(unknown)}; "
+                f"known fields: {sorted(known)}"
+            )
+        prior = data.get("prior", "initial")
+        initial = data.get("initial", "uniform")
+        return cls(
+            grid=GridSpec.from_json(_require(data, "grid", "scenario spec")),
+            chain=ChainSpec.from_json(_require(data, "chain", "scenario spec")),
+            events=tuple(
+                EventSpec.from_json(e)
+                for e in _require(data, "events", "scenario spec")
+            ),
+            mechanism=MechanismSpec.from_json(
+                _require(data, "mechanism", "scenario spec")
+            ),
+            epsilon=_require(data, "epsilon", "scenario spec"),
+            horizon=_require(data, "horizon", "scenario spec"),
+            calibration=CalibrationSpec.from_json(data.get("calibration", {})),
+            prior_mode=data.get("prior_mode", "worst_case"),
+            prior=tuple(prior) if isinstance(prior, list) else prior,
+            initial=tuple(initial) if isinstance(initial, list) else initial,
+            max_calibrations=data.get("max_calibrations", 60),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "ScenarioSpec":
+        """Load a spec from a JSON file (the ``--scenario FILE`` format)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise ScenarioError(f"cannot read scenario file {path!r}: {error}") from None
+        except ValueError as error:
+            raise ScenarioError(
+                f"scenario file {path!r} is not valid JSON: {error}"
+            ) from None
+        return cls.from_json(data)
+
+    def digest(self) -> str:
+        """Stable identity of this spec (hex, process-independent).
+
+        Everything model construction depends on enters the digest via
+        the canonical JSON form, so equal digests imply bit-identical
+        compiled models -- the invariant spec-keyed interning rides on.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = spec_digest(self.to_json())
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def initial_distribution(self, grid: GridMap) -> np.ndarray:
+        """The compiled initial location distribution."""
+        if self.initial == "uniform":
+            return np.full(grid.n_cells, 1.0 / grid.n_cells)
+        if self.initial == "fit":
+            return fit_initial_distribution(
+                [list(t) for t in self.chain.trajectories],
+                grid.n_cells,
+                smoothing=self.chain.smoothing,
+            )
+        vector = np.asarray(self.initial, dtype=np.float64)
+        if vector.size != grid.n_cells:
+            raise ScenarioError(
+                f"initial distribution has {vector.size} entries, grid has "
+                f"{grid.n_cells} cells"
+            )
+        return vector
+
+    def compile(self) -> CompiledScenario:
+        """Materialize the spec into engine-native objects.
+
+        Deterministic and side-effect free; raises
+        :class:`~repro.errors.ScenarioError` (or the underlying typed
+        library error) when any component cannot be built.
+        """
+        grid = self.grid.build()
+        chain = self.chain.build(grid)
+        initial = self.initial_distribution(grid)
+        events = tuple(event.build(grid.n_cells) for event in self.events)
+        for event in events:
+            # Well-formedness through the generic events compiler: the
+            # automaton build rejects degenerate or pathologically
+            # entangled definitions before any O(m^2) model exists.
+            try:
+                compile_event(event.to_expression())
+            except ReproError as error:
+                raise ScenarioError(f"event does not compile: {error}") from error
+        builder = (
+            SessionBuilder()
+            .with_grid(grid)
+            .with_chain(chain)
+            .protecting(*events)
+            .with_epsilon(self.epsilon)
+            .with_horizon(self.horizon)
+            .with_calibration(self.calibration.build())
+            .with_max_calibrations(self.max_calibrations)
+        )
+        if self.prior_mode == "fixed":
+            if self.prior == "initial":
+                prior = initial
+            else:
+                prior = np.asarray(self.prior, dtype=np.float64)
+                if prior.size != grid.n_cells:
+                    raise ScenarioError(
+                        f"fixed prior has {prior.size} entries, grid has "
+                        f"{grid.n_cells} cells"
+                    )
+            builder.with_fixed_prior(prior)
+        if self.mechanism.name == "delta_location_set":
+            params = self.mechanism.params
+            try:
+                builder.with_delta_location_set(
+                    float(params["alpha"]), float(params["delta"]), initial
+                )
+            except KeyError as error:
+                raise ScenarioError(
+                    f"mechanism 'delta_location_set' spec is missing parameter {error}"
+                ) from None
+        else:
+            builder.with_mechanism(self.mechanism.build(grid, initial))
+        try:
+            config = builder.build_config()
+        except ReproError as error:
+            raise ScenarioError(f"scenario does not compile: {error}") from error
+        return CompiledScenario(
+            spec=self,
+            digest=self.digest(),
+            grid=grid,
+            chain=chain,
+            initial=initial,
+            events=events,
+            engine_config=config,
+        )

@@ -29,6 +29,13 @@ def _payload(frame: dict) -> dict:
     return {k: v for k, v in frame.items() if k not in _ENVELOPE_KEYS}
 
 
+def _scenario_json(scenario) -> dict | None:
+    """A spec (or its JSON dict) as the wire-ready ``scenario`` field."""
+    if scenario is None or isinstance(scenario, dict):
+        return scenario
+    return scenario.to_json()
+
+
 class AsyncServiceClient:
     """Pipelined asyncio client for one server connection."""
 
@@ -90,6 +97,7 @@ class AsyncServiceClient:
                 session=request.session,
                 cell=request.cell,
                 seed=request.seed,
+                scenario=request.scenario,
                 extra=request.extra,
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -100,9 +108,23 @@ class AsyncServiceClient:
         return _payload(await future)
 
     # -- convenience ops -------------------------------------------------
-    async def open(self, session: str | None = None, seed: int | None = None) -> str:
-        """Open a session; returns its id."""
-        reply = await self.request(Request(op="open", session=session, seed=seed))
+    async def open(
+        self,
+        session: str | None = None,
+        seed: int | None = None,
+        scenario=None,
+    ) -> str:
+        """Open a session; returns its id.
+
+        ``scenario`` is an optional :class:`~repro.scenario.ScenarioSpec`
+        (or its JSON dict) sent inline; the server admits it against its
+        allowlist.
+        """
+        reply = await self.request(
+            Request(
+                op="open", session=session, seed=seed, scenario=_scenario_json(scenario)
+            )
+        )
         return reply["session"]
 
     async def step(self, session: str, cell: int) -> dict:
@@ -163,6 +185,7 @@ class ServiceClient:
                 session=request.session,
                 cell=request.cell,
                 seed=request.seed,
+                scenario=request.scenario,
                 extra=request.extra,
             )
         self._file.write(request.to_frame())
@@ -173,9 +196,18 @@ class ServiceClient:
         return _payload(parse_reply(line))
 
     # -- convenience ops (mirror the async client) -----------------------
-    def open(self, session: str | None = None, seed: int | None = None) -> str:
-        """Open a session; returns its id."""
-        return self.request(Request(op="open", session=session, seed=seed))["session"]
+    def open(
+        self,
+        session: str | None = None,
+        seed: int | None = None,
+        scenario=None,
+    ) -> str:
+        """Open a session; returns its id (``scenario`` as in the async client)."""
+        return self.request(
+            Request(
+                op="open", session=session, seed=seed, scenario=_scenario_json(scenario)
+            )
+        )["session"]
 
     def step(self, session: str, cell: int) -> dict:
         """Release one location; returns the release record."""

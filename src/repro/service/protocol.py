@@ -22,8 +22,12 @@ re-raise the exact exception type the server caught --
 Ops
 ---
 ``open``
-    ``session`` (optional name), ``seed`` (optional int) -> the session
-    id.  Rejected with ``busy`` at the server's open-session cap.
+    ``session`` (optional name), ``seed`` (optional int), ``scenario``
+    (optional inline :class:`~repro.scenario.ScenarioSpec` JSON object)
+    -> the session id, its horizon and (when a scenario was given) the
+    scenario digest.  Rejected with ``busy`` at the server's
+    open-session cap and with ``scenario`` for specs that are malformed
+    or not on the server's allowlist.
 ``step``
     ``session``, ``cell`` -> one release record (the engine's
     :meth:`~repro.engine.ReleaseRecord.to_json` form).
@@ -48,6 +52,7 @@ from ..errors import (
     ProtocolError,
     QuantificationError,
     ReproError,
+    ScenarioError,
     ServiceBusyError,
     ServiceError,
     SessionError,
@@ -78,6 +83,7 @@ ERROR_CODES: dict[str, type[ReproError]] = {
     "calibration": CalibrationError,
     "solver": SolverError,
     "mechanism": MechanismError,
+    "scenario": ScenarioError,
     "validation": ValidationError,
     "service": ServiceError,
     "internal": ReproError,
@@ -110,6 +116,7 @@ class Request:
     session: str | None = None
     cell: int | None = None
     seed: int | None = None
+    scenario: dict | None = None
     extra: dict = field(default_factory=dict)
 
     def to_frame(self) -> bytes:
@@ -121,6 +128,8 @@ class Request:
             frame["cell"] = self.cell
         if self.seed is not None:
             frame["seed"] = self.seed
+        if self.scenario is not None:
+            frame["scenario"] = self.scenario
         frame.update(self.extra)
         return encode_frame(frame)
 
@@ -194,10 +203,28 @@ def parse_request(line: bytes | str) -> Request:
                 raise ProtocolError(f"'seed' is only valid for op 'open', not {op!r}")
             if not isinstance(seed, int) or isinstance(seed, bool):
                 raise ProtocolError(f"'seed' must be an integer, got {seed!r}")
+        scenario = frame.get("scenario")
+        if scenario is not None:
+            if op != "open":
+                raise ProtocolError(
+                    f"'scenario' is only valid for op 'open', not {op!r}"
+                )
+            if not isinstance(scenario, dict):
+                raise ProtocolError(
+                    f"'scenario' must be a JSON object, got "
+                    f"{type(scenario).__name__}"
+                )
     except ProtocolError as error:
         error.request_id = request_id  # type: ignore[attr-defined]
         raise
-    return Request(op=op, request_id=request_id, session=session, cell=cell, seed=seed)
+    return Request(
+        op=op,
+        request_id=request_id,
+        session=session,
+        cell=cell,
+        seed=seed,
+        scenario=scenario,
+    )
 
 
 def ok_frame(request_id: object, op: str, payload: dict) -> bytes:

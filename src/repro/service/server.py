@@ -48,6 +48,7 @@ from ..errors import (
     SessionError,
     ShardDownError,
 )
+from ..scenario import ScenarioRegistry
 from .executor import SessionExecutor, StepBatcher
 from .metrics import ServiceMetrics
 from .protocol import (
@@ -76,6 +77,10 @@ class ServerConfig:
     #: into one batched `SessionManager.step_many` call (bit-identical
     #: streams, bounded added latency, higher fleet throughput).
     batch_window_ms: float = 0.0
+    #: Capacity of the validated-scenario LRU fronting inline `open`
+    #: scenarios (evicted specs are simply re-validated on their next
+    #: submission; model interning lives in the engine, per digest).
+    max_cached_scenarios: int = 64
 
 
 def _merge_cache_rows(rows: list[dict]) -> dict | None:
@@ -104,6 +109,16 @@ class ReleaseServer:
     any :class:`~repro.engine.backend.ExecutionBackend` -- notably a
     :class:`~repro.engine.shard.ShardPool`, which spreads the fleet
     over N worker processes for near-linear core scaling.
+
+    Multi-tenancy: ``open`` accepts an inline
+    :class:`~repro.scenario.ScenarioSpec` JSON object, gated by a
+    digest allowlist (``scenarios=`` preloads it; ``allow_any_scenario``
+    bypasses it) with a validated-spec LRU in front.  The engine interns
+    per-scenario models by digest, and the ``stats`` op reports
+    per-scenario open/step/finish counters (sessions of the flag-built
+    default configuration count under ``"default"``, as do sessions
+    adopted from a durable store before their first scenario-tagged
+    request of this incarnation).
     """
 
     def __init__(
@@ -112,11 +127,24 @@ class ReleaseServer:
         store: SessionStore | None = None,
         config: ServerConfig | None = None,
         metrics: ServiceMetrics | None = None,
+        scenarios=None,
+        allow_any_scenario: bool = False,
     ):
         self._backend = as_backend(engine)
         self._store = store if store is not None else MemorySessionStore()
         self._config = config if config is not None else ServerConfig()
         self._metrics = metrics if metrics is not None else ServiceMetrics()
+        # Inline-scenario admission: preloaded specs form the digest
+        # allowlist unless allow_any_scenario opens the gate entirely.
+        self._scenarios = ScenarioRegistry(
+            scenarios if scenarios is not None else (),
+            allow_any=allow_any_scenario,
+            max_cached=self._config.max_cached_scenarios,
+        )
+        # Per-scenario observability: sid -> digest ("default" for the
+        # flag-built configuration) and digest -> lifecycle counters.
+        self._session_scenario: dict[str, str] = {}
+        self._scenario_counters: dict[str, dict[str, int]] = {}
         if self._backend.remote and self._config.workers == 0:
             # Inline execution would run blocking shard RPCs on the
             # event loop; one RPC queued behind a shard's in-flight
@@ -359,18 +387,40 @@ class ReleaseServer:
                 "finish sessions or retry later"
             )
         seed = request.seed
-        if self._backend.remote:
-            # An RPC can block behind the shard's in-flight batch;
-            # never run it on the event loop.
-            await self._executor.run(sid, lambda: self._backend.open(sid, seed))
-        else:
-            await self._executor.run_inline(
-                sid, lambda: self._backend.open(sid, seed)
+        spec = None
+        if request.scenario is not None:
+            # Validate + allowlist-check on the loop (cheap, typed
+            # errors); model compilation happens inside the backend's
+            # manager, interned by digest, off the loop.
+            spec = self._scenarios.admit(request.scenario)
+        if self._backend.remote or spec is not None:
+            # Off the event loop: a shard RPC can block behind the
+            # shard's in-flight batch, and compiling a first-seen
+            # scenario builds O(m^2) models.
+            horizon = await self._executor.run(
+                sid, lambda: self._backend.open(sid, seed, spec)
             )
+        else:
+            horizon = await self._executor.run_inline(
+                sid, lambda: self._backend.open(sid, seed, spec)
+            )
+        digest = spec.digest() if spec is not None else "default"
+        self._session_scenario[sid] = digest
+        self._count_scenario(digest, "opened")
         self._touch(sid)
         self._metrics.record_session_event("opened")
         await self._maybe_evict()
-        return {"session": sid, "horizon": self._backend.horizon}
+        payload = {"session": sid, "horizon": horizon}
+        if spec is not None:
+            payload["scenario"] = digest
+        return payload
+
+    def _count_scenario(self, digest: str, event: str, n: int = 1) -> None:
+        """Bump one per-scenario lifecycle counter (loop thread only)."""
+        counters = self._scenario_counters.setdefault(
+            digest, {"opened": 0, "steps": 0, "finished": 0}
+        )
+        counters[event] += n
 
     async def _op_step(self, request: Request) -> dict:
         sid, cell = request.session, request.cell
@@ -391,6 +441,7 @@ class ReleaseServer:
         if restored:
             self._metrics.record_session_event("restored")
         self._metrics.record_step(record.elapsed_s, record)
+        self._count_scenario(self._session_scenario.get(sid, "default"), "steps")
         self._touch(sid)
         await self._maybe_evict()
         return record.to_json()
@@ -430,6 +481,9 @@ class ReleaseServer:
         self._open.pop(sid, None)
         self._resident_lru.pop(sid, None)
         self._metrics.record_session_event("finished")
+        self._count_scenario(
+            self._session_scenario.pop(sid, "default"), "finished"
+        )
         return {
             "session": sid,
             "n_released": len(log),
@@ -506,6 +560,15 @@ class ReleaseServer:
             None if self._batcher is None else self._batcher.stats()
         )
         snapshot["shards"] = self._shard_section(shard_rows)
+        snapshot["scenarios"] = {
+            "allow_any": self._scenarios.allow_any,
+            "allowlist": self._scenarios.allowlisted(),
+            "cached": self._scenarios.cached_count(),
+            "counters": {
+                digest: dict(counters)
+                for digest, counters in self._scenario_counters.items()
+            },
+        }
         return snapshot
 
     def _shard_section(self, rows: list[dict] | None) -> dict | None:

@@ -1,0 +1,396 @@
+"""The declarative scenario layer: spec round-trip, digest, interning.
+
+Covers the :mod:`repro.scenario` subsystem itself (JSON round-trip
+producing bit-identical sessions, digest stability across processes,
+typed validation errors), the LPPM name registry, the checkpoint schema
+version gate, and :class:`~repro.engine.SessionManager`'s spec-keyed
+model interning (one digest = shared models/ladder/cache; distinct
+digests = disjoint cores).
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine import STATE_SCHEMA_VERSION, ReleaseSession, SessionManager, SessionState
+from repro.errors import (
+    CheckpointVersionError,
+    MechanismError,
+    ScenarioError,
+    SessionError,
+    UnknownMechanismError,
+)
+from repro.lppm import (
+    MECHANISMS,
+    PlanarLaplaceMechanism,
+    canonical_mechanism_name,
+    register_mechanism,
+    resolve_mechanism,
+)
+from repro.scenario import (
+    CalibrationSpec,
+    ChainSpec,
+    EventSpec,
+    GridSpec,
+    MechanismSpec,
+    ScenarioRegistry,
+    ScenarioSpec,
+)
+
+HORIZON = 8
+
+
+def make_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        grid=GridSpec(rows=4, cols=4),
+        chain=ChainSpec.gaussian(sigma=1.0),
+        events=(EventSpec.presence_range(0, 5, start=2, end=4),),
+        mechanism=MechanismSpec("planar_laplace", {"alpha": 0.5}),
+        epsilon=0.5,
+        horizon=HORIZON,
+        prior_mode="fixed",
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def other_spec() -> ScenarioSpec:
+    """A second scenario: different map, mechanism and epsilon."""
+    return make_spec(
+        grid=GridSpec(rows=5, cols=3),
+        chain=ChainSpec.lazy_walk(stay_probability=0.3),
+        events=(EventSpec.presence_range(0, 4, start=2, end=3),),
+        mechanism=MechanismSpec("randomized_response", {"budget": 2.0}),
+        epsilon=0.8,
+    )
+
+
+def run_session(spec: ScenarioSpec, cells, rng=3):
+    session = ReleaseSession(spec.compile().engine_config, rng=rng)
+    return [session.step(cell).to_json() for cell in cells]
+
+
+def strip_elapsed(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "elapsed_s"}
+
+
+class TestRoundTrip:
+    def test_spec_json_round_trip_is_identity(self):
+        spec = make_spec()
+        wire = json.loads(json.dumps(spec.to_json()))
+        again = ScenarioSpec.from_json(wire)
+        assert again == spec
+        assert again.digest() == spec.digest()
+        # and a second round trip is a fixed point
+        assert ScenarioSpec.from_json(again.to_json()) == again
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            make_spec(),
+            other_spec(),
+            make_spec(
+                chain=ChainSpec.explicit(np.full((16, 16), 1.0 / 16)),
+                prior_mode="worst_case",
+            ),
+            make_spec(
+                chain=ChainSpec.from_traces([[0, 1, 2, 1], [3, 3, 2, 0]]),
+                initial="fit",
+                mechanism=MechanismSpec("delta_location_set", {"alpha": 0.5, "delta": 0.2}),
+            ),
+            make_spec(
+                events=(
+                    EventSpec.pattern([[0, 1], [4, 5]], start=2),
+                    EventSpec.presence_range(0, 3, start=5, end=6),
+                ),
+                calibration=CalibrationSpec("binary-search", {"max_probes": 4}),
+            ),
+        ],
+        ids=["gaussian", "lazy-rr", "matrix", "trace-delta", "pattern-binary"],
+    )
+    def test_round_tripped_spec_compiles_to_bit_identical_sessions(self, spec):
+        again = ScenarioSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        cells = [1, 0, 2, 3, 1]
+        assert list(map(strip_elapsed, run_session(again, cells))) == list(
+            map(strip_elapsed, run_session(spec, cells))
+        )
+
+    def test_from_json_rejects_unknown_fields_and_missing_fields(self):
+        with pytest.raises(ScenarioError, match="unknown fields"):
+            ScenarioSpec.from_json({**make_spec().to_json(), "wat": 1})
+        broken = make_spec().to_json()
+        del broken["mechanism"]
+        with pytest.raises(ScenarioError, match="mechanism"):
+            ScenarioSpec.from_json(broken)
+
+    def test_component_validation_is_typed(self):
+        with pytest.raises(ScenarioError):
+            GridSpec(rows=0, cols=4)
+        with pytest.raises(ScenarioError):
+            ChainSpec.gaussian(sigma=-1.0)
+        with pytest.raises(ScenarioError):
+            EventSpec(kind="presence", cells=(), window=(1, 2))
+        with pytest.raises(ScenarioError):
+            CalibrationSpec("halvsies")
+        with pytest.raises(ScenarioError, match="does not accept"):
+            CalibrationSpec("halving", {"max_probes": 3})
+        with pytest.raises(ScenarioError):
+            make_spec(epsilon=0.0)
+        with pytest.raises(ScenarioError, match="trace chain"):
+            make_spec(initial="fit")
+
+    def test_compile_errors_are_typed(self):
+        # matrix wrong shape for the grid
+        bad = make_spec(chain=ChainSpec.explicit(np.eye(4)))
+        with pytest.raises(ScenarioError, match="shape"):
+            bad.compile()
+        # missing mechanism parameter
+        with pytest.raises(ScenarioError, match="missing parameter"):
+            make_spec(mechanism=MechanismSpec("planar_laplace", {})).compile()
+        # event outside the map
+        with pytest.raises(ScenarioError, match="invalid presence event"):
+            make_spec(
+                events=(EventSpec.presence([99], start=1, end=2),)
+            ).compile()
+
+
+class TestDigest:
+    def test_digest_ignores_construction_spelling(self):
+        a = make_spec(mechanism=MechanismSpec("geoind", {"alpha": 0.5}))
+        b = make_spec(mechanism=MechanismSpec("planar_laplace", {"alpha": 0.5}))
+        assert a.digest() == b.digest()
+
+    def test_digest_separates_different_settings(self):
+        digests = {
+            make_spec().digest(),
+            make_spec(epsilon=0.6).digest(),
+            make_spec(grid=GridSpec(rows=4, cols=5)).digest(),
+            make_spec(mechanism=MechanismSpec("planar_laplace", {"alpha": 0.7})).digest(),
+            other_spec().digest(),
+        }
+        assert len(digests) == 5
+
+    def test_digest_is_stable_across_processes(self, tmp_path):
+        spec = make_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_json()))
+        script = (
+            "import json, sys\n"
+            "from repro.scenario import ScenarioSpec\n"
+            "spec = ScenarioSpec.from_file(sys.argv[1])\n"
+            "print(spec.digest())\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+            cwd=".",
+        )
+        assert out.stdout.strip() == spec.digest()
+
+
+class TestLppmRegistry:
+    def test_every_mechanism_resolves_by_canonical_name(self):
+        for name, cls in MECHANISMS.items():
+            assert resolve_mechanism(name) is cls
+            assert canonical_mechanism_name(name) == name
+
+    def test_aliases_resolve_to_canonical_classes(self):
+        assert resolve_mechanism("geoind") is PlanarLaplaceMechanism
+        assert canonical_mechanism_name("delta") == "delta_location_set"
+
+    def test_unknown_name_raises_typed_error_listing_names(self):
+        with pytest.raises(UnknownMechanismError, match="registered names"):
+            resolve_mechanism("laplace_but_wrong")
+        # the typed error is still a MechanismError (and a ValueError)
+        assert issubclass(UnknownMechanismError, MechanismError)
+        assert issubclass(UnknownMechanismError, ValueError)
+
+    def test_register_refuses_duplicates_and_non_lppms(self):
+        with pytest.raises(MechanismError, match="already registered"):
+            register_mechanism("uniform", PlanarLaplaceMechanism)
+        with pytest.raises(MechanismError, match="LPPM subclass"):
+            register_mechanism("not-a-mechanism", dict)
+
+
+class TestCheckpointSchema:
+    def test_states_carry_the_schema_version(self):
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=1)
+        manager.step("u", 1)
+        state_json = manager.checkpoint("u").to_json()
+        assert state_json["schema"] == STATE_SCHEMA_VERSION
+
+    def test_newer_schema_raises_typed_error(self):
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=1)
+        state_json = manager.checkpoint("u").to_json()
+        state_json["schema"] = STATE_SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointVersionError, match="upgrade"):
+            SessionState.from_json(state_json)
+
+    def test_v1_states_without_schema_still_restore(self):
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=1)
+        manager.step("u", 1)
+        state_json = manager.checkpoint("u").to_json()
+        del state_json["schema"]
+        del state_json["scenario"]  # v1 had neither field
+        restored = SessionState.from_json(state_json)
+        assert restored.scenario is None
+        manager2 = SessionManager(make_spec())
+        manager2.resume(restored)
+        assert manager2.step("u", 2).t == 2
+
+
+class TestManagerInterning:
+    def test_same_digest_shares_models_and_cache(self):
+        manager = SessionManager(ScenarioSpec.from_json(make_spec().to_json()))
+        manager.open("a", rng=1)
+        manager.open("b", rng=2, scenario=make_spec())
+        session_a = manager.session("a")
+        session_b = manager.session("b")
+        assert session_a._core is session_b._core
+        assert session_a._core.models[0] is session_b._core.models[0]
+        assert session_a._cache is session_b._cache
+        assert manager.scenario_digests() == [make_spec().digest()]
+
+    def test_different_digests_get_disjoint_cores(self):
+        manager = SessionManager(make_spec())
+        manager.open("a", rng=1)
+        manager.open("c", rng=3, scenario=other_spec())
+        assert manager.session("a")._core is not manager.session("c")._core
+        assert manager.n_states_of("a") == 16
+        assert manager.n_states_of("c") == 15
+        assert manager.scenario_of("a") == make_spec().digest()
+        assert manager.scenario_of("c") == other_spec().digest()
+
+    def test_open_by_digest_string_requires_registration(self):
+        manager = SessionManager(make_spec())
+        with pytest.raises(ScenarioError, match="not registered"):
+            manager.open("x", scenario=other_spec().digest())
+        digest = manager.register_scenario(other_spec())
+        manager.open("x", rng=1, scenario=digest)
+        assert manager.horizon_of("x") == HORIZON
+
+    def test_mixed_step_many_matches_step_all(self):
+        spec_a, spec_b = make_spec(), other_spec()
+        cells = {"a1": 1, "a2": 2, "b1": 3}
+
+        def drive(step):
+            manager = SessionManager(spec_a)
+            manager.open("a1", rng=1)
+            manager.open("a2", rng=2)
+            manager.open("b1", rng=3, scenario=spec_b)
+            out = []
+            for _ in range(4):
+                records = step(manager, cells)
+                out.append(
+                    {sid: strip_elapsed(r.to_json()) for sid, r in records.items()}
+                )
+            return out
+
+        assert drive(SessionManager.step_many) == drive(SessionManager.step_all)
+
+    def test_scenario_checkpoint_restores_into_a_fresh_manager(self):
+        spec_b = other_spec()
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=5, scenario=spec_b)
+        first = strip_elapsed(manager.step("u", 1).to_json())
+        state = manager.suspend("u")
+        assert state.scenario["digest"] == spec_b.digest()
+
+        # continuous reference
+        reference = SessionManager(make_spec())
+        reference.open("u", rng=5, scenario=spec_b)
+        ref_records = [
+            strip_elapsed(reference.step("u", cell).to_json()) for cell in (1, 2, 0)
+        ]
+        assert ref_records[0] == first
+
+        # a manager that has never seen spec_b re-materializes it
+        fresh = SessionManager(make_spec())
+        fresh.resume(state)
+        assert [
+            strip_elapsed(fresh.step("u", cell).to_json()) for cell in (2, 0)
+        ] == ref_records[1:]
+        assert fresh.scenario_of("u") == spec_b.digest()
+
+    def test_resume_rejects_mismatched_digest(self):
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=5, scenario=other_spec())
+        state = manager.suspend("u")
+        state.scenario = dict(state.scenario, digest="0" * 32)
+        with pytest.raises(SessionError, match="mismatched"):
+            SessionManager(make_spec()).resume(state)
+
+    def test_default_sessions_checkpoint_without_binding(self):
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=1)
+        assert manager.checkpoint("u").scenario is None
+
+    def test_explicit_scenario_matching_default_still_embeds_binding(self):
+        # Opened *explicitly* with a spec that happens to equal the
+        # manager's default: the binding must survive, because a
+        # restarted manager may have a different default config.
+        manager = SessionManager(make_spec())
+        manager.open("u", rng=5, scenario=make_spec())
+        manager.step("u", 1)
+        state = manager.suspend("u")
+        assert state.scenario is not None
+        assert state.scenario["digest"] == make_spec().digest()
+        restarted = SessionManager(other_spec())  # different default
+        restarted.resume(state)
+        assert restarted.n_states_of("u") == 16  # still the 4x4 world
+        assert restarted.step("u", 2).t == 2
+
+    def test_idle_cores_evicted_beyond_max_scenarios(self):
+        manager = SessionManager(make_spec(), max_scenarios=2)
+        manager.open("busy", rng=1, scenario=other_spec())
+        # a stream of one-off scenarios must not grow the core table
+        for k in range(5):
+            manager.register_scenario(make_spec(epsilon=0.6 + 0.01 * k))
+        digests = manager.scenario_digests()
+        # the default and the in-use scenario are never evicted
+        assert make_spec().digest() in digests
+        assert other_spec().digest() in digests
+        # idle one-off cores were dropped as new ones arrived
+        assert len(digests) <= 3
+        # an evicted scenario simply recompiles on its next use
+        manager.open("back", rng=2, scenario=make_spec(epsilon=0.6))
+        assert manager.step("back", 1).t == 1
+
+
+class TestScenarioRegistry:
+    def test_allowlist_admits_only_preloaded_digests(self):
+        registry = ScenarioRegistry([make_spec()])
+        admitted = registry.admit(make_spec().to_json())
+        assert admitted.digest() == make_spec().digest()
+        with pytest.raises(ScenarioError, match="allowlist"):
+            registry.admit(other_spec().to_json())
+
+    def test_allow_any_bypasses_the_allowlist(self):
+        registry = ScenarioRegistry([], allow_any=True)
+        assert registry.admit(other_spec().to_json()).digest() == other_spec().digest()
+
+    def test_lru_caches_validated_specs(self):
+        registry = ScenarioRegistry([], allow_any=True, max_cached=2)
+        payloads = [make_spec().to_json(), other_spec().to_json()]
+        first = registry.admit(payloads[0])
+        assert registry.admit(payloads[0]) is first  # cache hit
+        registry.admit(payloads[1])
+        third = make_spec(epsilon=0.9)
+        registry.admit(third.to_json())  # evicts the LRU entry
+        assert registry.cached_count() == 2
+        # evicted spec is re-validated, not rejected
+        assert registry.admit(payloads[0]).digest() == first.digest()
+
+    def test_malformed_payloads_are_typed_errors(self):
+        registry = ScenarioRegistry([], allow_any=True)
+        with pytest.raises(ScenarioError):
+            registry.admit({"grid": "nope"})

@@ -23,6 +23,7 @@ machine-readable schema, uploaded as CI artifacts).
 """
 
 import asyncio
+import functools
 import os
 import time
 
@@ -61,6 +62,10 @@ SHARDED_SESSIONS, SHARDED_STEPS = 1000, 4
 #: the mixed-tenant point: 1000 sessions spread over K distinct specs
 #: (--mixed-scenarios K) vs the same fleet on one spec.
 MIXED_SESSIONS, MIXED_STEPS = 1000, 4
+#: the cluster sweep: 1000 sessions over 1 / 2 localhost `repro worker`
+#: TCP processes, against the 2-shard pipe-RPC pool as the baseline.
+CLUSTER_SESSIONS, CLUSTER_STEPS = 1000, 4
+CLUSTER_SWEEP = (1, 2)
 
 
 @pytest.fixture(scope="module")
@@ -99,6 +104,7 @@ async def _drive_load(
     seed: int,
     batch_window_ms: float = 0.0,
     shards: int = 0,
+    cluster_workers: int = 0,
 ):
     """One load point: open, step concurrently, finish, drain."""
     rng = np.random.default_rng(seed)
@@ -108,11 +114,22 @@ async def _drive_load(
         )
         for _ in range(n_sessions)
     ]
-    engine = (
-        ShardPool(lambda: SessionManager(builder), shards)
-        if shards > 0
-        else SessionManager(builder)
-    )
+    worker_procs = []
+    if cluster_workers > 0:
+        from repro.cluster import ClusterBackend, spawn_local_worker
+
+        addresses = []
+        for _ in range(cluster_workers):
+            process, address = spawn_local_worker(
+                functools.partial(SessionManager, builder)
+            )
+            worker_procs.append(process)
+            addresses.append(address)
+        engine = ClusterBackend(addresses)
+    elif shards > 0:
+        engine = ShardPool(lambda: SessionManager(builder), shards)
+    else:
+        engine = SessionManager(builder)
     server = ReleaseServer(
         engine,
         config=ServerConfig(
@@ -152,6 +169,10 @@ async def _drive_load(
     for client in clients:
         await client.close()
     await server.drain()
+    for process in worker_procs:
+        process.terminate()
+    for process in worker_procs:
+        process.join(10)
 
     assert stats["sessions"]["open"] == n_sessions
     assert len(latencies) == n_sessions * n_steps
@@ -161,9 +182,11 @@ async def _drive_load(
     mode = "batched" if batch_window_ms > 0 else "direct"
     if shards > 0:
         mode = f"sharded-{shards}"
+    if cluster_workers > 0:
+        mode = f"cluster-{cluster_workers}"
     return {
         "mode": mode,
-        "shards": shards,
+        "shards": shards if cluster_workers == 0 else cluster_workers,
         "sessions": n_sessions,
         "steps": int(samples.size),
         "wall_s": round(wall, 4),
@@ -472,6 +495,98 @@ def test_bench_service_load_sharded(service_setting, save_result, save_json):
             "steps_per_session": SHARDED_STEPS,
             "batch_window_ms": BATCH_WINDOW_MS,
             "shard_sweep": list(sweep),
+            "cpu_count": cores,
+            "comparison": comparison,
+        },
+        rows=rows,
+    )
+
+
+def test_bench_service_load_cluster(service_setting, save_result, save_json):
+    """The cluster sweep: 1000 sessions over localhost TCP workers.
+
+    The baseline is the 2-shard :class:`ShardPool` at the same load
+    (pipe RPC, same typed codec), so the sweep isolates exactly what the
+    TCP hop and the router's assignment map add over in-box sharding.
+    On localhost the 2-worker cluster should hold >= 0.8x the 2-shard
+    pool's throughput -- the wire format is identical and TCP loopback
+    is cheap; the committed JSON records the real ratio while the
+    assertion bound stays looser for noisy CI runners.
+    """
+    scenario, builder = service_setting
+    cores = os.cpu_count() or 1
+    rows = [
+        asyncio.run(
+            _drive_load(
+                scenario,
+                builder,
+                CLUSTER_SESSIONS,
+                CLUSTER_STEPS,
+                seed=0,
+                batch_window_ms=BATCH_WINDOW_MS,
+                shards=2,
+            )
+        )
+    ]
+    for workers in CLUSTER_SWEEP:
+        rows.append(
+            asyncio.run(
+                _drive_load(
+                    scenario,
+                    builder,
+                    CLUSTER_SESSIONS,
+                    CLUSTER_STEPS,
+                    seed=0,
+                    batch_window_ms=BATCH_WINDOW_MS,
+                    cluster_workers=workers,
+                )
+            )
+        )
+
+    by_mode = {row["mode"]: row["steps_per_s"] for row in rows}
+    baseline = by_mode["sharded-2"]
+    ratio = round(by_mode["cluster-2"] / baseline, 3)
+    comparison = (
+        f"1000-session throughput: 2-shard pool {baseline} steps/s -> "
+        f"2-worker TCP cluster {by_mode['cluster-2']} steps/s ({ratio}x), "
+        f"1-worker cluster {by_mode['cluster-1']} steps/s, on {cores} cores "
+        "(same typed codec on both; the delta is the TCP hop + router map; "
+        "target >= 0.8x on a quiet machine)"
+    )
+    assert by_mode["cluster-1"] > 0 and by_mode["cluster-2"] > 0
+    assert ratio >= 0.5, (
+        f"TCP cluster throughput collapsed to {ratio}x of the 2-shard pool "
+        f"({by_mode['cluster-2']} vs {baseline} steps/s)"
+    )
+
+    columns = [
+        "mode", "shards", "sessions", "steps", "wall_s", "steps_per_s",
+        "p50_ms", "p99_ms", "max_loop_lag_ms", "cache_hit_rate", "mean_batch",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"repro serve cluster sweep ({CLUSTER_SESSIONS} sessions, "
+            f"--batch-window-ms {BATCH_WINDOW_MS}, {cores} cores; baseline "
+            "= 2-shard pool, cluster-N = N localhost `repro worker` over TCP)"
+        ),
+    )
+    save_result("bench_service_load_cluster", table + "\n\n" + comparison)
+    save_json(
+        "bench_service_load_cluster",
+        params={
+            "rows_cols": [6, 6],
+            "horizon": HORIZON,
+            "epsilon": 0.4,
+            "alpha": 0.5,
+            "prior_mode": "fixed",
+            "connections_max": MAX_CONNECTIONS,
+            "sessions": CLUSTER_SESSIONS,
+            "steps_per_session": CLUSTER_STEPS,
+            "batch_window_ms": BATCH_WINDOW_MS,
+            "cluster_sweep": list(CLUSTER_SWEEP),
+            "throughput_ratio_vs_2_shards": ratio,
             "cpu_count": cores,
             "comparison": comparison,
         },

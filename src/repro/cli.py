@@ -1,6 +1,6 @@
-"""Command-line entry point: ``repro <experiment>`` / ``stream`` / ``serve``.
+"""Command-line entry point: ``repro <experiment>`` / ``stream`` / ``serve`` / ``worker``.
 
-Three modes:
+Four modes:
 
 * ``repro fig7`` .. ``fig14``, ``table3`` -- reproduce one of the
   paper's figures/tables (run with ``--help`` for options);
@@ -17,7 +17,16 @@ Three modes:
   onto one shared execution backend, with admission control, a worker
   pool and idle-session eviction to a pluggable store.  ``--shards N``
   swaps the in-process backend for a pool of N worker processes (each
-  owning a full engine) for near-linear multi-core scaling.
+  owning a full engine) for near-linear multi-core scaling, and
+  ``--backend tcp://w1:9001,tcp://w2:9002`` swaps it for a
+  :class:`~repro.cluster.ClusterBackend` routing sessions to ``repro
+  worker`` processes on any machines (consistent-hash placement, live
+  migration via the ``migrate`` op).
+* ``repro worker`` -- one cluster node: a full engine behind a TCP
+  port (``--listen HOST:PORT``), serving the shard op set over the
+  typed cluster codec for a ``repro serve --backend tcp://...`` router.
+  Takes the same engine flags as ``serve`` -- start every worker of a
+  cluster with identical flags (or the same ``--scenario`` file).
 
 Stream protocol (one JSON object per line)::
 
@@ -318,6 +327,38 @@ def _stream_loop(
         )
 
 
+def _worker_main(argv: list[str]) -> int:
+    from .cluster.backend import parse_address
+    from .cluster.worker import run_worker
+
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="One cluster worker: a full engine behind a TCP port, "
+        "driven by `repro serve --backend tcp://...`",
+    )
+    _add_engine_flags(parser)
+    parser.add_argument("--scenario", default=None, metavar="FILE",
+                        help="JSON ScenarioSpec file defining the default "
+                        "release setting (overrides the engine flags); must "
+                        "match the router's configuration")
+    parser.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                        help="address to serve on (port 0 picks an ephemeral "
+                        "port; the bound port is announced on the 'worker' "
+                        "stdout line)")
+    args = parser.parse_args(argv)
+    try:
+        _, host, port = parse_address(args.listen, allow_ephemeral=True)
+    except ReproError as error:
+        parser.error(str(error))
+    # functools.partial over module-level _stream_manager: the factory
+    # must survive the `spawn` start method (same pattern as --shards).
+    factory = functools.partial(_stream_manager, args)
+    try:
+        return run_worker(factory, host, port, announce=lambda line: print(line, flush=True))
+    except ReproError as error:
+        parser.error(str(error))
+
+
 def _serve_main(argv: list[str]) -> int:
     import asyncio
 
@@ -359,6 +400,12 @@ def _serve_main(argv: list[str]) -> int:
                         "engine; sessions route to shards by a stable hash "
                         "of their id, so served streams stay bit-identical "
                         "at any shard count (0 = in-process threads only)")
+    parser.add_argument("--backend", default=None, metavar="ADDRS",
+                        help="comma-separated `repro worker` addresses "
+                        "(tcp://host:port,...): swap the local engine for a "
+                        "cluster backend with consistent-hash placement and "
+                        "live migration (incompatible with --shards; the "
+                        "engine flags must match the workers')")
     parser.add_argument("--batch-window-ms", type=float, default=0.0,
                         help="micro-batching window for concurrent step "
                         "requests: steps arriving within the window are "
@@ -383,9 +430,21 @@ def _serve_main(argv: list[str]) -> int:
     if args.shards > 0 and args.workers == 0:
         parser.error("--workers 0 (inline) is incompatible with --shards; "
                      "shard RPCs must stay off the event loop")
+    if args.backend:
+        if args.shards > 0:
+            parser.error("--backend (remote workers) and --shards (local "
+                         "worker processes) are mutually exclusive")
+        if args.workers == 0:
+            parser.error("--workers 0 (inline) is incompatible with "
+                         "--backend; worker RPCs must stay off the event loop")
 
     try:
-        if args.shards > 0:
+        if args.backend:
+            from .cluster.backend import ClusterBackend
+
+            addresses = [a for a in (s.strip() for s in args.backend.split(",")) if a]
+            engine = ClusterBackend(addresses)
+        elif args.shards > 0:
             # Each shard worker builds its own full engine from the
             # parsed flags (functools.partial over a module-level
             # function, so the factory survives the `spawn` start
@@ -427,6 +486,7 @@ def _serve_main(argv: list[str]) -> int:
                     "max_sessions": config.max_sessions,
                     "max_resident": config.max_resident,
                     "shards": args.shards,
+                    "cluster_workers": getattr(engine, "n_shards", 0) if args.backend else 0,
                     "store": args.store,
                     "scenarios": len(scenarios),
                     "allow_any_scenario": args.allow_any_scenario,
@@ -456,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         return _stream_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PriSTE experiment harness",

@@ -1,0 +1,99 @@
+"""Multi-host cluster execution: from one box to a fleet.
+
+This package is the third :class:`~repro.engine.backend.ExecutionBackend`
+-- the step past :class:`~repro.engine.shard.ShardPool`'s
+single-machine process fan-out.  The serving layer is unchanged: a
+:class:`~repro.service.server.ReleaseServer` drives a
+:class:`ClusterBackend` exactly as it drives a shard pool, but the
+"shards" are now ``repro worker`` processes on any machines, reached
+over TCP.
+
+Architecture -- three layers, bottom up
+---------------------------------------
+:mod:`~repro.cluster.frames` + :mod:`~repro.cluster.transport` + :mod:`~repro.cluster.codec`
+    The wire.  Every RPC payload is a typed, versioned JSON message
+    (``call``/``ok``/``err`` envelopes; engine types like
+    :class:`~repro.engine.SessionState` travel via their exact
+    ``to_json`` forms) inside a bounded length-prefixed frame.  The
+    *same* codec runs over ``multiprocessing`` pipes
+    (:class:`~repro.cluster.transport.PipeChannel`, used by the local
+    shard pool) and TCP sockets
+    (:class:`~repro.cluster.transport.SocketChannel`), so there is no
+    pickle deserialization of received bytes on any RPC path -- a
+    remote worker can safely listen on a network port.
+
+:mod:`~repro.cluster.worker`
+    The node.  ``repro worker --listen HOST:PORT`` owns one full
+    :class:`~repro.engine.SessionManager` and serves the shard op set
+    (open/step/step_batch/peek_budget/finish/checkpoint/suspend/resume/
+    suspend_all/stats) plus ``hello`` and ``ping``.  Engine ops run
+    serially on one thread (per-worker ordering, like a shard);
+    heartbeats answer from the event loop, so busy != hung.
+
+:mod:`~repro.cluster.backend` + :mod:`~repro.cluster.ring`
+    The router.  :class:`ClusterBackend` places new sessions with a
+    consistent-hash ring (stable blake2b -- identical placement in
+    every process; removing one of N workers moves ~1/N of the
+    keyspace), tracks an explicit session->worker assignment map,
+    pipelines RPCs per worker under an in-flight window with deadlines
+    and heartbeats (dead/hung workers become typed
+    :class:`~repro.errors.WorkerDownError` for exactly their sessions),
+    and performs **live migration**: :meth:`ClusterBackend.drain_worker`
+    checkpoints a worker's residency through the engine's exact
+    ``suspend_all`` path and restores it onto the ring successors while
+    racing requests retry onto each session's new home -- no served
+    stream drops, and migrated streams stay bit-identical.
+
+Wired end to end::
+
+    repro worker --listen 0.0.0.0:9001   # on host w1
+    repro worker --listen 0.0.0.0:9002   # on host w2
+    repro serve --backend tcp://w1:9001,tcp://w2:9002
+
+Exports resolve lazily (PEP 562): :mod:`repro.engine.shard` imports the
+transport/codec submodules, so eager re-exports here would create an
+import cycle with :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ClusterBackend",
+    "HashRing",
+    "WorkerHandle",
+    "WorkerServer",
+    "parse_address",
+    "ring_hash",
+    "run_worker",
+    "spawn_local_worker",
+]
+
+_EXPORTS = {
+    "ClusterBackend": ("backend", "ClusterBackend"),
+    "WorkerHandle": ("backend", "WorkerHandle"),
+    "parse_address": ("backend", "parse_address"),
+    "HashRing": ("ring", "HashRing"),
+    "ring_hash": ("ring", "ring_hash"),
+    "WorkerServer": ("worker", "WorkerServer"),
+    "run_worker": ("worker", "run_worker"),
+    "spawn_local_worker": ("worker", "spawn_local_worker"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value  # cache for the next lookup
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,811 @@
+"""The cluster router: consistent-hash placement and live migration.
+
+:class:`ClusterBackend` implements the
+:class:`~repro.engine.backend.ExecutionBackend` surface over a fleet of
+``repro worker`` processes reached by TCP (:class:`WorkerHandle`, one
+pipelined connection per worker).  Three responsibilities live here and
+only here -- workers are deliberately placement-ignorant:
+
+* **Placement** -- new sessions land on the live, non-draining worker
+  chosen by a consistent-hash ring (:mod:`repro.cluster.ring`).  Unlike
+  :func:`~repro.engine.shard.shard_for`'s modulo routing, the router
+  keeps an explicit session->worker assignment map, because a session's
+  home can legitimately *change* (migration); the ring only decides
+  initial placement and migration targets, so membership changes move
+  ~1/N of the keyspace instead of reshuffling everything.
+* **Containment** -- each RPC carries a deadline and each worker a
+  heartbeat, so a dead or hung worker turns into typed
+  :class:`~repro.errors.WorkerDownError` for exactly its assigned
+  sessions (reported via :meth:`lost_session_ids`), while other
+  workers -- and new opens, which re-route around the hole -- keep
+  serving.
+* **Migration** -- :meth:`drain_worker` marks a worker draining
+  (no new placements), checkpoints its residency in one
+  ``suspend_all`` RPC, and restores every state onto the ring
+  successors.  In-flight requests that race the drain retry onto the
+  session's new home, so a served stream never drops: the engine's
+  checkpoints are exact (see :class:`~repro.engine.SessionState`), and
+  a migrated stream is bit-identical to an unmigrated one.
+
+Per-worker **in-flight windows** (a bounded semaphore per handle) keep
+one slow worker from absorbing every router thread: callers queue at
+the window instead of stacking RPCs onto a wedged socket.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Mapping
+
+from ..engine.backend import ExecutionBackend
+from ..engine.cache import CacheStats
+from ..engine.records import ReleaseLog, ReleaseRecord
+from ..engine.session import SessionState
+from ..errors import (
+    FrameTooLargeError,
+    ServiceError,
+    SessionError,
+    WorkerDownError,
+)
+from .codec import decode_message, encode_call
+from .frames import MAX_RPC_FRAME_BYTES
+from .ring import DEFAULT_REPLICAS, HashRing
+from .transport import SocketChannel
+
+__all__ = ["ClusterBackend", "WorkerHandle", "parse_address"]
+
+#: Default per-RPC deadline.  Finite on purpose: a cluster hop that can
+#: block forever turns one hung worker into a wedged router.
+DEFAULT_RPC_TIMEOUT_S = 120.0
+#: Seconds allowed for the TCP connect + hello of one worker.
+CONNECT_TIMEOUT_S = 30.0
+#: In-flight RPCs allowed per worker before callers queue locally.
+DEFAULT_WINDOW = 32
+#: Seconds between heartbeat pings per worker (0 disables).
+HEARTBEAT_INTERVAL_S = 5.0
+#: Seconds a heartbeat waits before declaring the worker unreachable.
+HEARTBEAT_TIMEOUT_S = 5.0
+#: Seconds a racing request waits for its session's migration to land.
+MIGRATION_WAIT_S = 60.0
+
+_UNSET = object()
+
+
+def parse_address(
+    address: str, *, allow_ephemeral: bool = False
+) -> tuple[str, str, int]:
+    """Normalize ``tcp://host:port`` (or bare ``host:port``).
+
+    Returns ``(normalized, host, port)``.  ``allow_ephemeral`` admits
+    port 0 (an OS-assigned *listen* port -- never valid to dial).
+    """
+    raw = str(address).strip()
+    rest = raw[len("tcp://") :] if raw.startswith("tcp://") else raw
+    host, sep, port_text = rest.rpartition(":")
+    if not sep or not host:
+        raise ServiceError(
+            f"worker address must look like tcp://host:port, got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ServiceError(
+            f"worker address has a non-numeric port: {address!r}"
+        ) from None
+    if not (0 if allow_ephemeral else 1) <= port < 65536:
+        raise ServiceError(f"worker port out of range in {address!r}")
+    return f"tcp://{host}:{port}", host, port
+
+
+class _Waiter:
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class WorkerHandle:
+    """Router-side endpoint of one worker: a pipelined RPC channel.
+
+    One socket, many concurrent calls: a writer lock serializes frame
+    sends, a dedicated reader thread matches replies to waiters by
+    correlation id, and a bounded window caps in-flight RPCs.  Any
+    channel failure -- hangup, undecodable reply, or a call missing its
+    deadline -- fails the handle *and every pending call* with typed
+    :class:`WorkerDownError`; the error persists for later calls, so a
+    lost worker is loud, not silent.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
+        window: int = DEFAULT_WINDOW,
+        rpc_timeout_s: float | None = DEFAULT_RPC_TIMEOUT_S,
+        connect_timeout_s: float = CONNECT_TIMEOUT_S,
+    ):
+        import socket as socket_module
+
+        self.address, host, port = parse_address(address)
+        self.pid: int | None = None
+        self.alive = True
+        self._down_reason = "closed"
+        self._rpc_timeout_s = rpc_timeout_s
+        try:
+            sock = socket_module.create_connection(
+                (host, port), timeout=connect_timeout_s
+            )
+        except OSError as error:
+            raise WorkerDownError(
+                f"cannot connect to worker {self.address}: {error}"
+            ) from error
+        sock.settimeout(None)
+        self._channel = SocketChannel(sock, max_frame_bytes)
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: dict[int, _Waiter] = {}
+        self._ids = itertools.count(1)
+        self._window = threading.BoundedSemaphore(int(window))
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-cluster-read-{port}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # -- failure path --------------------------------------------------
+    def _down_error(self, prefix: str = "") -> WorkerDownError:
+        return WorkerDownError(
+            f"{prefix}worker {self.address} is down: {self._down_reason}"
+        )
+
+    def _fail(self, reason: str) -> None:
+        with self._state_lock:
+            if not self.alive:
+                return
+            self.alive = False
+            self._down_reason = reason
+            pending = list(self._pending.values())
+            self._pending.clear()
+        self._channel.close()  # wakes the reader thread
+        for waiter in pending:
+            waiter.error = self._down_error()
+            waiter.event.set()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                payload = self._channel.recv(None)
+            except Exception as error:  # noqa: BLE001 - hangup/oversize/reset
+                if self.alive:
+                    self._fail(f"connection lost ({type(error).__name__})")
+                return
+            try:
+                message = decode_message(payload)
+            except Exception as error:  # noqa: BLE001 - garbage on the wire
+                self._fail(f"undecodable reply ({error})")
+                return
+            with self._state_lock:
+                waiter = self._pending.pop(message.get("id"), None)
+            if waiter is None:
+                continue  # unsolicited (e.g. a protocol error with id None)
+            if message["kind"] == "ok":
+                waiter.result = message["result"]
+            elif message["kind"] == "err":
+                waiter.error = message["error"]
+            else:
+                waiter.error = ServiceError(
+                    f"worker {self.address} sent a {message['kind']!r} frame"
+                )
+            waiter.event.set()
+
+    # -- calls ---------------------------------------------------------
+    def call(self, op: str, args=None, timeout_s=_UNSET, windowed: bool = True):
+        """One pipelined RPC; raises the worker's typed error or
+        :class:`WorkerDownError` on channel failure / missed deadline."""
+        timeout = self._rpc_timeout_s if timeout_s is _UNSET else timeout_s
+        request_id = next(self._ids)
+        payload = encode_call(op, args, request_id)
+        waiter = _Waiter()
+        if windowed:
+            self._window.acquire()
+        try:
+            with self._state_lock:
+                if not self.alive:
+                    raise self._down_error()
+                self._pending[request_id] = waiter
+            try:
+                with self._send_lock:
+                    self._channel.send(payload)
+            except FrameTooLargeError:
+                # Nothing hit the wire; the channel stays healthy.
+                with self._state_lock:
+                    self._pending.pop(request_id, None)
+                raise
+            except OSError as error:
+                self._fail(f"send failed ({type(error).__name__})")
+                raise self._down_error() from error
+            if not waiter.event.wait(timeout):
+                self._fail(
+                    f"no reply to {op!r} within {timeout:.1f}s (hung worker)"
+                )
+                raise self._down_error()
+        finally:
+            if windowed:
+                self._window.release()
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.result
+
+    def ping(self, timeout_s: float = HEARTBEAT_TIMEOUT_S) -> bool:
+        """One heartbeat; False (and a dead handle) on silence.
+
+        Unwindowed: heartbeats must get through even when real traffic
+        has the window saturated, and workers answer pings on the event
+        loop even mid-``step_batch``, so a busy worker is never
+        mistaken for a hung one.
+        """
+        try:
+            return self.call("ping", None, timeout_s=timeout_s, windowed=False) == "pong"
+        except Exception:  # noqa: BLE001 - any failure means unhealthy
+            return False
+
+    def hello(self, timeout_s: float = CONNECT_TIMEOUT_S) -> dict:
+        """The worker's identity/config frame; records its pid."""
+        info = self.call("hello", None, timeout_s=timeout_s, windowed=False)
+        self.pid = int(info["pid"])
+        return info
+
+    def close(self) -> None:
+        self._fail("closed by router")
+
+
+class ClusterBackend(ExecutionBackend):
+    """A fleet of TCP workers behind the :class:`ExecutionBackend` surface.
+
+    Parameters
+    ----------
+    addresses:
+        Worker addresses (``tcp://host:port``); all must be reachable at
+        construction and share the router's engine configuration
+        (verified via each worker's hello frame).
+    rpc_timeout_s:
+        Per-RPC deadline (``None`` waits forever -- discouraged).
+    window:
+        Max in-flight RPCs per worker before callers queue.
+    heartbeat_interval_s:
+        Idle heartbeat period (0 disables the thread).
+    replicas:
+        Virtual ring points per worker (see :mod:`repro.cluster.ring`).
+    """
+
+    remote = True
+
+    def __init__(
+        self,
+        addresses: Iterable[str],
+        *,
+        rpc_timeout_s: float | None = DEFAULT_RPC_TIMEOUT_S,
+        connect_timeout_s: float = CONNECT_TIMEOUT_S,
+        window: int = DEFAULT_WINDOW,
+        heartbeat_interval_s: float = HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
+        max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        normalized = [parse_address(a)[0] for a in addresses]
+        if not normalized:
+            raise ServiceError("a cluster backend needs at least one worker")
+        if len(set(normalized)) != len(normalized):
+            raise ServiceError(f"duplicate worker addresses in {normalized}")
+        self._addresses = normalized
+        self.n_shards = len(normalized)
+        self._replicas = int(replicas)
+        self._heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self._handles: dict[str, WorkerHandle] = {}
+        self._sessions: dict[str, str] = {}  # sid -> worker address
+        self._draining: set[str] = set()
+        self._migrating: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+        try:
+            for address in normalized:
+                self._handles[address] = WorkerHandle(
+                    address,
+                    max_frame_bytes=max_frame_bytes,
+                    window=window,
+                    rpc_timeout_s=rpc_timeout_s,
+                    connect_timeout_s=connect_timeout_s,
+                )
+            hellos = {
+                address: handle.hello(connect_timeout_s)
+                for address, handle in self._handles.items()
+            }
+        except BaseException:
+            self.close()
+            raise
+        first = hellos[normalized[0]]
+        for address, info in hellos.items():
+            if (info["horizon"], info["n_states"]) != (
+                first["horizon"],
+                first["n_states"],
+            ):
+                self.close()
+                raise ServiceError(
+                    f"worker {address} runs a different engine configuration "
+                    f"(horizon={info['horizon']}, n_states={info['n_states']}) "
+                    f"than {normalized[0]} (horizon={first['horizon']}, "
+                    f"n_states={first['n_states']}); start every worker with "
+                    "the same engine flags as the router"
+                )
+        self._horizon = int(first["horizon"])
+        self._n_states = int(first["n_states"])
+        self._ring: HashRing | None = None
+        self._rebuild_ring()
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=self.n_shards, thread_name_prefix="repro-cluster-rpc"
+        )
+        if heartbeat_interval_s and heartbeat_interval_s > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(float(heartbeat_interval_s),),
+                name="repro-cluster-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    # ------------------------------------------------------------------
+    # membership / placement
+    # ------------------------------------------------------------------
+    def _rebuild_ring(self) -> None:
+        """Recompute the placement ring from live, non-draining workers."""
+        members = [
+            address
+            for address in self._addresses
+            if self._handles[address].alive and address not in self._draining
+        ]
+        self._ring = (
+            HashRing(members, self._replicas) if members else None
+        )
+
+    def _heartbeat_loop(self, interval_s: float) -> None:
+        while not self._stop_heartbeat.wait(interval_s):
+            died = False
+            for handle in self._handles.values():
+                if handle.alive and not handle.ping(self._heartbeat_timeout_s):
+                    died = True
+            if died:
+                with self._lock:
+                    self._rebuild_ring()
+
+    def _placement_ring(self) -> HashRing:
+        with self._lock:
+            ring = self._ring
+        if ring is None:
+            raise WorkerDownError(
+                "no live cluster worker accepts placements "
+                f"(workers: {self._addresses}, draining: {sorted(self._draining)})"
+            )
+        return ring
+
+    def _assigned(self, session_id: str) -> str:
+        with self._lock:
+            address = self._sessions.get(session_id)
+        if address is None:
+            raise SessionError(f"no open session {session_id!r}")
+        return address
+
+    def _after_worker_down(self, address: str) -> None:
+        with self._lock:
+            self._rebuild_ring()
+
+    def worker_addresses(self) -> list[str]:
+        """The configured worker fleet, in construction order."""
+        return list(self._addresses)
+
+    # ------------------------------------------------------------------
+    # session ops (assignment-routed, migration-aware)
+    # ------------------------------------------------------------------
+    def _await_migration(self, session_id: str) -> bool:
+        """Wait out an in-progress migration of ``session_id`` (if any)."""
+        with self._lock:
+            event = self._migrating.get(session_id)
+        if event is None:
+            return False
+        event.wait(MIGRATION_WAIT_S)
+        return True
+
+    def _call_session(self, session_id: str, op: str, args):
+        """Route an op to the session's worker, retrying across a drain.
+
+        A request can race a migration: it resolves the old assignment,
+        the drain suspends the session, and the old worker answers
+        ``SessionError``.  The retry waits for the migration to land
+        (bounded), re-resolves the assignment and tries the new home
+        once -- so a served stream crosses a drain without dropping.
+        """
+        for attempt in (0, 1):
+            address = self._assigned(session_id)
+            try:
+                return self._handles[address].call(op, args)
+            except WorkerDownError:
+                self._after_worker_down(address)
+                raise
+            except SessionError:
+                if attempt == 1:
+                    raise
+                migrated = self._await_migration(session_id)
+                with self._lock:
+                    moved = self._sessions.get(session_id)
+                if not migrated and (moved is None or moved == address):
+                    raise  # a genuine engine-side session error
+        raise AssertionError("unreachable")
+
+    def open(self, session_id: str, seed: int | None = None, scenario=None) -> int:
+        ring = self._placement_ring()
+        last_error: BaseException | None = None
+        for address in ring.successors(session_id):
+            handle = self._handles[address]
+            if not handle.alive:
+                continue
+            try:
+                horizon = handle.call("open", (session_id, seed, scenario))
+            except WorkerDownError as error:
+                # Worker died under us: re-route the open to the next
+                # ring member instead of failing a fresh session.
+                self._after_worker_down(address)
+                last_error = error
+                continue
+            with self._lock:
+                self._sessions[session_id] = address
+            return horizon
+        raise last_error if last_error is not None else WorkerDownError(
+            "no live cluster worker accepts placements"
+        )
+
+    def contains(self, session_id: str) -> bool:
+        with self._lock:
+            return session_id in self._sessions
+
+    def resident_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def step(self, session_id: str, cell: int) -> ReleaseRecord:
+        return self._call_session(session_id, "step", (session_id, cell))
+
+    def step_batch(
+        self, cells: Mapping[str, int]
+    ) -> tuple[dict[str, ReleaseRecord], dict[str, BaseException]]:
+        """One wave: at most one RPC per worker, racing drains retried."""
+        with self._lock:
+            assignment = {
+                sid: self._sessions.get(sid) for sid in cells
+            }
+        by_worker: dict[str, dict[str, int]] = {}
+        records: dict[str, ReleaseRecord] = {}
+        errors: dict[str, BaseException] = {}
+        for sid, cell in cells.items():
+            address = assignment[sid]
+            if address is None:
+                errors[sid] = SessionError(f"no open session {sid!r}")
+            else:
+                by_worker.setdefault(address, {})[sid] = cell
+        futures = {
+            address: self._dispatch.submit(
+                self._handles[address].call, "step_batch", worker_cells
+            )
+            for address, worker_cells in by_worker.items()
+        }
+        for address, future in futures.items():
+            try:
+                worker_records, worker_errors = future.result()
+            except WorkerDownError as error:
+                self._after_worker_down(address)
+                for sid in by_worker[address]:
+                    errors[sid] = error
+                continue
+            except Exception as error:  # noqa: BLE001 - transport-level
+                for sid in by_worker[address]:
+                    errors[sid] = error
+                continue
+            records.update(worker_records)
+            errors.update(worker_errors)
+        # Members that lost a race with a migration answered
+        # SessionError from their *old* worker; retry them on the new
+        # assignment (rare: only while a drain is in flight).
+        for sid in list(errors):
+            error = errors[sid]
+            if not isinstance(error, SessionError):
+                continue
+            old = assignment.get(sid)
+            if old is None:
+                continue
+            migrated = self._await_migration(sid)
+            with self._lock:
+                moved = self._sessions.get(sid)
+            if not migrated and (moved is None or moved == old):
+                continue
+            try:
+                records[sid] = self._call_session(sid, "step", (sid, cells[sid]))
+                del errors[sid]
+            except Exception as retry_error:  # noqa: BLE001 - keep typed
+                errors[sid] = retry_error
+        return records, errors
+
+    def peek_budget(self, session_id: str) -> float:
+        return self._call_session(session_id, "peek_budget", session_id)
+
+    def finish(self, session_id: str) -> ReleaseLog:
+        log = self._call_session(session_id, "finish", session_id)
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        return log
+
+    def checkpoint(self, session_id: str) -> SessionState:
+        return self._call_session(session_id, "checkpoint", session_id)
+
+    def suspend(self, session_id: str) -> SessionState:
+        state = self._call_session(session_id, "suspend", session_id)
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        return state
+
+    def suspend_all(self) -> tuple[list[SessionState], list[str]]:
+        """Drain the whole fleet; dead workers report their losses."""
+        futures = [
+            (address, self._dispatch.submit(handle.call, "suspend_all"))
+            for address, handle in self._handles.items()
+            if handle.alive
+        ]
+        states: list[SessionState] = []
+        failed: set[str] = set()
+        for address, future in futures:
+            try:
+                states.extend(future.result())
+            except Exception:  # noqa: BLE001 - worker down mid-drain
+                failed.add(address)
+        with self._lock:
+            dead = failed | {
+                address
+                for address, handle in self._handles.items()
+                if not handle.alive
+            }
+            lost = [
+                sid
+                for sid, address in self._sessions.items()
+                if address in dead
+            ]
+            self._sessions.clear()
+            self._rebuild_ring()
+        return states, lost
+
+    def resume(self, state: SessionState) -> str:
+        ring = self._placement_ring()
+        session_id = state.session_id
+        last_error: BaseException | None = None
+        for address in ring.successors(session_id):
+            handle = self._handles[address]
+            if not handle.alive:
+                continue
+            try:
+                sid = handle.call("resume", state)
+            except WorkerDownError as error:
+                self._after_worker_down(address)
+                last_error = error
+                continue
+            with self._lock:
+                self._sessions[sid] = address
+            return sid
+        raise last_error if last_error is not None else WorkerDownError(
+            "no live cluster worker accepts placements"
+        )
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def drain_worker(self, address: str) -> dict:
+        """Live-migrate every session off ``address``; it gets no more.
+
+        Marks the worker draining (the ring immediately stops placing
+        new sessions there), checkpoints its full residency via one
+        ``suspend_all`` RPC, and restores each state onto its ring
+        successor.  Requests racing the drain retry onto the new home
+        (see :meth:`_call_session`), so no served stream drops.  The
+        worker stays connected afterwards -- stats still show it, it
+        just owns nothing -- and is typically stopped by its operator.
+
+        Returns a summary: ``{"worker", "migrated", "targets",
+        "remaining"}``.  Raises :class:`ServiceError` when the address
+        is unknown or no other live worker could take the sessions, and
+        :class:`WorkerDownError` when the drained worker dies mid-drain
+        (its unmigrated sessions are then reported by
+        :meth:`lost_session_ids`).
+        """
+        normalized, _, _ = parse_address(address)
+        handle = self._handles.get(normalized)
+        if handle is None:
+            raise ServiceError(
+                f"unknown worker {address!r}; this cluster serves "
+                f"{self._addresses}"
+            )
+        with self._lock:
+            self._draining.add(normalized)
+            self._rebuild_ring()
+            ring = self._ring
+            moving = [
+                sid
+                for sid, assigned in self._sessions.items()
+                if assigned == normalized
+            ]
+            for sid in moving:
+                self._migrating.setdefault(sid, threading.Event())
+        try:
+            if ring is None:
+                raise ServiceError(
+                    f"cannot drain {normalized}: no other live worker to "
+                    "migrate its sessions onto"
+                )
+            states = handle.call("suspend_all")
+            targets: Counter[str] = Counter()
+            for state in states:
+                sid = state.session_id
+                placed = False
+                for target in ring.successors(sid):
+                    target_handle = self._handles[target]
+                    if not target_handle.alive or target == normalized:
+                        continue
+                    try:
+                        target_handle.call("resume", state)
+                    except WorkerDownError:
+                        self._after_worker_down(target)
+                        continue
+                    with self._lock:
+                        self._sessions[sid] = target
+                        event = self._migrating.pop(sid, None)
+                    if event is not None:
+                        event.set()
+                    targets[target] += 1
+                    placed = True
+                    break
+                if not placed:
+                    raise WorkerDownError(
+                        f"no live worker left to restore session {sid!r} "
+                        f"during the drain of {normalized}"
+                    )
+            return {
+                "worker": normalized,
+                "migrated": len(states),
+                "targets": dict(targets),
+                "remaining": [
+                    a
+                    for a in self._addresses
+                    if self._handles[a].alive and a not in self._draining
+                ],
+            }
+        finally:
+            with self._lock:
+                for sid in moving:
+                    event = self._migrating.pop(sid, None)
+                    if event is not None:
+                        event.set()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    @property
+    def n_states(self) -> int:
+        return self._n_states
+
+    def cache_stats(self) -> CacheStats | None:
+        totals: CacheStats | None = None
+        for handle in self._handles.values():
+            if not handle.alive:
+                continue
+            try:
+                stats = handle.call("cache_stats")
+            except Exception:  # noqa: BLE001 - died just now
+                continue
+            if stats is None:
+                continue
+            if totals is None:
+                totals = stats
+            else:
+                totals = CacheStats(
+                    hits=totals.hits + stats.hits,
+                    misses=totals.misses + stats.misses,
+                    evictions=totals.evictions + stats.evictions,
+                    size=totals.size + stats.size,
+                    maxsize=totals.maxsize + stats.maxsize,
+                )
+        return totals
+
+    def shard_stats(self) -> list[dict]:
+        """One observability row per worker (address included)."""
+        rows = []
+        for index, address in enumerate(self._addresses):
+            handle = self._handles[address]
+            draining = address in self._draining
+            if handle.alive:
+                try:
+                    rows.append(
+                        {
+                            "shard": index,
+                            "worker": address,
+                            "alive": True,
+                            "draining": draining,
+                            **handle.call("stats"),
+                        }
+                    )
+                    continue
+                except Exception:  # noqa: BLE001 - died just now
+                    pass
+            with self._lock:
+                routed = sum(
+                    1 for a in self._sessions.values() if a == address
+                )
+            rows.append(
+                {
+                    "shard": index,
+                    "worker": address,
+                    "pid": handle.pid,
+                    "alive": False,
+                    "draining": draining,
+                    "sessions": routed,
+                    "lost_sessions": routed,
+                }
+            )
+        return rows
+
+    def lost_session_ids(self) -> list[str]:
+        """Sessions assigned to workers that are down (unreachable)."""
+        dead = {
+            address
+            for address, handle in self._handles.items()
+            if not handle.alive
+        }
+        with self._lock:
+            return [
+                sid for sid, address in self._sessions.items() if address in dead
+            ]
+
+    def close(self) -> None:
+        """Disconnect from the fleet (workers keep running; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_heartbeat.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(1.0)
+        for handle in self._handles.values():
+            handle.close()
+        dispatch = getattr(self, "_dispatch", None)
+        if dispatch is not None:
+            dispatch.shutdown(wait=False)
+
+    def __enter__(self) -> "ClusterBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass

@@ -1,0 +1,320 @@
+"""Versioned, typed RPC codec shared by shard pipes and TCP workers.
+
+The shard RPC used to ship pickle frames between parent and worker.
+That was acceptable over a private ``multiprocessing.Pipe`` (both ends
+are the same trusted program), but it cannot cross a network: a TCP
+worker that unpickled received bytes would execute attacker-controlled
+code.  This module replaces pickle on *both* transports with a typed
+JSON codec so no RPC path ever deserializes network bytes into
+arbitrary objects:
+
+* **Messages** are ``{"v": 1, "kind": "call" | "ok" | "err", "id": ...}``
+  envelopes; ``call`` carries ``op``/``args``, ``ok`` a ``result``,
+  ``err`` a typed error.  The version field makes mixed-version fleets
+  fail loudly (:class:`~repro.errors.ProtocolError`), never silently
+  misparse.
+* **Values** are JSON scalars/lists/dicts plus a closed set of tagged
+  engine types -- :class:`~repro.engine.ReleaseRecord`,
+  :class:`~repro.engine.SessionState`, :class:`~repro.engine.ReleaseLog`
+  and :class:`~repro.engine.CacheStats` -- round-tripped through their
+  existing exact ``to_json``/``from_json`` forms (no float rounding, so
+  bit-identity of restored streams is preserved).  Tuples decode as
+  lists; callers already unpack by position.
+* **Errors** travel as ``{code, message}`` using the service protocol's
+  closed error vocabulary (:data:`repro.service.protocol.ERROR_CODES`),
+  plus an allowlisted builtin exception name so a worker factory that
+  raised e.g. ``ValueError`` still surfaces as ``ValueError`` at the
+  caller.  Only names in :data:`BUILTIN_ERRORS` are ever instantiated;
+  an unknown name falls back to the coded :mod:`repro.errors` type.
+
+Decoding is pure data transformation: the only objects ever constructed
+from received bytes are the engine's value types above and exceptions
+from two closed allowlists.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..engine.cache import CacheStats
+from ..engine.records import ReleaseLog, ReleaseRecord
+from ..engine.session import SessionState
+from ..errors import ProtocolError
+
+__all__ = [
+    "BUILTIN_ERRORS",
+    "WIRE_VERSION",
+    "decode_message",
+    "decode_value",
+    "encode_call",
+    "encode_error",
+    "encode_ok",
+    "encode_value",
+]
+
+#: RPC wire-format version; bumped on any incompatible codec change.
+WIRE_VERSION = 1
+
+#: Tag key marking a typed value inside otherwise-plain JSON.
+_TAG = "__repro__"
+
+#: Builtin exceptions allowed to rebuild by name on the receiving side.
+#: A closed allowlist: anything else arrives as its coded
+#: :mod:`repro.errors` type (usually ``internal`` -> ``ReproError``).
+BUILTIN_ERRORS: dict[str, type[BaseException]] = {
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+    "IndexError": IndexError,
+    "RuntimeError": RuntimeError,
+    "OSError": OSError,
+    "ZeroDivisionError": ZeroDivisionError,
+}
+
+
+def _json_default(value):
+    """Last-resort JSON conversions (numpy scalars inside state dicts)."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise ProtocolError(
+        f"value of type {type(value).__name__} cannot travel the RPC codec"
+    )
+
+
+# ----------------------------------------------------------------------
+# values
+# ----------------------------------------------------------------------
+def encode_value(value):
+    """Lower a supported value into plain JSON-serializable data."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ProtocolError(
+                    f"RPC dict keys must be strings, got {type(key).__name__}"
+                )
+            encoded[key] = encode_value(item)
+        if _TAG in encoded:  # user data shadowing the tag: escape it
+            return {_TAG: "dict", "data": encoded}
+        return encoded
+    if isinstance(value, ReleaseRecord):
+        return {_TAG: "record", "data": value.to_json()}
+    if isinstance(value, SessionState):
+        return {_TAG: "state", "data": value.to_json()}
+    if isinstance(value, ReleaseLog):
+        return {
+            _TAG: "log",
+            "records": [record.to_json() for record in value.records],
+            "emissions": (
+                None
+                if value.emission_matrices is None
+                else [matrix.tolist() for matrix in value.emission_matrices]
+            ),
+        }
+    if isinstance(value, CacheStats):
+        return {
+            _TAG: "cache_stats",
+            "data": {
+                "hits": value.hits,
+                "misses": value.misses,
+                "evictions": value.evictions,
+                "size": value.size,
+                "maxsize": value.maxsize,
+            },
+        }
+    if isinstance(value, BaseException):
+        return {_TAG: "error", **_encode_error(value)}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    # Scenario specs lower to their JSON dict form; managers accept
+    # dicts everywhere a spec is accepted.  Duck-typed (and lazily
+    # imported) so this module never forces the scenario package in.
+    to_json = getattr(value, "to_json", None)
+    if callable(to_json):
+        return encode_value(to_json())
+    raise ProtocolError(
+        f"value of type {type(value).__name__} cannot travel the RPC codec"
+    )
+
+
+def decode_value(value):
+    """Inverse of :func:`encode_value` (tuples come back as lists)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag is None:
+            return {key: decode_value(item) for key, item in value.items()}
+        if tag == "dict":
+            return {
+                key: decode_value(item) for key, item in value["data"].items()
+            }
+        if tag == "record":
+            return ReleaseRecord.from_json(value["data"])
+        if tag == "state":
+            return SessionState.from_json(value["data"])
+        if tag == "log":
+            return ReleaseLog(
+                records=[ReleaseRecord.from_json(r) for r in value["records"]],
+                emission_matrices=(
+                    None
+                    if value["emissions"] is None
+                    else [
+                        np.asarray(m, dtype=np.float64)
+                        for m in value["emissions"]
+                    ]
+                ),
+            )
+        if tag == "cache_stats":
+            data = value["data"]
+            return CacheStats(
+                hits=int(data["hits"]),
+                misses=int(data["misses"]),
+                evictions=int(data["evictions"]),
+                size=int(data["size"]),
+                maxsize=int(data["maxsize"]),
+            )
+        if tag == "error":
+            return _decode_error(value)
+        raise ProtocolError(f"unknown RPC value tag {tag!r}")
+    raise ProtocolError(
+        f"decoded frame contains unsupported type {type(value).__name__}"
+    )
+
+
+def _encode_error(error: BaseException) -> dict:
+    # Lazy import: the service protocol owns the error vocabulary, but
+    # the engine's shard module imports this codec, and the service
+    # imports the engine -- resolving the cycle at call time.
+    from ..service.protocol import error_code_for
+
+    encoded = {"code": error_code_for(error), "message": str(error)}
+    name = type(error).__name__
+    if name in BUILTIN_ERRORS:
+        encoded["builtin"] = name
+    return encoded
+
+
+def _decode_error(value: dict) -> BaseException:
+    from ..service.protocol import exception_for
+
+    code = str(value.get("code"))
+    message = str(value.get("message"))
+    builtin = value.get("builtin")
+    if code == "internal" and builtin in BUILTIN_ERRORS:
+        # A plain builtin raised worker-side (e.g. a factory's
+        # ValueError): rebuild the same type so callers' ``except``
+        # clauses keep working across the channel.
+        return BUILTIN_ERRORS[builtin](message)
+    return exception_for(code, message)
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+def _encode_message(message: dict) -> bytes:
+    return json.dumps(
+        message, separators=(",", ":"), ensure_ascii=False, default=_json_default
+    ).encode()
+
+
+def encode_call(op: str, args, request_id: int = 0) -> bytes:
+    """One request payload (length prefix added by the transport)."""
+    return _encode_message(
+        {
+            "v": WIRE_VERSION,
+            "kind": "call",
+            "id": request_id,
+            "op": op,
+            "args": encode_value(args),
+        }
+    )
+
+
+def encode_ok(result, request_id: int = 0) -> bytes:
+    """A success reply carrying ``result``."""
+    return _encode_message(
+        {
+            "v": WIRE_VERSION,
+            "kind": "ok",
+            "id": request_id,
+            "result": encode_value(result),
+        }
+    )
+
+
+def encode_error(error: BaseException, request_id: int = 0) -> bytes:
+    """A typed error reply for ``error``."""
+    return _encode_message(
+        {
+            "v": WIRE_VERSION,
+            "kind": "err",
+            "id": request_id,
+            "error": _encode_error(error),
+        }
+    )
+
+
+def decode_message(payload: bytes) -> dict:
+    """Parse one RPC payload into a message dict.
+
+    Returns ``{"kind", "id", ...}`` where ``call`` messages carry
+    ``op``/``args`` (args decoded), ``ok`` messages carry ``result``
+    (decoded) and ``err`` messages carry ``error`` as a rebuilt
+    exception object.  Raises :class:`ProtocolError` for malformed
+    payloads or a wire-version mismatch.
+    """
+    try:
+        message = json.loads(payload)
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"RPC frame is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"RPC frame must be a JSON object, got {type(message).__name__}"
+        )
+    version = message.get("v")
+    if version != WIRE_VERSION:
+        raise ProtocolError(
+            f"unsupported RPC wire version {version!r}; "
+            f"this build speaks v{WIRE_VERSION}"
+        )
+    kind = message.get("kind")
+    request_id = message.get("id")
+    if kind == "call":
+        op = message.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError(f"RPC call without a string op: {op!r}")
+        return {
+            "kind": "call",
+            "id": request_id,
+            "op": op,
+            "args": decode_value(message.get("args")),
+        }
+    if kind == "ok":
+        return {
+            "kind": "ok",
+            "id": request_id,
+            "result": decode_value(message.get("result")),
+        }
+    if kind == "err":
+        error = message.get("error")
+        if not isinstance(error, dict):
+            raise ProtocolError(f"RPC error frame without error body: {error!r}")
+        return {"kind": "err", "id": request_id, "error": _decode_error(error)}
+    raise ProtocolError(f"unknown RPC message kind {kind!r}")

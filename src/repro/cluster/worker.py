@@ -1,0 +1,355 @@
+"""The ``repro worker`` process: one engine node of a cluster.
+
+A :class:`WorkerServer` owns a full
+:class:`~repro.engine.SessionManager` (models, mechanism ladder,
+verdict cache -- built once from the worker's engine configuration) and
+answers the same op set as a local shard worker -- open, step,
+step_batch, peek_budget, finish, checkpoint, suspend, resume,
+suspend_all, stats -- over asyncio TCP using the typed cluster codec
+(:mod:`repro.cluster.codec`) under bounded length-prefixed frames
+(:mod:`repro.cluster.frames`).  Received bytes are never unpickled.
+
+Concurrency model
+-----------------
+The event loop only reads frames and writes replies.  Engine ops run on
+a *single* worker thread, which serializes them in arrival order --
+exactly the per-shard ordering a pipe-based shard worker gets for free
+from being single-threaded -- while ``ping`` and ``hello`` are answered
+inline on the loop.  A worker grinding through a big ``step_batch``
+therefore still answers heartbeats immediately: a *busy* worker and a
+*hung* worker look different to the router.
+
+A worker is deliberately ignorant of the ring: placement and migration
+live entirely in :class:`~repro.cluster.ClusterBackend`.  Any session
+can be ``resume``\\ d here from a checkpoint taken anywhere, because
+checkpoints embed their scenario binding (digest + spec) and the
+manager re-materializes models on demand.  Sessions bound to a server's
+*default* configuration assume every worker was started with the same
+engine flags -- keep worker and router configurations identical (the
+``repro worker`` CLI takes the same engine flags as ``repro serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from ..engine.manager import SessionManager
+from ..engine.shard import _worker_execute, default_context
+from ..errors import FrameTooLargeError, ProtocolError, ServiceError
+from .codec import decode_message, encode_error, encode_ok
+from .frames import FRAME_HEADER, MAX_RPC_FRAME_BYTES, pack_frame, payload_length
+
+__all__ = ["WorkerServer", "run_worker", "spawn_local_worker"]
+
+#: Seconds a spawned local worker gets to report its bound port.
+LOCAL_SPAWN_TIMEOUT_S = 120.0
+
+
+class WorkerServer:
+    """One cluster worker: a session manager behind an asyncio TCP port."""
+
+    def __init__(
+        self,
+        factory: Callable[[], SessionManager],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
+    ):
+        self._factory = factory
+        self._host = host
+        self._requested_port = int(port)
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._manager: SessionManager | None = None
+        self._metrics = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        # One thread: engine ops execute serially, in submission order.
+        self._engine = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-worker-engine"
+        )
+        self.port: int | None = None
+
+    @property
+    def address(self) -> str:
+        """The worker's ``tcp://host:port`` address (after :meth:`start`)."""
+        if self.port is None:
+            raise ServiceError("worker is not started")
+        return f"tcp://{self._host}:{self.port}"
+
+    @property
+    def manager(self) -> SessionManager:
+        if self._manager is None:
+            raise ServiceError("worker is not started")
+        return self._manager
+
+    async def start(self) -> None:
+        """Build the manager and bind the listening socket."""
+        from ..service.metrics import ServiceMetrics
+
+        loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        # The factory may be expensive (model building); keep the loop
+        # responsive while it runs.
+        self._manager = await loop.run_in_executor(self._engine, self._factory)
+        self._metrics = ServiceMetrics()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self._host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def _hello(self) -> dict:
+        manager = self.manager
+        return {
+            "pid": os.getpid(),
+            "host": self._host,
+            "port": self.port,
+            "horizon": manager.config.horizon,
+            "n_states": manager.n_states,
+            "sessions": len(manager),
+        }
+
+    def request_stop(self) -> None:
+        """Ask :meth:`wait_stopped` to return (idempotent, thread-safe
+        only from the loop)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`request_stop`, then tear the server down."""
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._engine.shutdown(wait=True)
+
+    async def _reply(self, writer, write_lock: asyncio.Lock, payload: bytes):
+        frame = pack_frame(payload, self._max_frame_bytes)
+        async with write_lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def _run_op(self, writer, write_lock, request_id, op, args):
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._engine, _worker_execute, self._manager, self._metrics, op, args
+            )
+            payload = encode_ok(result, request_id)
+        except Exception as error:  # noqa: BLE001 - errors travel the channel
+            payload = encode_error(error, request_id)
+        try:
+            await self._reply(writer, write_lock, payload)
+        except FrameTooLargeError:
+            await self._reply(
+                writer,
+                write_lock,
+                encode_error(
+                    ServiceError(f"worker op {op!r} produced an oversized reply"),
+                    request_id,
+                ),
+            )
+        except (ConnectionError, OSError):
+            pass  # router went away; its reconnect logic owns recovery
+
+    async def _serve_connection(self, reader, writer) -> None:
+        """One router connection: read calls, answer out-of-order.
+
+        ``ping``/``hello`` are answered inline (heartbeats stay live
+        while the engine thread is busy); engine ops are scheduled as
+        tasks that funnel through the single engine thread in arrival
+        order.  Correlation ids let the router match the interleaved
+        replies.
+        """
+        write_lock = asyncio.Lock()
+        op_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(FRAME_HEADER.size)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break
+                try:
+                    length = payload_length(header, self._max_frame_bytes)
+                except FrameTooLargeError as error:
+                    # The unread payload makes the stream unrecoverable:
+                    # answer once, then hang up.
+                    with contextlib.suppress(Exception):
+                        await self._reply(
+                            writer, write_lock, encode_error(error, None)
+                        )
+                    break
+                try:
+                    payload = await reader.readexactly(length)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break
+                try:
+                    message = decode_message(payload)
+                    if message["kind"] != "call":
+                        raise ProtocolError(
+                            f"worker expected a call frame, got "
+                            f"{message['kind']!r}"
+                        )
+                except Exception as error:  # noqa: BLE001 - malformed frame
+                    await self._reply(writer, write_lock, encode_error(error, None))
+                    continue
+                request_id, op, args = message["id"], message["op"], message["args"]
+                if op == "ping":
+                    await self._reply(
+                        writer, write_lock, encode_ok("pong", request_id)
+                    )
+                elif op == "hello":
+                    await self._reply(
+                        writer, write_lock, encode_ok(self._hello(), request_id)
+                    )
+                elif op == "shutdown":
+                    await self._reply(writer, write_lock, encode_ok(None, request_id))
+                    self.request_stop()
+                    break
+                else:
+                    task = asyncio.get_running_loop().create_task(
+                        self._run_op(writer, write_lock, request_id, op, args)
+                    )
+                    op_tasks.add(task)
+                    task.add_done_callback(op_tasks.discard)
+        finally:
+            if op_tasks:
+                await asyncio.gather(*op_tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def _serve_until_signalled(server: WorkerServer, announce) -> int:
+    loop = asyncio.get_running_loop()
+    await server.start()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, server.request_stop)
+        except (NotImplementedError, RuntimeError):  # non-unix / nested loop
+            pass
+    if announce is not None:
+        announce(
+            json.dumps(
+                {
+                    "op": "worker",
+                    "host": server._host,
+                    "port": server.port,
+                    "pid": os.getpid(),
+                }
+            )
+        )
+    await server.wait_stopped()
+    if announce is not None:
+        announce(
+            json.dumps(
+                {"op": "worker-stopped", "sessions": len(server.manager)}
+            )
+        )
+    return 0
+
+
+def run_worker(
+    factory: Callable[[], SessionManager],
+    host: str,
+    port: int,
+    max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
+    announce=None,
+) -> int:
+    """Run one worker until SIGINT/SIGTERM (the ``repro worker`` body).
+
+    ``announce`` (e.g. ``print``) receives two JSON lines: ``worker``
+    with the bound port once serving, ``worker-stopped`` on exit --
+    machine-readable for scripts that wait for readiness.
+    """
+    server = WorkerServer(factory, host, port, max_frame_bytes)
+    return asyncio.run(_serve_until_signalled(server, announce))
+
+
+# ----------------------------------------------------------------------
+# local spawning (tests, benchmarks, examples)
+# ----------------------------------------------------------------------
+def _local_worker_main(conn, factory, host, max_frame_bytes) -> None:
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+
+    async def main() -> None:
+        server = WorkerServer(factory, host, 0, max_frame_bytes)
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001 - report, then die
+            try:
+                conn.send_bytes(
+                    json.dumps(
+                        {"error": f"{type(error).__name__}: {error}"}
+                    ).encode()
+                )
+            finally:
+                conn.close()
+            return
+        conn.send_bytes(
+            json.dumps({"port": server.port, "pid": os.getpid()}).encode()
+        )
+        conn.close()
+        await server.wait_stopped()
+
+    asyncio.run(main())
+
+
+def spawn_local_worker(
+    factory: Callable[[], SessionManager],
+    host: str = "127.0.0.1",
+    context=None,
+    max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
+    spawn_timeout_s: float = LOCAL_SPAWN_TIMEOUT_S,
+):
+    """Start a worker in a child process on an OS-assigned port.
+
+    Returns ``(process, address)`` with ``address`` like
+    ``tcp://127.0.0.1:43127``.  The caller owns the process: stop it via
+    a ``shutdown`` RPC, a signal, or ``process.terminate()``.  Raises
+    :class:`ServiceError` when the worker fails to come up (the
+    factory's error message is included).
+    """
+    ctx = context if context is not None else default_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_local_worker_main,
+        args=(child_conn, factory, host, max_frame_bytes),
+        name="repro-cluster-worker",
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(spawn_timeout_s):
+            raise ServiceError(
+                f"cluster worker did not come up within {spawn_timeout_s:.0f}s"
+            )
+        report = json.loads(parent_conn.recv_bytes(1 << 16).decode())
+    except (EOFError, OSError) as error:
+        process.terminate()
+        process.join(5)
+        raise ServiceError(
+            "cluster worker exited before reporting its port"
+        ) from error
+    finally:
+        parent_conn.close()
+    if "error" in report:
+        process.join(5)
+        raise ServiceError(f"cluster worker failed to start: {report['error']}")
+    return process, f"tcp://{host}:{report['port']}"

@@ -2,18 +2,22 @@
 
 The serving layer drives sessions through a narrow, synchronous
 :class:`ExecutionBackend` surface instead of touching a
-:class:`~repro.engine.manager.SessionManager` directly.  Two
+:class:`~repro.engine.manager.SessionManager` directly.  Three
 implementations exist:
 
 * :class:`InProcessBackend` -- a thin adapter over one
   ``SessionManager`` in the calling process.  Steps run wherever the
   caller runs them (the service offloads onto its thread pool); this is
   the single-process path that existed before backends did.
-* :class:`~repro.engine.shard.ShardPool` -- N worker processes, each
-  owning a full ``SessionManager``, with deterministic session->shard
-  routing.  Engine CPU leaves the caller's process entirely, so a
-  multi-core machine serves near-linearly in cores instead of
-  contending on one GIL.
+* :class:`~repro.engine.shard.ShardPool` -- N worker processes *on this
+  machine*, each owning a full ``SessionManager``, with deterministic
+  session->shard routing.  Engine CPU leaves the caller's process
+  entirely, so a multi-core machine serves near-linearly in cores
+  instead of contending on one GIL.
+* :class:`~repro.cluster.ClusterBackend` -- N ``repro worker``
+  processes on *any* machines, reached over TCP with the same typed RPC
+  codec, placed by a consistent-hash ring, with live session migration
+  between workers (see :mod:`repro.cluster`).
 
 Every method is synchronous and thread-safe to call from worker
 threads; async plumbing, per-session ordering locks and residency/LRU
@@ -174,11 +178,20 @@ class ExecutionBackend(abc.ABC):
         """Verdict-cache counters, aggregated across shards."""
 
     def shard_stats(self) -> list[dict] | None:
-        """Per-shard observability rows (``None`` for in-process)."""
+        """Per-shard/worker observability rows (``None`` in-process)."""
         return None
 
+    def lost_session_ids(self) -> list[str]:
+        """Sessions unreachable behind dead shards/workers.
+
+        In-process backends cannot lose sessions this way; multi-process
+        ones override (:meth:`~repro.engine.shard.ShardPool.lost_session_ids`,
+        :meth:`~repro.cluster.ClusterBackend.lost_session_ids`).
+        """
+        return []
+
     def close(self) -> None:
-        """Release backend resources (processes, channels)."""
+        """Release backend resources (processes, channels, sockets)."""
 
 
 class InProcessBackend(ExecutionBackend):

@@ -15,10 +15,20 @@ every session to exactly one worker by a stable hash of its id:
   count (and re-routes consistently when a checkpoint taken under one
   shard count is restored under another).
 * **RPC channel** -- one duplex pipe per worker carrying
-  length-prefixed pickle frames (``Connection.send_bytes`` prepends the
-  byte count; the payload is a ``(op, args)`` / ``(ok, result)``
-  pickle).  A lock per channel serializes request/response pairs; the
-  worker is single-threaded, so per-shard ordering is inherent.
+  length-prefixed frames of the typed, versioned cluster codec
+  (:mod:`repro.cluster.codec` payloads over a bounded
+  :class:`~repro.cluster.transport.PipeChannel`; the same codec drives
+  the TCP workers of :mod:`repro.cluster`, so nothing on any RPC path
+  unpickles received bytes).  A lock per channel serializes
+  request/response pairs; the worker is single-threaded, so per-shard
+  ordering is inherent.  Frames beyond the size bound raise typed
+  :class:`~repro.errors.FrameTooLargeError` on either direction.
+* **Deadlines and heartbeats** -- every RPC accepts a deadline
+  (``rpc_timeout_s``), and an idle heartbeat thread pings each shard,
+  so a *hung* worker -- not just a dead one -- surfaces as typed
+  :class:`~repro.errors.ShardDownError` with its sessions reported by
+  :meth:`ShardPool.lost_session_ids`, instead of blocking callers
+  forever.
 * **Batched dispatch** -- :meth:`ShardPool.step_batch` groups a wave of
   steps by owning shard and sends *one* message per shard, each worker
   stepping its slice through the engine's batched
@@ -52,7 +62,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -60,7 +69,10 @@ from typing import Callable, Mapping
 
 import multiprocessing
 
-from ..errors import ServiceError, ShardDownError
+from ..cluster.codec import decode_message, encode_call, encode_error, encode_ok
+from ..cluster.frames import MAX_RPC_FRAME_BYTES
+from ..cluster.transport import PipeChannel
+from ..errors import FrameTooLargeError, ServiceError, ShardDownError
 from .backend import ExecutionBackend, step_batch_on_manager
 from .cache import CacheStats
 from .manager import SessionManager
@@ -71,6 +83,10 @@ from .session import SessionState
 SPAWN_TIMEOUT_S = 120.0
 #: Seconds a worker gets to exit after a shutdown frame before SIGTERM.
 SHUTDOWN_TIMEOUT_S = 10.0
+#: Seconds between idle heartbeat pings to each live shard (0 disables).
+HEARTBEAT_INTERVAL_S = 10.0
+#: Seconds a heartbeat ping may wait before declaring the shard hung.
+HEARTBEAT_TIMEOUT_S = 5.0
 
 
 def shard_for(session_id: str, n_shards: int) -> int:
@@ -85,16 +101,6 @@ def shard_for(session_id: str, n_shards: int) -> int:
         raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
     digest = hashlib.blake2b(session_id.encode(), digest_size=8).digest()
     return int.from_bytes(digest, "little") % n_shards
-
-
-def _send(conn, payload) -> None:
-    """One length-prefixed pickle frame onto the channel."""
-    conn.send_bytes(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-
-
-def _recv(conn):
-    """The next frame off the channel (raises EOFError on hangup)."""
-    return pickle.loads(conn.recv_bytes())
 
 
 def default_context() -> multiprocessing.context.BaseContext:
@@ -179,7 +185,10 @@ def _worker_execute(manager: SessionManager, metrics, op: str, args):
 
 
 def _shard_worker_main(
-    conn, factory: Callable[[], SessionManager], shard_index: int
+    conn,
+    factory: Callable[[], SessionManager],
+    shard_index: int,
+    max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
 ) -> None:
     """A shard worker process: build one manager, answer RPCs until EOF.
 
@@ -195,61 +204,79 @@ def _shard_worker_main(
     # module-import time (the service imports the engine, not vice versa).
     from ..service.metrics import ServiceMetrics
 
+    channel = PipeChannel(conn, max_frame_bytes)
     try:
         manager = factory()
     except BaseException as error:  # noqa: BLE001 - report, then die
         try:
-            _send(conn, (False, _picklable(error)))
+            channel.send(encode_error(error))
         finally:
-            conn.close()
+            channel.close()
         return
     metrics = ServiceMetrics()
-    _send(
-        conn,
-        (
-            True,
+    channel.send(
+        encode_ok(
             {
                 "pid": os.getpid(),
                 "shard": shard_index,
                 "horizon": manager.config.horizon,
                 "n_states": manager.n_states,
-            },
-        ),
+            }
+        )
     )
     while True:
         try:
-            op, args = _recv(conn)
-        except (EOFError, OSError):
+            message = decode_message(channel.recv())
+        except (EOFError, OSError, FrameTooLargeError):
             break
+        except Exception as error:  # noqa: BLE001 - malformed frame
+            try:
+                channel.send(encode_error(error))
+                continue
+            except (BrokenPipeError, OSError):
+                break
+        request_id = message["id"]
+        if message["kind"] != "call":
+            try:
+                channel.send(
+                    encode_error(
+                        ServiceError(
+                            f"shard worker expected a call frame, got "
+                            f"{message['kind']!r}"
+                        ),
+                        request_id,
+                    )
+                )
+                continue
+            except (BrokenPipeError, OSError):
+                break
+        op, args = message["op"], message["args"]
         if op == "shutdown":
             try:
-                _send(conn, (True, None))
+                channel.send(encode_ok(None, request_id))
             except (BrokenPipeError, OSError):
                 pass
             break
         try:
-            reply = (True, _worker_execute(manager, metrics, op, args))
+            reply = encode_ok(
+                _worker_execute(manager, metrics, op, args), request_id
+            )
         except Exception as error:  # noqa: BLE001 - errors travel the channel
-            reply = (False, _picklable(error))
+            reply = encode_error(error, request_id)
         try:
-            _send(conn, reply)
+            channel.send(reply)
         except (BrokenPipeError, OSError):
             break
-        except Exception:  # noqa: BLE001 - unpicklable result
-            _send(
-                conn,
-                (False, ServiceError(f"shard op {op!r} produced an unpicklable reply")),
+        except Exception:  # noqa: BLE001 - unencodable/oversized result
+            channel.send(
+                encode_error(
+                    ServiceError(
+                        f"shard op {op!r} produced an unencodable reply"
+                    ),
+                    request_id,
+                )
             )
-    conn.close()
-
-
-def _picklable(error: BaseException) -> BaseException:
-    """The error itself when it pickles, else a faithful substitute."""
-    try:
-        pickle.loads(pickle.dumps(error))
-        return error
-    except Exception:  # noqa: BLE001 - anything means "cannot travel"
-        return ServiceError(f"{type(error).__name__}: {error}")
+    channel.close()
 
 
 # ----------------------------------------------------------------------
@@ -258,20 +285,35 @@ def _picklable(error: BaseException) -> BaseException:
 class ShardHandle:
     """Parent-side endpoint of one shard worker's RPC channel."""
 
-    def __init__(self, index: int, process, conn):
+    def __init__(
+        self, index: int, process, conn, max_frame_bytes: int = MAX_RPC_FRAME_BYTES
+    ):
         self.index = index
         self.pid: int | None = None
         self._process = process
-        self._conn = conn
+        self._channel = PipeChannel(conn, max_frame_bytes)
         self._lock = threading.Lock()
         self.alive = True
 
-    def call(self, op: str, args=None):
+    def _down(self, op: str, cause: BaseException) -> ShardDownError:
+        """Mark the handle dead; the typed error to raise for ``op``."""
+        self.alive = False
+        if isinstance(cause, TimeoutError):
+            detail = f"did not answer {op!r} within its deadline (hung worker)"
+        else:
+            detail = f"died during {op!r}: {type(cause).__name__}"
+        return ShardDownError(f"shard {self.index} (pid {self.pid}) {detail}")
+
+    def call(self, op: str, args=None, timeout_s: float | None = None):
         """One request/response round trip (thread-safe, serialized).
 
-        A broken channel or worker death marks the handle dead and
-        raises :class:`ShardDownError`; the error persists for every
-        later call, so a lost shard is loud, not silent.
+        A broken channel, a worker death, or a reply missing its
+        ``timeout_s`` deadline marks the handle dead and raises
+        :class:`ShardDownError`; the error persists for every later
+        call, so a lost shard is loud, not silent.  An oversized
+        *outgoing* frame raises :class:`FrameTooLargeError` without
+        touching the channel (the shard stays healthy); an oversized
+        announced reply closes the channel, which cannot re-sync.
         """
         with self._lock:
             if not self.alive:
@@ -279,35 +321,70 @@ class ShardHandle:
                     f"shard {self.index} (pid {self.pid}) is down"
                 )
             try:
-                _send(self._conn, (op, args))
-                ok, result = _recv(self._conn)
-            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
-                self.alive = False
-                raise ShardDownError(
-                    f"shard {self.index} (pid {self.pid}) died during "
-                    f"{op!r}: {type(error).__name__}"
-                ) from error
-        if ok:
-            return result
-        raise result
+                self._channel.send(encode_call(op, args))
+            except FrameTooLargeError:
+                raise  # nothing hit the wire; the channel stays usable
+            except (BrokenPipeError, ConnectionResetError, OSError) as error:
+                raise self._down(op, error) from error
+            try:
+                payload = self._channel.recv(timeout_s)
+            except FrameTooLargeError:
+                self.alive = False  # stream unrecoverable past the frame
+                raise
+            except (
+                TimeoutError,
+                EOFError,
+                BrokenPipeError,
+                ConnectionResetError,
+                OSError,
+            ) as error:
+                raise self._down(op, error) from error
+        message = decode_message(payload)
+        if message["kind"] == "ok":
+            return message["result"]
+        raise message["error"]
+
+    def ping(self, timeout_s: float = HEARTBEAT_TIMEOUT_S) -> bool:
+        """One idle heartbeat; marks the handle dead on silence.
+
+        Skips (and reports healthy) when another thread holds the
+        channel -- a shard busy serving a real RPC is demonstrably not
+        idle-hung, and that RPC's own deadline covers it.
+        """
+        if not self._lock.acquire(blocking=False):
+            return True
+        try:
+            if not self.alive:
+                return False
+            try:
+                self._channel.send(encode_call("ping", None))
+                payload = self._channel.recv(timeout_s)
+            except Exception as error:  # noqa: BLE001 - any silence is death
+                self._down("ping", error)
+                return False
+            return decode_message(payload).get("result") == "pong"
+        finally:
+            self._lock.release()
 
     def handshake(self, timeout_s: float) -> dict:
         """Await the worker's ready frame; raises on failure/timeout."""
-        if not self._conn.poll(timeout_s):
+        try:
+            payload = self._channel.recv(timeout_s)
+        except TimeoutError:
             self.alive = False
             raise ServiceError(
                 f"shard {self.index} did not come up within {timeout_s:.0f}s"
-            )
-        try:
-            ok, info = _recv(self._conn)
+            ) from None
         except (EOFError, OSError) as error:
             self.alive = False
             raise ShardDownError(
                 f"shard {self.index} exited before its handshake"
             ) from error
-        if not ok:
+        message = decode_message(payload)
+        if message["kind"] != "ok":
             self.alive = False
-            raise info
+            raise message["error"]
+        info = message["result"]
         self.pid = info["pid"]
         return info
 
@@ -317,18 +394,15 @@ class ShardHandle:
             if self.alive:
                 self.alive = False
                 try:
-                    _send(self._conn, ("shutdown", None))
-                    _recv(self._conn)
+                    self._channel.send(encode_call("shutdown", None))
+                    self._channel.recv(timeout_s)
                 except Exception:  # noqa: BLE001 - already going away
                     pass
         self._process.join(timeout_s)
         if self._process.is_alive():
             self._process.terminate()
             self._process.join(timeout_s)
-        try:
-            self._conn.close()
-        except OSError:
-            pass
+        self._channel.close()
 
 
 class ShardPool(ExecutionBackend):
@@ -346,6 +420,16 @@ class ShardPool(ExecutionBackend):
     context:
         Optional ``multiprocessing`` context override (tests use this
         to force a start method).
+    rpc_timeout_s:
+        Per-RPC deadline; a shard that holds a reply past it is
+        declared hung (:class:`ShardDownError`).  ``None`` waits
+        forever, the historical behaviour.
+    heartbeat_interval_s:
+        Seconds between idle heartbeat pings per shard (``0`` disables
+        the heartbeat thread).  Pings skip shards busy with a real RPC.
+    max_frame_bytes:
+        RPC frame size bound, both directions (see
+        :mod:`repro.cluster.frames`).
     """
 
     remote = True
@@ -356,27 +440,35 @@ class ShardPool(ExecutionBackend):
         n_shards: int,
         context=None,
         spawn_timeout_s: float = SPAWN_TIMEOUT_S,
+        rpc_timeout_s: float | None = None,
+        heartbeat_interval_s: float = HEARTBEAT_INTERVAL_S,
+        max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
     ):
         if n_shards < 1:
             raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
         self.n_shards = int(n_shards)
+        self._rpc_timeout_s = rpc_timeout_s
         ctx = context if context is not None else default_context()
         self._handles: list[ShardHandle] = []
         self._sessions: dict[str, int] = {}  # sid -> shard index
         self._lock = threading.Lock()
         self._closed = False
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
         try:
             for index in range(self.n_shards):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 process = ctx.Process(
                     target=_shard_worker_main,
-                    args=(child_conn, factory, index),
+                    args=(child_conn, factory, index, max_frame_bytes),
                     name=f"repro-shard-{index}",
                     daemon=True,
                 )
                 process.start()
                 child_conn.close()
-                self._handles.append(ShardHandle(index, process, parent_conn))
+                self._handles.append(
+                    ShardHandle(index, process, parent_conn, max_frame_bytes)
+                )
             infos = [
                 handle.handshake(spawn_timeout_s) for handle in self._handles
             ]
@@ -391,6 +483,21 @@ class ShardPool(ExecutionBackend):
         self._dispatch = ThreadPoolExecutor(
             max_workers=self.n_shards, thread_name_prefix="repro-shard-rpc"
         )
+        if heartbeat_interval_s and heartbeat_interval_s > 0:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(float(heartbeat_interval_s),),
+                name="repro-shard-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self, interval_s: float) -> None:
+        """Ping idle shards so a hung worker is found between RPCs."""
+        while not self._stop_heartbeat.wait(interval_s):
+            for handle in self._handles:
+                if handle.alive:
+                    handle.ping()
 
     # ------------------------------------------------------------------
     # routing
@@ -425,7 +532,7 @@ class ShardPool(ExecutionBackend):
         routed.  Returns the session's horizon.
         """
         horizon = self._handle_for(session_id).call(
-            "open", (session_id, seed, scenario)
+            "open", (session_id, seed, scenario), self._rpc_timeout_s
         )
         with self._lock:
             self._sessions[session_id] = self.shard_of(session_id)
@@ -444,7 +551,9 @@ class ShardPool(ExecutionBackend):
             return list(self._sessions)
 
     def step(self, session_id: str, cell: int) -> ReleaseRecord:
-        return self._handle_for(session_id).call("step", (session_id, cell))
+        return self._handle_for(session_id).call(
+            "step", (session_id, cell), self._rpc_timeout_s
+        )
 
     def step_batch(
         self, cells: Mapping[str, int]
@@ -457,7 +566,10 @@ class ShardPool(ExecutionBackend):
         errors: dict[str, BaseException] = {}
         futures = {
             shard: self._dispatch.submit(
-                self._handles[shard].call, "step_batch", shard_cells
+                self._handles[shard].call,
+                "step_batch",
+                shard_cells,
+                self._rpc_timeout_s,
             )
             for shard, shard_cells in by_shard.items()
         }
@@ -473,19 +585,27 @@ class ShardPool(ExecutionBackend):
         return records, errors
 
     def peek_budget(self, session_id: str) -> float:
-        return self._handle_for(session_id).call("peek_budget", session_id)
+        return self._handle_for(session_id).call(
+            "peek_budget", session_id, self._rpc_timeout_s
+        )
 
     def finish(self, session_id: str) -> ReleaseLog:
-        log = self._handle_for(session_id).call("finish", session_id)
+        log = self._handle_for(session_id).call(
+            "finish", session_id, self._rpc_timeout_s
+        )
         with self._lock:
             self._sessions.pop(session_id, None)
         return log
 
     def checkpoint(self, session_id: str) -> SessionState:
-        return self._handle_for(session_id).call("checkpoint", session_id)
+        return self._handle_for(session_id).call(
+            "checkpoint", session_id, self._rpc_timeout_s
+        )
 
     def suspend(self, session_id: str) -> SessionState:
-        state = self._handle_for(session_id).call("suspend", session_id)
+        state = self._handle_for(session_id).call(
+            "suspend", session_id, self._rpc_timeout_s
+        )
         with self._lock:
             self._sessions.pop(session_id, None)
         return state
@@ -495,7 +615,12 @@ class ShardPool(ExecutionBackend):
         states: list[SessionState] = []
         lost: list[str] = []
         futures = [
-            (handle, self._dispatch.submit(handle.call, "suspend_all"))
+            (
+                handle,
+                self._dispatch.submit(
+                    handle.call, "suspend_all", None, self._rpc_timeout_s
+                ),
+            )
             for handle in self._handles
         ]
         for handle, future in futures:
@@ -516,7 +641,9 @@ class ShardPool(ExecutionBackend):
         return states, lost
 
     def resume(self, state: SessionState) -> str:
-        sid = self._handle_for(state.session_id).call("resume", state)
+        sid = self._handle_for(state.session_id).call(
+            "resume", state, self._rpc_timeout_s
+        )
         with self._lock:
             self._sessions[sid] = self.shard_of(sid)
         return sid
@@ -528,7 +655,7 @@ class ShardPool(ExecutionBackend):
             if not handle.alive:
                 continue
             try:
-                stats = handle.call("cache_stats")
+                stats = handle.call("cache_stats", None, self._rpc_timeout_s)
             except ShardDownError:
                 continue
             if stats is None:
@@ -552,7 +679,11 @@ class ShardPool(ExecutionBackend):
             if handle.alive:
                 try:
                     rows.append(
-                        {"shard": handle.index, "alive": True, **handle.call("stats")}
+                        {
+                            "shard": handle.index,
+                            "alive": True,
+                            **handle.call("stats", None, self._rpc_timeout_s),
+                        }
                     )
                     continue
                 except ShardDownError:
@@ -583,6 +714,9 @@ class ShardPool(ExecutionBackend):
         if self._closed:
             return
         self._closed = True
+        self._stop_heartbeat.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(1.0)
         for handle in self._handles:
             handle.shutdown()
         dispatch = getattr(self, "_dispatch", None)

@@ -123,12 +123,36 @@ class ShardDownError(ServiceError):
     """A shard worker process died; its sessions are unreachable.
 
     Raised by the sharded execution backend (:mod:`repro.engine.shard`)
-    when the process owning a session's shard has exited or its RPC
-    channel broke.  Sessions routed to a dead shard keep raising this
-    typed error instead of silently disappearing; sessions on other
-    shards are unaffected.
+    when the process owning a session's shard has exited, hung past its
+    RPC deadline, or its RPC channel broke.  Sessions routed to a dead
+    shard keep raising this typed error instead of silently
+    disappearing; sessions on other shards are unaffected.
+    """
+
+
+class WorkerDownError(ShardDownError):
+    """A remote cluster worker is unreachable; its sessions are lost.
+
+    The multi-host counterpart of :class:`ShardDownError`, raised by
+    :class:`~repro.cluster.ClusterBackend` when a TCP worker's channel
+    broke, its heartbeat lapsed, or an RPC exceeded its deadline.
+    Sessions assigned to the dead worker keep raising this typed error;
+    sessions on other workers -- and new opens, which re-route around
+    the hole in the ring -- are unaffected.
     """
 
 
 class ProtocolError(ServiceError, ValueError):
     """A service frame was malformed or used an unsupported version."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A length-prefixed RPC frame exceeds the transport's size bound.
+
+    Raised on *both* sides of the shard/cluster RPC channels
+    (:mod:`repro.cluster.frames`): before sending a frame that would
+    exceed the limit (the channel stays usable) and on receiving a
+    length header that announces one (the channel cannot be re-synced
+    and is closed).  A corrupt or hostile length header therefore
+    surfaces as a typed error instead of wedging or OOM-ing a worker.
+    """

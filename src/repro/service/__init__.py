@@ -28,14 +28,19 @@ bottom::
            client.py              -- async + sync clients
       -> repro.engine.backend      -- ExecutionBackend: where fleet work
                                      runs.  InProcessBackend (one
-                                     SessionManager, this process) or
+                                     SessionManager, this process),
                                      ShardPool (`--shards N`: N worker
                                      processes, each owning a full
                                      manager, deterministic session->
-                                     shard routing, length-prefixed
-                                     pickle RPC, batched one-message-
-                                     per-shard dispatch, typed
-                                     `shard_down` crash containment)
+                                     shard routing, typed bounded-frame
+                                     RPC, batched one-message-per-shard
+                                     dispatch, typed `shard_down` crash
+                                     containment), or ClusterBackend
+                                     (`--backend tcp://w1:9001,...`:
+                                     `repro worker` processes on any
+                                     machines, consistent-hash
+                                     placement, live migration via the
+                                     `migrate` op -- repro.cluster)
       -> repro.engine              -- SessionManager fan-out, ReleaseSession,
                                      shared VerdictCache + mechanism ladder
       -> repro.core                -- two-world models, Theorem IV.1, QP
@@ -50,7 +55,9 @@ ordered, so a server-mediated release stream is bit-identical to
 driving the manager directly under the same seeds -- at any shard
 count.  Threads scale until one process saturates a couple of cores on
 the GIL's bookkeeping; shards scale with the machine because every
-shard owns its engine outright and the serving layer only routes.
+shard owns its engine outright and the serving layer only routes; the
+cluster backend scales past the machine with the same routing contract
+(and sessions survive worker drains via live migration).
 """
 
 from ..engine.backend import ExecutionBackend, InProcessBackend, as_backend

@@ -98,6 +98,7 @@ class AsyncServiceClient:
                 cell=request.cell,
                 seed=request.seed,
                 scenario=request.scenario,
+                worker=request.worker,
                 extra=request.extra,
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -148,6 +149,15 @@ class AsyncServiceClient:
         """Server metrics snapshot."""
         return await self.request(Request(op="stats"))
 
+    async def migrate(self, worker: str) -> dict:
+        """Drain one cluster worker, live-migrating its sessions.
+
+        ``worker`` is the worker's address (``tcp://host:port``).  Only
+        meaningful against a server running a cluster backend; returns
+        the drain summary ``{worker, migrated, targets, remaining}``.
+        """
+        return await self.request(Request(op="migrate", worker=worker))
+
     async def close(self) -> None:
         """Close the connection and stop the reader."""
         self._reader_task.cancel()
@@ -186,6 +196,7 @@ class ServiceClient:
                 cell=request.cell,
                 seed=request.seed,
                 scenario=request.scenario,
+                worker=request.worker,
                 extra=request.extra,
             )
         self._file.write(request.to_frame())
@@ -228,6 +239,10 @@ class ServiceClient:
     def stats(self) -> dict:
         """Server metrics snapshot."""
         return self.request(Request(op="stats"))
+
+    def migrate(self, worker: str) -> dict:
+        """Drain one cluster worker (as in the async client)."""
+        return self.request(Request(op="migrate", worker=worker))
 
     def close(self) -> None:
         """Close the connection."""

@@ -133,7 +133,7 @@ class ServiceMetrics:
         self._requests: Counter[str] = Counter()
         self._errors: Counter[str] = Counter()
         self._sessions = Counter(
-            opened=0, finished=0, evicted=0, restored=0
+            opened=0, finished=0, evicted=0, restored=0, migrated=0
         )
         self._releases = Counter(conservative=0, forced_uniform=0)
         self._step_latency = LatencyHistogram()
@@ -152,7 +152,7 @@ class ServiceMetrics:
             self._errors[code] += 1
 
     def record_session_event(self, event: str, n: int = 1) -> None:
-        """Count a lifecycle event: opened/finished/evicted/restored."""
+        """Count a lifecycle event: opened/finished/evicted/restored/migrated."""
         with self._lock:
             self._sessions[event] += n
 

@@ -39,6 +39,12 @@ Ops
     ``session`` -> the session's JSON state (also persisted server-side).
 ``stats``
     -> server metrics snapshot (see :mod:`repro.service.metrics`).
+``migrate``
+    ``worker`` (a ``tcp://host:port`` address) -> drain that cluster
+    worker: its live sessions checkpoint and restore onto the ring's
+    remaining workers with no dropped stream (cluster backends only;
+    see :meth:`repro.cluster.ClusterBackend.drain_worker`).  Replies
+    with the migration summary.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ from dataclasses import dataclass, field
 
 from ..errors import (
     CalibrationError,
+    FrameTooLargeError,
     MechanismError,
     ProtocolError,
     QuantificationError,
@@ -59,6 +66,7 @@ from ..errors import (
     ShardDownError,
     SolverError,
     ValidationError,
+    WorkerDownError,
 )
 
 PROTOCOL_VERSION = 1
@@ -66,7 +74,9 @@ PROTOCOL_VERSION = 1
 #: Maximum bytes in one frame; longer lines are a protocol error.
 MAX_FRAME_BYTES = 1 << 20
 
-OPS = frozenset({"open", "step", "peek_budget", "finish", "checkpoint", "stats"})
+OPS = frozenset(
+    {"open", "step", "peek_budget", "finish", "checkpoint", "stats", "migrate"}
+)
 
 #: Ops that address one session and therefore require a ``session`` field.
 SESSION_OPS = frozenset({"step", "peek_budget", "finish", "checkpoint"})
@@ -76,7 +86,9 @@ SESSION_OPS = frozenset({"step", "peek_budget", "finish", "checkpoint"})
 #: back (most-derived first).
 ERROR_CODES: dict[str, type[ReproError]] = {
     "busy": ServiceBusyError,
+    "worker_down": WorkerDownError,
     "shard_down": ShardDownError,
+    "frame_too_large": FrameTooLargeError,
     "protocol": ProtocolError,
     "session": SessionError,
     "quantification": QuantificationError,
@@ -117,6 +129,7 @@ class Request:
     cell: int | None = None
     seed: int | None = None
     scenario: dict | None = None
+    worker: str | None = None
     extra: dict = field(default_factory=dict)
 
     def to_frame(self) -> bytes:
@@ -130,6 +143,8 @@ class Request:
             frame["seed"] = self.seed
         if self.scenario is not None:
             frame["scenario"] = self.scenario
+        if self.worker is not None:
+            frame["worker"] = self.worker
         frame.update(self.extra)
         return encode_frame(frame)
 
@@ -214,6 +229,17 @@ def parse_request(line: bytes | str) -> Request:
                     f"'scenario' must be a JSON object, got "
                     f"{type(scenario).__name__}"
                 )
+        worker = frame.get("worker")
+        if worker is not None:
+            if op != "migrate":
+                raise ProtocolError(
+                    f"'worker' is only valid for op 'migrate', not {op!r}"
+                )
+            worker = str(worker)
+            if not worker:
+                raise ProtocolError("'worker' must be a non-empty address")
+        elif op == "migrate":
+            raise ProtocolError("op 'migrate' requires a 'worker' field")
     except ProtocolError as error:
         error.request_id = request_id  # type: ignore[attr-defined]
         raise
@@ -224,6 +250,7 @@ def parse_request(line: bytes | str) -> Request:
         cell=cell,
         seed=seed,
         scenario=scenario,
+        worker=worker,
     )
 
 

@@ -373,6 +373,8 @@ class ReleaseServer:
             return await self._op_finish(request)
         if request.op == "checkpoint":
             return await self._op_checkpoint(request)
+        if request.op == "migrate":
+            return await self._op_migrate(request)
         return await self._op_stats()
 
     async def _op_open(self, request: Request) -> dict:
@@ -512,6 +514,30 @@ class ReleaseServer:
             "t": state.committed_t,
             "state": state.to_json(),
         }
+
+    async def _op_migrate(self, request: Request) -> dict:
+        """Drain one cluster worker's sessions onto the remaining ring.
+
+        Only meaningful for backends that place sessions dynamically
+        (``--backend tcp://``); shard pools route by hash and cannot
+        rehome a session.  The drain runs off the event loop -- it is
+        one ``suspend_all`` RPC plus a ``resume`` per session -- while
+        racing step requests retry transparently onto each session's
+        new home inside the backend.
+        """
+        if self._draining.is_set():
+            raise ServiceBusyError("server is draining; try again later")
+        drain = getattr(self._backend, "drain_worker", None)
+        if drain is None:
+            raise ServiceError(
+                "this server's backend has no migratable workers; "
+                "'migrate' requires a cluster backend (--backend tcp://...)"
+            )
+        summary = await asyncio.get_running_loop().run_in_executor(
+            None, drain, request.worker
+        )
+        self._metrics.record_session_event("migrated", summary["migrated"])
+        return summary
 
     async def _op_stats(self) -> dict:
         if self._backend.remote:

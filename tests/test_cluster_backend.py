@@ -1,0 +1,512 @@
+"""The cluster backend: placement, identity, migration, containment.
+
+The load-bearing guarantees of :mod:`repro.cluster`'s router layer:
+
+* a :class:`ClusterBackend` over TCP workers produces release streams
+  bit-identical to one in-process :class:`SessionManager` under the
+  same seeds -- solo steps and batched waves alike;
+* a live migration drill (100+ sessions, :meth:`drain_worker`
+  mid-stream) drops zero streams and changes zero bits;
+* one worker's death surfaces as typed ``WorkerDownError`` for exactly
+  its sessions (``lost_session_ids``) while the rest keep serving, and
+  a *hung* worker is indistinguishable from a dead one at the deadline;
+* checkpoints -- current and previous schema -- restore through the
+  cluster onto a different placement and continue bit-identically.
+"""
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.cluster.backend import ClusterBackend, WorkerHandle, parse_address
+from repro.cluster.frames import FRAME_HEADER
+from repro.cluster.worker import spawn_local_worker
+from repro.engine.session import SessionState
+from repro.errors import (
+    FrameTooLargeError,
+    ServiceError,
+    SessionError,
+    ShardDownError,
+    WorkerDownError,
+)
+
+from test_engine_shard import (
+    HORIZON,
+    N_CELLS,
+    make_manager,
+    make_trajectories,
+    reference_records,
+    strip,
+)
+
+
+def spawn_fleet(n_workers: int = 2):
+    procs, addresses = [], []
+    for _ in range(n_workers):
+        process, address = spawn_local_worker(make_manager)
+        procs.append(process)
+        addresses.append(address)
+    return procs, addresses
+
+
+def stop_fleet(procs):
+    for process in procs:
+        process.terminate()
+    for process in procs:
+        process.join(10)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """A long-lived two-worker fleet for non-destructive tests."""
+    procs, addresses = spawn_fleet(2)
+    yield addresses
+    stop_fleet(procs)
+
+
+@pytest.fixture
+def cluster(fleet):
+    with ClusterBackend(fleet, heartbeat_interval_s=0) as backend:
+        yield backend
+        # leave the shared fleet clean for the next test
+        for sid in list(backend.session_ids()):
+            try:
+                backend.finish(sid)
+            except Exception:
+                pass
+
+
+class TestConstruction:
+    def test_parse_address_normalizes(self):
+        assert parse_address("tcp://h:9001") == ("tcp://h:9001", "h", 9001)
+        assert parse_address("h:9001") == ("tcp://h:9001", "h", 9001)
+        for bad in ("nope", "h:", "h:abc", "h:0", "h:70000"):
+            with pytest.raises(ServiceError):
+                parse_address(bad)
+
+    def test_worker_down_is_a_shard_down(self):
+        # The service protocol's crash-containment contract: cluster
+        # failures satisfy existing `except ShardDownError` handlers.
+        assert issubclass(WorkerDownError, ShardDownError)
+
+    def test_unreachable_worker_fails_construction(self):
+        with socket.socket() as placeholder:
+            placeholder.bind(("127.0.0.1", 0))
+            port = placeholder.getsockname()[1]
+        with pytest.raises(WorkerDownError):
+            ClusterBackend([f"tcp://127.0.0.1:{port}"], connect_timeout_s=2.0)
+
+    def test_duplicate_and_empty_fleets_are_rejected(self):
+        with pytest.raises(ServiceError):
+            ClusterBackend([])
+        with pytest.raises(ServiceError):
+            ClusterBackend(["tcp://h:1", "h:1"])
+
+    def test_config_snapshot(self, cluster, fleet):
+        assert cluster.horizon == HORIZON
+        assert cluster.n_states == N_CELLS
+        assert cluster.n_shards == 2
+        assert cluster.remote is True
+        assert cluster.worker_addresses() == list(fleet)
+
+
+class TestBitIdentity:
+    def test_solo_streams_match_in_process(self, cluster):
+        trajectories = make_trajectories(6)
+        reference = reference_records(trajectories)
+        for i, name in enumerate(trajectories):
+            assert cluster.open(name, seed=1000 + i) == HORIZON
+        assert cluster.resident_count() == 6
+        for name, trajectory in trajectories.items():
+            got = [strip(cluster.step(name, cell)) for cell in trajectory]
+            assert got == reference[name], f"stream diverged for {name}"
+        for name in trajectories:
+            log = cluster.finish(name)
+            assert len(log) == HORIZON
+        assert cluster.resident_count() == 0
+
+    def test_batched_waves_match_in_process(self, cluster):
+        trajectories = make_trajectories(6, seed=11)
+        reference = reference_records(trajectories)
+        for i, name in enumerate(trajectories):
+            cluster.open(name, seed=1000 + i)
+        got = {name: [] for name in trajectories}
+        for t in range(HORIZON):
+            wave = {name: trajectories[name][t] for name in trajectories}
+            records, errors = cluster.step_batch(wave)
+            assert errors == {}
+            for name, record in records.items():
+                got[name].append(strip(record))
+        assert got == reference
+        for name in trajectories:
+            cluster.finish(name)
+
+    def test_batch_isolates_bad_members(self, cluster):
+        cluster.open("good", seed=1)
+        records, errors = cluster.step_batch(
+            {"good": 3, "ghost": 2, "bad-cell": None}
+        )
+        assert set(records) == {"good"}
+        assert isinstance(errors["ghost"], SessionError)
+        assert "bad-cell" in errors
+        cluster.finish("good")
+
+    def test_sessions_spread_over_both_workers(self, cluster):
+        for i in range(32):
+            cluster.open(f"spread-{i}", seed=i)
+        stats = cluster.shard_stats()
+        counts = [row["sessions"] for row in stats]
+        assert sum(counts) == 32
+        assert min(counts) >= 1  # the ring uses both workers
+        assert all(row["alive"] and not row["draining"] for row in stats)
+        for i in range(32):
+            cluster.finish(f"spread-{i}")
+
+
+class TestMigration:
+    def test_drill_100_sessions_zero_drops_bit_identical(self):
+        """The acceptance drill: 100+ live sessions, one worker drained
+        mid-stream, zero dropped streams, bit-identical to unmigrated."""
+        procs, addresses = spawn_fleet(2)
+        try:
+            trajectories = make_trajectories(100, seed=23)
+            reference = reference_records(trajectories)
+            with ClusterBackend(addresses, heartbeat_interval_s=0) as cluster:
+                for i, name in enumerate(trajectories):
+                    cluster.open(name, seed=1000 + i)
+                got = {name: [] for name in trajectories}
+                half = HORIZON // 2
+                for t in range(half):
+                    records, errors = cluster.step_batch(
+                        {n: trajectories[n][t] for n in trajectories}
+                    )
+                    assert errors == {}
+                    for name, record in records.items():
+                        got[name].append(strip(record))
+
+                drained = cluster.shard_stats()[0]["worker"]
+                summary = cluster.drain_worker(drained)
+                assert summary["worker"] == drained
+                assert summary["migrated"] >= 1
+                assert sum(summary["targets"].values()) == summary["migrated"]
+                # every session now lives on the other worker
+                rows = {r["worker"]: r for r in cluster.shard_stats()}
+                assert rows[drained]["sessions"] == 0
+                assert rows[drained]["draining"] is True
+
+                # the drained worker can die now: nothing is lost
+                for process, address in zip(procs, addresses):
+                    if address == drained:
+                        process.terminate()
+                        process.join(10)
+                assert cluster.lost_session_ids() == []
+
+                for t in range(half, HORIZON):
+                    records, errors = cluster.step_batch(
+                        {n: trajectories[n][t] for n in trajectories}
+                    )
+                    assert errors == {}, f"dropped streams: {sorted(errors)}"
+                    for name, record in records.items():
+                        got[name].append(strip(record))
+                assert got == reference  # bit-identical across the drain
+                for name in trajectories:
+                    assert len(cluster.finish(name)) == HORIZON
+        finally:
+            stop_fleet(procs)
+
+    def test_solo_steps_cross_a_drain(self):
+        procs, addresses = spawn_fleet(2)
+        try:
+            trajectories = make_trajectories(8, seed=31)
+            reference = reference_records(trajectories)
+            with ClusterBackend(addresses, heartbeat_interval_s=0) as cluster:
+                for i, name in enumerate(trajectories):
+                    cluster.open(name, seed=1000 + i)
+                got = {
+                    name: [strip(cluster.step(name, trajectories[name][0]))]
+                    for name in trajectories
+                }
+                cluster.drain_worker(addresses[0])
+                for name in trajectories:
+                    for cell in trajectories[name][1:]:
+                        got[name].append(strip(cluster.step(name, cell)))
+                assert got == reference
+        finally:
+            stop_fleet(procs)
+
+    def test_drain_validation(self, cluster):
+        with pytest.raises(ServiceError, match="unknown worker"):
+            cluster.drain_worker("tcp://nowhere:1")
+
+    def test_draining_the_last_worker_is_refused(self):
+        procs, addresses = spawn_fleet(1)
+        try:
+            with ClusterBackend(addresses, heartbeat_interval_s=0) as cluster:
+                cluster.open("solo", seed=1)
+                with pytest.raises(ServiceError, match="no other live worker"):
+                    cluster.drain_worker(addresses[0])
+        finally:
+            stop_fleet(procs)
+
+
+class TestContainment:
+    def test_worker_death_is_typed_and_contained(self):
+        procs, addresses = spawn_fleet(2)
+        try:
+            with ClusterBackend(
+                addresses, heartbeat_interval_s=0, rpc_timeout_s=30.0
+            ) as cluster:
+                for i in range(16):
+                    cluster.open(f"c{i}", seed=i)
+                victim = cluster.shard_stats()[0]["worker"]
+                victims = [
+                    sid
+                    for sid in cluster.session_ids()
+                    if cluster._assigned(sid) == victim
+                ]
+                survivors = [
+                    sid for sid in cluster.session_ids() if sid not in victims
+                ]
+                assert victims and survivors
+                for process, address in zip(procs, addresses):
+                    if address == victim:
+                        process.kill()
+                        process.join(10)
+
+                with pytest.raises(WorkerDownError):
+                    cluster.step(victims[0], 3)
+                # exactly the dead worker's sessions are lost
+                assert sorted(cluster.lost_session_ids()) == sorted(victims)
+                for sid in survivors:
+                    cluster.step(sid, 3)  # the other worker keeps serving
+                # new opens re-route around the hole
+                cluster.open("after-death", seed=99)
+                cluster.step("after-death", 5)
+                # batches report the typed error per lost member
+                records, errors = cluster.step_batch(
+                    {victims[1]: 2, survivors[0]: 2}
+                )
+                assert set(records) == {survivors[0]}
+                assert isinstance(errors[victims[1]], WorkerDownError)
+                rows = {r["worker"]: r for r in cluster.shard_stats()}
+                assert rows[victim]["alive"] is False
+                assert rows[victim]["lost_sessions"] == len(victims)
+        finally:
+            stop_fleet(procs)
+
+    def test_heartbeat_detects_a_silent_death(self):
+        procs, addresses = spawn_fleet(2)
+        try:
+            with ClusterBackend(
+                addresses,
+                heartbeat_interval_s=0.2,
+                heartbeat_timeout_s=1.0,
+            ) as cluster:
+                procs[0].kill()
+                procs[0].join(10)
+                deadline = time.monotonic() + 15.0
+                victim = addresses[0]
+                while time.monotonic() < deadline:
+                    if not cluster._handles[victim].alive:
+                        break
+                    time.sleep(0.1)
+                assert not cluster._handles[victim].alive
+                # placement ring already routed around the dead worker
+                cluster.open("post-heartbeat", seed=1)
+                cluster.step("post-heartbeat", 4)
+        finally:
+            stop_fleet(procs)
+
+    def test_suspend_all_reports_losses(self):
+        procs, addresses = spawn_fleet(2)
+        try:
+            with ClusterBackend(
+                addresses, heartbeat_interval_s=0, rpc_timeout_s=30.0
+            ) as cluster:
+                for i in range(8):
+                    cluster.open(f"s{i}", seed=i)
+                victim = addresses[1]
+                doomed = [
+                    sid
+                    for sid in cluster.session_ids()
+                    if cluster._assigned(sid) == victim
+                ]
+                procs[1].kill()
+                procs[1].join(10)
+                states, lost = cluster.suspend_all()
+                assert sorted(lost) == sorted(doomed)
+                assert len(states) == 8 - len(doomed)
+        finally:
+            stop_fleet(procs)
+
+
+class TestCrossPlacementRestore:
+    """Checkpoints restore through the cluster onto a different worker,
+    at the current schema and the previous one, and continue
+    bit-identically -- solo and batched."""
+
+    def checkpoint_and_reference(self, n_sessions=4, split=3):
+        trajectories = make_trajectories(n_sessions, seed=41)
+        reference = reference_records(trajectories)
+        manager = make_manager()
+        states = {}
+        for i, name in enumerate(trajectories):
+            manager.open(name, rng=1000 + i)
+            for cell in trajectories[name][:split]:
+                manager.step(name, cell)
+            states[name] = manager.suspend(name)
+        return trajectories, reference, states, split
+
+    @staticmethod
+    def downgrade_to_v1(state: SessionState) -> SessionState:
+        """A schema-v1 checkpoint: what a PR-1 build would have written."""
+        data = state.to_json()
+        assert data["schema"] == 2
+        del data["schema"]
+        del data["scenario"]
+        return SessionState.from_json(json.loads(json.dumps(data)))
+
+    @pytest.mark.parametrize("schema", ["v2", "v1"])
+    def test_restore_continues_solo(self, cluster, schema):
+        trajectories, reference, states, split = self.checkpoint_and_reference()
+        for name, state in states.items():
+            if schema == "v1":
+                state = self.downgrade_to_v1(state)
+            assert cluster.resume(state) == name
+        for name, trajectory in trajectories.items():
+            got = [strip(cluster.step(name, cell)) for cell in trajectory[split:]]
+            assert got == reference[name][split:], f"{schema} diverged: {name}"
+        for name in trajectories:
+            log = cluster.finish(name)
+            assert len(log) == HORIZON  # the full pre-suspend history came too
+
+    def test_restore_continues_batched(self, cluster):
+        trajectories, reference, states, split = self.checkpoint_and_reference()
+        for state in states.values():
+            cluster.resume(state)
+        got = {name: [] for name in trajectories}
+        for t in range(split, HORIZON):
+            records, errors = cluster.step_batch(
+                {n: trajectories[n][t] for n in trajectories}
+            )
+            assert errors == {}
+            for name, record in records.items():
+                got[name].append(strip(record))
+        assert got == {n: reference[n][split:] for n in trajectories}
+        for name in trajectories:
+            cluster.finish(name)
+
+    def test_restore_lands_on_the_ring_owner(self, cluster):
+        _, _, states, _ = self.checkpoint_and_reference(n_sessions=8)
+        for name, state in states.items():
+            cluster.resume(state)
+            assert cluster._assigned(name) in cluster.worker_addresses()
+        placements = {cluster._assigned(n) for n in states}
+        assert len(placements) == 2  # both workers participate
+        for name in states:
+            cluster.finish(name)
+
+
+class _HungWorker:
+    """A fake worker that answers hello/ping but swallows every other
+    call -- a *hung* engine, as seen from the router."""
+
+    def __init__(self):
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(4)
+        self.port = self._listener.getsockname()[1]
+        self.address = f"tcp://127.0.0.1:{self.port}"
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        from repro.cluster.codec import decode_message, encode_ok
+
+        self._listener.settimeout(0.2)
+        conns = []
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            conns.append(conn)
+            threading.Thread(
+                target=self._serve_conn, args=(conn,), daemon=True
+            ).start()
+        for conn in conns:
+            conn.close()
+        self._listener.close()
+
+    def _serve_conn(self, conn):
+        from repro.cluster.codec import decode_message, encode_ok
+
+        try:
+            while not self._stop.is_set():
+                header = conn.recv(FRAME_HEADER.size, socket.MSG_WAITALL)
+                if len(header) < FRAME_HEADER.size:
+                    return
+                (length,) = FRAME_HEADER.unpack(header)
+                payload = conn.recv(length, socket.MSG_WAITALL)
+                message = decode_message(payload)
+                if message["op"] == "ping":
+                    reply = encode_ok("pong", message["id"])
+                elif message["op"] == "hello":
+                    reply = encode_ok(
+                        {
+                            "pid": 1,
+                            "host": "127.0.0.1",
+                            "port": self.port,
+                            "horizon": HORIZON,
+                            "n_states": N_CELLS,
+                            "sessions": 0,
+                        },
+                        message["id"],
+                    )
+                else:
+                    continue  # hang: never answer engine ops
+                conn.sendall(FRAME_HEADER.pack(len(reply)) + reply)
+        except OSError:
+            return
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(5)
+
+
+class TestDeadlines:
+    def test_hung_worker_surfaces_as_worker_down_at_the_deadline(self):
+        fake = _HungWorker()
+        try:
+            handle = WorkerHandle(fake.address, rpc_timeout_s=0.5)
+            assert handle.hello()["horizon"] == HORIZON
+            assert handle.ping() is True  # answers heartbeats: looks alive
+            start = time.monotonic()
+            with pytest.raises(WorkerDownError, match="hung worker"):
+                handle.call("step", ("u0", 3))
+            assert time.monotonic() - start < 10.0
+            # the handle is dead now; later calls fail fast and loudly
+            assert handle.alive is False
+            with pytest.raises(WorkerDownError):
+                handle.call("step", ("u0", 3))
+            assert handle.ping() is False
+        finally:
+            fake.close()
+
+    def test_oversized_call_raises_before_send_and_keeps_the_channel(self):
+        fake = _HungWorker()
+        try:
+            handle = WorkerHandle(
+                fake.address, max_frame_bytes=512, rpc_timeout_s=5.0
+            )
+            with pytest.raises(FrameTooLargeError):
+                handle.call("open", ("big", None, {"pad": "x" * 4096}))
+            assert handle.alive is True
+            assert handle.ping() is True  # channel unharmed
+        finally:
+            fake.close()

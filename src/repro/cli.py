@@ -1,6 +1,6 @@
-"""Command-line entry point: ``repro <experiment>`` / ``stream`` / ``serve`` / ``worker``.
+"""Command-line entry point: ``repro <experiment>`` / ``stream`` / ``serve`` / ``worker`` / ``stats`` / ``top``.
 
-Four modes:
+Six modes:
 
 * ``repro fig7`` .. ``fig14``, ``table3`` -- reproduce one of the
   paper's figures/tables (run with ``--help`` for options);
@@ -27,6 +27,11 @@ Four modes:
   typed cluster codec for a ``repro serve --backend tcp://...`` router.
   Takes the same engine flags as ``serve`` -- start every worker of a
   cluster with identical flags (or the same ``--scenario`` file).
+* ``repro stats ADDR`` / ``repro top ADDR`` -- operator views of a
+  running server: one pretty-printed ``stats`` snapshot (optionally
+  with recent trace spans via ``--spans``), or a live refreshing
+  terminal dashboard.  Both speak the ordinary service protocol, so
+  they work against any reachable ``repro serve``.
 
 Stream protocol (one JSON object per line)::
 
@@ -417,6 +422,19 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument("--store-path", default=None,
                         help="directory (store=dir) or database file "
                         "(store=sqlite)")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        help="serve Prometheus /metrics plus /healthz and "
+                        "/readyz on this port (0 picks an ephemeral port, "
+                        "announced as 'metrics_port'; omit to disable)")
+    parser.add_argument("--metrics-host", default=None,
+                        help="bind address for the metrics listener "
+                        "(default: --host)")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="disable per-request tracing (span buffers, "
+                        "slow-request log); stats/metrics keep working")
+    parser.add_argument("--slow-request-ms", type=float, default=1000.0,
+                        help="requests slower than this land in the "
+                        "slow-span ring buffer")
     args = parser.parse_args(argv)
     for name in ("max_sessions", "max_resident", "pending_per_connection"):
         if getattr(args, name) < 1:
@@ -425,6 +443,10 @@ def _serve_main(argv: list[str]) -> int:
         parser.error("--workers must be >= 0")
     if args.batch_window_ms < 0:
         parser.error("--batch-window-ms must be >= 0")
+    if args.slow_request_ms <= 0:
+        parser.error("--slow-request-ms must be > 0")
+    if args.metrics_port is not None and not 0 <= args.metrics_port < 65536:
+        parser.error("--metrics-port must be in [0, 65535]")
     if args.shards < 0:
         parser.error("--shards must be >= 0")
     if args.shards > 0 and args.workers == 0:
@@ -466,6 +488,10 @@ def _serve_main(argv: list[str]) -> int:
         max_pending_per_connection=args.pending_per_connection,
         workers=args.workers,
         batch_window_ms=args.batch_window_ms,
+        trace=not args.no_trace,
+        slow_request_ms=args.slow_request_ms,
+        metrics_port=args.metrics_port,
+        metrics_host=args.metrics_host,
     )
 
     async def _serve() -> int:
@@ -490,6 +516,7 @@ def _serve_main(argv: list[str]) -> int:
                     "store": args.store,
                     "scenarios": len(scenarios),
                     "allow_any_scenario": args.allow_any_scenario,
+                    "metrics_port": server.metrics_port,
                 }
             ),
             flush=True,
@@ -508,6 +535,70 @@ def _serve_main(argv: list[str]) -> int:
         store.close()
 
 
+def _ops_address(parser: argparse.ArgumentParser, raw: str) -> tuple[str, int]:
+    """Parse a ``host:port`` / ``tcp://host:port`` serving address."""
+    from .cluster.backend import parse_address
+
+    try:
+        _, host, port = parse_address(raw)
+    except ReproError as error:
+        parser.error(str(error))
+    return host, port
+
+
+def _stats_main(argv: list[str]) -> int:
+    from .obs.top import run_stats
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="One stats snapshot of a running `repro serve` as "
+        "pretty-printed JSON",
+    )
+    parser.add_argument("address", metavar="ADDR",
+                        help="the server's host:port (or tcp://host:port)")
+    parser.add_argument("--spans", type=int, default=0,
+                        help="also fetch up to N recent + N slow trace "
+                        "spans (0 = none)")
+    args = parser.parse_args(argv)
+    if args.spans < 0:
+        parser.error("--spans must be >= 0")
+    host, port = _ops_address(parser, args.address)
+    try:
+        run_stats(host, port, spans=args.spans)
+    except (ReproError, OSError) as error:
+        print(f"repro stats: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _top_main(argv: list[str]) -> int:
+    from .obs.top import run_top
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live terminal view of a running `repro serve`: "
+        "sessions, latency, throughput, per-worker health",
+    )
+    parser.add_argument("address", metavar="ADDR",
+                        help="the server's host:port (or tcp://host:port)")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between refreshes")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="stop after N refreshes (default: until ^C)")
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+    host, port = _ops_address(parser, args.address)
+    try:
+        run_top(host, port, interval_s=args.interval, iterations=args.iterations)
+    except KeyboardInterrupt:
+        pass
+    except (ReproError, OSError) as error:
+        print(f"repro top: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     if argv is None:
@@ -518,6 +609,10 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PriSTE experiment harness",

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Mapping
@@ -50,6 +51,8 @@ from ..errors import (
     SessionError,
     WorkerDownError,
 )
+from ..obs.registry import LatencyHistogram
+from ..obs.trace import current as current_trace
 from .codec import decode_message, encode_call
 from .frames import MAX_RPC_FRAME_BYTES
 from .ring import DEFAULT_REPLICAS, HashRing
@@ -149,6 +152,8 @@ class WorkerHandle:
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._pending: dict[int, _Waiter] = {}
+        self.rpc_latency = LatencyHistogram()
+        self.last_heartbeat = time.monotonic()
         self._ids = itertools.count(1)
         self._window = threading.BoundedSemaphore(int(window))
         self._reader = threading.Thread(
@@ -204,14 +209,39 @@ class WorkerHandle:
                 )
             waiter.event.set()
 
+    # -- observability -------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """RPCs currently awaiting a reply (pipelined, so can exceed 1)."""
+        with self._state_lock:
+            return len(self._pending)
+
+    def health(self, raw: bool = False) -> dict:
+        """Local-state health row (no RPC; safe for probes/scrapes).
+
+        ``raw`` swaps the human-readable latency snapshot for the
+        mergeable :meth:`~repro.obs.registry.LatencyHistogram.state`.
+        """
+        return {
+            "alive": self.alive,
+            "inflight": self.inflight,
+            "heartbeat_age_s": round(time.monotonic() - self.last_heartbeat, 3),
+            "rpc_latency": (
+                self.rpc_latency.state() if raw else self.rpc_latency.snapshot()
+            ),
+        }
+
     # -- calls ---------------------------------------------------------
     def call(self, op: str, args=None, timeout_s=_UNSET, windowed: bool = True):
         """One pipelined RPC; raises the worker's typed error or
         :class:`WorkerDownError` on channel failure / missed deadline."""
         timeout = self._rpc_timeout_s if timeout_s is _UNSET else timeout_s
         request_id = next(self._ids)
-        payload = encode_call(op, args, request_id)
+        ctx = current_trace()
+        trace_id = ctx[1] if ctx is not None and ctx[0].enabled else None
+        payload = encode_call(op, args, request_id, trace=trace_id)
         waiter = _Waiter()
+        started = time.perf_counter()
         if windowed:
             self._window.acquire()
         try:
@@ -238,6 +268,18 @@ class WorkerHandle:
         finally:
             if windowed:
                 self._window.release()
+        # The worker answered (typed errors included): record the round
+        # trip and refresh the liveness stamp.  Histogram writes are
+        # serialized under the state lock because calls are pipelined
+        # across router threads.
+        elapsed = time.perf_counter() - started
+        with self._state_lock:
+            self.rpc_latency.record(elapsed)
+            self.last_heartbeat = time.monotonic()
+        if trace_id is not None:
+            ctx[0].record(
+                "rpc", trace_id, elapsed, op=op, worker=self.address
+            )
         if waiter.error is not None:
             raise waiter.error
         return waiter.result
@@ -749,6 +791,7 @@ class ClusterBackend(ExecutionBackend):
                             "worker": address,
                             "alive": True,
                             "draining": draining,
+                            "health": handle.health(),
                             **handle.call("stats"),
                         }
                     )
@@ -771,6 +814,17 @@ class ClusterBackend(ExecutionBackend):
                 }
             )
         return rows
+
+    def worker_health(self) -> list[dict]:
+        """One local-state health row per worker (no RPCs; probe-safe)."""
+        return [
+            {
+                "worker": address,
+                "draining": address in self._draining,
+                **self._handles[address].health(raw=True),
+            }
+            for address in self._addresses
+        ]
 
     def lost_session_ids(self) -> list[str]:
         """Sessions assigned to workers that are down (unreachable)."""

@@ -234,17 +234,24 @@ def _encode_message(message: dict) -> bytes:
     ).encode()
 
 
-def encode_call(op: str, args, request_id: int = 0) -> bytes:
-    """One request payload (length prefix added by the transport)."""
-    return _encode_message(
-        {
-            "v": WIRE_VERSION,
-            "kind": "call",
-            "id": request_id,
-            "op": op,
-            "args": encode_value(args),
-        }
-    )
+def encode_call(op: str, args, request_id: int = 0, trace: str | None = None) -> bytes:
+    """One request payload (length prefix added by the transport).
+
+    ``trace`` rides as an *optional* envelope key: receivers read only
+    the keys they know, so a build without tracing ignores it and an
+    instrumented build interoperates with frames that omit it -- no
+    :data:`WIRE_VERSION` bump needed.
+    """
+    message = {
+        "v": WIRE_VERSION,
+        "kind": "call",
+        "id": request_id,
+        "op": op,
+        "args": encode_value(args),
+    }
+    if trace:
+        message["trace"] = trace
+    return _encode_message(message)
 
 
 def encode_ok(result, request_id: int = 0) -> bytes:
@@ -275,10 +282,11 @@ def decode_message(payload: bytes) -> dict:
     """Parse one RPC payload into a message dict.
 
     Returns ``{"kind", "id", ...}`` where ``call`` messages carry
-    ``op``/``args`` (args decoded), ``ok`` messages carry ``result``
-    (decoded) and ``err`` messages carry ``error`` as a rebuilt
-    exception object.  Raises :class:`ProtocolError` for malformed
-    payloads or a wire-version mismatch.
+    ``op``/``args`` (args decoded) plus ``trace`` (the optional
+    propagated trace id, ``None`` when absent), ``ok`` messages carry
+    ``result`` (decoded) and ``err`` messages carry ``error`` as a
+    rebuilt exception object.  Raises :class:`ProtocolError` for
+    malformed payloads or a wire-version mismatch.
     """
     try:
         message = json.loads(payload)
@@ -300,11 +308,13 @@ def decode_message(payload: bytes) -> dict:
         op = message.get("op")
         if not isinstance(op, str):
             raise ProtocolError(f"RPC call without a string op: {op!r}")
+        trace = message.get("trace")
         return {
             "kind": "call",
             "id": request_id,
             "op": op,
             "args": decode_value(message.get("args")),
+            "trace": trace if isinstance(trace, str) else None,
         }
     if kind == "ok":
         return {

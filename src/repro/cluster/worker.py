@@ -36,12 +36,14 @@ import contextlib
 import json
 import os
 import signal
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from ..engine.manager import SessionManager
 from ..engine.shard import _worker_execute, default_context
 from ..errors import FrameTooLargeError, ProtocolError, ServiceError
+from ..obs.trace import Tracer
 from .codec import decode_message, encode_error, encode_ok
 from .frames import FRAME_HEADER, MAX_RPC_FRAME_BYTES, pack_frame, payload_length
 
@@ -67,6 +69,9 @@ class WorkerServer:
         self._max_frame_bytes = int(max_frame_bytes)
         self._manager: SessionManager | None = None
         self._metrics = None
+        # Records only when a router frame carries a trace id, so an
+        # untraced deployment pays nothing here.
+        self._tracer = Tracer(capacity=256)
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
         # One thread: engine ops execute serially, in submission order.
@@ -139,15 +144,30 @@ class WorkerServer:
             writer.write(frame)
             await writer.drain()
 
-    async def _run_op(self, writer, write_lock, request_id, op, args):
+    async def _run_op(self, writer, write_lock, request_id, op, args, trace=None):
         loop = asyncio.get_running_loop()
+        started = time.perf_counter() if trace else 0.0
         try:
             result = await loop.run_in_executor(
-                self._engine, _worker_execute, self._manager, self._metrics, op, args
+                self._engine,
+                _worker_execute,
+                self._manager,
+                self._metrics,
+                op,
+                args,
+                self._tracer,
             )
             payload = encode_ok(result, request_id)
         except Exception as error:  # noqa: BLE001 - errors travel the channel
             payload = encode_error(error, request_id)
+        if trace:
+            self._tracer.record(
+                "solver",
+                trace,
+                time.perf_counter() - started,
+                op=op,
+                worker=self.port,
+            )
         try:
             await self._reply(writer, write_lock, payload)
         except FrameTooLargeError:
@@ -218,7 +238,14 @@ class WorkerServer:
                     break
                 else:
                     task = asyncio.get_running_loop().create_task(
-                        self._run_op(writer, write_lock, request_id, op, args)
+                        self._run_op(
+                            writer,
+                            write_lock,
+                            request_id,
+                            op,
+                            args,
+                            message.get("trace"),
+                        )
                     )
                     op_tasks.add(task)
                     task.add_done_callback(op_tasks.discard)

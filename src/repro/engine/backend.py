@@ -181,6 +181,19 @@ class ExecutionBackend(abc.ABC):
         """Per-shard/worker observability rows (``None`` in-process)."""
         return None
 
+    def worker_health(self) -> list[dict] | None:
+        """Local-state health rows per shard/worker (``None`` in-process).
+
+        Unlike :meth:`shard_stats` this must never issue an RPC -- it
+        feeds readiness probes and metric scrapes, which a slow worker
+        must not be able to stall.  Rows carry ``worker`` (a display
+        name), ``alive``, ``inflight`` (RPCs on the wire right now),
+        ``heartbeat_age_s`` (seconds since the last successful reply or
+        ping) and ``rpc_latency`` (a mergeable
+        :meth:`~repro.obs.registry.LatencyHistogram.state`).
+        """
+        return None
+
     def lost_session_ids(self) -> list[str]:
         """Sessions unreachable behind dead shards/workers.
 

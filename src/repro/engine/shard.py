@@ -64,6 +64,7 @@ import hashlib
 import os
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping
 
@@ -73,6 +74,8 @@ from ..cluster.codec import decode_message, encode_call, encode_error, encode_ok
 from ..cluster.frames import MAX_RPC_FRAME_BYTES
 from ..cluster.transport import PipeChannel
 from ..errors import FrameTooLargeError, ServiceError, ShardDownError
+from ..obs.registry import LatencyHistogram
+from ..obs.trace import current as current_trace
 from .backend import ExecutionBackend, step_batch_on_manager
 from .cache import CacheStats
 from .manager import SessionManager
@@ -112,8 +115,13 @@ def default_context() -> multiprocessing.context.BaseContext:
 # ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
-def _worker_execute(manager: SessionManager, metrics, op: str, args):
-    """Dispatch one RPC op against the worker's private manager."""
+def _worker_execute(manager: SessionManager, metrics, op: str, args, tracer=None):
+    """Dispatch one RPC op against the worker's private manager.
+
+    ``tracer`` (the worker process's :class:`~repro.obs.trace.Tracer`)
+    only feeds the ``stats`` payload here -- the RPC loops record the
+    actual ``solver`` spans, since only they see the propagated trace id.
+    """
     if op == "step":
         sid, cell = args
         metrics.record_request("step")
@@ -169,6 +177,8 @@ def _worker_execute(manager: SessionManager, metrics, op: str, args):
             "sessions": len(manager),
             "scenarios": manager.scenario_digests(),
             "metrics": metrics.dump(),
+            "tracing": None if tracer is None else tracer.stats(),
+            "spans": [] if tracer is None else tracer.recent(32),
             "verdict_cache": None
             if cache is None
             else {
@@ -202,8 +212,13 @@ def _shard_worker_main(
         pass
     # Imported lazily so repro.engine never depends on repro.service at
     # module-import time (the service imports the engine, not vice versa).
+    from ..obs.trace import Tracer
     from ..service.metrics import ServiceMetrics
 
+    # Worker-side span ring: only populated when a call frame carries a
+    # propagated trace id, so with tracing disabled server-side this
+    # never records anything.
+    tracer = Tracer(capacity=256)
     channel = PipeChannel(conn, max_frame_bytes)
     try:
         manager = factory()
@@ -257,10 +272,19 @@ def _shard_worker_main(
             except (BrokenPipeError, OSError):
                 pass
             break
+        trace_id = message.get("trace")
         try:
-            reply = encode_ok(
-                _worker_execute(manager, metrics, op, args), request_id
-            )
+            started = time.perf_counter() if trace_id else 0.0
+            result = _worker_execute(manager, metrics, op, args, tracer)
+            if trace_id:
+                tracer.record(
+                    "solver",
+                    trace_id,
+                    time.perf_counter() - started,
+                    op=op,
+                    shard=shard_index,
+                )
+            reply = encode_ok(result, request_id)
         except Exception as error:  # noqa: BLE001 - errors travel the channel
             reply = encode_error(error, request_id)
         try:
@@ -294,6 +318,31 @@ class ShardHandle:
         self._channel = PipeChannel(conn, max_frame_bytes)
         self._lock = threading.Lock()
         self.alive = True
+        # Per-handle health signals read (lock-free) by scrapes and the
+        # readiness probe: writes happen under self._lock, which already
+        # serializes the whole RPC round trip.
+        self.rpc_latency = LatencyHistogram()
+        self.inflight = 0
+        self.last_heartbeat = time.monotonic()
+
+    def health(self, raw: bool = False) -> dict:
+        """Local-state health row (no RPC).
+
+        ``raw`` returns the latency histogram as mergeable
+        :meth:`~repro.obs.registry.LatencyHistogram.state` (for the
+        exposition path); the default is the summary snapshot the
+        ``stats`` op and ``repro top`` render.  ``alive`` also consults
+        ``process.is_alive()`` -- a killed child is visible to probes
+        immediately, not only after the next RPC or heartbeat notices.
+        """
+        return {
+            "alive": self.alive and self._process.is_alive(),
+            "inflight": self.inflight,
+            "heartbeat_age_s": round(time.monotonic() - self.last_heartbeat, 3),
+            "rpc_latency": (
+                self.rpc_latency.state() if raw else self.rpc_latency.snapshot()
+            ),
+        }
 
     def _down(self, op: str, cause: BaseException) -> ShardDownError:
         """Mark the handle dead; the typed error to raise for ``op``."""
@@ -315,30 +364,42 @@ class ShardHandle:
         touching the channel (the shard stays healthy); an oversized
         announced reply closes the channel, which cannot re-sync.
         """
+        ctx = current_trace()
+        trace_id = ctx[1] if ctx is not None and ctx[0].enabled else None
+        started = time.perf_counter()
         with self._lock:
             if not self.alive:
                 raise ShardDownError(
                     f"shard {self.index} (pid {self.pid}) is down"
                 )
+            self.inflight += 1
             try:
-                self._channel.send(encode_call(op, args))
-            except FrameTooLargeError:
-                raise  # nothing hit the wire; the channel stays usable
-            except (BrokenPipeError, ConnectionResetError, OSError) as error:
-                raise self._down(op, error) from error
-            try:
-                payload = self._channel.recv(timeout_s)
-            except FrameTooLargeError:
-                self.alive = False  # stream unrecoverable past the frame
-                raise
-            except (
-                TimeoutError,
-                EOFError,
-                BrokenPipeError,
-                ConnectionResetError,
-                OSError,
-            ) as error:
-                raise self._down(op, error) from error
+                try:
+                    self._channel.send(encode_call(op, args, trace=trace_id))
+                except FrameTooLargeError:
+                    raise  # nothing hit the wire; the channel stays usable
+                except (BrokenPipeError, ConnectionResetError, OSError) as error:
+                    raise self._down(op, error) from error
+                try:
+                    payload = self._channel.recv(timeout_s)
+                except FrameTooLargeError:
+                    self.alive = False  # stream unrecoverable past the frame
+                    raise
+                except (
+                    TimeoutError,
+                    EOFError,
+                    BrokenPipeError,
+                    ConnectionResetError,
+                    OSError,
+                ) as error:
+                    raise self._down(op, error) from error
+            finally:
+                self.inflight -= 1
+            elapsed = time.perf_counter() - started
+            self.rpc_latency.record(elapsed)
+            self.last_heartbeat = time.monotonic()
+        if trace_id is not None:
+            ctx[0].record("rpc", trace_id, elapsed, op=op, shard=self.index)
         message = decode_message(payload)
         if message["kind"] == "ok":
             return message["result"]
@@ -362,6 +423,7 @@ class ShardHandle:
             except Exception as error:  # noqa: BLE001 - any silence is death
                 self._down("ping", error)
                 return False
+            self.last_heartbeat = time.monotonic()
             return decode_message(payload).get("result") == "pong"
         finally:
             self._lock.release()
@@ -682,6 +744,7 @@ class ShardPool(ExecutionBackend):
                         {
                             "shard": handle.index,
                             "alive": True,
+                            "health": handle.health(),
                             **handle.call("stats", None, self._rpc_timeout_s),
                         }
                     )
@@ -702,6 +765,13 @@ class ShardPool(ExecutionBackend):
                 }
             )
         return rows
+
+    def worker_health(self) -> list[dict]:
+        """One local-state health row per shard (no RPCs; probe-safe)."""
+        return [
+            {"worker": f"shard-{handle.index}", **handle.health(raw=True)}
+            for handle in self._handles
+        ]
 
     def lost_session_ids(self) -> list[str]:
         """Sessions currently routed to dead shards (unreachable)."""

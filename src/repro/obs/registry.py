@@ -1,0 +1,558 @@
+"""Metric primitives: counter/gauge/histogram families in one registry.
+
+The serving layer used to keep its counters in ad-hoc ``Counter``
+blobs; every new signal meant a new field, a new snapshot key and a new
+merge rule.  This module is the one vocabulary instead: a
+:class:`MetricsRegistry` owns named *families* (a family = one metric
+name + a fixed label set), each family owns its labelled series, and
+everything renders to Prometheus text exposition format in one pass --
+the ``/metrics`` endpoint, the ``stats`` op and the per-shard dumps all
+read the same state.
+
+Thread-safety: one re-entrant lock per registry, shared by its
+families.  Writers (worker-pool threads, the event loop, heartbeat
+threads) take it per update; readers take it per snapshot, so a
+rendered exposition or a snapshot dict is internally consistent --
+a histogram's ``count`` always equals the sum of its buckets.
+
+Registration is the duplicate-name self-check: registering the same
+family name twice (or two kinds under one name) raises
+:class:`ValueError` at wiring time, so a metric-name collision is a
+crash in CI, never two families silently interleaving in the
+exposition.
+
+Stdlib only; no dependency on the engine or the service layer (both
+import *this* module, including from shard worker processes).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Iterable
+
+__all__ = [
+    "LatencyHistogram",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+]
+
+#: Histogram range: 10 microseconds .. ~17 minutes, 16 buckets/decade.
+_FLOOR_S = 1e-5
+_BUCKETS_PER_DECADE = 16
+_N_BUCKETS = 8 * _BUCKETS_PER_DECADE
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram (seconds).
+
+    Constant memory regardless of traffic; percentile reads resolve to
+    a bucket's upper bound -- at 16 buckets per decade a <= ~15%
+    overestimate, never an *under*-estimate.  Not thread-safe on its
+    own; :class:`HistogramFamily` and
+    :class:`~repro.service.metrics.ServiceMetrics` serialize access
+    (standalone use in benchmarks is single-threaded).
+    """
+
+    def __init__(self):
+        self._counts = [0] * _N_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    @staticmethod
+    def _bucket(seconds: float) -> int:
+        if seconds <= _FLOOR_S:
+            return 0
+        index = int(math.log10(seconds / _FLOOR_S) * _BUCKETS_PER_DECADE)
+        return min(index, _N_BUCKETS - 1)
+
+    @staticmethod
+    def _upper_bound(index: int) -> float:
+        return _FLOOR_S * 10.0 ** ((index + 1) / _BUCKETS_PER_DECADE)
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        seconds = float(seconds)
+        self._counts[self._bucket(seconds)] += 1
+        self._count += 1
+        self._sum += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observations (seconds)."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Latency (seconds) at quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Returns the upper bound of the bucket holding the q-th
+        observation, clamped to the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self._count:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= rank:
+                if index == _N_BUCKETS - 1:
+                    return self._max  # overflow bucket: no finite bound
+                return min(self._upper_bound(index), self._max)
+        return self._max
+
+    def snapshot(self) -> dict:
+        """Summary dict in milliseconds (the wire/report unit)."""
+        return {
+            "count": self._count,
+            "mean_ms": round(self.mean * 1e3, 4),
+            "p50_ms": round(self.quantile(0.50) * 1e3, 4),
+            "p95_ms": round(self.quantile(0.95) * 1e3, 4),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 4),
+            "max_ms": round(self._max * 1e3, 4),
+        }
+
+    def state(self) -> dict:
+        """Raw mergeable state (bucket counts, not percentiles).
+
+        Unlike :meth:`snapshot`, this form can be summed across
+        processes without losing distribution shape -- shard workers
+        ship it over the RPC channel and the server merges via
+        :meth:`merge_state`.
+        """
+        return {
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum": self._sum,
+            "max": self._max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        counts = state["counts"]
+        if len(counts) != _N_BUCKETS:
+            raise ValueError(
+                f"histogram state has {len(counts)} buckets, expected {_N_BUCKETS}"
+            )
+        for index, count in enumerate(counts):
+            self._counts[index] += int(count)
+        self._count += int(state["count"])
+        self._sum += float(state["sum"])
+        self._max = max(self._max, float(state["max"]))
+
+    # -- exposition ----------------------------------------------------
+    def exposition_lines(self, name: str, label_text: str = "") -> list[str]:
+        """Prometheus ``_bucket``/``_sum``/``_count`` lines.
+
+        The final (overflow) bucket has no honest finite bound, so it
+        folds into ``+Inf`` only -- a 10^9 s observation never claims to
+        sit under the last finite ``le``.
+        """
+        lines = []
+        cumulative = 0
+        joiner = "," if label_text else ""
+        for index in range(_N_BUCKETS - 1):
+            cumulative += self._counts[index]
+            bound = _format_value(self._upper_bound(index))
+            lines.append(
+                f'{name}_bucket{{{label_text}{joiner}le="{bound}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{{label_text}{joiner}le="+Inf"}} {self._count}')
+        suffix = f"{{{label_text}}}" if label_text else ""
+        lines.append(f"{name}_sum{suffix} {_format_value(self._sum)}")
+        lines.append(f"{name}_count{suffix} {self._count}")
+        return lines
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class _Family:
+    """One metric name + fixed label names; owns its labelled series."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, lock: threading.RLock, name: str, help: str, labelnames: tuple
+    ):
+        self._lock = lock
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple, object] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_text(self, key: tuple) -> str:
+        return ",".join(
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.labelnames, key)
+        )
+
+    def series(self) -> list[tuple[dict, object]]:
+        """Every labelled series as ``(labels_dict, value)`` pairs."""
+        with self._lock:
+            return [
+                (dict(zip(self.labelnames, key)), self._value_of(value))
+                for key, value in sorted(self._series.items())
+            ]
+
+    def _value_of(self, stored):
+        return stored
+
+    def as_dict(self) -> dict:
+        """``{label-value-tuple-joined: value}`` for single-label families.
+
+        Convenience for snapshot payloads: a family with exactly one
+        label collapses to ``{label_value: value}``; an unlabelled one
+        to ``{"": value}``.
+        """
+        with self._lock:
+            return {
+                "|".join(key): self._value_of(value)
+                for key, value in self._series.items()
+            }
+
+    def exposition_lines(self) -> list[str]:
+        raise NotImplementedError
+
+
+class CounterFamily(_Family):
+    """Monotonic counters (one per label combination)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series.
+
+        Integer amounts keep the series an ``int`` -- counter snapshots
+        stay JSON-clean (``2``, not ``2.0``).
+        """
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0 when never written)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0)
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def exposition_lines(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._series.items())
+        lines = []
+        for key, value in items:
+            label_text = self._label_text(key)
+            suffix = f"{{{label_text}}}" if label_text else ""
+            lines.append(f"{self.name}{suffix} {_format_value(value)}")
+        if not lines and not self.labelnames:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class GaugeFamily(_Family):
+    """Point-in-time values; settable, or backed by a callback.
+
+    A callback gauge (``fn=...``) is sampled at read time (exposition
+    or :meth:`value`), so live quantities like queue depth never go
+    stale between scrapes.  Callback gauges are unlabelled.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        lock: threading.RLock,
+        name: str,
+        help: str,
+        labelnames: tuple,
+        fn: Callable[[], float] | None = None,
+    ):
+        super().__init__(lock, name, help, labelnames)
+        if fn is not None and labelnames:
+            raise ValueError(
+                f"callback gauge {name!r} cannot take labels {labelnames}"
+            )
+        self._fn = fn
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Subtract ``amount`` from the labelled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        """Current value (callback gauges sample their function)."""
+        if self._fn is not None:
+            return float(self._fn())
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def remove(self, **labels) -> None:
+        """Drop one labelled series (a departed worker, say)."""
+        key = self._key(labels)
+        with self._lock:
+            self._series.pop(key, None)
+
+    def exposition_lines(self) -> list[str]:
+        if self._fn is not None:
+            try:
+                sampled = float(self._fn())
+            except Exception:  # noqa: BLE001 - a probe must never kill a scrape
+                return []
+            return [f"{self.name} {_format_value(sampled)}"]
+        with self._lock:
+            items = sorted(self._series.items())
+        lines = []
+        for key, value in items:
+            label_text = self._label_text(key)
+            suffix = f"{{{label_text}}}" if label_text else ""
+            lines.append(f"{self.name}{suffix} {_format_value(value)}")
+        if not lines and not self.labelnames:
+            lines.append(f"{self.name} 0")
+        return lines
+
+
+class HistogramFamily(_Family):
+    """Log-bucket latency histograms, one per label combination."""
+
+    kind = "histogram"
+
+    def observe(self, seconds: float, **labels) -> None:
+        """Record one observation into the labelled series."""
+        key = self._key(labels)
+        with self._lock:
+            histogram = self._series.get(key)
+            if histogram is None:
+                histogram = self._series[key] = LatencyHistogram()
+            histogram.record(seconds)
+
+    def get(self, **labels) -> LatencyHistogram:
+        """The labelled series' histogram (created on first access)."""
+        key = self._key(labels)
+        with self._lock:
+            histogram = self._series.get(key)
+            if histogram is None:
+                histogram = self._series[key] = LatencyHistogram()
+            return histogram
+
+    def snapshot(self, **labels) -> dict:
+        """The labelled series' summary dict (consistent under the lock)."""
+        key = self._key(labels)
+        with self._lock:
+            histogram = self._series.get(key)
+            return histogram.snapshot() if histogram else LatencyHistogram().snapshot()
+
+    def snapshots(self) -> dict:
+        """Every series' summary, keyed by joined label values."""
+        with self._lock:
+            return {
+                "|".join(key): histogram.snapshot()
+                for key, histogram in self._series.items()
+            }
+
+    def merge_state(self, state: dict, **labels) -> None:
+        """Fold a :meth:`LatencyHistogram.state` into the labelled series."""
+        key = self._key(labels)
+        with self._lock:
+            histogram = self._series.get(key)
+            if histogram is None:
+                histogram = self._series[key] = LatencyHistogram()
+            histogram.merge_state(state)
+
+    def _value_of(self, stored):
+        return stored.snapshot()
+
+    def exposition_lines(self) -> list[str]:
+        with self._lock:
+            items = [
+                (key, histogram) for key, histogram in sorted(self._series.items())
+            ]
+            lines: list[str] = []
+            for key, histogram in items:
+                lines.extend(
+                    histogram.exposition_lines(self.name, self._label_text(key))
+                )
+        if not lines and not self.labelnames:
+            lines = LatencyHistogram().exposition_lines(self.name)
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric families rendering to Prometheus text exposition.
+
+    One registry per process role: the server owns one (its ``/metrics``
+    endpoint), each :class:`~repro.service.metrics.ServiceMetrics` owns
+    a private one for the counters it has always carried.  Families are
+    created through :meth:`counter`/:meth:`gauge`/:meth:`histogram`;
+    duplicate names raise immediately (see :meth:`self_check`).
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The registry-wide lock (re-entrant; shared by every family).
+
+        Hold it to read *several* families as one consistent cut --
+        family methods re-acquire it recursively, so snapshot code can
+        simply wrap its reads.
+        """
+        return self._lock
+
+    def _register(self, family: _Family) -> _Family:
+        if not _NAME_RE.match(family.name):
+            raise ValueError(f"invalid metric name {family.name!r}")
+        for label in family.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(
+                    f"invalid label name {label!r} on metric {family.name!r}"
+                )
+        with self._lock:
+            if family.name in self._families:
+                raise ValueError(
+                    f"metric {family.name!r} is already registered as a "
+                    f"{self._families[family.name].kind}"
+                )
+            self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> CounterFamily:
+        """Register and return a counter family."""
+        return self._register(CounterFamily(self._lock, name, help, tuple(labelnames)))
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        fn: Callable[[], float] | None = None,
+    ) -> GaugeFamily:
+        """Register and return a gauge family (``fn`` = callback gauge)."""
+        return self._register(
+            GaugeFamily(self._lock, name, help, tuple(labelnames), fn=fn)
+        )
+
+    def histogram(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> HistogramFamily:
+        """Register and return a histogram family."""
+        return self._register(
+            HistogramFamily(self._lock, name, help, tuple(labelnames))
+        )
+
+    def get(self, name: str) -> _Family | None:
+        """The named family, or ``None``."""
+        with self._lock:
+            return self._families.get(name)
+
+    def names(self) -> list[str]:
+        """Registered family names, sorted."""
+        with self._lock:
+            return sorted(self._families)
+
+    def self_check(self) -> list[str]:
+        """Re-verify the no-duplicate invariant; returns the names.
+
+        Registration already rejects duplicates, so this can only fail
+        if internal state was corrupted -- CI calls it as a cheap
+        tripwire after wiring every subsystem.
+        """
+        with self._lock:
+            names = [family.name for family in self._families.values()]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate metric families: {sorted(names)}")
+        seen: set[str] = set()
+        for name in names:
+            for other in seen:
+                if name == other:
+                    raise ValueError(f"duplicate metric family {name!r}")
+            seen.add(name)
+        return sorted(names)
+
+    def render(self, extra: str = "") -> str:
+        """The full Prometheus text exposition (version 0.0.4).
+
+        ``extra`` is appended verbatim -- the server uses it for
+        families it derives on the fly (per-shard dumps fetched by RPC
+        at scrape time).
+        """
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        chunks: list[str] = []
+        for family in families:
+            # Headers render even for series-less families (a labelled
+            # counter before its first increment): scrapers and CI can
+            # assert a family exists before traffic arrives.
+            if family.help:
+                chunks.append(f"# HELP {family.name} {family.help}")
+            chunks.append(f"# TYPE {family.name} {family.kind}")
+            chunks.extend(family.exposition_lines())
+        if extra:
+            chunks.append(extra.rstrip("\n"))
+        return "\n".join(chunks) + "\n"

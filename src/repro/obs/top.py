@@ -1,0 +1,156 @@
+"""``repro top`` and ``repro stats``: terminal views over the stats op.
+
+Both commands speak the ordinary service protocol through
+:class:`~repro.service.client.ServiceClient` -- no privileged channel,
+so they work against any running ``repro serve`` regardless of backend.
+``repro stats`` is one ``stats`` request pretty-printed; ``repro top``
+polls it and renders a live one-screen summary (sessions, steps/s
+derived from successive snapshots, latency percentiles, per-shard or
+per-worker health), refreshing in place.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+__all__ = ["fetch_stats", "run_stats", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_stats(host: str, port: int, spans: int = 0, timeout: float = 30.0) -> dict:
+    """One ``stats`` round trip (``spans`` > 0 asks for recent spans)."""
+    from ..service.client import ServiceClient
+    from ..service.protocol import Request
+
+    with ServiceClient(host, port, timeout=timeout) as client:
+        extra = {"spans": int(spans)} if spans else {}
+        return client.request(Request(op="stats", extra=extra))
+
+
+def run_stats(host: str, port: int, spans: int = 0, stream=None) -> int:
+    """The ``repro stats`` body: fetch once, pretty-print as JSON."""
+    stream = stream if stream is not None else sys.stdout
+    stats = fetch_stats(host, port, spans=spans)
+    print(json.dumps(stats, indent=2, sort_keys=True), file=stream, flush=True)
+    return 0
+
+
+def _rate(now: dict, before: dict | None, key: str, elapsed_s: float) -> float:
+    if before is None or elapsed_s <= 0:
+        return 0.0
+    return max(0.0, (now.get(key, 0) - before.get(key, 0)) / elapsed_s)
+
+
+def _health_rows(stats: dict) -> list[str]:
+    shards = stats.get("shards")
+    if not shards:
+        return ["  backend: in-process (no shard workers)"]
+    lines = [
+        f"  shards: {shards.get('alive', 0)}/{shards.get('count', 0)} alive"
+    ]
+    for row in shards.get("per_shard", []):
+        label = row.get("worker") or f"shard {row.get('shard')}"
+        if row.get("alive"):
+            health = row.get("health") or {}
+            rpc = (health.get("rpc_latency") or {})
+            detail = (
+                f"up    sessions={row.get('sessions', 0):<5} "
+                f"inflight={health.get('inflight', 0):<3} "
+                f"rpc_p99={rpc.get('p99_ms', 0.0):>8.2f}ms "
+                f"hb_age={health.get('heartbeat_age_s', 0.0):>5.1f}s"
+            )
+            if row.get("draining"):
+                detail += " DRAINING"
+        else:
+            detail = f"DOWN  lost_sessions={row.get('lost_sessions', 0)}"
+        lines.append(f"    {label:<24} {detail}")
+    return lines
+
+
+def render_screen(
+    stats: dict, before: dict | None, elapsed_s: float, address: str
+) -> str:
+    """One ``repro top`` frame as text (pure; tested without a TTY)."""
+    sessions = stats.get("sessions", {})
+    latency = stats.get("step_latency", {})
+    requests = stats.get("requests", {})
+    prior_requests = (before or {}).get("requests", {})
+    steps_rate = _rate(requests, prior_requests, "step", elapsed_s)
+    opens_rate = _rate(requests, prior_requests, "open", elapsed_s)
+    errors = stats.get("errors", {})
+    failures = stats.get("failures", {})
+    server = stats.get("server", {})
+    loop = stats.get("event_loop") or {}
+    spans = stats.get("tracing") or {}
+    lines = [
+        f"repro top — {address}   "
+        f"{'DRAINING' if server.get('draining') else 'serving'}   "
+        f"connections={server.get('connections', 0)} "
+        f"workers={server.get('workers', 0)} shards={server.get('shards', 0)}",
+        "",
+        f"  sessions  open={sessions.get('open', 0):<6} "
+        f"resident={sessions.get('resident', 0):<6} "
+        f"stored={sessions.get('stored', 0):<6} "
+        f"evicted={sessions.get('evicted', 0):<6} "
+        f"restored={sessions.get('restored', 0)}",
+        f"  traffic   steps/s={steps_rate:>8.1f}  opens/s={opens_rate:>6.1f}  "
+        f"errors={sum(errors.values())}  "
+        f"lost={failures.get('sessions_lost', 0)} "
+        f"worker_down={failures.get('worker_down', 0)} "
+        f"shard_down={failures.get('shard_down', 0)}",
+        f"  latency   p50={latency.get('p50_ms', 0.0):>8.2f}ms  "
+        f"p95={latency.get('p95_ms', 0.0):>8.2f}ms  "
+        f"p99={latency.get('p99_ms', 0.0):>8.2f}ms  "
+        f"max={latency.get('max_ms', 0.0):>8.2f}ms  "
+        f"(n={latency.get('count', 0)})",
+    ]
+    if loop:
+        lines.append(
+            f"  loop lag  now={loop.get('current_ms', 0.0):>6.2f}ms  "
+            f"max={loop.get('max_ms', 0.0):>6.2f}ms"
+        )
+    if spans:
+        lines.append(
+            f"  tracing   spans={spans.get('count', 0)}  "
+            f"slow={spans.get('slow_count', 0)} "
+            f"(>{spans.get('slow_threshold_ms', 0.0):.0f}ms)"
+        )
+    lines.append("")
+    lines.extend(_health_rows(stats))
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval_s: float = 2.0,
+    iterations: int | None = None,
+    stream=None,
+) -> int:
+    """The ``repro top`` body: poll ``stats`` and redraw until Ctrl+C."""
+    from ..service.client import ServiceClient
+    from ..service.protocol import Request
+
+    stream = stream if stream is not None else sys.stdout
+    address = f"{host}:{port}"
+    before: dict | None = None
+    before_t = time.perf_counter()
+    done = 0
+    try:
+        with ServiceClient(host, port, timeout=max(30.0, interval_s * 2)) as client:
+            while iterations is None or done < iterations:
+                stats = client.request(Request(op="stats"))
+                now_t = time.perf_counter()
+                frame = render_screen(stats, before, now_t - before_t, address)
+                clear = _CLEAR if stream.isatty() else ""
+                print(clear + frame, file=stream, flush=True, end="")
+                before, before_t = stats, now_t
+                done += 1
+                if iterations is None or done < iterations:
+                    time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

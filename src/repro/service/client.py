@@ -145,9 +145,10 @@ class AsyncServiceClient:
         """Snapshot a session server-side; returns {session, t, state}."""
         return await self.request(Request(op="checkpoint", session=session))
 
-    async def stats(self) -> dict:
-        """Server metrics snapshot."""
-        return await self.request(Request(op="stats"))
+    async def stats(self, spans: int = 0) -> dict:
+        """Server metrics snapshot (``spans`` > 0 adds recent trace spans)."""
+        extra = {"spans": int(spans)} if spans else {}
+        return await self.request(Request(op="stats", extra=extra))
 
     async def migrate(self, worker: str) -> dict:
         """Drain one cluster worker, live-migrating its sessions.
@@ -236,9 +237,10 @@ class ServiceClient:
         """Snapshot a session server-side; returns {session, t, state}."""
         return self.request(Request(op="checkpoint", session=session))
 
-    def stats(self) -> dict:
-        """Server metrics snapshot."""
-        return self.request(Request(op="stats"))
+    def stats(self, spans: int = 0) -> dict:
+        """Server metrics snapshot (``spans`` > 0 adds recent trace spans)."""
+        extra = {"spans": int(spans)} if spans else {}
+        return self.request(Request(op="stats", extra=extra))
 
     def migrate(self, worker: str) -> dict:
         """Drain one cluster worker (as in the async client)."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, TypeVar
 
@@ -107,6 +108,28 @@ class SessionExecutor:
     def workers(self) -> int:
         """Configured worker count (0 = inline)."""
         return self._workers
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions with a held or awaited lock right now (gauge)."""
+        return len(self._locks)
+
+    def queue_depth(self) -> int:
+        """Jobs waiting in the pool's queue (0 when inline).
+
+        Reads the executor's internal work queue -- guarded, so an
+        interpreter without it simply reports 0 instead of breaking
+        the scrape.
+        """
+        if self._pool is None:
+            return 0
+        queue = getattr(self._pool, "_work_queue", None)
+        if queue is None:
+            return 0
+        try:
+            return queue.qsize()
+        except (NotImplementedError, OSError):
+            return 0
 
     def session_idle(self, session_id: str) -> bool:
         """True when no request currently touches ``session_id``."""
@@ -224,14 +247,18 @@ class StepBatcher:
         executor: SessionExecutor,
         window_s: float,
         restore: Callable[[str], bool] | None = None,
+        tracer=None,
     ):
         from ..engine.backend import as_backend
+        from ..obs.trace import NULL_TRACER
 
         self._backend = as_backend(manager)
         self._executor = executor
         self._window_s = float(window_s)
         self._restore = restore
-        self._pending: dict[str, tuple[int, asyncio.Future]] = {}
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        # sid -> (cell, future, trace_id, enqueued_perf_s)
+        self._pending: dict[str, tuple] = {}
         # Newest in-flight (flushed but unresolved) step future per
         # session; the acquisition gate orders batches, so awaiting the
         # newest also waits out any older one for the same session.
@@ -253,9 +280,15 @@ class StepBatcher:
             "mean_batch": round(self._steps / self._batches, 3)
             if self._batches
             else None,
+            "pending": len(self._pending),
+            "inflight": len(self._inflight),
         }
 
-    async def submit(self, session_id: str, cell: int):
+    def window_occupancy(self) -> int:
+        """Steps collected in the currently open window (gauge)."""
+        return len(self._pending)
+
+    async def submit(self, session_id: str, cell: int, trace_id: str | None = None):
         """Queue one step; resolves to ``(restored, record)`` or raises."""
         loop = asyncio.get_running_loop()
         if session_id in self._pending:
@@ -263,7 +296,12 @@ class StepBatcher:
             # two steps stay strictly ordered (the locks do the rest).
             self._spawn_flush()
         future: asyncio.Future = loop.create_future()
-        self._pending[session_id] = (int(cell), future)
+        self._pending[session_id] = (
+            int(cell),
+            future,
+            trace_id,
+            time.perf_counter() if self._tracer.enabled else 0.0,
+        )
         if self._window_task is None:
             self._window_task = loop.create_task(self._window())
         return await future
@@ -299,7 +337,8 @@ class StepBatcher:
             self._window_task = None
         if not batch:
             return
-        for sid, (_, future) in batch.items():
+        for sid, entry in batch.items():
+            future = entry[1]
             self._inflight[sid] = future
 
             def _clear(done, sid=sid, future=future):
@@ -319,13 +358,27 @@ class StepBatcher:
         self._window_task = None
         self._spawn_flush()
 
-    async def _flush(self, batch: dict[str, tuple[int, asyncio.Future]]) -> None:
+    async def _flush(self, batch: dict[str, tuple]) -> None:
         self._batches += 1
         self._steps += len(batch)
         self._max_batch = max(self._max_batch, len(batch))
         backend = self._backend
         restore = self._restore
-        cells = {sid: cell for sid, (cell, _) in batch.items()}
+        tracer = self._tracer
+        cells = {sid: entry[0] for sid, entry in batch.items()}
+        if tracer.enabled:
+            # Batch-wait: submit -> flush start, per member (its share
+            # of the collection window plus any flush backlog).
+            flushed_at = time.perf_counter()
+            for sid, entry in batch.items():
+                if entry[2] is not None:
+                    tracer.record(
+                        "batch_wait",
+                        entry[2],
+                        flushed_at - entry[3],
+                        session=sid,
+                        batch=len(batch),
+                    )
 
         def _run():
             # Restore store-parked members individually, then hand the
@@ -341,7 +394,21 @@ class StepBatcher:
                     todo[sid] = cell
                 except Exception as error:  # noqa: BLE001 - isolate per member
                     errors[sid] = error
+            solve_started = time.perf_counter() if tracer.enabled else 0.0
             records, step_errors = backend.step_batch(todo)
+            if tracer.enabled:
+                # One batched backend call served every member: each
+                # gets a solve span of the shared duration, tagged with
+                # the batch size so dashboards can tell it apart from a
+                # solo step.
+                solve_s = time.perf_counter() - solve_started
+                for sid in todo:
+                    trace_id = batch[sid][2]
+                    if trace_id is not None:
+                        tracer.record(
+                            "solve", trace_id, solve_s,
+                            session=sid, batch=len(todo),
+                        )
             errors.update(step_errors)
             return records, errors, restored
 
@@ -350,11 +417,13 @@ class StepBatcher:
                 batch.keys(), _run, self._acquisition_gate
             )
         except BaseException as error:  # noqa: BLE001 - route to every waiter
-            for _, future in batch.values():
+            for entry in batch.values():
+                future = entry[1]
                 if not future.done():
                     future.set_exception(error)
             return
-        for sid, (_, future) in batch.items():
+        for sid, entry in batch.items():
+            future = entry[1]
             if future.done():
                 continue
             if sid in errors:

@@ -1,182 +1,169 @@
 """Service observability: counters and latency histograms.
 
 Everything here is updated from worker-pool threads *and* the event
-loop, so :class:`ServiceMetrics` guards its state with one lock and
-hands out plain-dict snapshots (the ``stats`` op's payload).
+loop.  :class:`ServiceMetrics` is now a facade over a
+:class:`~repro.obs.registry.MetricsRegistry` -- the same primitives that
+render the ``/metrics`` Prometheus exposition -- so the ``stats`` op,
+the per-shard dumps and the scrape endpoint all read one set of
+families under one lock, and a snapshot is an internally consistent cut
+(a histogram's count always matches its buckets).
 
-The histogram is a fixed log-spaced bucket array rather than a sample
-reservoir: constant memory regardless of traffic, and percentile reads
-(p50/p99) resolve to a bucket's upper bound -- at the configured 16
-buckets per decade that is a <= ~15% overestimate, plenty for a
-latency dashboard and never an *under*-estimate.
+Family map (Prometheus names in parentheses):
+
+==================  =====================================  ============
+snapshot key        family (label)                         kind
+==================  =====================================  ============
+``requests``        ``repro_requests_total`` (op)          counter
+``errors``          ``repro_errors_total`` (code)          counter
+``sessions``        ``repro_session_events_total``         counter
+                    (event)
+``releases``        ``repro_releases_total`` (kind)        counter
+``failures``        ``repro_failures_total`` (kind)        counter
+``step_latency``    ``repro_step_latency_seconds``         histogram
+``scenario_step_    ``repro_scenario_step_latency_         histogram
+latency``           seconds`` (digest)
+==================  =====================================  ============
+
+``failures`` counts first-class loss events -- ``sessions_lost`` (drain
+found sessions on a dead shard/worker), ``worker_down`` and
+``shard_down`` (requests answered with those wire codes) -- which used
+to be visible only in drain summaries and per-request errors.
+
+The per-scenario histogram keys on the scenario digest, capped at
+:data:`MAX_SCENARIO_DIGESTS` distinct digests per process (beyond that
+steps fold into the ``"other"`` series) so a tenant churning digests
+cannot grow server memory.
+
+:class:`~repro.obs.registry.LatencyHistogram` is re-exported here for
+compatibility -- it moved to :mod:`repro.obs.registry` so shard and
+cluster handles can record RPC latencies without importing the service
+package.
 """
 
 from __future__ import annotations
 
-import math
-import threading
-from collections import Counter
+from ..obs.registry import LatencyHistogram, MetricsRegistry
 
-#: Histogram range: 10 microseconds .. ~17 minutes, 16 buckets/decade.
-_FLOOR_S = 1e-5
-_BUCKETS_PER_DECADE = 16
-_N_BUCKETS = 8 * _BUCKETS_PER_DECADE
+__all__ = ["LatencyHistogram", "ServiceMetrics", "MAX_SCENARIO_DIGESTS"]
 
-
-class LatencyHistogram:
-    """Fixed-bucket log-scale latency histogram (seconds).
-
-    Not thread-safe on its own; :class:`ServiceMetrics` serializes
-    access.  Standalone use (the load benchmark) is single-threaded.
-    """
-
-    def __init__(self):
-        self._counts = [0] * _N_BUCKETS
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    @staticmethod
-    def _bucket(seconds: float) -> int:
-        if seconds <= _FLOOR_S:
-            return 0
-        index = int(math.log10(seconds / _FLOOR_S) * _BUCKETS_PER_DECADE)
-        return min(index, _N_BUCKETS - 1)
-
-    @staticmethod
-    def _upper_bound(index: int) -> float:
-        return _FLOOR_S * 10.0 ** ((index + 1) / _BUCKETS_PER_DECADE)
-
-    def record(self, seconds: float) -> None:
-        """Add one observation."""
-        seconds = float(seconds)
-        self._counts[self._bucket(seconds)] += 1
-        self._count += 1
-        self._sum += seconds
-        if seconds > self._max:
-            self._max = seconds
-
-    @property
-    def count(self) -> int:
-        """Number of observations."""
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        """Mean latency in seconds (0.0 when empty)."""
-        return self._sum / self._count if self._count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Latency (seconds) at quantile ``q`` in [0, 1] (0.0 when empty).
-
-        Returns the upper bound of the bucket holding the q-th
-        observation, clamped to the observed maximum.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
-        if not self._count:
-            return 0.0
-        rank = max(1, math.ceil(q * self._count))
-        seen = 0
-        for index, count in enumerate(self._counts):
-            seen += count
-            if seen >= rank:
-                if index == _N_BUCKETS - 1:
-                    return self._max  # overflow bucket: no finite bound
-                return min(self._upper_bound(index), self._max)
-        return self._max
-
-    def snapshot(self) -> dict:
-        """Summary dict in milliseconds (the wire/report unit)."""
-        return {
-            "count": self._count,
-            "mean_ms": round(self.mean * 1e3, 4),
-            "p50_ms": round(self.quantile(0.50) * 1e3, 4),
-            "p99_ms": round(self.quantile(0.99) * 1e3, 4),
-            "max_ms": round(self._max * 1e3, 4),
-        }
-
-    def state(self) -> dict:
-        """Raw mergeable state (bucket counts, not percentiles).
-
-        Unlike :meth:`snapshot`, this form can be summed across
-        processes without losing distribution shape -- shard workers
-        ship it over the RPC channel and the server merges via
-        :meth:`merge_state`.
-        """
-        return {
-            "counts": list(self._counts),
-            "count": self._count,
-            "sum": self._sum,
-            "max": self._max,
-        }
-
-    def merge_state(self, state: dict) -> None:
-        """Fold another histogram's :meth:`state` into this one."""
-        counts = state["counts"]
-        if len(counts) != _N_BUCKETS:
-            raise ValueError(
-                f"histogram state has {len(counts)} buckets, expected {_N_BUCKETS}"
-            )
-        for index, count in enumerate(counts):
-            self._counts[index] += int(count)
-        self._count += int(state["count"])
-        self._sum += float(state["sum"])
-        self._max = max(self._max, float(state["max"]))
+_SESSION_EVENTS = ("opened", "finished", "evicted", "restored", "migrated")
+_RELEASE_KINDS = ("conservative", "forced_uniform")
+#: First-class loss counters (the satellite of drain results and typed
+#: error replies): always present in snapshots, even at zero.
+FAILURE_KINDS = ("sessions_lost", "worker_down", "shard_down")
+#: Distinct scenario digests tracked per process before folding into
+#: the ``"other"`` series.
+MAX_SCENARIO_DIGESTS = 32
 
 
 class ServiceMetrics:
     """Thread-safe counters + histograms behind the ``stats`` op."""
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._requests: Counter[str] = Counter()
-        self._errors: Counter[str] = Counter()
-        self._sessions = Counter(
-            opened=0, finished=0, evicted=0, restored=0, migrated=0
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self._registry.counter(
+            "repro_requests_total", "Requests received, by op", ("op",)
         )
-        self._releases = Counter(conservative=0, forced_uniform=0)
-        self._step_latency = LatencyHistogram()
+        self._errors = self._registry.counter(
+            "repro_errors_total", "Error replies, by wire code", ("code",)
+        )
+        self._sessions = self._registry.counter(
+            "repro_session_events_total", "Session lifecycle events", ("event",)
+        )
+        self._releases = self._registry.counter(
+            "repro_releases_total", "Released steps, by release kind", ("kind",)
+        )
+        self._failures = self._registry.counter(
+            "repro_failures_total",
+            "Loss events: sessions_lost / worker_down / shard_down",
+            ("kind",),
+        )
+        self._step_latency = self._registry.histogram(
+            "repro_step_latency_seconds", "End-to-end step latency"
+        )
+        self._scenario_latency = self._registry.histogram(
+            "repro_scenario_step_latency_seconds",
+            "Step latency by scenario digest",
+            ("digest",),
+        )
+        # Seed the fixed-vocabulary families so snapshots always carry
+        # every key (the historical Counter(opened=0, ...) behaviour).
+        for event in _SESSION_EVENTS:
+            self._sessions.inc(0, event=event)
+        for kind in _RELEASE_KINDS:
+            self._releases.inc(0, kind=kind)
+        for kind in FAILURE_KINDS:
+            self._failures.inc(0, kind=kind)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing registry (the server mounts its gauges here and
+        renders it at ``/metrics``)."""
+        return self._registry
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def record_request(self, op: str) -> None:
         """Count one incoming request by op."""
-        with self._lock:
-            self._requests[op] += 1
+        self._requests.inc(op=op)
 
     def record_error(self, code: str) -> None:
-        """Count one error reply by wire code."""
-        with self._lock:
-            self._errors[code] += 1
+        """Count one error reply by wire code.
+
+        ``worker_down`` / ``shard_down`` codes also bump the matching
+        first-class failure counter.
+        """
+        self._errors.inc(code=code)
+        if code in ("worker_down", "shard_down"):
+            self._failures.inc(kind=code)
+
+    def record_failure(self, kind: str, n: int = 1) -> None:
+        """Count loss events: sessions_lost / worker_down / shard_down."""
+        if n:
+            self._failures.inc(n, kind=kind)
 
     def record_session_event(self, event: str, n: int = 1) -> None:
         """Count a lifecycle event: opened/finished/evicted/restored/migrated."""
-        with self._lock:
-            self._sessions[event] += n
+        self._sessions.inc(n, event=event)
 
-    def record_step(self, seconds: float, record) -> None:
-        """Count one completed release with its latency."""
-        with self._lock:
-            self._step_latency.record(seconds)
+    def record_step(self, seconds: float, record, scenario: str | None = None) -> None:
+        """Count one completed release with its latency.
+
+        ``scenario`` (a digest) additionally lands the latency in the
+        per-scenario family, bounded by :data:`MAX_SCENARIO_DIGESTS`.
+        """
+        with self._registry.lock:
+            self._step_latency.observe(seconds)
             if record.conservative:
-                self._releases["conservative"] += 1
+                self._releases.inc(kind="conservative")
             if record.forced_uniform:
-                self._releases["forced_uniform"] += 1
+                self._releases.inc(kind="forced_uniform")
+            if scenario is not None:
+                self._scenario_latency.observe(
+                    seconds, digest=self._bounded_digest(scenario)
+                )
+
+    def _bounded_digest(self, digest: str) -> str:
+        series = self._scenario_latency._series  # under the registry lock
+        if (digest,) in series or len(series) < MAX_SCENARIO_DIGESTS:
+            return digest
+        return "other"
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """One atomic plain-dict snapshot (JSON-safe)."""
-        with self._lock:
+        with self._registry.lock:
             return {
-                "requests": dict(self._requests),
-                "errors": dict(self._errors),
-                "sessions": dict(self._sessions),
-                "releases": dict(self._releases),
-                "step_latency": self._step_latency.snapshot(),
+                "requests": self._requests.as_dict(),
+                "errors": self._errors.as_dict(),
+                "sessions": self._sessions.as_dict(),
+                "releases": self._releases.as_dict(),
+                "failures": self._failures.as_dict(),
+                "step_latency": self._step_latency.get().snapshot(),
+                "scenario_step_latency": self._scenario_latency.snapshots(),
             }
 
     # ------------------------------------------------------------------
@@ -189,23 +176,45 @@ class ServiceMetrics:
         :meth:`snapshot` it survives summation (percentiles recompute
         from the merged buckets).
         """
-        with self._lock:
+        with self._registry.lock:
             return {
-                "requests": dict(self._requests),
-                "errors": dict(self._errors),
-                "sessions": dict(self._sessions),
-                "releases": dict(self._releases),
-                "step_latency": self._step_latency.state(),
+                "requests": self._requests.as_dict(),
+                "errors": self._errors.as_dict(),
+                "sessions": self._sessions.as_dict(),
+                "releases": self._releases.as_dict(),
+                "failures": self._failures.as_dict(),
+                "step_latency": self._step_latency.get().state(),
+                "scenario_step_latency": {
+                    digest: histogram.state()
+                    for (digest,), histogram in (
+                        self._scenario_latency._series.items()
+                    )
+                },
             }
 
     def merge_dump(self, dump: dict) -> None:
-        """Fold another instance's :meth:`dump` into this one."""
-        with self._lock:
-            self._requests.update(Counter(dump.get("requests", {})))
-            self._errors.update(Counter(dump.get("errors", {})))
-            self._sessions.update(Counter(dump.get("sessions", {})))
-            self._releases.update(Counter(dump.get("releases", {})))
-            self._step_latency.merge_state(dump["step_latency"])
+        """Fold another instance's :meth:`dump` into this one.
+
+        Tolerates dumps from builds without the newer keys
+        (``failures``, ``scenario_step_latency``) -- mixed fleets
+        aggregate what they have.
+        """
+        with self._registry.lock:
+            for op, count in dump.get("requests", {}).items():
+                self._requests.inc(int(count), op=op)
+            for code, count in dump.get("errors", {}).items():
+                self._errors.inc(int(count), code=code)
+            for event, count in dump.get("sessions", {}).items():
+                self._sessions.inc(int(count), event=event)
+            for kind, count in dump.get("releases", {}).items():
+                self._releases.inc(int(count), kind=kind)
+            for kind, count in dump.get("failures", {}).items():
+                self._failures.inc(int(count), kind=kind)
+            self._step_latency.get().merge_state(dump["step_latency"])
+            for digest, state in dump.get("scenario_step_latency", {}).items():
+                self._scenario_latency.merge_state(
+                    state, digest=self._bounded_digest(digest)
+                )
 
     @classmethod
     def aggregate(cls, dumps) -> "ServiceMetrics":

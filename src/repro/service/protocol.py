@@ -39,6 +39,9 @@ Ops
     ``session`` -> the session's JSON state (also persisted server-side).
 ``stats``
     -> server metrics snapshot (see :mod:`repro.service.metrics`).
+    Optional ``spans`` (a non-negative int) additionally returns up to
+    that many recent trace spans plus the slow-span log under a
+    ``"spans"`` key (see :mod:`repro.obs.trace`).
 ``migrate``
     ``worker`` (a ``tcp://host:port`` address) -> drain that cluster
     worker: its live sessions checkpoint and restore onto the ring's
@@ -240,6 +243,18 @@ def parse_request(line: bytes | str) -> Request:
                 raise ProtocolError("'worker' must be a non-empty address")
         elif op == "migrate":
             raise ProtocolError("op 'migrate' requires a 'worker' field")
+        extra = {}
+        spans = frame.get("spans")
+        if spans is not None:
+            if op != "stats":
+                raise ProtocolError(
+                    f"'spans' is only valid for op 'stats', not {op!r}"
+                )
+            if not isinstance(spans, int) or isinstance(spans, bool) or spans < 0:
+                raise ProtocolError(
+                    f"'spans' must be a non-negative integer, got {spans!r}"
+                )
+            extra["spans"] = spans
     except ProtocolError as error:
         error.request_id = request_id  # type: ignore[attr-defined]
         raise
@@ -251,6 +266,7 @@ def parse_request(line: bytes | str) -> Request:
         seed=seed,
         scenario=scenario,
         worker=worker,
+        extra=extra,
     )
 
 

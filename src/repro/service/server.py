@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import signal
+import time
 import uuid
 from dataclasses import dataclass
 
@@ -48,6 +49,10 @@ from ..errors import (
     SessionError,
     ShardDownError,
 )
+from ..obs.http import ObsHttpServer
+from ..obs.probe import EventLoopLagProbe
+from ..obs.registry import LatencyHistogram
+from ..obs.trace import NULL_TRACER, Tracer, activate, deactivate, new_trace_id
 from ..scenario import ScenarioRegistry
 from .executor import SessionExecutor, StepBatcher
 from .metrics import ServiceMetrics
@@ -81,6 +86,21 @@ class ServerConfig:
     #: scenarios (evicted specs are simply re-validated on their next
     #: submission; model interning lives in the engine, per digest).
     max_cached_scenarios: int = 64
+    #: Per-request tracing (trace/span ids, timed spans).  On by
+    #: default: the buffers are bounded and the per-request cost is a
+    #: few perf-counter reads; ``False`` swaps in the null tracer so
+    #: every span call short-circuits.
+    trace: bool = True
+    #: Spans kept in the recent-span ring buffer.
+    trace_capacity: int = 512
+    #: Requests slower than this land in the slow-request ring too.
+    slow_request_ms: float = 1000.0
+    #: TCP port for the Prometheus/health sidecar listener (``None``
+    #: disables it entirely; 0 binds an ephemeral port, read it off
+    #: ``server.metrics_port``).
+    metrics_port: int | None = None
+    #: Host for the sidecar listener (``None`` = the serving host).
+    metrics_host: str | None = None
 
 
 def _merge_cache_rows(rows: list[dict]) -> dict | None:
@@ -153,6 +173,14 @@ class ReleaseServer:
                 "workers=0 (inline) is incompatible with a sharded backend; "
                 "use workers >= 1 or shards=0"
             )
+        self._tracer = (
+            Tracer(
+                capacity=self._config.trace_capacity,
+                slow_threshold_s=self._config.slow_request_ms / 1e3,
+            )
+            if self._config.trace
+            else NULL_TRACER
+        )
         self._executor = SessionExecutor(
             self._config.workers, shards=self._backend.n_shards
         )
@@ -162,6 +190,7 @@ class ReleaseServer:
                 self._executor,
                 self._config.batch_window_ms / 1e3,
                 restore=self._restore_if_suspended,
+                tracer=self._tracer,
             )
             if self._config.batch_window_ms > 0
             else None
@@ -182,6 +211,11 @@ class ReleaseServer:
         self._drain_task: asyncio.Task | None = None
         self._drain_summary: dict = {}
         self.port: int | None = None
+        self._loop_probe = EventLoopLagProbe()
+        self._obs_http: ObsHttpServer | None = None
+        #: Bound port of the metrics listener (``None`` until started).
+        self.metrics_port: int | None = None
+        self._mount_gauges()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -196,6 +230,86 @@ class ReleaseServer:
         """The suspended-session store."""
         return self._store
 
+    @property
+    def tracer(self) -> Tracer:
+        """The server's span collector (the null tracer when disabled)."""
+        return self._tracer
+
+    def _mount_gauges(self) -> None:
+        """Register live-state callback gauges on the metrics registry.
+
+        Callback gauges sample at read time, so queue depth and
+        residency are exact at every scrape with zero steady-state
+        cost.  When the caller shares one :class:`ServiceMetrics`
+        across servers (tests do), only the first server mounts them --
+        the registry's duplicate check is the tripwire we key off.
+        """
+        registry = self._metrics.registry
+        if registry.get("repro_sessions_open") is not None:
+            return
+        registry.gauge(
+            "repro_sessions_open",
+            "Open sessions (resident + suspended)",
+            fn=lambda: len(self._open),
+        )
+        registry.gauge(
+            "repro_sessions_resident",
+            "Sessions resident in the execution backend",
+            fn=self._backend.resident_count,
+        )
+        registry.gauge(
+            "repro_sessions_stored",
+            "Suspended sessions parked in the store",
+            fn=lambda: len(self._store),
+        )
+        registry.gauge(
+            "repro_connections",
+            "Open client connections",
+            fn=lambda: len(self._writers),
+        )
+        registry.gauge(
+            "repro_executor_queue_depth",
+            "Work items queued for the session executor",
+            fn=self._executor.queue_depth,
+        )
+        registry.gauge(
+            "repro_executor_active_sessions",
+            "Sessions holding an executor ordering lock",
+            fn=lambda: self._executor.active_sessions,
+        )
+        registry.gauge(
+            "repro_batch_window_occupancy",
+            "Step requests waiting in the current batch window",
+            fn=lambda: (
+                0 if self._batcher is None else self._batcher.window_occupancy()
+            ),
+        )
+        registry.gauge(
+            "repro_event_loop_lag_seconds",
+            "Most recent event-loop lag probe sample",
+            fn=lambda: self._loop_probe.current_s,
+        )
+        registry.gauge(
+            "repro_event_loop_lag_max_seconds",
+            "Worst event-loop lag sample since start",
+            fn=lambda: self._loop_probe.max_s,
+        )
+        registry.gauge(
+            "repro_spans_total",
+            "Spans recorded by the server tracer since start",
+            fn=lambda: self._tracer.count,
+        )
+        registry.gauge(
+            "repro_slow_spans_total",
+            "Spans at or above the slow-request threshold since start",
+            fn=lambda: self._tracer.slow_count,
+        )
+        registry.gauge(
+            "repro_draining",
+            "1 while a graceful drain is in progress",
+            fn=lambda: float(self._draining.is_set()),
+        )
+
     async def start(self) -> None:
         """Bind and start accepting connections."""
         # Adopt sessions a previous incarnation parked in a durable
@@ -209,6 +323,16 @@ class ReleaseServer:
             limit=MAX_FRAME_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._loop_probe.start()
+        if self._config.metrics_port is not None:
+            self._obs_http = ObsHttpServer(
+                self._config.metrics_host or self._config.host,
+                self._config.metrics_port,
+                render_metrics=self._render_metrics,
+                readiness=self._readiness,
+            )
+            await self._obs_http.start()
+            self.metrics_port = self._obs_http.port
 
     def install_signal_handlers(self) -> None:
         """Drain on SIGINT/SIGTERM (call from within the event loop)."""
@@ -244,6 +368,8 @@ class ReleaseServer:
         # a dead shard cannot be checkpointed; they are counted, never
         # silently dropped.
         states, lost = self._backend.suspend_all()
+        if lost:
+            self._metrics.record_failure("sessions_lost", len(lost))
         for state in states:
             self._store.put(state)
         for writer in list(self._writers):
@@ -253,6 +379,10 @@ class ReleaseServer:
         self._writers.clear()
         self._executor.shutdown()
         self._backend.close()
+        if self._obs_http is not None:
+            await self._obs_http.stop()
+            self._obs_http = None
+        await self._loop_probe.stop()
         self._drain_summary = {
             "sessions_checkpointed": len(states),
             "sessions_open": len(self._open),
@@ -336,8 +466,11 @@ class ReleaseServer:
                 await self._write(writer, write_lock, reply)
                 return
             self._metrics.record_request(request.op)
+            traced = self._tracer.enabled
+            trace_id = new_trace_id() if traced else None
+            started = time.perf_counter() if traced else 0.0
             try:
-                payload = await self._dispatch(request)
+                payload = await self._dispatch(request, trace_id)
                 reply = ok_frame(request.request_id, request.op, payload)
             except ReproError as error:
                 self._metrics.record_error(error_code_for(error))
@@ -345,7 +478,19 @@ class ReleaseServer:
             except Exception as error:  # noqa: BLE001 - last-resort boundary
                 self._metrics.record_error("internal")
                 reply = error_frame(request.request_id, error)
-            await self._write(writer, write_lock, reply)
+            if traced:
+                serialized = time.perf_counter()
+                await self._write(writer, write_lock, reply)
+                done = time.perf_counter()
+                attrs = {"op": request.op}
+                if request.session is not None:
+                    attrs["session"] = request.session
+                self._tracer.record(
+                    "serialize", trace_id, done - serialized, **attrs
+                )
+                self._tracer.record("request", trace_id, done - started, **attrs)
+            else:
+                await self._write(writer, write_lock, reply)
         finally:
             pending_slots.release()
 
@@ -362,11 +507,11 @@ class ReleaseServer:
     # ------------------------------------------------------------------
     # ops
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: Request) -> dict:
+    async def _dispatch(self, request: Request, trace_id: str | None = None) -> dict:
         if request.op == "open":
             return await self._op_open(request)
         if request.op == "step":
-            return await self._op_step(request)
+            return await self._op_step(request, trace_id)
         if request.op == "peek_budget":
             return await self._op_peek(request)
         if request.op == "finish":
@@ -375,7 +520,7 @@ class ReleaseServer:
             return await self._op_checkpoint(request)
         if request.op == "migrate":
             return await self._op_migrate(request)
-        return await self._op_stats()
+        return await self._op_stats(request)
 
     async def _op_open(self, request: Request) -> dict:
         if self._draining.is_set():
@@ -424,12 +569,36 @@ class ReleaseServer:
         )
         counters[event] += n
 
-    async def _op_step(self, request: Request) -> dict:
+    async def _op_step(self, request: Request, trace_id: str | None = None) -> dict:
         sid, cell = request.session, request.cell
         assert sid is not None and cell is not None
 
         if self._batcher is not None:
-            restored, record = await self._batcher.submit(sid, cell)
+            restored, record = await self._batcher.submit(sid, cell, trace_id)
+        elif trace_id is not None:
+            tracer = self._tracer
+            submitted = time.perf_counter()
+
+            def _traced_step():
+                started = time.perf_counter()
+                tracer.record("queue_wait", trace_id, started - submitted, session=sid)
+                # Activate the trace on this pool thread so the
+                # backend's RPC clients can stamp the wire frame.
+                token = activate(tracer, trace_id)
+                try:
+                    restored = self._restore_if_suspended(sid)
+                    result = restored, self._backend.step(sid, cell)
+                finally:
+                    deactivate(token)
+                tracer.record(
+                    "solve",
+                    trace_id,
+                    time.perf_counter() - started,
+                    session=sid,
+                )
+                return result
+
+            restored, record = await self._executor.run(sid, _traced_step)
         else:
 
             def _step():
@@ -539,16 +708,19 @@ class ReleaseServer:
         self._metrics.record_session_event("migrated", summary["migrated"])
         return summary
 
-    async def _op_stats(self) -> dict:
+    async def _op_stats(self, request: Request | None = None) -> dict:
+        spans = 0
+        if request is not None:
+            spans = int(request.extra.get("spans", 0))
         if self._backend.remote:
             # Shard RPCs can wait behind an in-flight batch; gather the
             # backend's numbers off the event loop.
             return await asyncio.get_running_loop().run_in_executor(
-                None, self._collect_stats
+                None, self._collect_stats, spans
             )
-        return self._collect_stats()
+        return self._collect_stats(spans)
 
-    def _collect_stats(self) -> dict:
+    def _collect_stats(self, spans: int = 0) -> dict:
         snapshot = self._metrics.snapshot()
         # One RPC round per shard: the per-shard rows already carry each
         # worker's verdict-cache counters, so the aggregate is derived
@@ -581,10 +753,20 @@ class ReleaseServer:
             "shards": self._backend.n_shards,
             "max_sessions": self._config.max_sessions,
             "max_resident": self._config.max_resident,
+            "queue_depth": self._executor.queue_depth(),
+            "active_sessions": self._executor.active_sessions,
+            "metrics_port": self.metrics_port,
         }
         snapshot["batching"] = (
             None if self._batcher is None else self._batcher.stats()
         )
+        snapshot["tracing"] = self._tracer.stats()
+        snapshot["event_loop"] = self._loop_probe.snapshot()
+        if spans > 0:
+            snapshot["spans"] = {
+                "recent": self._tracer.recent(spans),
+                "slow": self._tracer.slow(spans),
+            }
         snapshot["shards"] = self._shard_section(shard_rows)
         snapshot["scenarios"] = {
             "allow_any": self._scenarios.allow_any,
@@ -609,6 +791,88 @@ class ReleaseServer:
             "per_shard": rows,
             "aggregate": aggregate,
         }
+
+    # ------------------------------------------------------------------
+    # probes and exposition
+    # ------------------------------------------------------------------
+    #: Heartbeat age (seconds) past which a worker counts as stale for
+    #: readiness.  Covers both backends' heartbeat periods (shard pool
+    #: 10 s, cluster 5 s) with headroom for a long engine batch.
+    STALE_HEARTBEAT_S = 30.0
+
+    def _readiness(self) -> tuple[bool, str]:
+        """Local-state readiness: backend up, every worker heartbeating.
+
+        Consults only handle flags and heartbeat ages
+        (:meth:`~repro.engine.backend.ExecutionBackend.worker_health`
+        never issues RPCs), so the probe stays honest when a worker
+        hangs -- and cheap enough for aggressive probe intervals.
+        """
+        if self._draining.is_set():
+            return False, "draining"
+        rows = self._backend.worker_health()
+        if rows is None:
+            return True, "ok"
+        down = [row["worker"] for row in rows if not row["alive"]]
+        if down:
+            return False, f"workers down: {', '.join(down)}"
+        stale = [
+            row["worker"]
+            for row in rows
+            if row["heartbeat_age_s"] > self.STALE_HEARTBEAT_S
+        ]
+        if stale:
+            return False, f"workers stale: {', '.join(stale)}"
+        return True, f"ok ({len(rows)} workers)"
+
+    async def _render_metrics(self) -> str:
+        """The ``/metrics`` body; runs the render off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: self._metrics.registry.render(
+                extra=self._worker_exposition()
+            ),
+        )
+
+    def _worker_exposition(self) -> str:
+        """Per-worker families derived from local handle state at scrape.
+
+        These are rendered as ``extra`` text rather than registered
+        families because the worker set is dynamic and the underlying
+        state (handle histograms) already lives outside the registry --
+        folding them in would double-count on every scrape.
+        """
+        rows = self._backend.worker_health()
+        if not rows:
+            return ""
+        up: list[str] = []
+        age: list[str] = []
+        inflight: list[str] = []
+        latency: list[str] = []
+        for row in rows:
+            label = f'worker="{row["worker"]}"'
+            up.append(f'repro_worker_up{{{label}}} {int(bool(row["alive"]))}')
+            age.append(
+                f'repro_worker_heartbeat_age_seconds{{{label}}} '
+                f'{row["heartbeat_age_s"]}'
+            )
+            inflight.append(
+                f'repro_worker_inflight{{{label}}} {int(row["inflight"])}'
+            )
+            histogram = LatencyHistogram()
+            histogram.merge_state(row["rpc_latency"])
+            latency.extend(
+                histogram.exposition_lines(
+                    "repro_worker_rpc_latency_seconds", label
+                )
+            )
+        lines = (
+            ["# TYPE repro_worker_up gauge", *up]
+            + ["# TYPE repro_worker_heartbeat_age_seconds gauge", *age]
+            + ["# TYPE repro_worker_inflight gauge", *inflight]
+            + ["# TYPE repro_worker_rpc_latency_seconds histogram", *latency]
+        )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # residency management

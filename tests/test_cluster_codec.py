@@ -185,7 +185,20 @@ class TestCodecMessages:
             "id": 5,
             "op": "step",
             "args": {"session_id": "u1", "cell": 3},
+            "trace": None,
         }
+
+    def test_call_trace_round_trip(self):
+        # The trace id is an optional envelope key: present when given...
+        payload = encode_call("step", {"cell": 3}, request_id=5, trace="abcd1234")
+        decoded = decode_message(payload)
+        assert decoded["trace"] == "abcd1234"
+        # ...absent from the frame entirely when not (version tolerance:
+        # an untraced router never ships the key at all).
+        assert b"trace" not in encode_call("step", {"cell": 3}, request_id=5)
+        # A non-string trace from a confused peer degrades to None.
+        weird = payload.replace(b'"trace":"abcd1234"', b'"trace":42')
+        assert decode_message(weird)["trace"] is None
 
     def test_ok_round_trip(self):
         decoded = decode_message(encode_ok([1, "two"], request_id=8))

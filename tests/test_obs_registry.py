@@ -1,0 +1,190 @@
+"""Metric registry: families, duplicate-name tripwire, exposition text."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import LatencyHistogram, MetricsRegistry
+
+
+class TestRegistration:
+    def test_duplicate_name_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("repro_things_total")
+        # ...across kinds too: one name, one family, ever.
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("repro_things_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("fine_name", labelnames=("bad-label",))
+
+    def test_self_check_lists_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.gauge("a_gauge")
+        assert registry.self_check() == ["a_gauge", "b_total"]
+        assert registry.names() == ["a_gauge", "b_total"]
+
+
+class TestCounters:
+    def test_labelled_series_and_totals(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("req_total", labelnames=("op",))
+        requests.inc(op="step")
+        requests.inc(2, op="step")
+        requests.inc(op="open")
+        assert requests.value(op="step") == 3
+        assert requests.total() == 4
+        # integer increments keep snapshot dicts JSON-clean ints
+        assert requests.as_dict() == {"step": 3, "open": 1}
+        assert all(isinstance(v, int) for v in requests.as_dict().values())
+
+    def test_counters_never_decrease(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("c_total", labelnames=("op",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(kind="x")
+
+
+class TestGauges:
+    def test_set_inc_dec_remove(self):
+        gauge = MetricsRegistry().gauge("g", labelnames=("worker",))
+        gauge.set(2.0, worker="w0")
+        gauge.inc(worker="w0")
+        gauge.dec(0.5, worker="w0")
+        assert gauge.value(worker="w0") == pytest.approx(2.5)
+        gauge.remove(worker="w0")
+        assert gauge.value(worker="w0") == 0.0
+
+    def test_callback_gauge_samples_at_read(self):
+        state = {"depth": 3}
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth", fn=lambda: state["depth"])
+        assert gauge.value() == 3.0
+        state["depth"] = 7
+        assert "queue_depth 7" in registry.render()
+
+    def test_callback_gauge_failure_never_kills_a_scrape(self):
+        registry = MetricsRegistry()
+        registry.gauge("broken", fn=lambda: 1 / 0)
+        registry.counter("fine_total").inc()
+        text = registry.render()
+        assert "broken" not in text.replace("# TYPE broken gauge", "")
+        assert "fine_total 1" in text
+
+    def test_callback_gauge_cannot_take_labels_or_set(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot take labels"):
+            registry.gauge("cb", labelnames=("x",), fn=lambda: 0)
+        gauge = registry.gauge("cb", fn=lambda: 0)
+        with pytest.raises(ValueError, match="callback-backed"):
+            gauge.set(1.0)
+
+
+class TestHistograms:
+    def test_observe_and_family_snapshot(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("lat_seconds", labelnames=("digest",))
+        family.observe(0.010, digest="d1")
+        family.observe(0.030, digest="d1")
+        snap = family.snapshot(digest="d1")
+        assert snap["count"] == 2
+        assert snap["mean_ms"] == pytest.approx(20.0)
+        assert family.snapshots().keys() == {"d1"}
+
+    def test_merge_state_across_processes(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for v in (0.001, 0.002, 0.004):
+            a.record(v)
+        for v in (0.008, 0.016):
+            b.record(v)
+        merged = LatencyHistogram()
+        merged.merge_state(a.state())
+        merged.merge_state(b.state())
+        assert merged.count == 5
+        assert merged.sum == pytest.approx(a.sum + b.sum)
+        assert merged.quantile(1.0) == pytest.approx(0.016)
+
+    def test_merge_state_rejects_wrong_shape(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError, match="buckets"):
+            histogram.merge_state({"counts": [0, 1], "count": 1, "sum": 0, "max": 0})
+
+
+class TestExposition:
+    def test_render_format(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_requests_total", "Requests by op", ("op",)
+        )
+        requests.inc(op="step")
+        registry.gauge("repro_open", "Open sessions", fn=lambda: 4)
+        latency = registry.histogram("repro_lat_seconds", "Latency")
+        latency.observe(0.002)
+        text = registry.render()
+        lines = text.splitlines()
+        assert "# HELP repro_requests_total Requests by op" in lines
+        assert "# TYPE repro_requests_total counter" in lines
+        assert 'repro_requests_total{op="step"} 1' in lines
+        assert "# TYPE repro_open gauge" in lines
+        assert "repro_open 4" in lines
+        assert "# TYPE repro_lat_seconds histogram" in lines
+        assert "repro_lat_seconds_count 1" in lines
+        assert any(line.startswith("repro_lat_seconds_bucket{le=") for line in lines)
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in lines
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative_and_overflow_folds_to_inf(self):
+        histogram = LatencyHistogram()
+        histogram.record(1e9)  # above the last finite bound
+        lines = histogram.exposition_lines("h_seconds")
+        finite = [line for line in lines if 'le="+Inf"' not in line and "_bucket" in line]
+        assert all(line.endswith(" 0") for line in finite)
+        assert 'h_seconds_bucket{le="+Inf"} 1' in lines
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("who",))
+        counter.inc(who='evil"\\\n')
+        assert 'c_total{who="evil\\"\\\\\\n"} 1' in registry.render()
+
+    def test_extra_text_is_appended(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        text = registry.render(extra="# TYPE w_up gauge\nw_up 1\n")
+        assert text.endswith("# TYPE w_up gauge\nw_up 1\n")
+
+    def test_concurrent_writers_against_render(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", labelnames=("op",))
+        latency = registry.histogram("lat_seconds")
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                counter.inc(op="step")
+                latency.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for _ in range(20):
+            registry.render()  # concurrent scrapes must never crash
+        for thread in threads:
+            thread.join()
+        assert counter.value(op="step") == n_threads * per_thread
+        assert latency.get().count == n_threads * per_thread
+        # a final render is internally consistent
+        assert f"lat_seconds_count {n_threads * per_thread}" in registry.render()

@@ -1,0 +1,160 @@
+"""Tracing: span lifecycle, bounded rings, null path, thread propagation."""
+
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    activate,
+    current,
+    deactivate,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestIds:
+    def test_shapes_and_uniqueness(self):
+        trace_ids = {new_trace_id() for _ in range(64)}
+        span_ids = {new_span_id() for _ in range(64)}
+        assert len(trace_ids) == 64 and len(span_ids) == 64
+        assert all(len(t) == 16 and int(t, 16) >= 0 for t in trace_ids)
+        assert all(len(s) == 8 and int(s, 16) >= 0 for s in span_ids)
+
+
+class TestSpans:
+    def test_span_context_manager_records(self):
+        tracer = Tracer()
+        with tracer.span("solve", op="step") as span:
+            pass
+        assert tracer.count == 1
+        entry = tracer.recent()[0]
+        assert entry["name"] == "solve"
+        assert entry["op"] == "step"
+        assert entry["trace"] == span.trace_id
+        assert entry["ms"] >= 0.0
+
+    def test_span_exception_annotates_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("solve"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.recent()[0]["error"] == "RuntimeError"
+
+    def test_end_is_idempotent_and_override_wins(self):
+        tracer = Tracer()
+        span = tracer.span("rpc")
+        assert span.end(0.25) == 0.25
+        assert span.end(99.0) == 0.25  # second end() is a no-op
+        assert tracer.count == 1
+        assert tracer.recent()[0]["ms"] == 250.0
+
+    def test_record_external_timing(self):
+        tracer = Tracer()
+        tracer.record("queue_wait", "abc", 0.002, op="step")
+        entry = tracer.recent()[0]
+        assert entry["trace"] == "abc"
+        assert entry["ms"] == 2.0
+
+    def test_trace_lookup_groups_spans(self):
+        tracer = Tracer()
+        trace_id = new_trace_id()
+        tracer.record("queue_wait", trace_id, 0.001)
+        tracer.record("solve", trace_id, 0.002)
+        tracer.record("solve", new_trace_id(), 0.003)
+        names = [span["name"] for span in tracer.trace(trace_id)]
+        assert names == ["queue_wait", "solve"]
+
+
+class TestRings:
+    def test_recent_ring_is_bounded_but_count_is_not(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record("solve", f"t{i}", 0.001)
+        assert tracer.count == 10
+        assert [span["trace"] for span in tracer.recent()] == [
+            "t6",
+            "t7",
+            "t8",
+            "t9",
+        ]
+        assert tracer.recent(2) == tracer.recent()[-2:]
+
+    def test_slow_ring_catches_threshold_crossers(self):
+        tracer = Tracer(slow_threshold_s=0.010, slow_capacity=2)
+        tracer.record("solve", "fast", 0.001)
+        tracer.record("solve", "slow1", 0.020)
+        tracer.record("solve", "slow2", 0.010)  # threshold is inclusive
+        tracer.record("solve", "slow3", 0.500)
+        assert tracer.slow_count == 3
+        assert [span["trace"] for span in tracer.slow()] == ["slow2", "slow3"]
+
+    def test_clear_drops_buffers_keeps_totals(self):
+        tracer = Tracer(slow_threshold_s=0.0)
+        tracer.record("solve", "t", 0.1)
+        tracer.clear()
+        assert tracer.recent() == [] and tracer.slow() == []
+        assert tracer.count == 1 and tracer.slow_count == 1
+
+    def test_stats_summary(self):
+        tracer = Tracer(capacity=2, slow_threshold_s=0.5)
+        for i in range(3):
+            tracer.record("solve", f"t{i}", 1.0)
+        assert tracer.stats() == {
+            "enabled": True,
+            "count": 3,
+            "buffered": 2,
+            "slow_count": 3,
+            "slow_threshold_ms": 500.0,
+        }
+
+
+class TestNullPath:
+    def test_disabled_tracer_is_inert(self):
+        null_span = NULL_TRACER.span("solve", op="step")
+        assert null_span is NULL_TRACER.span("other")  # shared singleton
+        with null_span:
+            pass
+        assert null_span.end() == 0.0
+        assert null_span.as_dict() == {}
+        NULL_TRACER.record("solve", "t", 1.0)
+        assert NULL_TRACER.count == 0
+        assert NULL_TRACER.recent() == []
+        assert NULL_TRACER.stats()["enabled"] is False
+
+
+class TestThreadLocalPropagation:
+    def test_activate_current_deactivate_nest(self):
+        tracer = Tracer()
+        assert current() is None
+        outer = activate(tracer, "outer")
+        assert current() == (tracer, "outer", "")
+        inner = activate(tracer, "inner", parent_id="span0")
+        assert current() == (tracer, "inner", "span0")
+        deactivate(inner)
+        assert current() == (tracer, "outer", "")
+        deactivate(outer)
+        assert current() is None
+
+    def test_context_is_per_thread(self):
+        tracer = Tracer()
+        token = activate(tracer, "main-thread")
+        seen = {}
+
+        def probe():
+            seen["before"] = current()
+            inner = activate(tracer, "worker-thread")
+            seen["during"] = current()
+            deactivate(inner)
+            seen["after"] = current()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert seen["before"] is None
+        assert seen["during"] == (tracer, "worker-thread", "")
+        assert seen["after"] is None
+        assert current() == (tracer, "main-thread", "")
+        deactivate(token)

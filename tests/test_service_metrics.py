@@ -1,11 +1,12 @@
 """Service metrics: histogram percentiles and thread-safe counters."""
 
+import asyncio
 import threading
 from dataclasses import dataclass
 
 import pytest
 
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import FAILURE_KINDS, LatencyHistogram, ServiceMetrics
 
 
 @dataclass
@@ -105,3 +106,167 @@ class TestServiceMetrics:
         snapshot = metrics.snapshot()
         assert snapshot["requests"]["step"] == n_threads * per_thread
         assert snapshot["step_latency"]["count"] == n_threads * per_thread
+
+    def test_failures_are_first_class(self):
+        metrics = ServiceMetrics()
+        # seeded at zero so dashboards see the family before the first loss
+        assert metrics.snapshot()["failures"] == {k: 0 for k in FAILURE_KINDS}
+        metrics.record_failure("sessions_lost", 3)
+        metrics.record_failure("sessions_lost", 0)  # zero losses: no-op
+        metrics.record_error("worker_down")
+        metrics.record_error("shard_down")
+        metrics.record_error("busy")  # ordinary error, not a loss
+        snapshot = metrics.snapshot()
+        assert snapshot["failures"] == {
+            "sessions_lost": 3,
+            "worker_down": 1,
+            "shard_down": 1,
+        }
+        assert snapshot["errors"]["busy"] == 1
+
+    def test_scenario_digest_cardinality_is_bounded(self):
+        from repro.service.metrics import MAX_SCENARIO_DIGESTS
+
+        metrics = ServiceMetrics()
+        for i in range(MAX_SCENARIO_DIGESTS + 10):
+            metrics.record_step(0.001, FakeRecord(), scenario=f"digest-{i}")
+        per_scenario = metrics.snapshot()["scenario_step_latency"]
+        assert len(per_scenario) == MAX_SCENARIO_DIGESTS + 1  # + "other"
+        assert per_scenario["other"]["count"] == 10
+
+
+class TestDumpMergeAggregate:
+    @staticmethod
+    def _populated(step_ms, failures=0):
+        metrics = ServiceMetrics()
+        metrics.record_request("step")
+        metrics.record_request("open")
+        metrics.record_error("busy")
+        metrics.record_session_event("opened")
+        metrics.record_step(step_ms / 1e3, FakeRecord(conservative=True), scenario="d1")
+        if failures:
+            metrics.record_failure("sessions_lost", failures)
+        return metrics
+
+    def test_dump_round_trips_through_merge(self):
+        a = self._populated(2.0, failures=2)
+        b = self._populated(8.0)
+        merged = ServiceMetrics()
+        merged.merge_dump(a.dump())
+        merged.merge_dump(b.dump())
+        snapshot = merged.snapshot()
+        assert snapshot["requests"] == {"step": 2, "open": 2}
+        assert snapshot["errors"] == {"busy": 2}
+        assert snapshot["sessions"]["opened"] == 2
+        assert snapshot["releases"]["conservative"] == 2
+        assert snapshot["failures"]["sessions_lost"] == 2
+        assert snapshot["step_latency"]["count"] == 2
+        # percentiles recompute from merged buckets, not averaged snapshots
+        assert snapshot["step_latency"]["max_ms"] >= 8.0
+        assert snapshot["scenario_step_latency"]["d1"]["count"] == 2
+
+    def test_merge_tolerates_dumps_from_older_builds(self):
+        old_style = self._populated(1.0).dump()
+        del old_style["failures"]
+        del old_style["scenario_step_latency"]
+        merged = ServiceMetrics()
+        merged.merge_dump(old_style)
+        snapshot = merged.snapshot()
+        assert snapshot["requests"]["step"] == 1
+        assert snapshot["failures"] == {k: 0 for k in FAILURE_KINDS}
+
+    def test_aggregate_equals_sum_of_parts(self):
+        parts = [self._populated(float(i + 1)) for i in range(4)]
+        merged = ServiceMetrics.aggregate(part.dump() for part in parts)
+        snapshot = merged.snapshot()
+        assert snapshot["requests"]["step"] == 4
+        assert snapshot["step_latency"]["count"] == 4
+        total_releases = sum(
+            part.snapshot()["releases"]["conservative"] for part in parts
+        )
+        assert snapshot["releases"]["conservative"] == total_releases
+
+    def test_hammer_dump_and_merge_under_concurrent_writers(self):
+        """Readers (dump/snapshot/merge) race writers; nothing is lost.
+
+        Writers are both plain threads and an asyncio event loop -- the
+        exact mix a live server has (executor pool + loop callbacks).
+        """
+        source = ServiceMetrics()
+        sink = ServiceMetrics()
+        n_threads, per_thread, loop_writes = 4, 1_000, 1_000
+        stop = threading.Event()
+
+        def write():
+            for i in range(per_thread):
+                source.record_request("step")
+                source.record_step(0.001, FakeRecord(), scenario="d1")
+                if i % 100 == 0:
+                    source.record_failure("sessions_lost")
+
+        def read_and_merge():
+            while not stop.is_set():
+                dump = source.dump()
+                # a dump taken mid-flight is internally consistent
+                assert dump["step_latency"]["count"] == sum(
+                    dump["step_latency"]["counts"]
+                )
+                sink.merge_dump(dump)
+                source.snapshot()
+
+        async def loop_writer():
+            for _ in range(loop_writes):
+                source.record_request("stats")
+                await asyncio.sleep(0)
+
+        writers = [threading.Thread(target=write) for _ in range(n_threads)]
+        reader = threading.Thread(target=read_and_merge)
+        for thread in writers:
+            thread.start()
+        reader.start()
+        asyncio.run(loop_writer())
+        for thread in writers:
+            thread.join()
+        stop.set()
+        reader.join()
+        snapshot = source.snapshot()
+        assert snapshot["requests"]["step"] == n_threads * per_thread
+        assert snapshot["requests"]["stats"] == loop_writes
+        assert snapshot["step_latency"]["count"] == n_threads * per_thread
+        assert snapshot["failures"]["sessions_lost"] == n_threads * (
+            per_thread // 100
+        )
+
+    def test_hammer_registry_gauges_with_loop_and_threads(self):
+        """Callback + set-style gauges stay coherent under mixed writers."""
+        metrics = ServiceMetrics()
+        registry = metrics.registry
+        state = {"depth": 0}
+        registry.gauge("repro_queue_depth", fn=lambda: state["depth"])
+        inflight = registry.gauge("repro_inflight", labelnames=("worker",))
+        n_threads, per_thread = 4, 500
+
+        def hammer(worker):
+            for _ in range(per_thread):
+                inflight.inc(worker=worker)
+                state["depth"] += 1
+                inflight.dec(worker=worker)
+
+        async def scrape_loop():
+            for _ in range(50):
+                text = registry.render()
+                assert "repro_queue_depth" in text
+                await asyncio.sleep(0)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"w{i}",))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        asyncio.run(scrape_loop())
+        for thread in threads:
+            thread.join()
+        for i in range(n_threads):
+            assert inflight.value(worker=f"w{i}") == 0.0
+        assert f"repro_queue_depth {n_threads * per_thread}" in registry.render()

@@ -27,6 +27,10 @@ Six modes:
   typed cluster codec for a ``repro serve --backend tcp://...`` router.
   Takes the same engine flags as ``serve`` -- start every worker of a
   cluster with identical flags (or the same ``--scenario`` file).
+* ``repro cluster ADDR join|leave|status`` -- runtime membership ops
+  against a running cluster server: admit a standby worker (the ring
+  re-forms and only the moved arcs migrate), remove a worker (drain
+  first when live), or print the membership + recovery snapshot.
 * ``repro stats ADDR`` / ``repro top ADDR`` -- operator views of a
   running server: one pretty-printed ``stats`` snapshot (optionally
   with recent trace spans via ``--spans``), or a live refreshing
@@ -334,6 +338,7 @@ def _stream_loop(
 
 def _worker_main(argv: list[str]) -> int:
     from .cluster.backend import parse_address
+    from .cluster.chaos import FaultPlan
     from .cluster.worker import run_worker
 
     parser = argparse.ArgumentParser(
@@ -350,16 +355,30 @@ def _worker_main(argv: list[str]) -> int:
                         help="address to serve on (port 0 picks an ephemeral "
                         "port; the bound port is announced on the 'worker' "
                         "stdout line)")
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON FaultPlan file for deterministic fault "
+                        "injection (kill-at-step, RPC delay, heartbeat "
+                        "blackhole, hang); chaos drills only")
     args = parser.parse_args(argv)
     try:
         _, host, port = parse_address(args.listen, allow_ephemeral=True)
     except ReproError as error:
         parser.error(str(error))
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.from_file(args.fault_plan)
+        except ReproError as error:
+            parser.error(str(error))
     # functools.partial over module-level _stream_manager: the factory
     # must survive the `spawn` start method (same pattern as --shards).
     factory = functools.partial(_stream_manager, args)
     try:
-        return run_worker(factory, host, port, announce=lambda line: print(line, flush=True))
+        return run_worker(
+            factory, host, port,
+            announce=lambda line: print(line, flush=True),
+            fault_plan=fault_plan,
+        )
     except ReproError as error:
         parser.error(str(error))
 
@@ -416,6 +435,13 @@ def _serve_main(argv: list[str]) -> int:
                         "requests: steps arriving within the window are "
                         "coalesced into one batched engine call "
                         "(bit-identical streams; 0 disables)")
+    parser.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="with --backend: auto-checkpoint every cluster "
+                        "session to the store every N acknowledged steps, "
+                        "bounding replay after a worker dies (0 disables "
+                        "auto-checkpoints; recovery then falls back to "
+                        "explicit 'checkpoint' snapshots)")
     parser.add_argument("--store", choices=["memory", "dir", "sqlite"],
                         default="memory",
                         help="suspended-session store backend")
@@ -452,6 +478,8 @@ def _serve_main(argv: list[str]) -> int:
     if args.shards > 0 and args.workers == 0:
         parser.error("--workers 0 (inline) is incompatible with --shards; "
                      "shard RPCs must stay off the event loop")
+    if args.checkpoint_every < 0:
+        parser.error("--checkpoint-every must be >= 0")
     if args.backend:
         if args.shards > 0:
             parser.error("--backend (remote workers) and --shards (local "
@@ -459,13 +487,26 @@ def _serve_main(argv: list[str]) -> int:
         if args.workers == 0:
             parser.error("--workers 0 (inline) is incompatible with "
                          "--backend; worker RPCs must stay off the event loop")
+    elif args.checkpoint_every > 0:
+        parser.error("--checkpoint-every requires --backend (the recovery "
+                     "supervisor only wraps a cluster backend)")
 
     try:
+        scenarios = [ScenarioSpec.from_file(path) for path in args.scenario_files]
+        store = resolve_store(args.store, args.store_path)
         if args.backend:
             from .cluster.backend import ClusterBackend
+            from .cluster.control import ClusterSupervisor
 
             addresses = [a for a in (s.strip() for s in args.backend.split(",")) if a]
-            engine = ClusterBackend(addresses)
+            # The supervisor wraps every cluster backend: it heals dead
+            # workers from store checkpoints + deterministic replay, and
+            # is inert overhead while the fleet is healthy.
+            engine = ClusterSupervisor(
+                ClusterBackend(addresses),
+                store,
+                checkpoint_every=args.checkpoint_every,
+            )
         elif args.shards > 0:
             # Each shard worker builds its own full engine from the
             # parsed flags (functools.partial over a module-level
@@ -476,8 +517,6 @@ def _serve_main(argv: list[str]) -> int:
             engine = ShardPool(functools.partial(_stream_manager, args), args.shards)
         else:
             engine = _stream_manager(args)
-        scenarios = [ScenarioSpec.from_file(path) for path in args.scenario_files]
-        store = resolve_store(args.store, args.store_path)
     except ReproError as error:
         parser.error(str(error))
     config = ServerConfig(
@@ -546,6 +585,45 @@ def _ops_address(parser: argparse.ArgumentParser, raw: str) -> tuple[str, int]:
     return host, port
 
 
+def _cluster_main(argv: list[str]) -> int:
+    from .service.client import ServiceClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro cluster",
+        description="Cluster membership ops against a running "
+        "`repro serve --backend tcp://...`: admit or remove workers at "
+        "runtime, or show the membership/recovery snapshot",
+    )
+    parser.add_argument("address", metavar="ADDR",
+                        help="the server's host:port (or tcp://host:port)")
+    parser.add_argument("action", choices=["join", "leave", "status"],
+                        help="join/leave one worker, or show cluster status")
+    parser.add_argument("worker", nargs="?", default=None,
+                        metavar="WORKER",
+                        help="the worker's tcp://host:port address "
+                        "(required for join/leave)")
+    args = parser.parse_args(argv)
+    if args.action in ("join", "leave") and not args.worker:
+        parser.error(f"'{args.action}' requires a WORKER address")
+    if args.action == "status" and args.worker:
+        parser.error("'status' takes no WORKER address")
+    host, port = _ops_address(parser, args.address)
+    try:
+        # Generous timeout: join/leave live-migrate sessions.
+        with ServiceClient(host, port, timeout=120.0) as client:
+            if args.action == "join":
+                result = client.join(args.worker)
+            elif args.action == "leave":
+                result = client.leave(args.worker)
+            else:
+                result = client.cluster_status()
+    except (ReproError, OSError) as error:
+        print(f"repro cluster: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def _stats_main(argv: list[str]) -> int:
     from .obs.top import run_stats
 
@@ -609,6 +687,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return _cluster_main(argv[1:])
     if argv and argv[0] == "stats":
         return _stats_main(argv[1:])
     if argv and argv[0] == "top":

@@ -59,7 +59,10 @@ from __future__ import annotations
 
 __all__ = [
     "ClusterBackend",
+    "ClusterSupervisor",
+    "FaultPlan",
     "HashRing",
+    "RetryPolicy",
     "WorkerHandle",
     "WorkerServer",
     "parse_address",
@@ -72,6 +75,9 @@ _EXPORTS = {
     "ClusterBackend": ("backend", "ClusterBackend"),
     "WorkerHandle": ("backend", "WorkerHandle"),
     "parse_address": ("backend", "parse_address"),
+    "ClusterSupervisor": ("control", "ClusterSupervisor"),
+    "RetryPolicy": ("control", "RetryPolicy"),
+    "FaultPlan": ("chaos", "FaultPlan"),
     "HashRing": ("ring", "HashRing"),
     "ring_hash": ("ring", "ring_hash"),
     "WorkerServer": ("worker", "WorkerServer"),

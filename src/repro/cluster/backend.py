@@ -35,6 +35,8 @@ the window instead of stacking RPCs onto a wedged socket.
 from __future__ import annotations
 
 import itertools
+import os
+import random
 import threading
 import time
 from collections import Counter
@@ -54,6 +56,7 @@ from ..errors import (
 from ..obs.registry import LatencyHistogram
 from ..obs.trace import current as current_trace
 from .codec import decode_message, encode_call
+from .control import RetryPolicy
 from .frames import MAX_RPC_FRAME_BYTES
 from .ring import DEFAULT_REPLICAS, HashRing
 from .transport import SocketChannel
@@ -339,6 +342,7 @@ class ClusterBackend(ExecutionBackend):
         heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
         max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
         replicas: int = DEFAULT_REPLICAS,
+        retry: RetryPolicy | None = None,
     ):
         normalized = [parse_address(a)[0] for a in addresses]
         if not normalized:
@@ -349,10 +353,19 @@ class ClusterBackend(ExecutionBackend):
         self.n_shards = len(normalized)
         self._replicas = int(replicas)
         self._heartbeat_timeout_s = float(heartbeat_timeout_s)
+        # Remembered so `join_worker` dials newcomers identically.
+        self._rpc_timeout_s = rpc_timeout_s
+        self._connect_timeout_s = float(connect_timeout_s)
+        self._window = int(window)
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._retry = retry if retry is not None else RetryPolicy(
+            deadline_s=MIGRATION_WAIT_S
+        )
         self._handles: dict[str, WorkerHandle] = {}
         self._sessions: dict[str, str] = {}  # sid -> worker address
         self._draining: set[str] = set()
         self._migrating: dict[str, threading.Event] = {}
+        self._worker_down_listeners: list = []
         self._lock = threading.Lock()
         self._closed = False
         self._stop_heartbeat = threading.Event()
@@ -391,8 +404,12 @@ class ClusterBackend(ExecutionBackend):
         self._n_states = int(first["n_states"])
         self._ring: HashRing | None = None
         self._rebuild_ring()
+        # Sized generously past the initial fleet: threads spawn lazily,
+        # and `join_worker` can grow membership at runtime (fleets past
+        # this cap still work; their batch waves just queue).
         self._dispatch = ThreadPoolExecutor(
-            max_workers=self.n_shards, thread_name_prefix="repro-cluster-rpc"
+            max_workers=max(32, self.n_shards),
+            thread_name_prefix="repro-cluster-rpc",
         )
         if heartbeat_interval_s and heartbeat_interval_s > 0:
             self._heartbeat_thread = threading.Thread(
@@ -418,14 +435,19 @@ class ClusterBackend(ExecutionBackend):
         )
 
     def _heartbeat_loop(self, interval_s: float) -> None:
-        while not self._stop_heartbeat.wait(interval_s):
-            died = False
-            for handle in self._handles.values():
+        # Jittered period: a large fleet of routers (or one router over
+        # many workers) must not ping in lockstep and synchronize its
+        # load spikes.
+        rng = random.Random(os.getpid())
+        while not self._stop_heartbeat.wait(
+            interval_s * rng.uniform(0.8, 1.2)
+        ):
+            died = []
+            for address, handle in list(self._handles.items()):
                 if handle.alive and not handle.ping(self._heartbeat_timeout_s):
-                    died = True
-            if died:
-                with self._lock:
-                    self._rebuild_ring()
+                    died.append(address)
+            for address in died:
+                self._after_worker_down(address)
 
     def _placement_ring(self) -> HashRing:
         with self._lock:
@@ -447,10 +469,59 @@ class ClusterBackend(ExecutionBackend):
     def _after_worker_down(self, address: str) -> None:
         with self._lock:
             self._rebuild_ring()
+        for listener in list(self._worker_down_listeners):
+            try:
+                listener(address)
+            except Exception:  # noqa: BLE001 - listeners must not wedge ops
+                pass
+
+    def add_worker_down_listener(self, listener) -> None:
+        """Register ``listener(address)`` for worker-death notifications.
+
+        Fired from heartbeat sweeps *and* from the op path that first
+        trips over a dead worker; listeners must be fast and non-raising
+        (a :class:`~repro.cluster.control.ClusterSupervisor` hands the
+        actual recovery to a background thread).
+        """
+        self._worker_down_listeners.append(listener)
 
     def worker_addresses(self) -> list[str]:
         """The configured worker fleet, in construction order."""
-        return list(self._addresses)
+        with self._lock:
+            return list(self._addresses)
+
+    def assignment_of(self, session_id: str) -> str | None:
+        """The session's current home address (``None`` when absent)."""
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def forget_session(self, session_id: str) -> None:
+        """Drop a session's assignment without touching any worker.
+
+        The recovery path's primitive: the old home is dead (nothing to
+        suspend), and the supervisor re-places the session via
+        :meth:`resume`.
+        """
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def down_assignments(self) -> dict[str, list[str]]:
+        """``address -> [session ids]`` for every *dead* worker.
+
+        The supervisor's work list: these sessions answer every op with
+        :class:`WorkerDownError` until they are recovered or forgotten.
+        """
+        with self._lock:
+            dead = {
+                address
+                for address, handle in self._handles.items()
+                if not handle.alive
+            }
+            out: dict[str, list[str]] = {address: [] for address in dead}
+            for sid, address in self._sessions.items():
+                if address in dead:
+                    out[address].append(sid)
+        return out
 
     # ------------------------------------------------------------------
     # session ops (assignment-routed, migration-aware)
@@ -470,25 +541,39 @@ class ClusterBackend(ExecutionBackend):
         A request can race a migration: it resolves the old assignment,
         the drain suspends the session, and the old worker answers
         ``SessionError``.  The retry waits for the migration to land
-        (bounded), re-resolves the assignment and tries the new home
-        once -- so a served stream crosses a drain without dropping.
+        (bounded), re-resolves the assignment and tries the new home --
+        so a served stream crosses a drain without dropping.  Attempts
+        and backoff come from the shared :class:`RetryPolicy` (the same
+        budget recovery races use); a genuine engine-side
+        ``SessionError`` -- no migration in flight, assignment unmoved
+        -- propagates immediately.
         """
-        for attempt in (0, 1):
+        last_error: BaseException | None = None
+        for delay_s in self._retry.schedule():
+            if delay_s:
+                time.sleep(delay_s)
             address = self._assigned(session_id)
+            with self._lock:
+                handle = self._handles.get(address)
+            if handle is None:
+                # Membership changed between resolve and dispatch
+                # (`leave_worker` raced us); re-resolve on the next try.
+                last_error = SessionError(f"no open session {session_id!r}")
+                continue
             try:
-                return self._handles[address].call(op, args)
+                return handle.call(op, args)
             except WorkerDownError:
                 self._after_worker_down(address)
                 raise
-            except SessionError:
-                if attempt == 1:
-                    raise
+            except SessionError as error:
                 migrated = self._await_migration(session_id)
                 with self._lock:
                     moved = self._sessions.get(session_id)
                 if not migrated and (moved is None or moved == address):
                     raise  # a genuine engine-side session error
-        raise AssertionError("unreachable")
+                last_error = error
+        assert last_error is not None
+        raise last_error
 
     def open(self, session_id: str, seed: int | None = None, scenario=None) -> int:
         ring = self._placement_ring()
@@ -535,18 +620,19 @@ class ClusterBackend(ExecutionBackend):
             assignment = {
                 sid: self._sessions.get(sid) for sid in cells
             }
+            handles = dict(self._handles)
         by_worker: dict[str, dict[str, int]] = {}
         records: dict[str, ReleaseRecord] = {}
         errors: dict[str, BaseException] = {}
         for sid, cell in cells.items():
             address = assignment[sid]
-            if address is None:
+            if address is None or address not in handles:
                 errors[sid] = SessionError(f"no open session {sid!r}")
             else:
                 by_worker.setdefault(address, {})[sid] = cell
         futures = {
             address: self._dispatch.submit(
-                self._handles[address].call, "step_batch", worker_cells
+                handles[address].call, "step_batch", worker_cells
             )
             for address, worker_cells in by_worker.items()
         }
@@ -608,7 +694,7 @@ class ClusterBackend(ExecutionBackend):
         """Drain the whole fleet; dead workers report their losses."""
         futures = [
             (address, self._dispatch.submit(handle.call, "suspend_all"))
-            for address, handle in self._handles.items()
+            for address, handle in list(self._handles.items())
             if handle.alive
         ]
         states: list[SessionState] = []
@@ -744,6 +830,211 @@ class ClusterBackend(ExecutionBackend):
                         event.set()
 
     # ------------------------------------------------------------------
+    # dynamic membership
+    # ------------------------------------------------------------------
+    def join_worker(self, address: str) -> dict:
+        """Admit a worker at runtime and rebalance onto it.
+
+        Dials the newcomer with the same parameters as the construction
+        fleet, verifies its hello frame against the router's engine
+        configuration, adds it to the ring, and live-migrates exactly
+        the sessions whose arcs the new member now owns -- consistent
+        hashing means ~1/N of the keyspace moves and every other session
+        stays put.  A dead member at the same address is replaced (the
+        worker-restarted-on-its-port case); a live one makes the join a
+        :class:`ServiceError`.
+
+        Returns ``{"worker", "migrated", "targets", "workers"}``.
+        """
+        normalized, _, _ = parse_address(address)
+        with self._lock:
+            existing = self._handles.get(normalized)
+            if existing is not None and existing.alive:
+                raise ServiceError(
+                    f"worker {normalized} is already a cluster member"
+                )
+        handle = WorkerHandle(
+            normalized,
+            max_frame_bytes=self._max_frame_bytes,
+            window=self._window,
+            rpc_timeout_s=self._rpc_timeout_s,
+            connect_timeout_s=self._connect_timeout_s,
+        )
+        try:
+            info = handle.hello(self._connect_timeout_s)
+            if (int(info["horizon"]), int(info["n_states"])) != (
+                self._horizon,
+                self._n_states,
+            ):
+                raise ServiceError(
+                    f"worker {normalized} runs a different engine "
+                    f"configuration (horizon={info['horizon']}, "
+                    f"n_states={info['n_states']}) than this cluster "
+                    f"(horizon={self._horizon}, n_states={self._n_states}); "
+                    "start it with the same engine flags"
+                )
+        except BaseException:
+            handle.close()
+            raise
+        with self._lock:
+            old = self._handles.get(normalized)
+            if old is not None and old.alive:
+                handle.close()
+                raise ServiceError(
+                    f"worker {normalized} is already a cluster member"
+                )
+            if old is not None:
+                old.close()
+            if normalized not in self._addresses:
+                self._addresses.append(normalized)
+            self._handles[normalized] = handle
+            self._draining.discard(normalized)
+            self.n_shards = len(self._addresses)
+            self._rebuild_ring()
+            ring = self._ring
+            # Only the arcs the newcomer now owns move -- and only off
+            # *live* homes (dead workers' sessions are the recovery
+            # path's job, not migration's).
+            moving: list[tuple[str, str]] = []
+            if ring is not None:
+                for sid, home in self._sessions.items():
+                    if home == normalized:
+                        continue
+                    source = self._handles.get(home)
+                    if source is None or not source.alive:
+                        continue
+                    if ring.owner(sid) == normalized:
+                        moving.append((sid, home))
+            for sid, _ in moving:
+                self._migrating.setdefault(sid, threading.Event())
+        targets: Counter[str] = Counter()
+        try:
+            for sid, home in moving:
+                source = self._handles.get(home)
+                if source is None:
+                    continue
+                try:
+                    state = source.call("suspend", sid)
+                except SessionError:
+                    continue  # finished/moved while we were migrating
+                except WorkerDownError:
+                    self._after_worker_down(home)
+                    continue  # recovery's problem now, not the join's
+                try:
+                    handle.call("resume", state)
+                    placed = normalized
+                except WorkerDownError:
+                    # The newcomer died mid-join: put the suspended
+                    # session back on any surviving member rather than
+                    # losing it.
+                    self._after_worker_down(normalized)
+                    self.resume(state)  # raises when nobody can take it
+                    with self._lock:
+                        placed = self._sessions[sid]
+                with self._lock:
+                    self._sessions[sid] = placed
+                    event = self._migrating.pop(sid, None)
+                if event is not None:
+                    event.set()
+                targets[placed] += 1
+        finally:
+            with self._lock:
+                for sid, _ in moving:
+                    event = self._migrating.pop(sid, None)
+                    if event is not None:
+                        event.set()
+        return {
+            "worker": normalized,
+            "joined": True,
+            "migrated": sum(targets.values()),
+            "targets": dict(targets),
+            "workers": self.worker_addresses(),
+        }
+
+    def leave_worker(self, address: str) -> dict:
+        """Remove a worker from membership at runtime.
+
+        A *live* member is drained first (:meth:`drain_worker` -- its
+        sessions live-migrate to the ring successors), then dropped from
+        the fleet and disconnected.  A *dead* member is simply dropped;
+        any sessions still assigned to it are reported in the summary's
+        ``"lost"`` list (with a supervisor in front, recovery has
+        already rescued the recoverable ones).  Removing the last live
+        worker is refused.
+
+        Returns ``{"worker", "migrated", "lost", "workers"}``.
+        """
+        normalized, _, _ = parse_address(address)
+        with self._lock:
+            handle = self._handles.get(normalized)
+            if handle is None:
+                raise ServiceError(
+                    f"unknown worker {address!r}; this cluster serves "
+                    f"{self._addresses}"
+                )
+            live_others = [
+                a
+                for a in self._addresses
+                if a != normalized and self._handles[a].alive
+            ]
+        migrated = 0
+        if handle.alive:
+            if not live_others:
+                raise ServiceError(
+                    f"cannot remove {normalized}: it is the last live worker"
+                )
+            migrated = self.drain_worker(normalized)["migrated"]
+        with self._lock:
+            stranded = sorted(
+                sid
+                for sid, assigned in self._sessions.items()
+                if assigned == normalized
+            )
+            for sid in stranded:
+                self._sessions.pop(sid, None)
+            self._draining.discard(normalized)
+            if normalized in self._addresses:
+                self._addresses.remove(normalized)
+            self._handles.pop(normalized, None)
+            self.n_shards = len(self._addresses)
+            self._rebuild_ring()
+        handle.close()
+        return {
+            "worker": normalized,
+            "migrated": migrated,
+            "lost": stranded,
+            "workers": self.worker_addresses(),
+        }
+
+    def cluster_status(self) -> dict:
+        """A no-RPC membership snapshot (probe-safe, like health rows)."""
+        with self._lock:
+            counts = Counter(self._sessions.values())
+            workers = [
+                {
+                    "worker": address,
+                    "alive": self._handles[address].alive,
+                    "draining": address in self._draining,
+                    "pid": self._handles[address].pid,
+                    "sessions": counts.get(address, 0),
+                    "heartbeat_age_s": round(
+                        time.monotonic() - self._handles[address].last_heartbeat,
+                        3,
+                    ),
+                }
+                for address in self._addresses
+            ]
+            ring_members = (
+                list(self._ring.members) if self._ring is not None else []
+            )
+            total = len(self._sessions)
+        return {
+            "workers": workers,
+            "sessions": total,
+            "ring": {"members": ring_members, "replicas": self._replicas},
+        }
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     @property
@@ -756,7 +1047,7 @@ class ClusterBackend(ExecutionBackend):
 
     def cache_stats(self) -> CacheStats | None:
         totals: CacheStats | None = None
-        for handle in self._handles.values():
+        for handle in list(self._handles.values()):
             if not handle.alive:
                 continue
             try:
@@ -780,8 +1071,11 @@ class ClusterBackend(ExecutionBackend):
     def shard_stats(self) -> list[dict]:
         """One observability row per worker (address included)."""
         rows = []
-        for index, address in enumerate(self._addresses):
-            handle = self._handles[address]
+        with self._lock:
+            addresses = list(self._addresses)
+            handles = dict(self._handles)
+        for index, address in enumerate(addresses):
+            handle = handles[address]
             draining = address in self._draining
             if handle.alive:
                 try:
@@ -817,23 +1111,28 @@ class ClusterBackend(ExecutionBackend):
 
     def worker_health(self) -> list[dict]:
         """One local-state health row per worker (no RPCs; probe-safe)."""
+        with self._lock:
+            rows = [
+                (address, address in self._draining, self._handles[address])
+                for address in self._addresses
+            ]
         return [
             {
                 "worker": address,
-                "draining": address in self._draining,
-                **self._handles[address].health(raw=True),
+                "draining": draining,
+                **handle.health(raw=True),
             }
-            for address in self._addresses
+            for address, draining, handle in rows
         ]
 
     def lost_session_ids(self) -> list[str]:
         """Sessions assigned to workers that are down (unreachable)."""
-        dead = {
-            address
-            for address, handle in self._handles.items()
-            if not handle.alive
-        }
         with self._lock:
+            dead = {
+                address
+                for address, handle in self._handles.items()
+                if not handle.alive
+            }
             return [
                 sid for sid, address in self._sessions.items() if address in dead
             ]

@@ -44,6 +44,7 @@ from ..engine.manager import SessionManager
 from ..engine.shard import _worker_execute, default_context
 from ..errors import FrameTooLargeError, ProtocolError, ServiceError
 from ..obs.trace import Tracer
+from .chaos import FaultInjector, FaultPlan
 from .codec import decode_message, encode_error, encode_ok
 from .frames import FRAME_HEADER, MAX_RPC_FRAME_BYTES, pack_frame, payload_length
 
@@ -62,6 +63,7 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
+        fault_plan: FaultPlan | None = None,
     ):
         self._factory = factory
         self._host = host
@@ -72,13 +74,20 @@ class WorkerServer:
         # Records only when a router frame carries a trace id, so an
         # untraced deployment pays nothing here.
         self._tracer = Tracer(capacity=256)
+        self._faults = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
+        # In-flight engine-op tasks across all connections: a graceful
+        # drain flushes their replies before the process exits.
+        self._op_tasks: set[asyncio.Task] = set()
         # One thread: engine ops execute serially, in submission order.
         self._engine = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-worker-engine"
         )
         self.port: int | None = None
+        self.draining = False
 
     @property
     def address(self) -> str:
@@ -125,6 +134,18 @@ class WorkerServer:
         if self._stop_event is not None:
             self._stop_event.set()
 
+    def request_drain(self) -> None:
+        """A graceful stop: finish in-flight ops, then announce ``leave``.
+
+        The SIGTERM path.  Marks the worker draining (so the exit
+        announcement tells operators -- and the scripts parsing announce
+        lines -- that this was an orderly departure, not a crash) and
+        triggers the same teardown as :meth:`request_stop`, which flushes
+        replies for every accepted engine op before the process exits.
+        """
+        self.draining = True
+        self.request_stop()
+
     async def wait_stopped(self) -> None:
         """Block until :meth:`request_stop`, then tear the server down."""
         assert self._stop_event is not None
@@ -136,6 +157,10 @@ class WorkerServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Flush accepted work: every scheduled op runs on the engine
+        # thread and writes its reply before we tear the loop down.
+        if self._op_tasks:
+            await asyncio.gather(*list(self._op_tasks), return_exceptions=True)
         self._engine.shutdown(wait=True)
 
     async def _reply(self, writer, write_lock: asyncio.Lock, payload: bytes):
@@ -147,6 +172,10 @@ class WorkerServer:
     async def _run_op(self, writer, write_lock, request_id, op, args, trace=None):
         loop = asyncio.get_running_loop()
         started = time.perf_counter() if trace else 0.0
+        if self._faults is not None:
+            delay_s = self._faults.delay_s()
+            if delay_s:
+                await asyncio.sleep(delay_s)
         try:
             result = await loop.run_in_executor(
                 self._engine,
@@ -225,6 +254,8 @@ class WorkerServer:
                     continue
                 request_id, op, args = message["id"], message["op"], message["args"]
                 if op == "ping":
+                    if self._faults is not None and self._faults.blackholed():
+                        continue  # scripted partition: the ping vanishes
                     await self._reply(
                         writer, write_lock, encode_ok("pong", request_id)
                     )
@@ -237,6 +268,14 @@ class WorkerServer:
                     self.request_stop()
                     break
                 else:
+                    if self._faults is not None:
+                        action = self._faults.on_engine_op(op, args)
+                        if action == "kill":
+                            # A real crash: no reply, no flush, no
+                            # cleanup -- the op is never acknowledged.
+                            os._exit(137)
+                        if action == "hang":
+                            continue  # accepted, never answered
                     task = asyncio.get_running_loop().create_task(
                         self._run_op(
                             writer,
@@ -249,6 +288,8 @@ class WorkerServer:
                     )
                     op_tasks.add(task)
                     task.add_done_callback(op_tasks.discard)
+                    self._op_tasks.add(task)
+                    task.add_done_callback(self._op_tasks.discard)
         finally:
             if op_tasks:
                 await asyncio.gather(*op_tasks, return_exceptions=True)
@@ -262,11 +303,13 @@ class WorkerServer:
 async def _serve_until_signalled(server: WorkerServer, announce) -> int:
     loop = asyncio.get_running_loop()
     await server.start()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        try:
-            loop.add_signal_handler(signum, server.request_stop)
-        except (NotImplementedError, RuntimeError):  # non-unix / nested loop
-            pass
+    # SIGINT stops hard; SIGTERM drains: in-flight ops flush their
+    # replies and the exit announces an orderly `leave`.
+    try:
+        loop.add_signal_handler(signal.SIGINT, server.request_stop)
+        loop.add_signal_handler(signal.SIGTERM, server.request_drain)
+    except (NotImplementedError, RuntimeError):  # non-unix / nested loop
+        pass
     if announce is not None:
         announce(
             json.dumps(
@@ -280,6 +323,17 @@ async def _serve_until_signalled(server: WorkerServer, announce) -> int:
         )
     await server.wait_stopped()
     if announce is not None:
+        if server.draining:
+            announce(
+                json.dumps(
+                    {
+                        "op": "leave",
+                        "host": server._host,
+                        "port": server.port,
+                        "sessions": len(server.manager),
+                    }
+                )
+            )
         announce(
             json.dumps(
                 {"op": "worker-stopped", "sessions": len(server.manager)}
@@ -294,28 +348,31 @@ def run_worker(
     port: int,
     max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
     announce=None,
+    fault_plan: FaultPlan | None = None,
 ) -> int:
     """Run one worker until SIGINT/SIGTERM (the ``repro worker`` body).
 
-    ``announce`` (e.g. ``print``) receives two JSON lines: ``worker``
-    with the bound port once serving, ``worker-stopped`` on exit --
-    machine-readable for scripts that wait for readiness.
+    ``announce`` (e.g. ``print``) receives JSON lines: ``worker`` with
+    the bound port once serving, ``leave`` when a SIGTERM drain exits
+    cleanly, ``worker-stopped`` on every exit -- machine-readable for
+    scripts that wait for readiness.  ``fault_plan`` arms deterministic
+    fault injection (see :mod:`repro.cluster.chaos`).
     """
-    server = WorkerServer(factory, host, port, max_frame_bytes)
+    server = WorkerServer(factory, host, port, max_frame_bytes, fault_plan)
     return asyncio.run(_serve_until_signalled(server, announce))
 
 
 # ----------------------------------------------------------------------
 # local spawning (tests, benchmarks, examples)
 # ----------------------------------------------------------------------
-def _local_worker_main(conn, factory, host, max_frame_bytes) -> None:
+def _local_worker_main(conn, factory, host, max_frame_bytes, fault_plan) -> None:
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):
         pass
 
     async def main() -> None:
-        server = WorkerServer(factory, host, 0, max_frame_bytes)
+        server = WorkerServer(factory, host, 0, max_frame_bytes, fault_plan)
         try:
             await server.start()
         except BaseException as error:  # noqa: BLE001 - report, then die
@@ -343,6 +400,7 @@ def spawn_local_worker(
     context=None,
     max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
     spawn_timeout_s: float = LOCAL_SPAWN_TIMEOUT_S,
+    fault_plan: FaultPlan | None = None,
 ):
     """Start a worker in a child process on an OS-assigned port.
 
@@ -350,13 +408,15 @@ def spawn_local_worker(
     ``tcp://127.0.0.1:43127``.  The caller owns the process: stop it via
     a ``shutdown`` RPC, a signal, or ``process.terminate()``.  Raises
     :class:`ServiceError` when the worker fails to come up (the
-    factory's error message is included).
+    factory's error message is included).  ``fault_plan`` arms the
+    child's deterministic fault injection -- the test-side counterpart
+    of ``repro worker --fault-plan``.
     """
     ctx = context if context is not None else default_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
         target=_local_worker_main,
-        args=(child_conn, factory, host, max_frame_bytes),
+        args=(child_conn, factory, host, max_frame_bytes, fault_plan),
         name="repro-cluster-worker",
         daemon=True,
     )

@@ -159,6 +159,26 @@ class AsyncServiceClient:
         """
         return await self.request(Request(op="migrate", worker=worker))
 
+    async def join(self, worker: str) -> dict:
+        """Admit a worker into the cluster at runtime.
+
+        ``worker`` is its address (``tcp://host:port``); the ring
+        re-forms and only the moved arcs migrate onto it.  Returns the
+        join summary ``{worker, migrated, targets, workers}``.
+        """
+        return await self.request(Request(op="join", worker=worker))
+
+    async def leave(self, worker: str) -> dict:
+        """Remove a worker from the cluster (drain first when alive).
+
+        Returns the leave summary ``{worker, migrated, lost, workers}``.
+        """
+        return await self.request(Request(op="leave", worker=worker))
+
+    async def cluster_status(self) -> dict:
+        """The cluster membership snapshot (workers, ring, recovery)."""
+        return await self.request(Request(op="cluster_status"))
+
     async def close(self) -> None:
         """Close the connection and stop the reader."""
         self._reader_task.cancel()
@@ -245,6 +265,18 @@ class ServiceClient:
     def migrate(self, worker: str) -> dict:
         """Drain one cluster worker (as in the async client)."""
         return self.request(Request(op="migrate", worker=worker))
+
+    def join(self, worker: str) -> dict:
+        """Admit a worker into the cluster (as in the async client)."""
+        return self.request(Request(op="join", worker=worker))
+
+    def leave(self, worker: str) -> dict:
+        """Remove a worker from the cluster (as in the async client)."""
+        return self.request(Request(op="leave", worker=worker))
+
+    def cluster_status(self) -> dict:
+        """The cluster membership snapshot (as in the async client)."""
+        return self.request(Request(op="cluster_status"))
 
     def close(self) -> None:
         """Close the connection."""

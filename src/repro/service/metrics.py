@@ -19,6 +19,7 @@ snapshot key        family (label)                         kind
                     (event)
 ``releases``        ``repro_releases_total`` (kind)        counter
 ``failures``        ``repro_failures_total`` (kind)        counter
+``recoveries``      ``repro_recoveries_total`` (kind)      counter
 ``step_latency``    ``repro_step_latency_seconds``         histogram
 ``scenario_step_    ``repro_scenario_step_latency_         histogram
 latency``           seconds`` (digest)
@@ -51,6 +52,10 @@ _RELEASE_KINDS = ("conservative", "forced_uniform")
 #: First-class loss counters (the satellite of drain results and typed
 #: error replies): always present in snapshots, even at zero.
 FAILURE_KINDS = ("sessions_lost", "worker_down", "shard_down")
+#: Checkpoint-replay recovery counters: ``worker`` (one per healed
+#: worker death), ``session`` (sessions restored bit-identically) and
+#: ``replayed_step`` (journal steps re-executed to catch up).
+RECOVERY_KINDS = ("worker", "session", "replayed_step")
 #: Distinct scenario digests tracked per process before folding into
 #: the ``"other"`` series.
 MAX_SCENARIO_DIGESTS = 32
@@ -78,6 +83,11 @@ class ServiceMetrics:
             "Loss events: sessions_lost / worker_down / shard_down",
             ("kind",),
         )
+        self._recoveries = self._registry.counter(
+            "repro_recoveries_total",
+            "Checkpoint-replay recoveries: worker / session / replayed_step",
+            ("kind",),
+        )
         self._step_latency = self._registry.histogram(
             "repro_step_latency_seconds", "End-to-end step latency"
         )
@@ -94,6 +104,8 @@ class ServiceMetrics:
             self._releases.inc(0, kind=kind)
         for kind in FAILURE_KINDS:
             self._failures.inc(0, kind=kind)
+        for kind in RECOVERY_KINDS:
+            self._recoveries.inc(0, kind=kind)
 
     @property
     def registry(self) -> MetricsRegistry:
@@ -122,6 +134,11 @@ class ServiceMetrics:
         """Count loss events: sessions_lost / worker_down / shard_down."""
         if n:
             self._failures.inc(n, kind=kind)
+
+    def record_recovery(self, kind: str, n: int = 1) -> None:
+        """Count recovery events: worker / session / replayed_step."""
+        if n:
+            self._recoveries.inc(n, kind=kind)
 
     def record_session_event(self, event: str, n: int = 1) -> None:
         """Count a lifecycle event: opened/finished/evicted/restored/migrated."""
@@ -162,6 +179,7 @@ class ServiceMetrics:
                 "sessions": self._sessions.as_dict(),
                 "releases": self._releases.as_dict(),
                 "failures": self._failures.as_dict(),
+                "recoveries": self._recoveries.as_dict(),
                 "step_latency": self._step_latency.get().snapshot(),
                 "scenario_step_latency": self._scenario_latency.snapshots(),
             }
@@ -183,6 +201,7 @@ class ServiceMetrics:
                 "sessions": self._sessions.as_dict(),
                 "releases": self._releases.as_dict(),
                 "failures": self._failures.as_dict(),
+                "recoveries": self._recoveries.as_dict(),
                 "step_latency": self._step_latency.get().state(),
                 "scenario_step_latency": {
                     digest: histogram.state()
@@ -210,6 +229,8 @@ class ServiceMetrics:
                 self._releases.inc(int(count), kind=kind)
             for kind, count in dump.get("failures", {}).items():
                 self._failures.inc(int(count), kind=kind)
+            for kind, count in dump.get("recoveries", {}).items():
+                self._recoveries.inc(int(count), kind=kind)
             self._step_latency.get().merge_state(dump["step_latency"])
             for digest, state in dump.get("scenario_step_latency", {}).items():
                 self._scenario_latency.merge_state(

@@ -48,6 +48,22 @@ Ops
     remaining workers with no dropped stream (cluster backends only;
     see :meth:`repro.cluster.ClusterBackend.drain_worker`).  Replies
     with the migration summary.
+``join``
+    ``worker`` -> admit that worker into the cluster at runtime: the
+    ring re-forms and exactly the moved arcs live-migrate onto the
+    newcomer (cluster backends only; see
+    :meth:`repro.cluster.ClusterBackend.join_worker`).  Replies with
+    the join summary.
+``leave``
+    ``worker`` -> remove that worker from the cluster: a live member
+    drains first, a dead one is dropped with its stranded sessions
+    reported (cluster backends only; see
+    :meth:`repro.cluster.ClusterBackend.leave_worker`).  Replies with
+    the leave summary.
+``cluster_status``
+    -> the membership snapshot: per-worker liveness/draining/residency
+    rows, the placement ring, and (under a supervisor) recovery
+    counters.  Cluster backends only.
 """
 
 from __future__ import annotations
@@ -78,11 +94,25 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 1 << 20
 
 OPS = frozenset(
-    {"open", "step", "peek_budget", "finish", "checkpoint", "stats", "migrate"}
+    {
+        "open",
+        "step",
+        "peek_budget",
+        "finish",
+        "checkpoint",
+        "stats",
+        "migrate",
+        "join",
+        "leave",
+        "cluster_status",
+    }
 )
 
 #: Ops that address one session and therefore require a ``session`` field.
 SESSION_OPS = frozenset({"step", "peek_budget", "finish", "checkpoint"})
+
+#: Ops that address one cluster worker and require a ``worker`` field.
+WORKER_OPS = frozenset({"migrate", "join", "leave"})
 
 #: code -> exception type; the wire vocabulary of failures.  Order of
 #: :data:`_CODES_BY_TYPE` below decides how server-side exceptions map
@@ -234,15 +264,16 @@ def parse_request(line: bytes | str) -> Request:
                 )
         worker = frame.get("worker")
         if worker is not None:
-            if op != "migrate":
+            if op not in WORKER_OPS:
                 raise ProtocolError(
-                    f"'worker' is only valid for op 'migrate', not {op!r}"
+                    f"'worker' is only valid for ops "
+                    f"{sorted(WORKER_OPS)}, not {op!r}"
                 )
             worker = str(worker)
             if not worker:
                 raise ProtocolError("'worker' must be a non-empty address")
-        elif op == "migrate":
-            raise ProtocolError("op 'migrate' requires a 'worker' field")
+        elif op in WORKER_OPS:
+            raise ProtocolError(f"op {op!r} requires a 'worker' field")
         extra = {}
         spans = frame.get("spans")
         if spans is not None:

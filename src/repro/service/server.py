@@ -154,6 +154,12 @@ class ReleaseServer:
         self._store = store if store is not None else MemorySessionStore()
         self._config = config if config is not None else ServerConfig()
         self._metrics = metrics if metrics is not None else ServiceMetrics()
+        # A supervising backend (ClusterSupervisor) counts recoveries
+        # and losses itself; hand it the server's sink so they land in
+        # the same families the stats op and /metrics render.
+        bind = getattr(self._backend, "bind_metrics", None)
+        if bind is not None:
+            bind(self._metrics)
         # Inline-scenario admission: preloaded specs form the digest
         # allowlist unless allow_any_scenario opens the gate entirely.
         self._scenarios = ScenarioRegistry(
@@ -520,6 +526,12 @@ class ReleaseServer:
             return await self._op_checkpoint(request)
         if request.op == "migrate":
             return await self._op_migrate(request)
+        if request.op == "join":
+            return await self._op_join(request)
+        if request.op == "leave":
+            return await self._op_leave(request)
+        if request.op == "cluster_status":
+            return await self._op_cluster_status(request)
         return await self._op_stats(request)
 
     async def _op_open(self, request: Request) -> dict:
@@ -708,6 +720,59 @@ class ReleaseServer:
         self._metrics.record_session_event("migrated", summary["migrated"])
         return summary
 
+    async def _op_join(self, request: Request) -> dict:
+        """Admit one worker into the cluster's ring at runtime.
+
+        The backend re-forms the ring and live-migrates exactly the
+        arcs the newcomer now owns; untouched sessions never move.
+        """
+        if self._draining.is_set():
+            raise ServiceBusyError("server is draining; try again later")
+        join = getattr(self._backend, "join_worker", None)
+        if join is None:
+            raise ServiceError(
+                "this server's backend has fixed membership; "
+                "'join' requires a cluster backend (--backend tcp://...)"
+            )
+        summary = await asyncio.get_running_loop().run_in_executor(
+            None, join, request.worker
+        )
+        self._metrics.record_session_event(
+            "migrated", summary.get("migrated", 0)
+        )
+        return summary
+
+    async def _op_leave(self, request: Request) -> dict:
+        """Remove one worker from the cluster (draining it first when live)."""
+        if self._draining.is_set():
+            raise ServiceBusyError("server is draining; try again later")
+        leave = getattr(self._backend, "leave_worker", None)
+        if leave is None:
+            raise ServiceError(
+                "this server's backend has fixed membership; "
+                "'leave' requires a cluster backend (--backend tcp://...)"
+            )
+        summary = await asyncio.get_running_loop().run_in_executor(
+            None, leave, request.worker
+        )
+        self._metrics.record_session_event(
+            "migrated", summary.get("migrated", 0)
+        )
+        lost = summary.get("lost", ())
+        if lost:
+            self._metrics.record_failure("sessions_lost", len(lost))
+        return summary
+
+    async def _op_cluster_status(self, request: Request) -> dict:
+        """The cluster membership snapshot (no worker RPCs)."""
+        status = getattr(self._backend, "cluster_status", None)
+        if status is None:
+            raise ServiceError(
+                "this server's backend is not a cluster; "
+                "'cluster_status' requires --backend tcp://..."
+            )
+        return await asyncio.get_running_loop().run_in_executor(None, status)
+
     async def _op_stats(self, request: Request | None = None) -> dict:
         spans = 0
         if request is not None:
@@ -768,6 +833,9 @@ class ReleaseServer:
                 "slow": self._tracer.slow(spans),
             }
         snapshot["shards"] = self._shard_section(shard_rows)
+        recovery = getattr(self._backend, "recovery_stats", None)
+        if recovery is not None:
+            snapshot["recovery"] = recovery()
         snapshot["scenarios"] = {
             "allow_any": self._scenarios.allow_any,
             "allowlist": self._scenarios.allowlisted(),

@@ -25,6 +25,7 @@ import abc
 import json
 import os
 import sqlite3
+import tempfile
 import threading
 
 from ..engine.session import SessionState
@@ -98,8 +99,10 @@ class DirectorySessionStore(SessionStore):
 
     File names are the hex encoding of the UTF-8 session id: reversible
     (so :meth:`ids` needs no index) and safe for arbitrary id strings.
-    Writes go through a temp file + ``os.replace`` so a crash mid-write
-    never leaves a torn checkpoint.
+    Writes go through an fsynced unique temp file + ``os.replace`` so a
+    crash (or kill -9) mid-write never leaves a torn checkpoint -- the
+    previous complete checkpoint survives instead.  Temp names carry no
+    ``.json`` suffix, so :meth:`ids` never reports a half-written file.
     """
 
     _SUFFIX = ".json"
@@ -123,10 +126,25 @@ class DirectorySessionStore(SessionStore):
         path = self._path(state.session_id)
         payload = json.dumps(state.to_json())
         with self._lock:
-            tmp = path + ".tmp"
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
+            # Unique temp name (concurrent processes may share the
+            # directory), data fsynced before the atomic rename: after
+            # a crash the file at `path` is always one complete
+            # checkpoint, old or new -- never a mix.
+            fd, tmp = tempfile.mkstemp(
+                prefix=".put-", suffix=".tmp", dir=self._root
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
 
     def get(self, session_id: str) -> SessionState | None:
         path = self._path(session_id)

@@ -1,0 +1,578 @@
+"""The self-healing control plane: retry policy, recovery, membership.
+
+The load-bearing guarantees of :mod:`repro.cluster.control`:
+
+* a worker kill with a durable store and auto-checkpointing costs zero
+  sessions: every stream recovers onto the ring successor, replays past
+  its checkpoint, and stays bit-identical to an unfaulted run (the
+  acceptance drill, 100+ sessions);
+* without a checkpoint the loss is *typed* -- ``WorkerDownError`` with
+  the recorded reason, counted as ``sessions_lost`` -- never silent;
+* runtime ``join`` migrates exactly the ring arcs the newcomer owns
+  (untouched sessions never move) and ``leave`` drains a live member;
+* recovery converges under cascades (the restore target dying
+  mid-recovery just walks to the next successor), across scenario-bound
+  sessions and previous-schema checkpoints, and through a scripted
+  mid-batch kill (``FaultPlan``) that never acknowledges the killing
+  step.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cluster.backend import ClusterBackend
+from repro.cluster.chaos import FaultPlan
+from repro.cluster.control import ClusterSupervisor, RetryPolicy, StepJournal
+from repro.cluster.worker import spawn_local_worker
+from repro.engine.session import SessionState
+from repro.errors import ServiceError, WorkerDownError
+from repro.scenario import (
+    CalibrationSpec,
+    ChainSpec,
+    EventSpec,
+    GridSpec,
+    MechanismSpec,
+    ScenarioSpec,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import DirectorySessionStore, MemorySessionStore
+
+from test_cluster_backend import spawn_fleet, stop_fleet
+from test_engine_shard import (
+    HORIZON,
+    N_CELLS,
+    make_manager,
+    make_trajectories,
+    reference_records,
+    strip,
+)
+
+#: A fast, deterministic policy for tests: real backoff shape, tiny
+#: delays.
+FAST_RETRY = RetryPolicy(
+    attempts=5, base_delay_s=0.01, max_delay_s=0.05, deadline_s=30.0, seed=1
+)
+
+
+def make_supervisor(addresses, store, **kwargs):
+    kwargs.setdefault("retry", FAST_RETRY)
+    backend = ClusterBackend(addresses, heartbeat_interval_s=0)
+    return ClusterSupervisor(backend, store, **kwargs)
+
+
+def kill_worker(procs, addresses, victim):
+    for process, address in zip(procs, addresses):
+        if address == victim:
+            process.kill()
+            process.join(10)
+
+
+class TestRetryPolicy:
+    def test_first_attempt_is_immediate(self):
+        assert next(RetryPolicy().schedule()) == 0.0
+
+    def test_seeded_schedules_are_deterministic(self):
+        policy = RetryPolicy(attempts=6, seed=17)
+        assert list(policy.schedule()) == list(policy.schedule())
+        other = RetryPolicy(attempts=6, seed=18)
+        assert list(policy.schedule()) != list(other.schedule())
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            attempts=8, base_delay_s=0.1, max_delay_s=0.4, jitter=0.0, seed=0
+        )
+        delays = list(policy.schedule())
+        assert delays[0] == 0.0
+        assert delays[1:4] == [0.1, 0.2, 0.4]
+        assert all(d == 0.4 for d in delays[4:])  # capped
+        assert len(delays) == 8
+
+    def test_deadline_cuts_the_schedule(self):
+        policy = RetryPolicy(
+            attempts=50, base_delay_s=10.0, deadline_s=0.05, jitter=0.0
+        )
+        delays = list(policy.schedule())
+        assert delays == [0.0]  # the first backoff would blow the budget
+
+    def test_at_least_one_attempt(self):
+        assert list(RetryPolicy(attempts=0).schedule()) == [0.0]
+
+
+class TestStepJournal:
+    def test_reset_pins_a_new_base(self):
+        journal = StepJournal()
+        assert (journal.base_t, journal.cells) == (0, [])
+        journal.cells.extend([3, 1, 4])
+        journal.reset(5)
+        assert (journal.base_t, journal.cells) == (5, [])
+
+
+class TestRecoveryDrill:
+    def test_kill_worker_drill_zero_loss_bit_identical(self, tmp_path):
+        """The acceptance drill: 100+ sessions over two workers with a
+        durable store and auto-checkpoints, one worker killed
+        mid-stream.  Every stream recovers, replays, and finishes
+        bit-identical to the unfaulted reference; zero sessions lost."""
+        procs, addresses = spawn_fleet(2)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        metrics = ServiceMetrics()
+        try:
+            trajectories = make_trajectories(100, seed=47)
+            reference = reference_records(trajectories)
+            with make_supervisor(addresses, store, checkpoint_every=2) as sup:
+                sup.bind_metrics(metrics)
+                for i, name in enumerate(trajectories):
+                    assert sup.open(name, seed=1000 + i) == HORIZON
+                got = {name: [] for name in trajectories}
+                half = HORIZON // 2
+                # mixed load: batched waves for the first half...
+                for t in range(half):
+                    records, errors = sup.step_batch(
+                        {n: trajectories[n][t] for n in trajectories}
+                    )
+                    assert errors == {}
+                    for name, record in records.items():
+                        got[name].append(strip(record))
+
+                victim = sup.backend.shard_stats()[0]["worker"]
+                on_victim = [
+                    n for n in trajectories
+                    if sup.backend.assignment_of(n) == victim
+                ]
+                assert on_victim  # the drill must actually cover losses
+                kill_worker(procs, addresses, victim)
+
+                # ...solo steps for one post-kill round (each victim
+                # session trips WorkerDownError and heals in-line), then
+                # batched waves to the horizon.
+                for name in trajectories:
+                    got[name].append(
+                        strip(sup.step(name, trajectories[name][half]))
+                    )
+                for t in range(half + 1, HORIZON):
+                    records, errors = sup.step_batch(
+                        {n: trajectories[n][t] for n in trajectories}
+                    )
+                    assert errors == {}, f"dropped streams: {sorted(errors)}"
+                    for name, record in records.items():
+                        got[name].append(strip(record))
+
+                assert got == reference  # bit-identical across the kill
+                assert sup.lost_session_ids() == []
+                stats = sup.recovery_stats()
+                assert stats["sessions_recovered"] == len(on_victim)
+                assert stats["sessions_lost"] == 0
+                assert stats["workers_recovered"] >= 1
+                # checkpoint_every=2 bounds replay to < 2 steps/session
+                assert stats["steps_replayed"] < 2 * len(on_victim)
+                recovered = metrics.snapshot()["recoveries"]
+                assert recovered["worker"] >= 1
+                assert recovered["session"] == len(on_victim)
+                for name in trajectories:
+                    assert len(sup.finish(name)) == HORIZON
+                assert store.ids() == []  # finish drops auto-checkpoints
+        finally:
+            stop_fleet(procs)
+
+    def test_no_checkpoint_degrades_to_typed_loss(self):
+        procs, addresses = spawn_fleet(2)
+        metrics = ServiceMetrics()
+        try:
+            with make_supervisor(
+                addresses, MemorySessionStore(), checkpoint_every=0
+            ) as sup:
+                sup.bind_metrics(metrics)
+                for i in range(12):
+                    sup.open(f"u{i}", seed=i)
+                    sup.step(f"u{i}", 3)
+                victim = sup.backend.shard_stats()[0]["worker"]
+                doomed = sorted(
+                    f"u{i}" for i in range(12)
+                    if sup.backend.assignment_of(f"u{i}") == victim
+                )
+                survivors = [
+                    f"u{i}" for i in range(12) if f"u{i}" not in doomed
+                ]
+                assert doomed and survivors
+                kill_worker(procs, addresses, victim)
+
+                with pytest.raises(WorkerDownError, match="no durable"):
+                    sup.step(doomed[0], 2)
+                assert sup.lost_session_ids() == doomed
+                for name in survivors:
+                    sup.step(name, 2)  # the rest keep serving
+                stats = sup.recovery_stats()
+                assert stats["sessions_lost"] == len(doomed)
+                assert stats["sessions_recovered"] == 0
+                failures = metrics.snapshot()["failures"]
+                assert failures["sessions_lost"] == len(doomed)
+                # the loss stays typed on every later touch too
+                with pytest.raises(WorkerDownError):
+                    sup.peek_budget(doomed[0])
+        finally:
+            stop_fleet(procs)
+
+    def test_explicit_checkpoints_bound_the_damage(self, tmp_path):
+        """checkpoint_every=0 still recovers sessions with an explicit
+        `checkpoint` snapshot: replay resumes from the snapshot."""
+        procs, addresses = spawn_fleet(2)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        try:
+            trajectories = make_trajectories(8, seed=53)
+            reference = reference_records(trajectories)
+            with make_supervisor(addresses, store, checkpoint_every=0) as sup:
+                for i, name in enumerate(trajectories):
+                    sup.open(name, seed=1000 + i)
+                got = {n: [] for n in trajectories}
+                for t in range(3):
+                    for name in trajectories:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                for name in trajectories:
+                    sup.checkpoint(name)
+                victim = sup.backend.shard_stats()[0]["worker"]
+                kill_worker(procs, addresses, victim)
+                for t in range(3, HORIZON):
+                    for name in trajectories:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                assert got == reference
+                assert sup.lost_session_ids() == []
+        finally:
+            stop_fleet(procs)
+
+
+class TestMembership:
+    def test_join_migrates_only_moved_arcs(self):
+        procs, addresses = spawn_fleet(2)
+        newcomer_proc, newcomer = spawn_local_worker(make_manager)
+        try:
+            trajectories = make_trajectories(32, seed=61)
+            reference = reference_records(trajectories)
+            with make_supervisor(addresses, MemorySessionStore()) as sup:
+                for i, name in enumerate(trajectories):
+                    sup.open(name, seed=1000 + i)
+                before = {
+                    n: sup.backend.assignment_of(n) for n in trajectories
+                }
+                got = {
+                    n: [strip(sup.step(n, trajectories[n][0]))]
+                    for n in trajectories
+                }
+                summary = sup.join_worker(newcomer)
+                assert summary["joined"] is True
+                assert len(summary["workers"]) == 3
+                after = {
+                    n: sup.backend.assignment_of(n) for n in trajectories
+                }
+                moved = [n for n in trajectories if after[n] != before[n]]
+                # the ring invariant: a session either stayed put or
+                # moved to the newcomer -- never between old members
+                for name in moved:
+                    assert after[name] == summary["worker"]
+                assert summary["migrated"] == len(moved)
+                assert 0 < len(moved) < len(trajectories)
+                status = sup.cluster_status()
+                assert len(status["workers"]) == 3
+                assert status["recovery"]["sessions_lost"] == 0
+                # streams cross the join bit-identically
+                for name in trajectories:
+                    for cell in trajectories[name][1:]:
+                        got[name].append(strip(sup.step(name, cell)))
+                assert got == reference
+                for name in trajectories:
+                    sup.finish(name)
+        finally:
+            stop_fleet(procs)
+            stop_fleet([newcomer_proc])
+
+    def test_join_rejects_a_live_duplicate(self):
+        procs, addresses = spawn_fleet(2)
+        try:
+            with make_supervisor(addresses, MemorySessionStore()) as sup:
+                with pytest.raises(ServiceError, match="already"):
+                    sup.join_worker(addresses[0])
+        finally:
+            stop_fleet(procs)
+
+    def test_leave_drains_a_live_member(self):
+        procs, addresses = spawn_fleet(2)
+        try:
+            trajectories = make_trajectories(10, seed=67)
+            reference = reference_records(trajectories)
+            with make_supervisor(addresses, MemorySessionStore()) as sup:
+                for i, name in enumerate(trajectories):
+                    sup.open(name, seed=1000 + i)
+                got = {
+                    n: [strip(sup.step(n, trajectories[n][0]))]
+                    for n in trajectories
+                }
+                summary = sup.leave_worker(addresses[0])
+                assert summary["workers"] == [addresses[1]]
+                assert summary["lost"] == []
+                assert sup.backend.worker_addresses() == [addresses[1]]
+                for name in trajectories:
+                    assert sup.backend.assignment_of(name) == addresses[1]
+                    for cell in trajectories[name][1:]:
+                        got[name].append(strip(sup.step(name, cell)))
+                assert got == reference
+                with pytest.raises(ServiceError, match="the last live worker"):
+                    sup.leave_worker(addresses[1])
+        finally:
+            stop_fleet(procs)
+
+    def test_leave_of_a_dead_worker_rescues_checkpointed_sessions(
+        self, tmp_path
+    ):
+        procs, addresses = spawn_fleet(2)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        try:
+            with make_supervisor(addresses, store, checkpoint_every=1) as sup:
+                for i in range(12):
+                    sup.open(f"u{i}", seed=i)
+                    sup.step(f"u{i}", 3)
+                victim = sup.backend.shard_stats()[0]["worker"]
+                on_victim = [
+                    f"u{i}" for i in range(12)
+                    if sup.backend.assignment_of(f"u{i}") == victim
+                ]
+                kill_worker(procs, addresses, victim)
+                # the supervisor heals before membership forgets the
+                # dead worker's assignments: nothing is stranded
+                summary = sup.leave_worker(victim)
+                assert summary["lost"] == []
+                assert len(summary["workers"]) == 1
+                assert sup.lost_session_ids() == []
+                assert (
+                    sup.recovery_stats()["sessions_recovered"]
+                    == len(on_victim)
+                )
+                for i in range(12):
+                    sup.step(f"u{i}", 2)
+        finally:
+            stop_fleet(procs)
+
+
+def scenario_spec() -> ScenarioSpec:
+    """A spec matching the workers' 4x4/horizon-6 default config shape
+    but bound explicitly (sessions carry it in their checkpoints)."""
+    return ScenarioSpec(
+        grid=GridSpec(rows=4, cols=4),
+        chain=ChainSpec.gaussian(sigma=1.0),
+        events=(EventSpec.presence_range(0, 5, start=2, end=4),),
+        mechanism=MechanismSpec("planar_laplace", {"alpha": 0.5}),
+        epsilon=0.5,
+        horizon=HORIZON,
+        calibration=CalibrationSpec("halving"),
+        prior_mode="fixed",
+    )
+
+
+class TestHeterogeneousRecovery:
+    def test_scenario_bound_sessions_recover(self, tmp_path):
+        """A mixed fleet -- default-config and ScenarioSpec-bound
+        sessions -- recovers both kinds: checkpoints embed the spec, so
+        the surviving worker re-materializes the right models."""
+        procs, addresses = spawn_fleet(2)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        spec = scenario_spec()
+        try:
+            trajectories = make_trajectories(12, seed=71)
+            names = list(trajectories)
+            bound = {n for i, n in enumerate(names) if i % 2}
+            manager = make_manager()
+            for i, name in enumerate(names):
+                manager.open(
+                    name,
+                    rng=1000 + i,
+                    scenario=spec if name in bound else None,
+                )
+            reference = {
+                name: [strip(manager.step(name, c)) for c in trajectory]
+                for name, trajectory in trajectories.items()
+            }
+            with make_supervisor(addresses, store, checkpoint_every=2) as sup:
+                for i, name in enumerate(names):
+                    sup.open(
+                        name, seed=1000 + i,
+                        scenario=spec if name in bound else None,
+                    )
+                got = {n: [] for n in names}
+                for t in range(3):
+                    for name in names:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                victim = sup.backend.shard_stats()[0]["worker"]
+                kill_worker(procs, addresses, victim)
+                for t in range(3, HORIZON):
+                    for name in names:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                assert got == reference
+                assert sup.lost_session_ids() == []
+        finally:
+            stop_fleet(procs)
+
+    def test_previous_schema_checkpoint_recovers(self, tmp_path):
+        """A v1 checkpoint (a PR-1 build's format) sitting in the store
+        still recovers a killed session."""
+        procs, addresses = spawn_fleet(2)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        try:
+            trajectories = make_trajectories(6, seed=73)
+            reference = reference_records(trajectories)
+            with make_supervisor(addresses, store, checkpoint_every=0) as sup:
+                for i, name in enumerate(trajectories):
+                    sup.open(name, seed=1000 + i)
+                got = {n: [] for n in trajectories}
+                for t in range(3):
+                    for name in trajectories:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                for name in trajectories:
+                    state = sup.checkpoint(name)
+                    data = state.to_json()
+                    assert data["schema"] == 2
+                    del data["schema"]
+                    del data["scenario"]
+                    store.put(
+                        SessionState.from_json(json.loads(json.dumps(data)))
+                    )
+                victim = sup.backend.shard_stats()[0]["worker"]
+                kill_worker(procs, addresses, victim)
+                for t in range(3, HORIZON):
+                    for name in trajectories:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                assert got == reference
+                assert sup.lost_session_ids() == []
+        finally:
+            stop_fleet(procs)
+
+
+class TestScriptedKill:
+    def test_kill_mid_batch_is_healed(self, tmp_path):
+        """A FaultPlan kill fires *inside* an in-flight batched wave:
+        the killing steps are never acknowledged, the supervisor
+        recovers the worker's sessions and the retried wave regenerates
+        the identical records."""
+        armed_proc, armed = spawn_local_worker(
+            make_manager, fault_plan=FaultPlan(kill_at_step=5)
+        )
+        calm_proc, calm = spawn_local_worker(make_manager)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        try:
+            trajectories = make_trajectories(16, seed=79)
+            reference = reference_records(trajectories)
+            with make_supervisor([armed, calm], store, checkpoint_every=1) as sup:
+                for i, name in enumerate(trajectories):
+                    sup.open(name, seed=1000 + i)
+                on_armed = [
+                    n for n in trajectories
+                    if sup.backend.assignment_of(n) == armed
+                ]
+                assert on_armed  # the scripted kill must have victims
+                got = {n: [] for n in trajectories}
+                for t in range(HORIZON):
+                    records, errors = sup.step_batch(
+                        {n: trajectories[n][t] for n in trajectories}
+                    )
+                    assert errors == {}, f"dropped streams: {sorted(errors)}"
+                    for name, record in records.items():
+                        got[name].append(strip(record))
+                assert got == reference
+                assert sup.lost_session_ids() == []
+                stats = sup.recovery_stats()
+                assert stats["sessions_recovered"] == len(on_armed)
+                assert armed_proc.exitcode == 137  # died exactly as scripted
+        finally:
+            stop_fleet([armed_proc, calm_proc])
+
+
+class _CascadeBackend:
+    """A scripted backend: one dead worker, and the first restore
+    attempt dies too (the cascade recovery must walk past)."""
+
+    def __init__(self, failures_before_accept: int = 1):
+        self.assignments = {"s1": "tcp://w1:1"}
+        self.failures_left = failures_before_accept
+        self.resumed: list[str] = []
+        self.stepped: list[tuple[str, int]] = []
+        self.forgotten: list[str] = []
+
+    def down_assignments(self):
+        return {
+            "tcp://w1:1": [s for s, a in self.assignments.items() if a]
+        } if self.assignments.get("s1") else {}
+
+    def assignment_of(self, sid):
+        return self.assignments.get(sid)
+
+    def forget_session(self, sid):
+        self.forgotten.append(sid)
+        self.assignments[sid] = None
+
+    def resume(self, state):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise WorkerDownError("restore target died mid-resume")
+        self.resumed.append(state.session_id)
+        return state.session_id
+
+    def step(self, sid, cell):
+        self.stepped.append((sid, cell))
+
+    def lost_session_ids(self):
+        return []
+
+
+class TestCascade:
+    def test_restore_retries_past_a_dying_target(self):
+        manager = make_manager()
+        manager.open("s1", rng=7)
+        manager.step("s1", 3)
+        state = manager.suspend("s1")
+        store = MemorySessionStore()
+        store.put(state)
+        backend = _CascadeBackend(failures_before_accept=1)
+        sup = ClusterSupervisor(backend, store, retry=FAST_RETRY)
+        # the journal says two steps were acked past the checkpoint
+        sup._journal["s1"] = StepJournal(state.committed_t)
+        sup._journal["s1"].cells.extend([2, 5])
+        sup._run_recoveries(wait=True)
+        assert backend.resumed == ["s1"]
+        assert backend.stepped == [("s1", 2), ("s1", 5)]
+        # forgotten twice: once on drain, once after the failed resume
+        assert backend.forgotten.count("s1") == 2
+        stats = sup.recovery_stats()
+        assert stats["sessions_recovered"] == 1
+        assert stats["steps_replayed"] == 2
+
+    def test_total_fleet_death_keeps_the_checkpoint(self):
+        manager = make_manager()
+        manager.open("s1", rng=7)
+        state = manager.suspend("s1")
+        store = MemorySessionStore()
+        store.put(state)
+        backend = _CascadeBackend(failures_before_accept=10_000)
+        sup = ClusterSupervisor(
+            backend,
+            store,
+            retry=RetryPolicy(
+                attempts=2, base_delay_s=0.001, deadline_s=1.0, seed=3
+            ),
+        )
+        sup._run_recoveries(wait=True)
+        assert sup.lost_session_ids() == ["s1"]
+        assert sup.recovery_stats()["sessions_lost"] == 1
+        # the checkpoint survives for restore-on-touch once capacity
+        # returns
+        assert store.get("s1") is not None

@@ -86,6 +86,34 @@ class TestParseRequest:
         request = parse_request(frame(op="stats", cell=5))
         assert request.cell is None
 
+    @pytest.mark.parametrize("op", ["migrate", "join", "leave"])
+    def test_worker_ops_roundtrip(self, op):
+        request = parse_request(
+            frame(op=op, worker="tcp://127.0.0.1:9001")
+        )
+        assert request.op == op
+        assert request.worker == "tcp://127.0.0.1:9001"
+        assert parse_request(request.to_frame()) == request
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            frame(op="join"),                          # missing worker
+            frame(op="leave"),                         # missing worker
+            frame(op="join", worker=""),               # empty worker
+            frame(op="cluster_status", worker="tcp://h:1"),  # status takes none
+            frame(op="step", session="u", cell=1, worker="tcp://h:1"),
+        ],
+    )
+    def test_worker_field_is_validated(self, bad):
+        with pytest.raises(ProtocolError, match="worker"):
+            parse_request(bad)
+
+    def test_cluster_status_parses_bare(self):
+        request = parse_request(frame(op="cluster_status"))
+        assert request.op == "cluster_status"
+        assert request.worker is None
+
 
 class TestErrorMapping:
     def test_code_and_exception_are_inverses(self):

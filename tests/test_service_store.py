@@ -164,6 +164,44 @@ class TestDirectoryStore:
         with pytest.raises(ServiceError, match="corrupt"):
             store.get("u")
 
+    def test_truncated_file_is_loud_and_a_re_put_repairs_it(
+        self, tmp_path, session_factory
+    ):
+        # The crash-mid-write scenario the atomic-rename write path
+        # exists for: a torn file must never parse as a valid (older)
+        # checkpoint, and the next put must heal it in place.
+        store = DirectorySessionStore(str(tmp_path))
+        state = stepped_state(session_factory, "u", n_steps=3)
+        store.put(state)
+        (name,) = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+        full = (tmp_path / name).read_text()
+        (tmp_path / name).write_text(full[: len(full) // 2])
+        with pytest.raises(ServiceError, match="corrupt"):
+            store.get("u")
+        store.put(state)
+        loaded = store.get("u")
+        assert loaded is not None
+        assert loaded.to_json() == state.to_json()
+        # the write path left no temp litter, and ids() never saw any
+        assert os.listdir(tmp_path) == [name]
+        assert store.ids() == ["u"]
+
+    def test_failed_put_leaves_no_temp_files(
+        self, tmp_path, session_factory, monkeypatch
+    ):
+        store = DirectorySessionStore(str(tmp_path))
+        state = stepped_state(session_factory, "u", n_steps=1)
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            store.put(state)
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []  # tmp file cleaned up
+        assert store.get("u") is None
+
 
 class TestSQLiteStore:
     def test_survives_reopen(self, tmp_path, session_factory):

@@ -32,6 +32,7 @@ import numpy as np
 import pytest
 
 from repro.engine import SessionBuilder, SessionManager, ShardPool
+from repro.errors import OverloadedError
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import synthetic_scenario
 from repro.lppm.planar_laplace import PlanarLaplaceMechanism
@@ -80,6 +81,30 @@ SCRAPE_FAMILIES = (
     "repro_spans_total",
     "repro_event_loop_lag_seconds",
 )
+#: open-loop arrival mode: sessions the Poisson arrivals round-robin
+#: over, seconds per offered-rate point, and the rate sweep as
+#: multiples of the measured closed-loop capacity.
+OPEN_LOOP_SESSIONS = 64
+OPEN_LOOP_DURATION_S = 4.0
+OPEN_LOOP_MULTIPLIERS = (0.5, 1.0, 2.0)
+#: horizon for the open-loop setting: arrivals keep stepping the same
+#: sessions, so each needs room for its share of the offered load.
+OPEN_LOOP_HORIZON = 2048
+#: per-request latency budget carried as ``deadline_ms`` (exercises
+#: deadline shedding alongside the queue-delay trigger).
+OPEN_LOOP_DEADLINE_MS = 500
+#: aggressive shedder for the bench: overload must trigger within a
+#: few hundred milliseconds of a sustained 2x offered rate.  The
+#: target is sized so the standing queue never fully drains between
+#: shed cycles (an empty queue is idle workers, i.e. lost goodput).
+OPEN_LOOP_SHED_TARGET_MS = 50.0
+OPEN_LOOP_SHED_INTERVAL_MS = 100.0
+
+
+def _skip_unless_closed_loop(request) -> None:
+    """``--open-loop`` narrows this module to the open-loop benchmark."""
+    if request.config.getoption("--open-loop"):
+        pytest.skip("--open-loop runs only the open-loop arrival benchmark")
 
 
 @pytest.fixture(scope="module")
@@ -267,6 +292,7 @@ async def _drive_load(
 
 
 def test_bench_service_load(service_setting, save_result, save_json, request):
+    _skip_unless_closed_loop(request)
     scenario, builder = service_setting
     loads = (
         LOADS_PAPER if request.config.getoption("--paper-scale") else LOADS
@@ -332,7 +358,7 @@ def test_bench_service_load(service_setting, save_result, save_json, request):
     )
 
 
-def test_bench_service_load_traced(service_setting, save_result, save_json):
+def test_bench_service_load_traced(service_setting, save_result, save_json, request):
     """The tracing A/B: full observability rig on vs tracing disabled.
 
     The traced point serves with span recording *and* the ``/metrics``
@@ -346,6 +372,7 @@ def test_bench_service_load_traced(service_setting, save_result, save_json):
     band on a quiet machine); the assertion bound stays looser for
     noisy CI runners.
     """
+    _skip_unless_closed_loop(request)
     scenario, builder = service_setting
     traced = asyncio.run(
         _drive_load(
@@ -520,6 +547,7 @@ def test_bench_service_load_mixed(save_result, save_json, request):
     throughput ratio staying near 1 (the ~10% band on a quiet machine);
     the assertion bound is looser to keep noisy CI runners green.
     """
+    _skip_unless_closed_loop(request)
     n_specs = int(request.config.getoption("--mixed-scenarios"))
     single = asyncio.run(_drive_mixed(MIXED_SESSIONS, MIXED_STEPS, 1, seed=0))
     mixed = asyncio.run(_drive_mixed(MIXED_SESSIONS, MIXED_STEPS, n_specs, seed=0))
@@ -569,7 +597,7 @@ def test_bench_service_load_mixed(save_result, save_json, request):
     )
 
 
-def test_bench_service_load_sharded(service_setting, save_result, save_json):
+def test_bench_service_load_sharded(service_setting, save_result, save_json, request):
     """The shard sweep: 1000 sessions at 0 / 2 / 4 / 8 shard processes.
 
     Every sharded point keeps the PR 3 micro-batching window on (that is
@@ -580,6 +608,7 @@ def test_bench_service_load_sharded(service_setting, save_result, save_json):
     >= 2x the unsharded batched throughput; shard counts beyond the core
     count are skipped, not asserted.
     """
+    _skip_unless_closed_loop(request)
     scenario, builder = service_setting
     cores = os.cpu_count() or 1
     # Always run the 2-shard point (it exercises the RPC path even on a
@@ -657,7 +686,7 @@ def test_bench_service_load_sharded(service_setting, save_result, save_json):
     )
 
 
-def test_bench_service_load_cluster(service_setting, save_result, save_json):
+def test_bench_service_load_cluster(service_setting, save_result, save_json, request):
     """The cluster sweep: 1000 sessions over localhost TCP workers.
 
     The baseline is the 2-shard :class:`ShardPool` at the same load
@@ -668,6 +697,7 @@ def test_bench_service_load_cluster(service_setting, save_result, save_json):
     is cheap; the committed JSON records the real ratio while the
     assertion bound stays looser for noisy CI runners.
     """
+    _skip_unless_closed_loop(request)
     scenario, builder = service_setting
     cores = os.cpu_count() or 1
     rows = [
@@ -744,6 +774,262 @@ def test_bench_service_load_cluster(service_setting, save_result, save_json):
             "throughput_ratio_vs_2_shards": ratio,
             "cpu_count": cores,
             "comparison": comparison,
+        },
+        rows=rows,
+    )
+
+
+async def _measure_capacity(builder, workers: int, seed: int) -> float:
+    """Closed-loop steps/s of the open-loop server configuration.
+
+    Eight concurrent steppers per session lock would serialize, so the
+    probe hammers every session round-robin from a handful of
+    connections -- the executor stays saturated, which is exactly the
+    capacity the open-loop sweep offers multiples of.
+    """
+    server = ReleaseServer(
+        SessionManager(builder, cache_size=0),
+        config=ServerConfig(
+            max_sessions=OPEN_LOOP_SESSIONS + 8,
+            max_resident=OPEN_LOOP_SESSIONS + 8,
+            workers=workers,
+            trace=False,
+            shed_target_ms=0.0,  # capacity probe: never shed
+        ),
+    )
+    await server.start()
+    clients = [
+        await AsyncServiceClient.connect("127.0.0.1", server.port)
+        for _ in range(8)
+    ]
+    rng = np.random.default_rng(seed)
+    cells = rng.integers(0, 36, size=OPEN_LOOP_SESSIONS * 64)
+    await asyncio.gather(
+        *[
+            clients[i % len(clients)].open(f"c{i}", seed=seed + i)
+            for i in range(OPEN_LOOP_SESSIONS)
+        ]
+    )
+    done = 0
+    wall_start = time.perf_counter()
+
+    async def hammer(worker_index: int):
+        nonlocal done
+        t = worker_index
+        while time.perf_counter() - wall_start < 1.5:
+            i = t % OPEN_LOOP_SESSIONS
+            await clients[i % len(clients)].step(
+                f"c{i}", int(cells[t % cells.size])
+            )
+            done += 1
+            t += 16
+    await asyncio.gather(*[hammer(k) for k in range(16)])
+    wall = time.perf_counter() - wall_start
+    for client in clients:
+        await client.close()
+    await server.drain()
+    return done / wall
+
+
+async def _drive_open_loop(
+    builder, rate_hz: float, duration_s: float, workers: int, seed: int
+):
+    """One open-loop point: Poisson arrivals at ``rate_hz`` steps/s.
+
+    Unlike the closed-loop driver, arrivals do not wait for replies:
+    each fires as its exponential gap elapses, so offered load is
+    independent of service time and a saturated server faces a growing
+    queue -- the regime load shedding exists for.  Every request
+    carries ``deadline_ms``; sheds (typed ``overloaded`` errors) are
+    counted, never retried, so goodput is accepted work only.
+    """
+    server = ReleaseServer(
+        SessionManager(builder, cache_size=0),
+        config=ServerConfig(
+            max_sessions=OPEN_LOOP_SESSIONS + 8,
+            max_resident=OPEN_LOOP_SESSIONS + 8,
+            max_pending_per_connection=512,
+            workers=workers,
+            trace=False,
+            shed_target_ms=OPEN_LOOP_SHED_TARGET_MS,
+            shed_interval_ms=OPEN_LOOP_SHED_INTERVAL_MS,
+        ),
+    )
+    await server.start()
+    clients = [
+        await AsyncServiceClient.connect("127.0.0.1", server.port)
+        for _ in range(16)
+    ]
+    await asyncio.gather(
+        *[
+            clients[i % len(clients)].open(f"u{i}", seed=seed + i)
+            for i in range(OPEN_LOOP_SESSIONS)
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    n_offered = int(rate_hz * duration_s)
+    gaps = rng.exponential(1.0 / rate_hz, size=n_offered)
+    cells = rng.integers(0, 36, size=n_offered)
+    accepted_lat: list[float] = []
+    shed = 0
+    other_errors = 0
+    tasks = []
+
+    async def arrival(k: int):
+        nonlocal shed, other_errors
+        i = k % OPEN_LOOP_SESSIONS
+        start = time.perf_counter()
+        try:
+            await clients[i % len(clients)].step(
+                f"u{i}", int(cells[k]), deadline_ms=OPEN_LOOP_DEADLINE_MS
+            )
+        except OverloadedError:
+            shed += 1
+            return
+        except Exception:
+            other_errors += 1
+            return
+        accepted_lat.append(time.perf_counter() - start)
+
+    wall_start = time.perf_counter()
+    next_at = wall_start
+    for k in range(n_offered):
+        next_at += gaps[k]
+        delay = next_at - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.get_running_loop().create_task(arrival(k)))
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - wall_start
+
+    stats = await clients[0].stats()
+    for client in clients:
+        await client.close()
+    await server.drain()
+
+    samples = np.asarray(accepted_lat) if accepted_lat else np.zeros(1)
+    accepted = len(accepted_lat)
+    return {
+        "offered_per_s": round(n_offered / wall, 1),
+        "offered": n_offered,
+        "accepted": accepted,
+        "shed": shed,
+        "errors": other_errors,
+        "shed_rate": round(shed / n_offered, 4) if n_offered else 0.0,
+        "goodput_per_s": round(accepted / wall, 1),
+        "p50_ms": round(float(np.percentile(samples, 50)) * 1e3, 3),
+        "p95_ms": round(float(np.percentile(samples, 95)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
+        "shed_by_trigger": dict(stats.get("shed", {})),
+        "overload_level_final": stats["shedding"]["overload_level"],
+    }
+
+
+def test_bench_service_load_open_loop(save_result, save_json, request):
+    """Open-loop overload: offered load vs goodput under load shedding.
+
+    Closed-loop drivers (everything above) can never overload a server:
+    each in-flight request gates the next, so offered load self-limits
+    at capacity.  This point generates *Poisson arrivals* at fixed
+    offered rates -- 0.5x / 1x / 2x the measured closed-loop capacity
+    (or exactly ``--rate R``) -- against a deliberately small server
+    (2 worker threads, aggressive shedder) and records the graceful
+    degradation story: past capacity the server sheds with the typed
+    retryable ``overloaded`` code instead of queueing without bound,
+    goodput holds near capacity, and the latency percentiles of
+    *accepted* requests stay bounded by the shedder's delay target
+    rather than growing with the backlog.
+    """
+    # A 14x14 map with the verdict cache *disabled*: every step pays a
+    # real calibration solve (milliseconds), so capacity is bound by
+    # the worker pool -- the resource the shedder governs -- and the 2x
+    # offered rate stays low enough that protocol handling on the
+    # shared event loop is nowhere near its own limit.  (On a small
+    # map the pool is so fast that 2x capacity saturates the *loop*,
+    # whose congestion admission control cannot relieve.)
+    scenario = synthetic_scenario(
+        n_rows=14, n_cols=14, sigma=1.0, horizon=OPEN_LOOP_HORIZON
+    )
+    builder = (
+        SessionBuilder()
+        .with_grid(scenario.grid)
+        .with_chain(scenario.chain)
+        .protecting(scenario.presence_event(0, 13, 4, 8))
+        .with_mechanism(PlanarLaplaceMechanism(scenario.grid, 0.5))
+        .with_epsilon(0.4)
+        .with_fixed_prior(scenario.initial)
+        .with_horizon(OPEN_LOOP_HORIZON)
+    )
+    workers = 2
+    capacity = asyncio.run(_measure_capacity(builder, workers, seed=0))
+    rate_option = request.config.getoption("--rate")
+    if rate_option is not None:
+        points = [("fixed", float(rate_option))]
+    else:
+        points = [
+            (f"{m}x", m * capacity) for m in OPEN_LOOP_MULTIPLIERS
+        ]
+    rows = []
+    for label, rate_hz in points:
+        row = asyncio.run(
+            _drive_open_loop(
+                builder, rate_hz, OPEN_LOOP_DURATION_S, workers, seed=1
+            )
+        )
+        rows.append({"offered_x": label, **row})
+
+    by_label = {row["offered_x"]: row for row in rows}
+    if rate_option is None:
+        under, over = by_label["0.5x"], by_label["2.0x"]
+        # Under capacity nothing sheds and latency sits at service time.
+        assert under["shed_rate"] < 0.01, under
+        # Past capacity the server must shed (typed, counted) ...
+        assert over["shed"] > 0, over
+        assert sum(over["shed_by_trigger"].values()) >= over["shed"]
+        # ... while goodput holds near capacity (the graceful part; the
+        # committed JSON records the real ratio, the bound absorbs CI
+        # noise) and accepted-request p99 stays bounded by the shedder,
+        # far below the seconds a 2x backlog would otherwise grow to.
+        assert over["goodput_per_s"] >= 0.6 * capacity, (
+            over["goodput_per_s"],
+            capacity,
+        )
+        assert over["p99_ms"] < 20 * OPEN_LOOP_DEADLINE_MS, over["p99_ms"]
+
+    columns = [
+        "offered_x", "offered_per_s", "goodput_per_s", "shed_rate",
+        "accepted", "shed", "errors", "p50_ms", "p95_ms", "p99_ms",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"repro serve open-loop arrivals (14x14 map, {OPEN_LOOP_SESSIONS} "
+            f"sessions, {workers} worker threads, capacity "
+            f"{capacity:.0f} steps/s; shed target "
+            f"{OPEN_LOOP_SHED_TARGET_MS}ms over "
+            f"{OPEN_LOOP_SHED_INTERVAL_MS}ms, deadline "
+            f"{OPEN_LOOP_DEADLINE_MS}ms)"
+        ),
+    )
+    save_result("bench_service_load_open_loop", table)
+    save_json(
+        "bench_service_load_open_loop",
+        params={
+            "rows_cols": [14, 14],
+            "horizon": OPEN_LOOP_HORIZON,
+            "epsilon": 0.4,
+            "alpha": 0.5,
+            "prior_mode": "fixed",
+            "sessions": OPEN_LOOP_SESSIONS,
+            "workers": workers,
+            "duration_s": OPEN_LOOP_DURATION_S,
+            "capacity_steps_per_s": round(capacity, 1),
+            "multipliers": list(OPEN_LOOP_MULTIPLIERS),
+            "deadline_ms": OPEN_LOOP_DEADLINE_MS,
+            "shed_target_ms": OPEN_LOOP_SHED_TARGET_MS,
+            "shed_interval_ms": OPEN_LOOP_SHED_INTERVAL_MS,
+            "rate_override": rate_option,
         },
         rows=rows,
     )

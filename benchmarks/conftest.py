@@ -36,6 +36,20 @@ def pytest_addoption(parser):
         help="distinct ScenarioSpecs in the mixed-tenant service load "
         "benchmark (bench_service_load.py::test_bench_service_load_mixed)",
     )
+    parser.addoption(
+        "--open-loop",
+        action="store_true",
+        default=False,
+        help="run only the open-loop arrival benchmark in "
+        "bench_service_load.py (the closed-loop load tests skip)",
+    )
+    parser.addoption(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered Poisson arrival rate (steps/s) for the open-loop "
+        "benchmark; default sweeps 0.5x / 1x / 2x the measured capacity",
+    )
 
 
 @pytest.fixture(scope="session")

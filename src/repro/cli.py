@@ -359,7 +359,14 @@ def _worker_main(argv: list[str]) -> int:
                         help="JSON FaultPlan file for deterministic fault "
                         "injection (kill-at-step, RPC delay, heartbeat "
                         "blackhole, hang); chaos drills only")
+    parser.add_argument("--capacity", type=float, default=None,
+                        help="relative capacity weight reported to the "
+                        "router for load-aware placement (default: this "
+                        "machine's CPU count); a worker with twice the "
+                        "capacity owns ~twice the keyspace")
     args = parser.parse_args(argv)
+    if args.capacity is not None and not args.capacity > 0:
+        parser.error(f"--capacity must be > 0, got {args.capacity}")
     try:
         _, host, port = parse_address(args.listen, allow_ephemeral=True)
     except ReproError as error:
@@ -378,6 +385,7 @@ def _worker_main(argv: list[str]) -> int:
             factory, host, port,
             announce=lambda line: print(line, flush=True),
             fault_plan=fault_plan,
+            capacity=args.capacity,
         )
     except ReproError as error:
         parser.error(str(error))
@@ -435,6 +443,20 @@ def _serve_main(argv: list[str]) -> int:
                         "requests: steps arriving within the window are "
                         "coalesced into one batched engine call "
                         "(bit-identical streams; 0 disables)")
+    parser.add_argument("--standby", default=None, metavar="ADDRS",
+                        help="with --backend: comma-separated warm-standby "
+                        "worker addresses (tcp://host:port,...); standbys "
+                        "hold no sessions and are auto-joined to replace a "
+                        "dead worker the moment its recovery fires")
+    parser.add_argument("--shed-target-ms", type=float, default=100.0,
+                        help="load shedding: acceptable standing executor "
+                        "queue delay; once exceeded for --shed-interval-ms "
+                        "the server sheds open (then step) requests with "
+                        "the retryable 'overloaded' code (0 disables the "
+                        "queue-delay trigger; deadline_ms shedding stays on)")
+    parser.add_argument("--shed-interval-ms", type=float, default=1000.0,
+                        help="how long the queue delay must stay above "
+                        "--shed-target-ms before shedding starts")
     parser.add_argument("--checkpoint-every", type=int, default=0,
                         metavar="N",
                         help="with --backend: auto-checkpoint every cluster "
@@ -480,6 +502,13 @@ def _serve_main(argv: list[str]) -> int:
                      "shard RPCs must stay off the event loop")
     if args.checkpoint_every < 0:
         parser.error("--checkpoint-every must be >= 0")
+    if args.shed_target_ms < 0:
+        parser.error("--shed-target-ms must be >= 0")
+    if args.shed_interval_ms <= 0:
+        parser.error("--shed-interval-ms must be > 0")
+    if args.standby and not args.backend:
+        parser.error("--standby requires --backend (standbys are cluster "
+                     "workers held in reserve)")
     if args.backend:
         if args.shards > 0:
             parser.error("--backend (remote workers) and --shards (local "
@@ -491,6 +520,9 @@ def _serve_main(argv: list[str]) -> int:
         parser.error("--checkpoint-every requires --backend (the recovery "
                      "supervisor only wraps a cluster backend)")
 
+    standbys = [
+        a for a in (s.strip() for s in (args.standby or "").split(",")) if a
+    ]
     try:
         scenarios = [ScenarioSpec.from_file(path) for path in args.scenario_files]
         store = resolve_store(args.store, args.store_path)
@@ -506,6 +538,7 @@ def _serve_main(argv: list[str]) -> int:
                 ClusterBackend(addresses),
                 store,
                 checkpoint_every=args.checkpoint_every,
+                standbys=standbys,
             )
         elif args.shards > 0:
             # Each shard worker builds its own full engine from the
@@ -531,6 +564,8 @@ def _serve_main(argv: list[str]) -> int:
         slow_request_ms=args.slow_request_ms,
         metrics_port=args.metrics_port,
         metrics_host=args.metrics_host,
+        shed_target_ms=args.shed_target_ms,
+        shed_interval_ms=args.shed_interval_ms,
     )
 
     async def _serve() -> int:
@@ -552,6 +587,7 @@ def _serve_main(argv: list[str]) -> int:
                     "max_resident": config.max_resident,
                     "shards": args.shards,
                     "cluster_workers": getattr(engine, "n_shards", 0) if args.backend else 0,
+                    "standbys": len(standbys),
                     "store": args.store,
                     "scenarios": len(scenarios),
                     "allow_any_scenario": args.allow_any_scenario,

@@ -139,6 +139,11 @@ class WorkerHandle:
 
         self.address, host, port = parse_address(address)
         self.pid: int | None = None
+        #: Relative placement weight from the worker's hello frame.
+        self.capacity: float = 1.0
+        #: Latest live-load heartbeat payload (sessions, queue depth,
+        #: EWMA step latency); empty until the first ping answers.
+        self.load: dict = {}
         self.alive = True
         self._down_reason = "closed"
         self._rpc_timeout_s = rpc_timeout_s
@@ -225,10 +230,14 @@ class WorkerHandle:
         ``raw`` swaps the human-readable latency snapshot for the
         mergeable :meth:`~repro.obs.registry.LatencyHistogram.state`.
         """
+        with self._state_lock:
+            load = {k: v for k, v in self.load.items() if k != "pong"}
         return {
             "alive": self.alive,
             "inflight": self.inflight,
             "heartbeat_age_s": round(time.monotonic() - self.last_heartbeat, 3),
+            "capacity": self.capacity,
+            "load": load,
             "rpc_latency": (
                 self.rpc_latency.state() if raw else self.rpc_latency.snapshot()
             ),
@@ -296,14 +305,24 @@ class WorkerHandle:
         mistaken for a hung one.
         """
         try:
-            return self.call("ping", None, timeout_s=timeout_s, windowed=False) == "pong"
+            reply = self.call("ping", None, timeout_s=timeout_s, windowed=False)
         except Exception:  # noqa: BLE001 - any failure means unhealthy
             return False
+        if reply == "pong":  # pre-load-reporting worker build
+            return True
+        if isinstance(reply, dict) and reply.get("pong"):
+            with self._state_lock:
+                self.load = reply
+            return True
+        return False
 
     def hello(self, timeout_s: float = CONNECT_TIMEOUT_S) -> dict:
-        """The worker's identity/config frame; records its pid."""
+        """The worker's identity/config frame; records its pid/capacity."""
         info = self.call("hello", None, timeout_s=timeout_s, windowed=False)
         self.pid = int(info["pid"])
+        capacity = info.get("capacity")
+        if isinstance(capacity, (int, float)) and capacity > 0:
+            self.capacity = float(capacity)
         return info
 
     def close(self) -> None:
@@ -424,14 +443,23 @@ class ClusterBackend(ExecutionBackend):
     # membership / placement
     # ------------------------------------------------------------------
     def _rebuild_ring(self) -> None:
-        """Recompute the placement ring from live, non-draining workers."""
+        """Recompute the placement ring from live, non-draining workers.
+
+        Capacity-weighted: each member's virtual-point count scales with
+        the capacity it reported in hello, so a 16-core worker owns ~4x
+        the arcs of a 4-core one and ``join_worker`` places a newcomer's
+        arcs proportionally.
+        """
         members = [
             address
             for address in self._addresses
             if self._handles[address].alive and address not in self._draining
         ]
+        weights = {
+            address: self._handles[address].capacity for address in members
+        }
         self._ring = (
-            HashRing(members, self._replicas) if members else None
+            HashRing(members, self._replicas, weights) if members else None
         )
 
     def _heartbeat_loop(self, interval_s: float) -> None:
@@ -1010,6 +1038,7 @@ class ClusterBackend(ExecutionBackend):
         """A no-RPC membership snapshot (probe-safe, like health rows)."""
         with self._lock:
             counts = Counter(self._sessions.values())
+            ring = self._ring
             workers = [
                 {
                     "worker": address,
@@ -1021,12 +1050,19 @@ class ClusterBackend(ExecutionBackend):
                         time.monotonic() - self._handles[address].last_heartbeat,
                         3,
                     ),
+                    "capacity": self._handles[address].capacity,
+                    "ring_points": (
+                        ring.points_of(address) if ring is not None else 0
+                    ),
+                    "load": {
+                        k: v
+                        for k, v in self._handles[address].load.items()
+                        if k != "pong"
+                    },
                 }
                 for address in self._addresses
             ]
-            ring_members = (
-                list(self._ring.members) if self._ring is not None else []
-            )
+            ring_members = list(ring.members) if ring is not None else []
             total = len(self._sessions)
         return {
             "workers": workers,

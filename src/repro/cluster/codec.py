@@ -205,6 +205,9 @@ def _encode_error(error: BaseException) -> dict:
     from ..service.protocol import error_code_for
 
     encoded = {"code": error_code_for(error), "message": str(error)}
+    retry_after_ms = getattr(error, "retry_after_ms", None)
+    if retry_after_ms is not None:
+        encoded["retry_after_ms"] = int(retry_after_ms)
     name = type(error).__name__
     if name in BUILTIN_ERRORS:
         encoded["builtin"] = name
@@ -222,7 +225,10 @@ def _decode_error(value: dict) -> BaseException:
         # ValueError): rebuild the same type so callers' ``except``
         # clauses keep working across the channel.
         return BUILTIN_ERRORS[builtin](message)
-    return exception_for(code, message)
+    retry_after_ms = value.get("retry_after_ms")
+    if not isinstance(retry_after_ms, int) or isinstance(retry_after_ms, bool):
+        retry_after_ms = None
+    return exception_for(code, message, retry_after_ms)
 
 
 # ----------------------------------------------------------------------

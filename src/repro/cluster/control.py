@@ -59,7 +59,7 @@ import threading
 import time
 from dataclasses import dataclass
 from random import Random
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from ..engine.backend import ExecutionBackend
 from ..engine.cache import CacheStats
@@ -74,6 +74,10 @@ RECOVERY_WAIT_S = 120.0
 #: Seconds recovery waits for a session's in-flight op before skipping
 #: it (the next pass picks it up).
 RECOVERY_SESSION_WAIT_S = 60.0
+#: Seconds between standby-pool health probes.
+STANDBY_CHECK_INTERVAL_S = 5.0
+#: Seconds one standby TCP probe waits before declaring it unreachable.
+STANDBY_PROBE_TIMEOUT_S = 2.0
 
 
 @dataclass(frozen=True)
@@ -165,6 +169,8 @@ class ClusterSupervisor(ExecutionBackend):
         checkpoint_every: int = 0,
         retry: RetryPolicy | None = None,
         metrics=None,
+        standbys: Iterable[str] | None = None,
+        standby_check_interval_s: float = STANDBY_CHECK_INTERVAL_S,
     ):
         self._backend = backend
         self._store = store
@@ -182,6 +188,33 @@ class ClusterSupervisor(ExecutionBackend):
         self._sessions_recovered = 0
         self._steps_replayed = 0
         self._sessions_lost = 0
+        # Warm standby pool: addresses of idle workers the actuator
+        # promotes (join + rebalance) when a member dies.  FIFO order;
+        # a promoted standby leaves the pool for good.
+        self._standbys: list[str] = []
+        self._standby_health: dict[str, bool] = {}
+        self._standby_promotions = 0
+        self._stop_standby_checks = threading.Event()
+        self._standby_thread: threading.Thread | None = None
+        # Last good membership snapshot, served while recovery holds the
+        # exclusive lock (see cluster_status).
+        self._status_cache: dict | None = None
+        if standbys:
+            from .backend import parse_address
+
+            for address in standbys:
+                normalized = parse_address(address)[0]
+                if normalized not in self._standbys:
+                    self._standbys.append(normalized)
+                    self._standby_health[normalized] = False
+        if self._standbys and standby_check_interval_s > 0:
+            self._standby_thread = threading.Thread(
+                target=self._standby_check_loop,
+                args=(float(standby_check_interval_s),),
+                name="repro-standby-health",
+                daemon=True,
+            )
+            self._standby_thread.start()
         register = getattr(backend, "add_worker_down_listener", None)
         if register is not None:
             register(self._on_worker_down)
@@ -315,11 +348,100 @@ class ClusterSupervisor(ExecutionBackend):
                     address: sids for address, sids in down.items() if sids
                 }
                 if not targets:
-                    return
+                    break
                 for address, sids in targets.items():
                     self._recover_worker(address, sids)
+            # Sessions are safe; now close the loop on membership: each
+            # dead member is replaced by a warm standby, no operator step.
+            self._actuate_standbys()
         finally:
             self._recovery_lock.release()
+
+    # ------------------------------------------------------------------
+    # standby pool (the membership actuator)
+    # ------------------------------------------------------------------
+    def _probe_standby(self, address: str) -> bool:
+        """One TCP reachability probe (connect + close, no RPC)."""
+        import socket
+
+        from .backend import parse_address
+
+        _, host, port = parse_address(address)
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=STANDBY_PROBE_TIMEOUT_S
+            )
+        except OSError:
+            return False
+        sock.close()
+        return True
+
+    def _standby_check_loop(self, interval_s: float) -> None:
+        while not self._stop_standby_checks.wait(interval_s):
+            with self._lock:
+                pool = list(self._standbys)
+            for address in pool:
+                healthy = self._probe_standby(address)
+                with self._lock:
+                    if address in self._standbys:
+                        self._standby_health[address] = healthy
+
+    def _actuate_standbys(self) -> None:
+        """Replace each dead member with a warm standby.
+
+        PR 8's operator runbook (``repro cluster … leave`` the corpse,
+        ``join`` a replacement) as a closed loop: for every dead member
+        still in the fleet, drop it and ``join`` the next standby --
+        which dials, verifies the hello frame, and live-migrates exactly
+        the arcs the newcomer now owns.  Runs inside the exclusive
+        recovery pass, *after* session rescue, so the corpse holds no
+        assignments by the time it leaves.  Without a standby left the
+        corpse stays in membership (readiness keeps reporting the hole
+        rather than silently shrinking the fleet).
+        """
+        while True:
+            dead = sorted(self._backend.down_assignments())
+            with self._lock:
+                pool = list(self._standbys)
+            if not dead or not pool:
+                return
+            address = dead[0]
+            try:
+                self._backend.leave_worker(address)
+            except ReproError:
+                pass  # a racing membership op already dropped it
+            promoted = None
+            while promoted is None:
+                with self._lock:
+                    if not self._standbys:
+                        break
+                    standby = self._standbys.pop(0)
+                    self._standby_health.pop(standby, None)
+                try:
+                    self._backend.join_worker(standby)
+                except ReproError:
+                    continue  # this standby is gone too; try the next
+                promoted = standby
+            if promoted is None:
+                return
+            with self._lock:
+                self._standby_promotions += 1
+            metrics = self._metrics
+            if metrics is not None:
+                record = getattr(metrics, "record_standby_promotion", None)
+                if record is not None:
+                    record()
+
+    def standby_status(self) -> list[dict]:
+        """One row per pooled standby (address + last probe verdict)."""
+        with self._lock:
+            return [
+                {
+                    "worker": address,
+                    "healthy": self._standby_health.get(address, False),
+                }
+                for address in self._standbys
+            ]
 
     def _load_checkpoint(self, session_id: str) -> SessionState | None:
         """The session's durable checkpoint; ``None`` when absent *or*
@@ -428,6 +550,8 @@ class ClusterSupervisor(ExecutionBackend):
                 "steps_replayed": self._steps_replayed,
                 "sessions_lost": self._sessions_lost,
                 "journaled_sessions": len(self._journal),
+                "standby_promotions": self._standby_promotions,
+                "standbys_pooled": len(self._standbys),
             }
 
     # ------------------------------------------------------------------
@@ -562,6 +686,9 @@ class ClusterSupervisor(ExecutionBackend):
         return sorted(permanently | set(self._backend.lost_session_ids()))
 
     def close(self) -> None:
+        self._stop_standby_checks.set()
+        if self._standby_thread is not None:
+            self._standby_thread.join(1.0)
         self._backend.close()
 
     # ------------------------------------------------------------------
@@ -587,8 +714,41 @@ class ClusterSupervisor(ExecutionBackend):
             return self._backend.leave_worker(address)
 
     def cluster_status(self) -> dict:
-        status = self._backend.cluster_status()
+        """The membership snapshot, served from cache mid-recovery.
+
+        The live path refreshes a cached copy on every success.  While a
+        recovery pass holds the exclusive lock -- membership is actively
+        being reshaped -- or when the backend path itself fails, the
+        last-good snapshot is served with ``"cached": true`` instead of
+        blocking or erroring, so operators can watch a recovery rather
+        than being locked out of it.  Recovery counters and standby rows
+        are always live (they are the supervisor's own state).
+        """
+        status: dict | None = None
+        in_recovery = not self._recovery_lock.acquire(blocking=False)
+        if not in_recovery:
+            self._recovery_lock.release()
+        if not in_recovery:
+            try:
+                status = self._backend.cluster_status()
+            except ReproError:
+                status = None
+        if status is None:
+            with self._lock:
+                cached = self._status_cache
+            if cached is None:
+                # Nothing cached yet: the live path is the only option.
+                status = self._backend.cluster_status()
+                status["cached"] = False
+            else:
+                status = dict(cached)
+                status["cached"] = True
+        else:
+            status["cached"] = False
+            with self._lock:
+                self._status_cache = dict(status)
         status["recovery"] = self.recovery_stats()
+        status["standbys"] = self.standby_status()
         return status
 
     def worker_addresses(self) -> list[str]:

@@ -64,11 +64,20 @@ class WorkerServer:
         port: int = 0,
         max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
         fault_plan: FaultPlan | None = None,
+        capacity: float | None = None,
     ):
         self._factory = factory
         self._host = host
         self._requested_port = int(port)
         self._max_frame_bytes = int(max_frame_bytes)
+        if capacity is not None and not capacity > 0:
+            raise ServiceError(f"worker capacity must be > 0, got {capacity}")
+        #: Relative placement weight reported in ``hello``; the router
+        #: sizes this worker's ring arcs proportionally.
+        self.capacity = float(capacity) if capacity else float(os.cpu_count() or 1)
+        # EWMA of engine-op service time (per step), reported in ping
+        # replies so the router sees live load without extra RPCs.
+        self._ewma_step_s = 0.0
         self._manager: SessionManager | None = None
         self._metrics = None
         # Records only when a router frame carries a trace id, so an
@@ -126,6 +135,24 @@ class WorkerServer:
             "horizon": manager.config.horizon,
             "n_states": manager.n_states,
             "sessions": len(manager),
+            "capacity": self.capacity,
+        }
+
+    def _load(self) -> dict:
+        """The live-load heartbeat payload (answers ``ping``).
+
+        Extra keys ride the existing ping exchange the way ``trace``
+        rides call envelopes: receivers read only the keys they know,
+        so an older router that expects the bare ``"pong"`` string
+        keeps working against the ``pong: true`` marker check.
+        """
+        manager = self._manager
+        return {
+            "pong": True,
+            "capacity": self.capacity,
+            "sessions": len(manager) if manager is not None else 0,
+            "queue_depth": len(self._op_tasks),
+            "ewma_step_latency_s": self._ewma_step_s,
         }
 
     def request_stop(self) -> None:
@@ -176,6 +203,7 @@ class WorkerServer:
             delay_s = self._faults.delay_s()
             if delay_s:
                 await asyncio.sleep(delay_s)
+        queued = time.perf_counter()
         try:
             result = await loop.run_in_executor(
                 self._engine,
@@ -186,6 +214,16 @@ class WorkerServer:
                 args,
                 self._tracer,
             )
+            if op in ("step", "step_batch"):
+                # Per-step service time including engine-queue wait --
+                # the queueing signal the router's shedder cares about.
+                n = len(args) if op == "step_batch" and args else 1
+                per_step = (time.perf_counter() - queued) / max(1, n)
+                self._ewma_step_s = (
+                    per_step
+                    if self._ewma_step_s == 0.0
+                    else 0.8 * self._ewma_step_s + 0.2 * per_step
+                )
             payload = encode_ok(result, request_id)
         except Exception as error:  # noqa: BLE001 - errors travel the channel
             payload = encode_error(error, request_id)
@@ -257,7 +295,7 @@ class WorkerServer:
                     if self._faults is not None and self._faults.blackholed():
                         continue  # scripted partition: the ping vanishes
                     await self._reply(
-                        writer, write_lock, encode_ok("pong", request_id)
+                        writer, write_lock, encode_ok(self._load(), request_id)
                     )
                 elif op == "hello":
                     await self._reply(
@@ -349,6 +387,7 @@ def run_worker(
     max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
     announce=None,
     fault_plan: FaultPlan | None = None,
+    capacity: float | None = None,
 ) -> int:
     """Run one worker until SIGINT/SIGTERM (the ``repro worker`` body).
 
@@ -356,23 +395,30 @@ def run_worker(
     the bound port once serving, ``leave`` when a SIGTERM drain exits
     cleanly, ``worker-stopped`` on every exit -- machine-readable for
     scripts that wait for readiness.  ``fault_plan`` arms deterministic
-    fault injection (see :mod:`repro.cluster.chaos`).
+    fault injection (see :mod:`repro.cluster.chaos`); ``capacity`` sets
+    the placement weight reported to routers (default: CPU count).
     """
-    server = WorkerServer(factory, host, port, max_frame_bytes, fault_plan)
+    server = WorkerServer(
+        factory, host, port, max_frame_bytes, fault_plan, capacity
+    )
     return asyncio.run(_serve_until_signalled(server, announce))
 
 
 # ----------------------------------------------------------------------
 # local spawning (tests, benchmarks, examples)
 # ----------------------------------------------------------------------
-def _local_worker_main(conn, factory, host, max_frame_bytes, fault_plan) -> None:
+def _local_worker_main(
+    conn, factory, host, max_frame_bytes, fault_plan, capacity=None
+) -> None:
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):
         pass
 
     async def main() -> None:
-        server = WorkerServer(factory, host, 0, max_frame_bytes, fault_plan)
+        server = WorkerServer(
+            factory, host, 0, max_frame_bytes, fault_plan, capacity
+        )
         try:
             await server.start()
         except BaseException as error:  # noqa: BLE001 - report, then die
@@ -401,6 +447,7 @@ def spawn_local_worker(
     max_frame_bytes: int = MAX_RPC_FRAME_BYTES,
     spawn_timeout_s: float = LOCAL_SPAWN_TIMEOUT_S,
     fault_plan: FaultPlan | None = None,
+    capacity: float | None = None,
 ):
     """Start a worker in a child process on an OS-assigned port.
 
@@ -410,13 +457,14 @@ def spawn_local_worker(
     :class:`ServiceError` when the worker fails to come up (the
     factory's error message is included).  ``fault_plan`` arms the
     child's deterministic fault injection -- the test-side counterpart
-    of ``repro worker --fault-plan``.
+    of ``repro worker --fault-plan``; ``capacity`` sets its placement
+    weight (``repro worker --capacity``).
     """
     ctx = context if context is not None else default_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
         target=_local_worker_main,
-        args=(child_conn, factory, host, max_frame_bytes, fault_plan),
+        args=(child_conn, factory, host, max_frame_bytes, fault_plan, capacity),
         name="repro-cluster-worker",
         daemon=True,
     )

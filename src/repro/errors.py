@@ -119,6 +119,23 @@ class ServiceBusyError(ServiceError):
     """
 
 
+class OverloadedError(ServiceBusyError):
+    """Load shedding rejected a request before execution (retryable).
+
+    Raised by the server's admission layer when a request's deadline is
+    already blown by queueing, or when sustained queue delay trips the
+    CoDel-style shedder.  The session's state is untouched -- the shed
+    happens strictly *before* execution -- so a client that retries
+    after ``retry_after_ms`` observes the same bit-identical stream it
+    would have seen without the shed.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int | None = None):
+        super().__init__(message)
+        #: Server's backoff hint in milliseconds (``None`` when unknown).
+        self.retry_after_ms = retry_after_ms
+
+
 class ShardDownError(ServiceError):
     """A shard worker process died; its sessions are unreachable.
 

@@ -62,9 +62,10 @@ cluster backend scales past the machine with the same routing contract
 
 from ..engine.backend import ExecutionBackend, InProcessBackend, as_backend
 from ..engine.shard import ShardPool, shard_for
-from .client import AsyncServiceClient, ServiceClient
+from .client import AsyncServiceClient, RetryPolicy, ServiceClient
 from .executor import SessionExecutor, StepBatcher, default_workers
 from .metrics import LatencyHistogram, ServiceMetrics
+from .shedding import LoadShedder, ShedConfig
 from .protocol import (
     PROTOCOL_VERSION,
     Request,
@@ -92,10 +93,12 @@ __all__ = [
     "ExecutionBackend",
     "InProcessBackend",
     "LatencyHistogram",
+    "LoadShedder",
     "MemorySessionStore",
     "PROTOCOL_VERSION",
     "ReleaseServer",
     "Request",
+    "RetryPolicy",
     "SQLiteSessionStore",
     "ServerConfig",
     "ServiceClient",
@@ -103,6 +106,7 @@ __all__ = [
     "SessionExecutor",
     "SessionStore",
     "ShardPool",
+    "ShedConfig",
     "StepBatcher",
     "as_backend",
     "decode_frame",

@@ -10,6 +10,13 @@ Both raise the server's *typed* exceptions: an admission rejection
 arrives as :class:`~repro.errors.ServiceBusyError`, lifecycle misuse as
 :class:`~repro.errors.SessionError`, and so on (see
 :mod:`repro.service.protocol`).
+
+Load shedding: a server past its queue-delay target answers with the
+retryable ``overloaded`` code carrying a ``retry_after_ms`` hint.  Pass
+a :class:`RetryPolicy` to either client and its ``request`` loop waits
+out the hint (or its own backoff when the server gave none) and
+re-sends -- safe by construction, because shed requests are rejected
+strictly before execution, so a retry can never double-apply a step.
 """
 
 from __future__ import annotations
@@ -17,9 +24,34 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
+from dataclasses import dataclass, replace
 
-from ..errors import ServiceError
+from ..errors import OverloadedError, ServiceError
 from .protocol import MAX_FRAME_BYTES, Request, parse_reply
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client waits out ``overloaded`` rejections.
+
+    The server's ``retry_after_ms`` hint (sized to its current drain
+    time) is authoritative when present; otherwise exponential backoff
+    from ``base_wait_s`` applies.  Either way the wait is capped at
+    ``max_wait_s``, and after ``max_retries`` failed attempts the
+    :class:`~repro.errors.OverloadedError` propagates to the caller.
+    """
+
+    max_retries: int = 4
+    base_wait_s: float = 0.05
+    backoff: float = 2.0
+    max_wait_s: float = 10.0
+
+    def wait_s(self, attempt: int, retry_after_ms: int | None) -> float:
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        if retry_after_ms is not None:
+            return min(self.max_wait_s, retry_after_ms / 1e3)
+        return min(self.max_wait_s, self.base_wait_s * self.backoff**attempt)
 
 _ENVELOPE_KEYS = ("v", "id", "ok", "op")
 
@@ -39,21 +71,29 @@ def _scenario_json(scenario) -> dict | None:
 class AsyncServiceClient:
     """Pipelined asyncio client for one server connection."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        retry: RetryPolicy | None = None,
+    ):
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
         self._pending: dict[object, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
+        self._retry = retry
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncServiceClient":
+    async def connect(
+        cls, host: str, port: int, retry: RetryPolicy | None = None
+    ) -> "AsyncServiceClient":
         """Open a connection and start the reply reader."""
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_FRAME_BYTES
         )
-        return cls(reader, writer)
+        return cls(reader, writer, retry=retry)
 
     async def _read_loop(self) -> None:
         error: BaseException = ServiceError("connection closed by server")
@@ -89,18 +129,28 @@ class AsyncServiceClient:
             self._pending.clear()
 
     async def request(self, request: Request) -> dict:
-        """Send one frame and await its matched reply payload."""
+        """Send one frame and await its matched reply payload.
+
+        With a :class:`RetryPolicy`, ``overloaded`` rejections are
+        waited out (honoring the server's ``retry_after_ms`` hint) and
+        the request re-sent under a fresh correlation id.
+        """
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(request)
+            except OverloadedError as error:
+                if self._retry is None or attempt >= self._retry.max_retries:
+                    raise
+                await asyncio.sleep(
+                    self._retry.wait_s(attempt, error.retry_after_ms)
+                )
+                attempt += 1
+                request = replace(request, request_id=None)
+
+    async def _request_once(self, request: Request) -> dict:
         if request.request_id is None:
-            request = Request(
-                op=request.op,
-                request_id=next(self._ids),
-                session=request.session,
-                cell=request.cell,
-                seed=request.seed,
-                scenario=request.scenario,
-                worker=request.worker,
-                extra=request.extra,
-            )
+            request = replace(request, request_id=next(self._ids))
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request.request_id] = future
         async with self._write_lock:
@@ -128,9 +178,18 @@ class AsyncServiceClient:
         )
         return reply["session"]
 
-    async def step(self, session: str, cell: int) -> dict:
-        """Release one location; returns the release record."""
-        return await self.request(Request(op="step", session=session, cell=cell))
+    async def step(
+        self, session: str, cell: int, deadline_ms: int | None = None
+    ) -> dict:
+        """Release one location; returns the release record.
+
+        ``deadline_ms`` is the request's total latency budget: the
+        server sheds it (retryably) instead of executing once the
+        queue wait alone has blown the budget.
+        """
+        return await self.request(
+            Request(op="step", session=session, cell=cell, deadline_ms=deadline_ms)
+        )
 
     async def peek_budget(self, session: str) -> float:
         """The budget the session's next step starts calibrating from."""
@@ -202,24 +261,39 @@ class AsyncServiceClient:
 class ServiceClient:
     """Blocking client: one request at a time over a plain socket."""
 
-    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        retry: RetryPolicy | None = None,
+    ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        self._retry = retry
 
     def request(self, request: Request) -> dict:
-        """Send one frame, block for its reply, return the payload."""
+        """Send one frame, block for its reply, return the payload.
+
+        With a :class:`RetryPolicy`, ``overloaded`` rejections are
+        waited out (honoring the server's ``retry_after_ms`` hint) and
+        the request re-sent under a fresh correlation id.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(request)
+            except OverloadedError as error:
+                if self._retry is None or attempt >= self._retry.max_retries:
+                    raise
+                time.sleep(self._retry.wait_s(attempt, error.retry_after_ms))
+                attempt += 1
+                request = replace(request, request_id=None)
+
+    def _request_once(self, request: Request) -> dict:
         if request.request_id is None:
-            request = Request(
-                op=request.op,
-                request_id=next(self._ids),
-                session=request.session,
-                cell=request.cell,
-                seed=request.seed,
-                scenario=request.scenario,
-                worker=request.worker,
-                extra=request.extra,
-            )
+            request = replace(request, request_id=next(self._ids))
         self._file.write(request.to_frame())
         self._file.flush()
         line = self._file.readline(MAX_FRAME_BYTES + 2)
@@ -241,9 +315,13 @@ class ServiceClient:
             )
         )["session"]
 
-    def step(self, session: str, cell: int) -> dict:
-        """Release one location; returns the release record."""
-        return self.request(Request(op="step", session=session, cell=cell))
+    def step(
+        self, session: str, cell: int, deadline_ms: int | None = None
+    ) -> dict:
+        """Release one location (``deadline_ms`` as in the async client)."""
+        return self.request(
+            Request(op="step", session=session, cell=cell, deadline_ms=deadline_ms)
+        )
 
     def peek_budget(self, session: str) -> float:
         """The budget the session's next step starts calibrating from."""

@@ -20,6 +20,9 @@ snapshot key        family (label)                         kind
 ``releases``        ``repro_releases_total`` (kind)        counter
 ``failures``        ``repro_failures_total`` (kind)        counter
 ``recoveries``      ``repro_recoveries_total`` (kind)      counter
+``shed``            ``repro_shed_total`` (op, reason)      counter
+``standby_          ``repro_standby_promotions_total``     counter
+promotions``
 ``step_latency``    ``repro_step_latency_seconds``         histogram
 ``scenario_step_    ``repro_scenario_step_latency_         histogram
 latency``           seconds`` (digest)
@@ -88,6 +91,15 @@ class ServiceMetrics:
             "Checkpoint-replay recoveries: worker / session / replayed_step",
             ("kind",),
         )
+        self._shed = self._registry.counter(
+            "repro_shed_total",
+            "Requests shed before execution, by op and trigger",
+            ("op", "reason"),
+        )
+        self._standby_promotions = self._registry.counter(
+            "repro_standby_promotions_total",
+            "Warm standbys auto-joined to replace dead workers",
+        )
         self._step_latency = self._registry.histogram(
             "repro_step_latency_seconds", "End-to-end step latency"
         )
@@ -140,6 +152,20 @@ class ServiceMetrics:
         if n:
             self._recoveries.inc(n, kind=kind)
 
+    def record_shed(self, op: str, reason: str) -> None:
+        """Count one request shed before execution.
+
+        ``reason`` is the trigger: ``deadline`` (the request's own
+        ``deadline_ms`` was blown by queue wait) or ``queue_delay``
+        (the CoDel-style sustained-delay trigger).
+        """
+        self._shed.inc(op=op, reason=reason)
+
+    def record_standby_promotion(self, n: int = 1) -> None:
+        """Count warm standbys auto-joined to replace dead workers."""
+        if n:
+            self._standby_promotions.inc(n)
+
     def record_session_event(self, event: str, n: int = 1) -> None:
         """Count a lifecycle event: opened/finished/evicted/restored/migrated."""
         self._sessions.inc(n, event=event)
@@ -180,6 +206,8 @@ class ServiceMetrics:
                 "releases": self._releases.as_dict(),
                 "failures": self._failures.as_dict(),
                 "recoveries": self._recoveries.as_dict(),
+                "shed": self._shed.as_dict(),
+                "standby_promotions": self._standby_promotions.total(),
                 "step_latency": self._step_latency.get().snapshot(),
                 "scenario_step_latency": self._scenario_latency.snapshots(),
             }
@@ -202,6 +230,8 @@ class ServiceMetrics:
                 "releases": self._releases.as_dict(),
                 "failures": self._failures.as_dict(),
                 "recoveries": self._recoveries.as_dict(),
+                "shed": self._shed.as_dict(),
+                "standby_promotions": self._standby_promotions.total(),
                 "step_latency": self._step_latency.get().state(),
                 "scenario_step_latency": {
                     digest: histogram.state()
@@ -231,6 +261,12 @@ class ServiceMetrics:
                 self._failures.inc(int(count), kind=kind)
             for kind, count in dump.get("recoveries", {}).items():
                 self._recoveries.inc(int(count), kind=kind)
+            for key, count in dump.get("shed", {}).items():
+                op, _, reason = key.partition("|")
+                self._shed.inc(int(count), op=op, reason=reason)
+            promotions = int(dump.get("standby_promotions", 0))
+            if promotions:
+                self._standby_promotions.inc(promotions)
             self._step_latency.get().merge_state(dump["step_latency"])
             for digest, state in dump.get("scenario_step_latency", {}).items():
                 self._scenario_latency.merge_state(

@@ -75,6 +75,7 @@ from ..errors import (
     CalibrationError,
     FrameTooLargeError,
     MechanismError,
+    OverloadedError,
     ProtocolError,
     QuantificationError,
     ReproError,
@@ -118,6 +119,7 @@ WORKER_OPS = frozenset({"migrate", "join", "leave"})
 #: :data:`_CODES_BY_TYPE` below decides how server-side exceptions map
 #: back (most-derived first).
 ERROR_CODES: dict[str, type[ReproError]] = {
+    "overloaded": OverloadedError,
     "busy": ServiceBusyError,
     "worker_down": WorkerDownError,
     "shard_down": ShardDownError,
@@ -147,8 +149,12 @@ def error_code_for(error: BaseException) -> str:
     return "internal"
 
 
-def exception_for(code: str, message: str) -> ReproError:
+def exception_for(
+    code: str, message: str, retry_after_ms: int | None = None
+) -> ReproError:
     """Rebuild the server-side exception from an error frame (client side)."""
+    if code == "overloaded":
+        return OverloadedError(message, retry_after_ms=retry_after_ms)
     return ERROR_CODES.get(code, ReproError)(message)
 
 
@@ -163,6 +169,7 @@ class Request:
     seed: int | None = None
     scenario: dict | None = None
     worker: str | None = None
+    deadline_ms: int | None = None
     extra: dict = field(default_factory=dict)
 
     def to_frame(self) -> bytes:
@@ -178,6 +185,8 @@ class Request:
             frame["scenario"] = self.scenario
         if self.worker is not None:
             frame["worker"] = self.worker
+        if self.deadline_ms is not None:
+            frame["deadline_ms"] = self.deadline_ms
         frame.update(self.extra)
         return encode_frame(frame)
 
@@ -274,6 +283,16 @@ def parse_request(line: bytes | str) -> Request:
                 raise ProtocolError("'worker' must be a non-empty address")
         elif op in WORKER_OPS:
             raise ProtocolError(f"op {op!r} requires a 'worker' field")
+        deadline_ms = frame.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                not isinstance(deadline_ms, int)
+                or isinstance(deadline_ms, bool)
+                or deadline_ms <= 0
+            ):
+                raise ProtocolError(
+                    f"'deadline_ms' must be a positive integer, got {deadline_ms!r}"
+                )
         extra = {}
         spans = frame.get("spans")
         if spans is not None:
@@ -297,6 +316,7 @@ def parse_request(line: bytes | str) -> Request:
         seed=seed,
         scenario=scenario,
         worker=worker,
+        deadline_ms=deadline_ms,
         extra=extra,
     )
 
@@ -310,12 +330,16 @@ def ok_frame(request_id: object, op: str, payload: dict) -> bytes:
 
 def error_frame(request_id: object, error: BaseException) -> bytes:
     """A typed error reply for ``error``."""
+    body: dict = {"code": error_code_for(error), "message": str(error)}
+    retry_after_ms = getattr(error, "retry_after_ms", None)
+    if retry_after_ms is not None:
+        body["retry_after_ms"] = int(retry_after_ms)
     return encode_frame(
         {
             "v": PROTOCOL_VERSION,
             "id": request_id,
             "ok": False,
-            "error": {"code": error_code_for(error), "message": str(error)},
+            "error": body,
         }
     )
 
@@ -333,6 +357,11 @@ def parse_reply(line: bytes | str) -> dict:
     error = frame.get("error")
     if not isinstance(error, dict):
         raise ProtocolError(f"reply is neither ok nor a typed error: {frame!r}")
-    exception = exception_for(str(error.get("code")), str(error.get("message")))
+    retry_after_ms = error.get("retry_after_ms")
+    if not isinstance(retry_after_ms, int) or isinstance(retry_after_ms, bool):
+        retry_after_ms = None
+    exception = exception_for(
+        str(error.get("code")), str(error.get("message")), retry_after_ms
+    )
     exception.request_id = frame.get("id")  # type: ignore[attr-defined]
     raise exception

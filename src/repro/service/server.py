@@ -56,6 +56,7 @@ from ..obs.trace import NULL_TRACER, Tracer, activate, deactivate, new_trace_id
 from ..scenario import ScenarioRegistry
 from .executor import SessionExecutor, StepBatcher
 from .metrics import ServiceMetrics
+from .shedding import LoadShedder, ShedConfig
 from .protocol import (
     MAX_FRAME_BYTES,
     Request,
@@ -101,6 +102,17 @@ class ServerConfig:
     metrics_port: int | None = None
     #: Host for the sidecar listener (``None`` = the serving host).
     metrics_host: str | None = None
+    #: Load shedding: acceptable standing executor queue delay (the
+    #: CoDel target).  Once the measured delay stays above this for
+    #: ``shed_interval_ms`` the server sheds ``open`` (then ``step``)
+    #: requests with the retryable ``overloaded`` code instead of
+    #: letting every queue grow without bound.  ``0`` disables the
+    #: queue-delay trigger; requests carrying ``deadline_ms`` are
+    #: still shed when their deadline is blown.
+    shed_target_ms: float = 100.0
+    #: How long the queue delay must stay above target before the
+    #: queue-delay trigger starts shedding.
+    shed_interval_ms: float = 1000.0
 
 
 def _merge_cache_rows(rows: list[dict]) -> dict | None:
@@ -189,6 +201,14 @@ class ReleaseServer:
         )
         self._executor = SessionExecutor(
             self._config.workers, shards=self._backend.n_shards
+        )
+        self._shedder = LoadShedder(
+            ShedConfig(
+                target_ms=self._config.shed_target_ms,
+                interval_ms=self._config.shed_interval_ms,
+            ),
+            metrics=self._metrics,
+            queue_depth=self._executor.queue_depth,
         )
         self._batcher = (
             StepBatcher(
@@ -314,6 +334,16 @@ class ReleaseServer:
             "repro_draining",
             "1 while a graceful drain is in progress",
             fn=lambda: float(self._draining.is_set()),
+        )
+        registry.gauge(
+            "repro_overload_level",
+            "Load-shedding level: 0 normal, 1 shedding open, 2 shedding step",
+            fn=lambda: self._shedder.level,
+        )
+        registry.gauge(
+            "repro_queue_delay_ewma_seconds",
+            "Smoothed executor queue-wait estimate driving load shedding",
+            fn=lambda: self._shedder.delay_ms / 1e3,
         )
 
     async def start(self) -> None:
@@ -472,7 +502,10 @@ class ReleaseServer:
                 await self._write(writer, write_lock, reply)
                 return
             self._metrics.record_request(request.op)
-            traced = self._tracer.enabled
+            # Brownout: while the shedder reports sustained overload,
+            # per-request tracing is the first thing to go -- overhead
+            # shed before any request is.
+            traced = self._tracer.enabled and not self._shedder.brownout
             trace_id = new_trace_id() if traced else None
             started = time.perf_counter() if traced else 0.0
             try:
@@ -514,6 +547,11 @@ class ReleaseServer:
     # ops
     # ------------------------------------------------------------------
     async def _dispatch(self, request: Request, trace_id: str | None = None) -> dict:
+        # Admission control: shed before any work is queued.  Raises
+        # the retryable ``overloaded`` error when the request's own
+        # deadline is already blown by the estimated queue delay, or
+        # when sustained overload sheds this op's priority class.
+        self._shedder.admit(request.op, request.deadline_ms)
         if request.op == "open":
             return await self._op_open(request)
         if request.op == "step":
@@ -533,6 +571,24 @@ class ReleaseServer:
         if request.op == "cluster_status":
             return await self._op_cluster_status(request)
         return await self._op_stats(request)
+
+    def _measured(self, op: str, deadline_ms: int | None, fn):
+        """Wrap a pool closure to feed the shedder its measured queue wait.
+
+        The wait runs from submission to the moment the closure starts
+        on a worker thread; a deadline blown by that wait sheds here,
+        strictly before ``fn`` touches any session state.
+        """
+        shedder = self._shedder
+        submitted = time.perf_counter()
+
+        def wrapped():
+            waited = time.perf_counter() - submitted
+            shedder.observe(waited)
+            shedder.check_deadline(op, deadline_ms, waited)
+            return fn()
+
+        return wrapped
 
     async def _op_open(self, request: Request) -> dict:
         if self._draining.is_set():
@@ -557,7 +613,12 @@ class ReleaseServer:
             # shard's in-flight batch, and compiling a first-seen
             # scenario builds O(m^2) models.
             horizon = await self._executor.run(
-                sid, lambda: self._backend.open(sid, seed, spec)
+                sid,
+                self._measured(
+                    "open",
+                    request.deadline_ms,
+                    lambda: self._backend.open(sid, seed, spec),
+                ),
             )
         else:
             horizon = await self._executor.run_inline(
@@ -585,15 +646,21 @@ class ReleaseServer:
         sid, cell = request.session, request.cell
         assert sid is not None and cell is not None
 
-        if self._batcher is not None:
+        # Brownout bypasses the batch window: its added latency is the
+        # second overhead shed (after tracing) before any request is.
+        if self._batcher is not None and not self._shedder.brownout:
             restored, record = await self._batcher.submit(sid, cell, trace_id)
         elif trace_id is not None:
             tracer = self._tracer
+            shedder = self._shedder
+            deadline_ms = request.deadline_ms
             submitted = time.perf_counter()
 
             def _traced_step():
                 started = time.perf_counter()
                 tracer.record("queue_wait", trace_id, started - submitted, session=sid)
+                shedder.observe(started - submitted)
+                shedder.check_deadline("step", deadline_ms, started - submitted)
                 # Activate the trace on this pool thread so the
                 # backend's RPC clients can stamp the wire frame.
                 token = activate(tracer, trace_id)
@@ -620,7 +687,9 @@ class ReleaseServer:
                 # typed error code.
                 return restored, self._backend.step(sid, cell)
 
-            restored, record = await self._executor.run(sid, _step)
+            restored, record = await self._executor.run(
+                sid, self._measured("step", request.deadline_ms, _step)
+            )
         if restored:
             self._metrics.record_session_event("restored")
         self._metrics.record_step(record.elapsed_s, record)
@@ -639,7 +708,9 @@ class ReleaseServer:
             restored = self._restore_if_suspended(sid)
             return restored, self._backend.peek_budget(sid)
 
-        restored, budget = await self._executor.run(sid, _peek)
+        restored, budget = await self._executor.run(
+            sid, self._measured("peek_budget", request.deadline_ms, _peek)
+        )
         if restored:
             self._metrics.record_session_event("restored")
         self._touch(sid)
@@ -658,7 +729,9 @@ class ReleaseServer:
             self._store.delete(sid)
             return restored, log
 
-        restored, log = await self._executor.run(sid, _finish)
+        restored, log = await self._executor.run(
+            sid, self._measured("finish", request.deadline_ms, _finish)
+        )
         if restored:
             self._metrics.record_session_event("restored")
         self._open.pop(sid, None)
@@ -686,7 +759,9 @@ class ReleaseServer:
             self._store.put(state)
             return restored, state
 
-        restored, state = await self._executor.run(sid, _checkpoint)
+        restored, state = await self._executor.run(
+            sid, self._measured("checkpoint", request.deadline_ms, _checkpoint)
+        )
         if restored:
             self._metrics.record_session_event("restored")
         self._touch(sid)
@@ -825,6 +900,7 @@ class ReleaseServer:
         snapshot["batching"] = (
             None if self._batcher is None else self._batcher.stats()
         )
+        snapshot["shedding"] = self._shedder.stats()
         snapshot["tracing"] = self._tracer.stats()
         snapshot["event_loop"] = self._loop_probe.snapshot()
         if spans > 0:

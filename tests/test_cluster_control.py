@@ -18,6 +18,7 @@ The load-bearing guarantees of :mod:`repro.cluster.control`:
 """
 
 import json
+import threading
 import time
 
 import pytest
@@ -495,6 +496,205 @@ class TestScriptedKill:
                 assert armed_proc.exitcode == 137  # died exactly as scripted
         finally:
             stop_fleet([armed_proc, calm_proc])
+
+
+class TestCachedStatus:
+    def test_status_serves_cached_view_mid_recovery(self):
+        """While a recovery pass holds the exclusive lock the status op
+        answers from the last-good snapshot (flagged ``cached``) instead
+        of blocking behind membership surgery -- the regression where a
+        mid-recovery ``cluster_status`` hung the operator's probe."""
+        procs, addresses = spawn_fleet(2)
+        try:
+            with make_supervisor(addresses, MemorySessionStore()) as sup:
+                live = sup.cluster_status()
+                assert live["cached"] is False
+                assert len(live["workers"]) == 2
+                assert sup._recovery_lock.acquire(blocking=False)
+                try:
+                    held = sup.cluster_status()
+                finally:
+                    sup._recovery_lock.release()
+                assert held["cached"] is True
+                assert [w["worker"] for w in held["workers"]] == [
+                    w["worker"] for w in live["workers"]
+                ]
+                # recovery counters and standby rows stay live even on
+                # the cached path (they are the supervisor's own state)
+                assert held["recovery"]["sessions_lost"] == 0
+                assert held["standbys"] == []
+                # lock released: straight back to the live path
+                assert sup.cluster_status()["cached"] is False
+        finally:
+            stop_fleet(procs)
+
+    def test_first_status_under_the_lock_goes_live(self):
+        """No snapshot cached yet: the live path is the only option, so
+        it is used even mid-recovery rather than erroring."""
+        procs, addresses = spawn_fleet(2)
+        try:
+            with make_supervisor(addresses, MemorySessionStore()) as sup:
+                assert sup._recovery_lock.acquire(blocking=False)
+                try:
+                    status = sup.cluster_status()
+                finally:
+                    sup._recovery_lock.release()
+                assert status["cached"] is False
+                assert len(status["workers"]) == 2
+        finally:
+            stop_fleet(procs)
+
+
+class TestStandbys:
+    def test_dead_member_is_replaced_by_a_warm_standby(self, tmp_path):
+        """The membership actuator closes PR 8's operator loop: a kill
+        heals sessions onto the survivor *and* auto-joins the pooled
+        standby in the corpse's place -- bit-identical streams, zero
+        loss, one counted promotion."""
+        procs, addresses = spawn_fleet(2)
+        standby_proc, standby = spawn_local_worker(make_manager)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        metrics = ServiceMetrics()
+        try:
+            trajectories = make_trajectories(24, seed=83)
+            reference = reference_records(trajectories)
+            with make_supervisor(
+                addresses,
+                store,
+                checkpoint_every=1,
+                standbys=[standby],
+                standby_check_interval_s=0.05,
+            ) as sup:
+                sup.bind_metrics(metrics)
+                deadline = time.time() + 10.0
+                while time.time() < deadline:
+                    rows = sup.standby_status()
+                    if rows and rows[0]["healthy"]:
+                        break
+                    time.sleep(0.02)
+                assert sup.standby_status() == [
+                    {"worker": standby, "healthy": True}
+                ]
+                for i, name in enumerate(trajectories):
+                    sup.open(name, seed=1000 + i)
+                got = {n: [] for n in trajectories}
+                for t in range(3):
+                    for name in trajectories:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                victim = sup.backend.shard_stats()[0]["worker"]
+                survivor = next(a for a in addresses if a != victim)
+                kill_worker(procs, addresses, victim)
+                for t in range(3, HORIZON):
+                    for name in trajectories:
+                        got[name].append(
+                            strip(sup.step(name, trajectories[name][t]))
+                        )
+                assert got == reference
+                assert sup.lost_session_ids() == []
+                # the fleet healed to full strength without an operator
+                assert sorted(sup.backend.worker_addresses()) == sorted(
+                    [survivor, standby]
+                )
+                assert sup.standby_status() == []  # pool spent
+                stats = sup.recovery_stats()
+                assert stats["standby_promotions"] == 1
+                assert stats["standbys_pooled"] == 0
+                assert stats["sessions_lost"] == 0
+                assert metrics.snapshot()["standby_promotions"] == 1
+        finally:
+            stop_fleet(procs)
+            stop_fleet([standby_proc])
+
+    def test_without_a_standby_the_corpse_stays_visible(self):
+        """An empty pool must not silently shrink the fleet: the dead
+        member remains in membership, reporting the hole."""
+        procs, addresses = spawn_fleet(2)
+        metrics = ServiceMetrics()
+        try:
+            with make_supervisor(
+                addresses, MemorySessionStore(), checkpoint_every=1
+            ) as sup:
+                sup.bind_metrics(metrics)
+                victim = addresses[0]
+                kill_worker(procs, addresses, victim)
+                sup._run_recoveries(wait=True)
+                assert victim in sup.backend.worker_addresses()
+                assert sup.recovery_stats()["standby_promotions"] == 0
+                assert metrics.snapshot()["standby_promotions"] == 0
+        finally:
+            stop_fleet(procs)
+
+    def test_standby_promotion_under_load(self, tmp_path):
+        """The chaos drill: a worker dies while concurrent drivers are
+        actively stepping a durable fleet.  Every stream heals inline
+        and finishes bit-identical, zero sessions are lost, and the
+        warm standby is holding the corpse's arcs by the time the load
+        completes."""
+        procs, addresses = spawn_fleet(2)
+        standby_proc, standby = spawn_local_worker(make_manager)
+        store = DirectorySessionStore(str(tmp_path / "ckpt"))
+        try:
+            trajectories = make_trajectories(32, seed=89)
+            reference = reference_records(trajectories)
+            names = list(trajectories)
+            with make_supervisor(
+                addresses, store, checkpoint_every=1, standbys=[standby]
+            ) as sup:
+                for i, name in enumerate(names):
+                    sup.open(name, seed=1000 + i)
+                got = {n: [] for n in names}
+                errors: list[Exception] = []
+                started = threading.Barrier(5)
+
+                def drive(shard: list[str]) -> None:
+                    try:
+                        started.wait(timeout=10)
+                        for t in range(HORIZON):
+                            for name in shard:
+                                got[name].append(
+                                    strip(sup.step(name, trajectories[name][t]))
+                                )
+                                time.sleep(0.002)  # paced, not lockstep
+                    except Exception as error:  # pragma: no cover
+                        errors.append(error)
+
+                threads = [
+                    threading.Thread(target=drive, args=(names[k::4],))
+                    for k in range(4)
+                ]
+                for thread in threads:
+                    thread.start()
+                started.wait(timeout=10)
+                time.sleep(0.05)  # the fleet is mid-flight
+                victim = sup.backend.shard_stats()[0]["worker"]
+                survivor = next(a for a in addresses if a != victim)
+                kill_worker(procs, addresses, victim)
+                for thread in threads:
+                    thread.join(timeout=120)
+                assert not any(thread.is_alive() for thread in threads)
+                assert errors == []
+                assert got == reference  # bit-identical across the kill
+                assert sup.lost_session_ids() == []
+                stats = sup.recovery_stats()
+                assert stats["sessions_lost"] == 0
+                assert stats["standby_promotions"] == 1
+                assert sorted(sup.backend.worker_addresses()) == sorted(
+                    [survivor, standby]
+                )
+                # the promoted standby is really serving: it owns ring
+                # arcs and answers steps (the fleet is at full strength)
+                status = sup.cluster_status()
+                standby_row = next(
+                    row for row in status["workers"]
+                    if row["worker"] == standby
+                )
+                assert standby_row["alive"] is True
+                assert standby_row["ring_points"] > 0
+        finally:
+            stop_fleet(procs)
+            stop_fleet([standby_proc])
 
 
 class _CascadeBackend:

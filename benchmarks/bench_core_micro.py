@@ -100,3 +100,28 @@ def test_bench_qp_scaling_in_m(benchmark):
     options = SolverOptions()
     result = benchmark(lambda: maximize_rank_one_simplex(cond, options))
     assert result.n_evaluations >= 1000
+
+
+def test_bench_batch_dispatch_small_m(benchmark):
+    """Repeated small-m batched solves: the per-call dispatch floor.
+
+    K = 64 conditions at m = 16 finish their sweeps in microseconds, so
+    this isolates what `solve_conditions_batch` pays per call -- packing
+    into the thread-local coefficient scratch plus one kernel dispatch
+    -- the cost the engine's `_check_all` / lockstep stepping pays every
+    round on small maps.
+    """
+    from repro.core.qp import solve_conditions_batch
+
+    rng = np.random.default_rng(4)
+    conditions = [
+        RankOneCondition(
+            u=rng.uniform(size=16),
+            v=rng.normal(size=16),
+            w=rng.normal(size=16) - 4.0,
+        )
+        for _ in range(64)
+    ]
+    options = SolverOptions()
+    results = benchmark(lambda: solve_conditions_batch(conditions, options))
+    assert len(results) == 64

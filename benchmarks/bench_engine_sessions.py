@@ -238,3 +238,115 @@ def test_bench_session_manager_batched(save_result, save_json, request):
     for row in rows:
         if row["mode"] == "step_many":
             assert row["speedup_vs_sequential"] >= 0.9, row
+
+
+# ----------------------------------------------------------------------
+# sparse-chain mode: CSR vs dense front propagation on a lazy walk
+# ----------------------------------------------------------------------
+
+#: Sparse-mode workload: 12x12 lazy walk (m = 144, density ~0.056) --
+#: the banded-chain regime the CSR front-propagation path targets.
+SPARSE_GRID = 12
+SPARSE_HORIZON = 4
+SPARSE_SESSIONS = 60
+
+
+def test_bench_session_manager_sparse_chain(
+    save_result, save_json, monkeypatch
+):
+    """Dense vs CSR front propagation on a banded lazy-walk chain.
+
+    ``REPRO_SPARSE_FRONT`` is resolved once per model at construction,
+    so each mode builds its own manager; the release streams must agree
+    before either timing counts (the two backends differ by ulps in the
+    propagated fronts, which the verdict margins absorb).
+    """
+    from repro.geo.grid import GridMap
+    from repro.geo.regions import Region
+    from repro.events.events import PresenceEvent
+    from repro.markov.synthetic import lazy_random_walk_transitions
+
+    grid = GridMap(SPARSE_GRID, SPARSE_GRID, cell_size_km=1.0)
+    m = grid.n_cells
+    chain = lazy_random_walk_transitions(grid, stay_probability=0.3)
+    initial = np.full(m, 1.0 / m)
+    rng = np.random.default_rng(2)
+    trajectories = {
+        f"u{i}": sample_trajectory(
+            chain, SPARSE_HORIZON, initial=initial, rng=rng
+        )
+        for i in range(SPARSE_SESSIONS)
+    }
+
+    def build():
+        return (
+            SessionBuilder()
+            .with_grid(grid)
+            .with_chain(chain)
+            .protecting(
+                PresenceEvent(Region.from_range(m, 0, 18), start=2, end=3)
+            )
+            .with_mechanism(PlanarLaplaceMechanism(grid, 0.5))
+            .with_epsilon(0.4)
+            .with_worst_case_prior()
+            .with_horizon(SPARSE_HORIZON)
+        )
+
+    rows = []
+    logs_by_mode = {}
+    timings = {}
+    for mode in ("never", "always"):
+        monkeypatch.setenv("REPRO_SPARSE_FRONT", mode)
+        best, logs = None, None
+        for _ in range(2):
+            elapsed, run_logs = _drive_mode(
+                None, build(), trajectories, SPARSE_HORIZON, batched=True
+            )
+            if best is None or elapsed < best:
+                best, logs = elapsed, run_logs
+        timings[mode] = best
+        logs_by_mode[mode] = logs
+    assert logs_by_mode["always"] == logs_by_mode["never"]
+
+    steps = SPARSE_SESSIONS * SPARSE_HORIZON
+    for mode in ("never", "always"):
+        rows.append(
+            {
+                "front": "sparse" if mode == "always" else "dense",
+                "sessions": SPARSE_SESSIONS,
+                "m": m,
+                "steps": steps,
+                "wall_s": round(timings[mode], 4),
+                "steps_per_s": round(steps / timings[mode], 1),
+                "speedup_vs_dense": round(timings["never"] / timings[mode], 2),
+            }
+        )
+
+    columns = [
+        "front", "sessions", "m", "steps",
+        "wall_s", "steps_per_s", "speedup_vs_dense",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            f"Sparse front propagation ({SPARSE_GRID}x{SPARSE_GRID} lazy "
+            f"walk, m={m}, {SPARSE_SESSIONS} sessions, worst-case prior; "
+            "release streams asserted identical)"
+        ),
+    )
+    save_result("bench_engine_sessions_sparse", table)
+    save_json(
+        "bench_engine_sessions_sparse",
+        params={
+            "grid": [SPARSE_GRID, SPARSE_GRID],
+            "sessions": SPARSE_SESSIONS,
+            "horizon": SPARSE_HORIZON,
+            "stay_probability": 0.3,
+            "epsilon": 0.4,
+            "alpha": 0.5,
+        },
+        rows=rows,
+    )
+    # CSR routing must never cost more than a small constant factor.
+    assert timings["always"] <= timings["never"] * 1.3, timings

@@ -25,6 +25,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.core import native
 from repro.core.qp import (
     SolverOptions,
     check_condition,
@@ -35,6 +36,14 @@ from repro.experiments.report import format_table
 
 SIZES = (64, 256)
 BATCH = 64
+
+#: Kernel-comparison sweep (native vs NumPy): sizes x coefficient
+#: structures.  "banded" conditions concentrate their non-zeros in a
+#: narrow window, the shape Theorem IV.1 produces on lazy-walk and
+#: trace-trained chains.
+SWEEP_SIZES = (16, 64, 256)
+STRUCTURES = ("dense", "banded")
+BAND_WIDTH = 5
 
 
 def _conditions(rng, k, m, mix):
@@ -59,6 +68,39 @@ def _time(fn, repeats=3):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def _banded_vector(rng, m, shift=0.0):
+    vec = np.zeros(m)
+    center = int(rng.integers(0, m))
+    lo = max(0, center - BAND_WIDTH // 2)
+    hi = min(m, lo + BAND_WIDTH)
+    vec[lo:hi] = rng.normal(size=hi - lo) + shift
+    return vec
+
+
+def _sweep_conditions(rng, k, m, structure, mix):
+    conditions = []
+    for index in range(k):
+        safe = mix == "safe" or (mix == "mixed" and index % 2 == 0)
+        shift = -4.0 if safe else 0.5
+        if structure == "dense":
+            u = rng.uniform(size=m)
+            v = rng.normal(size=m)
+            w = rng.normal(size=m) + shift
+        else:
+            u = np.abs(_banded_vector(rng, m))
+            v = _banded_vector(rng, m)
+            w = _banded_vector(rng, m, shift=shift)
+        conditions.append(RankOneCondition(u=u, v=v, w=w))
+    return conditions
+
+
+def _results_fingerprint(results):
+    return [
+        (r.status, repr(r.best_value), r.n_evaluations, r.exhausted)
+        for r in results
+    ]
 
 
 @pytest.mark.parametrize("m", SIZES)
@@ -122,3 +164,80 @@ def test_bench_solver_batch(save_result, save_json):
     for row in rows:
         assert row["speedup"] > 0.8, row
     assert max(row["speedup"] for row in rows) >= 1.5
+
+
+def test_bench_solver_kernels(save_result, save_json):
+    """Native vs NumPy kernel over the m x structure x mix sweep.
+
+    The committed pre-PR NumPy baseline lives in
+    ``results/bench_solver_batch_pre_pr_baseline.json``; the in-run
+    ``numpy_ms`` column re-measures the same code path on the current
+    machine, so ``speedup = numpy_ms / native_ms`` is the
+    apples-to-apples number the >= 3x acceptance bar is asserted on.
+    """
+    available = native.native_available()
+    rows = []
+    for m in SWEEP_SIZES:
+        for structure in STRUCTURES:
+            for mix in ("safe", "violated"):
+                rng = np.random.default_rng(100 * m + len(structure))
+                conditions = _sweep_conditions(rng, BATCH, m, structure, mix)
+                numpy_opts = SolverOptions(kernel="numpy")
+                reference = solve_conditions_batch(conditions, numpy_opts)
+                t_numpy = _time(
+                    lambda: solve_conditions_batch(conditions, numpy_opts),
+                    repeats=5,
+                )
+                row = {
+                    "m": m,
+                    "structure": structure,
+                    "mix": mix,
+                    "k": BATCH,
+                    "numpy_ms": round(t_numpy * 1e3, 3),
+                    "native_ms": None,
+                    "speedup_native": None,
+                }
+                if available:
+                    native_opts = SolverOptions(kernel="native")
+                    # bit-identity gate before trusting any timing
+                    assert _results_fingerprint(
+                        solve_conditions_batch(conditions, native_opts)
+                    ) == _results_fingerprint(reference)
+                    t_native = _time(
+                        lambda: solve_conditions_batch(conditions, native_opts),
+                        repeats=5,
+                    )
+                    row["native_ms"] = round(t_native * 1e3, 3)
+                    row["speedup_native"] = round(t_numpy / t_native, 2)
+                rows.append(row)
+
+    columns = [
+        "m", "structure", "mix", "k", "numpy_ms", "native_ms", "speedup_native",
+    ]
+    table = format_table(
+        columns,
+        [[row[c] for c in columns] for row in rows],
+        title=(
+            "Solver kernels: NumPy vs native "
+            f"(native {'available' if available else 'UNAVAILABLE'})"
+        ),
+    )
+    save_result("bench_solver_kernels", table)
+    save_json(
+        "bench_solver_kernels",
+        params={
+            "sizes": list(SWEEP_SIZES),
+            "structures": list(STRUCTURES),
+            "batch": BATCH,
+            "native_available": available,
+        },
+        rows=rows,
+    )
+    if available:
+        # Acceptance bar: >= 3x on at least one swept shape; full-sweep
+        # batches must never regress behind the NumPy kernel.
+        speedups = [row["speedup_native"] for row in rows]
+        assert max(speedups) >= 3.0, rows
+        for row in rows:
+            if row["mix"] == "safe":
+                assert row["speedup_native"] >= 0.9, row

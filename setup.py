@@ -1,0 +1,55 @@
+"""Setuptools shim: adds an explicit native-kernel build step.
+
+The package itself is pure Python (metadata in ``pyproject.toml``); the
+compiled rank-one-simplex kernel is *optional* and normally compiled
+lazily on first use (see :mod:`repro.core.native`).  This shim adds
+
+    python setup.py build_native
+
+which compiles ``src/repro/core/_kernels.c`` eagerly and drops the
+shared object next to the source, where the loader picks it up before
+consulting the user cache -- the hook CI and container images use to
+ship a prebuilt kernel.  A missing or broken compiler fails this
+command loudly, while the runtime path degrades silently to NumPy.
+"""
+
+import sys
+from pathlib import Path
+
+from setuptools import Command, setup
+
+
+class BuildNative(Command):
+    """Compile the native solver kernel next to its C source."""
+
+    description = "compile the rank-one-simplex C kernel (optional speedup)"
+    user_options = []
+
+    def initialize_options(self) -> None:
+        pass
+
+    def finalize_options(self) -> None:
+        pass
+
+    def run(self) -> None:
+        sys.path.insert(0, str(Path(__file__).parent / "src"))
+        from repro.core import native
+
+        output = (
+            Path(__file__).parent
+            / "src"
+            / "repro"
+            / "core"
+            / f"_kernels_c{native._shared_suffix()}"
+        )
+        native.compile_kernel(output)
+        native.reset()
+        if not native.native_available():
+            raise SystemExit(
+                f"built {output} but it failed to load: "
+                f"{native.native_detail()['error']}"
+            )
+        print(f"native kernel built: {output}")
+
+
+setup(cmdclass={"build_native": BuildNative})

@@ -1,0 +1,183 @@
+/* Compiled rank-one-simplex kernel: the native twin of the NumPy
+ * stacked kernel in repro/core/qp.py.
+ *
+ * Plain C99 with a C ABI (loaded through ctypes, no Python.h), so the
+ * NumPy fallback never depends on this file existing.  The contract is
+ * BIT-IDENTITY with `_solve_stack_numpy`: statuses, best values, best
+ * points, evaluation counts and the exhausted flag must match the NumPy
+ * path exactly for every input, including the pathological ones.  That
+ * pins down several choices:
+ *
+ * - Floating-point expressions replicate the NumPy kernel's exact
+ *   operation sequence (each IEEE-754 double op individually rounded).
+ *   The build MUST therefore disable FMA contraction
+ *   (-ffp-contract=off): a fused a*b+c rounds once where NumPy rounds
+ *   twice, and a single ulp would break the contract.
+ * - The vertex scan copies np.max/np.argmax semantics: NaN is maximal
+ *   and the FIRST NaN wins; otherwise the first occurrence of the
+ *   maximum wins (strict > updates).
+ * - The edge sweep walks the upper triangle in the same row-blocked
+ *   schedule the NumPy kernel uses (block size chosen by the caller),
+ *   because evaluation counts accrue per *block* before the limit and
+ *   early-exit checks run -- per-pair accounting would disagree with
+ *   the NumPy path whenever a limit or a violation lands mid-block.
+ * - Only the interior stationary point of each edge is evaluated
+ *   (a2 < 0, a1 > 0, a1 + 2 a2 < 0), exactly mirroring the mask the
+ *   NumPy kernel builds; the endpoints are vertices already covered.
+ *
+ * Unlike the NumPy kernel, the sweep is a single fused pass: no scratch
+ * blocks, no masked writes, no per-block reductions -- which is where
+ * the speedup comes from, especially at small m where NumPy's per-block
+ * dispatch dominates.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <time.h>
+
+#if defined(_MSC_VER)
+#define RO_EXPORT __declspec(dllexport)
+#else
+#define RO_EXPORT __attribute__((visibility("default")))
+#endif
+
+/* ABI version stamp: the Python loader refuses a cached shared object
+ * whose version does not match, so stale caches fail closed. */
+RO_EXPORT int64_t ro_kernel_abi_version(void) { return 1; }
+
+static double ro_now(void) {
+#if defined(CLOCK_MONOTONIC)
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+#else
+    return (double)clock() / (double)CLOCKS_PER_SEC;
+#endif
+}
+
+/* Unordered pairs (i, j), i < j, contributed by rows r0 <= i < r1 of an
+ * m-wide upper triangle; must match qp._triangle_block_evals. */
+static int64_t ro_triangle_block_evals(int64_t r0, int64_t r1, int64_t m) {
+    int64_t nb = r1 - r0;
+    return nb * (m - 1) - (r0 + r1 - 1) * nb / 2;
+}
+
+/* Solve K stacked rank-one simplex maximizations.
+ *
+ * U, V, W: row-major (K, m) coefficient arrays.
+ * ev_scratch: caller-provided length-m scratch for the vertex values.
+ * tol / work_limit / time_limit_s: SolverOptions fields; negative
+ *   work_limit / time_limit_s mean "no limit".
+ * exhaustive: nonzero disables the early exit even without limits.
+ * block_rows: the row-block size of the NumPy kernel's schedule
+ *   (computed by the caller from _BLOCK_ELEMENTS and work_limit).
+ * Outputs, one entry per condition:
+ *   best_value, best_vertex, best_edge_i / best_edge_j (-1 when the
+ *   best point is a vertex), n_evals, exhausted (1/0).
+ * Returns 0 on success, -1 on malformed arguments.
+ */
+RO_EXPORT int ro_solve_rank_one_stack(
+    const double *U, const double *V, const double *W,
+    double *ev_scratch,
+    int64_t K, int64_t m,
+    double tol, int64_t work_limit, double time_limit_s,
+    int32_t exhaustive, int64_t block_rows,
+    double *best_value, int64_t *best_vertex,
+    int64_t *best_edge_i, int64_t *best_edge_j,
+    int64_t *n_evals, uint8_t *exhausted)
+{
+    if (K < 0 || m < 1 || block_rows < 1) {
+        return -1;
+    }
+    const double t0 = ro_now();
+    const int limited = (work_limit >= 0) || (time_limit_s >= 0.0);
+    /* Matches the NumPy kernel: with limits set, keep enumerating after
+     * a violation so work accounting stays faithful; without limits a
+     * violation ends the sweep unless the caller wants the global max. */
+    const int allow_exit = !limited && !exhaustive;
+
+    for (int64_t k = 0; k < K; k++) {
+        const double *u = U + k * m;
+        const double *v = V + k * m;
+        const double *w = W + k * m;
+        double *ev = ev_scratch;
+
+        /* Vertex scan with np.max/np.argmax semantics: the first NaN is
+         * maximal; otherwise first-occurrence-of-max (strict >). */
+        double best = -INFINITY;
+        int64_t vertex = 0;
+        int saw_nan = 0;
+        for (int64_t j = 0; j < m; j++) {
+            const double e = u[j] * v[j] + w[j];
+            ev[j] = e;
+            if (!saw_nan) {
+                if (isnan(e)) {
+                    saw_nan = 1;
+                    best = e;
+                    vertex = j;
+                } else if (e > best) {
+                    best = e;
+                    vertex = j;
+                }
+            }
+        }
+        int64_t evals = m;
+        int64_t bi = -1, bj = -1;
+        uint8_t full = 1;
+
+        if (m > 1 && !(allow_exit && best > tol)) {
+            for (int64_t r0 = 0; r0 < m - 1; r0 += block_rows) {
+                if (time_limit_s >= 0.0 && ro_now() - t0 > time_limit_s) {
+                    full = 0;
+                    break;
+                }
+                if (work_limit >= 0 && evals >= work_limit) {
+                    full = 0;
+                    break;
+                }
+                const int64_t r1 = (r0 + block_rows < m - 1) ? r0 + block_rows
+                                                             : m - 1;
+                for (int64_t i = r0; i < r1; i++) {
+                    const double ui = u[i], vi = v[i], wi = w[i];
+                    for (int64_t j = i + 1; j < m; j++) {
+                        const double du = ui - u[j];
+                        const double dv = vi - v[j];
+                        const double a2 = du * dv;
+                        /* Interior stationary point exists iff concave
+                         * (a2 < 0) and 0 < lam* < 1, i.e. a1 > 0 and
+                         * a1 + 2 a2 < 0 -- the NumPy kernel's mask. */
+                        if (!(a2 < 0.0)) {
+                            continue;
+                        }
+                        const double a1 =
+                            (v[j] * du + u[j] * dv) + (wi - w[j]);
+                        if (!(a1 > 0.0) || !(a1 + 2.0 * a2 < 0.0)) {
+                            continue;
+                        }
+                        /* f(lam*) = f(e_j) - a1^2 / (4 a2), with the
+                         * NumPy kernel's op order: square, scale,
+                         * divide, subtract -- each rounded once. */
+                        const double val = ev[j] - (a1 * a1) / (a2 * 4.0);
+                        if (val > best) {
+                            best = val;
+                            bi = i;
+                            bj = j;
+                        }
+                    }
+                }
+                evals += ro_triangle_block_evals(r0, r1, m);
+                if (allow_exit && best > tol) {
+                    break;
+                }
+            }
+        }
+
+        best_value[k] = best;
+        best_vertex[k] = vertex;
+        best_edge_i[k] = bi;
+        best_edge_j[k] = bj;
+        n_evals[k] = evals;
+        exhausted[k] = full;
+    }
+    return 0;
+}

@@ -36,7 +36,15 @@ import numpy as np
 
 from .._validation import as_float_array, check_probability_vector
 from ..errors import QuantificationError
-from .two_world import TwoWorldModel
+from .two_world import TwoWorldModel, _count_front, _scipy_sparse
+
+#: :meth:`EventQuantifier.candidate_bc_many` switches to CSR products
+#: when the model is sparse-routed, at least this many candidate columns
+#: are screened at once, and the columns' non-zero fraction is at most
+#: ``_SPARSE_BC_MAX_DENSITY`` (cloaking / randomized-response emission
+#: columns are indicator-like, so bulk screens are mostly zeros).
+_SPARSE_BC_MIN_COLUMNS = 32
+_SPARSE_BC_MAX_DENSITY = 0.25
 
 class EventQuantifier:
     """Incremental ``a``/``b``/``c`` computation for one event.
@@ -191,14 +199,37 @@ class EventQuantifier:
         if np.any(cols < 0) or np.any(cols > 1):
             raise QuantificationError("emission probabilities must lie in [0, 1]")
         lifted = np.concatenate([cols, cols], axis=1)
+        # Unlike propagate_front, an adaptive per-call switch is sound
+        # here: this method's contract is already only ulp-accurate
+        # against candidate_bc (see above), so the crossover can use the
+        # actual screen shape.  Only sparse-routed models opt in, which
+        # keeps dense scenarios at exactly one code path.
+        sparse = (
+            self._model.sparse_routing
+            and _scipy_sparse is not None
+            and cols.shape[0] >= _SPARSE_BC_MIN_COLUMNS
+            and np.count_nonzero(cols) <= _SPARSE_BC_MAX_DENSITY * cols.size
+        )
         if self._prop is not None:
             tail = self._tails[t - 1] if t <= self._model.end else None
             if tail is None:
                 raise QuantificationError(
                     "internal error: phase 1 prepared beyond event end"
                 )
-            b = (lifted * tail[None, :]) @ self._prop.T
-            c = lifted @ self._prop.T
+            if sparse:
+                lifted_sp = _scipy_sparse.csr_array(lifted)
+                prop_t = np.ascontiguousarray(self._prop.T)
+                b = np.asarray(lifted_sp.multiply(tail).tocsr() @ prop_t)
+                c = np.asarray(lifted_sp @ prop_t)
+                _count_front(sparse_matmuls=2)
+            else:
+                b = (lifted * tail[None, :]) @ self._prop.T
+                c = lifted @ self._prop.T
+        elif sparse:
+            lifted_sp = _scipy_sparse.csr_array(lifted)
+            b = np.asarray(lifted_sp @ np.ascontiguousarray(self._prop_true.T))
+            c = np.asarray(lifted_sp @ np.ascontiguousarray(self._prop_all.T))
+            _count_front(sparse_matmuls=2)
         else:
             b = lifted @ self._prop_true.T
             c = lifted @ self._prop_all.T

@@ -1,0 +1,308 @@
+"""Loader/builder for the compiled solver kernel (``_kernels.c``).
+
+The native kernel is a plain C shared library spoken to over ctypes --
+deliberately *not* a CPython extension module, so it needs no Python
+headers, builds with any C compiler in well under a second, and its
+absence can never break an import.  Resolution order:
+
+1. a prebuilt library shipped next to this file (``_kernels_c*.so`` /
+   ``.dylib`` / ``.dll``), produced by ``python setup.py build_native``
+   or any packaging step that ran it;
+2. a cached build under ``$REPRO_NATIVE_CACHE`` (default
+   ``~/.cache/repro-native``), keyed by a digest of the C source, the
+   compiler command and the kernel ABI version -- editing the source
+   invalidates the cache automatically;
+3. a fresh compile with ``$CC`` (default ``cc``) into that cache.
+
+Every step is best-effort: on any failure (no compiler, read-only
+filesystem, broken toolchain) the loader records the reason and the
+solver transparently uses the NumPy path.  ``REPRO_NATIVE_DISABLE=1``
+short-circuits the whole machinery, which is how CI's no-compiler job
+guarantees it exercises the fallback.
+
+Bit-identity note: the compile line pins ``-ffp-contract=off`` so the
+compiler cannot fuse multiply-adds; the kernel's contract with the
+NumPy path is exact IEEE-754 equality, and FMA contraction is the one
+optimization that would silently break it.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+#: Must match ``ro_kernel_abi_version()`` in ``_kernels.c``.
+KERNEL_ABI_VERSION = 1
+
+#: Flags shared by the lazy build and ``setup.py build_native``.
+#: ``-ffp-contract=off`` is load-bearing (see module docstring).
+BUILD_FLAGS = (
+    "-O3",
+    "-fPIC",
+    "-shared",
+    "-ffp-contract=off",
+    "-fno-math-errno",
+    "-fvisibility=hidden",
+)
+
+_SOURCE = Path(__file__).with_name("_kernels.c")
+
+_lock = threading.Lock()
+_loaded = False
+_lib: ctypes.CDLL | None = None
+_detail: dict = {"state": "unloaded", "path": None, "error": None}
+
+_I64 = ctypes.c_int64
+_F64P = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_U8P = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+
+def _shared_suffix() -> str:
+    if sys.platform == "darwin":
+        return ".dylib"
+    if sys.platform in ("win32", "cygwin"):
+        return ".dll"
+    return ".so"
+
+
+def _compiler() -> str:
+    return os.environ.get("CC") or "cc"
+
+
+def _source_digest() -> str:
+    payload = b"|".join(
+        (
+            _SOURCE.read_bytes(),
+            _compiler().encode(),
+            " ".join(BUILD_FLAGS).encode(),
+            str(KERNEL_ABI_VERSION).encode(),
+        )
+    )
+    return hashlib.blake2b(payload, digest_size=12).hexdigest()
+
+
+def _prebuilt_candidates() -> list[Path]:
+    here = _SOURCE.parent
+    return sorted(here.glob("_kernels_c*" + _shared_suffix()))
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-native"
+
+
+def compile_kernel(output: Path) -> None:
+    """Compile ``_kernels.c`` into ``output`` (raises on failure).
+
+    Shared by the lazy loader and ``setup.py build_native`` so both
+    produce byte-compatible libraries from one flag set.  The compile
+    goes to a unique temporary file first and is moved into place
+    atomically, so concurrent builders (shard workers starting
+    together) can race without corrupting the cache.
+    """
+    output.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        suffix=_shared_suffix(), prefix=".build-", dir=str(output.parent)
+    )
+    os.close(fd)
+    try:
+        command = [
+            _compiler(),
+            *BUILD_FLAGS,
+            "-o",
+            tmp,
+            str(_SOURCE),
+            "-lm",
+        ]
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=120
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(command)} failed with code {proc.returncode}: "
+                f"{(proc.stderr or proc.stdout).strip()[:500]}"
+            )
+        os.replace(tmp, output)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    lib.ro_kernel_abi_version.restype = _I64
+    lib.ro_kernel_abi_version.argtypes = ()
+    abi = int(lib.ro_kernel_abi_version())
+    if abi != KERNEL_ABI_VERSION:
+        raise RuntimeError(
+            f"kernel ABI v{abi} does not match expected v{KERNEL_ABI_VERSION}"
+        )
+    lib.ro_solve_rank_one_stack.restype = ctypes.c_int
+    lib.ro_solve_rank_one_stack.argtypes = (
+        _F64P,  # U
+        _F64P,  # V
+        _F64P,  # W
+        _F64P,  # ev scratch
+        _I64,  # K
+        _I64,  # m
+        ctypes.c_double,  # tol
+        _I64,  # work_limit (<0: none)
+        ctypes.c_double,  # time_limit_s (<0: none)
+        ctypes.c_int32,  # exhaustive
+        _I64,  # block_rows
+        _F64P,  # best_value out
+        _I64P,  # best_vertex out
+        _I64P,  # best_edge_i out
+        _I64P,  # best_edge_j out
+        _I64P,  # n_evals out
+        _U8P,  # exhausted out
+    )
+    return lib
+
+
+def _load_locked() -> None:
+    global _loaded, _lib, _detail
+    _loaded = True
+    if os.environ.get("REPRO_NATIVE_DISABLE"):
+        _detail = {
+            "state": "disabled",
+            "path": None,
+            "error": "REPRO_NATIVE_DISABLE is set",
+        }
+        return
+    errors: list[str] = []
+    candidates = list(_prebuilt_candidates())
+    cached: Path | None = None
+    try:
+        cached = _cache_dir() / f"repro_kernels_{_source_digest()}{_shared_suffix()}"
+        if cached.exists():
+            candidates.append(cached)
+    except OSError as error:
+        errors.append(f"cache: {error}")
+    for path in candidates:
+        try:
+            _lib = _bind(ctypes.CDLL(str(path)))
+            _detail = {"state": "native", "path": str(path), "error": None}
+            return
+        except (OSError, RuntimeError) as error:
+            errors.append(f"{path.name}: {error}")
+    if cached is not None:
+        try:
+            compile_kernel(cached)
+            _lib = _bind(ctypes.CDLL(str(cached)))
+            _detail = {"state": "native", "path": str(cached), "error": None}
+            return
+        except (OSError, RuntimeError, subprocess.SubprocessError) as error:
+            errors.append(f"compile: {error}")
+    _lib = None
+    _detail = {
+        "state": "unavailable",
+        "path": None,
+        "error": "; ".join(errors) or "no build target",
+    }
+
+
+def load_kernel() -> ctypes.CDLL | None:
+    """The bound native library, or ``None`` when unavailable.
+
+    Thread-safe and memoized; the first call may compile.  Call
+    :func:`reset` (tests only) to force re-resolution after changing
+    the environment.
+    """
+    if not _loaded:
+        with _lock:
+            if not _loaded:
+                _load_locked()
+    return _lib
+
+
+def native_available() -> bool:
+    """Whether the compiled kernel can be used in this process."""
+    return load_kernel() is not None
+
+
+def native_detail() -> dict:
+    """Loader status for observability: state, library path, error."""
+    load_kernel()
+    return dict(_detail)
+
+
+def reset() -> None:
+    """Forget the memoized load result (tests / env changes only)."""
+    global _loaded, _lib, _detail
+    with _lock:
+        _loaded = False
+        _lib = None
+        _detail = {"state": "unloaded", "path": None, "error": None}
+
+
+def solve_rank_one_stack(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    *,
+    tolerance: float,
+    work_limit: int | None,
+    time_limit_s: float | None,
+    exhaustive: bool,
+    block_rows: int,
+):
+    """Run the native kernel over ``(K, m)`` stacks; arrays must be C-contiguous.
+
+    Returns ``(best_value, best_vertex, best_edge_i, best_edge_j,
+    n_evals, exhausted)`` -- the same intermediate arrays the NumPy
+    kernel produces, so the two share one result-materialization path.
+    Raises :class:`RuntimeError` if the kernel is unavailable or
+    rejects the arguments (callers are expected to gate on
+    :func:`native_available`).
+    """
+    lib = load_kernel()
+    if lib is None:
+        raise RuntimeError(f"native kernel unavailable: {_detail['error']}")
+    K, m = U.shape
+    best_value = np.empty(K, dtype=np.float64)
+    best_vertex = np.empty(K, dtype=np.int64)
+    best_edge_i = np.empty(K, dtype=np.int64)
+    best_edge_j = np.empty(K, dtype=np.int64)
+    n_evals = np.empty(K, dtype=np.int64)
+    exhausted = np.empty(K, dtype=np.uint8)
+    ev_scratch = np.empty(m, dtype=np.float64)
+    rc = lib.ro_solve_rank_one_stack(
+        U,
+        V,
+        W,
+        ev_scratch,
+        K,
+        m,
+        float(tolerance),
+        -1 if work_limit is None else int(work_limit),
+        -1.0 if time_limit_s is None else float(time_limit_s),
+        1 if exhaustive else 0,
+        int(block_rows),
+        best_value,
+        best_vertex,
+        best_edge_i,
+        best_edge_j,
+        n_evals,
+        exhausted,
+    )
+    if rc != 0:
+        raise RuntimeError(f"native kernel rejected the call (rc={rc})")
+    return (
+        best_value,
+        best_vertex,
+        best_edge_i,
+        best_edge_j,
+        n_evals,
+        exhausted.astype(bool),
+    )

@@ -25,10 +25,32 @@ shows the optimizer itself can be chosen with support <= 2.  On an edge
 the ``m(m-1)/2`` edges is an *exact* O(m^2) algorithm; on this problem
 class the substitute is stronger than a generic QP solver.
 
-The enumeration is organised as one *stacked kernel*
-(:func:`solve_conditions_batch`) that packs K conditions into ``(K, m)``
-coefficient arrays and sweeps ``(K, rows, m)`` blocks of the
-upper-triangular edge set with preallocated scratch buffers:
+Dual-backend architecture.  The enumeration has two interchangeable
+implementations behind one dispatch point
+(:func:`_solve_rank_one_simplex_stack`):
+
+* the **NumPy kernel** (:func:`_solve_stack_numpy`) packs K conditions
+  into ``(K, m)`` coefficient arrays and sweeps ``(K, rows, m)`` blocks
+  of the upper-triangular edge set with preallocated scratch buffers --
+  always available, no build step;
+* the **native kernel** (``_kernels.c`` via :mod:`repro.core.native`)
+  runs the same vertex scan + edge sweep as a single fused C pass per
+  condition -- no scratch blocks, no masked writes -- which removes the
+  per-block NumPy dispatch that dominates small-m batches.
+
+The two are *bit-identical*: statuses, best values, best points,
+evaluation counts and the exhausted flag match exactly for every input,
+because the C kernel replicates the NumPy kernel's operation order
+(every IEEE-754 op individually rounded, FMA contraction disabled), its
+NaN/tie-breaking semantics, and its row-blocked evaluation-accounting
+schedule.  Selection is ``SolverOptions.kernel`` when set, else the
+``REPRO_SOLVER_KERNEL`` environment variable (``auto`` | ``native`` |
+``numpy``, default ``auto``: native when loadable, NumPy otherwise).
+Because the backends agree bit-for-bit, the choice is *not* part of
+:meth:`SolverOptions.fingerprint` -- cached verdicts are portable across
+kernels and across hosts with and without a C compiler.
+
+Kernel structure shared by both backends:
 
 * the ``m`` vertex values ``u_i v_i + w_i`` are scanned first in O(m),
   which alone witnesses many violations;
@@ -57,6 +79,8 @@ consistent default.
 from __future__ import annotations
 
 import enum
+import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -64,6 +88,7 @@ import numpy as np
 
 from .._validation import check_positive, resolve_rng
 from ..errors import SolverError
+from . import native as _native
 from .theorem import RankOneCondition
 
 
@@ -73,6 +98,13 @@ class SolverStatus(enum.Enum):
     SAFE = "safe"
     VIOLATED = "violated"
     UNKNOWN = "unknown"
+
+
+#: Valid values for ``SolverOptions.kernel`` / ``REPRO_SOLVER_KERNEL``.
+KERNEL_CHOICES = ("auto", "native", "numpy")
+
+#: Environment variable consulted when ``SolverOptions.kernel`` is unset.
+KERNEL_ENV = "REPRO_SOLVER_KERNEL"
 
 
 @dataclass(frozen=True)
@@ -103,6 +135,13 @@ class SolverOptions:
         Multi-start count for the box path.
     seed:
         RNG seed for the box path's random starts.
+    kernel:
+        Simplex-kernel backend: ``"auto"`` (native when available, else
+        NumPy), ``"native"`` (compiled kernel, error if unavailable) or
+        ``"numpy"``.  ``None`` (default) defers to the
+        ``REPRO_SOLVER_KERNEL`` environment variable, itself defaulting
+        to ``auto``.  The backends are bit-identical, so this knob
+        changes speed only, never answers.
     """
 
     constraint: str = "simplex"
@@ -112,6 +151,7 @@ class SolverOptions:
     exhaustive: bool = False
     n_starts: int = 16
     seed: int = 0
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if self.constraint not in ("simplex", "box"):
@@ -125,6 +165,10 @@ class SolverOptions:
             raise SolverError(
                 f"time_limit_s must be positive, got {self.time_limit_s!r}"
             )
+        if self.kernel is not None and self.kernel not in KERNEL_CHOICES:
+            raise SolverError(
+                f"kernel must be one of {KERNEL_CHOICES}, got {self.kernel!r}"
+            )
 
     def fingerprint(self) -> bytes:
         """Stable byte identity of everything that can change a verdict.
@@ -133,6 +177,9 @@ class SolverOptions:
         verdicts: two option sets with equal fingerprints produce the
         same SAFE/VIOLATED answers (UNKNOWN additionally depends on
         wall-clock when ``time_limit_s`` is set; see the cache docs).
+        ``kernel`` is deliberately excluded: the native and NumPy
+        backends are bit-identical, so the choice cannot change a
+        verdict and cached entries stay valid across kernels.
         """
         return repr(
             (
@@ -165,6 +212,85 @@ class SolveResult:
 
 
 # ----------------------------------------------------------------------
+# kernel selection + accounting
+# ----------------------------------------------------------------------
+
+_kernel_lock = threading.Lock()
+_kernel_counts = {
+    "native_calls": 0,
+    "native_conditions": 0,
+    "numpy_calls": 0,
+    "numpy_conditions": 0,
+}
+
+
+def _count_kernel(kind: str, conditions: int) -> None:
+    with _kernel_lock:
+        _kernel_counts[f"{kind}_calls"] += 1
+        _kernel_counts[f"{kind}_conditions"] += conditions
+
+
+def _reset_kernel_stats() -> None:
+    """Zero the kernel-use counters (tests only)."""
+    with _kernel_lock:
+        for key in _kernel_counts:
+            _kernel_counts[key] = 0
+
+
+def resolve_kernel(options: SolverOptions | None = None) -> str:
+    """The backend a simplex solve would use right now: native or numpy.
+
+    Resolution order: ``options.kernel`` when set, else
+    ``$REPRO_SOLVER_KERNEL``, else ``auto``.  ``auto`` picks the native
+    kernel when it loads (compiling it on first use if needed) and the
+    NumPy kernel otherwise; ``native`` raises :class:`SolverError` when
+    the compiled kernel cannot be loaded, rather than silently serving
+    from a different backend than the operator pinned.
+    """
+    requested = options.kernel if options is not None else None
+    if requested is None:
+        requested = os.environ.get(KERNEL_ENV) or "auto"
+    if requested not in KERNEL_CHOICES:
+        raise SolverError(
+            f"{KERNEL_ENV} must be one of {KERNEL_CHOICES}, got {requested!r}"
+        )
+    if requested == "numpy":
+        return "numpy"
+    if _native.native_available():
+        return "native"
+    if requested == "native":
+        detail = _native.native_detail()
+        raise SolverError(
+            f"kernel='native' requested but the compiled kernel is "
+            f"unavailable: {detail['error']}"
+        )
+    return "numpy"
+
+
+def kernel_stats() -> dict:
+    """Kernel observability snapshot: selection, loader state, use counts.
+
+    Feeds the ``solver`` section of the service ``stats`` op and the
+    ``repro_solver_kernel_info`` gauge.
+    """
+    detail = _native.native_detail()
+    with _kernel_lock:
+        counts = dict(_kernel_counts)
+    try:
+        default = resolve_kernel()
+    except SolverError:
+        default = "invalid"
+    return {
+        "kernel": default,
+        "env": os.environ.get(KERNEL_ENV) or "auto",
+        "native_state": detail["state"],
+        "native_path": detail["path"],
+        "native_error": detail["error"],
+        **counts,
+    }
+
+
+# ----------------------------------------------------------------------
 # exact simplex path: the stacked vertex + upper-triangle edge kernel
 # ----------------------------------------------------------------------
 
@@ -188,18 +314,29 @@ def _triangle_block_evals(r0: int, r1: int, m: int) -> int:
     return nb * (m - 1) - (r0 + r1 - 1) * nb // 2
 
 
-def _solve_rank_one_simplex_stack(
-    U: np.ndarray, V: np.ndarray, W: np.ndarray, options: SolverOptions
-) -> list[SolveResult]:
-    """Exact simplex maximization of K stacked rank-one conditions.
+def _edge_block_rows(m: int, work_limit: int | None) -> int:
+    """Row-block size of the edge sweep -- one schedule for both kernels.
 
-    ``U``, ``V``, ``W`` are ``(K, m)``; returns one :class:`SolveResult`
-    per row.  Every condition follows the identical vertex-scan /
-    block-schedule / early-exit path a K=1 call would take, which is
-    what makes the batch bit-identical to the scalar loop.
+    The native kernel takes this as an argument so its per-block
+    evaluation accounting (counts accrue before the limit and early-exit
+    checks) lands on exactly the same boundaries as the NumPy kernel's.
+    """
+    bs = max(1, min(m - 1, _BLOCK_ELEMENTS // m))
+    if work_limit is not None:
+        bs = max(1, min(bs, work_limit // m))
+    return bs
+
+
+def _solve_stack_numpy(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray, options: SolverOptions, t0: float
+):
+    """NumPy backend: blocked sweep over ``(K, rows, m)`` scratch buffers.
+
+    Returns the raw per-condition arrays ``(best_value, best_vertex,
+    best_edge_i, best_edge_j, n_evals, exhausted)``; result
+    materialization is shared with the native backend.
     """
     K, m = U.shape
-    t0 = time.perf_counter()
     tol = options.tolerance
     work_limit = options.work_limit
     time_limit = options.time_limit_s
@@ -223,9 +360,7 @@ def _solve_rank_one_simplex_stack(
         done |= best_value > tol
 
     if m > 1 and not done.all():
-        bs = max(1, min(m - 1, _BLOCK_ELEMENTS // m))
-        if work_limit is not None:
-            bs = max(1, min(bs, work_limit // m))
+        bs = _edge_block_rows(m, work_limit)
         width = m - 1
         chunk_k = max(1, min(K, _SCRATCH_ELEMENTS // (bs * width)))
         shape = (chunk_k, bs, width)
@@ -321,6 +456,49 @@ def _solve_rank_one_simplex_stack(
                         if exiting.any():
                             done[alive[exiting]] = True
                             alive = alive[~exiting]
+
+    return best_value, best_vertex, best_edge_i, best_edge_j, n_evals, exhausted
+
+
+def _solve_stack_native(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray, options: SolverOptions
+):
+    """Native backend: one fused C pass per condition (same schedule)."""
+    m = U.shape[1]
+    return _native.solve_rank_one_stack(
+        np.ascontiguousarray(U, dtype=np.float64),
+        np.ascontiguousarray(V, dtype=np.float64),
+        np.ascontiguousarray(W, dtype=np.float64),
+        tolerance=options.tolerance,
+        work_limit=options.work_limit,
+        time_limit_s=options.time_limit_s,
+        exhaustive=options.exhaustive,
+        block_rows=_edge_block_rows(m, options.work_limit),
+    )
+
+
+def _solve_rank_one_simplex_stack(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray, options: SolverOptions
+) -> list[SolveResult]:
+    """Exact simplex maximization of K stacked rank-one conditions.
+
+    ``U``, ``V``, ``W`` are ``(K, m)``; returns one :class:`SolveResult`
+    per row.  Every condition follows the identical vertex-scan /
+    block-schedule / early-exit path a K=1 call would take, which is
+    what makes the batch bit-identical to the scalar loop -- and the
+    native and NumPy backends implement that path bit-identically, so
+    kernel selection never changes an output.
+    """
+    K, m = U.shape
+    t0 = time.perf_counter()
+    kernel = resolve_kernel(options)
+    if kernel == "native":
+        arrays = _solve_stack_native(U, V, W, options)
+    else:
+        arrays = _solve_stack_numpy(U, V, W, options, t0)
+    _count_kernel(kernel, K)
+    best_value, best_vertex, best_edge_i, best_edge_j, n_evals, exhausted = arrays
+    tol = options.tolerance
 
     elapsed = time.perf_counter() - t0
     results: list[SolveResult] = []
@@ -505,6 +683,59 @@ def check_conditions(
     return combined, tuple(results)
 
 
+class _PackScratch:
+    """Per-thread grow-only buffers for packing conditions into stacks.
+
+    ``solve_conditions_batch`` runs on every engine step; re-allocating
+    three ``(K, m)`` arrays per call (what ``np.stack`` does) is pure
+    overhead for small-m sessions that pack the same shapes thousands of
+    times.  The flat backing buffers only ever grow, and the views
+    handed out are plain C-contiguous prefixes, so both kernels consume
+    them directly.  Thread-local because the service steps sessions from
+    a thread pool; the views are consumed before the call returns, so
+    reuse across calls on one thread is safe.
+    """
+
+    __slots__ = ("capacity", "u", "v", "w")
+
+    def __init__(self) -> None:
+        self.capacity = 0
+        self.u: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+        self.w: np.ndarray | None = None
+
+    def pack(
+        self, conditions: list[RankOneCondition], m: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        K = len(conditions)
+        need = K * m
+        if need > self.capacity:
+            cap = max(need, 4096)
+            self.u = np.empty(cap, dtype=np.float64)
+            self.v = np.empty(cap, dtype=np.float64)
+            self.w = np.empty(cap, dtype=np.float64)
+            self.capacity = cap
+        U = self.u[:need].reshape(K, m)
+        V = self.v[:need].reshape(K, m)
+        W = self.w[:need].reshape(K, m)
+        for k, condition in enumerate(conditions):
+            U[k] = condition.u
+            V[k] = condition.v
+            W[k] = condition.w
+        return U, V, W
+
+
+_pack_local = threading.local()
+
+
+def _pack_scratch() -> _PackScratch:
+    scratch = getattr(_pack_local, "scratch", None)
+    if scratch is None:
+        scratch = _PackScratch()
+        _pack_local.scratch = scratch
+    return scratch
+
+
 def solve_conditions_batch(
     conditions, options: SolverOptions | None = None
 ) -> tuple[SolveResult, ...]:
@@ -526,9 +757,7 @@ def solve_conditions_batch(
     sizes = {condition.n for condition in conditions}
     if options.constraint != "simplex" or len(sizes) != 1:
         return tuple(check_condition(condition, options) for condition in conditions)
-    U = np.stack([condition.u for condition in conditions])
-    V = np.stack([condition.v for condition in conditions])
-    W = np.stack([condition.w for condition in conditions])
+    U, V, W = _pack_scratch().pack(conditions, sizes.pop())
     return tuple(_solve_rank_one_simplex_stack(U, V, W, options))
 
 

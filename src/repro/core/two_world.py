@@ -23,12 +23,20 @@ by the *initial lift matrix* ``L`` (m x 2m) with ``lifted_pi = pi @ L``.
 
 from __future__ import annotations
 
+import os
+import threading
+
 import numpy as np
 
 from .._validation import check_probability_vector, check_timestamp
 from ..errors import EventError
 from ..events.events import PatternEvent, PresenceEvent, SpatiotemporalEvent
 from ..markov.transition import TimeVaryingChain, TransitionMatrix
+
+try:  # scipy ships with the library, but the sparse path degrades cleanly
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-less hosts
+    _scipy_sparse = None
 
 
 def _as_chain(chain) -> TimeVaryingChain:
@@ -37,6 +45,106 @@ def _as_chain(chain) -> TimeVaryingChain:
     if isinstance(chain, TransitionMatrix):
         return TimeVaryingChain.homogeneous(chain)
     return TimeVaryingChain.homogeneous(TransitionMatrix(np.asarray(chain)))
+
+
+# ----------------------------------------------------------------------
+# sparse front propagation: routing policy + observability
+# ----------------------------------------------------------------------
+
+#: Environment override for sparse front propagation: ``auto`` (density
+#: heuristic + ``ChainSpec``/``TransitionMatrix`` hints), ``always``,
+#: ``never``.  Routing is resolved once per model at construction, so
+#: every propagation through one model takes the same code path -- set
+#: it uniformly across a fleet (sparse and dense matmuls agree only to
+#: a few ulps, and mixed routing would make replicas drift).
+SPARSE_ENV = "REPRO_SPARSE_FRONT"
+
+#: ``auto`` routes a chain sparse when its densest matrix has at most
+#: this non-zero fraction...
+_SPARSE_MAX_DENSITY = 1.0 / 16.0
+
+#: ...and the map has at least this many cells.  Below it, dense gemms
+#: on the whole block are faster than any CSR traversal (measured: the
+#: crossover for banded chains sits between m=64 and m=144 at the
+#: engine's front shapes).
+_SPARSE_MIN_STATES = 128
+
+_front_lock = threading.Lock()
+_front_counts = {
+    "sparse_models": 0,
+    "dense_models": 0,
+    "sparse_matmuls": 0,
+    "dense_matmuls": 0,
+    "csr_hits": 0,
+    "csr_misses": 0,
+}
+
+
+def _count_front(**deltas: int) -> None:
+    with _front_lock:
+        for key, delta in deltas.items():
+            _front_counts[key] += delta
+
+
+def front_stats() -> dict:
+    """Front-propagation observability snapshot.
+
+    ``sparse_models`` / ``dense_models`` count :class:`TwoWorldModel`
+    constructions by routing decision; ``sparse_matmuls`` /
+    ``dense_matmuls`` tally individual block products; ``csr_hits`` /
+    ``csr_misses`` measure the per-timestamp CSR block cache.  Feeds
+    the ``solver`` section of the service ``stats`` op.
+    """
+    with _front_lock:
+        snapshot = dict(_front_counts)
+    snapshot["scipy_available"] = _scipy_sparse is not None
+    snapshot["mode"] = os.environ.get(SPARSE_ENV) or "auto"
+    return snapshot
+
+
+def _reset_front_stats() -> None:
+    """Zero the front-propagation counters (tests only)."""
+    with _front_lock:
+        for key in _front_counts:
+            _front_counts[key] = 0
+
+
+def _resolve_sparse_routing(
+    chain: TimeVaryingChain, sparse: bool | None
+) -> bool:
+    """Decide a model's propagation backend, once, at construction.
+
+    Precedence: ``$REPRO_SPARSE_FRONT`` (``always``/``never``), then the
+    explicit ``sparse`` argument, then the chain's
+    :attr:`~repro.markov.transition.TransitionMatrix.sparse_hint`, then
+    the density x size crossover heuristic.  Sparse routing additionally
+    requires scipy; without it every request degrades to dense.
+
+    The decision is deliberately *per model*, not per call: batched
+    propagation (``prepare_many``) stacks many fronts into one matmul
+    and relies on producing bit-identical rows to solo propagation,
+    which holds within either backend but not across them (dense BLAS
+    and CSR traversal accumulate in different orders, ~ulps apart).
+    """
+    if _scipy_sparse is None:
+        return False
+    mode = os.environ.get(SPARSE_ENV) or "auto"
+    if mode not in ("auto", "always", "never"):
+        raise EventError(
+            f"{SPARSE_ENV} must be 'auto', 'always' or 'never', got {mode!r}"
+        )
+    if mode == "never":
+        return False
+    if mode == "always":
+        return True
+    if sparse is None:
+        sparse = chain.sparse_hint
+    if sparse is not None:
+        return bool(sparse)
+    return (
+        chain.n_states >= _SPARSE_MIN_STATES
+        and chain.max_density <= _SPARSE_MAX_DENSITY
+    )
 
 
 class TwoWorldModel:
@@ -51,9 +159,21 @@ class TwoWorldModel:
         A :class:`PresenceEvent` or :class:`PatternEvent` on the same map.
     horizon:
         The release horizon ``T``; must cover the event window.
+    sparse:
+        Front-propagation routing: ``True`` forces CSR matmuls,
+        ``False`` forces dense gemms, ``None`` (default) defers to the
+        chain's hint and the density crossover heuristic.  Overridden
+        either way by ``$REPRO_SPARSE_FRONT=always|never``.
     """
 
-    def __init__(self, chain, event: SpatiotemporalEvent, horizon: int):
+    def __init__(
+        self,
+        chain,
+        event: SpatiotemporalEvent,
+        horizon: int,
+        *,
+        sparse: bool | None = None,
+    ):
         self._chain = _as_chain(chain)
         if not isinstance(event, (PresenceEvent, PatternEvent)):
             raise EventError(
@@ -72,10 +192,21 @@ class TwoWorldModel:
                 f"event ends at t={event.end}, beyond horizon T={self._horizon}"
             )
         self._tails: np.ndarray | None = None
+        self._sparse = _resolve_sparse_routing(self._chain, sparse)
+        # Transposed-CSR forms of the lifted blocks, keyed by timestamp;
+        # populated lazily by the sparse propagation path.
+        self._csr_cache: dict[int, tuple] = {}
+        _count_front(
+            **{("sparse_models" if self._sparse else "dense_models"): 1}
+        )
 
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
+    @property
+    def sparse_routing(self) -> bool:
+        """Whether front propagation goes through CSR matmuls."""
+        return self._sparse
     @property
     def chain(self) -> TimeVaryingChain:
         """The underlying mobility model."""
@@ -172,17 +303,47 @@ class TwoWorldModel:
             lifted[m:, m:] = tt
         return lifted
 
+    def _csr_blocks(self, t: int) -> tuple:
+        """Transposed-CSR forms of ``transition_blocks(t)``, cached by t.
+
+        Stored transposed because the sparse path computes each output
+        half as ``(block.T @ front_half.T).T``: sparse-times-dense hits
+        scipy's fast ``csr_matmat`` row loop, whereas dense-times-sparse
+        goes through a far slower per-column path.  The cache holds at
+        most ``horizon`` entries per model, each a few ``nnz``-sized
+        arrays -- negligible next to the dense chain matrix itself.
+        """
+        cached = self._csr_cache.get(t)
+        if cached is not None:
+            _count_front(csr_hits=1)
+            return cached
+        _count_front(csr_misses=1)
+        built = tuple(
+            None
+            if block is None
+            else _scipy_sparse.csr_array(np.ascontiguousarray(block.T))
+            for block in self.transition_blocks(t)
+        )
+        self._csr_cache[t] = built
+        return built
+
     def propagate_front(self, front: np.ndarray, t: int) -> np.ndarray:
         """Right-multiply a ``(k, 2m)`` front matrix by the lifted ``M_t``.
 
         Exploits the block structure (at most three non-zero m x m blocks)
         so the cost is 2-3 m^3 products instead of a dense 2m x 2m one.
+        Sparse-routed models (see :attr:`sparse_routing`) run the block
+        products as CSR matmuls instead; the two backends agree to a few
+        ulps (different accumulation orders), which is why the routing is
+        fixed per model rather than chosen per call.
         """
         m = self.n_states
         if front.ndim != 2 or front.shape[1] != 2 * m:
             raise EventError(
                 f"front must have {2 * m} columns, got shape {front.shape}"
             )
+        if self._sparse:
+            return self._propagate_front_sparse(front, t)
         ff, ft, tf, tt = self.transition_blocks(t)
         f0, f1 = front[:, :m], front[:, m:]
         # Write each gemm straight into the output halves: no 1MB-scale
@@ -190,22 +351,79 @@ class TwoWorldModel:
         # blocks feed it) instead of one per product.
         out = np.empty_like(front)
         left, right = out[:, :m], out[:, m:]
+        gemms = 0
         if ff is not None:
             np.matmul(f0, ff, out=left)
+            gemms += 1
             if tf is not None:
                 left += f1 @ tf
+                gemms += 1
         elif tf is not None:
             np.matmul(f1, tf, out=left)
+            gemms += 1
         else:
             left[:] = 0.0
         if ft is not None:
             np.matmul(f0, ft, out=right)
+            gemms += 1
             if tt is not None:
                 right += f1 @ tt
+                gemms += 1
         elif tt is not None:
             np.matmul(f1, tt, out=right)
+            gemms += 1
         else:
             right[:] = 0.0
+        _count_front(dense_matmuls=gemms)
+        return out
+
+    def _propagate_front_sparse(self, front: np.ndarray, t: int) -> np.ndarray:
+        """CSR form of :meth:`propagate_front`'s block products.
+
+        Works on transposed halves (``(m, k)``): scipy's
+        sparse-times-dense kernel accumulates each output element along
+        a CSR row in a fixed order independent of ``k``, so stacked
+        fronts (``prepare_many``) still produce bit-identical rows to
+        solo propagation -- the same row-independence the dense path's
+        gemms provide.
+        """
+        m = self.n_states
+        ffT, ftT, tfT, ttT = self._csr_blocks(t)
+        f0t = np.ascontiguousarray(front[:, :m].T)
+        f1t = np.ascontiguousarray(front[:, m:].T)
+        out = np.empty_like(front)
+        matmuls = 0
+        if ffT is not None:
+            leftT = ffT @ f0t
+            matmuls += 1
+            if tfT is not None:
+                leftT += tfT @ f1t
+                matmuls += 1
+        elif tfT is not None:
+            leftT = tfT @ f1t
+            matmuls += 1
+        else:
+            leftT = None
+        if ftT is not None:
+            rightT = ftT @ f0t
+            matmuls += 1
+            if ttT is not None:
+                rightT += ttT @ f1t
+                matmuls += 1
+        elif ttT is not None:
+            rightT = ttT @ f1t
+            matmuls += 1
+        else:
+            rightT = None
+        if leftT is None:
+            out[:, :m] = 0.0
+        else:
+            np.copyto(out[:, :m], leftT.T)
+        if rightT is None:
+            out[:, m:] = 0.0
+        else:
+            np.copyto(out[:, m:], rightT.T)
+        _count_front(sparse_matmuls=matmuls)
         return out
 
     # ------------------------------------------------------------------

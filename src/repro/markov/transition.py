@@ -35,14 +35,23 @@ class TransitionMatrix:
     matrix:
         ``(m, m)`` row-stochastic array; row ``i`` is the distribution of
         the next location given the current location is cell ``i``.
+    sparse_hint:
+        Optional routing hint for downstream lifted-chain propagation
+        (:class:`repro.core.TwoWorldModel`): ``True`` asks for CSR
+        matmuls, ``False`` pins dense, ``None`` (default) lets the
+        density-based crossover heuristic decide.  Never affects the
+        matrix's values or validation.
     """
 
     matrix: np.ndarray
+    sparse_hint: bool | None = None
 
     def __post_init__(self) -> None:
         validated = check_stochastic_matrix(self.matrix, "transition matrix")
         validated.setflags(write=False)
         object.__setattr__(self, "matrix", validated)
+        if self.sparse_hint is not None:
+            object.__setattr__(self, "sparse_hint", bool(self.sparse_hint))
 
     # ------------------------------------------------------------------
     # basic structure
@@ -56,6 +65,17 @@ class TransitionMatrix:
         if dtype is not None:
             return self.matrix.astype(dtype)
         return self.matrix
+
+    @cached_property
+    def density(self) -> float:
+        """Fraction of non-zero entries, in ``[0, 1]``.
+
+        The input to the sparse-propagation crossover heuristic: banded
+        chains (lazy walks, trace-trained models on large maps) sit far
+        below 1, Gaussian-kernel chains near it.
+        """
+        m = self.n_states
+        return float(np.count_nonzero(self.matrix)) / float(m * m)
 
     def row(self, state: int) -> np.ndarray:
         """Next-location distribution from ``state``."""
@@ -216,6 +236,29 @@ class TimeVaryingChain:
     def is_homogeneous(self) -> bool:
         """Whether a single matrix is used at every timestamp."""
         return self._homogeneous
+
+    @property
+    def max_density(self) -> float:
+        """The densest per-timestamp matrix's non-zero fraction.
+
+        Conservative aggregate for the sparse-propagation crossover: a
+        chain only counts as sparse when *every* timestamp's matrix is.
+        """
+        return max(tm.density for tm in self._matrices)
+
+    @property
+    def sparse_hint(self) -> bool | None:
+        """Combined routing hint of the per-timestamp matrices.
+
+        ``False`` wins over ``True`` (one dense-pinned matrix pins the
+        whole chain); all-``None`` stays ``None``.
+        """
+        hints = [tm.sparse_hint for tm in self._matrices]
+        if any(hint is False for hint in hints):
+            return False
+        if any(hint is True for hint in hints):
+            return True
+        return None
 
     def matrix_at(self, t: int) -> TransitionMatrix:
         """Transition matrix ``M_t`` applied between timestamps t and t+1."""

@@ -132,6 +132,12 @@ class ChainSpec:
         ``smoothing`` (the Geolife path, made portable data).
     ``matrix``
         An explicit row-stochastic matrix.
+
+    The optional ``sparse`` hint (any kind) pins the engine's front
+    propagation to CSR matmuls (``True``) or dense gemms (``False``);
+    ``None`` leaves the decision to the density crossover heuristic.
+    It is omitted from the JSON form when unset, so pre-existing spec
+    digests are unchanged.
     """
 
     kind: str
@@ -142,8 +148,11 @@ class ChainSpec:
     trajectories: tuple[tuple[int, ...], ...] | None = None
     smoothing: float = 0.05
     matrix: tuple[tuple[float, ...], ...] | None = None
+    sparse: bool | None = None
 
     def __post_init__(self) -> None:
+        if self.sparse is not None:
+            object.__setattr__(self, "sparse", bool(self.sparse))
         if self.kind not in ("gaussian", "lazy_walk", "trace", "matrix"):
             raise ScenarioError(
                 f"chain kind must be one of 'gaussian', 'lazy_walk', 'trace', "
@@ -182,51 +191,85 @@ class ChainSpec:
 
     # -- constructors ----------------------------------------------------
     @classmethod
-    def gaussian(cls, sigma: float, distance_unit: str = "cells") -> "ChainSpec":
-        return cls(kind="gaussian", sigma=sigma, distance_unit=distance_unit)
+    def gaussian(
+        cls,
+        sigma: float,
+        distance_unit: str = "cells",
+        sparse: bool | None = None,
+    ) -> "ChainSpec":
+        return cls(
+            kind="gaussian", sigma=sigma, distance_unit=distance_unit, sparse=sparse
+        )
 
     @classmethod
-    def lazy_walk(cls, stay_probability: float = 0.2, diagonal: bool = True) -> "ChainSpec":
-        return cls(kind="lazy_walk", stay_probability=stay_probability, diagonal=diagonal)
+    def lazy_walk(
+        cls,
+        stay_probability: float = 0.2,
+        diagonal: bool = True,
+        sparse: bool | None = None,
+    ) -> "ChainSpec":
+        return cls(
+            kind="lazy_walk",
+            stay_probability=stay_probability,
+            diagonal=diagonal,
+            sparse=sparse,
+        )
 
     @classmethod
-    def from_traces(cls, trajectories, smoothing: float = 0.05) -> "ChainSpec":
-        return cls(kind="trace", trajectories=tuple(map(tuple, trajectories)), smoothing=smoothing)
+    def from_traces(
+        cls, trajectories, smoothing: float = 0.05, sparse: bool | None = None
+    ) -> "ChainSpec":
+        return cls(
+            kind="trace",
+            trajectories=tuple(map(tuple, trajectories)),
+            smoothing=smoothing,
+            sparse=sparse,
+        )
 
     @classmethod
-    def explicit(cls, matrix) -> "ChainSpec":
-        return cls(kind="matrix", matrix=tuple(map(tuple, np.asarray(matrix).tolist())))
+    def explicit(cls, matrix, sparse: bool | None = None) -> "ChainSpec":
+        return cls(
+            kind="matrix",
+            matrix=tuple(map(tuple, np.asarray(matrix).tolist())),
+            sparse=sparse,
+        )
 
     # -- compilation -----------------------------------------------------
     def build(self, grid: GridMap) -> TransitionMatrix:
         """The concrete chain on ``grid`` (deterministic)."""
         if self.kind == "gaussian":
-            return gaussian_kernel_transitions(
+            built = gaussian_kernel_transitions(
                 grid, self.sigma, distance_unit=self.distance_unit
             )
-        if self.kind == "lazy_walk":
-            return lazy_random_walk_transitions(
+        elif self.kind == "lazy_walk":
+            built = lazy_random_walk_transitions(
                 grid, stay_probability=self.stay_probability, diagonal=self.diagonal
             )
-        if self.kind == "trace":
+        elif self.kind == "trace":
             for trajectory in self.trajectories:
                 for cell in trajectory:
                     if not 0 <= cell < grid.n_cells:
                         raise ScenarioError(
                             f"trace cell {cell} outside the {grid.n_cells}-cell grid"
                         )
-            return fit_transition_matrix(
+            built = fit_transition_matrix(
                 [list(t) for t in self.trajectories],
                 grid.n_cells,
                 smoothing=self.smoothing,
             )
-        matrix = np.asarray(self.matrix, dtype=np.float64)
-        if matrix.shape != (grid.n_cells, grid.n_cells):
-            raise ScenarioError(
-                f"chain matrix has shape {matrix.shape}, grid has "
-                f"{grid.n_cells} cells"
-            )
-        return TransitionMatrix(matrix)
+        else:
+            matrix = np.asarray(self.matrix, dtype=np.float64)
+            if matrix.shape != (grid.n_cells, grid.n_cells):
+                raise ScenarioError(
+                    f"chain matrix has shape {matrix.shape}, grid has "
+                    f"{grid.n_cells} cells"
+                )
+            built = TransitionMatrix(matrix)
+        if self.sparse is not None and built.sparse_hint != self.sparse:
+            # Carry the routing hint on the matrix itself so it reaches
+            # TwoWorldModel through the engine config untouched.
+            built = TransitionMatrix(built.matrix, sparse_hint=self.sparse)
+        return built
 
     def to_json(self) -> dict:
         payload: dict = {"kind": self.kind}
@@ -243,28 +286,40 @@ class ChainSpec:
             )
         else:
             payload.update(matrix=[list(row) for row in self.matrix])
+        if self.sparse is not None:
+            # Only serialized when set: unset hints must not perturb the
+            # digests of specs that predate sparse routing.
+            payload["sparse"] = self.sparse
         return payload
 
     @classmethod
     def from_json(cls, data: dict) -> "ChainSpec":
         kind = _require(data, "kind", "chain spec")
+        sparse = data.get("sparse")
+        if sparse is not None:
+            sparse = bool(sparse)
         if kind == "gaussian":
             return cls.gaussian(
                 _require(data, "sigma", "gaussian chain spec"),
                 distance_unit=data.get("distance_unit", "cells"),
+                sparse=sparse,
             )
         if kind == "lazy_walk":
             return cls.lazy_walk(
                 stay_probability=data.get("stay_probability", 0.2),
                 diagonal=bool(data.get("diagonal", True)),
+                sparse=sparse,
             )
         if kind == "trace":
             return cls.from_traces(
                 _require(data, "trajectories", "trace chain spec"),
                 smoothing=data.get("smoothing", 0.05),
+                sparse=sparse,
             )
         if kind == "matrix":
-            return cls.explicit(_require(data, "matrix", "matrix chain spec"))
+            return cls.explicit(
+                _require(data, "matrix", "matrix chain spec"), sparse=sparse
+            )
         raise ScenarioError(f"unknown chain kind {kind!r}")
 
 

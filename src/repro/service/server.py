@@ -40,6 +40,8 @@ import time
 import uuid
 from dataclasses import dataclass
 
+from ..core.qp import kernel_stats as _solver_kernel_stats
+from ..core.two_world import front_stats as _front_stats
 from ..engine.backend import as_backend
 from ..errors import (
     ProtocolError,
@@ -344,6 +346,41 @@ class ReleaseServer:
             "repro_queue_delay_ewma_seconds",
             "Smoothed executor queue-wait estimate driving load shedding",
             fn=lambda: self._shedder.delay_ms / 1e3,
+        )
+        # Solver-kernel identity as an info-style gauge: the value is a
+        # constant 1, the interesting bits ride in the labels.  Kernel
+        # selection is process-level (env + compiler availability), so
+        # setting it once at mount time is exact.
+        solver = _solver_kernel_stats()
+        registry.gauge(
+            "repro_solver_kernel_info",
+            "Resolved rank-one solver kernel (identity in the labels)",
+            labelnames=("kernel", "native_state"),
+        ).set(1.0, kernel=solver["kernel"], native_state=solver["native_state"])
+        registry.gauge(
+            "repro_solver_native_conditions_total",
+            "Rank-one conditions solved by the compiled native kernel",
+            fn=lambda: _solver_kernel_stats()["native_conditions"],
+        )
+        registry.gauge(
+            "repro_solver_numpy_conditions_total",
+            "Rank-one conditions solved by the NumPy fallback kernel",
+            fn=lambda: _solver_kernel_stats()["numpy_conditions"],
+        )
+        registry.gauge(
+            "repro_front_sparse_matmuls_total",
+            "Lifted-front block products routed through CSR matmuls",
+            fn=lambda: _front_stats()["sparse_matmuls"],
+        )
+        registry.gauge(
+            "repro_front_dense_matmuls_total",
+            "Lifted-front block products executed as dense GEMMs",
+            fn=lambda: _front_stats()["dense_matmuls"],
+        )
+        registry.gauge(
+            "repro_front_csr_cache_hits_total",
+            "Per-timestamp CSR block-cache hits in sparse propagation",
+            fn=lambda: _front_stats()["csr_hits"],
         )
 
     async def start(self) -> None:
@@ -901,6 +938,10 @@ class ReleaseServer:
             None if self._batcher is None else self._batcher.stats()
         )
         snapshot["shedding"] = self._shedder.stats()
+        snapshot["solver"] = {
+            "kernel": _solver_kernel_stats(),
+            "front": _front_stats(),
+        }
         snapshot["tracing"] = self._tracer.stats()
         snapshot["event_loop"] = self._loop_probe.snapshot()
         if spans > 0:

@@ -46,6 +46,11 @@ REQUIRED_FAMILIES = (
     "repro_executor_queue_depth",
     "repro_event_loop_lag_seconds",
     "repro_spans_total",
+    "repro_solver_kernel_info",
+    "repro_solver_native_conditions_total",
+    "repro_solver_numpy_conditions_total",
+    "repro_front_sparse_matmuls_total",
+    "repro_front_dense_matmuls_total",
 )
 
 
@@ -244,6 +249,40 @@ class TestExpositionAndProbes:
                 assert 'repro_requests_total{op="step"} 3' in text
                 # loss counters present at zero before anything dies
                 assert 'repro_failures_total{kind="sessions_lost"} 0' in text
+            finally:
+                await server.drain()
+
+        asyncio.run(main())
+
+    def test_stats_solver_section_and_kernel_info_gauge(self):
+        async def main():
+            # Worst-case prior routes checks through the rank-one QP
+            # solver, so the kernel-usage counters must move.
+            manager = SessionManager(make_builder().with_worst_case_prior())
+            server = ReleaseServer(
+                manager, config=ServerConfig(metrics_port=0)
+            )
+            await server.start()
+            try:
+                stats = await _drive(server, n_steps=2)
+                solver = stats["solver"]
+                kernel = solver["kernel"]
+                assert kernel["kernel"] in ("auto", "native", "numpy")
+                assert kernel["native_state"] in (
+                    "unloaded",
+                    "disabled",
+                    "native",
+                    "unavailable",
+                )
+                # steps solved conditions through exactly one backend
+                solved = kernel["native_conditions"] + kernel["numpy_conditions"]
+                assert solved > 0
+                front = solver["front"]
+                assert front["mode"] in ("auto", "always", "never")
+                assert front["sparse_models"] + front["dense_models"] >= 1
+                status, text = await _get(server.metrics_port, "/metrics")
+                assert status == 200
+                assert 'repro_solver_kernel_info{kernel="' in text
             finally:
                 await server.drain()
 
